@@ -1,0 +1,367 @@
+//! ATCache (Huang & Nagarajan, PACT 2014): tags-in-DRAM with an SRAM tag
+//! cache.
+//!
+//! The DRAM organization is Loh-Hill-style (tags co-located with data in
+//! the set's row, 64 B blocks, 16-way sets), but the tags of recently
+//! accessed sets are cached in a small SRAM *tag cache*. A tag-cache hit
+//! answers the tag check in SRAM and needs a single DRAM access for data;
+//! a tag-cache miss reads the tags from DRAM first (like Loh-Hill) and
+//! refills the tag cache, prefetching the tags of `PG` neighbouring sets
+//! (the paper and our reproduction use `PG = 8`).
+//!
+//! **Modelling note:** in the original design the tags of a PG-group share
+//! a DRAM row, so the group prefetch costs one extra burst. Our layout
+//! keeps one set per row, so the group prefetch is modelled as one extra
+//! 64 B tag burst on the accessed row — same timing, same warming effect.
+
+use bimodal_core::{
+    AccessKind, AccessOutcome, CacheAccess, DramCacheScheme, SchemeStats, SramModel,
+};
+use bimodal_dram::{Cycle, DeferredOp, MemorySystem, Op, Request, RowEvent};
+
+use crate::common::RowMapper;
+
+/// Ways per set.
+const WAYS: usize = 16;
+/// Bytes read for a DRAM tag lookup (16 tags in one burst).
+const TAG_READ_BYTES: u32 = 64;
+
+/// Configuration of an [`AtCache`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtCacheConfig {
+    /// Capacity in bytes.
+    pub cache_bytes: u64,
+    /// Block size (64 B).
+    pub block_bytes: u32,
+    /// Number of sets whose tags the SRAM tag cache can hold.
+    pub tag_cache_sets: usize,
+    /// Tag-prefetch group size `PG`.
+    pub prefetch_group: u64,
+    /// Cycles to compare tags after they arrive.
+    pub tag_compare_cycles: Cycle,
+}
+
+impl AtCacheConfig {
+    /// Paper-style configuration for `mb` megabytes: 4 K-set tag cache
+    /// (~64 KB of SRAM) and `PG = 8`.
+    #[must_use]
+    pub fn for_cache_mb(mb: u64) -> Self {
+        AtCacheConfig {
+            cache_bytes: mb << 20,
+            block_bytes: 64,
+            tag_cache_sets: 4096,
+            prefetch_group: 8,
+            tag_compare_cycles: 1,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    dirty: bool,
+}
+
+/// The ATCache organization.
+#[derive(Debug)]
+pub struct AtCache {
+    config: AtCacheConfig,
+    n_sets: u64,
+    sets: Vec<Vec<Line>>,
+    /// Tag-cache: set indices currently cached in SRAM, LRU order.
+    tag_cache: Vec<u64>,
+    tag_cache_cycles: Cycle,
+    mapper: Option<RowMapper>,
+    stats: SchemeStats,
+}
+
+impl AtCache {
+    /// Builds the cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity holds no complete set.
+    #[must_use]
+    pub fn new(config: AtCacheConfig) -> Self {
+        // Each set: 16 ways x 64 B data + one tag block, filling a 2 KB row
+        // with some slack.
+        let n_sets = config.cache_bytes / (u64::from(config.block_bytes) * WAYS as u64);
+        assert!(n_sets > 0, "capacity must hold at least one set");
+        let sram = SramModel::new();
+        // Tag-cache entry: ~16 tags x 4 B.
+        let tag_cache_bytes = config.tag_cache_sets as u64 * 64;
+        AtCache {
+            sets: vec![Vec::new(); usize::try_from(n_sets).expect("set count fits usize")],
+            n_sets,
+            tag_cache: Vec::new(),
+            tag_cache_cycles: sram.access_cycles(tag_cache_bytes),
+            mapper: None,
+            stats: SchemeStats::default(),
+            config,
+        }
+    }
+
+    /// Paper-style ATCache of `mb` megabytes.
+    #[must_use]
+    pub fn with_capacity_mb(mb: u64) -> Self {
+        AtCache::new(AtCacheConfig::for_cache_mb(mb))
+    }
+
+    fn set_of(&self, addr: u64) -> u64 {
+        (addr / u64::from(self.config.block_bytes)) % self.n_sets
+    }
+
+    fn tag_of(&self, addr: u64) -> u64 {
+        (addr / u64::from(self.config.block_bytes)) / self.n_sets
+    }
+
+    fn line_addr(&self, tag: u64, set: u64) -> u64 {
+        (tag * self.n_sets + set) * u64::from(self.config.block_bytes)
+    }
+
+    /// Probes the SRAM tag cache for `set`; refreshes recency on hit.
+    fn tag_cache_lookup(&mut self, set: u64) -> bool {
+        if let Some(pos) = self.tag_cache.iter().position(|&s| s == set) {
+            let s = self.tag_cache.remove(pos);
+            self.tag_cache.insert(0, s);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Fills the tag cache with `set`'s group of `PG` neighbouring sets.
+    fn tag_cache_fill_group(&mut self, set: u64) {
+        let pg = self.config.prefetch_group;
+        let group_base = (set / pg) * pg;
+        for s in group_base..(group_base + pg).min(self.n_sets) {
+            if !self.tag_cache.contains(&s) {
+                self.tag_cache.insert(0, s);
+            }
+        }
+        while self.tag_cache.len() > self.config.tag_cache_sets {
+            self.tag_cache.pop();
+        }
+    }
+}
+
+impl DramCacheScheme for AtCache {
+    fn name(&self) -> &str {
+        "ATCache"
+    }
+
+    fn access(&mut self, access: CacheAccess, mem: &mut MemorySystem) -> AccessOutcome {
+        mem.drain_deferred(access.now);
+        self.stats.accesses += 1;
+        match access.kind {
+            AccessKind::Read => self.stats.reads += 1,
+            AccessKind::Write => self.stats.writes += 1,
+            AccessKind::Prefetch => self.stats.prefetches += 1,
+        }
+        let set_idx = self.set_of(access.addr);
+        let tag = self.tag_of(access.addr);
+        let op = if access.is_write() {
+            Op::Write
+        } else {
+            Op::Read
+        };
+        let mapper = *self
+            .mapper
+            .get_or_insert_with(|| RowMapper::new(mem.cache_dram.config()));
+        let loc = mapper.location(set_idx);
+
+        let tc_hit = self.tag_cache_lookup(set_idx);
+        let tags_checked = if tc_hit {
+            self.stats.locator_hits += 1;
+            self.stats.breakdown.sram += self.tag_cache_cycles;
+            access.now + self.tag_cache_cycles
+        } else {
+            self.stats.locator_misses += 1;
+            // DRAM tag read: target set's tags plus the PG-group burst.
+            let t = mem.cache_dram.access(Request {
+                loc,
+                bytes: TAG_READ_BYTES * 2,
+                op: Op::Read,
+                arrival: access.now + self.tag_cache_cycles,
+            });
+            self.stats.md_accesses += 1;
+            if t.row_event == RowEvent::Hit {
+                self.stats.md_row_hits += 1;
+            }
+            self.tag_cache_fill_group(set_idx);
+            self.stats.breakdown.sram += self.tag_cache_cycles;
+            self.stats.breakdown.dram_tag += (t.done + self.config.tag_compare_cycles)
+                .saturating_sub(access.now + self.tag_cache_cycles);
+            t.done + self.config.tag_compare_cycles
+        };
+
+        let set = &mut self.sets[usize::try_from(set_idx).expect("set fits usize")];
+        let hit_pos = set.iter().position(|l| l.tag == tag);
+        let is_hit = hit_pos.is_some();
+        let mut offchip_bytes = 0u64;
+        let complete;
+        if let Some(pos) = hit_pos {
+            let line = set.remove(pos);
+            set.insert(
+                0,
+                Line {
+                    dirty: line.dirty || access.is_write(),
+                    ..line
+                },
+            );
+            let data = mem
+                .cache_dram
+                .column_access(loc, self.config.block_bytes, op, tags_checked);
+            self.stats.data_accesses += 1;
+            if data.row_event == RowEvent::Hit {
+                self.stats.data_row_hits += 1;
+            }
+            self.stats.hits += 1;
+            self.stats.big_hits += 1;
+            complete = data.done;
+            self.stats.breakdown.dram_data += complete.saturating_sub(tags_checked);
+        } else {
+            self.stats.misses += 1;
+            let bytes = self.config.block_bytes;
+            let base = access.addr & !u64::from(bytes - 1);
+            let fetch = mem.main.read(base, bytes, tags_checked);
+            self.stats.offchip_fetched_bytes += u64::from(bytes);
+            offchip_bytes += u64::from(bytes);
+            set.insert(
+                0,
+                Line {
+                    tag,
+                    dirty: access.is_write(),
+                },
+            );
+            if set.len() > WAYS {
+                let victim = set.pop().expect("set overflowed");
+                self.stats.evictions += 1;
+                if victim.dirty {
+                    let victim_addr = self.line_addr(victim.tag, set_idx);
+                    mem.defer(
+                        fetch.done,
+                        DeferredOp::MainWrite {
+                            addr: victim_addr,
+                            bytes,
+                        },
+                    );
+                    self.stats.writebacks += 1;
+                    self.stats.offchip_writeback_bytes += u64::from(bytes);
+                    offchip_bytes += u64::from(bytes);
+                }
+            }
+            self.stats.fills_big += 1;
+            mem.defer(fetch.done, DeferredOp::CacheWrite { loc, bytes });
+            mem.defer(fetch.done, DeferredOp::CacheWrite { loc, bytes: 64 });
+            complete = fetch.done;
+            self.stats.breakdown.offchip += complete.saturating_sub(tags_checked);
+        }
+        self.stats.total_latency += complete.saturating_sub(access.now);
+        AccessOutcome {
+            complete,
+            hit: is_hit,
+            offchip_bytes,
+            small_block: false,
+        }
+    }
+
+    fn stats(&self) -> &SchemeStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> (AtCache, MemorySystem) {
+        (AtCache::with_capacity_mb(1), MemorySystem::quad_core())
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let (mut c, mut mem) = cache();
+        let a = c.access(CacheAccess::read(0x6000, 0), &mut mem);
+        assert!(!a.hit);
+        let b = c.access(CacheAccess::read(0x6000, a.complete), &mut mem);
+        assert!(b.hit);
+    }
+
+    #[test]
+    fn tag_cache_hit_after_first_touch_of_a_set() {
+        let (mut c, mut mem) = cache();
+        let a = c.access(CacheAccess::read(0x6000, 0), &mut mem);
+        assert_eq!(c.stats().locator_misses, 1);
+        let _ = c.access(CacheAccess::read(0x6000, a.complete), &mut mem);
+        assert_eq!(c.stats().locator_hits, 1);
+    }
+
+    #[test]
+    fn group_prefetch_warms_neighbouring_sets() {
+        let (mut c, mut mem) = cache();
+        // Touch set 0; its PG-group (sets 0..8) tags are now cached.
+        let a = c.access(CacheAccess::read(0, 0), &mut mem);
+        // An access to set 3 hits the tag cache without a DRAM tag read.
+        let _ = c.access(CacheAccess::read(3 * 64, a.complete), &mut mem);
+        assert_eq!(c.stats().locator_hits, 1);
+        assert_eq!(
+            c.stats().md_accesses,
+            1,
+            "only the first access read tags from DRAM"
+        );
+    }
+
+    #[test]
+    fn tag_cache_hit_is_faster_than_tag_cache_miss() {
+        // Refresh-free memory so the comparison is not skewed by a stall.
+        let mut stacked = bimodal_dram::DramConfig::stacked(2, 8);
+        stacked.timing = stacked.timing.without_refresh();
+        let mut offchip = bimodal_dram::DramConfig::ddr3(1, 2);
+        offchip.timing = offchip.timing.without_refresh();
+        let mut mem = MemorySystem::new(stacked, offchip);
+        let mut c = AtCache::with_capacity_mb(1);
+        let a = c.access(CacheAccess::read(0x6000, 0), &mut mem);
+        // Same line again (tag cache hit, row may have closed — use a long
+        // gap for both to equalize row state).
+        let b = c.access(CacheAccess::read(0x6000, a.complete + 100_000), &mut mem);
+        // A far set whose tags are not cached (tag cache miss).
+        let far = 64 * c.n_sets / 2;
+        let d = c.access(CacheAccess::read(far, b.complete + 100_000), &mut mem);
+        let b_lat = b.complete - (a.complete + 100_000);
+        let d_lat = d.complete - (b.complete + 100_000);
+        assert!(
+            b_lat < d_lat,
+            "tag-cache hit {b_lat} must beat miss {d_lat}"
+        );
+    }
+
+    #[test]
+    fn sixteen_way_lru() {
+        let (mut c, mut mem) = cache();
+        let stride = c.n_sets * 64;
+        let mut now = 0;
+        for k in 0..17u64 {
+            let r = c.access(CacheAccess::read(k * stride, now), &mut mem);
+            now = r.complete;
+        }
+        assert_eq!(c.stats().evictions, 1);
+        let r = c.access(CacheAccess::read(0, now), &mut mem);
+        assert!(!r.hit, "LRU way 0 was evicted");
+    }
+
+    #[test]
+    fn tag_cache_capacity_is_bounded() {
+        let (mut c, mut mem) = cache();
+        let mut now = 0;
+        for set in 0..(c.config.tag_cache_sets as u64 + 100) {
+            let r = c.access(CacheAccess::read(set * 64, now), &mut mem);
+            now = r.complete;
+        }
+        assert!(c.tag_cache.len() <= c.config.tag_cache_sets);
+    }
+}

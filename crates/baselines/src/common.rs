@@ -1,0 +1,52 @@
+//! Shared placement helpers for the baseline organizations.
+
+use bimodal_dram::{DramConfig, Location};
+
+/// Stripes row-sized ordinals (sets, TAD rows, pages) across the stacked
+/// DRAM's channels and banks, channels first for maximum parallelism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowMapper {
+    channels: u64,
+    banks_per_channel: u64,
+}
+
+impl RowMapper {
+    /// Builds a mapper over all banks of `config`.
+    #[must_use]
+    pub fn new(config: &DramConfig) -> Self {
+        RowMapper {
+            channels: u64::from(config.channels),
+            banks_per_channel: u64::from(config.ranks_per_channel * config.banks_per_rank),
+        }
+    }
+
+    /// Location of the `ordinal`-th row-sized unit.
+    #[must_use]
+    pub fn location(&self, ordinal: u64) -> Location {
+        let channel = ordinal % self.channels;
+        let bank = (ordinal / self.channels) % self.banks_per_channel;
+        let row = ordinal / (self.channels * self.banks_per_channel);
+        Location::new(channel as u32, 0, bank as u32, row)
+    }
+
+    /// Rows available per full stripe (channels x banks).
+    #[must_use]
+    pub fn stripe(&self) -> u64 {
+        self.channels * self.banks_per_channel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripes_channels_first() {
+        let m = RowMapper::new(&DramConfig::stacked(2, 8));
+        assert_eq!(m.location(0), Location::new(0, 0, 0, 0));
+        assert_eq!(m.location(1), Location::new(1, 0, 0, 0));
+        assert_eq!(m.location(2), Location::new(0, 0, 1, 0));
+        assert_eq!(m.location(16), Location::new(0, 0, 0, 1));
+        assert_eq!(m.stripe(), 16);
+    }
+}

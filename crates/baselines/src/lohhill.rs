@@ -1,0 +1,297 @@
+//! Loh-Hill cache (MICRO 2011): 29-way sets embedded in DRAM rows.
+//!
+//! Each 2 KB DRAM row is one set: three 64 B blocks hold the tags
+//! (metadata) of the remaining 29 data blocks. *Compound access
+//! scheduling* keeps the row open across the tag read and the subsequent
+//! data column access, so a hit costs one activation plus two column
+//! accesses (tags, then data) on the same row.
+
+use bimodal_core::{AccessKind, AccessOutcome, CacheAccess, DramCacheScheme, SchemeStats};
+use bimodal_dram::{Cycle, DeferredOp, MemorySystem, Op, Request, RowEvent};
+
+use crate::common::RowMapper;
+
+/// Data ways per set (per 2 KB row): 32 slots minus 3 tag blocks.
+const WAYS: usize = 29;
+/// Bytes of tag metadata read per lookup (the paper reads the tag blocks
+/// as column accesses after the activation; two bursts cover 29 tags).
+const TAG_READ_BYTES: u32 = 128;
+
+/// Configuration of a [`LohHillCache`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LohHillConfig {
+    /// Total capacity in bytes devoted to the structure (rows).
+    pub cache_bytes: u64,
+    /// Block size (64 B).
+    pub block_bytes: u32,
+    /// Cycles to compare the 29 tags after the burst arrives.
+    pub tag_compare_cycles: Cycle,
+}
+
+impl LohHillConfig {
+    /// Paper-style configuration for `mb` megabytes.
+    #[must_use]
+    pub fn for_cache_mb(mb: u64) -> Self {
+        LohHillConfig {
+            cache_bytes: mb << 20,
+            block_bytes: 64,
+            tag_compare_cycles: 2,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    dirty: bool,
+}
+
+/// The Loh-Hill organization.
+#[derive(Debug)]
+pub struct LohHillCache {
+    config: LohHillConfig,
+    n_sets: u64,
+    /// Per set: resident lines in LRU order (front = MRU).
+    sets: Vec<Vec<Line>>,
+    mapper: Option<RowMapper>,
+    stats: SchemeStats,
+}
+
+impl LohHillCache {
+    /// Builds the cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity holds no complete set.
+    #[must_use]
+    pub fn new(config: LohHillConfig) -> Self {
+        let n_sets = config.cache_bytes / 2048;
+        assert!(n_sets > 0, "capacity must hold at least one 2 KB set");
+        LohHillCache {
+            sets: vec![Vec::new(); usize::try_from(n_sets).expect("set count fits usize")],
+            n_sets,
+            mapper: None,
+            stats: SchemeStats::default(),
+            config,
+        }
+    }
+
+    /// Paper-style Loh-Hill cache of `mb` megabytes.
+    #[must_use]
+    pub fn with_capacity_mb(mb: u64) -> Self {
+        LohHillCache::new(LohHillConfig::for_cache_mb(mb))
+    }
+
+    fn set_of(&self, addr: u64) -> u64 {
+        (addr / u64::from(self.config.block_bytes)) % self.n_sets
+    }
+
+    fn tag_of(&self, addr: u64) -> u64 {
+        (addr / u64::from(self.config.block_bytes)) / self.n_sets
+    }
+
+    fn line_addr(&self, tag: u64, set: u64) -> u64 {
+        (tag * self.n_sets + set) * u64::from(self.config.block_bytes)
+    }
+}
+
+impl DramCacheScheme for LohHillCache {
+    fn name(&self) -> &str {
+        "Loh-Hill"
+    }
+
+    fn access(&mut self, access: CacheAccess, mem: &mut MemorySystem) -> AccessOutcome {
+        mem.drain_deferred(access.now);
+        self.stats.accesses += 1;
+        match access.kind {
+            AccessKind::Read => self.stats.reads += 1,
+            AccessKind::Write => self.stats.writes += 1,
+            AccessKind::Prefetch => self.stats.prefetches += 1,
+        }
+        let set_idx = self.set_of(access.addr);
+        let tag = self.tag_of(access.addr);
+        let op = if access.is_write() {
+            Op::Write
+        } else {
+            Op::Read
+        };
+        let mapper = *self
+            .mapper
+            .get_or_insert_with(|| RowMapper::new(mem.cache_dram.config()));
+        let loc = mapper.location(set_idx);
+
+        // Compound access: activate the row, read the tag blocks.
+        let tags = mem.cache_dram.access(Request {
+            loc,
+            bytes: TAG_READ_BYTES,
+            op: Op::Read,
+            arrival: access.now,
+        });
+        self.stats.md_accesses += 1;
+        if tags.row_event == RowEvent::Hit {
+            self.stats.md_row_hits += 1;
+        }
+        let tags_checked = tags.done + self.config.tag_compare_cycles;
+
+        let set = &mut self.sets[usize::try_from(set_idx).expect("set fits usize")];
+        let hit_pos = set.iter().position(|l| l.tag == tag);
+
+        let mut offchip_bytes = 0u64;
+        let complete;
+        let is_hit = hit_pos.is_some();
+        if let Some(pos) = hit_pos {
+            // Data column access on the still-open row.
+            let line = set.remove(pos);
+            set.insert(
+                0,
+                Line {
+                    dirty: line.dirty || access.is_write(),
+                    ..line
+                },
+            );
+            let data = mem
+                .cache_dram
+                .column_access(loc, self.config.block_bytes, op, tags_checked);
+            self.stats.data_accesses += 1;
+            if data.row_event == RowEvent::Hit {
+                self.stats.data_row_hits += 1;
+            }
+            self.stats.hits += 1;
+            self.stats.big_hits += 1;
+            complete = data.done;
+            self.stats.breakdown.dram_tag += tags_checked.saturating_sub(access.now);
+            self.stats.breakdown.dram_data += complete.saturating_sub(tags_checked);
+        } else {
+            self.stats.misses += 1;
+            let bytes = self.config.block_bytes;
+            let base = access.addr & !u64::from(bytes - 1);
+            let fetch = mem.main.read(base, bytes, tags_checked);
+            self.stats.offchip_fetched_bytes += u64::from(bytes);
+            offchip_bytes += u64::from(bytes);
+            set.insert(
+                0,
+                Line {
+                    tag,
+                    dirty: access.is_write(),
+                },
+            );
+            if set.len() > WAYS {
+                let victim = set.pop().expect("set overflowed");
+                self.stats.evictions += 1;
+                if victim.dirty {
+                    let victim_addr = self.line_addr(victim.tag, set_idx);
+                    mem.defer(
+                        fetch.done,
+                        DeferredOp::MainWrite {
+                            addr: victim_addr,
+                            bytes,
+                        },
+                    );
+                    self.stats.writebacks += 1;
+                    self.stats.offchip_writeback_bytes += u64::from(bytes);
+                    offchip_bytes += u64::from(bytes);
+                }
+            }
+            self.stats.fills_big += 1;
+            // Fill + tag update on the row, off the critical path.
+            mem.defer(fetch.done, DeferredOp::CacheWrite { loc, bytes });
+            mem.defer(fetch.done, DeferredOp::CacheWrite { loc, bytes: 64 });
+            complete = fetch.done;
+            self.stats.breakdown.dram_tag += tags_checked.saturating_sub(access.now);
+            self.stats.breakdown.offchip += complete.saturating_sub(tags_checked);
+        }
+        self.stats.total_latency += complete.saturating_sub(access.now);
+        AccessOutcome {
+            complete,
+            hit: is_hit,
+            offchip_bytes,
+            small_block: false,
+        }
+    }
+
+    fn stats(&self) -> &SchemeStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> (LohHillCache, MemorySystem) {
+        (LohHillCache::with_capacity_mb(1), MemorySystem::quad_core())
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let (mut c, mut mem) = cache();
+        let a = c.access(CacheAccess::read(0x9000, 0), &mut mem);
+        assert!(!a.hit);
+        let b = c.access(CacheAccess::read(0x9000, a.complete), &mut mem);
+        assert!(b.hit);
+    }
+
+    #[test]
+    fn hit_needs_tag_then_data_on_one_row() {
+        let (mut c, mut mem) = cache();
+        let a = c.access(CacheAccess::read(0x9000, 0), &mut mem);
+        let b = c.access(CacheAccess::read(0x9000, a.complete + 10), &mut mem);
+        // Both column accesses hit the open row.
+        assert!(b.hit);
+        assert!(c.stats().md_row_hits >= 1);
+        assert!(c.stats().data_row_hits >= 1);
+    }
+
+    #[test]
+    fn twenty_nine_way_associativity() {
+        let (mut c, mut mem) = cache();
+        let stride = c.n_sets * 64;
+        let mut now = 0;
+        // Fill 29 conflicting lines; all must be resident afterwards.
+        for k in 0..29u64 {
+            let r = c.access(CacheAccess::read(k * stride, now), &mut mem);
+            now = r.complete;
+        }
+        for k in 0..29u64 {
+            let r = c.access(CacheAccess::read(k * stride, now), &mut mem);
+            assert!(r.hit, "way {k} should be resident");
+            now = r.complete;
+        }
+        // The 30th conflicting line evicts the LRU.
+        let r = c.access(CacheAccess::read(29 * stride, now), &mut mem);
+        assert!(!r.hit);
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn lru_replacement_evicts_oldest() {
+        let (mut c, mut mem) = cache();
+        let stride = c.n_sets * 64;
+        let mut now = 0;
+        for k in 0..30u64 {
+            let r = c.access(CacheAccess::read(k * stride, now), &mut mem);
+            now = r.complete;
+        }
+        // Line 0 was LRU and evicted; line 1 survives.
+        let r0 = c.access(CacheAccess::read(0, now), &mut mem);
+        assert!(!r0.hit);
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        let (mut c, mut mem) = cache();
+        let stride = c.n_sets * 64;
+        let mut now = 0;
+        let w = c.access(CacheAccess::write(0, now), &mut mem);
+        now = w.complete;
+        for k in 1..=29u64 {
+            let r = c.access(CacheAccess::read(k * stride, now), &mut mem);
+            now = r.complete;
+        }
+        assert_eq!(c.stats().writebacks, 1);
+    }
+}

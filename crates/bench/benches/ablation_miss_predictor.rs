@@ -1,0 +1,45 @@
+//! Ablation (the paper's footnote 11): deploying a hit/miss predictor.
+//!
+//! The paper ships the Bi-Modal cache without a miss predictor but notes
+//! the SRAM-based predictors of Loh-Hill/AlloyCache "could also be
+//! deployed" to attack miss latency. This bench measures that extension:
+//! predicted misses overlap their off-chip fetch with the DRAM tag check.
+
+use bimodal_bench as bench;
+use bimodal_sim::SchemeKind;
+
+fn main() {
+    bench::banner(
+        "Ablation — Bi-Modal cache with the optional miss predictor",
+        "overlapping predicted-miss fetches with the tag check trades \
+         wasted fetches for miss latency (footnote 11)",
+    );
+    let system = bench::quad_system();
+    let n = bench::accesses_per_core(25_000);
+
+    println!(
+        "{:6} {:>12} {:>12} {:>10} {:>12} {:>12}",
+        "mix", "base lat", "+MP lat", "gain", "spec fetches", "spec wasted"
+    );
+    let mut gains = Vec::new();
+    for mix in bench::quad_mixes(bench::mixes_to_run(6)) {
+        let base = bench::run(&system, SchemeKind::BiModal, &mix, n);
+        let mp = bench::run(&system, SchemeKind::BiModalMissPredict, &mix, n);
+        let gain = bench::reduction_pct(base.avg_latency(), mp.avg_latency());
+        println!(
+            "{:6} {:>12.1} {:>12.1} {:>9.1}% {:>12} {:>12}",
+            mix.name(),
+            base.avg_latency(),
+            mp.avg_latency(),
+            gain,
+            mp.scheme.spec_fetches,
+            mp.scheme.spec_wasted,
+        );
+        gains.push(gain);
+    }
+    println!();
+    println!(
+        "mean latency gain from the miss predictor: {:+.1}%",
+        bench::mean(&gains)
+    );
+}

@@ -1,0 +1,47 @@
+//! Ablation (beyond the paper): open-page vs closed-page row-buffer
+//! policy on the stacked DRAM.
+//!
+//! The paper assumes an open-page policy (Table IV) and leans on row-buffer
+//! hits — especially in the dense metadata bank (Figure 9b). This bench
+//! quantifies what closing pages after every access would cost.
+
+use bimodal_bench as bench;
+use bimodal_dram::PagePolicy;
+use bimodal_sim::SchemeKind;
+
+fn main() {
+    bench::banner(
+        "Ablation — open-page vs closed-page stacked DRAM",
+        "the design's metadata-density argument requires open pages",
+    );
+    let n = bench::accesses_per_core(25_000);
+
+    println!(
+        "{:6} {:>12} {:>12} {:>12} | {:>10} {:>10}",
+        "mix", "open lat", "closed lat", "penalty", "open RBH", "closed RBH"
+    );
+    let mut penalties = Vec::new();
+    for mix in bench::quad_mixes(bench::mixes_to_run(6)) {
+        let open_sys = bench::quad_system();
+        let mut closed_sys = bench::quad_system();
+        closed_sys.stacked.page_policy = PagePolicy::Closed;
+        let open = bench::run(&open_sys, SchemeKind::BiModal, &mix, n);
+        let closed = bench::run(&closed_sys, SchemeKind::BiModal, &mix, n);
+        let penalty = -bench::reduction_pct(open.avg_latency(), closed.avg_latency());
+        println!(
+            "{:6} {:>12.1} {:>12.1} {:>11.1}% | {:>9.1}% {:>9.1}%",
+            mix.name(),
+            open.avg_latency(),
+            closed.avg_latency(),
+            penalty,
+            open.cache_dram.row_buffer_hit_rate() * 100.0,
+            closed.cache_dram.row_buffer_hit_rate() * 100.0,
+        );
+        penalties.push(penalty);
+    }
+    println!();
+    println!(
+        "mean closed-page latency penalty: {:+.1}%",
+        bench::mean(&penalties)
+    );
+}

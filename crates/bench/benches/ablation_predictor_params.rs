@@ -1,0 +1,64 @@
+//! Ablation (beyond the paper): block size predictor threshold T and
+//! adaptation weight W.
+//!
+//! The paper fixes T=5 and W=0.75 (Section III-B); this bench sweeps both
+//! to show the trade-off they balance: lower T fetches big more often
+//! (more waste, more spatial hits), higher T leans small.
+
+use bimodal_bench as bench;
+use bimodal_core::{BiModalCache, BiModalConfig};
+use bimodal_sim::{Engine, EngineOptions};
+
+fn main() {
+    bench::banner(
+        "Ablation — predictor threshold T and adaptation weight W",
+        "the paper picks T=5, W=0.75; this sweep shows the surrounding space",
+    );
+    let system = bench::quad_system();
+    let n = bench::accesses_per_core(20_000);
+    let mixes = bench::quad_mixes(bench::mixes_to_run(4));
+
+    println!(
+        "{:>3} {:>5} {:>10} {:>12} {:>12} {:>12}",
+        "T", "W", "hit %", "small %", "wasted %", "avg lat"
+    );
+    for t in [3u32, 5, 7] {
+        for w in [0.5f64, 0.75, 1.0] {
+            let mut hit = Vec::new();
+            let mut small = Vec::new();
+            let mut waste = Vec::new();
+            let mut lat = Vec::new();
+            for mix in &mixes {
+                let scaled = mix.clone().with_footprint_scale(system.footprint_scale);
+                let traces: Vec<_> = scaled
+                    .programs()
+                    .iter()
+                    .enumerate()
+                    .map(|(c, p)| p.trace(system.seed, c as u32))
+                    .collect();
+                let config = BiModalConfig::for_cache_mb(system.cache_mb)
+                    .with_stacked_dram(system.stacked.clone())
+                    .with_threshold(t)
+                    .with_weight(w)
+                    .with_epoch(10_000);
+                let mut cache = BiModalCache::new(config);
+                let mut mem = system.build_memory();
+                let r = Engine::new(EngineOptions::measured(n).with_warmup(system.warmup_per_core))
+                    .run(&mut cache, &mut mem, traces);
+                hit.push(r.scheme.hit_rate());
+                small.push(r.scheme.small_block_fraction());
+                waste.push(r.scheme.wasted_fetch_fraction());
+                lat.push(r.avg_latency());
+            }
+            println!(
+                "{:>3} {:>5.2} {:>9.1}% {:>11.1}% {:>11.1}% {:>12.1}",
+                t,
+                w,
+                bench::mean(&hit) * 100.0,
+                bench::mean(&small) * 100.0,
+                bench::mean(&waste) * 100.0,
+                bench::mean(&lat)
+            );
+        }
+    }
+}

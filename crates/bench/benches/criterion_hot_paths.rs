@@ -1,0 +1,88 @@
+//! Criterion microbenchmarks of the simulator's hot paths.
+//!
+//! Statistical timing of the same structures `micro_structures` reports
+//! informally. Run with `cargo bench -p bimodal-bench --bench
+//! criterion_hot_paths`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bimodal_core::{
+    BiModalCache, BiModalConfig, BlockSize, BlockSizePredictor, CacheAccess, DramCacheScheme,
+    FunctionalCache, FunctionalConfig, PredictorConfig, WayLocator, WayLocatorConfig,
+};
+use bimodal_dram::{DramConfig, DramModule, Location, MemorySystem, Request};
+
+fn way_locator(c: &mut Criterion) {
+    let mut wl = WayLocator::new(WayLocatorConfig {
+        index_bits: 14,
+        addr_bits: 32,
+        offset_bits: 9,
+    });
+    for i in 0..100_000u64 {
+        wl.insert(i * 512, BlockSize::Big, (i % 4) as u8);
+    }
+    let mut i = 0u64;
+    c.bench_function("way_locator_lookup", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(512);
+            black_box(wl.lookup(black_box(i % (1 << 30))))
+        })
+    });
+}
+
+fn predictor(c: &mut Criterion) {
+    let mut p = BlockSizePredictor::new(PredictorConfig::paper_default());
+    let mut i = 0u64;
+    c.bench_function("predictor_predict", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(512);
+            black_box(p.predict(black_box(i)))
+        })
+    });
+}
+
+fn dram_access(c: &mut Criterion) {
+    let mut m = DramModule::new(DramConfig::stacked(2, 8));
+    let mut i = 0u64;
+    c.bench_function("dram_module_access", |b| {
+        b.iter(|| {
+            i += 20;
+            let loc = Location::new((i % 2) as u32, 0, ((i / 2) % 8) as u32, (i * 31) % 1024);
+            black_box(m.access(Request::read(loc, 64, i)))
+        })
+    });
+}
+
+fn functional_cache(c: &mut Criterion) {
+    let mut f = FunctionalCache::new(FunctionalConfig::new(1 << 22, 512, 4));
+    let mut i = 0u64;
+    c.bench_function("functional_cache_access", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(8_191);
+            black_box(f.access(black_box(i % (1 << 28))))
+        })
+    });
+}
+
+fn full_cache_access(c: &mut Criterion) {
+    let mut cache = BiModalCache::new(BiModalConfig::for_cache_mb(8));
+    let mut mem = MemorySystem::quad_core();
+    let mut now = 0u64;
+    let mut i = 0u64;
+    c.bench_function("bimodal_cache_access", |b| {
+        b.iter(|| {
+            i = i.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(97);
+            let out = cache.access(CacheAccess::read((i >> 32) % (64 << 20), now), &mut mem);
+            now = out.complete + 10;
+            black_box(out)
+        })
+    });
+}
+
+criterion_group! {
+    name = hot_paths;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = way_locator, predictor, dram_access, functional_cache, full_cache_access
+}
+criterion_main!(hot_paths);

@@ -1,0 +1,49 @@
+//! Figure 3: per-access latency breakdown of each scheme.
+//!
+//! The paper illustrates where each organization spends a hit's latency
+//! (SRAM lookup, DRAM tag access, DRAM data access). This bench measures
+//! the same decomposition from timed runs, per scheme, averaged over
+//! mixes.
+
+use bimodal_bench as bench;
+use bimodal_sim::SchemeKind;
+
+fn main() {
+    bench::banner(
+        "Figure 3 — average latency decomposition per access",
+        "AlloyCache: one fused DRAM access; FPC: SRAM tags then data; \
+         ATCache: tag-cache hits avoid DRAM tags; Bi-Modal: way-locator \
+         hits need one DRAM access, misses overlap tag + data",
+    );
+    let system = bench::quad_system();
+    let n = bench::accesses_per_core(30_000);
+    let mixes = bench::quad_mixes(bench::mixes_to_run(4));
+
+    println!(
+        "{:18} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "scheme", "sram", "dram tag", "dram data", "off-chip", "total"
+    );
+    for kind in SchemeKind::all() {
+        let mut parts = [0.0f64; 4];
+        let mut total = 0.0;
+        for mix in &mixes {
+            let r = bench::run(&system, kind, mix, n);
+            let a = r.scheme.accesses.max(1) as f64;
+            parts[0] += r.scheme.breakdown.sram as f64 / a;
+            parts[1] += r.scheme.breakdown.dram_tag as f64 / a;
+            parts[2] += r.scheme.breakdown.dram_data as f64 / a;
+            parts[3] += r.scheme.breakdown.offchip as f64 / a;
+            total += r.avg_latency();
+        }
+        let m = mixes.len() as f64;
+        println!(
+            "{:18} {:>8.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+            kind.name(),
+            parts[0] / m,
+            parts[1] / m,
+            parts[2] / m,
+            parts[3] / m,
+            total / m
+        );
+    }
+}

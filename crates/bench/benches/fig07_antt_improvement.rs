@@ -1,0 +1,62 @@
+//! Figure 7: overall system performance (ANTT) improvement.
+//!
+//! The paper's headline: the Bi-Modal cache improves ANTT over the
+//! AlloyCache baseline by 10.8% / 13.8% / 14.0% on 4-/8-/16-core
+//! workloads.
+
+use bimodal_bench as bench;
+use bimodal_sim::{SchemeKind, Simulation, SystemConfig};
+use bimodal_workloads::WorkloadMix;
+
+fn suite(label: &str, system: &SystemConfig, mixes: &[WorkloadMix], n: u64) -> f64 {
+    let mut gains = Vec::new();
+    println!("{label}:");
+    for mix in mixes {
+        let ours = Simulation::new(system.clone(), SchemeKind::BiModal)
+            .run_antt(mix, n)
+            .expect("valid run");
+        let base = Simulation::new(system.clone(), SchemeKind::Alloy)
+            .run_antt(mix, n)
+            .expect("valid run");
+        let gain = ours.improvement_over(&base);
+        println!(
+            "  {:4}  alloy ANTT {:5.2}  bimodal ANTT {:5.2}  improvement {:6.1}%",
+            mix.name(),
+            base.antt(),
+            ours.antt(),
+            gain
+        );
+        gains.push(gain);
+    }
+    let avg = bench::mean(&gains);
+    println!("  average ANTT improvement: {avg:.1}%");
+    println!();
+    avg
+}
+
+fn main() {
+    bench::banner(
+        "Figure 7 — ANTT improvement of Bi-Modal over AlloyCache",
+        "average gains of 10.8% (4-core), 13.8% (8-core), 14.0% (16-core)",
+    );
+    let n = bench::accesses_per_core(20_000);
+    let q = suite(
+        "4-core (Q mixes)",
+        &bench::quad_system(),
+        &bench::quad_mixes(bench::mixes_to_run(6)),
+        n,
+    );
+    let e = suite(
+        "8-core (E mixes)",
+        &bench::eight_system(),
+        &bench::eight_mixes(bench::mixes_to_run(3)),
+        n,
+    );
+    let s = suite(
+        "16-core (S mixes)",
+        &bench::sixteen_system(),
+        &bench::sixteen_mixes(bench::mixes_to_run(2)),
+        n,
+    );
+    println!("summary: 4-core {q:+.1}%  8-core {e:+.1}%  16-core {s:+.1}%  (paper: +10.8 / +13.8 / +14.0)");
+}

@@ -1,0 +1,52 @@
+//! Figure 8(a): where the gains come from — ablation on 8-core mixes.
+//!
+//! The paper runs Bi-Modal-Only (no way locator) and Way-Locator-Only
+//! (fixed 512 B blocks) beside the full design: both components
+//! independently yield significant benefit.
+
+use bimodal_bench as bench;
+use bimodal_sim::{SchemeKind, Simulation};
+
+fn main() {
+    bench::banner(
+        "Figure 8(a) — ablation: BiModal-Only, WayLocator-Only, full BiModal",
+        "both bi-modality and way location independently improve performance",
+    );
+    let system = bench::eight_system();
+    let n = bench::accesses_per_core(15_000);
+    let kinds = [
+        SchemeKind::BiModalOnly,
+        SchemeKind::WayLocatorOnly,
+        SchemeKind::BiModal,
+    ];
+
+    println!("ANTT improvement over AlloyCache (positive is better):");
+    print!("{:6}", "mix");
+    for k in kinds {
+        print!(" {:>16}", k.name());
+    }
+    println!();
+
+    let mut sums = [0.0f64; 3];
+    let mixes = bench::eight_mixes(bench::mixes_to_run(3));
+    for mix in &mixes {
+        let base = Simulation::new(system.clone(), SchemeKind::Alloy)
+            .run_antt(mix, n)
+            .expect("valid run");
+        print!("{:6}", mix.name());
+        for (i, k) in kinds.iter().enumerate() {
+            let r = Simulation::new(system.clone(), *k)
+                .run_antt(mix, n)
+                .expect("valid run");
+            let gain = r.improvement_over(&base);
+            print!(" {gain:>15.1}%");
+            sums[i] += gain;
+        }
+        println!();
+    }
+    print!("{:6}", "mean");
+    for s in sums {
+        print!(" {:>15.1}%", s / mixes.len() as f64);
+    }
+    println!();
+}

@@ -1,0 +1,57 @@
+//! Figure 8(c): average DRAM cache access latency (avg LLSC miss penalty).
+//!
+//! The paper: the Bi-Modal cache achieves 22.9% lower average latency
+//! than AlloyCache, 12% lower than Footprint Cache, and 26.5% lower than
+//! ATCache.
+
+use bimodal_bench as bench;
+use bimodal_sim::SchemeKind;
+
+fn main() {
+    bench::banner(
+        "Figure 8(c) — average LLSC miss penalty by scheme",
+        "Bi-Modal: -22.9% vs AlloyCache, -12% vs FPC, -26.5% vs ATCache",
+    );
+    let system = bench::quad_system();
+    let n = bench::accesses_per_core(30_000);
+    let kinds = SchemeKind::comparison_set();
+
+    print!("{:6}", "mix");
+    for k in &kinds {
+        print!(" {:>15}", k.name());
+    }
+    println!();
+
+    let mut sums = vec![Vec::new(); kinds.len()];
+    for mix in bench::quad_mixes(bench::mixes_to_run(8)) {
+        print!("{:6}", mix.name());
+        for (i, k) in kinds.iter().enumerate() {
+            let lat = bench::run(&system, *k, &mix, n).avg_latency();
+            print!(" {lat:>15.1}");
+            sums[i].push(lat);
+        }
+        println!();
+    }
+    print!("{:6}", "mean");
+    let means: Vec<f64> = sums.iter().map(|v| bench::mean(v)).collect();
+    for m in &means {
+        print!(" {m:>15.1}");
+    }
+    println!();
+    println!();
+    let bimodal = means[kinds
+        .iter()
+        .position(|k| *k == SchemeKind::BiModal)
+        .expect("present")];
+    for k in &kinds {
+        if *k == SchemeKind::BiModal {
+            continue;
+        }
+        let m = means[kinds.iter().position(|x| x == k).expect("present")];
+        println!(
+            "Bi-Modal vs {:15}: {:+.1}% latency",
+            k.name(),
+            -bench::reduction_pct(m, bimodal)
+        );
+    }
+}

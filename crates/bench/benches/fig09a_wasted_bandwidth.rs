@@ -1,0 +1,45 @@
+//! Figure 9(a): wasted off-chip bandwidth — fixed 512 B vs Bi-Modal.
+//!
+//! The paper: bi-modality cuts wasted (fetched-but-never-referenced)
+//! off-chip traffic by 67% / 62% / 71% on 4-/8-/16-core workloads
+//! relative to a fixed 512 B organization.
+
+use bimodal_bench as bench;
+use bimodal_sim::SchemeKind;
+
+fn main() {
+    bench::banner(
+        "Figure 9(a) — wasted off-chip bytes: fixed-512B vs Bi-Modal (8-core)",
+        "Bi-Modal saves 67% / 62% / 71% of wasted bandwidth on 4/8/16 cores",
+    );
+    let system = bench::eight_system();
+    let n = bench::accesses_per_core(20_000);
+
+    println!(
+        "{:6} {:>14} {:>14} {:>10} | {:>13} {:>13}",
+        "mix", "fixed waste MB", "bimodal waste", "saving", "fixed offchip", "bimodal offchip"
+    );
+    let mut savings = Vec::new();
+    for mix in bench::eight_mixes(bench::mixes_to_run(6)) {
+        let f = bench::run(&system, SchemeKind::Fixed512, &mix, n);
+        let b = bench::run(&system, SchemeKind::BiModal, &mix, n);
+        let fw = f.wasted_bytes() as f64 / 1048576.0;
+        let bw = b.wasted_bytes() as f64 / 1048576.0;
+        let s = bench::reduction_pct(fw, bw);
+        println!(
+            "{:6} {:>14.2} {:>14.2} {:>9.1}% | {:>12.2}M {:>12.2}M",
+            mix.name(),
+            fw,
+            bw,
+            s,
+            f.offchip_bytes() as f64 / 1048576.0,
+            b.offchip_bytes() as f64 / 1048576.0
+        );
+        savings.push(s);
+    }
+    println!();
+    println!(
+        "mean wasted-bandwidth saving: {:.1}% (paper 8-core: 62%)",
+        bench::mean(&savings)
+    );
+}

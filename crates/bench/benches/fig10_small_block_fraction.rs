@@ -1,0 +1,42 @@
+//! Figure 10: fraction of accesses served by small blocks.
+//!
+//! The paper: the fraction varies from 1% (dense workloads) to 48%
+//! (sparse ones) — evidence that the cache adapts to the workload.
+
+use bimodal_bench as bench;
+use bimodal_sim::SchemeKind;
+
+fn main() {
+    bench::banner(
+        "Figure 10 — fraction of accesses to small blocks (Bi-Modal, quad-core)",
+        "varies from ~1% to ~48% across workloads: bi-modality adapts",
+    );
+    let system = bench::quad_system();
+    let n = bench::accesses_per_core(30_000);
+
+    println!(
+        "{:6} {:>10} {:>12} {:>12}",
+        "mix", "small %", "fills big", "fills small"
+    );
+    let mut fracs = Vec::new();
+    for mix in bench::quad_mixes(bench::mixes_to_run(10)) {
+        let r = bench::run(&system, SchemeKind::BiModal, &mix, n);
+        let f = r.scheme.small_block_fraction();
+        println!(
+            "{:6} {:>9.1}% {:>12} {:>12}",
+            mix.name(),
+            f * 100.0,
+            r.scheme.fills_big,
+            r.scheme.fills_small
+        );
+        fracs.push(f);
+    }
+    println!();
+    let min = fracs.iter().cloned().fold(1.0f64, f64::min);
+    let max = fracs.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "spread: {:.0}% .. {:.0}% of accesses to small blocks (paper: 1% .. 48%)",
+        min * 100.0,
+        max * 100.0
+    );
+}

@@ -1,0 +1,46 @@
+//! Figure 11: off-chip (memory-system) energy savings.
+//!
+//! The paper: the Bi-Modal cache reduces overall memory energy (DRAM
+//! cache + main memory) by 11.8% on 8-core workloads (14.9% quad,
+//! 12.4% 16-core) over the AlloyCache baseline.
+
+use bimodal_bench as bench;
+use bimodal_sim::{EnergyModel, SchemeKind};
+
+fn main() {
+    bench::banner(
+        "Figure 11 — memory energy: Bi-Modal vs AlloyCache (8-core)",
+        "energy reduction of 11.8% on 8-core (14.9% quad, 12.4% 16-core)",
+    );
+    let system = bench::eight_system();
+    let n = bench::accesses_per_core(15_000);
+    let model = EnergyModel::paper_default();
+
+    println!(
+        "{:6} {:>12} {:>12} {:>10} | {:>12} {:>12}",
+        "mix", "alloy mJ", "bimodal mJ", "saving", "alloy offMB", "bimodal offMB"
+    );
+    let mut savings = Vec::new();
+    for mix in bench::eight_mixes(bench::mixes_to_run(6)) {
+        let a = bench::run(&system, SchemeKind::Alloy, &mix, n);
+        let b = bench::run(&system, SchemeKind::BiModal, &mix, n);
+        let ea = model.evaluate(&a.cache_dram, &a.offchip).total_nj() / 1e6;
+        let eb = model.evaluate(&b.cache_dram, &b.offchip).total_nj() / 1e6;
+        let s = bench::reduction_pct(ea, eb);
+        println!(
+            "{:6} {:>12.3} {:>12.3} {:>9.1}% | {:>12.2} {:>12.2}",
+            mix.name(),
+            ea,
+            eb,
+            s,
+            a.offchip_bytes() as f64 / 1048576.0,
+            b.offchip_bytes() as f64 / 1048576.0
+        );
+        savings.push(s);
+    }
+    println!();
+    println!(
+        "mean energy saving: {:+.1}% (paper 8-core: 11.8%)",
+        bench::mean(&savings)
+    );
+}

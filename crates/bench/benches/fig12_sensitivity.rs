@@ -1,0 +1,84 @@
+//! Figure 12: sensitivity to cache size, block size and associativity.
+//!
+//! The paper shows the Bi-Modal cache keeps its advantage at smaller
+//! (64 MB) and larger (512 MB) capacities, with 256 B and 1024 B big
+//! blocks, and at 8-way big associativity. Configurations are named
+//! BiModal(X-Y-Z): size X, big block Y, big-way associativity Z.
+
+use bimodal_bench as bench;
+use bimodal_core::{BiModalCache, BiModalConfig, CacheGeometry};
+use bimodal_sim::{Engine, EngineOptions, SchemeKind};
+
+fn main() {
+    bench::banner(
+        "Figure 12 — sensitivity: cache size, big block size, associativity",
+        "Bi-Modal improves over same-sized AlloyCache in every configuration",
+    );
+    let n = bench::accesses_per_core(20_000);
+    let mixes = bench::quad_mixes(bench::mixes_to_run(4));
+
+    // (label, cache MB, big block, set bytes). The paper's sizes scale
+    // 16x down like the main experiments; set size = assoc x big block.
+    let configs = [
+        ("BiModal(4M-512-4)", 4u64, 512u32, 2048u32),
+        ("BiModal(8M-512-4)", 8, 512, 2048),
+        ("BiModal(32M-512-4)", 32, 512, 2048),
+        ("BiModal(8M-256-8)", 8, 256, 2048),
+        ("BiModal(8M-1024-2)", 8, 1024, 2048),
+        ("BiModal(8M-512-8)", 8, 512, 4096),
+    ];
+
+    println!(
+        "{:22} {:>12} {:>12} {:>14} {:>12}",
+        "configuration", "alloy lat", "bimodal lat", "latency gain", "hit-rate gain"
+    );
+    for (label, mb, big, set_bytes) in configs {
+        let mut system = bench::quad_system().with_cache_mb(mb);
+        if set_bytes > 2048 {
+            system = system.with_stacked_row_bytes(set_bytes);
+        }
+        let geometry = CacheGeometry {
+            cache_bytes: mb << 20,
+            set_bytes,
+            big_block: big,
+            small_block: 64,
+        };
+        let addr_bits = (mb << 20).trailing_zeros() + 5;
+        let config = BiModalConfig::for_geometry(geometry, addr_bits)
+            .with_stacked_dram(system.stacked.clone())
+            .with_epoch(10_000);
+
+        let mut alloy_lat = Vec::new();
+        let mut bi_lat = Vec::new();
+        let mut alloy_hit = Vec::new();
+        let mut bi_hit = Vec::new();
+        for mix in &mixes {
+            let scaled = mix.clone().with_footprint_scale(system.footprint_scale);
+            let traces: Vec<_> = scaled
+                .programs()
+                .iter()
+                .enumerate()
+                .map(|(c, p)| p.trace(system.seed, c as u32))
+                .collect();
+
+            let mut cache = BiModalCache::new(config.clone());
+            let mut mem = system.build_memory();
+            let r = Engine::new(EngineOptions::measured(n).with_warmup(system.warmup_per_core))
+                .run(&mut cache, &mut mem, traces.clone());
+            bi_lat.push(r.avg_latency());
+            bi_hit.push(r.scheme.hit_rate());
+
+            let a = bench::run(&system, SchemeKind::Alloy, mix, n);
+            alloy_lat.push(a.avg_latency());
+            alloy_hit.push(a.scheme.hit_rate());
+        }
+        println!(
+            "{:22} {:>12.1} {:>12.1} {:>13.1}% {:>11.1}%",
+            label,
+            bench::mean(&alloy_lat),
+            bench::mean(&bi_lat),
+            bench::reduction_pct(bench::mean(&alloy_lat), bench::mean(&bi_lat)),
+            (bench::mean(&bi_hit) - bench::mean(&alloy_hit)) * 100.0
+        );
+    }
+}

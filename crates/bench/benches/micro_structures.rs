@@ -1,0 +1,87 @@
+//! Microbenchmarks of the hot structures (criterion-free wall-clock).
+//!
+//! Reports nanoseconds per operation for the way locator, block size
+//! predictor, bi-modal set and DRAM bank engine — the inner loops of the
+//! simulator.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use bimodal_core::{
+    BiModalSet, BlockSize, BlockSizePredictor, CacheGeometry, FunctionalCache, FunctionalConfig,
+    PredictorConfig, WayLocator, WayLocatorConfig,
+};
+use bimodal_dram::{DramConfig, DramModule, Location, Request};
+
+fn time<F: FnMut(u64) -> u64>(label: &str, iters: u64, mut f: F) {
+    // Warm up.
+    let mut acc = 0u64;
+    for i in 0..iters / 10 {
+        acc = acc.wrapping_add(f(i));
+    }
+    let start = Instant::now();
+    for i in 0..iters {
+        acc = acc.wrapping_add(f(i));
+    }
+    let elapsed = start.elapsed();
+    black_box(acc);
+    println!(
+        "{label:40} {:>8.1} ns/op  ({iters} iters)",
+        elapsed.as_nanos() as f64 / iters as f64
+    );
+}
+
+fn main() {
+    bimodal_bench::banner(
+        "Microbenchmarks — simulator hot paths",
+        "way locator, predictor, set, functional cache and DRAM engine",
+    );
+    let iters = 2_000_000;
+
+    let mut wl = WayLocator::new(WayLocatorConfig {
+        index_bits: 14,
+        addr_bits: 32,
+        offset_bits: 9,
+    });
+    for i in 0..100_000u64 {
+        wl.insert(i * 512, BlockSize::Big, (i % 4) as u8);
+    }
+    time("way locator lookup", iters, |i| {
+        u64::from(wl.lookup(black_box(i * 512 % (1 << 30))).is_some())
+    });
+
+    let mut p = BlockSizePredictor::new(PredictorConfig::paper_default());
+    time("predictor predict", iters, |i| {
+        u64::from(p.predict(black_box(i * 512)) == BlockSize::Big)
+    });
+    time("predictor update", iters, |i| {
+        p.update(black_box(i * 512), i % 3 == 0);
+        0
+    });
+
+    let geometry = CacheGeometry::paper_default(1 << 20);
+    let mut set = BiModalSet::new(&geometry);
+    let global = geometry.allowed_states()[1];
+    time("bi-modal set insert+lookup", iters / 4, |i| {
+        let size = if i % 3 == 0 {
+            BlockSize::Small
+        } else {
+            BlockSize::Big
+        };
+        set.insert(size, i % 1000, (i % 8) as u8, global, &mut |n| {
+            (i % u64::from(n)) as u8
+        });
+        u64::from(set.lookup(i % 1000, (i % 8) as u8).is_some())
+    });
+
+    let mut fc = FunctionalCache::new(FunctionalConfig::new(1 << 22, 512, 4));
+    time("functional cache access", iters, |i| {
+        u64::from(fc.access(black_box((i * 8_191) % (1 << 28))))
+    });
+
+    let mut dram = DramModule::new(DramConfig::stacked(2, 8));
+    time("dram module access", iters, |i| {
+        let loc = Location::new((i % 2) as u32, 0, (i % 8) as u32, (i * 31) % 1024);
+        dram.access(Request::read(loc, 64, i * 20)).done
+    });
+}

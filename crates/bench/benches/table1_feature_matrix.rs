@@ -1,0 +1,73 @@
+//! Table I: qualitative comparison of DRAM cache organizations,
+//! quantified from the implemented models' actual configurations.
+
+use bimodal_core::{
+    BiModalConfig, DataLayout, MetadataLayout, MetadataPlacement, SramModel, UtilizationTracker,
+};
+
+fn main() {
+    bimodal_bench::banner(
+        "Table I — how Bi-Modal Cache compares to existing organizations",
+        "feature matrix: block size, associativity, metadata placement, SRAM budget",
+    );
+    println!(
+        "{:18} {:>12} {:>10} {:>10} {:>12} {:>14}",
+        "attribute", "AlloyCache", "Loh-Hill", "ATCache", "FPC", "Bi-Modal"
+    );
+    for (attr, row) in [
+        ("block size", ["64B", "64B", "64B", "2048B", "512B + 64B"]),
+        (
+            "associativity",
+            ["direct", "29-way", "16-way", "4-way", "4-18 way"],
+        ),
+        ("metadata", ["DRAM", "DRAM", "DRAM+SRAM$", "SRAM", "DRAM"]),
+        ("SRAM storage", ["low", "low", "low", "high", "low"]),
+        ("hit rate", ["low", "low", "low", "high", "high"]),
+        ("wasted bandwidth", ["none", "none", "none", "low", "low"]),
+    ] {
+        println!(
+            "{:18} {:>12} {:>10} {:>10} {:>12} {:>14}",
+            attr, row[0], row[1], row[2], row[3], row[4]
+        );
+    }
+
+    // Quantify the claims with the implemented models at 128 MB.
+    let config = BiModalConfig::for_cache_mb(128);
+    let wl = config.way_locator.expect("default enables the locator");
+    let sram = SramModel::new();
+    let tracker = UtilizationTracker::new(config.predictor);
+    let wl_kb = wl.storage_bytes() as f64 / 1024.0;
+    let pred_kb = config.predictor.table_bytes() as f64 / 1024.0;
+    let trk_kb = tracker.storage_bytes(config.geometry.n_sets(), config.geometry.base_assoc())
+        as f64
+        / 1024.0;
+
+    let data = DataLayout::new(&config.geometry, &config.stacked_dram, true);
+    let md = MetadataLayout::new(
+        &config.geometry,
+        &config.stacked_dram,
+        &data,
+        MetadataPlacement::DedicatedBank,
+    );
+
+    // Tags-in-SRAM overhead at 128 MB with 2 KB pages (FPC-style).
+    let fpc_tag_kb = (128u64 << 20) / 2048 * 12 / 1024;
+    // Fine-grained metadata at 64 B blocks (Alloy/Loh-Hill), 4 B/block.
+    let fine_md_mb = (128u64 << 20) / 64 * 4 / (1024 * 1024);
+
+    println!();
+    println!("quantified at 128 MB (from the implemented models):");
+    println!(
+        "  Bi-Modal SRAM: {wl_kb:.1} KB way locator ({} cycle) + {pred_kb:.0} KB predictor + {trk_kb:.0} KB tracker",
+        wl.lookup_cycles(&sram)
+    );
+    println!(
+        "  Bi-Modal in-DRAM metadata: {:.1} MB",
+        md.total_bytes(&config.geometry) as f64 / (1024.0 * 1024.0)
+    );
+    println!(
+        "  FPC tags-in-SRAM: {fpc_tag_kb} KB ({} cycle lookup)",
+        sram.access_cycles(fpc_tag_kb * 1024)
+    );
+    println!("  64 B-block in-DRAM metadata (Alloy/Loh-Hill class): {fine_md_mb} MB");
+}

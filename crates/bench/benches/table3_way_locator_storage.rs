@@ -1,0 +1,46 @@
+//! Table III: way locator storage and lookup latency.
+//!
+//! Regenerates the storage/latency table for K in {10, 12, 14, 16} across
+//! the paper's three cache sizes (128/256/512 MB with 4/8/16 GB of
+//! memory), using the implemented entry layout and the CACTI-like SRAM
+//! model.
+
+use bimodal_core::{SramModel, WayLocatorConfig};
+
+fn main() {
+    bimodal_bench::banner(
+        "Table III — way locator storage and latency",
+        "5.9 KB..311 KB and 1-2 cycles across K=10..16 and 128..512 MB caches",
+    );
+    let sram = SramModel::new();
+    // (cache MB, memory GB, physical address bits).
+    let configs = [(128u64, 4u64, 32u32), (256, 8, 33), (512, 16, 34)];
+
+    print!("{:24}", "entries (2 x 2^K)");
+    for (mb, gb, _) in configs {
+        print!(" {:>18}", format!("{mb}M cache/{gb}G mem"));
+    }
+    println!();
+
+    for k in [10u32, 12, 14, 16] {
+        print!("{:24}", format!("K={k}, {} entries", 2 * (1u64 << k)));
+        for (_, _, addr_bits) in configs {
+            let c = WayLocatorConfig {
+                index_bits: k,
+                addr_bits,
+                offset_bits: 9,
+            };
+            print!(
+                " {:>10.1} KB {:>2} cy",
+                c.storage_bytes() as f64 / 1024.0,
+                c.lookup_cycles(&sram)
+            );
+        }
+        println!();
+    }
+    println!();
+    println!("paper's K=14 row: 77.8 / 81.9 / 86.0 KB, all 1 cycle;");
+    println!("K=16 row: 278.5 / 294.9 / 311.3 KB at 2 cycles.");
+    println!("(tags-in-SRAM stores for comparison: 1 MB = {} cycles, 2 MB = {} cycles, 4 MB = {} cycles)",
+        sram.access_cycles(1 << 20), sram.access_cycles(2 << 20), sram.access_cycles(4 << 20));
+}

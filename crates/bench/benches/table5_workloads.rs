@@ -1,0 +1,98 @@
+//! Table V: the multiprogrammed workloads, characterized.
+//!
+//! Regenerates the workload table with measured properties: per-mix
+//! composition, memory-intensity marking (the paper's `*`), aggregate
+//! footprint (the paper reports 990 MB / 2.1 GB averages for 4-/8-core at
+//! full scale), and the fraction of DRAM cache misses that are
+//! capacity/conflict rather than cold (the paper: 87% on average —
+//! evidence the workloads exercise the cache).
+
+use bimodal_bench as bench;
+use bimodal_core::{FunctionalCache, FunctionalConfig};
+use bimodal_sim::sweep::MergedTrace;
+use std::collections::HashSet;
+
+fn main() {
+    bench::banner(
+        "Table V — workload characterization",
+        "mixes span high/moderate/low intensity; ~87% of misses are \
+         capacity/conflict; quad footprints average ~990 MB at full scale",
+    );
+    let system = bench::quad_system();
+    let accesses = bench::accesses_per_core(100_000) * 4;
+
+    println!(
+        "{:5} {:44} {:>5} {:>9} {:>10} {:>10}",
+        "mix", "programs (* = memory-intensive)", "", "footprint", "miss rate", "cap/confl"
+    );
+    let mut cap_fracs = Vec::new();
+    let mut full_footprints = Vec::new();
+    for mix in bench::quad_mixes(bench::mixes_to_run(10)) {
+        let label: Vec<String> = mix
+            .programs()
+            .iter()
+            .map(|p| {
+                format!(
+                    "{}{}",
+                    p.name,
+                    if p.is_memory_intensive() { "*" } else { "" }
+                )
+            })
+            .collect();
+        let full_mb: u64 = mix.programs().iter().map(|p| p.footprint_bytes >> 20).sum();
+        full_footprints.push(full_mb as f64);
+        let scaled = mix.clone().with_footprint_scale(system.footprint_scale);
+
+        // Functional run: count actual misses and cold (first-touch)
+        // misses; the rest are capacity/conflict.
+        let mut cache = FunctionalCache::new(FunctionalConfig::new(system.cache_bytes(), 512, 4));
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut cold = 0u64;
+        let mut misses = 0u64;
+        let mut total = 0u64;
+        for a in
+            MergedTrace::new(&scaled, system.seed).take(usize::try_from(accesses).expect("fits"))
+        {
+            total += 1;
+            let block = a.addr / 512;
+            if !cache.access(a.addr) {
+                misses += 1;
+                if seen.insert(block) {
+                    cold += 1;
+                }
+            } else {
+                seen.insert(block);
+            }
+        }
+        let cap_frac = if misses == 0 {
+            0.0
+        } else {
+            (misses - cold) as f64 / misses as f64
+        };
+        cap_fracs.push(cap_frac);
+        println!(
+            "{:5} {:44} {:>5} {:>6} MB {:>9.1}% {:>9.1}%",
+            mix.name(),
+            label.join(","),
+            if mix.is_memory_intensive() { "*" } else { "" },
+            full_mb,
+            misses as f64 / total as f64 * 100.0,
+            cap_frac * 100.0,
+        );
+    }
+    println!();
+    println!(
+        "mean capacity/conflict share of misses: {:.0}% (paper: 87%)",
+        bench::mean(&cap_fracs) * 100.0
+    );
+    println!(
+        "mean full-scale mix footprint: {:.0} MB (paper quad-core: 990 MB)",
+        bench::mean(&full_footprints)
+    );
+    println!();
+    println!("note: the capacity/conflict share is measurement-window limited —");
+    println!("the paper's 310 M-access traces walk each footprint many times, so");
+    println!("repeat visits dominate; our scaled windows see footprints at most");
+    println!("once or twice, leaving most misses cold. Raise BIMODAL_ACCESSES to");
+    println!("watch the share climb toward the paper's 87%.");
+}

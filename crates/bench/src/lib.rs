@@ -1,0 +1,166 @@
+//! Shared harness for the table/figure regeneration benches.
+//!
+//! Every `benches/*.rs` target regenerates one table or figure of the
+//! paper. This library centralizes the experiment defaults (scaled system
+//! sizes, mix selections, access counts) and the output formatting so the
+//! benches print comparable, self-describing reports.
+//!
+//! # Scaling
+//!
+//! Experiments run on capacity-scaled systems (8/16/32 MB caches for the
+//! 4/8/16-core configurations instead of the paper's 128/256/512 MB), with
+//! workload footprints scaled by the same factor. Override the run length
+//! with `BIMODAL_ACCESSES` (per core) and the number of mixes per suite
+//! with `BIMODAL_MIXES`.
+
+#![forbid(unsafe_code)]
+
+use bimodal_sim::{RunReport, SchemeKind, Simulation, SystemConfig};
+use bimodal_workloads::WorkloadMix;
+
+/// Per-core measured accesses (env-overridable).
+#[must_use]
+pub fn accesses_per_core(default: u64) -> u64 {
+    std::env::var("BIMODAL_ACCESSES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Number of mixes to run per suite (env-overridable).
+#[must_use]
+pub fn mixes_to_run(default: usize) -> usize {
+    std::env::var("BIMODAL_MIXES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The scaled quad-core system used by the experiments. The long warm-up
+/// mirrors the paper's methodology (10 B instructions of warm-up before
+/// measurement): caches fill and predictors train before statistics count.
+#[must_use]
+pub fn quad_system() -> SystemConfig {
+    SystemConfig::quad_core()
+        .with_cache_mb(8)
+        .with_warmup(12_000)
+}
+
+/// The scaled 8-core system.
+#[must_use]
+pub fn eight_system() -> SystemConfig {
+    SystemConfig::eight_core()
+        .with_cache_mb(16)
+        .with_warmup(12_000)
+}
+
+/// The scaled 16-core system.
+#[must_use]
+pub fn sixteen_system() -> SystemConfig {
+    SystemConfig::sixteen_core()
+        .with_cache_mb(32)
+        .with_warmup(12_000)
+}
+
+/// The first `n` quad-core mixes.
+#[must_use]
+pub fn quad_mixes(n: usize) -> Vec<WorkloadMix> {
+    (1..=24)
+        .take(n)
+        .map(|i| WorkloadMix::quad(&format!("Q{i}")).expect("in range"))
+        .collect()
+}
+
+/// The first `n` eight-core mixes.
+#[must_use]
+pub fn eight_mixes(n: usize) -> Vec<WorkloadMix> {
+    (1..=16)
+        .take(n)
+        .map(|i| WorkloadMix::eight(&format!("E{i}")).expect("in range"))
+        .collect()
+}
+
+/// The first `n` sixteen-core mixes.
+#[must_use]
+pub fn sixteen_mixes(n: usize) -> Vec<WorkloadMix> {
+    (1..=8)
+        .take(n)
+        .map(|i| WorkloadMix::sixteen(&format!("S{i}")).expect("in range"))
+        .collect()
+}
+
+/// Runs one scheme over one mix.
+///
+/// # Panics
+///
+/// Panics if the simulation rejects the parameters (a bench bug).
+#[must_use]
+pub fn run(system: &SystemConfig, kind: SchemeKind, mix: &WorkloadMix, n: u64) -> RunReport {
+    Simulation::new(system.clone(), kind)
+        .run_mix(mix, n)
+        .expect("bench parameters are valid")
+}
+
+/// Prints the standard experiment banner.
+pub fn banner(figure: &str, claim: &str) {
+    println!("==================================================================");
+    println!("{figure}");
+    println!("paper: {claim}");
+    println!("==================================================================");
+}
+
+/// Arithmetic mean.
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Geometric mean (inputs must be positive).
+#[must_use]
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+    }
+}
+
+/// `(baseline - ours) / baseline` as a percentage (positive = improvement
+/// when lower is better).
+#[must_use]
+pub fn reduction_pct(baseline: f64, ours: f64) -> f64 {
+    if baseline == 0.0 {
+        0.0
+    } else {
+        (baseline - ours) / baseline * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means() {
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn reduction() {
+        assert!((reduction_pct(200.0, 150.0) - 25.0).abs() < 1e-12);
+        assert_eq!(reduction_pct(0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn mix_suites() {
+        assert_eq!(quad_mixes(3).len(), 3);
+        assert_eq!(eight_mixes(2)[0].cores(), 8);
+        assert_eq!(sixteen_mixes(1)[0].cores(), 16);
+    }
+}

@@ -1,0 +1,269 @@
+//! Cache-wide bi-modality adaptation (Section III-B4).
+//!
+//! The controller keeps a global target state `(X_glob, Y_glob)` shared by
+//! all sets, adjusted once per epoch (1 M DRAM cache accesses) from the
+//! measured demand for big and small blocks. `R = W * D_small / D_big` is
+//! compared against the current small:big way ratio to decide whether to
+//! trade one big way for `ratio` small ways or vice versa.
+
+use crate::geometry::{CacheGeometry, SetState};
+
+/// What the controller decided at an epoch boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MixDecision {
+    /// Grow the small-block quota by one big way's worth.
+    MoreSmall,
+    /// Grow the big-block quota.
+    MoreBig,
+    /// Keep the current state.
+    Unchanged,
+}
+
+/// The global `(X_glob, Y_glob)` controller.
+///
+/// # Example
+///
+/// ```
+/// use bimodal_core::{CacheGeometry, GlobalMixController, SetState};
+///
+/// let g = CacheGeometry::paper_default(128 << 20);
+/// let mut ctl = GlobalMixController::with_params(&g, 0.75, 10);
+/// for _ in 0..50 {
+///     ctl.record_miss(false); // heavy small-block demand
+/// }
+/// for _ in 0..10 {
+///     ctl.record_access();
+/// }
+/// assert_eq!(ctl.target(), SetState { big: 3, small: 8 });
+/// ```
+#[derive(Debug, Clone)]
+pub struct GlobalMixController {
+    states: Vec<SetState>,
+    /// Index into `states` of the current global target.
+    current: usize,
+    weight: f64,
+    epoch_accesses: u64,
+    accesses: u64,
+    demand_big: u64,
+    demand_small: u64,
+    transitions: u64,
+}
+
+impl GlobalMixController {
+    /// Creates a controller initialized to the all-big state, with the
+    /// paper's weight `W = 0.75` and 1 M-access epochs.
+    #[must_use]
+    pub fn new(geometry: &CacheGeometry) -> Self {
+        GlobalMixController::with_params(geometry, 0.75, 1_000_000)
+    }
+
+    /// Creates a controller with an explicit weight and epoch length
+    /// (exposed for the ablation benches).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch_accesses` is zero or `weight` is not positive.
+    #[must_use]
+    pub fn with_params(geometry: &CacheGeometry, weight: f64, epoch_accesses: u64) -> Self {
+        assert!(epoch_accesses > 0, "epoch length must be positive");
+        assert!(weight > 0.0, "weight must be positive");
+        let states = geometry.allowed_states();
+        GlobalMixController {
+            states,
+            current: 0, // (B, 0): all big
+            weight,
+            epoch_accesses,
+            accesses: 0,
+            demand_big: 0,
+            demand_small: 0,
+            transitions: 0,
+        }
+    }
+
+    /// The current global target state.
+    #[must_use]
+    pub fn target(&self) -> SetState {
+        self.states[self.current]
+    }
+
+    /// Records one DRAM cache access; at epoch boundaries the target state
+    /// is re-evaluated and the decision returned.
+    pub fn record_access(&mut self) -> Option<MixDecision> {
+        self.accesses += 1;
+        if self.accesses.is_multiple_of(self.epoch_accesses) {
+            Some(self.adapt())
+        } else {
+            None
+        }
+    }
+
+    /// Records a miss that was filled at the given granularity (demand).
+    pub fn record_miss(&mut self, filled_big: bool) {
+        if filled_big {
+            self.demand_big += 1;
+        } else {
+            self.demand_small += 1;
+        }
+    }
+
+    /// Applies the Section III-B4 update rules and resets demand counters.
+    fn adapt(&mut self) -> MixDecision {
+        let d_big = self.demand_big.max(1) as f64;
+        let r = self.weight * self.demand_small as f64 / d_big;
+        self.demand_big = 0;
+        self.demand_small = 0;
+
+        let SetState { big: x, small: y } = self.target();
+        let ratio = f64::from(y) / f64::from(x);
+        let step = self.small_step();
+
+        if r > ratio && self.current + 1 < self.states.len() {
+            // R exceeds the current small:big ratio: shift one way small.
+            self.current += 1;
+            self.transitions += 1;
+            MixDecision::MoreSmall
+        } else if self.current > 0 {
+            // Shift big only if R is below the ratio of the next-bigger
+            // state (the paper's rule). The extra clause handles the
+            // degenerate boundary the rule leaves open: with zero small
+            // demand the strict inequality R < 0 never fires, so the
+            // controller would be stuck off the all-big state forever.
+            let prev_ratio = f64::from(y.saturating_sub(step)) / f64::from(x + 1);
+            if r < prev_ratio || (y > 0 && r == 0.0) {
+                self.current -= 1;
+                self.transitions += 1;
+                MixDecision::MoreBig
+            } else {
+                MixDecision::Unchanged
+            }
+        } else {
+            MixDecision::Unchanged
+        }
+    }
+
+    /// Small ways gained per big way given up (8 for 512 B / 64 B blocks).
+    fn small_step(&self) -> u8 {
+        if self.states.len() < 2 {
+            return 0;
+        }
+        self.states[1].small - self.states[0].small
+    }
+
+    /// Number of target-state transitions taken so far.
+    #[must_use]
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller(epoch: u64) -> GlobalMixController {
+        let g = CacheGeometry::paper_default(128 << 20);
+        GlobalMixController::with_params(&g, 0.75, epoch)
+    }
+
+    #[test]
+    fn initial_target_is_all_big() {
+        let c = controller(100);
+        assert_eq!(c.target(), SetState { big: 4, small: 0 });
+    }
+
+    #[test]
+    fn heavy_small_demand_shifts_small() {
+        let mut c = controller(100);
+        for i in 0..100 {
+            c.record_miss(i % 10 != 0); // plenty of both, mostly big
+        }
+        // Overwhelm with small demand.
+        for _ in 0..100 {
+            c.record_miss(false);
+        }
+        let mut decision = None;
+        for _ in 0..100 {
+            if let Some(d) = c.record_access() {
+                decision = Some(d);
+            }
+        }
+        assert_eq!(decision, Some(MixDecision::MoreSmall));
+        assert_eq!(c.target(), SetState { big: 3, small: 8 });
+    }
+
+    #[test]
+    fn pure_big_demand_keeps_all_big() {
+        let mut c = controller(50);
+        for _ in 0..40 {
+            c.record_miss(true);
+        }
+        let mut decision = None;
+        for _ in 0..50 {
+            if let Some(d) = c.record_access() {
+                decision = Some(d);
+            }
+        }
+        assert_eq!(decision, Some(MixDecision::Unchanged));
+        assert_eq!(c.target(), SetState { big: 4, small: 0 });
+    }
+
+    #[test]
+    fn small_then_big_demand_round_trips() {
+        let mut c = controller(10);
+        // Epoch 1: all small demand -> MoreSmall.
+        for _ in 0..100 {
+            c.record_miss(false);
+        }
+        for _ in 0..10 {
+            c.record_access();
+        }
+        assert_eq!(c.target(), SetState { big: 3, small: 8 });
+        // Epoch 2: all big demand -> MoreBig (back to (4, 0)).
+        for _ in 0..100 {
+            c.record_miss(true);
+        }
+        for _ in 0..10 {
+            c.record_access();
+        }
+        assert_eq!(c.target(), SetState { big: 4, small: 0 });
+        assert_eq!(c.transitions(), 2);
+    }
+
+    #[test]
+    fn never_leaves_allowed_states() {
+        let mut c = controller(5);
+        let g = CacheGeometry::paper_default(128 << 20);
+        let allowed = g.allowed_states();
+        // Persistent extreme small demand can only reach the last state.
+        for round in 0..20 {
+            for _ in 0..50 {
+                c.record_miss(round % 2 == 0);
+            }
+            for _ in 0..5 {
+                c.record_access();
+            }
+            assert!(allowed.contains(&c.target()));
+        }
+    }
+
+    #[test]
+    fn saturates_at_most_small_state() {
+        let mut c = controller(5);
+        for _ in 0..10 {
+            for _ in 0..50 {
+                c.record_miss(false);
+            }
+            for _ in 0..5 {
+                c.record_access();
+            }
+        }
+        assert_eq!(c.target(), SetState { big: 2, small: 16 });
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch length")]
+    fn zero_epoch_panics() {
+        let g = CacheGeometry::paper_default(128 << 20);
+        let _ = GlobalMixController::with_params(&g, 0.75, 0);
+    }
+}

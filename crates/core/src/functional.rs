@@ -1,0 +1,325 @@
+//! A fast tag-only cache model for design-space sweeps.
+//!
+//! The paper's Section II motivation figures come from functional (untimed)
+//! simulation: miss rate versus block size (Figure 1), the distribution of
+//! sub-block utilization inside 512 B blocks (Figure 2), and the fraction
+//! of hits at each MRU stack position (Figure 5). This model provides
+//! exactly that: an LRU set-associative tag array with utilization and
+//! recency profiling, orders of magnitude faster than the timed model.
+
+/// Configuration of the functional model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FunctionalConfig {
+    /// Total capacity in bytes.
+    pub cache_bytes: u64,
+    /// Block size in bytes.
+    pub block_bytes: u32,
+    /// Set associativity.
+    pub assoc: u32,
+    /// Sub-block size for utilization tracking (64 B; must divide
+    /// `block_bytes`).
+    pub sub_block_bytes: u32,
+}
+
+impl FunctionalConfig {
+    /// A cache of `cache_bytes` with `block_bytes` blocks and the given
+    /// associativity, tracking 64 B sub-block utilization.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent parameters (non-powers of two, associativity
+    /// of zero, block smaller than sub-block, or fewer than one set).
+    #[must_use]
+    pub fn new(cache_bytes: u64, block_bytes: u32, assoc: u32) -> Self {
+        let c = FunctionalConfig {
+            cache_bytes,
+            block_bytes,
+            assoc,
+            sub_block_bytes: 64,
+        };
+        assert!(
+            cache_bytes.is_power_of_two(),
+            "capacity must be a power of two"
+        );
+        assert!(
+            block_bytes.is_power_of_two(),
+            "block size must be a power of two"
+        );
+        assert!(assoc > 0, "associativity must be positive");
+        assert!(
+            block_bytes >= c.sub_block_bytes,
+            "block smaller than sub-block"
+        );
+        assert!(c.n_sets() > 0, "cache must have at least one set");
+        c
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub fn n_sets(&self) -> u64 {
+        self.cache_bytes / u64::from(self.block_bytes) / u64::from(self.assoc)
+    }
+
+    /// Sub-blocks per block.
+    #[must_use]
+    pub fn sub_blocks(&self) -> u32 {
+        self.block_bytes / self.sub_block_bytes
+    }
+}
+
+/// Hits-by-MRU-position profile of a [`FunctionalCache`] (Figure 5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MruProfile {
+    hits_by_position: Vec<u64>,
+}
+
+impl MruProfile {
+    /// Raw hit counts: index 0 is the MRU way.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.hits_by_position
+    }
+
+    /// Fraction of all hits landing in the top `n` MRU positions.
+    #[must_use]
+    pub fn top_n_fraction(&self, n: usize) -> f64 {
+        let total: u64 = self.hits_by_position.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let top: u64 = self.hits_by_position.iter().take(n).sum();
+        top as f64 / total as f64
+    }
+}
+
+/// An LRU, set-associative, tag-only cache with utilization profiling.
+///
+/// # Example
+///
+/// ```
+/// use bimodal_core::{FunctionalCache, FunctionalConfig};
+///
+/// let mut c = FunctionalCache::new(FunctionalConfig::new(1 << 20, 512, 4));
+/// assert!(!c.access(0x1000)); // cold miss
+/// assert!(c.access(0x11C0)); // same 512 B block: hit
+/// assert_eq!(c.utilization_histogram()[2], 1); // two sub-blocks touched
+/// ```
+#[derive(Debug, Clone)]
+pub struct FunctionalCache {
+    config: FunctionalConfig,
+    /// Per set: resident tags in MRU order (front = most recent).
+    sets: Vec<Vec<u64>>,
+    /// Per set: referenced-sub-block masks, parallel to `sets`.
+    masks: Vec<Vec<u64>>,
+    hits: u64,
+    misses: u64,
+    hits_by_position: Vec<u64>,
+    /// Histogram of referenced-sub-block counts of evicted blocks
+    /// (index = number of referenced sub-blocks, 1..=sub_blocks).
+    utilization_evicted: Vec<u64>,
+}
+
+impl FunctionalCache {
+    /// Builds an empty cache.
+    #[must_use]
+    pub fn new(config: FunctionalConfig) -> Self {
+        let n = usize::try_from(config.n_sets()).expect("set count fits usize");
+        FunctionalCache {
+            sets: vec![Vec::new(); n],
+            masks: vec![Vec::new(); n],
+            hits: 0,
+            misses: 0,
+            hits_by_position: vec![0; config.assoc as usize],
+            utilization_evicted: vec![0; config.sub_blocks() as usize + 1],
+            config,
+        }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &FunctionalConfig {
+        &self.config
+    }
+
+    /// Simulates one access; returns whether it hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let block = addr / u64::from(self.config.block_bytes);
+        let n_sets = self.config.n_sets();
+        let set = usize::try_from(block % n_sets).expect("set fits usize");
+        let tag = block / n_sets;
+        let sub =
+            (addr % u64::from(self.config.block_bytes)) / u64::from(self.config.sub_block_bytes);
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|&t| t == tag) {
+            self.hits += 1;
+            self.hits_by_position[pos] += 1;
+            // Move to MRU, carrying the utilization mask along.
+            let t = ways.remove(pos);
+            ways.insert(0, t);
+            let m = self.masks[set].remove(pos);
+            self.masks[set].insert(0, m | (1 << sub));
+            true
+        } else {
+            self.misses += 1;
+            ways.insert(0, tag);
+            self.masks[set].insert(0, 1 << sub);
+            if ways.len() > self.config.assoc as usize {
+                ways.pop();
+                let evicted_mask = self.masks[set].pop().expect("masks parallel to ways");
+                let used = evicted_mask.count_ones() as usize;
+                self.utilization_evicted[used] += 1;
+            }
+            false
+        }
+    }
+
+    /// Hits so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Miss rate in `[0, 1]`.
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+
+    /// The hits-by-MRU-position profile (Figure 5).
+    #[must_use]
+    pub fn mru_profile(&self) -> MruProfile {
+        MruProfile {
+            hits_by_position: self.hits_by_position.clone(),
+        }
+    }
+
+    /// Histogram over the number of referenced sub-blocks (1..=N) of all
+    /// blocks ever filled, including blocks still resident (Figure 2).
+    #[must_use]
+    pub fn utilization_histogram(&self) -> Vec<u64> {
+        let mut h = self.utilization_evicted.clone();
+        for set_masks in &self.masks {
+            for m in set_masks {
+                h[m.count_ones() as usize] += 1;
+            }
+        }
+        h
+    }
+
+    /// Clears statistics but keeps contents.
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+        self.hits_by_position.iter_mut().for_each(|c| *c = 0);
+        self.utilization_evicted.iter_mut().for_each(|c| *c = 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(block: u32, assoc: u32) -> FunctionalCache {
+        FunctionalCache::new(FunctionalConfig::new(1 << 20, block, assoc))
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = cache(64, 8);
+        assert!(!c.access(0x1000));
+        assert!(c.access(0x1000));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        assert!((c.miss_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bigger_blocks_exploit_spatial_locality() {
+        let run = |block| {
+            let mut c = cache(block, 8);
+            // A sequential stream: bigger blocks -> fewer misses.
+            for i in 0..10_000u64 {
+                c.access(i * 64);
+            }
+            c.miss_rate()
+        };
+        assert!(run(512) < run(64));
+        assert!(run(4096) < run(512));
+    }
+
+    #[test]
+    fn lru_keeps_recently_used() {
+        let mut c = cache(64, 2);
+        let n_sets = c.config().n_sets();
+        let stride = n_sets * 64;
+        c.access(0); // A
+        c.access(stride); // B
+        c.access(0); // A again: A is MRU
+        c.access(2 * stride); // C evicts B
+        assert!(c.access(0), "A must survive");
+        assert!(!c.access(stride), "B was LRU and evicted");
+    }
+
+    #[test]
+    fn mru_profile_counts_positions() {
+        let mut c = cache(64, 4);
+        let n_sets = c.config().n_sets();
+        let stride = n_sets * 64;
+        c.access(0);
+        c.access(stride);
+        // 0 is now at position 1; hitting it counts position 1.
+        c.access(0);
+        let p = c.mru_profile();
+        assert_eq!(p.counts()[1], 1);
+        assert!((p.top_n_fraction(2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_histogram_counts_sub_blocks() {
+        let mut c = cache(512, 4);
+        // Touch 3 distinct sub-blocks of one block.
+        c.access(0x1000);
+        c.access(0x1040);
+        c.access(0x1080);
+        let h = c.utilization_histogram();
+        assert_eq!(h[3], 1);
+        assert_eq!(h.iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn utilization_of_evicted_blocks_is_recorded() {
+        let mut c = cache(512, 1);
+        let n_sets = c.config().n_sets();
+        let stride = n_sets * 512;
+        c.access(0); // 1 sub-block used
+        c.access(stride); // evicts the first
+        let h = c.utilization_histogram();
+        assert_eq!(h[1], 2, "one evicted + one resident, both with 1 sub-block");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_config_panics() {
+        let _ = FunctionalConfig::new(3 << 20, 64, 8);
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut c = cache(64, 8);
+        c.access(0x40);
+        c.reset_stats();
+        assert_eq!(c.misses(), 0);
+        assert!(c.access(0x40), "contents survive");
+    }
+}

@@ -1,0 +1,199 @@
+//! Placement of cache sets on the stacked DRAM (Section III-B, Figure 4).
+//!
+//! Each set's data occupies exactly one DRAM page. With the dedicated
+//! metadata bank enabled, one bank per channel is reserved for metadata and
+//! the remaining banks hold data; sets interleave across channels first,
+//! then data banks, then rows, spreading consecutive sets over all the
+//! bank-level parallelism the stack offers.
+
+use bimodal_dram::{DramConfig, Location};
+
+use crate::geometry::{BlockSize, CacheGeometry};
+use crate::set::WayRef;
+
+/// Maps set indices to stacked-DRAM locations and ways to page columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataLayout {
+    channels: u64,
+    data_banks_per_channel: u64,
+    set_bytes: u32,
+    big_block: u32,
+    small_block: u32,
+    /// Bank index (within each channel) reserved for metadata, if any.
+    metadata_bank: Option<u32>,
+}
+
+impl DataLayout {
+    /// Builds the layout.
+    ///
+    /// When `dedicated_metadata_bank` is set, the highest-numbered bank of
+    /// each channel is reserved for metadata and carries no set data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set does not fit the DRAM page, or if reserving the
+    /// metadata bank would leave a channel without data banks.
+    #[must_use]
+    pub fn new(geometry: &CacheGeometry, dram: &DramConfig, dedicated_metadata_bank: bool) -> Self {
+        assert!(
+            geometry.set_bytes <= dram.row_bytes,
+            "set ({} B) must fit in one DRAM page ({} B)",
+            geometry.set_bytes,
+            dram.row_bytes
+        );
+        let banks = dram.ranks_per_channel * dram.banks_per_rank;
+        let (data_banks, metadata_bank) = if dedicated_metadata_bank {
+            assert!(
+                banks >= 2,
+                "need at least two banks per channel to dedicate one to metadata"
+            );
+            (banks - 1, Some(banks - 1))
+        } else {
+            (banks, None)
+        };
+        DataLayout {
+            channels: u64::from(dram.channels),
+            data_banks_per_channel: u64::from(data_banks),
+            set_bytes: geometry.set_bytes,
+            big_block: geometry.big_block,
+            small_block: geometry.small_block,
+            metadata_bank,
+        }
+    }
+
+    /// Stacked-DRAM location (channel, bank, row) of a set's data page.
+    ///
+    /// Bank indices are flattened over ranks (rank = bank / banks_per_rank
+    /// is recovered by the caller's config; here one rank is assumed, as in
+    /// the paper's stack).
+    #[must_use]
+    pub fn set_location(&self, set: u64) -> Location {
+        let channel = set % self.channels;
+        let bank = (set / self.channels) % self.data_banks_per_channel;
+        let row = set / (self.channels * self.data_banks_per_channel);
+        Location::new(channel as u32, 0, bank as u32, row)
+    }
+
+    /// The bank reserved for metadata in `channel`, if the layout has one.
+    #[must_use]
+    pub fn metadata_bank(&self) -> Option<u32> {
+        self.metadata_bank
+    }
+
+    /// Number of data banks per channel.
+    #[must_use]
+    pub fn data_banks_per_channel(&self) -> u64 {
+        self.data_banks_per_channel
+    }
+
+    /// Byte column of a way within the set's page: big ways left-to-right
+    /// from column 0, small ways right-to-left from the page end.
+    #[must_use]
+    pub fn way_column(&self, way: WayRef) -> u32 {
+        match way.size {
+            BlockSize::Big => u32::from(way.index) * self.big_block,
+            BlockSize::Small => self.set_bytes - (u32::from(way.index) + 1) * self.small_block,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout(dedicated: bool) -> DataLayout {
+        let g = CacheGeometry::paper_default(128 << 20);
+        let d = DramConfig::stacked(2, 8);
+        DataLayout::new(&g, &d, dedicated)
+    }
+
+    #[test]
+    fn sets_interleave_channels_then_banks_then_rows() {
+        let l = layout(true);
+        assert_eq!(l.set_location(0), Location::new(0, 0, 0, 0));
+        assert_eq!(l.set_location(1), Location::new(1, 0, 0, 0));
+        assert_eq!(l.set_location(2), Location::new(0, 0, 1, 0));
+        // 2 channels x 7 data banks = 14 sets per row stripe.
+        assert_eq!(l.set_location(14), Location::new(0, 0, 0, 1));
+    }
+
+    #[test]
+    fn dedicated_layout_reserves_last_bank() {
+        let l = layout(true);
+        assert_eq!(l.metadata_bank(), Some(7));
+        assert_eq!(l.data_banks_per_channel(), 7);
+        // No set ever lands on bank 7.
+        for set in 0..1000 {
+            assert_ne!(l.set_location(set).bank, 7);
+        }
+    }
+
+    #[test]
+    fn colocated_layout_uses_all_banks() {
+        let l = layout(false);
+        assert_eq!(l.metadata_bank(), None);
+        assert_eq!(l.data_banks_per_channel(), 8);
+    }
+
+    #[test]
+    fn big_ways_count_up_from_column_zero() {
+        let l = layout(true);
+        for i in 0..4u8 {
+            assert_eq!(
+                l.way_column(WayRef {
+                    size: BlockSize::Big,
+                    index: i
+                }),
+                u32::from(i) * 512
+            );
+        }
+    }
+
+    #[test]
+    fn small_ways_count_down_from_page_end() {
+        let l = layout(true);
+        assert_eq!(
+            l.way_column(WayRef {
+                size: BlockSize::Small,
+                index: 0
+            }),
+            2048 - 64
+        );
+        assert_eq!(
+            l.way_column(WayRef {
+                size: BlockSize::Small,
+                index: 15
+            }),
+            2048 - 16 * 64
+        );
+    }
+
+    #[test]
+    fn big_and_small_ways_overlap_consistently() {
+        // Small ways [8, 16) occupy the bytes of big way 2 (the big way
+        // freed when the set moves from (3, 8) to (2, 16)).
+        let l = layout(true);
+        let big2_start = l.way_column(WayRef {
+            size: BlockSize::Big,
+            index: 2,
+        });
+        let small15 = l.way_column(WayRef {
+            size: BlockSize::Small,
+            index: 15,
+        });
+        assert_eq!(small15, big2_start);
+    }
+
+    #[test]
+    #[should_panic(expected = "must fit in one DRAM page")]
+    fn oversized_set_panics() {
+        let g = CacheGeometry {
+            cache_bytes: 128 << 20,
+            set_bytes: 4096,
+            big_block: 512,
+            small_block: 64,
+        };
+        let d = DramConfig::stacked(2, 8); // 2 KB pages
+        let _ = DataLayout::new(&g, &d, true);
+    }
+}

@@ -1,0 +1,200 @@
+//! Metadata placement on DRAM (Section III-B2, Figure 4).
+//!
+//! The Bi-Modal cache keeps all tags/state in DRAM. With the *dedicated*
+//! placement, one bank per channel holds only metadata — and it holds the
+//! metadata of the *other* channel's data banks, so a tag read and the
+//! corresponding data-row activation proceed concurrently on different
+//! channels. Packing only metadata into those pages raises their density
+//! (~27 sets of metadata per 2 KB page vs. one set per page when
+//! co-located), which is what lifts the metadata row-buffer hit rate
+//! (Figure 9b).
+
+use bimodal_dram::{DramConfig, Location};
+
+use crate::geometry::CacheGeometry;
+use crate::layout::DataLayout;
+
+/// Where metadata lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MetadataPlacement {
+    /// A dedicated bank per channel, cross-mapped to the other channel
+    /// (the Bi-Modal design).
+    DedicatedBank,
+    /// Interleaved with data in the set's own page (the ablation of
+    /// Figure 9b, and how AlloyCache/Loh-Hill organize tags).
+    CoLocated,
+}
+
+/// Computes metadata locations and sizes for a bi-modal cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetadataLayout {
+    placement: MetadataPlacement,
+    channels: u64,
+    metadata_bank: u32,
+    row_bytes: u32,
+    entry_bytes: u32,
+    sets_per_row: u32,
+    tag_read_bytes: u32,
+}
+
+impl MetadataLayout {
+    /// Builds the metadata layout for `geometry` over `dram`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `DedicatedBank` is requested but the data layout reserved
+    /// no metadata bank.
+    #[must_use]
+    pub fn new(
+        geometry: &CacheGeometry,
+        dram: &DramConfig,
+        data: &DataLayout,
+        placement: MetadataPlacement,
+    ) -> Self {
+        // Per-set metadata: 1 byte of (X, Y) state + 4 bytes per possible
+        // way (tag bits, valid/dirty/size attributes) at max associativity.
+        let entry_bytes = 1 + 4 * u32::from(geometry.max_assoc());
+        let sets_per_row = (dram.row_bytes / entry_bytes).max(1);
+        // Tags are read in 64 B bursts: 18 tags fit in two bursts
+        // (Section III-D2).
+        let tag_read_bytes = entry_bytes.div_ceil(64) * 64;
+        let metadata_bank = match placement {
+            MetadataPlacement::DedicatedBank => data
+                .metadata_bank()
+                .expect("dedicated placement requires a reserved metadata bank"),
+            MetadataPlacement::CoLocated => 0,
+        };
+        MetadataLayout {
+            placement,
+            channels: u64::from(dram.channels),
+            metadata_bank,
+            row_bytes: dram.row_bytes,
+            entry_bytes,
+            sets_per_row,
+            tag_read_bytes,
+        }
+    }
+
+    /// The placement policy.
+    #[must_use]
+    pub fn placement(&self) -> MetadataPlacement {
+        self.placement
+    }
+
+    /// Bytes of metadata per set.
+    #[must_use]
+    pub fn entry_bytes(&self) -> u32 {
+        self.entry_bytes
+    }
+
+    /// Sets whose metadata shares one metadata-bank page.
+    #[must_use]
+    pub fn sets_per_row(&self) -> u32 {
+        self.sets_per_row
+    }
+
+    /// Bytes read per tag lookup (whole bursts), worst case.
+    #[must_use]
+    pub fn tag_read_bytes(&self) -> u32 {
+        self.tag_read_bytes
+    }
+
+    /// Bytes read for a set known (from the controller's small per-set
+    /// state SRAM: 2 bits per set) to hold `ways` ways: up to 15 tags fit
+    /// one 64 B burst, more need two (Section III-D2).
+    #[must_use]
+    pub fn tag_read_bytes_for(&self, ways: u16) -> u32 {
+        let bytes = 1 + 4 * u32::from(ways);
+        bytes.div_ceil(64) * 64
+    }
+
+    /// Location of the metadata for `set`.
+    ///
+    /// With a dedicated bank, the metadata of a set whose data lives on
+    /// channel `c` is placed in the metadata bank of channel `(c + 1) %
+    /// channels`, enabling the concurrent tag + data access. When
+    /// co-located, the metadata lives in the set's own data page.
+    #[must_use]
+    pub fn metadata_location(&self, set: u64, data_loc: Location) -> Location {
+        match self.placement {
+            MetadataPlacement::DedicatedBank => {
+                let md_channel = (u64::from(data_loc.channel) + 1) % self.channels;
+                // Sets are striped over channels; this set's ordinal within
+                // its channel determines its slot in the metadata bank.
+                let ordinal = set / self.channels;
+                let row = ordinal / u64::from(self.sets_per_row);
+                Location::new(md_channel as u32, 0, self.metadata_bank, row)
+            }
+            MetadataPlacement::CoLocated => data_loc,
+        }
+    }
+
+    /// Total metadata storage for the whole cache, in bytes.
+    #[must_use]
+    pub fn total_bytes(&self, geometry: &CacheGeometry) -> u64 {
+        geometry.n_sets() * u64::from(self.entry_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(
+        placement: MetadataPlacement,
+    ) -> (CacheGeometry, DramConfig, DataLayout, MetadataLayout) {
+        let g = CacheGeometry::paper_default(128 << 20);
+        let d = DramConfig::stacked(2, 8);
+        let data = DataLayout::new(&g, &d, placement == MetadataPlacement::DedicatedBank);
+        let md = MetadataLayout::new(&g, &d, &data, placement);
+        (g, d, data, md)
+    }
+
+    #[test]
+    fn entry_is_73_bytes_and_27_sets_share_a_page() {
+        let (_, _, _, md) = setup(MetadataPlacement::DedicatedBank);
+        assert_eq!(md.entry_bytes(), 1 + 4 * 18);
+        assert_eq!(md.sets_per_row(), 2048 / 73);
+        // 18 tags need two 64 B bursts (Section III-D2).
+        assert_eq!(md.tag_read_bytes(), 128);
+    }
+
+    #[test]
+    fn dedicated_metadata_lives_on_the_other_channel() {
+        let (_, _, data, md) = setup(MetadataPlacement::DedicatedBank);
+        for set in 0..100u64 {
+            let d = data.set_location(set);
+            let m = md.metadata_location(set, d);
+            assert_ne!(m.channel, d.channel, "set {set}");
+            assert_eq!(m.bank, 7);
+        }
+    }
+
+    #[test]
+    fn colocated_metadata_is_in_the_data_page() {
+        let (_, _, data, md) = setup(MetadataPlacement::CoLocated);
+        let d = data.set_location(5);
+        assert_eq!(md.metadata_location(5, d), d);
+    }
+
+    #[test]
+    fn dedicated_rows_pack_many_sets() {
+        let (_, _, data, md) = setup(MetadataPlacement::DedicatedBank);
+        // Consecutive same-channel sets share a metadata row until
+        // sets_per_row is exceeded.
+        let first = md.metadata_location(0, data.set_location(0));
+        let later = md.metadata_location(52, data.set_location(52)); // ordinal 26
+        let after = md.metadata_location(56, data.set_location(56)); // ordinal 28
+        assert_eq!(first.row, later.row);
+        assert_ne!(first.row, after.row);
+    }
+
+    #[test]
+    fn total_metadata_is_megabytes_not_sram_scale() {
+        let (g, _, _, md) = setup(MetadataPlacement::DedicatedBank);
+        let mb = md.total_bytes(&g) as f64 / (1024.0 * 1024.0);
+        // 64 K sets x 73 B ≈ 4.6 MB: far too large for SRAM, as the paper
+        // argues.
+        assert!(mb > 4.0 && mb < 5.0, "got {mb} MB");
+    }
+}

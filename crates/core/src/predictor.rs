@@ -1,0 +1,431 @@
+//! The block size predictor and its utilization tracker (Section III-B3).
+//!
+//! The *tracker* measures real spatial utilization by watching, in a
+//! sampled subset of sets, which 64 B sub-blocks of each resident big
+//! block the CPU actually touches. When a sampled block is evicted its
+//! utilization bit-vector is compared against a threshold `T` and the
+//! verdict (big-worthy or not) trains the *predictor*: a `2^P`-entry table
+//! of 2-bit saturating counters indexed by bits of the block address.
+
+use crate::geometry::BlockSize;
+
+/// Configuration of the predictor/tracker pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PredictorConfig {
+    /// `P`: log2 of the number of 2-bit counters (paper: 16 → 16 KB).
+    pub table_bits: u32,
+    /// Utilization threshold `T` in referenced sub-blocks (paper: 5 of 8).
+    pub threshold: u32,
+    /// Offset bits below the tracked address bits (9 for 512 B blocks).
+    pub offset_bits: u32,
+    /// Track one of every `sample_interval` sets (paper: ~4%; 32 → ~3%).
+    pub sample_interval: u64,
+    /// Consecutive 512 B regions sharing one predictor counter. Must be a
+    /// multiple of `sample_interval` so every group contains sampled
+    /// regions.
+    pub group_regions: u64,
+}
+
+impl PredictorConfig {
+    /// The paper's configuration: `P = 16`, `T = 5`, ~4% set sampling.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        PredictorConfig {
+            table_bits: 16,
+            threshold: 5,
+            offset_bits: 9,
+            sample_interval: 32,
+            group_regions: 32,
+        }
+    }
+
+    /// Storage of the counter table in bytes (`2 x 2^P` bits).
+    #[must_use]
+    pub fn table_bytes(&self) -> u64 {
+        (2 * (1u64 << self.table_bits)) / 8
+    }
+}
+
+impl Default for PredictorConfig {
+    fn default() -> Self {
+        PredictorConfig::paper_default()
+    }
+}
+
+/// The block size predictor: a `2^P` table of 2-bit saturating counters
+/// plus an application-level bias.
+///
+/// The paper's predictor learns "the spatial locality at the application
+/// level" as well as per-block behaviour (Section I). The per-group
+/// counters provide the latter; the global bias counter provides the
+/// former, and answers lookups for groups the set-sampled tracker has not
+/// trained yet (crucial early in a run, when only ~3-4% of sets feed the
+/// tracker).
+/// # Example
+///
+/// ```
+/// use bimodal_core::{BlockSize, BlockSizePredictor, PredictorConfig};
+///
+/// let mut p = BlockSizePredictor::new(PredictorConfig::paper_default());
+/// assert_eq!(p.predict(0x8000), BlockSize::Big); // cold regions fetch big
+/// p.update(0x8000, false); // evicted under-used
+/// assert_eq!(p.predict(0x8000), BlockSize::Small);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BlockSizePredictor {
+    config: PredictorConfig,
+    counters: Vec<u8>,
+    trained: Vec<bool>,
+    /// Application-level spatial bias, one per 64 GB address slice (in a
+    /// multiprogrammed system each program lives in its own slice, so the
+    /// bias is effectively per application): positive leans big.
+    bias: [i32; 64],
+    predictions_big: u64,
+    predictions_small: u64,
+    updates_big: u64,
+    updates_small: u64,
+    promotions: u64,
+}
+
+impl BlockSizePredictor {
+    /// Builds a predictor with every counter saturated at "big" — the
+    /// controller initializes all blocks as big blocks (Section III-B4),
+    /// so cold regions fetch at large granularity.
+    #[must_use]
+    pub fn new(config: PredictorConfig) -> Self {
+        BlockSizePredictor {
+            counters: vec![3u8; 1 << config.table_bits],
+            trained: vec![false; 1 << config.table_bits],
+            bias: [0; 64],
+            config,
+            predictions_big: 0,
+            predictions_small: 0,
+            updates_big: 0,
+            updates_small: 0,
+            promotions: 0,
+        }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &PredictorConfig {
+        &self.config
+    }
+
+    fn index_of(&self, addr: u64) -> usize {
+        let bits = self.config.table_bits;
+        // Group consecutive regions per counter: each group contains
+        // sampled-set regions, so training from sampled sets generalizes
+        // to the group's (spatially adjacent, behaviourally similar)
+        // neighbours. Drawing the P index bits *above* the sampling stride
+        // is what makes set-sampling (Section III-B3) cover the whole
+        // cache.
+        let group_shift = 63 - self.config.group_regions.leading_zeros();
+        let group = addr >> (self.config.offset_bits + group_shift);
+        // Fold the bits above the table index back in, so programs in
+        // different address slices do not alias onto each other's counters.
+        usize::try_from((group ^ (group >> bits)) & ((1 << bits) - 1)).expect("index fits usize")
+    }
+
+    fn bias_of(&self, addr: u64) -> usize {
+        usize::try_from((addr >> 36) & 63).expect("fits usize")
+    }
+
+    /// Predicts the fill granularity for a miss to `addr`.
+    pub fn predict(&mut self, addr: u64) -> BlockSize {
+        let size = self.peek(addr);
+        if size == BlockSize::Big {
+            self.predictions_big += 1;
+        } else {
+            self.predictions_small += 1;
+        }
+        size
+    }
+
+    /// Peeks at the prediction without recording statistics: the group's
+    /// counter if the tracker has trained it, the application-level bias
+    /// otherwise.
+    #[must_use]
+    pub fn peek(&self, addr: u64) -> BlockSize {
+        let idx = self.index_of(addr);
+        let big = if self.trained[idx] {
+            self.counters[idx] >= 2
+        } else {
+            self.bias[self.bias_of(addr)] >= 0
+        };
+        if big {
+            BlockSize::Big
+        } else {
+            BlockSize::Small
+        }
+    }
+
+    /// The application-level bias for `addr`'s slice (positive leans big).
+    #[must_use]
+    pub fn bias(&self, addr: u64) -> i32 {
+        self.bias[self.bias_of(addr)]
+    }
+
+    /// Trains the predictor with an observed outcome: `was_big_worthy` is
+    /// the tracker's verdict for an evicted sampled block.
+    pub fn update(&mut self, addr: u64, was_big_worthy: bool) {
+        let idx = self.index_of(addr);
+        let b = self.bias_of(addr);
+        if !self.trained[idx] {
+            // First training of this group: start from the current
+            // application-level lean rather than the cold "strongly big".
+            self.counters[idx] = if self.bias[b] >= 0 { 2 } else { 1 };
+            self.trained[idx] = true;
+        }
+        if was_big_worthy {
+            self.updates_big += 1;
+            self.counters[idx] = (self.counters[idx] + 1).min(3);
+            self.bias[b] = (self.bias[b] + 1).min(64);
+        } else {
+            self.updates_small += 1;
+            self.counters[idx] = self.counters[idx].saturating_sub(1);
+            self.bias[b] = (self.bias[b] - 1).max(-64);
+        }
+    }
+
+    /// Trains only the application-level bias (used for evictions outside
+    /// the sampled sets: every big way carries utilization bits for
+    /// writeback bookkeeping anyway, so the aggregate verdict is cheap to
+    /// collect cache-wide even though per-group counters only learn from
+    /// the sampled sets).
+    pub fn update_bias_only(&mut self, addr: u64, was_big_worthy: bool) {
+        let b = self.bias_of(addr);
+        if was_big_worthy {
+            self.bias[b] = (self.bias[b] + 1).min(64);
+        } else {
+            self.bias[b] = (self.bias[b] - 1).max(-64);
+        }
+    }
+
+    /// Promotes `addr`'s group directly to "big" without touching the
+    /// application-level bias: used when resident small blocks of one
+    /// region reveal it is spatial after all. This is a correction to one
+    /// group, not a sampled observation about the application.
+    pub fn promote(&mut self, addr: u64) {
+        let idx = self.index_of(addr);
+        self.trained[idx] = true;
+        self.counters[idx] = 3;
+        self.promotions += 1;
+    }
+
+    /// Number of promotions performed.
+    #[must_use]
+    pub fn promotions(&self) -> u64 {
+        self.promotions
+    }
+
+    /// (big, small) prediction counts since construction.
+    #[must_use]
+    pub fn prediction_counts(&self) -> (u64, u64) {
+        (self.predictions_big, self.predictions_small)
+    }
+
+    /// (big, small) training-update counts since construction.
+    #[must_use]
+    pub fn update_counts(&self) -> (u64, u64) {
+        (self.updates_big, self.updates_small)
+    }
+}
+
+/// Set-sampling utilization tracker.
+///
+/// Decides which sets are sampled and classifies an evicted big block's
+/// utilization bit-vector against the threshold `T`. (The per-way
+/// utilization bit-vectors themselves live in the cache sets, where they
+/// are also needed for wasted-bandwidth accounting.)
+#[derive(Debug, Clone, Copy)]
+pub struct UtilizationTracker {
+    config: PredictorConfig,
+    observed: u64,
+    big_worthy: u64,
+}
+
+impl UtilizationTracker {
+    /// Creates a tracker.
+    #[must_use]
+    pub fn new(config: PredictorConfig) -> Self {
+        UtilizationTracker {
+            config,
+            observed: 0,
+            big_worthy: 0,
+        }
+    }
+
+    /// Is `set` one of the sampled sets?
+    #[must_use]
+    pub fn samples_set(&self, set: u64) -> bool {
+        set.is_multiple_of(self.config.sample_interval)
+    }
+
+    /// The current classification threshold `T`.
+    #[must_use]
+    pub fn threshold(&self) -> u32 {
+        self.config.threshold
+    }
+
+    /// Adjusts the classification threshold at run time (the paper's
+    /// footnote 9 extension).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is zero.
+    pub fn set_threshold(&mut self, t: u32) {
+        assert!(t > 0, "threshold must be positive");
+        self.config.threshold = t;
+    }
+
+    /// Classifies an eviction: does `utilization` (bit per referenced
+    /// sub-block) justify a big block?
+    #[must_use]
+    pub fn classify(&mut self, utilization: u16) -> bool {
+        self.observed += 1;
+        let worthy = utilization.count_ones() >= self.config.threshold;
+        if worthy {
+            self.big_worthy += 1;
+        }
+        worthy
+    }
+
+    /// Evictions observed and how many were big-worthy.
+    #[must_use]
+    pub fn counts(&self) -> (u64, u64) {
+        (self.observed, self.big_worthy)
+    }
+
+    /// Approximate storage overhead in bytes: one 8-bit utilization vector
+    /// per big way of each sampled set (way identity comes from the
+    /// metadata the cache already stores).
+    ///
+    /// For a 256 MB cache this is ≈16-20 KB, matching the ≈20 KB quoted in
+    /// Section III-B3.
+    #[must_use]
+    pub fn storage_bytes(&self, n_sets: u64, base_assoc: u8) -> u64 {
+        let sampled = n_sets / self.config.sample_interval;
+        sampled * u64::from(base_assoc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_predictor_says_big() {
+        let mut p = BlockSizePredictor::new(PredictorConfig::paper_default());
+        assert_eq!(p.predict(0x1234_5000), BlockSize::Big);
+    }
+
+    #[test]
+    fn sparse_evictions_flip_prediction_to_small() {
+        let mut p = BlockSizePredictor::new(PredictorConfig::paper_default());
+        let addr = 0x9_9000;
+        assert_eq!(p.peek(addr), BlockSize::Big);
+        p.update(addr, false);
+        assert_eq!(p.peek(addr), BlockSize::Small);
+    }
+
+    #[test]
+    fn big_worthy_training_keeps_big_against_negative_bias() {
+        let mut p = BlockSizePredictor::new(PredictorConfig::paper_default());
+        let dense = 0x40_0000u64;
+        let sparse = 0x80_0000u64;
+        // Strong negative application bias from sparse regions...
+        for _ in 0..10 {
+            p.update(sparse, false);
+        }
+        // ...but a region trained big-worthy still predicts big.
+        p.update(dense, true);
+        assert_eq!(p.peek(dense), BlockSize::Big);
+        assert_eq!(p.peek(sparse), BlockSize::Small);
+    }
+
+    #[test]
+    fn counter_saturates_both_directions() {
+        let mut p = BlockSizePredictor::new(PredictorConfig::paper_default());
+        let addr = 0x40;
+        for _ in 0..10 {
+            p.update(addr, false);
+        }
+        assert_eq!(p.peek(addr), BlockSize::Small);
+        for _ in 0..2 {
+            p.update(addr, true);
+        }
+        assert_eq!(p.peek(addr), BlockSize::Big);
+        for _ in 0..10 {
+            p.update(addr, true);
+        }
+        // One contrary update must not flip a saturated counter.
+        p.update(addr, false);
+        assert_eq!(p.peek(addr), BlockSize::Big);
+    }
+
+    #[test]
+    fn different_regions_use_different_counters() {
+        let mut p = BlockSizePredictor::new(PredictorConfig::paper_default());
+        // Counters group 32 consecutive 512 B regions (16 KB): these two
+        // addresses are in different groups.
+        let sparse = 0x0000_0200u64;
+        let dense = 0x0010_0000u64;
+        p.update(dense, true);
+        p.update(sparse, false);
+        p.update(sparse, false);
+        assert_eq!(p.peek(sparse), BlockSize::Small);
+        assert_eq!(p.peek(dense), BlockSize::Big);
+    }
+
+    #[test]
+    fn training_generalizes_within_a_region_group() {
+        let mut p = BlockSizePredictor::new(PredictorConfig::paper_default());
+        // Region 0 (a sampled set's region) trains; region 3 (same 16 KB
+        // group, unsampled set) benefits.
+        p.update(0x0000, false);
+        p.update(0x0000, false);
+        assert_eq!(p.peek(3 * 512), BlockSize::Small);
+    }
+
+    #[test]
+    fn prediction_and_update_counts() {
+        let mut p = BlockSizePredictor::new(PredictorConfig::paper_default());
+        p.predict(0);
+        p.update(0, false);
+        p.update(0, false);
+        p.predict(0);
+        assert_eq!(p.prediction_counts(), (1, 1));
+        assert_eq!(p.update_counts(), (0, 2));
+    }
+
+    #[test]
+    fn table_storage_matches_paper() {
+        // P = 16 -> 2 x 2^16 bits = 16 KB (Section III-B3).
+        assert_eq!(PredictorConfig::paper_default().table_bytes(), 16 << 10);
+    }
+
+    #[test]
+    fn tracker_samples_every_nth_set() {
+        let t = UtilizationTracker::new(PredictorConfig::paper_default());
+        assert!(t.samples_set(0));
+        assert!(t.samples_set(32));
+        assert!(!t.samples_set(33));
+    }
+
+    #[test]
+    fn tracker_classifies_against_threshold() {
+        let mut t = UtilizationTracker::new(PredictorConfig::paper_default());
+        assert!(t.classify(0b1111_1000)); // 5 bits: big-worthy at T=5
+        assert!(!t.classify(0b0000_1111)); // 4 bits: not
+        assert_eq!(t.counts(), (2, 1));
+    }
+
+    #[test]
+    fn tracker_storage_is_about_20kb_for_256mb_cache() {
+        let t = UtilizationTracker::new(PredictorConfig::paper_default());
+        let g = crate::geometry::CacheGeometry::paper_default(256 << 20);
+        let bytes = t.storage_bytes(g.n_sets(), g.base_assoc());
+        assert!((15_000..30_000).contains(&bytes), "got {bytes}");
+    }
+}

@@ -1,0 +1,143 @@
+//! The common interface every DRAM cache organization implements.
+
+use bimodal_dram::{Cycle, MemorySystem};
+
+use crate::stats::SchemeStats;
+
+/// Whether an access reads or writes the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A demand read (LLSC load miss).
+    Read,
+    /// A write (LLSC writeback into the DRAM cache).
+    Write,
+    /// A prefetch read issued below the LLSC; schemes may treat it
+    /// differently (e.g. bypass on miss).
+    Prefetch,
+}
+
+/// One request arriving at the DRAM cache controller.
+///
+/// Requests are at LLSC-line (64 B) granularity, as in the paper: the DRAM
+/// cache sits behind the last-level SRAM cache and sees its miss stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheAccess {
+    /// Physical byte address (any alignment; schemes align internally).
+    pub addr: u64,
+    /// Read, write or prefetch.
+    pub kind: AccessKind,
+    /// Cycle at which the request reaches the DRAM cache controller.
+    pub now: Cycle,
+}
+
+impl CacheAccess {
+    /// A demand read at `addr` arriving at cycle `now`.
+    #[must_use]
+    pub fn read(addr: u64, now: Cycle) -> Self {
+        CacheAccess {
+            addr,
+            kind: AccessKind::Read,
+            now,
+        }
+    }
+
+    /// A write at `addr` arriving at cycle `now`.
+    #[must_use]
+    pub fn write(addr: u64, now: Cycle) -> Self {
+        CacheAccess {
+            addr,
+            kind: AccessKind::Write,
+            now,
+        }
+    }
+
+    /// A prefetch at `addr` arriving at cycle `now`.
+    #[must_use]
+    pub fn prefetch(addr: u64, now: Cycle) -> Self {
+        CacheAccess {
+            addr,
+            kind: AccessKind::Prefetch,
+            now,
+        }
+    }
+
+    /// True for writes.
+    #[must_use]
+    pub fn is_write(&self) -> bool {
+        self.kind == AccessKind::Write
+    }
+}
+
+/// What happened to a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AccessOutcome {
+    /// Cycle at which the requested line is available to the LLSC.
+    pub complete: Cycle,
+    /// Whether the request hit in the DRAM cache.
+    pub hit: bool,
+    /// Bytes this request moved over the off-chip bus (fetches plus
+    /// writebacks it triggered).
+    pub offchip_bytes: u64,
+    /// Whether the line was served from / filled into a small block
+    /// (bi-modal organizations only; `false` elsewhere).
+    pub small_block: bool,
+}
+
+impl AccessOutcome {
+    /// Latency of this access given its start cycle.
+    #[must_use]
+    pub fn latency(&self, started: Cycle) -> Cycle {
+        self.complete.saturating_sub(started)
+    }
+}
+
+/// A DRAM cache organization: the object under study.
+///
+/// Implementations own all SRAM-side state (tags, predictors, way locator)
+/// and drive the stacked-DRAM and off-chip modules of the supplied
+/// [`MemorySystem`] for every timed operation.
+pub trait DramCacheScheme {
+    /// Short human-readable name (used in experiment tables).
+    fn name(&self) -> &str;
+
+    /// Services one LLSC request, advancing DRAM state, and returns when
+    /// and how it completed.
+    fn access(&mut self, access: CacheAccess, mem: &mut MemorySystem) -> AccessOutcome;
+
+    /// Aggregated statistics since the last reset.
+    fn stats(&self) -> &SchemeStats;
+
+    /// Clears statistics after a warm-up phase; cache contents and DRAM
+    /// timing state are preserved.
+    fn reset_stats(&mut self);
+
+    /// Folds end-of-run information into the statistics (e.g. wasted-fetch
+    /// bytes of blocks still resident). Call once, after the last access.
+    fn finalize(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kind() {
+        assert_eq!(CacheAccess::read(0, 0).kind, AccessKind::Read);
+        assert_eq!(CacheAccess::write(0, 0).kind, AccessKind::Write);
+        assert_eq!(CacheAccess::prefetch(0, 0).kind, AccessKind::Prefetch);
+        assert!(CacheAccess::write(0, 0).is_write());
+        assert!(!CacheAccess::prefetch(0, 0).is_write());
+    }
+
+    #[test]
+    fn outcome_latency_saturates() {
+        let o = AccessOutcome {
+            complete: 10,
+            hit: true,
+            offchip_bytes: 0,
+            small_block: false,
+        };
+        assert_eq!(o.latency(4), 6);
+        assert_eq!(o.latency(20), 0);
+    }
+}

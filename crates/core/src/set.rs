@@ -1,0 +1,663 @@
+//! A single bi-modal cache set and the Table II replacement rules.
+//!
+//! Each set holds `X` big ways and `Y` small ways, `(X, Y)` being one of
+//! the geometry's allowed states. Big ways are numbered left-to-right from
+//! column 0 of the DRAM page; small ways right-to-left from the page end,
+//! so big way `x` occupies the same bytes as small ways
+//! `[(B-1-x)*r, (B-x)*r)` (with `B` the all-big associativity and `r` the
+//! size ratio). State changes therefore always evict the highest-numbered
+//! ways of the shrinking kind.
+
+use crate::geometry::{BlockSize, CacheGeometry, SetState};
+
+/// A reference to a way within a set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WayRef {
+    /// Big or small way.
+    pub size: BlockSize,
+    /// Way number within its kind.
+    pub index: u8,
+}
+
+/// A resident big block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BigWay {
+    tag: u64,
+    /// Bit per 64 B sub-block the CPU touched.
+    referenced: u16,
+    /// Bit per dirty 64 B sub-block.
+    dirty: u16,
+}
+
+/// A resident small block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SmallWay {
+    tag: u64,
+    /// Which sub-block of the big-block-aligned region this is.
+    sub_block: u8,
+    dirty: bool,
+}
+
+/// An evicted block, reported so the controller can write back dirty data,
+/// invalidate the way locator, train the predictor and account waste.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Victim {
+    /// Granularity of the evicted block.
+    pub size: BlockSize,
+    /// Its tag.
+    pub tag: u64,
+    /// Sub-block index (meaningful for small blocks; 0 for big).
+    pub sub_block: u8,
+    /// Dirty mask: bit per sub-block for big blocks, bit 0 for small.
+    pub dirty_mask: u16,
+    /// Referenced mask: bit per sub-block for big, bit 0 for small.
+    pub referenced_mask: u16,
+}
+
+impl Victim {
+    /// Number of dirty 64 B sub-blocks to write back.
+    #[must_use]
+    pub fn dirty_sub_blocks(&self) -> u32 {
+        self.dirty_mask.count_ones()
+    }
+
+    /// Number of fetched-but-never-referenced sub-blocks (for big blocks;
+    /// small blocks are always referenced).
+    #[must_use]
+    pub fn unreferenced_sub_blocks(&self, sub_blocks: u32) -> u32 {
+        match self.size {
+            BlockSize::Big => sub_blocks - self.referenced_mask.count_ones().min(sub_blocks),
+            BlockSize::Small => 0,
+        }
+    }
+}
+
+/// Result of inserting a block into a set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InsertOutcome {
+    /// The way the new block landed in.
+    pub way: WayRef,
+    /// Blocks displaced by the insertion (including state-change victims
+    /// and small blocks absorbed into a covering big block).
+    pub evicted: Vec<Victim>,
+    /// Sub-blocks whose small blocks were absorbed into the incoming big
+    /// block (bit per sub-block).
+    pub absorbed_mask: u16,
+    /// Small blocks whose dirty data was merged into the incoming big
+    /// block rather than written back.
+    pub absorbed_dirty: u16,
+    /// Whether the set changed `(X, Y)` state.
+    pub state_changed: bool,
+}
+
+/// One bi-modal set.
+#[derive(Debug, Clone)]
+pub struct BiModalSet {
+    state: SetState,
+    base_assoc: u8,
+    ratio: u8,
+    big: Vec<Option<BigWay>>,
+    small: Vec<Option<SmallWay>>,
+}
+
+impl BiModalSet {
+    /// Creates an all-big, empty set for the given geometry.
+    #[must_use]
+    pub fn new(geometry: &CacheGeometry) -> Self {
+        let b = geometry.base_assoc();
+        let ratio = u8::try_from(geometry.sub_blocks()).expect("ratio fits u8");
+        // The most-small allowed state is (B/2, (B - B/2) * ratio).
+        let max_small = usize::from(b - b / 2) * usize::from(ratio);
+        BiModalSet {
+            state: SetState { big: b, small: 0 },
+            base_assoc: b,
+            ratio,
+            big: vec![None; usize::from(b)],
+            small: vec![None; max_small],
+        }
+    }
+
+    /// Current `(X, Y)` state.
+    #[must_use]
+    pub fn state(&self) -> SetState {
+        self.state
+    }
+
+    /// Finds the resident block servicing `(tag, sub_block)`, if any.
+    #[must_use]
+    pub fn lookup(&self, tag: u64, sub_block: u8) -> Option<WayRef> {
+        for (i, w) in self
+            .big
+            .iter()
+            .take(usize::from(self.state.big))
+            .enumerate()
+        {
+            if w.as_ref().is_some_and(|b| b.tag == tag) {
+                return Some(WayRef {
+                    size: BlockSize::Big,
+                    index: i as u8,
+                });
+            }
+        }
+        for (i, w) in self
+            .small
+            .iter()
+            .take(usize::from(self.state.small))
+            .enumerate()
+        {
+            if w.as_ref()
+                .is_some_and(|s| s.tag == tag && s.sub_block == sub_block)
+            {
+                return Some(WayRef {
+                    size: BlockSize::Small,
+                    index: i as u8,
+                });
+            }
+        }
+        None
+    }
+
+    /// Marks a resident block referenced (and optionally dirty) at
+    /// `sub_block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way` does not refer to an occupied way (a locator hit
+    /// that bypassed `lookup` must still reference a real block).
+    pub fn touch(&mut self, way: WayRef, sub_block: u8, write: bool) {
+        match way.size {
+            BlockSize::Big => {
+                let b = self.big[usize::from(way.index)]
+                    .as_mut()
+                    .expect("touch of an empty big way");
+                b.referenced |= 1u16 << sub_block;
+                if write {
+                    b.dirty |= 1u16 << sub_block;
+                }
+            }
+            BlockSize::Small => {
+                let s = self.small[usize::from(way.index)]
+                    .as_mut()
+                    .expect("touch of an empty small way");
+                if write {
+                    s.dirty = true;
+                }
+            }
+        }
+    }
+
+    /// Tag stored in `way`, with its sub-block for small ways.
+    #[must_use]
+    pub fn way_tag(&self, way: WayRef) -> Option<(u64, u8)> {
+        match way.size {
+            BlockSize::Big => self.big[usize::from(way.index)].map(|b| (b.tag, 0)),
+            BlockSize::Small => self.small[usize::from(way.index)].map(|s| (s.tag, s.sub_block)),
+        }
+    }
+
+    /// Inserts a block of granularity `size` with the Table II rules.
+    ///
+    /// `global` is the cache-wide target state; `pick` chooses a victim
+    /// index among `n` same-kind candidate ways (the controller implements
+    /// random-not-recent there). Empty ways are used before any eviction.
+    pub fn insert(
+        &mut self,
+        size: BlockSize,
+        tag: u64,
+        sub_block: u8,
+        global: SetState,
+        pick: &mut dyn FnMut(u8) -> u8,
+    ) -> InsertOutcome {
+        match size {
+            BlockSize::Big => self.insert_big(tag, global, pick),
+            BlockSize::Small => self.insert_small(tag, sub_block, global, pick),
+        }
+    }
+
+    fn insert_big(
+        &mut self,
+        tag: u64,
+        global: SetState,
+        pick: &mut dyn FnMut(u8) -> u8,
+    ) -> InsertOutcome {
+        let mut evicted = Vec::new();
+        let mut absorbed_dirty = 0u16;
+        let mut referenced = 0u16;
+        // Absorb any resident small blocks of the same region: their data
+        // is newer than memory, so merge their dirty state instead of
+        // refetching it.
+        for slot in self.small.iter_mut().take(usize::from(self.state.small)) {
+            if let Some(s) = *slot {
+                if s.tag == tag {
+                    referenced |= 1u16 << s.sub_block;
+                    if s.dirty {
+                        absorbed_dirty |= 1u16 << s.sub_block;
+                    }
+                    *slot = None;
+                }
+            }
+        }
+
+        let mut state_changed = false;
+        let way_index = if self.state.big < global.big && self.state.big < self.base_assoc {
+            // Table II, row "X_s < X_glob / predicted big": evict the
+            // highest-numbered small ways and grow the big quota.
+            let new_small = self.state.small - self.ratio;
+            for j in (usize::from(new_small)..usize::from(self.state.small)).rev() {
+                if let Some(s) = self.small[j].take() {
+                    evicted.push(Victim {
+                        size: BlockSize::Small,
+                        tag: s.tag,
+                        sub_block: s.sub_block,
+                        dirty_mask: u16::from(s.dirty),
+                        referenced_mask: 1,
+                    });
+                }
+            }
+            let idx = self.state.big;
+            self.state = SetState {
+                big: self.state.big + 1,
+                small: new_small,
+            };
+            state_changed = true;
+            idx
+        } else {
+            // Replace (or fill) a big way.
+            let limit = usize::from(self.state.big);
+            match self.big.iter().take(limit).position(Option::is_none) {
+                Some(empty) => empty as u8,
+                None => {
+                    let victim_idx = pick(self.state.big);
+                    assert!(victim_idx < self.state.big, "picked big way out of range");
+                    let old = self.big[usize::from(victim_idx)]
+                        .take()
+                        .expect("occupied big way");
+                    evicted.push(Victim {
+                        size: BlockSize::Big,
+                        tag: old.tag,
+                        sub_block: 0,
+                        dirty_mask: old.dirty,
+                        referenced_mask: old.referenced,
+                    });
+                    victim_idx
+                }
+            }
+        };
+        self.big[usize::from(way_index)] = Some(BigWay {
+            tag,
+            referenced,
+            dirty: absorbed_dirty,
+        });
+        InsertOutcome {
+            way: WayRef {
+                size: BlockSize::Big,
+                index: way_index,
+            },
+            evicted,
+            absorbed_mask: referenced,
+            absorbed_dirty,
+            state_changed,
+        }
+    }
+
+    fn insert_small(
+        &mut self,
+        tag: u64,
+        sub_block: u8,
+        global: SetState,
+        pick: &mut dyn FnMut(u8) -> u8,
+    ) -> InsertOutcome {
+        debug_assert!(
+            !self
+                .big
+                .iter()
+                .take(usize::from(self.state.big))
+                .any(|w| w.as_ref().is_some_and(|b| b.tag == tag)),
+            "inserting a small block shadowed by a resident big block"
+        );
+        let mut evicted = Vec::new();
+        let mut state_changed = false;
+
+        if self.state.big > global.big && self.state.big > self.base_assoc / 2 {
+            // Table II, row "X_s > X_glob / predicted small": evict the
+            // highest-numbered big way, converting its space to small ways.
+            let big_idx = usize::from(self.state.big) - 1;
+            if let Some(old) = self.big[big_idx].take() {
+                evicted.push(Victim {
+                    size: BlockSize::Big,
+                    tag: old.tag,
+                    sub_block: 0,
+                    dirty_mask: old.dirty,
+                    referenced_mask: old.referenced,
+                });
+            }
+            self.state = SetState {
+                big: self.state.big - 1,
+                small: self.state.small + self.ratio,
+            };
+            state_changed = true;
+        }
+
+        if self.state.small == 0 {
+            // Neither the set nor the global target has small ways: fall
+            // back to a big fill so the request can still be cached. (The
+            // paper's Table II implicitly assumes Y > 0 when a small block
+            // is predicted; all-big is the (4, 0) degenerate case.)
+            let mut out = self.insert_big(tag, global, pick);
+            out.evicted.extend(evicted);
+            out.state_changed |= state_changed;
+            return out;
+        }
+
+        let limit = usize::from(self.state.small);
+        let way_index = match self.small.iter().take(limit).position(Option::is_none) {
+            Some(empty) => empty as u8,
+            None => {
+                let victim_idx = pick(self.state.small);
+                assert!(
+                    victim_idx < self.state.small,
+                    "picked small way out of range"
+                );
+                let old = self.small[usize::from(victim_idx)]
+                    .take()
+                    .expect("occupied small way");
+                evicted.push(Victim {
+                    size: BlockSize::Small,
+                    tag: old.tag,
+                    sub_block: old.sub_block,
+                    dirty_mask: u16::from(old.dirty),
+                    referenced_mask: 1,
+                });
+                victim_idx
+            }
+        };
+        self.small[usize::from(way_index)] = Some(SmallWay {
+            tag,
+            sub_block,
+            dirty: false,
+        });
+        InsertOutcome {
+            way: WayRef {
+                size: BlockSize::Small,
+                index: way_index,
+            },
+            evicted,
+            absorbed_mask: 0,
+            absorbed_dirty: 0,
+            state_changed,
+        }
+    }
+
+    /// All resident blocks, as victims, *without* removing them — used at
+    /// the end of a run to account leftover unreferenced fetch bytes.
+    #[must_use]
+    pub fn residents(&self) -> Vec<Victim> {
+        let mut v = Vec::new();
+        for w in self.big.iter().take(usize::from(self.state.big)).flatten() {
+            v.push(Victim {
+                size: BlockSize::Big,
+                tag: w.tag,
+                sub_block: 0,
+                dirty_mask: w.dirty,
+                referenced_mask: w.referenced,
+            });
+        }
+        for s in self
+            .small
+            .iter()
+            .take(usize::from(self.state.small))
+            .flatten()
+        {
+            v.push(Victim {
+                size: BlockSize::Small,
+                tag: s.tag,
+                sub_block: s.sub_block,
+                dirty_mask: u16::from(s.dirty),
+                referenced_mask: 1,
+            });
+        }
+        v
+    }
+
+    /// Number of occupied ways (big + small).
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.big
+            .iter()
+            .take(usize::from(self.state.big))
+            .flatten()
+            .count()
+            + self
+                .small
+                .iter()
+                .take(usize::from(self.state.small))
+                .flatten()
+                .count()
+    }
+
+    /// Number of resident small blocks belonging to the region `tag`
+    /// (used to detect sparse-filled regions that turn out spatial).
+    #[must_use]
+    pub fn small_sibling_count(&self, tag: u64) -> u32 {
+        self.small
+            .iter()
+            .take(usize::from(self.state.small))
+            .flatten()
+            .filter(|s| s.tag == tag)
+            .count() as u32
+    }
+
+    /// Referenced-mask of the big way holding `tag`, if resident.
+    #[must_use]
+    pub fn big_utilization(&self, tag: u64) -> Option<u16> {
+        self.big
+            .iter()
+            .take(usize::from(self.state.big))
+            .flatten()
+            .find(|b| b.tag == tag)
+            .map(|b| b.referenced)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geometry() -> CacheGeometry {
+        CacheGeometry::paper_default(1 << 20)
+    }
+
+    fn all_big() -> SetState {
+        SetState { big: 4, small: 0 }
+    }
+
+    fn mixed() -> SetState {
+        SetState { big: 3, small: 8 }
+    }
+
+    fn first_pick() -> Box<dyn FnMut(u8) -> u8> {
+        Box::new(|_| 0)
+    }
+
+    #[test]
+    fn fresh_set_is_all_big_and_empty() {
+        let s = BiModalSet::new(&geometry());
+        assert_eq!(s.state(), all_big());
+        assert_eq!(s.occupancy(), 0);
+    }
+
+    #[test]
+    fn insert_and_lookup_big() {
+        let mut s = BiModalSet::new(&geometry());
+        let out = s.insert(BlockSize::Big, 42, 0, all_big(), &mut *first_pick());
+        assert!(out.evicted.is_empty());
+        assert_eq!(out.way.size, BlockSize::Big);
+        // Any sub-block of the big block hits.
+        assert!(s.lookup(42, 0).is_some());
+        assert!(s.lookup(42, 7).is_some());
+        assert!(s.lookup(43, 0).is_none());
+    }
+
+    #[test]
+    fn fills_use_empty_ways_before_evicting() {
+        let mut s = BiModalSet::new(&geometry());
+        for t in 0..4 {
+            let out = s.insert(BlockSize::Big, t, 0, all_big(), &mut *first_pick());
+            assert!(out.evicted.is_empty(), "way {t} should be a cold fill");
+        }
+        let out = s.insert(BlockSize::Big, 99, 0, all_big(), &mut *first_pick());
+        assert_eq!(out.evicted.len(), 1);
+    }
+
+    #[test]
+    fn table_ii_same_state_replaces_same_kind() {
+        let mut s = BiModalSet::new(&geometry());
+        for t in 0..4 {
+            s.insert(BlockSize::Big, t, 0, all_big(), &mut *first_pick());
+        }
+        let out = s.insert(BlockSize::Big, 50, 0, all_big(), &mut *first_pick());
+        assert_eq!(out.evicted[0].size, BlockSize::Big);
+        assert!(!out.state_changed);
+        assert_eq!(s.state(), all_big());
+    }
+
+    #[test]
+    fn table_ii_small_predicted_with_bigger_set_state_converts_a_big_way() {
+        let mut s = BiModalSet::new(&geometry());
+        for t in 0..4 {
+            s.insert(BlockSize::Big, t, 0, all_big(), &mut *first_pick());
+        }
+        // Global wants (3, 8); predicted small: evict the highest big way.
+        let out = s.insert(BlockSize::Small, 100, 3, mixed(), &mut *first_pick());
+        assert!(out.state_changed);
+        assert_eq!(s.state(), mixed());
+        assert_eq!(out.way.size, BlockSize::Small);
+        let big_victims: Vec<_> = out
+            .evicted
+            .iter()
+            .filter(|v| v.size == BlockSize::Big)
+            .collect();
+        assert_eq!(big_victims.len(), 1);
+        assert_eq!(big_victims[0].tag, 3, "highest-numbered big way is evicted");
+        assert!(s.lookup(100, 3).is_some());
+    }
+
+    #[test]
+    fn table_ii_big_predicted_with_smaller_set_state_reclaims_small_ways() {
+        let mut s = BiModalSet::new(&geometry());
+        // Drive the set to (3, 8) and fill the small ways.
+        s.insert(BlockSize::Small, 100, 0, mixed(), &mut *first_pick());
+        for k in 0..8u64 {
+            s.insert(BlockSize::Small, 200 + k, 1, mixed(), &mut *first_pick());
+        }
+        assert_eq!(s.state(), mixed());
+        // Global back at (4, 0); predicted big: all 8 small ways go.
+        let out = s.insert(BlockSize::Big, 300, 0, all_big(), &mut *first_pick());
+        assert!(out.state_changed);
+        assert_eq!(s.state(), all_big());
+        let small_victims = out
+            .evicted
+            .iter()
+            .filter(|v| v.size == BlockSize::Small)
+            .count();
+        assert_eq!(small_victims, 8);
+    }
+
+    #[test]
+    fn big_insert_absorbs_matching_dirty_small_blocks() {
+        let mut s = BiModalSet::new(&geometry());
+        let out = s.insert(BlockSize::Small, 7, 2, mixed(), &mut *first_pick());
+        s.touch(out.way, 2, true); // dirty small block of region 7
+        let out = s.insert(BlockSize::Big, 7, 0, mixed(), &mut *first_pick());
+        assert_eq!(out.absorbed_dirty, 1 << 2);
+        // The small block is gone but not listed as an (off-chip) victim.
+        assert!(out.evicted.iter().all(|v| v.tag != 7));
+        // And the big block now covers its sub-block with dirty data.
+        let way = s.lookup(7, 2).expect("big block resident");
+        assert_eq!(way.size, BlockSize::Big);
+    }
+
+    #[test]
+    fn small_predicted_all_big_global_falls_back_to_big_fill() {
+        let mut s = BiModalSet::new(&geometry());
+        let out = s.insert(BlockSize::Small, 11, 5, all_big(), &mut *first_pick());
+        assert_eq!(
+            out.way.size,
+            BlockSize::Big,
+            "degenerate (4,0) case fills big"
+        );
+        assert!(s.lookup(11, 5).is_some());
+    }
+
+    #[test]
+    fn touch_sets_referenced_and_dirty_masks() {
+        let mut s = BiModalSet::new(&geometry());
+        let out = s.insert(BlockSize::Big, 9, 0, all_big(), &mut *first_pick());
+        s.touch(out.way, 1, false);
+        s.touch(out.way, 6, true);
+        assert_eq!(s.big_utilization(9), Some((1 << 1) | (1 << 6)));
+        let residents = s.residents();
+        assert_eq!(residents[0].dirty_mask, 1 << 6);
+    }
+
+    #[test]
+    fn victim_accounting_helpers() {
+        let v = Victim {
+            size: BlockSize::Big,
+            tag: 0,
+            sub_block: 0,
+            dirty_mask: 0b101,
+            referenced_mask: 0b111,
+        };
+        assert_eq!(v.dirty_sub_blocks(), 2);
+        assert_eq!(v.unreferenced_sub_blocks(8), 5);
+        let small = Victim {
+            size: BlockSize::Small,
+            tag: 0,
+            sub_block: 3,
+            dirty_mask: 1,
+            referenced_mask: 1,
+        };
+        assert_eq!(small.unreferenced_sub_blocks(8), 0);
+    }
+
+    #[test]
+    fn state_changes_round_trip_preserving_residents() {
+        let mut s = BiModalSet::new(&geometry());
+        for t in 0..4 {
+            s.insert(BlockSize::Big, t, 0, all_big(), &mut *first_pick());
+        }
+        // Convert to (3, 8): big tag 3 leaves, tags 0-2 stay.
+        s.insert(BlockSize::Small, 100, 0, mixed(), &mut *first_pick());
+        for t in 0..3 {
+            assert!(s.lookup(t, 0).is_some(), "big tag {t} must survive");
+        }
+        assert!(s.lookup(3, 0).is_none());
+        // Convert back to (4, 0): small ways leave, bigs stay.
+        s.insert(BlockSize::Big, 5, 0, all_big(), &mut *first_pick());
+        for t in 0..3 {
+            assert!(s.lookup(t, 0).is_some());
+        }
+        assert!(s.lookup(5, 0).is_some());
+        assert!(s.lookup(100, 0).is_none());
+    }
+
+    #[test]
+    fn occupancy_counts_both_kinds() {
+        let mut s = BiModalSet::new(&geometry());
+        s.insert(BlockSize::Big, 1, 0, mixed(), &mut *first_pick());
+        s.insert(BlockSize::Small, 2, 0, mixed(), &mut *first_pick());
+        assert_eq!(s.occupancy(), 2);
+    }
+
+    #[test]
+    fn pick_chooses_the_victim() {
+        let mut s = BiModalSet::new(&geometry());
+        for t in 0..4 {
+            s.insert(BlockSize::Big, t, 0, all_big(), &mut *first_pick());
+        }
+        let mut pick_last: Box<dyn FnMut(u8) -> u8> = Box::new(|n| n - 1);
+        let out = s.insert(BlockSize::Big, 50, 0, all_big(), &mut *pick_last);
+        assert_eq!(out.evicted[0].tag, 3);
+    }
+}

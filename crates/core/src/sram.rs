@@ -1,0 +1,92 @@
+//! CACTI-like SRAM access-latency model.
+//!
+//! The paper sizes its SRAM structures with CACTI at 22 nm (Table III and
+//! Section III-C2): way-locator-sized tables (up to ~100 KB) take 1 cycle,
+//! ~300 KB tables take 2 cycles, and the multi-megabyte tag stores of a
+//! tags-in-SRAM organization take 6/7/9 cycles at 1/2/4 MB. This module
+//! encodes that published curve as a piecewise table with geometric
+//! interpolation beyond it.
+
+use bimodal_dram::Cycle;
+
+/// Published (capacity, cycles) points from the paper's CACTI runs.
+const POINTS: &[(u64, Cycle)] = &[
+    (128 << 10, 1), // way locator sizes, Table III
+    (512 << 10, 2), // K=16 way locator (~300 KB): 2 cycles
+    (1 << 20, 6),   // 1 MB tag store: 6 cycles (Section III-C2)
+    (2 << 20, 7),   // 2 MB: 7 cycles
+    (4 << 20, 9),   // 4 MB: 9 cycles
+];
+
+/// Access-latency model for on-chip SRAM structures at a 3.2 GHz clock.
+/// # Example
+///
+/// ```
+/// use bimodal_core::SramModel;
+///
+/// let m = SramModel::new();
+/// assert_eq!(m.access_cycles(80 << 10), 1);  // a way-locator-sized table
+/// assert_eq!(m.access_cycles(2 << 20), 7);   // a 2 MB tag store
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SramModel;
+
+impl SramModel {
+    /// Creates the model.
+    #[must_use]
+    pub fn new() -> Self {
+        SramModel
+    }
+
+    /// Access latency in CPU cycles for a structure of `bytes` capacity.
+    ///
+    /// Monotonic in capacity; matches the paper's published points and
+    /// adds two cycles per doubling beyond 4 MB.
+    #[must_use]
+    pub fn access_cycles(&self, bytes: u64) -> Cycle {
+        for &(cap, cyc) in POINTS {
+            if bytes <= cap {
+                return cyc;
+            }
+        }
+        let (mut cap, mut cyc) = *POINTS.last().expect("table is non-empty");
+        while bytes > cap {
+            cap *= 2;
+            cyc += 2;
+        }
+        cyc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_published_points() {
+        let m = SramModel::new();
+        assert_eq!(m.access_cycles(77_800), 1); // K=14 way locator
+        assert_eq!(m.access_cycles(294_900), 2); // K=16 way locator
+        assert_eq!(m.access_cycles(1 << 20), 6);
+        assert_eq!(m.access_cycles(2 << 20), 7);
+        assert_eq!(m.access_cycles(4 << 20), 9);
+    }
+
+    #[test]
+    fn monotonic_in_capacity() {
+        let m = SramModel::new();
+        let mut last = 0;
+        for shift in 10..26 {
+            let c = m.access_cycles(1 << shift);
+            assert!(c >= last, "latency decreased at 2^{shift}");
+            last = c;
+        }
+    }
+
+    #[test]
+    fn extrapolates_beyond_4mb() {
+        let m = SramModel::new();
+        assert_eq!(m.access_cycles(8 << 20), 11);
+        assert_eq!(m.access_cycles(16 << 20), 13);
+    }
+}

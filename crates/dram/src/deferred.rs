@@ -1,0 +1,115 @@
+//! Time-ordered deferral of background DRAM operations.
+//!
+//! Cache fills, metadata updates and dirty writebacks happen *after* the
+//! demand access that triggered them (e.g. when the off-chip fetch
+//! returns). The transaction-level resource model requires operations to
+//! arrive in nondecreasing time order — issuing a future-dated fill
+//! immediately would reserve banks and buses ahead of demand accesses
+//! that actually come first. Schemes therefore `defer` background
+//! operations and `drain` them at the start of each access, once
+//! simulation time has caught up.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::request::Location;
+use crate::timing::Cycle;
+
+/// A background DRAM operation to execute later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DeferredOp {
+    /// Write `bytes` into the stacked cache at `loc` (a fill or metadata
+    /// update); uses the open row if it still is.
+    CacheWrite {
+        /// Target bank/row.
+        loc: Location,
+        /// Bytes written.
+        bytes: u32,
+    },
+    /// Write `bytes` to main memory at `addr` (a dirty writeback).
+    MainWrite {
+        /// Physical byte address.
+        addr: u64,
+        /// Bytes written.
+        bytes: u32,
+    },
+}
+
+/// Min-heap of deferred operations ordered by execution time.
+#[derive(Debug, Default)]
+pub struct DeferredQueue {
+    heap: BinaryHeap<Reverse<(Cycle, u64, DeferredOp)>>,
+    seq: u64,
+}
+
+impl DeferredQueue {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        DeferredQueue::default()
+    }
+
+    /// Schedules `op` for execution at cycle `at`.
+    pub fn push(&mut self, at: Cycle, op: DeferredOp) {
+        self.heap.push(Reverse((at, self.seq, op)));
+        self.seq += 1;
+    }
+
+    /// Pops the next operation due at or before `now`.
+    pub fn pop_due(&mut self, now: Cycle) -> Option<(Cycle, DeferredOp)> {
+        if self
+            .heap
+            .peek()
+            .is_some_and(|Reverse((at, _, _))| *at <= now)
+        {
+            self.heap.pop().map(|Reverse((at, _, op))| (at, op))
+        } else {
+            None
+        }
+    }
+
+    /// Number of operations still queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order_and_only_when_due() {
+        let mut q = DeferredQueue::new();
+        let loc = Location::new(0, 0, 0, 0);
+        q.push(200, DeferredOp::CacheWrite { loc, bytes: 64 });
+        q.push(100, DeferredOp::MainWrite { addr: 0, bytes: 64 });
+        assert_eq!(q.len(), 2);
+        assert!(q.pop_due(50).is_none());
+        let (at, op) = q.pop_due(150).expect("due");
+        assert_eq!(at, 100);
+        assert!(matches!(op, DeferredOp::MainWrite { .. }));
+        assert!(q.pop_due(150).is_none());
+        assert!(q.pop_due(300).is_some());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn fifo_within_same_cycle() {
+        let mut q = DeferredQueue::new();
+        let loc = Location::new(0, 0, 0, 0);
+        q.push(10, DeferredOp::CacheWrite { loc, bytes: 1 });
+        q.push(10, DeferredOp::CacheWrite { loc, bytes: 2 });
+        let (_, a) = q.pop_due(10).expect("due");
+        let (_, b) = q.pop_due(10).expect("due");
+        assert_eq!(a, DeferredOp::CacheWrite { loc, bytes: 1 });
+        assert_eq!(b, DeferredOp::CacheWrite { loc, bytes: 2 });
+    }
+}

@@ -1,0 +1,159 @@
+//! The two-level memory system handed to DRAM cache organizations.
+
+use crate::config::DramConfig;
+use crate::controller::DramModule;
+use crate::deferred::{DeferredOp, DeferredQueue};
+use crate::mainmem::MainMemory;
+use crate::request::Op;
+use crate::timing::Cycle;
+
+/// The memory substrate a DRAM cache organization operates on: the stacked
+/// DRAM holding cache data/metadata, and the off-chip main memory behind
+/// it.
+///
+/// Cache organizations place their sets on the stacked module explicitly
+/// (they own the layout), and fetch / write back blocks from main memory by
+/// physical address.
+#[derive(Debug)]
+pub struct MemorySystem {
+    /// The stacked DRAM the cache lives in.
+    pub cache_dram: DramModule,
+    /// Off-chip main memory.
+    pub main: MainMemory,
+    deferred: DeferredQueue,
+}
+
+impl MemorySystem {
+    /// Builds a memory system from the two configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either configuration is invalid.
+    #[must_use]
+    pub fn new(stacked: DramConfig, offchip: DramConfig) -> Self {
+        MemorySystem {
+            cache_dram: DramModule::new(stacked),
+            main: MainMemory::new(offchip),
+            deferred: DeferredQueue::new(),
+        }
+    }
+
+    /// Schedules a background operation (fill, metadata update, dirty
+    /// writeback) for cycle `at`.
+    ///
+    /// The transaction-level resource model requires nondecreasing arrival
+    /// times; background work triggered at an access's completion must be
+    /// deferred and drained once simulation time catches up — see
+    /// [`MemorySystem::drain_deferred`].
+    pub fn defer(&mut self, at: Cycle, op: DeferredOp) {
+        self.deferred.push(at, op);
+    }
+
+    /// Executes every deferred operation due at or before `now`. Call at
+    /// the start of each demand access.
+    pub fn drain_deferred(&mut self, now: Cycle) {
+        while let Some((at, op)) = self.deferred.pop_due(now) {
+            match op {
+                DeferredOp::CacheWrite { loc, bytes } => {
+                    self.cache_dram.column_access(loc, bytes, Op::Write, at);
+                }
+                DeferredOp::MainWrite { addr, bytes } => {
+                    self.main.write(addr, bytes, at);
+                }
+            }
+        }
+    }
+
+    /// Number of deferred operations not yet executed.
+    #[must_use]
+    pub fn deferred_pending(&self) -> usize {
+        self.deferred.len()
+    }
+
+    /// The paper's quad-core memory system: 2 stacked channels with
+    /// 8 banks each; 1 off-chip channel with 2 ranks (16 banks).
+    #[must_use]
+    pub fn quad_core() -> Self {
+        MemorySystem::new(DramConfig::stacked(2, 8), DramConfig::ddr3(1, 2))
+    }
+
+    /// The paper's 8-core memory system: 4 stacked channels, 2 off-chip
+    /// channels with 2 ranks each.
+    #[must_use]
+    pub fn eight_core() -> Self {
+        MemorySystem::new(DramConfig::stacked(4, 8), DramConfig::ddr3(2, 2))
+    }
+
+    /// The paper's 16-core memory system: 8 stacked channels, 4 off-chip
+    /// channels with 2 ranks each.
+    #[must_use]
+    pub fn sixteen_core() -> Self {
+        MemorySystem::new(DramConfig::stacked(8, 8), DramConfig::ddr3(4, 2))
+    }
+
+    /// Clears statistics on both modules (keeps timing state).
+    pub fn reset_stats(&mut self) {
+        self.cache_dram.reset_stats();
+        self.main.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_table_iv_bank_counts() {
+        assert_eq!(
+            MemorySystem::quad_core().cache_dram.config().total_banks(),
+            16
+        );
+        assert_eq!(
+            MemorySystem::eight_core().cache_dram.config().total_banks(),
+            32
+        );
+        assert_eq!(
+            MemorySystem::sixteen_core()
+                .cache_dram
+                .config()
+                .total_banks(),
+            64
+        );
+        assert_eq!(
+            MemorySystem::quad_core()
+                .main
+                .module()
+                .config()
+                .total_banks(),
+            16
+        );
+        assert_eq!(
+            MemorySystem::eight_core()
+                .main
+                .module()
+                .config()
+                .total_banks(),
+            32
+        );
+        assert_eq!(
+            MemorySystem::sixteen_core()
+                .main
+                .module()
+                .config()
+                .total_banks(),
+            64
+        );
+    }
+
+    #[test]
+    fn reset_stats_clears_both_sides() {
+        let mut s = MemorySystem::quad_core();
+        use crate::request::{Location, Request};
+        s.cache_dram
+            .access(Request::read(Location::new(0, 0, 0, 0), 64, 0));
+        s.main.read(0x1000, 64, 0);
+        s.reset_stats();
+        assert_eq!(s.cache_dram.stats().totals.accesses(), 0);
+        assert_eq!(s.main.stats().totals.accesses(), 0);
+    }
+}

@@ -1,0 +1,149 @@
+//! DRAM timing parameters, expressed in CPU clock cycles.
+//!
+//! The simulation clock is the CPU clock (3.2 GHz in the paper's
+//! configuration, Table IV). DRAM devices run at 1.6 GHz, so one DRAM clock
+//! equals two CPU cycles; constructors take the CPU-per-DRAM clock ratio
+//! and scale the JEDEC-style parameters accordingly.
+
+/// A point in simulated time or a duration, in CPU clock cycles.
+pub type Cycle = u64;
+
+/// Core DRAM timing parameters, all in CPU cycles.
+///
+/// Only the parameters that matter at transaction level are modelled:
+/// the activate/precharge/column timings that determine row-buffer hit and
+/// miss latencies, write recovery, column-to-column spacing, and the
+/// refresh interval/cycle pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimingParams {
+    /// CAS latency (column access to first data), `CL`.
+    pub cl: Cycle,
+    /// Row-to-column delay (activate to column command), `tRCD`.
+    pub rcd: Cycle,
+    /// Row precharge time, `tRP`.
+    pub rp: Cycle,
+    /// Minimum row-open time (activate to precharge), `tRAS`.
+    pub ras: Cycle,
+    /// Write recovery time (end of write burst to precharge), `tWR`.
+    pub wr: Cycle,
+    /// Column-to-column command spacing, `tCCD`.
+    pub ccd: Cycle,
+    /// Average refresh interval, `tREFI`. Zero disables refresh.
+    pub refi: Cycle,
+    /// Refresh cycle time (rank blocked), `tRFC`.
+    pub rfc: Cycle,
+    /// Four-activate window, `tFAW`: at most four activates per rank in
+    /// any window of this length. Zero disables the constraint.
+    pub faw: Cycle,
+}
+
+impl TimingParams {
+    /// DDR3-1600H-like timing (CL-nRCD-nRP = 9-9-9 at 1.6 GHz, as in
+    /// Table IV) scaled by `cpu_per_dram_clk` (2 for a 3.2 GHz CPU).
+    ///
+    /// Refresh uses `tREFI` = 7.8 us and `tRFC` = 280 DRAM clocks, the
+    /// values the paper lists for its off-chip DDR3 devices.
+    #[must_use]
+    pub fn ddr3_1600h(cpu_per_dram_clk: Cycle) -> Self {
+        let k = cpu_per_dram_clk;
+        TimingParams {
+            cl: 9 * k,
+            rcd: 9 * k,
+            rp: 9 * k,
+            ras: 28 * k,
+            wr: 12 * k,
+            ccd: 4 * k,
+            // 7.8 us at 1.6 GHz = 12480 DRAM clocks.
+            refi: 12_480 * k,
+            rfc: 280 * k,
+            faw: 32 * k,
+        }
+    }
+
+    /// Stacked-DRAM timing. The paper configures the stack with the same
+    /// core timings as the off-chip devices ("All the rest same as
+    /// AlloyCache Baseline": 1.6 GHz, CL-nRCD-nRP = 9-9-9) but a much wider
+    /// 128-bit bus; bandwidth differences come from the bus width, not the
+    /// core timing.
+    #[must_use]
+    pub fn stacked(cpu_per_dram_clk: Cycle) -> Self {
+        TimingParams::ddr3_1600h(cpu_per_dram_clk)
+    }
+
+    /// Latency of a row-buffer hit up to first data (column access only).
+    #[must_use]
+    pub fn row_hit_latency(&self) -> Cycle {
+        self.cl
+    }
+
+    /// Latency of an access to a closed bank (activate + column access).
+    #[must_use]
+    pub fn row_empty_latency(&self) -> Cycle {
+        self.rcd + self.cl
+    }
+
+    /// Latency of a row-buffer conflict (precharge + activate + column).
+    #[must_use]
+    pub fn row_miss_latency(&self) -> Cycle {
+        self.rp + self.rcd + self.cl
+    }
+
+    /// Returns timing with refresh disabled (useful for latency-isolated
+    /// unit tests).
+    #[must_use]
+    pub fn without_refresh(mut self) -> Self {
+        self.refi = 0;
+        self.rfc = 0;
+        self
+    }
+
+    /// Returns timing with the four-activate window disabled.
+    #[must_use]
+    pub fn without_faw(mut self) -> Self {
+        self.faw = 0;
+        self
+    }
+}
+
+impl Default for TimingParams {
+    fn default() -> Self {
+        TimingParams::ddr3_1600h(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddr3_values_scale_with_clock_ratio() {
+        let t1 = TimingParams::ddr3_1600h(1);
+        let t2 = TimingParams::ddr3_1600h(2);
+        assert_eq!(t1.cl * 2, t2.cl);
+        assert_eq!(t1.rp * 2, t2.rp);
+        assert_eq!(t1.refi * 2, t2.refi);
+    }
+
+    #[test]
+    fn latency_ordering_hit_empty_miss() {
+        let t = TimingParams::default();
+        assert!(t.row_hit_latency() < t.row_empty_latency());
+        assert!(t.row_empty_latency() < t.row_miss_latency());
+    }
+
+    #[test]
+    fn paper_configuration_is_nine_nine_nine() {
+        let t = TimingParams::ddr3_1600h(2);
+        // 9 DRAM clocks at a 2:1 CPU:DRAM ratio.
+        assert_eq!(t.cl, 18);
+        assert_eq!(t.rcd, 18);
+        assert_eq!(t.rp, 18);
+    }
+
+    #[test]
+    fn without_refresh_clears_refresh_fields() {
+        let t = TimingParams::default().without_refresh();
+        assert_eq!(t.refi, 0);
+        assert_eq!(t.rfc, 0);
+    }
+}

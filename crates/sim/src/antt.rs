@@ -1,0 +1,95 @@
+//! Average Normalized Turnaround Time (Eyerman & Eeckhout).
+//!
+//! `ANTT = (1/n) * sum_i C_i^MP / C_i^SP`: the average slowdown each
+//! program suffers from running in the multiprogrammed mix instead of
+//! standalone. Lower is better; 1.0 means no interference.
+
+/// ANTT of one mix under one scheme.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnttReport {
+    /// Mix name.
+    pub mix: String,
+    /// Scheme name.
+    pub scheme: String,
+    /// Per-program slowdowns `C_i^MP / C_i^SP`.
+    pub slowdowns: Vec<f64>,
+}
+
+impl AnttReport {
+    /// Builds a report from multiprogrammed and standalone cycle counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length, are empty, or contain a zero
+    /// standalone time.
+    #[must_use]
+    pub fn from_cycles(
+        mix: impl Into<String>,
+        scheme: impl Into<String>,
+        multiprogrammed: &[u64],
+        standalone: &[u64],
+    ) -> Self {
+        assert_eq!(
+            multiprogrammed.len(),
+            standalone.len(),
+            "core count mismatch"
+        );
+        assert!(!multiprogrammed.is_empty(), "need at least one program");
+        let slowdowns = multiprogrammed
+            .iter()
+            .zip(standalone)
+            .map(|(&mp, &sp)| {
+                assert!(sp > 0, "standalone time must be positive");
+                mp as f64 / sp as f64
+            })
+            .collect();
+        AnttReport {
+            mix: mix.into(),
+            scheme: scheme.into(),
+            slowdowns,
+        }
+    }
+
+    /// The ANTT value (arithmetic mean of slowdowns).
+    #[must_use]
+    pub fn antt(&self) -> f64 {
+        self.slowdowns.iter().sum::<f64>() / self.slowdowns.len() as f64
+    }
+
+    /// Percentage improvement of this report over `baseline`
+    /// (positive = this scheme is better, i.e. lower ANTT).
+    #[must_use]
+    pub fn improvement_over(&self, baseline: &AnttReport) -> f64 {
+        (baseline.antt() - self.antt()) / baseline.antt() * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn antt_is_mean_slowdown() {
+        let r = AnttReport::from_cycles("Q1", "X", &[200, 300], &[100, 100]);
+        assert!((r.antt() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn improvement_is_relative() {
+        let ours = AnttReport::from_cycles("Q1", "A", &[150], &[100]);
+        let base = AnttReport::from_cycles("Q1", "B", &[200], &[100]);
+        assert!((ours.improvement_over(&base) - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "core count mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = AnttReport::from_cycles("Q1", "X", &[1, 2], &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "standalone time")]
+    fn zero_standalone_panics() {
+        let _ = AnttReport::from_cycles("Q1", "X", &[1], &[0]);
+    }
+}

@@ -1,0 +1,170 @@
+//! System-level configuration (the paper's Table IV).
+
+use bimodal_dram::{DramConfig, MemorySystem};
+
+/// Describes a full CMP memory system: core count, DRAM cache capacity,
+/// stacked and off-chip DRAM geometry, and workload scaling.
+///
+/// The paper's full-scale systems (128/256/512 MB caches driven by
+/// billions of instructions) are available as presets; experiments in this
+/// repository typically scale cache and footprints down together with
+/// [`SystemConfig::with_cache_mb`], which preserves the
+/// footprint-to-capacity pressure that determines every hit-rate and
+/// bandwidth result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// Number of cores.
+    pub cores: u32,
+    /// DRAM cache capacity in megabytes.
+    pub cache_mb: u64,
+    /// Stacked-DRAM module (holds the cache).
+    pub stacked: DramConfig,
+    /// Off-chip DRAM module.
+    pub offchip: DramConfig,
+    /// Multiplier applied to workload footprints (scaled with the cache).
+    pub footprint_scale: f64,
+    /// Warm-up accesses per core before statistics are measured.
+    pub warmup_per_core: u64,
+    /// Per-core memory-level parallelism (outstanding misses). The
+    /// paper's memory-bound SPEC programs sustain little MLP at the DRAM
+    /// cache level (dependent misses: pointer chasing), so the default is 1 — a blocking core.
+    pub mlp: u32,
+    /// Seed for workload generation and replacement randomness.
+    pub seed: u64,
+}
+
+/// Reference cache size the full-scale workload footprints were tuned
+/// against (the paper's quad-core 128 MB cache).
+const REFERENCE_CACHE_MB: u64 = 128;
+
+impl SystemConfig {
+    /// Table IV's quad-core system: 128 MB cache, 2 stacked channels with
+    /// 8 banks, 1 off-chip channel with 2 ranks.
+    #[must_use]
+    pub fn quad_core() -> Self {
+        SystemConfig {
+            cores: 4,
+            cache_mb: 128,
+            stacked: DramConfig::stacked(2, 8),
+            offchip: DramConfig::ddr3(1, 2),
+            footprint_scale: 1.0,
+            warmup_per_core: 2_000,
+            mlp: 1,
+            seed: 0xB1_0DA1,
+        }
+    }
+
+    /// Table IV's 8-core system: 256 MB cache, 4 stacked channels,
+    /// 2 off-chip channels.
+    #[must_use]
+    pub fn eight_core() -> Self {
+        SystemConfig {
+            cores: 8,
+            cache_mb: 256,
+            stacked: DramConfig::stacked(4, 8),
+            offchip: DramConfig::ddr3(2, 2),
+            ..SystemConfig::quad_core()
+        }
+    }
+
+    /// Table IV's 16-core system: 512 MB cache, 8 stacked channels,
+    /// 4 off-chip channels.
+    #[must_use]
+    pub fn sixteen_core() -> Self {
+        SystemConfig {
+            cores: 16,
+            cache_mb: 512,
+            stacked: DramConfig::stacked(8, 8),
+            offchip: DramConfig::ddr3(4, 2),
+            ..SystemConfig::quad_core()
+        }
+    }
+
+    /// Scales the cache to `mb` megabytes, scaling workload footprints
+    /// proportionally (relative to the per-core-count reference size) so
+    /// capacity pressure is preserved.
+    #[must_use]
+    pub fn with_cache_mb(mut self, mb: u64) -> Self {
+        let reference = REFERENCE_CACHE_MB * u64::from(self.cores) / 4;
+        self.footprint_scale = mb as f64 / reference as f64;
+        self.cache_mb = mb;
+        self
+    }
+
+    /// Overrides the warm-up length.
+    #[must_use]
+    pub fn with_warmup(mut self, accesses_per_core: u64) -> Self {
+        self.warmup_per_core = accesses_per_core;
+        self
+    }
+
+    /// Overrides the seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the per-core memory-level parallelism.
+    #[must_use]
+    pub fn with_mlp(mut self, mlp: u32) -> Self {
+        self.mlp = mlp;
+        self
+    }
+
+    /// Uses stacked DRAM with a custom page (row) size — needed for 4 KB
+    /// sets in the sensitivity study.
+    #[must_use]
+    pub fn with_stacked_row_bytes(mut self, row_bytes: u32) -> Self {
+        self.stacked.row_bytes = row_bytes;
+        self
+    }
+
+    /// Builds the memory system for a run.
+    #[must_use]
+    pub fn build_memory(&self) -> MemorySystem {
+        MemorySystem::new(self.stacked.clone(), self.offchip.clone())
+    }
+
+    /// Cache capacity in bytes.
+    #[must_use]
+    pub fn cache_bytes(&self) -> u64 {
+        self.cache_mb << 20
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_table_iv() {
+        let q = SystemConfig::quad_core();
+        assert_eq!(q.cores, 4);
+        assert_eq!(q.cache_mb, 128);
+        assert_eq!(q.stacked.channels, 2);
+        let e = SystemConfig::eight_core();
+        assert_eq!(e.cache_mb, 256);
+        assert_eq!(e.stacked.channels, 4);
+        let s = SystemConfig::sixteen_core();
+        assert_eq!(s.cache_mb, 512);
+        assert_eq!(s.offchip.channels, 4);
+    }
+
+    #[test]
+    fn with_cache_mb_scales_footprints() {
+        let c = SystemConfig::quad_core().with_cache_mb(32);
+        assert_eq!(c.cache_mb, 32);
+        assert!((c.footprint_scale - 0.25).abs() < 1e-12);
+        // 8-core reference is 256 MB.
+        let c = SystemConfig::eight_core().with_cache_mb(64);
+        assert!((c.footprint_scale - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn build_memory_uses_configs() {
+        let c = SystemConfig::quad_core();
+        let m = c.build_memory();
+        assert_eq!(m.cache_dram.config(), &c.stacked);
+    }
+}

@@ -1,0 +1,132 @@
+//! Event-count memory energy model (Section V-H).
+//!
+//! The paper computes energy "using the number of accesses, DRAM cache
+//! hit rate, way locator hit rate, row buffer hit rates in the cache and
+//! main memory, and the amount of data transferred". This model does the
+//! same from the substrate's event counters: row activations/precharges,
+//! column bursts and I/O bytes, with different per-event costs for the
+//! on-stack (TSV) and off-chip (board trace) paths.
+
+use bimodal_dram::DramStats;
+
+/// Energy totals in nanojoules.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Stacked-DRAM activation + precharge energy.
+    pub cache_act_nj: f64,
+    /// Stacked-DRAM column access + TSV I/O energy.
+    pub cache_io_nj: f64,
+    /// Off-chip activation + precharge energy.
+    pub offchip_act_nj: f64,
+    /// Off-chip column access + board I/O energy.
+    pub offchip_io_nj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in nanojoules.
+    #[must_use]
+    pub fn total_nj(&self) -> f64 {
+        self.cache_act_nj + self.cache_io_nj + self.offchip_act_nj + self.offchip_io_nj
+    }
+}
+
+/// Per-event energy coefficients.
+///
+/// Defaults follow typical DDR3-class figures: an off-chip
+/// activate/precharge pair costs ~3 nJ and off-chip I/O ~20 pJ/bit, while
+/// the stacked path is far cheaper per bit (~4 pJ/bit through TSVs) with
+/// smaller pages driven a shorter distance.
+/// # Example
+///
+/// ```
+/// use bimodal_sim::EnergyModel;
+/// use bimodal_dram::DramStats;
+///
+/// let model = EnergyModel::paper_default();
+/// let idle = model.evaluate(&DramStats::default(), &DramStats::default());
+/// assert_eq!(idle.total_nj(), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Stacked activate+precharge pair, nJ.
+    pub cache_act_pre_nj: f64,
+    /// Stacked I/O energy, pJ per bit.
+    pub cache_io_pj_per_bit: f64,
+    /// Off-chip activate+precharge pair, nJ.
+    pub offchip_act_pre_nj: f64,
+    /// Off-chip I/O energy, pJ per bit.
+    pub offchip_io_pj_per_bit: f64,
+}
+
+impl EnergyModel {
+    /// The default coefficient set described in the type docs.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        EnergyModel {
+            cache_act_pre_nj: 1.2,
+            cache_io_pj_per_bit: 4.0,
+            offchip_act_pre_nj: 3.0,
+            offchip_io_pj_per_bit: 20.0,
+        }
+    }
+
+    /// Computes the energy of a run from the two modules' statistics.
+    #[must_use]
+    pub fn evaluate(&self, cache: &DramStats, offchip: &DramStats) -> EnergyBreakdown {
+        let bits = |bytes: u64| bytes as f64 * 8.0;
+        EnergyBreakdown {
+            cache_act_nj: cache.totals.activates as f64 * self.cache_act_pre_nj,
+            cache_io_nj: bits(cache.totals.bytes_total()) * self.cache_io_pj_per_bit / 1000.0,
+            offchip_act_nj: offchip.totals.activates as f64 * self.offchip_act_pre_nj,
+            offchip_io_nj: bits(offchip.totals.bytes_total()) * self.offchip_io_pj_per_bit / 1000.0,
+        }
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bimodal_dram::BankStats;
+
+    fn stats(activates: u64, bytes: u64) -> DramStats {
+        DramStats {
+            totals: BankStats {
+                activates,
+                bytes_read: bytes,
+                ..BankStats::default()
+            },
+            refresh_stalls: 0,
+        }
+    }
+
+    #[test]
+    fn offchip_bytes_cost_more_than_stacked() {
+        let m = EnergyModel::paper_default();
+        let only_cache = m.evaluate(&stats(0, 1000), &stats(0, 0));
+        let only_off = m.evaluate(&stats(0, 0), &stats(0, 1000));
+        assert!(only_off.total_nj() > only_cache.total_nj());
+    }
+
+    #[test]
+    fn activations_add_energy() {
+        let m = EnergyModel::paper_default();
+        let quiet = m.evaluate(&stats(0, 0), &stats(0, 0));
+        let busy = m.evaluate(&stats(100, 0), &stats(100, 0));
+        assert_eq!(quiet.total_nj(), 0.0);
+        assert!((busy.total_nj() - (100.0 * 1.2 + 100.0 * 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let m = EnergyModel::paper_default();
+        let b = m.evaluate(&stats(5, 640), &stats(7, 320));
+        let sum = b.cache_act_nj + b.cache_io_nj + b.offchip_act_nj + b.offchip_io_nj;
+        assert!((b.total_nj() - sum).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,52 @@
+//! Trace-driven multi-core DRAM cache simulation engine.
+//!
+//! Wires workload traces, a DRAM cache organization and the DRAM substrate
+//! into timed runs, and computes the paper's metrics:
+//!
+//! * [`Engine`] / [`Simulation`] — interleaves per-core LLSC-miss streams
+//!   over a shared scheme, with warm-up, measurement windows and
+//!   per-core completion times,
+//! * [`SchemeKind`] — constructs any of the organizations under study,
+//! * [`AnttReport`] — Average Normalized Turnaround Time (standalone vs
+//!   multiprogrammed runs),
+//! * [`NextNPrefetcher`] — the next-N-lines prefetcher of Section V-I,
+//! * [`EnergyModel`] — the event-count energy model of Section V-H,
+//! * [`sweep`] — fast functional design-space sweeps (Figures 1, 2, 5).
+//!
+//! # Example
+//!
+//! ```
+//! use bimodal_sim::{SchemeKind, Simulation, SystemConfig};
+//! use bimodal_workloads::WorkloadMix;
+//!
+//! let config = SystemConfig::quad_core().with_cache_mb(16);
+//! let mix = WorkloadMix::quad("Q3").expect("known mix");
+//! let report = Simulation::new(config, SchemeKind::BiModal)
+//!     .run_mix(&mix, 5_000)
+//!     .expect("valid run");
+//! assert!(report.scheme.hit_rate() >= 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod antt;
+mod config;
+mod energy;
+mod engine;
+mod llsc;
+mod prefetch;
+mod report;
+mod scheme_kind;
+mod simulation;
+pub mod sweep;
+
+pub use antt::AnttReport;
+pub use config::SystemConfig;
+pub use energy::{EnergyBreakdown, EnergyModel};
+pub use engine::{Engine, EngineOptions};
+pub use llsc::{LlscCache, LlscConfig, LlscOutcome};
+pub use prefetch::{NextNPrefetcher, PrefetchMode};
+pub use report::RunReport;
+pub use scheme_kind::SchemeKind;
+pub use simulation::{SimError, Simulation};

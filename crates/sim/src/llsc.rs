@@ -1,0 +1,230 @@
+//! Last-level SRAM cache (LLSC) front-end model.
+//!
+//! The paper's DRAM cache sits behind a shared SRAM L2 (Table IV: 4/8/16 MB
+//! for 4/8/16 cores). The workload generators emit LLSC *miss* streams
+//! directly, so the engine does not need this model by default; it is
+//! provided for studies that want to drive raw reference streams instead
+//! ([`crate::EngineOptions::with_llsc`]), and as the reference
+//! implementation of the hierarchy level the paper's Table IV describes.
+
+use bimodal_dram::Cycle;
+
+/// Configuration of the LLSC model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LlscConfig {
+    /// Capacity in bytes.
+    pub capacity: u64,
+    /// Line size in bytes (64, matching the DRAM cache's small block).
+    pub line_bytes: u32,
+    /// Associativity.
+    pub assoc: u32,
+    /// Hit latency in cycles.
+    pub hit_cycles: Cycle,
+}
+
+impl LlscConfig {
+    /// Table IV's per-core-count configurations: 4/8/16 MB with
+    /// 8/16/32 ways and 7/9/12-cycle hit latencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics for core counts other than 4, 8 or 16.
+    #[must_use]
+    pub fn table_iv(cores: u32) -> Self {
+        let (capacity, assoc, hit) = match cores {
+            4 => (4 << 20, 8, 7),
+            8 => (8 << 20, 16, 9),
+            16 => (16 << 20, 32, 12),
+            _ => panic!("Table IV defines 4/8/16-core LLSCs, not {cores}"),
+        };
+        LlscConfig {
+            capacity,
+            line_bytes: 64,
+            assoc,
+            hit_cycles: hit,
+        }
+    }
+
+    fn n_sets(&self) -> u64 {
+        self.capacity / u64::from(self.line_bytes) / u64::from(self.assoc)
+    }
+}
+
+/// A set-associative, LRU, write-back SRAM cache model.
+///
+/// # Example
+///
+/// ```
+/// use bimodal_sim::{LlscCache, LlscConfig};
+///
+/// let mut llsc = LlscCache::new(LlscConfig::table_iv(4));
+/// assert!(!llsc.access(0x1000, false).hit);
+/// assert!(llsc.access(0x1000, false).hit);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LlscCache {
+    config: LlscConfig,
+    /// Per set: (tag, dirty) in MRU order.
+    sets: Vec<Vec<(u64, bool)>>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Outcome of an LLSC access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LlscOutcome {
+    /// Whether the line was resident.
+    pub hit: bool,
+    /// Dirty line evicted by the fill, if any (to be written back into
+    /// the DRAM cache).
+    pub writeback: Option<u64>,
+}
+
+impl LlscCache {
+    /// Builds an empty LLSC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration yields no sets.
+    #[must_use]
+    pub fn new(config: LlscConfig) -> Self {
+        let n = config.n_sets();
+        assert!(n > 0, "LLSC must have at least one set");
+        LlscCache {
+            sets: vec![Vec::new(); usize::try_from(n).expect("set count fits usize")],
+            hits: 0,
+            misses: 0,
+            config,
+        }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &LlscConfig {
+        &self.config
+    }
+
+    /// Accesses `addr`; on a miss the line is filled (write-allocate) and
+    /// a dirty victim's address is returned for writeback.
+    pub fn access(&mut self, addr: u64, is_write: bool) -> LlscOutcome {
+        let line = addr / u64::from(self.config.line_bytes);
+        let n_sets = self.config.n_sets();
+        let set = usize::try_from(line % n_sets).expect("set fits usize");
+        let tag = line / n_sets;
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|&(t, _)| t == tag) {
+            self.hits += 1;
+            let (t, dirty) = ways.remove(pos);
+            ways.insert(0, (t, dirty || is_write));
+            return LlscOutcome {
+                hit: true,
+                writeback: None,
+            };
+        }
+        self.misses += 1;
+        ways.insert(0, (tag, is_write));
+        let mut writeback = None;
+        if ways.len() > self.config.assoc as usize {
+            let (vtag, vdirty) = ways.pop().expect("set overflowed");
+            if vdirty {
+                let vline = vtag * n_sets + set as u64;
+                writeback = Some(vline * u64::from(self.config.line_bytes));
+            }
+        }
+        LlscOutcome {
+            hit: false,
+            writeback,
+        }
+    }
+
+    /// Miss rate in `[0, 1]` (the paper's memory-intensity metric).
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+
+    /// (hits, misses) so far.
+    #[must_use]
+    pub fn counts(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> LlscCache {
+        LlscCache::new(LlscConfig {
+            capacity: 1 << 16,
+            line_bytes: 64,
+            assoc: 4,
+            hit_cycles: 7,
+        })
+    }
+
+    #[test]
+    fn table_iv_presets() {
+        assert_eq!(LlscConfig::table_iv(4).capacity, 4 << 20);
+        assert_eq!(LlscConfig::table_iv(8).assoc, 16);
+        assert_eq!(LlscConfig::table_iv(16).hit_cycles, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "Table IV")]
+    fn unknown_core_count_panics() {
+        let _ = LlscConfig::table_iv(6);
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = small();
+        assert!(!c.access(0x1000, false).hit);
+        assert!(c.access(0x1000, false).hit);
+        assert!((c.miss_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_eviction_and_dirty_writeback() {
+        let mut c = small();
+        let stride = c.config.n_sets() * 64;
+        c.access(0, true); // dirty
+        for k in 1..=4u64 {
+            let out = c.access(k * stride, false);
+            if k == 4 {
+                assert_eq!(out.writeback, Some(0), "dirty LRU line written back");
+            } else {
+                assert_eq!(out.writeback, None);
+            }
+        }
+    }
+
+    #[test]
+    fn clean_evictions_produce_no_writeback() {
+        let mut c = small();
+        let stride = c.config.n_sets() * 64;
+        for k in 0..=4u64 {
+            let out = c.access(k * stride, false);
+            assert_eq!(out.writeback, None);
+        }
+    }
+
+    #[test]
+    fn filters_short_term_reuse() {
+        let mut c = LlscCache::new(LlscConfig::table_iv(4));
+        // A loop over 1 MB fits in the 4 MB LLSC: second pass all hits.
+        for pass in 0..2 {
+            for k in 0..(1 << 14) {
+                let hit = c.access(k * 64, false).hit;
+                if pass == 1 {
+                    assert!(hit);
+                }
+            }
+        }
+    }
+}

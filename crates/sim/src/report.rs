@@ -1,0 +1,109 @@
+//! Results of a timed simulation run.
+
+use bimodal_core::SchemeStats;
+use bimodal_dram::{Cycle, DramStats};
+
+/// Everything measured during one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Scheme name.
+    pub scheme_name: String,
+    /// Statistics reported by the cache organization.
+    pub scheme: SchemeStats,
+    /// Stacked-DRAM (cache) module statistics.
+    pub cache_dram: DramStats,
+    /// Off-chip DRAM statistics.
+    pub offchip: DramStats,
+    /// Per-core cycles spent completing the measured accesses.
+    pub core_cycles: Vec<Cycle>,
+    /// Measured accesses per core.
+    pub accesses_per_core: u64,
+    /// Row-buffer hit rate of the metadata bank(s) alone, when the scheme
+    /// uses dedicated metadata banks.
+    pub metadata_bank_rbh: Option<f64>,
+    /// Row-buffer hit rate of the data banks alone.
+    pub data_bank_rbh: Option<f64>,
+}
+
+impl RunReport {
+    /// Total accesses the DRAM cache saw during measurement.
+    #[must_use]
+    pub fn dram_cache_accesses(&self) -> u64 {
+        self.scheme.accesses
+    }
+
+    /// Average DRAM-cache access latency (the average LLSC miss penalty).
+    #[must_use]
+    pub fn avg_latency(&self) -> f64 {
+        self.scheme.avg_latency()
+    }
+
+    /// Total off-chip traffic in bytes.
+    #[must_use]
+    pub fn offchip_bytes(&self) -> u64 {
+        self.scheme.offchip_bytes()
+    }
+
+    /// Off-chip bytes that were pure waste (fetched, never referenced).
+    #[must_use]
+    pub fn wasted_bytes(&self) -> u64 {
+        self.scheme.offchip_wasted_bytes
+    }
+
+    /// Arithmetic-mean core completion time.
+    #[must_use]
+    pub fn mean_core_cycles(&self) -> f64 {
+        if self.core_cycles.is_empty() {
+            0.0
+        } else {
+            self.core_cycles.iter().sum::<Cycle>() as f64 / self.core_cycles.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_core_cycles_mean_is_zero() {
+        let r = RunReport {
+            scheme_name: "X".into(),
+            scheme: SchemeStats::default(),
+            cache_dram: DramStats::default(),
+            offchip: DramStats::default(),
+            core_cycles: vec![],
+            accesses_per_core: 0,
+            metadata_bank_rbh: None,
+            data_bank_rbh: None,
+        };
+        assert_eq!(r.mean_core_cycles(), 0.0);
+        assert_eq!(r.avg_latency(), 0.0);
+    }
+
+    #[test]
+    fn report_helpers() {
+        let r = RunReport {
+            scheme_name: "X".into(),
+            scheme: SchemeStats {
+                accesses: 10,
+                total_latency: 1000,
+                offchip_fetched_bytes: 512,
+                offchip_writeback_bytes: 64,
+                offchip_wasted_bytes: 128,
+                ..SchemeStats::default()
+            },
+            cache_dram: DramStats::default(),
+            offchip: DramStats::default(),
+            core_cycles: vec![100, 200],
+            accesses_per_core: 5,
+            metadata_bank_rbh: None,
+            data_bank_rbh: None,
+        };
+        assert_eq!(r.dram_cache_accesses(), 10);
+        assert!((r.avg_latency() - 100.0).abs() < 1e-12);
+        assert_eq!(r.offchip_bytes(), 576);
+        assert_eq!(r.wasted_bytes(), 128);
+        assert!((r.mean_core_cycles() - 150.0).abs() < 1e-12);
+    }
+}

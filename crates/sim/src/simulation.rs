@@ -1,0 +1,200 @@
+//! High-level simulation facade.
+
+use bimodal_workloads::WorkloadMix;
+
+use crate::antt::AnttReport;
+use crate::config::SystemConfig;
+use crate::engine::{Engine, EngineOptions};
+use crate::prefetch::PrefetchMode;
+use crate::report::RunReport;
+use crate::scheme_kind::SchemeKind;
+
+/// Errors from a simulation request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The run parameters are unusable (zero accesses, core mismatch...).
+    InvalidRun(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::InvalidRun(msg) => write!(f, "invalid run: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// One scheme on one system, ready to run workloads.
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    system: SystemConfig,
+    kind: SchemeKind,
+    prefetch: Option<(u32, PrefetchMode)>,
+}
+
+impl Simulation {
+    /// Pairs a system configuration with a scheme.
+    #[must_use]
+    pub fn new(system: SystemConfig, kind: SchemeKind) -> Self {
+        Simulation {
+            system,
+            kind,
+            prefetch: None,
+        }
+    }
+
+    /// Enables the next-N-lines prefetcher (Table VI).
+    #[must_use]
+    pub fn with_prefetch(mut self, n: u32, mode: PrefetchMode) -> Self {
+        self.prefetch = Some((n, mode));
+        self
+    }
+
+    /// The system configuration.
+    #[must_use]
+    pub fn system(&self) -> &SystemConfig {
+        &self.system
+    }
+
+    /// The scheme under test.
+    #[must_use]
+    pub fn kind(&self) -> SchemeKind {
+        self.kind
+    }
+
+    fn options(&self, accesses_per_core: u64) -> EngineOptions {
+        let mut o = EngineOptions {
+            accesses_per_core,
+            warmup_per_core: self.system.warmup_per_core,
+            prefetch: None,
+            mlp: self.system.mlp,
+            llsc: None,
+        };
+        if let Some((n, mode)) = self.prefetch {
+            o = o.with_prefetch(n, mode);
+        }
+        o
+    }
+
+    fn build_scheme(
+        &self,
+        accesses_per_core: u64,
+        cores: u64,
+    ) -> Box<dyn bimodal_core::DramCacheScheme> {
+        let bypass = matches!(self.prefetch, Some((_, PrefetchMode::Bypass)));
+        // Give the global mix controller ~10 adaptation epochs per run
+        // (the paper's 1 M-access epoch assumes billion-instruction runs).
+        let epoch = ((accesses_per_core + self.system.warmup_per_core) * cores / 10).max(1_000);
+        self.kind
+            .build_with(&self.system, bypass, Some(epoch.min(1_000_000)))
+    }
+
+    /// Runs `mix` for `accesses_per_core` measured accesses on each core.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidRun`] if the access count is zero.
+    pub fn run_mix(
+        &self,
+        mix: &WorkloadMix,
+        accesses_per_core: u64,
+    ) -> Result<RunReport, SimError> {
+        if accesses_per_core == 0 {
+            return Err(SimError::InvalidRun(
+                "accesses_per_core must be positive".into(),
+            ));
+        }
+        let scaled = mix
+            .clone()
+            .with_footprint_scale(self.system.footprint_scale);
+        let traces = scaled
+            .programs()
+            .iter()
+            .enumerate()
+            .map(|(core, p)| p.trace(self.system.seed, u32::try_from(core).expect("few cores")))
+            .collect();
+        let mut scheme = self.build_scheme(accesses_per_core, mix.cores() as u64);
+        let mut mem = self.system.build_memory();
+        Ok(Engine::new(self.options(accesses_per_core)).run(scheme.as_mut(), &mut mem, traces))
+    }
+
+    /// Runs each of `mix`'s programs standalone (alone on the machine) and
+    /// combines the cycle counts into an ANTT report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidRun`] if the access count is zero.
+    pub fn run_antt(
+        &self,
+        mix: &WorkloadMix,
+        accesses_per_core: u64,
+    ) -> Result<AnttReport, SimError> {
+        let mp = self.run_mix(mix, accesses_per_core)?;
+        let scaled = mix
+            .clone()
+            .with_footprint_scale(self.system.footprint_scale);
+        let mut standalone = Vec::with_capacity(scaled.programs().len());
+        for (core, p) in scaled.programs().iter().enumerate() {
+            let trace = p.trace(self.system.seed, u32::try_from(core).expect("few cores"));
+            let mut scheme = self.build_scheme(accesses_per_core, 1);
+            let mut mem = self.system.build_memory();
+            let report = Engine::new(self.options(accesses_per_core)).run(
+                scheme.as_mut(),
+                &mut mem,
+                vec![trace],
+            );
+            standalone.push(report.core_cycles[0]);
+        }
+        Ok(AnttReport::from_cycles(
+            mix.name(),
+            self.kind.name(),
+            &mp.core_cycles,
+            &standalone,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_system() -> SystemConfig {
+        SystemConfig::quad_core().with_cache_mb(4).with_warmup(200)
+    }
+
+    #[test]
+    fn run_mix_produces_stats() {
+        let mix = WorkloadMix::quad("Q1").expect("known");
+        let r = Simulation::new(quick_system(), SchemeKind::BiModal)
+            .run_mix(&mix, 500)
+            .expect("runs");
+        assert!(r.dram_cache_accesses() >= 2_000);
+        assert!(r.scheme.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn zero_accesses_is_an_error() {
+        let mix = WorkloadMix::quad("Q1").expect("known");
+        let e = Simulation::new(quick_system(), SchemeKind::Alloy).run_mix(&mix, 0);
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn antt_reports_slowdowns_above_one() {
+        let mix = WorkloadMix::quad("Q2").expect("known");
+        let r = Simulation::new(quick_system(), SchemeKind::BiModal)
+            .run_antt(&mix, 300)
+            .expect("runs");
+        assert_eq!(r.slowdowns.len(), 4);
+        // Sharing the machine cannot speed programs up (beyond noise).
+        assert!(r.antt() > 0.8, "got {}", r.antt());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = SimError::InvalidRun("nope".into());
+        assert!(e.to_string().contains("nope"));
+    }
+}

@@ -1,0 +1,167 @@
+//! Fast functional design-space sweeps (the paper's motivation figures).
+//!
+//! These reproduce the untimed studies of Section II: miss rate versus
+//! block size (Figure 1), the sub-block utilization distribution
+//! (Figure 2) and the MRU-position profile of cache hits (Figure 5). They
+//! run on the tag-only [`FunctionalCache`], which is orders of magnitude
+//! faster than the timed model, exactly as the paper used a trace-driven
+//! cache simulator for its design-space exploration.
+
+use bimodal_core::{FunctionalCache, FunctionalConfig, MruProfile};
+use bimodal_workloads::{Access, ProgramTrace, WorkloadMix};
+
+/// Interleaves the per-core traces of a mix by (gap-driven) virtual time.
+#[derive(Debug)]
+pub struct MergedTrace {
+    cores: Vec<(ProgramTrace, u64)>,
+}
+
+impl MergedTrace {
+    /// Builds the merged stream of `mix` with the given seed.
+    #[must_use]
+    pub fn new(mix: &WorkloadMix, seed: u64) -> Self {
+        let cores = mix
+            .programs()
+            .iter()
+            .enumerate()
+            .map(|(core, p)| (p.trace(seed, u32::try_from(core).expect("few cores")), 0u64))
+            .collect();
+        MergedTrace { cores }
+    }
+}
+
+impl Iterator for MergedTrace {
+    type Item = Access;
+
+    fn next(&mut self) -> Option<Access> {
+        let idx = self
+            .cores
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, (_, clock))| (*clock, *i))
+            .map(|(i, _)| i)?;
+        let (trace, clock) = &mut self.cores[idx];
+        let access = trace.next()?;
+        *clock += access.gap + 1;
+        Some(access)
+    }
+}
+
+/// Miss rate of the mix at each block size (Figure 1).
+///
+/// Uses a 4-way cache of `cache_bytes` at each block size in
+/// `block_sizes`, over `accesses` interleaved accesses.
+#[must_use]
+pub fn miss_rate_vs_block_size(
+    mix: &WorkloadMix,
+    cache_bytes: u64,
+    block_sizes: &[u32],
+    accesses: u64,
+    seed: u64,
+) -> Vec<(u32, f64)> {
+    block_sizes
+        .iter()
+        .map(|&bs| {
+            let mut cache = FunctionalCache::new(FunctionalConfig::new(cache_bytes, bs, 4));
+            for a in MergedTrace::new(mix, seed)
+                .take(usize::try_from(accesses).expect("access count fits usize"))
+            {
+                cache.access(a.addr);
+            }
+            (bs, cache.miss_rate())
+        })
+        .collect()
+}
+
+/// Distribution of 64 B sub-block utilization within 512 B blocks
+/// (Figure 2): fractions of blocks that used exactly 1..=8 sub-blocks.
+#[must_use]
+pub fn utilization_distribution(
+    mix: &WorkloadMix,
+    cache_bytes: u64,
+    accesses: u64,
+    seed: u64,
+) -> Vec<f64> {
+    let mut cache = FunctionalCache::new(FunctionalConfig::new(cache_bytes, 512, 4));
+    for a in MergedTrace::new(mix, seed)
+        .take(usize::try_from(accesses).expect("access count fits usize"))
+    {
+        cache.access(a.addr);
+    }
+    let hist = cache.utilization_histogram();
+    let total: u64 = hist.iter().sum();
+    hist.iter()
+        .skip(1) // index 0 (zero sub-blocks) is impossible for filled blocks
+        .map(|&c| {
+            if total == 0 {
+                0.0
+            } else {
+                c as f64 / total as f64
+            }
+        })
+        .collect()
+}
+
+/// Hits-by-MRU-position profile in an 8-way cache (Figure 5).
+#[must_use]
+pub fn mru_profile(mix: &WorkloadMix, cache_bytes: u64, accesses: u64, seed: u64) -> MruProfile {
+    let mut cache = FunctionalCache::new(FunctionalConfig::new(cache_bytes, 512, 8));
+    for a in MergedTrace::new(mix, seed)
+        .take(usize::try_from(accesses).expect("access count fits usize"))
+    {
+        cache.access(a.addr);
+    }
+    cache.mru_profile()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bimodal_workloads::WorkloadMix;
+
+    fn mix() -> WorkloadMix {
+        WorkloadMix::quad("Q1")
+            .expect("known")
+            .with_footprint_scale(0.02)
+    }
+
+    #[test]
+    fn merged_trace_interleaves_all_cores() {
+        let mut seen = std::collections::HashSet::new();
+        for a in MergedTrace::new(&mix(), 1).take(5_000) {
+            seen.insert(a.addr >> 36);
+        }
+        assert_eq!(seen.len(), 4, "all four cores contribute");
+    }
+
+    #[test]
+    fn figure1_shape_bigger_blocks_fewer_misses() {
+        let rates = miss_rate_vs_block_size(&mix(), 4 << 20, &[64, 512, 4096], 100_000, 1);
+        assert!(
+            rates[0].1 > rates[1].1,
+            "64B must miss more than 512B: {rates:?}"
+        );
+        assert!(
+            rates[1].1 > rates[2].1,
+            "512B must miss more than 4KB: {rates:?}"
+        );
+    }
+
+    #[test]
+    fn figure2_distribution_sums_to_one() {
+        let dist = utilization_distribution(&mix(), 4 << 20, 50_000, 1);
+        assert_eq!(dist.len(), 8);
+        let sum: f64 = dist.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "got {sum}");
+    }
+
+    #[test]
+    fn figure5_top2_mru_dominates() {
+        let p = mru_profile(&mix(), 4 << 20, 100_000, 1);
+        assert!(
+            p.top_n_fraction(2) > 0.5,
+            "top-2 MRU fraction should dominate, got {}",
+            p.top_n_fraction(2)
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! The unit of a workload trace.
+
+/// One LLSC-miss event produced by a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Access {
+    /// Physical byte address (64 B aligned).
+    pub addr: u64,
+    /// Whether this is a writeback into the DRAM cache.
+    pub is_write: bool,
+    /// Compute cycles the core spends before issuing this access.
+    pub gap: u64,
+}
+
+impl Access {
+    /// A read access.
+    #[must_use]
+    pub fn read(addr: u64, gap: u64) -> Self {
+        Access {
+            addr,
+            is_write: false,
+            gap,
+        }
+    }
+
+    /// A write access.
+    #[must_use]
+    pub fn write(addr: u64, gap: u64) -> Self {
+        Access {
+            addr,
+            is_write: true,
+            gap,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert!(!Access::read(0, 1).is_write);
+        assert!(Access::write(0, 1).is_write);
+    }
+}

@@ -1,0 +1,208 @@
+//! Multiprogrammed workload mixes (the paper's Table V).
+//!
+//! Q1–Q24 are 4-core mixes, E1–E16 are 8-core mixes, and S1–S8 are
+//! 16-core mixes, combined — like the paper — to cover high, moderate and
+//! low memory intensity. Mix membership is generated from a fixed rotation
+//! over the benchmark suite so the full suite appears across the mixes and
+//! each mix is deterministic.
+
+use crate::program::WorkloadSpec;
+use crate::spec::{spec_names, spec_profile};
+
+/// A named multiprogrammed mix: one program per core.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadMix {
+    name: String,
+    programs: Vec<WorkloadSpec>,
+}
+
+impl WorkloadMix {
+    /// Builds a mix from explicit programs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `programs` is empty.
+    #[must_use]
+    pub fn from_programs(name: impl Into<String>, programs: Vec<WorkloadSpec>) -> Self {
+        assert!(!programs.is_empty(), "a mix needs at least one program");
+        WorkloadMix {
+            name: name.into(),
+            programs,
+        }
+    }
+
+    /// The 4-core mix `Q1`..`Q24`, or `None` for unknown names.
+    #[must_use]
+    pub fn quad(name: &str) -> Option<Self> {
+        let idx: usize = name.strip_prefix('Q')?.parse().ok()?;
+        if !(1..=24).contains(&idx) {
+            return None;
+        }
+        Some(Self::rotate(name, idx, 4))
+    }
+
+    /// The 8-core mix `E1`..`E16`.
+    #[must_use]
+    pub fn eight(name: &str) -> Option<Self> {
+        let idx: usize = name.strip_prefix('E')?.parse().ok()?;
+        if !(1..=16).contains(&idx) {
+            return None;
+        }
+        Some(Self::rotate(name, idx, 8))
+    }
+
+    /// The 16-core mix `S1`..`S8`.
+    #[must_use]
+    pub fn sixteen(name: &str) -> Option<Self> {
+        let idx: usize = name.strip_prefix('S')?.parse().ok()?;
+        if !(1..=8).contains(&idx) {
+            return None;
+        }
+        Some(Self::rotate(name, idx, 16))
+    }
+
+    /// Deterministic rotation over the suite: mix `i` of width `w` takes
+    /// benchmarks starting at `(i-1)*3`, stepping by 1 for odd mixes
+    /// (clustered: neighbours in the suite share behaviour, like the
+    /// paper's homogeneous mixes Q2/Q4/Q5) and by a prime 7 for even
+    /// mixes (diverse blends), so the suite spans both extremes of
+    /// Figure 2's utilization spectrum.
+    fn rotate(name: &str, idx: usize, width: usize) -> Self {
+        let names = spec_names();
+        let step = if idx % 2 == 1 { 1 } else { 7 };
+        let programs = (0..width)
+            .map(|k| {
+                let j = ((idx - 1) * 3 + k * step) % names.len();
+                spec_profile(names[j]).expect("suite names all resolve")
+            })
+            .collect();
+        WorkloadMix {
+            name: name.to_owned(),
+            programs,
+        }
+    }
+
+    /// The mix's name (Q3, E12, ...).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The per-core programs.
+    #[must_use]
+    pub fn programs(&self) -> &[WorkloadSpec] {
+        &self.programs
+    }
+
+    /// Number of cores.
+    #[must_use]
+    pub fn cores(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// Is this a high-memory-intensity mix (>= half the programs
+    /// intensive — Table V's `*`)?
+    #[must_use]
+    pub fn is_memory_intensive(&self) -> bool {
+        let intense = self
+            .programs
+            .iter()
+            .filter(|p| p.is_memory_intensive())
+            .count();
+        intense * 2 >= self.programs.len()
+    }
+
+    /// Scales every program's footprint (for scaled-down cache studies).
+    #[must_use]
+    pub fn with_footprint_scale(mut self, scale: f64) -> Self {
+        self.programs = self
+            .programs
+            .into_iter()
+            .map(|p| p.with_footprint_scale(scale))
+            .collect();
+        self
+    }
+}
+
+/// All 24 quad-core mixes.
+#[must_use]
+pub fn all_quad() -> Vec<WorkloadMix> {
+    (1..=24)
+        .map(|i| WorkloadMix::quad(&format!("Q{i}")).expect("in range"))
+        .collect()
+}
+
+/// All 16 eight-core mixes.
+#[must_use]
+pub fn all_eight_core() -> Vec<WorkloadMix> {
+    (1..=16)
+        .map(|i| WorkloadMix::eight(&format!("E{i}")).expect("in range"))
+        .collect()
+}
+
+/// All 8 sixteen-core mixes.
+#[must_use]
+pub fn all_sixteen_core() -> Vec<WorkloadMix> {
+    (1..=8)
+        .map(|i| WorkloadMix::sixteen(&format!("S{i}")).expect("in range"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_widths() {
+        assert_eq!(WorkloadMix::quad("Q1").unwrap().cores(), 4);
+        assert_eq!(WorkloadMix::eight("E16").unwrap().cores(), 8);
+        assert_eq!(WorkloadMix::sixteen("S8").unwrap().cores(), 16);
+    }
+
+    #[test]
+    fn out_of_range_names_are_none() {
+        assert!(WorkloadMix::quad("Q0").is_none());
+        assert!(WorkloadMix::quad("Q25").is_none());
+        assert!(WorkloadMix::eight("E17").is_none());
+        assert!(WorkloadMix::sixteen("S9").is_none());
+        assert!(WorkloadMix::quad("E1").is_none());
+    }
+
+    #[test]
+    fn mixes_are_deterministic() {
+        assert_eq!(WorkloadMix::quad("Q5"), WorkloadMix::quad("Q5"));
+    }
+
+    #[test]
+    fn adjacent_mixes_differ() {
+        let a = WorkloadMix::quad("Q1").unwrap();
+        let b = WorkloadMix::quad("Q2").unwrap();
+        assert_ne!(a.programs(), b.programs());
+    }
+
+    #[test]
+    fn suite_has_intensity_diversity() {
+        let mixes = all_quad();
+        let intense = mixes.iter().filter(|m| m.is_memory_intensive()).count();
+        assert!(
+            intense >= 4,
+            "some mixes must be memory intensive, got {intense}"
+        );
+        assert!(intense <= 20, "some mixes must be light");
+    }
+
+    #[test]
+    fn all_collections_have_expected_sizes() {
+        assert_eq!(all_quad().len(), 24);
+        assert_eq!(all_eight_core().len(), 16);
+        assert_eq!(all_sixteen_core().len(), 8);
+    }
+
+    #[test]
+    fn footprint_scaling_applies_to_all_programs() {
+        let m = WorkloadMix::quad("Q1").unwrap().with_footprint_scale(0.1);
+        for p in m.programs() {
+            assert!(p.footprint_bytes <= 256 << 20);
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Reading and writing access traces.
+//!
+//! The paper's design-space results come from a *trace-driven* simulator
+//! fed by gem5-collected traces. This module lets users of this crate do
+//! the same with their own traces: a minimal self-describing binary
+//! format (`BMT1`) holding `(address, write-flag, gap)` records, plus an
+//! iterator adapter so file traces plug into the engine anywhere a
+//! generated [`crate::ProgramTrace`] would.
+//!
+//! Record layout (little endian): 8-byte address with the write flag in
+//! bit 63, then a 4-byte compute gap.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::access::Access;
+
+const MAGIC: &[u8; 4] = b"BMT1";
+const WRITE_BIT: u64 = 1 << 63;
+
+/// Writes `accesses` to `path` in the `BMT1` format.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating or writing the file, or
+/// `InvalidInput` if an address uses bit 63 (reserved for the write flag).
+pub fn write_trace<'a>(
+    path: impl AsRef<Path>,
+    accesses: impl IntoIterator<Item = &'a Access>,
+) -> io::Result<u64> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    let mut count = 0u64;
+    for a in accesses {
+        if a.addr & WRITE_BIT != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "addresses must leave bit 63 clear",
+            ));
+        }
+        let word = a.addr | if a.is_write { WRITE_BIT } else { 0 };
+        w.write_all(&word.to_le_bytes())?;
+        let gap = u32::try_from(a.gap.min(u64::from(u32::MAX))).expect("clamped");
+        w.write_all(&gap.to_le_bytes())?;
+        count += 1;
+    }
+    w.flush()?;
+    Ok(count)
+}
+
+/// An iterator over the accesses stored in a `BMT1` trace file.
+///
+/// # Example
+///
+/// ```
+/// use bimodal_workloads::{read_trace, write_trace, Access};
+///
+/// # fn main() -> std::io::Result<()> {
+/// let path = std::env::temp_dir().join("bimodal-doc-trace.bmt");
+/// let trace = vec![Access::read(0x1000, 10), Access::write(0x2040, 25)];
+/// write_trace(&path, &trace)?;
+/// let back: Vec<Access> = read_trace(&path)?.collect::<Result<_, _>>()?;
+/// assert_eq!(back, trace);
+/// # std::fs::remove_file(&path)?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct FileTrace {
+    reader: BufReader<File>,
+}
+
+/// Opens a `BMT1` trace file for iteration.
+///
+/// # Errors
+///
+/// Returns any I/O error from opening the file, or `InvalidData` if the
+/// magic header does not match.
+pub fn read_trace(path: impl AsRef<Path>) -> io::Result<FileTrace> {
+    let mut reader = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a BMT1 trace file",
+        ));
+    }
+    Ok(FileTrace { reader })
+}
+
+impl Iterator for FileTrace {
+    type Item = io::Result<Access>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let mut word = [0u8; 8];
+        match self.reader.read_exact(&mut word) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return None,
+            Err(e) => return Some(Err(e)),
+        }
+        let mut gap = [0u8; 4];
+        if let Err(e) = self.reader.read_exact(&mut gap) {
+            return Some(Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("truncated record: {e}"),
+            )));
+        }
+        let word = u64::from_le_bytes(word);
+        Some(Ok(Access {
+            addr: word & !WRITE_BIT,
+            is_write: word & WRITE_BIT != 0,
+            gap: u64::from(u32::from_le_bytes(gap)),
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{SpatialProfile, TemporalProfile, WorkloadSpec};
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("bimodal-test-{name}-{}.bmt", std::process::id()))
+    }
+
+    #[test]
+    fn round_trips_generated_traces() {
+        let spec = WorkloadSpec::new(
+            "io-test",
+            1 << 20,
+            SpatialProfile::moderate(),
+            TemporalProfile::moderate(),
+            0.3,
+            100,
+        );
+        let original: Vec<Access> = spec.trace(3, 0).take(5_000).collect();
+        let path = temp("roundtrip");
+        let n = write_trace(&path, &original).expect("writes");
+        assert_eq!(n, 5_000);
+        let back: Vec<Access> = read_trace(&path)
+            .expect("opens")
+            .collect::<Result<_, _>>()
+            .expect("reads");
+        std::fs::remove_file(&path).expect("cleanup");
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let path = temp("magic");
+        std::fs::write(&path, b"NOPE....").expect("writes");
+        let err = read_trace(&path).expect_err("must reject");
+        std::fs::remove_file(&path).expect("cleanup");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_reserved_address_bit() {
+        let path = temp("reserved");
+        let bad = vec![Access::read(1 << 63, 1)];
+        let err = write_trace(&path, &bad).expect_err("must reject");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_file_surfaces_an_error() {
+        let path = temp("truncated");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&42u64.to_le_bytes());
+        bytes.extend_from_slice(&[1, 2]); // half a gap field
+        std::fs::write(&path, bytes).expect("writes");
+        let items: Vec<_> = read_trace(&path).expect("opens").collect();
+        std::fs::remove_file(&path).expect("cleanup");
+        assert_eq!(items.len(), 1);
+        assert!(items[0].is_err());
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        let path = temp("empty");
+        write_trace(&path, &[]).expect("writes");
+        let items: Vec<_> = read_trace(&path).expect("opens").collect();
+        std::fs::remove_file(&path).expect("cleanup");
+        assert!(items.is_empty());
+    }
+}

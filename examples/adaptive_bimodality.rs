@@ -1,0 +1,70 @@
+//! Watch the Bi-Modal cache adapt its big/small mix to the workload.
+//!
+//! ```text
+//! cargo run --release --example adaptive_bimodality
+//! ```
+//!
+//! Drives the cache directly (no simulation harness) with three synthetic
+//! programs — dense streaming, sparse pointer-chasing, and a bi-modal
+//! blend — and prints how the global `(X_glob, Y_glob)` target and the
+//! fraction of small-block accesses respond (the behaviour behind
+//! Figure 10's 1%-48% spread).
+
+use bimodal::cache::{BiModalCache, BiModalConfig, CacheAccess, DramCacheScheme};
+use bimodal::dram::MemorySystem;
+use bimodal::workloads::{SpatialProfile, TemporalProfile, WorkloadSpec};
+
+fn run(name: &str, spatial: SpatialProfile) {
+    let spec = WorkloadSpec::new(
+        name,
+        64 << 20,
+        spatial,
+        TemporalProfile::moderate(),
+        0.3,
+        100,
+    );
+    let config = BiModalConfig::for_cache_mb(8).with_epoch(5_000);
+    let mut cache = BiModalCache::new(config);
+    let mut mem = MemorySystem::quad_core();
+
+    let mut now = 0;
+    let mut trace = spec.trace(7, 0);
+    println!(
+        "-- {name} (mean utilization {:.1} of 8 sub-blocks) --",
+        spec.spatial.mean_utilization()
+    );
+    for step in 1..=8u32 {
+        for _ in 0..25_000 {
+            let a = trace.next().expect("endless");
+            let out = cache.access(
+                if a.is_write {
+                    CacheAccess::write(a.addr, now)
+                } else {
+                    CacheAccess::read(a.addr, now)
+                },
+                &mut mem,
+            );
+            now = out.complete + a.gap;
+        }
+        let s = cache.stats();
+        println!(
+            "  after {:>6} accesses: global target {}, small-block accesses {:5.1} %, hit rate {:5.1} %",
+            step * 25_000,
+            cache.global_mix().target(),
+            s.small_block_fraction() * 100.0,
+            s.hit_rate() * 100.0,
+        );
+    }
+    let (pred_big, pred_small) = cache.predictor().prediction_counts();
+    println!("  predictor decisions: {pred_big} big, {pred_small} small");
+    println!();
+}
+
+fn main() {
+    run("dense-streaming", SpatialProfile::dense());
+    run("sparse-pointer-chase", SpatialProfile::sparse());
+    run("bimodal-blend", SpatialProfile::bimodal());
+    println!("Dense data keeps the all-big (4, 0) target; sparse data pushes the");
+    println!("cache toward (2, 16); blended data settles in between — the run-time");
+    println!("adaptation of Section III-B4.");
+}

@@ -1,0 +1,64 @@
+//! Build a custom synthetic workload and inspect its spatial behaviour.
+//!
+//! ```text
+//! cargo run --release --example custom_workload
+//! ```
+//!
+//! Shows the workload API: define a program by footprint, spatial
+//! utilization profile, temporal reuse and intensity; then verify the
+//! generated stream exhibits the requested utilization distribution (the
+//! methodology behind Figure 2) and see how block size changes its miss
+//! rate on a functional cache (Figure 1's methodology).
+
+use bimodal::cache::{FunctionalCache, FunctionalConfig};
+use bimodal::workloads::{SpatialProfile, TemporalProfile, WorkloadSpec};
+
+fn main() {
+    // A program whose 512 B regions are either fully used or single-line:
+    // the bi-modal pattern the paper's cache is designed for.
+    let spec = WorkloadSpec::new(
+        "my-workload",
+        32 << 20, // 32 MB footprint
+        SpatialProfile::new([0.5, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.5]),
+        TemporalProfile::moderate(),
+        0.25,
+        120,
+    );
+    println!(
+        "workload {}: {} MB footprint, write fraction 25%",
+        spec.name,
+        spec.footprint_bytes >> 20
+    );
+
+    // Measure the utilization distribution the stream produces.
+    let mut cache = FunctionalCache::new(FunctionalConfig::new(8 << 20, 512, 4));
+    for a in spec.trace(1, 0).take(400_000) {
+        cache.access(a.addr);
+    }
+    let hist = cache.utilization_histogram();
+    let total: u64 = hist.iter().sum();
+    println!("\nutilization of 512 B blocks (64 B sub-blocks referenced):");
+    for (used, &count) in hist.iter().enumerate().skip(1) {
+        let frac = count as f64 / total as f64 * 100.0;
+        println!(
+            "  {used}/8 sub-blocks: {frac:5.1} %  {}",
+            "#".repeat((frac / 2.0) as usize)
+        );
+    }
+
+    // Miss rate vs block size for this stream (Figure 1's methodology).
+    println!("\nmiss rate vs block size (8 MB, 4-way functional cache):");
+    for block in [64u32, 128, 256, 512, 1024, 2048, 4096] {
+        let mut c = FunctionalCache::new(FunctionalConfig::new(8 << 20, block, 4));
+        for a in spec.trace(1, 0).take(300_000) {
+            c.access(a.addr);
+        }
+        println!(
+            "  {block:>5} B blocks: {:5.1} % miss rate",
+            c.miss_rate() * 100.0
+        );
+    }
+    println!("\nLarger blocks exploit the dense half of the footprint but waste");
+    println!("capacity on the sparse half — exactly the tension the Bi-Modal");
+    println!("organization resolves by mixing 512 B and 64 B blocks per set.");
+}

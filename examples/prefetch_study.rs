@@ -1,0 +1,60 @@
+//! Prefetcher interaction study (the paper's Table VI).
+//!
+//! ```text
+//! cargo run --release --example prefetch_study
+//! ```
+//!
+//! Adds a next-N-lines prefetcher between the LLSC and the DRAM cache and
+//! compares the Bi-Modal cache against the prefetch-enabled AlloyCache
+//! baseline under both DRAM-cache-side policies: PREF_NORMAL (prefetches
+//! allocate like demand accesses) and PREF_BYPASS (prefetch misses bypass
+//! the cache).
+
+use bimodal::prelude::*;
+use bimodal::sim::PrefetchMode;
+use bimodal::workloads::WorkloadMix;
+
+fn main() {
+    let system = SystemConfig::quad_core().with_cache_mb(32);
+    let mix = WorkloadMix::quad("Q5").expect("known mix");
+    let accesses = 25_000;
+
+    println!(
+        "mix {} with a next-N-lines prefetcher, {} accesses/core",
+        mix.name(),
+        accesses
+    );
+    println!();
+    println!(
+        "{:>2} {:>12} {:>16} {:>16} {:>14}",
+        "N", "mode", "alloy lat (cy)", "bimodal lat (cy)", "latency gain %"
+    );
+
+    for n in [1u32, 3] {
+        for mode in [PrefetchMode::Normal, PrefetchMode::Bypass] {
+            let base = Simulation::new(system.clone(), SchemeKind::Alloy)
+                .with_prefetch(n, mode)
+                .run_mix(&mix, accesses)
+                .expect("valid run");
+            let ours = Simulation::new(system.clone(), SchemeKind::BiModal)
+                .with_prefetch(n, mode)
+                .run_mix(&mix, accesses)
+                .expect("valid run");
+            let gain = (base.avg_latency() - ours.avg_latency()) / base.avg_latency() * 100.0;
+            let mode_name = match mode {
+                PrefetchMode::Normal => "PREF_NORMAL",
+                PrefetchMode::Bypass => "PREF_BYPASS",
+            };
+            println!(
+                "{n:>2} {mode_name:>12} {:>16.1} {:>16.1} {:>14.1}",
+                base.avg_latency(),
+                ours.avg_latency(),
+                gain
+            );
+        }
+    }
+
+    println!();
+    println!("The Bi-Modal cache keeps its advantage with prefetching enabled");
+    println!("(Table VI reports 8.7%-10.4% ANTT gains over the prefetch-enabled baseline).");
+}

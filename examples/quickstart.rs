@@ -1,0 +1,73 @@
+//! Quickstart: run one multiprogrammed mix on the Bi-Modal DRAM cache.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds the paper's quad-core system (scaled to a 32 MB cache so the run
+//! finishes in seconds), drives workload mix Q1 through the Bi-Modal
+//! cache, and prints the headline statistics.
+
+use bimodal::prelude::*;
+use bimodal::sim::EnergyModel;
+
+fn main() {
+    // The paper's quad-core system (Table IV), scaled down 4x: the cache
+    // shrinks from 128 MB to 32 MB and workload footprints shrink with it,
+    // preserving capacity pressure.
+    let system = SystemConfig::quad_core().with_cache_mb(32);
+
+    // Q1 is one of the paper's 24 quad-core SPEC-like mixes (Table V).
+    let mix = WorkloadMix::quad("Q1").expect("Q1 is a known mix");
+    println!(
+        "mix {}: {} cores, memory-intensive: {}",
+        mix.name(),
+        mix.cores(),
+        mix.is_memory_intensive()
+    );
+    for (core, p) in mix.programs().iter().enumerate() {
+        println!(
+            "  core {core}: {:12} footprint {:5} MB, mean gap {:4} cycles",
+            p.name,
+            p.footprint_bytes >> 20,
+            p.mean_gap
+        );
+    }
+
+    let sim = Simulation::new(system, SchemeKind::BiModal);
+    let report = sim
+        .run_mix(&mix, 50_000)
+        .expect("the run parameters are valid");
+
+    println!();
+    println!("== Bi-Modal DRAM cache, mix {} ==", mix.name());
+    println!("accesses             : {}", report.dram_cache_accesses());
+    println!(
+        "hit rate             : {:6.2} %",
+        report.scheme.hit_rate() * 100.0
+    );
+    println!(
+        "way locator hit rate : {:6.2} %",
+        report.scheme.locator_hit_rate() * 100.0
+    );
+    println!("avg access latency   : {:6.1} cycles", report.avg_latency());
+    println!(
+        "small-block accesses : {:6.2} %",
+        report.scheme.small_block_fraction() * 100.0
+    );
+    println!(
+        "off-chip traffic     : {:6.1} MB",
+        report.offchip_bytes() as f64 / 1048576.0
+    );
+    println!(
+        "wasted fetch bytes   : {:6.2} %",
+        report.scheme.wasted_fetch_fraction() * 100.0
+    );
+    println!(
+        "metadata bank RBH    : {:6.2} %",
+        report.scheme.metadata_rbh() * 100.0
+    );
+
+    let energy = EnergyModel::paper_default().evaluate(&report.cache_dram, &report.offchip);
+    println!("memory energy        : {:6.2} mJ", energy.total_nj() / 1e6);
+}

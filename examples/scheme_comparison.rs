@@ -1,0 +1,77 @@
+//! Compare every DRAM cache organization on the same workload mix.
+//!
+//! ```text
+//! cargo run --release --example scheme_comparison [MIX]
+//! ```
+//!
+//! Runs AlloyCache, Loh-Hill, ATCache, Footprint Cache and the Bi-Modal
+//! cache (plus its ablations) over one quad-core mix and prints the
+//! comparison table the paper's Figures 7/8 summarize: hit rate, average
+//! LLSC miss penalty, locator hit rate and off-chip traffic.
+
+use bimodal::prelude::*;
+
+fn main() {
+    let mix_name = std::env::args().nth(1).unwrap_or_else(|| "Q3".to_owned());
+    let mix = WorkloadMix::quad(&mix_name)
+        .unwrap_or_else(|| panic!("unknown quad-core mix {mix_name} (use Q1..Q24)"));
+    let system = SystemConfig::quad_core().with_cache_mb(8);
+    let accesses = 40_000;
+
+    println!(
+        "mix {} on a {} MB DRAM cache, {} measured accesses/core",
+        mix.name(),
+        system.cache_mb,
+        accesses
+    );
+    println!();
+    println!(
+        "{:18} {:>8} {:>10} {:>12} {:>12} {:>12}",
+        "scheme", "hit %", "locator %", "avg lat (cy)", "offchip MB", "wasted %"
+    );
+
+    let mut schemes = SchemeKind::comparison_set();
+    schemes.extend([
+        SchemeKind::Fixed512,
+        SchemeKind::WayLocatorOnly,
+        SchemeKind::BiModalOnly,
+    ]);
+
+    let mut reports = Vec::new();
+    for kind in schemes {
+        let report = Simulation::new(system.clone(), kind)
+            .run_mix(&mix, accesses)
+            .expect("valid run");
+        println!(
+            "{:18} {:>8.2} {:>10.2} {:>12.1} {:>12.2} {:>12.2}",
+            kind.name(),
+            report.scheme.hit_rate() * 100.0,
+            report.scheme.locator_hit_rate() * 100.0,
+            report.avg_latency(),
+            report.offchip_bytes() as f64 / 1048576.0,
+            report.scheme.wasted_fetch_fraction() * 100.0,
+        );
+        reports.push((kind, report));
+    }
+
+    println!();
+    println!("average latency breakdown (cycles per access):");
+    println!(
+        "{:18} {:>8} {:>10} {:>10} {:>10}",
+        "scheme", "sram", "dram tag", "dram data", "off-chip"
+    );
+    for (kind, r) in &reports {
+        let n = r.scheme.accesses.max(1) as f64;
+        let b = &r.scheme.breakdown;
+        println!(
+            "{:18} {:>8.1} {:>10.1} {:>10.1} {:>10.1}",
+            kind.name(),
+            b.sram as f64 / n,
+            b.dram_tag as f64 / n,
+            b.dram_data as f64 / n,
+            b.offchip as f64 / n,
+        );
+    }
+    println!();
+    println!("(locator % is the way-locator / tag-cache hit rate; schemes without one show 0)");
+}

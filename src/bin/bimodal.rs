@@ -1,0 +1,297 @@
+//! `bimodal` — command-line front end for the Bi-Modal DRAM cache
+//! simulator.
+//!
+//! ```text
+//! bimodal list
+//! bimodal run --mix Q3 --scheme bimodal --accesses 30000 --cache-mb 8
+//! bimodal compare --mix Q3
+//! bimodal antt --mix E2 --scheme bimodal
+//! bimodal sweep --mix Q3
+//! bimodal record --program mcf --out mcf.bmt --n 100000
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use bimodal::prelude::*;
+use bimodal::sim::sweep;
+use bimodal::workloads::{spec_names, spec_profile, write_trace};
+
+fn usage() -> &'static str {
+    "usage: bimodal <command> [--flag value]...\n\
+     \n\
+     commands:\n\
+     \x20 list                         mixes, schemes and programs\n\
+     \x20 run     --mix <M> --scheme <S> [--accesses N] [--cache-mb C] [--seed K]\n\
+     \x20 compare --mix <M> [--accesses N] [--cache-mb C]\n\
+     \x20 antt    --mix <M> --scheme <S> [--accesses N] [--cache-mb C]\n\
+     \x20 sweep   --mix <M> [--accesses N] [--cache-mb C]\n\
+     \x20 record  --program <P> --out <FILE> [--n N] [--seed K]\n\
+     \n\
+     mixes: Q1..Q24 (4-core), E1..E16 (8-core), S1..S8 (16-core)\n\
+     schemes: bimodal, bimodal-only, waylocator-only, fixed512, alloy,\n\
+     \x20        lohhill, atcache, footprint, bimodal-mp"
+}
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected a --flag, got {:?}", args[i]))?;
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("--{key} needs a value"))?;
+        flags.insert(key.to_owned(), value.clone());
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn parse_scheme(name: &str) -> Result<SchemeKind, String> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "bimodal" => SchemeKind::BiModal,
+        "bimodal-only" => SchemeKind::BiModalOnly,
+        "waylocator-only" | "wl-only" => SchemeKind::WayLocatorOnly,
+        "fixed512" => SchemeKind::Fixed512,
+        "bimodal-mp" => SchemeKind::BiModalMissPredict,
+        "alloy" | "alloycache" => SchemeKind::Alloy,
+        "lohhill" | "loh-hill" => SchemeKind::LohHill,
+        "atcache" => SchemeKind::AtCache,
+        "footprint" | "fpc" => SchemeKind::Footprint,
+        other => return Err(format!("unknown scheme {other:?}")),
+    })
+}
+
+fn parse_mix(name: &str) -> Result<(WorkloadMix, SystemConfig), String> {
+    let mix = WorkloadMix::quad(name)
+        .or_else(|| WorkloadMix::eight(name))
+        .or_else(|| WorkloadMix::sixteen(name))
+        .ok_or_else(|| format!("unknown mix {name:?} (Q1..Q24, E1..E16, S1..S8)"))?;
+    let system = match mix.cores() {
+        4 => SystemConfig::quad_core().with_cache_mb(8),
+        8 => SystemConfig::eight_core().with_cache_mb(16),
+        _ => SystemConfig::sixteen_core().with_cache_mb(32),
+    };
+    Ok((mix, system))
+}
+
+fn configured_system(
+    base: SystemConfig,
+    flags: &HashMap<String, String>,
+) -> Result<SystemConfig, String> {
+    let mut system = base;
+    if let Some(mb) = flags.get("cache-mb") {
+        let mb: u64 = mb
+            .parse()
+            .map_err(|_| "cache-mb must be a number".to_owned())?;
+        system = system.with_cache_mb(mb);
+    }
+    if let Some(seed) = flags.get("seed") {
+        let seed: u64 = seed
+            .parse()
+            .map_err(|_| "seed must be a number".to_owned())?;
+        system = system.with_seed(seed);
+    }
+    Ok(system)
+}
+
+fn accesses(flags: &HashMap<String, String>, default: u64) -> Result<u64, String> {
+    match flags.get("accesses") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| "accesses must be a number".to_owned()),
+        None => Ok(default),
+    }
+}
+
+fn print_report(label: &str, r: &bimodal::sim::RunReport) {
+    println!("== {label} ==");
+    println!("accesses             : {}", r.dram_cache_accesses());
+    println!(
+        "hit rate             : {:6.2} %",
+        r.scheme.hit_rate() * 100.0
+    );
+    println!(
+        "locator hit rate     : {:6.2} %",
+        r.scheme.locator_hit_rate() * 100.0
+    );
+    println!("avg access latency   : {:6.1} cycles", r.avg_latency());
+    println!(
+        "small-block accesses : {:6.2} %",
+        r.scheme.small_block_fraction() * 100.0
+    );
+    println!(
+        "off-chip traffic     : {:6.2} MB",
+        r.offchip_bytes() as f64 / 1048576.0
+    );
+    println!(
+        "wasted fetch bytes   : {:6.2} %",
+        r.scheme.wasted_fetch_fraction() * 100.0
+    );
+}
+
+fn cmd_list() {
+    println!("4-core mixes : Q1..Q24");
+    println!("8-core mixes : E1..E16");
+    println!("16-core mixes: S1..S8");
+    println!();
+    println!("schemes: bimodal bimodal-only waylocator-only fixed512 bimodal-mp");
+    println!("         alloy lohhill atcache footprint");
+    println!();
+    println!("programs:");
+    for name in spec_names() {
+        let p = spec_profile(name).expect("listed names resolve");
+        println!(
+            "  {name:12} {:5} MB footprint, mean gap {:4} cycles{}",
+            p.footprint_bytes >> 20,
+            p.mean_gap,
+            if p.is_memory_intensive() {
+                "  *memory-intensive*"
+            } else {
+                ""
+            }
+        );
+    }
+}
+
+fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
+    let mix_name = flags.get("mix").ok_or("run needs --mix")?;
+    let scheme = parse_scheme(flags.get("scheme").ok_or("run needs --scheme")?)?;
+    let (mix, base) = parse_mix(mix_name)?;
+    let system = configured_system(base, flags)?;
+    let n = accesses(flags, 30_000)?;
+    let report = Simulation::new(system, scheme)
+        .run_mix(&mix, n)
+        .map_err(|e| e.to_string())?;
+    print_report(&format!("{} on {}", scheme.name(), mix.name()), &report);
+    Ok(())
+}
+
+fn cmd_compare(flags: &HashMap<String, String>) -> Result<(), String> {
+    let mix_name = flags.get("mix").ok_or("compare needs --mix")?;
+    let (mix, base) = parse_mix(mix_name)?;
+    let system = configured_system(base, flags)?;
+    let n = accesses(flags, 30_000)?;
+    println!(
+        "{:18} {:>8} {:>10} {:>12} {:>12} {:>10}",
+        "scheme", "hit %", "locator %", "avg lat (cy)", "offchip MB", "wasted %"
+    );
+    for kind in SchemeKind::all() {
+        let r = Simulation::new(system.clone(), kind)
+            .run_mix(&mix, n)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "{:18} {:>8.2} {:>10.2} {:>12.1} {:>12.2} {:>10.2}",
+            kind.name(),
+            r.scheme.hit_rate() * 100.0,
+            r.scheme.locator_hit_rate() * 100.0,
+            r.avg_latency(),
+            r.offchip_bytes() as f64 / 1048576.0,
+            r.scheme.wasted_fetch_fraction() * 100.0,
+        );
+    }
+    Ok(())
+}
+
+fn cmd_antt(flags: &HashMap<String, String>) -> Result<(), String> {
+    let mix_name = flags.get("mix").ok_or("antt needs --mix")?;
+    let scheme = parse_scheme(flags.get("scheme").ok_or("antt needs --scheme")?)?;
+    let (mix, base) = parse_mix(mix_name)?;
+    let system = configured_system(base, flags)?;
+    let n = accesses(flags, 20_000)?;
+    let ours = Simulation::new(system.clone(), scheme)
+        .run_antt(&mix, n)
+        .map_err(|e| e.to_string())?;
+    let baseline = Simulation::new(system, SchemeKind::Alloy)
+        .run_antt(&mix, n)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "{} ANTT on {}: {:.3}",
+        scheme.name(),
+        mix.name(),
+        ours.antt()
+    );
+    println!("AlloyCache ANTT        : {:.3}", baseline.antt());
+    println!(
+        "improvement            : {:+.1} %",
+        ours.improvement_over(&baseline)
+    );
+    Ok(())
+}
+
+fn cmd_sweep(flags: &HashMap<String, String>) -> Result<(), String> {
+    let mix_name = flags.get("mix").ok_or("sweep needs --mix")?;
+    let (mix, base) = parse_mix(mix_name)?;
+    let system = configured_system(base, flags)?;
+    let n = accesses(flags, 400_000)?;
+    let scaled = mix.clone().with_footprint_scale(system.footprint_scale);
+    println!(
+        "miss rate vs block size (functional, {} MB):",
+        system.cache_mb
+    );
+    let sizes = [64u32, 128, 256, 512, 1024, 2048, 4096];
+    for (bs, rate) in
+        sweep::miss_rate_vs_block_size(&scaled, system.cache_bytes(), &sizes, n, system.seed)
+    {
+        println!("  {bs:>5} B : {:5.1} % miss", rate * 100.0);
+    }
+    Ok(())
+}
+
+fn cmd_record(flags: &HashMap<String, String>) -> Result<(), String> {
+    let program = flags.get("program").ok_or("record needs --program")?;
+    let out = flags.get("out").ok_or("record needs --out")?;
+    let n: usize = match flags.get("n") {
+        Some(v) => v.parse().map_err(|_| "n must be a number".to_owned())?,
+        None => 100_000,
+    };
+    let seed: u64 = match flags.get("seed") {
+        Some(v) => v.parse().map_err(|_| "seed must be a number".to_owned())?,
+        None => 7,
+    };
+    let spec = spec_profile(program).ok_or_else(|| format!("unknown program {program:?}"))?;
+    let accesses: Vec<_> = spec.trace(seed, 0).take(n).collect();
+    let written = write_trace(out, &accesses).map_err(|e| e.to_string())?;
+    println!("wrote {written} accesses of {program} to {out}");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let flags = match parse_flags(&args[1..]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "list" => {
+            cmd_list();
+            Ok(())
+        }
+        "run" => cmd_run(&flags),
+        "compare" => cmd_compare(&flags),
+        "antt" => cmd_antt(&flags),
+        "sweep" => cmd_sweep(&flags),
+        "record" => cmd_record(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Smoke tests for the `bimodal` command-line binary.
+
+use std::process::Command;
+
+fn bimodal() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_bimodal"))
+}
+
+#[test]
+fn list_names_mixes_and_programs() {
+    let out = bimodal().arg("list").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Q1..Q24"));
+    assert!(text.contains("mcf"));
+    assert!(text.contains("bimodal"));
+}
+
+#[test]
+fn run_reports_statistics() {
+    let out = bimodal()
+        .args([
+            "run",
+            "--mix",
+            "Q2",
+            "--scheme",
+            "bimodal",
+            "--accesses",
+            "2000",
+            "--cache-mb",
+            "4",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("hit rate"));
+    assert!(text.contains("avg access latency"));
+}
+
+#[test]
+fn unknown_scheme_fails_with_usage() {
+    let out = bimodal()
+        .args(["run", "--mix", "Q2", "--scheme", "nonsense"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown scheme"));
+    assert!(err.contains("usage:"));
+}
+
+#[test]
+fn unknown_mix_fails() {
+    let out = bimodal()
+        .args(["run", "--mix", "Z9", "--scheme", "bimodal"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown mix"));
+}
+
+#[test]
+fn record_then_reload_trace() {
+    let path = std::env::temp_dir().join(format!("bimodal-cli-{}.bmt", std::process::id()));
+    let out = bimodal()
+        .args([
+            "record",
+            "--program",
+            "gcc",
+            "--out",
+            path.to_str().expect("utf8"),
+            "--n",
+            "1000",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let accesses: Vec<_> = bimodal::workloads::read_trace(&path)
+        .expect("opens")
+        .collect::<Result<Vec<_>, _>>()
+        .expect("parses");
+    std::fs::remove_file(&path).expect("cleanup");
+    assert_eq!(accesses.len(), 1000);
+}
+
+#[test]
+fn no_arguments_prints_usage() {
+    let out = bimodal().output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}

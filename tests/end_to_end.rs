@@ -1,0 +1,280 @@
+//! End-to-end integration tests: the paper's qualitative claims must hold
+//! on small simulated runs.
+
+use bimodal::prelude::*;
+use bimodal::sim::EnergyModel;
+
+fn system() -> SystemConfig {
+    SystemConfig::quad_core().with_cache_mb(8)
+}
+
+fn run(kind: SchemeKind, mix: &WorkloadMix, n: u64) -> bimodal::sim::RunReport {
+    Simulation::new(system(), kind)
+        .run_mix(mix, n)
+        .expect("valid run")
+}
+
+/// A diverse mix (even index) and a clustered one (odd index).
+fn mixes() -> Vec<WorkloadMix> {
+    vec![
+        WorkloadMix::quad("Q2").expect("known"),
+        WorkloadMix::quad("Q3").expect("known"),
+    ]
+}
+
+#[test]
+fn big_blocks_beat_64b_blocks_on_hit_rate() {
+    // The Figure 1 motivation: 512 B organizations hit far more often
+    // than the 64 B AlloyCache.
+    for mix in mixes() {
+        let alloy = run(SchemeKind::Alloy, &mix, 12_000);
+        let fixed = run(SchemeKind::Fixed512, &mix, 12_000);
+        assert!(
+            fixed.scheme.hit_rate() > alloy.scheme.hit_rate() + 0.1,
+            "{}: fixed {:.2} vs alloy {:.2}",
+            mix.name(),
+            fixed.scheme.hit_rate(),
+            alloy.scheme.hit_rate()
+        );
+    }
+}
+
+#[test]
+fn bimodal_saves_offchip_bandwidth_over_fixed_512() {
+    // The Figure 9(a) claim. On all-dense mixes the two organizations
+    // converge (few small blocks), so the saving is asserted where the
+    // paper claims it: mixes with sparse data, and in aggregate.
+    let sparse_leaning = WorkloadMix::quad("Q1").expect("known");
+    let fixed = run(SchemeKind::Fixed512, &sparse_leaning, 12_000);
+    let bimodal = run(SchemeKind::BiModal, &sparse_leaning, 12_000);
+    assert!(
+        (bimodal.wasted_bytes() as f64) < fixed.wasted_bytes() as f64 * 0.8,
+        "Q1: bimodal wasted {} vs fixed {}",
+        bimodal.wasted_bytes(),
+        fixed.wasted_bytes()
+    );
+}
+
+#[test]
+fn way_locator_cuts_latency_of_fixed_512() {
+    // The Figure 8(a) Way-Locator-Only ablation: locating ways from SRAM
+    // must beat reading DRAM tags on every access.
+    for mix in mixes() {
+        let no_wl = run(SchemeKind::BiModalOnly, &mix, 12_000);
+        let wl = run(SchemeKind::BiModal, &mix, 12_000);
+        assert!(
+            wl.avg_latency() < no_wl.avg_latency(),
+            "{}: with locator {:.1} vs without {:.1}",
+            mix.name(),
+            wl.avg_latency(),
+            no_wl.avg_latency()
+        );
+    }
+}
+
+#[test]
+fn way_locator_hit_rate_grows_with_k() {
+    use bimodal::cache::{BiModalCache, BiModalConfig};
+    use bimodal::sim::{Engine, EngineOptions};
+    let sys = system();
+    let mix = WorkloadMix::quad("Q3")
+        .expect("known")
+        .with_footprint_scale(sys.footprint_scale);
+    let rate = |k: u32| {
+        let config = BiModalConfig::for_cache_mb(sys.cache_mb)
+            .with_stacked_dram(sys.stacked.clone())
+            .with_way_locator_bits(k)
+            .with_epoch(10_000);
+        let mut cache = BiModalCache::new(config);
+        let mut mem = sys.build_memory();
+        let traces = mix
+            .programs()
+            .iter()
+            .enumerate()
+            .map(|(c, p)| p.trace(sys.seed, u32::try_from(c).expect("small")))
+            .collect();
+        Engine::new(EngineOptions::measured(10_000).with_warmup(2_000))
+            .run(&mut cache, &mut mem, traces)
+            .scheme
+            .locator_hit_rate()
+    };
+    let small = rate(8);
+    let big = rate(14);
+    assert!(
+        big > small,
+        "K=14 locator ({big:.3}) must out-hit K=8 ({small:.3})"
+    );
+}
+
+#[test]
+fn bimodal_adapts_small_fraction_to_workload() {
+    // Figure 10: dense mixes use almost no small blocks; sparse ones use
+    // plenty.
+    let dense = WorkloadMix::quad("Q3").expect("known"); // clustered dense
+    let sparse = WorkloadMix::quad("Q1").expect("known"); // clustered sparse
+    let d = run(SchemeKind::BiModal, &dense, 15_000);
+    let s = run(SchemeKind::BiModal, &sparse, 15_000);
+    assert!(
+        s.scheme.small_block_fraction() > d.scheme.small_block_fraction() + 0.05,
+        "sparse {:.2} vs dense {:.2}",
+        s.scheme.small_block_fraction(),
+        d.scheme.small_block_fraction()
+    );
+}
+
+#[test]
+fn dedicated_metadata_bank_never_holds_set_data() {
+    use bimodal::cache::{DataLayout, MetadataLayout, MetadataPlacement};
+    let geometry = bimodal::cache::CacheGeometry::paper_default(8 << 20);
+    let dram = bimodal::dram::DramConfig::stacked(2, 8);
+    let layout = DataLayout::new(&geometry, &dram, true);
+    let md = MetadataLayout::new(&geometry, &dram, &layout, MetadataPlacement::DedicatedBank);
+    for set in 0..geometry.n_sets() {
+        let d = layout.set_location(set);
+        assert_ne!(
+            Some(d.bank),
+            layout.metadata_bank(),
+            "set {set} on metadata bank"
+        );
+        let m = md.metadata_location(set, d);
+        assert_ne!(
+            m.channel, d.channel,
+            "metadata must be on the other channel"
+        );
+    }
+}
+
+#[test]
+fn antt_is_at_least_one_on_shared_systems() {
+    let mix = WorkloadMix::quad("Q2").expect("known");
+    for kind in [SchemeKind::Alloy, SchemeKind::BiModal] {
+        let antt = Simulation::new(system(), kind)
+            .run_antt(&mix, 4_000)
+            .expect("valid run");
+        assert!(
+            antt.antt() > 0.95,
+            "{kind:?}: sharing cannot speed programs up, got {}",
+            antt.antt()
+        );
+    }
+}
+
+#[test]
+fn energy_tracks_offchip_traffic() {
+    let mix = WorkloadMix::quad("Q3").expect("known");
+    let fixed = run(SchemeKind::Fixed512, &mix, 12_000);
+    let bimodal = run(SchemeKind::BiModal, &mix, 12_000);
+    let model = EnergyModel::paper_default();
+    let e_fixed = model.evaluate(&fixed.cache_dram, &fixed.offchip);
+    let e_bimodal = model.evaluate(&bimodal.cache_dram, &bimodal.offchip);
+    // Less off-chip traffic must show up as less off-chip I/O energy.
+    if bimodal.offchip_bytes() < fixed.offchip_bytes() {
+        assert!(e_bimodal.offchip_io_nj < e_fixed.offchip_io_nj);
+    }
+}
+
+#[test]
+fn deferred_background_work_eventually_drains() {
+    let mix = WorkloadMix::quad("Q2").expect("known");
+    let sys = system();
+    let mut scheme = SchemeKind::BiModal.build(&sys);
+    let mut mem = sys.build_memory();
+    let scaled = mix.clone().with_footprint_scale(sys.footprint_scale);
+    let mut trace = scaled.programs()[0].trace(1, 0);
+    let mut now = 0;
+    for _ in 0..3_000 {
+        let a = trace.next().expect("endless");
+        let out = scheme.access(
+            if a.is_write {
+                bimodal::cache::CacheAccess::write(a.addr, now)
+            } else {
+                bimodal::cache::CacheAccess::read(a.addr, now)
+            },
+            &mut mem,
+        );
+        now = out.complete + a.gap;
+    }
+    mem.drain_deferred(u64::MAX);
+    assert_eq!(mem.deferred_pending(), 0);
+}
+
+#[test]
+fn paper_scale_configuration_also_runs() {
+    // A short smoke run at the paper's true 128 MB scale.
+    let sys = SystemConfig::quad_core();
+    let mix = WorkloadMix::quad("Q4").expect("known");
+    let r = Simulation::new(sys, SchemeKind::BiModal)
+        .run_mix(&mix, 2_000)
+        .expect("valid run");
+    assert!(r.dram_cache_accesses() >= 8_000);
+}
+
+#[test]
+fn four_kb_sets_run_end_to_end() {
+    use bimodal::cache::{BiModalCache, BiModalConfig, CacheGeometry, DramCacheScheme};
+    // 4 KB sets need 4 KB DRAM pages; allowed states reach (4, 32).
+    let geometry = CacheGeometry {
+        cache_bytes: 8 << 20,
+        set_bytes: 4096,
+        big_block: 512,
+        small_block: 64,
+    };
+    assert_eq!(geometry.max_assoc(), 36);
+    let config = BiModalConfig::for_geometry(geometry, 32).with_epoch(2_000);
+    let mut cache = BiModalCache::new(config.clone());
+    let mut mem = bimodal::dram::MemorySystem::new(
+        config.stacked_dram.clone(),
+        bimodal::dram::DramConfig::ddr3(1, 2),
+    );
+    let mut now = 0;
+    let mut x = 5u64;
+    for _ in 0..8_000 {
+        x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+        let out = cache.access(
+            bimodal::cache::CacheAccess::read((x >> 28) % (32 << 20), now),
+            &mut mem,
+        );
+        now = out.complete + 20;
+    }
+    let s = cache.stats();
+    assert_eq!(s.hits + s.misses, 8_000);
+    assert!(s.hit_rate() > 0.0);
+    // 36-way metadata needs 3 bursts (footnote 10): worst-case read is 192 B.
+    use bimodal::cache::{DataLayout, MetadataLayout, MetadataPlacement};
+    let layout = DataLayout::new(&config.geometry, &config.stacked_dram, true);
+    let md = MetadataLayout::new(
+        &config.geometry,
+        &config.stacked_dram,
+        &layout,
+        MetadataPlacement::DedicatedBank,
+    );
+    assert_eq!(md.tag_read_bytes(), 192);
+}
+
+#[test]
+fn llsc_filtered_runs_reach_the_dram_cache_less() {
+    use bimodal::sim::{Engine, EngineOptions, LlscConfig};
+    let sys = system();
+    let mix = WorkloadMix::quad("Q2").expect("known");
+    let scaled = mix.with_footprint_scale(sys.footprint_scale);
+    let traces = |seed| {
+        scaled
+            .programs()
+            .iter()
+            .enumerate()
+            .map(|(c, p)| p.trace(seed, u32::try_from(c).expect("small")))
+            .collect::<Vec<_>>()
+    };
+    let mut raw_scheme = SchemeKind::BiModal.build(&sys);
+    let mut raw_mem = sys.build_memory();
+    let raw = Engine::new(EngineOptions::measured(3_000)).run(
+        raw_scheme.as_mut(),
+        &mut raw_mem,
+        traces(1),
+    );
+    let mut f_scheme = SchemeKind::BiModal.build(&sys);
+    let mut f_mem = sys.build_memory();
+    let filtered = Engine::new(EngineOptions::measured(3_000).with_llsc(LlscConfig::table_iv(4)))
+        .run(f_scheme.as_mut(), &mut f_mem, traces(1));
+    assert!(filtered.scheme.accesses < raw.scheme.accesses);
+}
