@@ -13,8 +13,7 @@
 //!    fill is fetched off-chip at that granularity, and the Table II rules
 //!    place it (aligning the set state toward the global target).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use bimodal_prng::SmallRng;
 
 use bimodal_dram::{Cycle, DeferredOp, DramConfig, MemorySystem, Op, Request, RowEvent};
 

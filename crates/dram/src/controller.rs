@@ -45,6 +45,9 @@ pub struct DramModule {
     config: DramConfig,
     banks: Vec<Bank>,
     bank_stats: Vec<BankStats>,
+    /// Running sum over all banks, so [`DramModule::stats`] is O(1) —
+    /// the observability layer reads it on every sampled access.
+    totals: BankStats,
     /// Refresh epoch (`time / tREFI`) last observed per bank; a new epoch
     /// closes the row buffer (refresh precharges all banks).
     bank_epoch: Vec<u64>,
@@ -74,6 +77,7 @@ impl DramModule {
         DramModule {
             banks: (0..n_banks).map(|_| Bank::new()).collect(),
             bank_stats: vec![BankStats::default(); n_banks],
+            totals: BankStats::default(),
             bank_epoch: vec![0; n_banks],
             rank_activates: vec![
                 ([0; 4], 0);
@@ -175,7 +179,7 @@ impl DramModule {
         let at = self.faw_adjust(loc, at, !self.banks[idx].would_hit(loc.row));
         let timing = self.config.timing;
         let prep = self.banks[idx].prepare_row(loc.row, at, &timing);
-        self.bank_stats[idx].record_row_event(prep.event);
+        self.note_row_event(idx, prep.event);
         OpenRowOutcome {
             row_open: prep.row_open,
             row_event: prep.event,
@@ -197,7 +201,7 @@ impl DramModule {
             (start, None, start)
         } else {
             let prep = self.banks[idx].prepare_row(loc.row, at, &timing);
-            self.bank_stats[idx].record_row_event(prep.event);
+            self.note_row_event(idx, prep.event);
             (prep.row_open, Some(prep.event), prep.start)
         };
         let completion = self.finish_column(idx, loc, bytes, op, cas_ready, start, at);
@@ -238,7 +242,7 @@ impl DramModule {
             let timing = self.config.timing;
             self.banks[idx].close(occupy, &timing);
         }
-        self.bank_stats[idx].record_op(op, bytes);
+        self.note_op(idx, op, bytes);
         Completion {
             arrival,
             start,
@@ -258,7 +262,7 @@ impl DramModule {
         let at = self.faw_adjust(req.loc, at, !self.banks[idx].would_hit(req.loc.row));
         let timing = self.config.timing;
         let prep = self.banks[idx].prepare_row(req.loc.row, at, &timing);
-        self.bank_stats[idx].record_row_event(prep.event);
+        self.note_row_event(idx, prep.event);
         let completion = self.finish_column(
             idx,
             req.loc,
@@ -353,17 +357,24 @@ impl DramModule {
         &self.bank_stats[self.bank_index(loc)]
     }
 
-    /// Aggregate statistics over the whole module.
+    /// Aggregate statistics over the whole module. O(1): totals are
+    /// maintained incrementally as commands are recorded.
     #[must_use]
     pub fn stats(&self) -> DramStats {
-        let mut totals = BankStats::default();
-        for b in &self.bank_stats {
-            totals.merge(b);
-        }
         DramStats {
-            totals,
+            totals: self.totals,
             refresh_stalls: self.refresh_stalls,
         }
+    }
+
+    fn note_row_event(&mut self, idx: usize, event: RowEvent) {
+        self.bank_stats[idx].record_row_event(event);
+        self.totals.record_row_event(event);
+    }
+
+    fn note_op(&mut self, idx: usize, op: Op, bytes: u32) {
+        self.bank_stats[idx].record_op(op, bytes);
+        self.totals.record_op(op, bytes);
     }
 
     /// Clears all statistics (e.g. after a warm-up phase). Timing state
@@ -372,6 +383,7 @@ impl DramModule {
         for b in &mut self.bank_stats {
             *b = BankStats::default();
         }
+        self.totals = BankStats::default();
         self.refresh_stalls = 0;
     }
 }

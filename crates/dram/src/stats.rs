@@ -81,18 +81,6 @@ impl BankStats {
             }
         }
     }
-
-    pub(crate) fn merge(&mut self, other: &BankStats) {
-        self.row_hits += other.row_hits;
-        self.row_misses += other.row_misses;
-        self.row_empty += other.row_empty;
-        self.activates += other.activates;
-        self.precharges += other.precharges;
-        self.reads += other.reads;
-        self.writes += other.writes;
-        self.bytes_read += other.bytes_read;
-        self.bytes_written += other.bytes_written;
-    }
 }
 
 /// Module-wide statistics: the sum over all banks plus refresh events.
@@ -136,17 +124,5 @@ mod tests {
         assert_eq!(s.bytes_read, 128);
         assert_eq!(s.bytes_written, 128);
         assert!((s.row_buffer_hit_rate() - 1.0 / 3.0).abs() < 1e-12);
-    }
-
-    #[test]
-    fn merge_adds_counters() {
-        let mut a = BankStats::default();
-        a.record_row_event(RowEvent::Hit);
-        let mut b = BankStats::default();
-        b.record_row_event(RowEvent::Miss);
-        a.merge(&b);
-        assert_eq!(a.accesses(), 2);
-        assert_eq!(a.row_hits, 1);
-        assert_eq!(a.row_misses, 1);
     }
 }

@@ -1,0 +1,358 @@
+//! Log2-bucketed latency histograms with percentile estimation.
+//!
+//! Latencies in a DRAM-cache simulator span four orders of magnitude
+//! (an SRAM way-locator hit is tens of cycles; a queued off-chip miss
+//! behind a refresh can be thousands), so fixed-width buckets either
+//! blur the head or truncate the tail. Power-of-two buckets give a
+//! constant relative error (< 50%, halved again by in-bucket
+//! interpolation) with 64 counters and O(1) recording — cheap enough to
+//! run on every access when observability is on.
+
+use crate::json::Json;
+
+/// Number of log2 buckets: bucket `i` holds values in
+/// `[2^(i-1), 2^i)` (bucket 0 holds the value 0 and 1-cycle values land
+/// in bucket 1). 64 buckets cover the entire `u64` range.
+const BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` samples (latencies in cycles).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// Index of the bucket `value` falls into.
+#[inline]
+fn bucket_of(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// Inclusive `[lo, hi]` value range of bucket `i`.
+fn bucket_bounds(i: usize) -> (u64, u64) {
+    match i {
+        0 => (0, 0),
+        64 => (1 << 63, u64::MAX),
+        _ => (1 << (i - 1), (1 << i) - 1),
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample. O(1).
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.counts[bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest sample, or 0 when empty.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Smallest sample, or 0 when empty.
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Arithmetic mean, or 0.0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimated `q`-quantile (`q` in `[0, 1]`), interpolated linearly
+    /// within the containing bucket and clamped to the observed
+    /// `[min, max]`. Returns 0 for an empty histogram, the exact value
+    /// for a single sample.
+    #[must_use]
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target sample, 1-based, nearest-rank style.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                // Interpolate within bucket i: values span [lo, hi].
+                let (lo, hi) = bucket_bounds(i);
+                let into = (rank - seen) as f64 / c as f64;
+                let est = lo as f64 + (hi.saturating_sub(lo)) as f64 * into;
+                return (est.round() as u64).clamp(self.min, self.max);
+            }
+            seen += c;
+        }
+        self.max
+    }
+
+    /// Resets all counters (e.g. after a warm-up phase).
+    pub fn reset(&mut self) {
+        *self = Histogram::new();
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Summarizes into the fixed percentile set reports carry.
+    #[must_use]
+    pub fn summary(&self) -> HistSummary {
+        HistSummary {
+            count: self.count,
+            mean: self.mean(),
+            min: self.min(),
+            p50: self.percentile(0.50),
+            p95: self.percentile(0.95),
+            p99: self.percentile(0.99),
+            max: self.max(),
+        }
+    }
+
+    /// Non-empty buckets as `(lower_bound, upper_bound, count)` triples,
+    /// for exporting the full distribution.
+    #[must_use]
+    pub fn buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = bucket_bounds(i);
+                (lo, hi, c)
+            })
+            .collect()
+    }
+}
+
+/// The percentile set a report carries for one request population.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HistSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Smallest sample.
+    pub min: u64,
+    /// Median estimate.
+    pub p50: u64,
+    /// 95th percentile estimate.
+    pub p95: u64,
+    /// 99th percentile estimate.
+    pub p99: u64,
+    /// Largest sample (exact).
+    pub max: u64,
+}
+
+impl HistSummary {
+    /// Serializes the summary as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::object();
+        o.set("count", self.count)
+            .set("mean", self.mean)
+            .set("min", self.min)
+            .set("p50", self.p50)
+            .set("p95", self.p95)
+            .set("p99", self.p99)
+            .set("max", self.max);
+        o
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zeroes() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.percentile(0.99), 0);
+        assert!(h.buckets().is_empty());
+    }
+
+    #[test]
+    fn single_sample_every_percentile_is_exact() {
+        let mut h = Histogram::new();
+        h.record(137);
+        for q in [0.0, 0.25, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.percentile(q), 137, "q={q}");
+        }
+        assert_eq!(h.min(), 137);
+        assert_eq!(h.max(), 137);
+        assert_eq!(h.mean(), 137.0);
+    }
+
+    #[test]
+    fn zero_and_one_land_in_distinct_buckets() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        assert_eq!(h.buckets(), vec![(0, 0, 1), (1, 1, 1)]);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        let mut h = Histogram::new();
+        // 2^k and 2^k - 1 must land in adjacent buckets.
+        for v in [63u64, 64, 127, 128] {
+            h.record(v);
+        }
+        assert_eq!(h.buckets(), vec![(32, 63, 1), (64, 127, 2), (128, 255, 1)]);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_bounded() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.percentile(0.50);
+        let p95 = h.percentile(0.95);
+        let p99 = h.percentile(0.99);
+        assert!(p50 <= p95 && p95 <= p99 && p99 <= h.max());
+        // Log2 buckets guarantee < 2x relative error; interpolation does
+        // much better on smooth data, but assert only the guarantee.
+        assert!((250..=1000).contains(&p50), "p50={p50}");
+        assert!((475..=1000).contains(&p95), "p95={p95}");
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.min(), 1);
+    }
+
+    #[test]
+    fn uniform_samples_interpolate_near_truth() {
+        let mut h = Histogram::new();
+        // All samples inside one bucket [1024, 2047]: interpolation works
+        // off the in-bucket rank.
+        for v in 1024..2048u64 {
+            h.record(v);
+        }
+        let p50 = h.percentile(0.5);
+        assert!((1400..=1700).contains(&p50), "p50={p50}");
+    }
+
+    #[test]
+    fn extreme_quantiles_clamp_to_observed_range() {
+        let mut h = Histogram::new();
+        h.record(100);
+        h.record(200_000);
+        assert!(h.percentile(0.0) >= 100);
+        assert_eq!(h.percentile(1.0), 200_000);
+        // Out-of-range q is clamped rather than panicking.
+        assert_eq!(h.percentile(7.5), 200_000);
+        assert!(h.percentile(-1.0) >= 100);
+    }
+
+    #[test]
+    fn u64_max_does_not_overflow_buckets() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.percentile(0.5), u64::MAX);
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extrema() {
+        let mut a = Histogram::new();
+        a.record(10);
+        let mut b = Histogram::new();
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 10);
+        assert_eq!(a.max(), 1000);
+        let mut empty = Histogram::new();
+        empty.merge(&Histogram::new());
+        assert_eq!(empty.count(), 0);
+        assert_eq!(empty.min(), 0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut h = Histogram::new();
+        h.record(5);
+        h.reset();
+        assert_eq!(h, Histogram::new());
+    }
+
+    #[test]
+    fn summary_carries_the_fixed_percentiles() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30, 40] {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.max, 40);
+        assert_eq!(s.min, 10);
+        assert!((s.mean - 25.0).abs() < 1e-12);
+        let j = s.to_json();
+        assert_eq!(j.get("count").and_then(Json::as_f64), Some(4.0));
+        assert!(j.get("p99").is_some());
+    }
+}

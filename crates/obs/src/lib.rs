@@ -1,0 +1,376 @@
+//! # bimodal-obs — simulator-wide observability
+//!
+//! Dependency-free instrumentation for the Bi-Modal DRAM cache
+//! simulator:
+//!
+//! * [`Histogram`] — log2-bucketed latency histograms with p50/p95/p99
+//!   estimation (Figure 3's breakdowns talk averages; tails need this),
+//! * [`EpochRecorder`] — periodic snapshots of hit rate, row-buffer hit
+//!   rate, off-chip and wasted bytes, and queue occupancy over simulated
+//!   time,
+//! * [`EventRing`] — a sampled, bounded buffer of structured events with
+//!   a `chrome://tracing` JSON exporter,
+//! * [`Json`] — a hand-rolled JSON tree/emitter/parser (the build
+//!   environment is offline; no serde),
+//! * [`PhaseTimers`] / [`Heartbeat`] — wall-clock profiling: per-phase
+//!   timers, simulated-cycles-per-host-second, stderr progress.
+//!
+//! The [`Observer`] facade bundles all of it behind one cheap
+//! `is_enabled()` check so a run with observability off stays within
+//! noise of an uninstrumented build: the disabled path costs one
+//! predictable branch per access.
+//!
+//! ```
+//! use bimodal_obs::{Observer, ObserverConfig, RequestClass};
+//!
+//! let mut obs = Observer::enabled(ObserverConfig::default());
+//! obs.record_latency(RequestClass::Read, true, 42);
+//! let summary = obs.summary(1_000);
+//! assert_eq!(summary.latency[0].1.count, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hist;
+pub mod json;
+mod series;
+mod timer;
+mod trace;
+
+pub use hist::{HistSummary, Histogram};
+pub use json::Json;
+pub use series::{Counters, EpochRecorder, EpochSnapshot};
+pub use timer::{Heartbeat, PhaseTimers, WallSummary};
+pub use trace::{EventKind, EventRing, TraceEvent};
+
+use std::time::Duration;
+
+/// The request populations latencies are tracked for separately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestClass {
+    /// Demand reads.
+    Read,
+    /// Writes (LLSC writebacks into the DRAM cache).
+    Write,
+    /// Prefetches issued below the LLSC.
+    Prefetch,
+}
+
+impl RequestClass {
+    /// Stable lowercase name used in exports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            RequestClass::Read => "read",
+            RequestClass::Write => "write",
+            RequestClass::Prefetch => "prefetch",
+        }
+    }
+}
+
+/// Per-population latency histograms: one per [`RequestClass`], plus
+/// hit/miss splits (the bi-modal design's whole point is the gap between
+/// those two populations).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyHistograms {
+    /// Demand reads.
+    pub read: Histogram,
+    /// Writes.
+    pub write: Histogram,
+    /// Prefetches.
+    pub prefetch: Histogram,
+    /// All requests that hit in the DRAM cache.
+    pub hit: Histogram,
+    /// All requests that missed.
+    pub miss: Histogram,
+}
+
+impl LatencyHistograms {
+    /// Records one completed request.
+    #[inline]
+    pub fn record(&mut self, class: RequestClass, hit: bool, latency: u64) {
+        match class {
+            RequestClass::Read => self.read.record(latency),
+            RequestClass::Write => self.write.record(latency),
+            RequestClass::Prefetch => self.prefetch.record(latency),
+        }
+        if hit {
+            self.hit.record(latency);
+        } else {
+            self.miss.record(latency);
+        }
+    }
+
+    /// Clears all histograms (e.g. at the end of warm-up).
+    pub fn reset(&mut self) {
+        *self = LatencyHistograms::default();
+    }
+
+    /// `(population name, summary)` pairs, fixed order.
+    #[must_use]
+    pub fn summaries(&self) -> Vec<(String, HistSummary)> {
+        [
+            ("read", &self.read),
+            ("write", &self.write),
+            ("prefetch", &self.prefetch),
+            ("hit", &self.hit),
+            ("miss", &self.miss),
+        ]
+        .into_iter()
+        .map(|(name, h)| (name.to_owned(), h.summary()))
+        .collect()
+    }
+}
+
+/// What to record; see [`Observer::enabled`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObserverConfig {
+    /// Epoch length for the time series, in simulated cycles.
+    pub epoch_cycles: u64,
+    /// Event-trace ring capacity (0 disables tracing).
+    pub trace_capacity: usize,
+    /// Record every k-th access into the trace.
+    pub trace_sample_every: u32,
+    /// Print a stderr progress line at most every this often
+    /// (`None` disables the heartbeat).
+    pub heartbeat: Option<Duration>,
+}
+
+impl Default for ObserverConfig {
+    fn default() -> Self {
+        ObserverConfig {
+            epoch_cycles: 100_000,
+            trace_capacity: 0,
+            trace_sample_every: 1,
+            heartbeat: None,
+        }
+    }
+}
+
+impl ObserverConfig {
+    /// Sets the epoch length in simulated cycles.
+    #[must_use]
+    pub fn with_epoch_cycles(mut self, cycles: u64) -> Self {
+        self.epoch_cycles = cycles;
+        self
+    }
+
+    /// Enables event tracing with the given ring capacity and sampling
+    /// interval.
+    #[must_use]
+    pub fn with_trace(mut self, capacity: usize, sample_every: u32) -> Self {
+        self.trace_capacity = capacity;
+        self.trace_sample_every = sample_every;
+        self
+    }
+
+    /// Enables the stderr heartbeat.
+    #[must_use]
+    pub fn with_heartbeat(mut self, interval: Duration) -> Self {
+        self.heartbeat = Some(interval);
+        self
+    }
+}
+
+/// Everything the observability layer collected, in report-ready form.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ObsSummary {
+    /// `(population, percentile summary)` per request class and
+    /// hit/miss split. Empty when observability was off.
+    pub latency: Vec<(String, HistSummary)>,
+    /// The epoch time series. Empty when observability was off.
+    pub epochs: Vec<EpochSnapshot>,
+    /// Wall-clock profile. `None` when observability was off.
+    pub wall: Option<WallSummary>,
+}
+
+impl ObsSummary {
+    /// True when nothing was recorded (observability was off).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.latency.is_empty() && self.epochs.is_empty() && self.wall.is_none()
+    }
+
+    /// Serializes as a JSON object with `latency`, `epochs` and `wall`
+    /// keys.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut latency = Json::object();
+        for (name, s) in &self.latency {
+            latency.set(name, s.to_json());
+        }
+        let mut o = Json::object();
+        o.set("latency", latency)
+            .set(
+                "epochs",
+                Json::Arr(self.epochs.iter().map(EpochSnapshot::to_json).collect()),
+            )
+            .set("wall", self.wall.as_ref().map(WallSummary::to_json));
+        o
+    }
+}
+
+/// The per-run observability bundle the engine records into.
+#[derive(Debug)]
+pub struct Observer {
+    enabled: bool,
+    /// Per-population latency histograms.
+    pub latency: LatencyHistograms,
+    /// The epoch time-series recorder.
+    pub epochs: EpochRecorder,
+    /// The sampled event ring, when tracing is on.
+    pub trace: Option<EventRing>,
+    /// The stderr progress heartbeat, when on.
+    pub heartbeat: Option<Heartbeat>,
+    /// Per-phase wall-clock timers (always running; two `Instant` reads
+    /// per run are free).
+    pub timers: PhaseTimers,
+}
+
+impl Observer {
+    /// An observer that records nothing; every hot-path check reduces to
+    /// one predictable branch.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Observer {
+            enabled: false,
+            latency: LatencyHistograms::default(),
+            epochs: EpochRecorder::new(u64::MAX),
+            trace: None,
+            heartbeat: None,
+            timers: PhaseTimers::start(),
+        }
+    }
+
+    /// An observer recording per `config`.
+    #[must_use]
+    pub fn enabled(config: ObserverConfig) -> Self {
+        Observer {
+            enabled: true,
+            latency: LatencyHistograms::default(),
+            epochs: EpochRecorder::new(config.epoch_cycles.max(1)),
+            trace: (config.trace_capacity > 0)
+                .then(|| EventRing::new(config.trace_capacity, config.trace_sample_every.max(1))),
+            heartbeat: config.heartbeat.map(Heartbeat::new),
+            timers: PhaseTimers::start(),
+        }
+    }
+
+    /// Whether recording is on. `#[inline]` so the disabled path costs a
+    /// single branch at every instrumentation site.
+    #[inline]
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one completed request's latency.
+    #[inline]
+    pub fn record_latency(&mut self, class: RequestClass, hit: bool, latency: u64) {
+        self.latency.record(class, hit, latency);
+    }
+
+    /// Clears measurement state at the warm-up boundary so summaries
+    /// describe the measured portion, mirroring the engine's stats reset.
+    /// The epoch series deliberately keeps warm-up epochs — watching the
+    /// hit rate climb as the cache fills is half its value.
+    pub fn reset_measurement(&mut self) {
+        self.latency.reset();
+    }
+
+    /// Summarizes everything recorded. `sim_cycles` is the simulated
+    /// time the run covered (for throughput).
+    #[must_use]
+    pub fn summary(&self, sim_cycles: u64) -> ObsSummary {
+        if !self.enabled {
+            return ObsSummary::default();
+        }
+        ObsSummary {
+            latency: self.latency.summaries(),
+            epochs: self.epochs.epochs().to_vec(),
+            wall: Some(self.timers.summarize(sim_cycles)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_observer_summarizes_empty() {
+        let obs = Observer::disabled();
+        assert!(!obs.is_enabled());
+        let s = obs.summary(1000);
+        assert!(s.is_empty());
+        assert_eq!(s.to_json().get("wall"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn enabled_observer_records_and_summarizes() {
+        let mut obs = Observer::enabled(
+            ObserverConfig::default()
+                .with_epoch_cycles(100)
+                .with_trace(16, 2),
+        );
+        assert!(obs.is_enabled());
+        obs.record_latency(RequestClass::Read, true, 40);
+        obs.record_latency(RequestClass::Write, false, 400);
+        obs.epochs.observe(
+            150,
+            &Counters {
+                accesses: 2,
+                hits: 1,
+                ..Counters::default()
+            },
+            0,
+        );
+        let s = obs.summary(150);
+        assert!(!s.is_empty());
+        let names: Vec<&str> = s.latency.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["read", "write", "prefetch", "hit", "miss"]);
+        assert_eq!(s.latency[0].1.count, 1);
+        assert_eq!(s.epochs.len(), 1);
+        assert!(s.wall.is_some());
+        // JSON export exposes the three sections.
+        let j = s.to_json();
+        assert!(j.get("latency").and_then(|l| l.get("read")).is_some());
+        assert_eq!(
+            j.get("epochs").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(1)
+        );
+        assert!(j.get("wall").and_then(|w| w.get("sim_cycles")).is_some());
+    }
+
+    #[test]
+    fn hit_miss_split_tracks_populations() {
+        let mut h = LatencyHistograms::default();
+        h.record(RequestClass::Read, true, 10);
+        h.record(RequestClass::Read, false, 500);
+        h.record(RequestClass::Prefetch, false, 300);
+        assert_eq!(h.read.count(), 2);
+        assert_eq!(h.hit.count(), 1);
+        assert_eq!(h.miss.count(), 2);
+        h.reset();
+        assert_eq!(h.read.count(), 0);
+    }
+
+    #[test]
+    fn reset_measurement_keeps_epochs() {
+        let mut obs = Observer::enabled(ObserverConfig::default().with_epoch_cycles(10));
+        obs.record_latency(RequestClass::Read, true, 5);
+        obs.epochs.observe(
+            20,
+            &Counters {
+                accesses: 1,
+                ..Counters::default()
+            },
+            0,
+        );
+        obs.reset_measurement();
+        let s = obs.summary(20);
+        assert_eq!(s.latency[0].1.count, 0);
+        assert_eq!(s.epochs.len(), 1);
+    }
+}

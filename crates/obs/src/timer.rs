@@ -1,0 +1,223 @@
+//! Wall-clock profiling: per-phase timers and a stderr heartbeat.
+//!
+//! Simulated time tells you about the modelled system; wall-clock time
+//! tells you about the simulator. The ROADMAP's "fast as the hardware
+//! allows" goal needs a denominator — simulated cycles per host second —
+//! measured per phase so warm-up cost and measured-portion cost can be
+//! tracked separately across perf PRs.
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+
+/// Wall-clock profile of one run, split into named phases.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseTimers {
+    started: Instant,
+    last_mark: Instant,
+    phases: Vec<(&'static str, Duration)>,
+}
+
+impl Default for PhaseTimers {
+    fn default() -> Self {
+        PhaseTimers::start()
+    }
+}
+
+impl PhaseTimers {
+    /// Starts timing; the first phase begins now.
+    #[must_use]
+    pub fn start() -> Self {
+        let now = Instant::now();
+        PhaseTimers {
+            started: now,
+            last_mark: now,
+            phases: Vec::new(),
+        }
+    }
+
+    /// Closes the current phase under `name`; the next phase begins now.
+    pub fn mark(&mut self, name: &'static str) {
+        let now = Instant::now();
+        self.phases.push((name, now - self.last_mark));
+        self.last_mark = now;
+    }
+
+    /// Total elapsed wall-clock time since [`PhaseTimers::start`].
+    #[must_use]
+    pub fn total(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Seconds spent in phase `name` (0.0 if never marked).
+    #[must_use]
+    pub fn seconds(&self, name: &str) -> f64 {
+        self.phases
+            .iter()
+            .filter(|(n, _)| *n == name)
+            .map(|(_, d)| d.as_secs_f64())
+            .sum()
+    }
+
+    /// Finalizes into a summary given the simulated cycle count.
+    #[must_use]
+    pub fn summarize(&self, sim_cycles: u64) -> WallSummary {
+        let total = self.total().as_secs_f64();
+        WallSummary {
+            phases: self
+                .phases
+                .iter()
+                .map(|(n, d)| ((*n).to_owned(), d.as_secs_f64()))
+                .collect(),
+            total_seconds: total,
+            sim_cycles,
+            cycles_per_second: if total > 0.0 {
+                sim_cycles as f64 / total
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// The wall-clock numbers a report carries.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WallSummary {
+    /// `(phase name, seconds)` in execution order.
+    pub phases: Vec<(String, f64)>,
+    /// Total wall-clock seconds.
+    pub total_seconds: f64,
+    /// Simulated cycles covered.
+    pub sim_cycles: u64,
+    /// Simulation throughput: simulated cycles per host second.
+    pub cycles_per_second: f64,
+}
+
+impl WallSummary {
+    /// Serializes the summary as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut phases = Json::object();
+        for (name, secs) in &self.phases {
+            phases.set(name, *secs);
+        }
+        let mut o = Json::object();
+        o.set("phase_seconds", phases)
+            .set("total_seconds", self.total_seconds)
+            .set("sim_cycles", self.sim_cycles)
+            .set("sim_cycles_per_second", self.cycles_per_second);
+        o
+    }
+}
+
+/// Rate-limited progress reporting to stderr.
+///
+/// The caller ticks it from its hot loop (cheaply, e.g. every few
+/// thousand iterations); at most one line is printed per `interval`.
+#[derive(Debug)]
+pub struct Heartbeat {
+    interval: Duration,
+    started: Instant,
+    last_beat: Instant,
+    last_done: u64,
+}
+
+impl Heartbeat {
+    /// A heartbeat printing at most every `interval`.
+    #[must_use]
+    pub fn new(interval: Duration) -> Self {
+        let now = Instant::now();
+        Heartbeat {
+            interval,
+            started: now,
+            last_beat: now,
+            last_done: 0,
+        }
+    }
+
+    /// Reports progress (`done` of `total` work units, at simulated cycle
+    /// `cycle`); prints to stderr when the interval elapsed. Returns
+    /// whether a line was printed (for tests).
+    pub fn tick(&mut self, done: u64, total: u64, cycle: u64) -> bool {
+        let now = Instant::now();
+        if now - self.last_beat < self.interval {
+            return false;
+        }
+        let rate = (done - self.last_done) as f64 / (now - self.last_beat).as_secs_f64();
+        let pct = if total > 0 {
+            done as f64 / total as f64 * 100.0
+        } else {
+            0.0
+        };
+        let mut err = std::io::stderr().lock();
+        let _ = writeln!(
+            err,
+            "[heartbeat +{:.1}s] {done}/{total} accesses ({pct:.1}%), cycle {cycle}, {rate:.0} acc/s",
+            self.started.elapsed().as_secs_f64(),
+        );
+        self.last_beat = now;
+        self.last_done = done;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_accumulate_in_order() {
+        let mut t = PhaseTimers::start();
+        t.mark("warmup");
+        t.mark("measured");
+        let s = t.summarize(1_000_000);
+        assert_eq!(s.phases.len(), 2);
+        assert_eq!(s.phases[0].0, "warmup");
+        assert_eq!(s.phases[1].0, "measured");
+        assert!(s.total_seconds >= 0.0);
+        assert_eq!(s.sim_cycles, 1_000_000);
+        assert!(s.cycles_per_second > 0.0);
+    }
+
+    #[test]
+    fn seconds_sums_repeated_phases() {
+        let mut t = PhaseTimers::start();
+        t.mark("a");
+        t.mark("b");
+        t.mark("a");
+        assert!(t.seconds("a") >= 0.0);
+        assert_eq!(t.seconds("missing"), 0.0);
+    }
+
+    #[test]
+    fn wall_summary_serializes() {
+        let s = WallSummary {
+            phases: vec![("warmup".into(), 0.5), ("measured".into(), 1.5)],
+            total_seconds: 2.0,
+            sim_cycles: 500,
+            cycles_per_second: 250.0,
+        };
+        let j = s.to_json();
+        assert_eq!(j.get("total_seconds").and_then(Json::as_f64), Some(2.0));
+        assert!(j
+            .get("phase_seconds")
+            .and_then(|p| p.get("warmup"))
+            .is_some());
+        assert_eq!(
+            j.get("sim_cycles_per_second").and_then(Json::as_f64),
+            Some(250.0)
+        );
+    }
+
+    #[test]
+    fn heartbeat_respects_interval() {
+        // A long interval: the immediate tick must not print.
+        let mut hb = Heartbeat::new(Duration::from_secs(3600));
+        assert!(!hb.tick(10, 100, 5000));
+        // A zero interval always prints.
+        let mut hb = Heartbeat::new(Duration::ZERO);
+        assert!(hb.tick(10, 100, 5000));
+        assert!(hb.tick(20, 100, 9000));
+    }
+}

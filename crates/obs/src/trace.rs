@@ -1,0 +1,269 @@
+//! Sampled structured event tracing with Chrome trace-event export.
+//!
+//! Full event logs of a multi-million-access run would dwarf the
+//! simulation itself, so the ring records every `sample_every`-th demand
+//! access (plus the events it triggers) into a bounded buffer, dropping
+//! the oldest entries once `capacity` is reached. The export format is
+//! the Chrome trace-event JSON (`chrome://tracing` / Perfetto "JSON
+//! object format"): one simulated cycle maps to one microsecond on the
+//! viewer's timebase, cores map to thread lanes.
+
+use crate::json::Json;
+
+/// What a trace event describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A demand/prefetch access and its outcome (duration = latency).
+    Access,
+    /// A block fill into the cache.
+    Fill,
+    /// A block eviction.
+    Eviction,
+    /// A granularity (block-size) predictor decision.
+    Predictor,
+    /// A way-locator (tag cache) probe.
+    WayLocator,
+    /// DRAM command activity attributed to one access.
+    DramCommand,
+}
+
+impl EventKind {
+    /// Stable lowercase name used in exports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Access => "access",
+            EventKind::Fill => "fill",
+            EventKind::Eviction => "eviction",
+            EventKind::Predictor => "predictor",
+            EventKind::WayLocator => "way_locator",
+            EventKind::DramCommand => "dram_command",
+        }
+    }
+
+    /// Chrome trace category, used for filtering in the viewer.
+    fn category(self) -> &'static str {
+        match self {
+            EventKind::Access => "access",
+            EventKind::Fill | EventKind::Eviction => "cache",
+            EventKind::Predictor | EventKind::WayLocator => "sram",
+            EventKind::DramCommand => "dram",
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Simulated cycle the event started at.
+    pub at: u64,
+    /// Duration in cycles (0 = instant event).
+    pub dur: u64,
+    /// Event class.
+    pub kind: EventKind,
+    /// Issuing core (thread lane in the viewer).
+    pub core: u32,
+    /// Physical address involved, if meaningful.
+    pub addr: u64,
+    /// Short outcome label (`"hit"`, `"miss"`, `"big"`, ...).
+    pub what: &'static str,
+    /// Free-form numeric detail (bytes, way, command count...).
+    pub detail: u64,
+}
+
+/// Bounded, sampled event buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRing {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    /// Next slot to overwrite once full (ring behaviour).
+    head: usize,
+    /// Events discarded because the ring was full.
+    dropped: u64,
+    /// Record every k-th access (1 = all).
+    sample_every: u32,
+    /// Accesses seen by the sampler.
+    seen: u64,
+}
+
+impl EventRing {
+    /// A ring holding at most `capacity` events, sampling every
+    /// `sample_every`-th access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `sample_every` is zero.
+    #[must_use]
+    pub fn new(capacity: usize, sample_every: u32) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        assert!(sample_every > 0, "sample interval must be positive");
+        EventRing {
+            events: Vec::with_capacity(capacity.min(4096)),
+            capacity,
+            head: 0,
+            dropped: 0,
+            sample_every,
+            seen: 0,
+        }
+    }
+
+    /// Advances the access sampler; returns `true` when the current
+    /// access (and its derived events) should be recorded.
+    #[inline]
+    pub fn sample(&mut self) -> bool {
+        let pick = self.seen.is_multiple_of(u64::from(self.sample_every));
+        self.seen += 1;
+        pick
+    }
+
+    /// Appends an event, overwriting the oldest once full.
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push(event);
+        } else {
+            self.events[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Recorded events in arrival order.
+    #[must_use]
+    pub fn events(&self) -> Vec<&TraceEvent> {
+        // Oldest-first: the slice after `head` precedes the slice before.
+        let (newer, older) = self.events.split_at(self.head);
+        older.iter().chain(newer.iter()).collect()
+    }
+
+    /// Number of events currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events discarded due to capacity.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Exports the ring in Chrome trace-event JSON object format.
+    ///
+    /// Durations use the "X" (complete) phase; zero-duration events use
+    /// "i" (instant). One simulated cycle = 1 µs of viewer time.
+    #[must_use]
+    pub fn chrome_trace(&self) -> Json {
+        let mut events: Vec<Json> = Vec::with_capacity(self.events.len());
+        for e in self.events() {
+            let mut o = Json::object();
+            o.set("name", format!("{} {}", e.kind.name(), e.what))
+                .set("cat", e.kind.category())
+                .set("ph", if e.dur > 0 { "X" } else { "i" })
+                .set("ts", e.at)
+                .set("pid", 0u64)
+                .set("tid", e.core);
+            if e.dur > 0 {
+                o.set("dur", e.dur);
+            } else {
+                // Instant events: thread scope.
+                o.set("s", "t");
+            }
+            let mut args = Json::object();
+            args.set("addr", format!("{:#x}", e.addr))
+                .set("detail", e.detail);
+            o.set("args", args);
+            events.push(o);
+        }
+        let mut root = Json::object();
+        root.set("traceEvents", Json::Arr(events))
+            .set("displayTimeUnit", "ns")
+            .set("otherData", {
+                let mut o = Json::object();
+                o.set("dropped_events", self.dropped)
+                    .set("sample_every", u64::from(self.sample_every));
+                o
+            });
+        root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at: u64, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            at,
+            dur: 10,
+            kind,
+            core: 0,
+            addr: 0x1000,
+            what: "hit",
+            detail: 64,
+        }
+    }
+
+    #[test]
+    fn sampler_picks_every_kth() {
+        let mut r = EventRing::new(8, 3);
+        let picks: Vec<bool> = (0..7).map(|_| r.sample()).collect();
+        assert_eq!(picks, [true, false, false, true, false, false, true]);
+        let mut all = EventRing::new(8, 1);
+        assert!((0..5).all(|_| all.sample()));
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let mut r = EventRing::new(3, 1);
+        for i in 0..5 {
+            r.push(ev(i, EventKind::Access));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let order: Vec<u64> = r.events().iter().map(|e| e.at).collect();
+        assert_eq!(order, [2, 3, 4]);
+    }
+
+    #[test]
+    fn chrome_trace_has_required_fields() {
+        let mut r = EventRing::new(8, 1);
+        r.push(ev(100, EventKind::Access));
+        r.push(TraceEvent {
+            dur: 0,
+            ..ev(105, EventKind::Fill)
+        });
+        let j = r.chrome_trace();
+        let events = j.get("traceEvents").and_then(Json::as_arr).expect("arr");
+        assert_eq!(events.len(), 2);
+        let e0 = &events[0];
+        assert_eq!(e0.get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(e0.get("ts").and_then(Json::as_f64), Some(100.0));
+        assert_eq!(e0.get("dur").and_then(Json::as_f64), Some(10.0));
+        assert!(e0.get("args").is_some());
+        // Instant event: phase "i", no duration.
+        assert_eq!(events[1].get("ph").and_then(Json::as_str), Some("i"));
+        assert!(events[1].get("dur").is_none());
+        // The whole export round-trips through the parser.
+        let text = j.to_pretty();
+        assert!(Json::parse(&text).is_ok());
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(EventKind::Access.name(), "access");
+        assert_eq!(EventKind::WayLocator.name(), "way_locator");
+        assert_eq!(EventKind::DramCommand.name(), "dram_command");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _ = EventRing::new(0, 1);
+    }
+}

@@ -62,6 +62,21 @@ impl AnttReport {
     pub fn improvement_over(&self, baseline: &AnttReport) -> f64 {
         (baseline.antt() - self.antt()) / baseline.antt() * 100.0
     }
+
+    /// Serializes the report as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> bimodal_obs::Json {
+        use bimodal_obs::Json;
+        let mut o = Json::object();
+        o.set("mix", self.mix.as_str())
+            .set("scheme", self.scheme.as_str())
+            .set(
+                "slowdowns",
+                Json::Arr(self.slowdowns.iter().map(|&s| Json::from(s)).collect()),
+            )
+            .set("antt", self.antt());
+        o
+    }
 }
 
 #[cfg(test)]

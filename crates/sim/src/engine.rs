@@ -11,8 +11,9 @@
 //! keep generating contention) until every core finishes its measured
 //! accesses, mirroring the paper's methodology.
 
-use bimodal_core::{AccessKind, CacheAccess, DramCacheScheme};
-use bimodal_dram::{Cycle, MemorySystem};
+use bimodal_core::{AccessKind, CacheAccess, DramCacheScheme, SchemeStats};
+use bimodal_dram::{Cycle, DramStats, MemorySystem};
+use bimodal_obs::{Counters, EventKind, Observer, RequestClass, TraceEvent};
 use bimodal_workloads::ProgramTrace;
 
 use crate::llsc::{LlscCache, LlscConfig};
@@ -110,7 +111,7 @@ impl Engine {
         Engine { options }
     }
 
-    /// Runs the simulation to completion.
+    /// Runs the simulation to completion without observability.
     ///
     /// # Panics
     ///
@@ -120,6 +121,26 @@ impl Engine {
         scheme: &mut dyn DramCacheScheme,
         mem: &mut MemorySystem,
         traces: Vec<ProgramTrace>,
+    ) -> RunReport {
+        self.run_observed(scheme, mem, traces, &mut Observer::disabled())
+    }
+
+    /// Runs the simulation to completion, recording into `obs`.
+    ///
+    /// With a disabled observer every instrumentation site reduces to one
+    /// predictable branch, so `run` pays nothing for the plumbing. The
+    /// observer is borrowed (not consumed) so the caller can still export
+    /// its event trace after reading the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces` is empty or the measured access count is zero.
+    pub fn run_observed(
+        &self,
+        scheme: &mut dyn DramCacheScheme,
+        mem: &mut MemorySystem,
+        traces: Vec<ProgramTrace>,
+        obs: &mut Observer,
     ) -> RunReport {
         assert!(!traces.is_empty(), "need at least one core trace");
         assert!(
@@ -155,6 +176,13 @@ impl Engine {
             }
         }
 
+        // Heartbeat progress denominators, and the offset that keeps the
+        // epoch series' cumulative counters monotone across the warm-up
+        // stats reset.
+        let issue_target = target * cores.len() as u64;
+        let mut issued_total: u64 = 0;
+        let mut epoch_base = Counters::default();
+
         while cores.iter().any(|c| c.finished_at.is_none()) {
             // Next core to issue: earliest next_issue; ties by index.
             // Finished cores keep issuing (they still contend) until every
@@ -170,6 +198,15 @@ impl Engine {
                 AccessKind::Write
             } else {
                 AccessKind::Read
+            };
+            // Sampled tracing snapshots the (O(1)) counters around the
+            // access and diffs them afterwards, deriving fill / eviction /
+            // predictor / way-locator / DRAM-command events without
+            // widening the scheme trait.
+            let pre = if obs.is_enabled() && obs.trace.as_mut().is_some_and(|r| r.sample()) {
+                Some((scheme.stats().clone(), mem.cache_dram.stats()))
+            } else {
+                None
             };
             // With an LLSC front-end, hits are absorbed in SRAM and dirty
             // victims become writes into the DRAM cache.
@@ -208,6 +245,32 @@ impl Engine {
                 )
             };
 
+            if obs.is_enabled() {
+                let latency = outcome.complete.saturating_sub(now);
+                let class = if access.is_write {
+                    RequestClass::Write
+                } else {
+                    RequestClass::Read
+                };
+                obs.record_latency(class, outcome.hit, latency);
+                if let Some((pre_scheme, pre_dram)) = pre {
+                    derive_trace_events(
+                        obs,
+                        &*scheme,
+                        &*mem,
+                        &pre_scheme,
+                        pre_dram,
+                        TraceSite {
+                            at: now,
+                            dur: latency,
+                            core: u32::try_from(idx).expect("few cores"),
+                            addr: access.addr,
+                            hit: outcome.hit,
+                        },
+                    );
+                }
+            }
+
             // The prefetcher reacts to the demand access as it is seen
             // (prefetch-on-miss-detection); issuing at `now` also keeps
             // request arrival times nondecreasing, which the transaction-
@@ -215,7 +278,14 @@ impl Engine {
             if let Some(pf) = prefetcher.as_mut() {
                 pf.observe(access.addr);
                 for line in pf.candidates(access.addr) {
-                    let _ = scheme.access(CacheAccess::prefetch(line, now), mem);
+                    let po = scheme.access(CacheAccess::prefetch(line, now), mem);
+                    if obs.is_enabled() {
+                        obs.record_latency(
+                            RequestClass::Prefetch,
+                            po.hit,
+                            po.complete.saturating_sub(now),
+                        );
+                    }
                     pf.mark_present(line);
                 }
             }
@@ -245,7 +315,25 @@ impl Engine {
                 core.finished_at = Some(core.frontier);
             }
 
+            issued_total += 1;
+            if obs.is_enabled() {
+                let c = cumulative_counters(&*scheme, mem, &epoch_base);
+                let queued = mem.deferred_pending() as u64;
+                obs.epochs.observe(now, &c, queued);
+                if let Some(hb) = obs.heartbeat.as_mut() {
+                    hb.tick(issued_total.min(issue_target), issue_target, now);
+                }
+            }
+
             if !stats_reset && cores.iter().all(|c| c.issued >= warmup) {
+                if obs.is_enabled() {
+                    // Fold the warm-up counters into the base so the epoch
+                    // series stays monotone across the reset; histograms
+                    // restart so they describe the measured portion only.
+                    epoch_base = cumulative_counters(&*scheme, mem, &epoch_base);
+                    obs.reset_measurement();
+                    obs.timers.mark("warmup");
+                }
                 scheme.reset_stats();
                 mem.reset_stats();
                 stats_reset = true;
@@ -253,6 +341,13 @@ impl Engine {
         }
 
         scheme.finalize();
+        let end_cycle = cores.iter().map(|c| c.frontier).max().unwrap_or(0);
+        if obs.is_enabled() {
+            obs.timers.mark("measured");
+            let c = cumulative_counters(&*scheme, mem, &epoch_base);
+            let queued = mem.deferred_pending() as u64;
+            obs.epochs.finish(end_cycle, &c, queued);
+        }
         let core_cycles = cores
             .iter()
             .map(|c| {
@@ -272,7 +367,119 @@ impl Engine {
             accesses_per_core: self.options.accesses_per_core,
             metadata_bank_rbh: md_rbh,
             data_bank_rbh: data_rbh,
+            obs: obs.summary(end_cycle),
         }
+    }
+}
+
+/// Cumulative vital-sign counters for the epoch recorder. `base` carries
+/// the totals folded away by the warm-up stats reset, keeping the series
+/// monotone over the whole run.
+fn cumulative_counters(
+    scheme: &dyn DramCacheScheme,
+    mem: &MemorySystem,
+    base: &Counters,
+) -> Counters {
+    let s = scheme.stats();
+    let d = mem.cache_dram.stats().totals;
+    Counters {
+        accesses: base.accesses + s.accesses,
+        hits: base.hits + s.hits,
+        row_hits: base.row_hits + d.row_hits,
+        row_accesses: base.row_accesses + d.accesses(),
+        offchip_bytes: base.offchip_bytes + s.offchip_bytes(),
+        wasted_bytes: base.wasted_bytes + s.offchip_wasted_bytes,
+    }
+}
+
+/// Where a sampled access happened, for event attribution.
+struct TraceSite {
+    at: Cycle,
+    dur: Cycle,
+    core: u32,
+    addr: u64,
+    hit: bool,
+}
+
+/// Diffs the scheme and stacked-DRAM counters across one access and turns
+/// the deltas into trace events: what filled, what was evicted, what the
+/// predictors and the way locator did, and what the DRAM executed.
+fn derive_trace_events(
+    obs: &mut Observer,
+    scheme: &dyn DramCacheScheme,
+    mem: &MemorySystem,
+    pre_scheme: &SchemeStats,
+    pre_dram: DramStats,
+    site: TraceSite,
+) {
+    let s = scheme.stats();
+    let d = mem.cache_dram.stats().totals;
+    let pd = pre_dram.totals;
+    let Some(ring) = obs.trace.as_mut() else {
+        return;
+    };
+    let mut push = |kind: EventKind, dur: Cycle, what: &'static str, detail: u64| {
+        ring.push(TraceEvent {
+            at: site.at,
+            dur,
+            kind,
+            core: site.core,
+            addr: site.addr,
+            what,
+            detail,
+        });
+    };
+    push(
+        EventKind::Access,
+        site.dur,
+        if site.hit { "hit" } else { "miss" },
+        s.offchip_fetched_bytes - pre_scheme.offchip_fetched_bytes,
+    );
+    let fills_big = s.fills_big - pre_scheme.fills_big;
+    let fills_small = s.fills_small - pre_scheme.fills_small;
+    if fills_big > 0 {
+        push(EventKind::Fill, 0, "big", fills_big);
+    }
+    if fills_small > 0 {
+        push(EventKind::Fill, 0, "small", fills_small);
+    }
+    let evictions = s.evictions - pre_scheme.evictions;
+    if evictions > 0 {
+        push(EventKind::Eviction, 0, "block", evictions);
+    }
+    // The granularity predictor's decision is visible as which fill
+    // happened; the miss predictor's as a speculative fetch.
+    if fills_big + fills_small > 0 {
+        let what = if fills_big > 0 && fills_small > 0 {
+            "mixed"
+        } else if fills_big > 0 {
+            "big"
+        } else {
+            "small"
+        };
+        push(EventKind::Predictor, 0, what, fills_big + fills_small);
+    }
+    let spec = s.spec_fetches - pre_scheme.spec_fetches;
+    if spec > 0 {
+        push(EventKind::Predictor, 0, "spec_fetch", spec);
+    }
+    let loc_hits = s.locator_hits - pre_scheme.locator_hits;
+    let loc_misses = s.locator_misses - pre_scheme.locator_misses;
+    if loc_hits + loc_misses > 0 {
+        push(
+            EventKind::WayLocator,
+            0,
+            if loc_misses == 0 { "hit" } else { "miss" },
+            loc_hits + loc_misses,
+        );
+    }
+    let activates = d.activates - pd.activates;
+    let columns = (d.reads + d.writes) - (pd.reads + pd.writes);
+    if activates > 0 {
+        push(EventKind::DramCommand, 0, "activate", activates);
+    }
+    if columns > 0 {
+        push(EventKind::DramCommand, 0, "column", columns);
     }
 }
 
@@ -420,6 +627,48 @@ mod tests {
             filtered.scheme.accesses,
             raw.scheme.accesses
         );
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved_and_records() {
+        use bimodal_obs::ObserverConfig;
+        let (mut s, mut mem) = scheme();
+        let plain =
+            Engine::new(EngineOptions::measured(300)).run(&mut s, &mut mem, small_traces(2));
+        let mut obs = Observer::enabled(
+            ObserverConfig::default()
+                .with_epoch_cycles(50_000)
+                .with_trace(4096, 1),
+        );
+        let (mut s2, mut mem2) = scheme();
+        let observed = Engine::new(EngineOptions::measured(300)).run_observed(
+            &mut s2,
+            &mut mem2,
+            small_traces(2),
+            &mut obs,
+        );
+        // Observation must not perturb the simulation.
+        assert_eq!(plain.core_cycles, observed.core_cycles);
+        assert_eq!(plain.scheme, observed.scheme);
+        assert!(plain.obs.is_empty());
+        // ...and must actually record.
+        assert!(!observed.obs.is_empty());
+        let read = &observed.obs.latency[0];
+        assert_eq!(read.0, "read");
+        assert!(read.1.count > 0);
+        assert!(read.1.p99 >= read.1.p50);
+        assert!(!observed.obs.epochs.is_empty());
+        let wall = observed.obs.wall.as_ref().expect("wall profile");
+        assert!(wall.phases.iter().any(|(n, _)| n == "warmup"));
+        assert!(wall.phases.iter().any(|(n, _)| n == "measured"));
+        assert!(wall.sim_cycles > 0);
+        // The trace holds the demand accesses plus derived events.
+        let ring = obs.trace.as_ref().expect("tracing on");
+        assert!(!ring.is_empty());
+        let events = ring.events();
+        assert!(events.iter().any(|e| e.kind == EventKind::Access));
+        assert!(events.iter().any(|e| e.kind == EventKind::Fill));
+        assert!(events.iter().any(|e| e.kind == EventKind::DramCommand));
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use bimodal_core::SchemeStats;
 use bimodal_dram::{Cycle, DramStats};
+use bimodal_obs::{Json, ObsSummary};
 
 /// Everything measured during one run.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,6 +24,9 @@ pub struct RunReport {
     pub metadata_bank_rbh: Option<f64>,
     /// Row-buffer hit rate of the data banks alone.
     pub data_bank_rbh: Option<f64>,
+    /// Observability-layer output: latency percentiles, epoch time
+    /// series, wall-clock profile. Empty when the run was unobserved.
+    pub obs: ObsSummary,
 }
 
 impl RunReport {
@@ -59,6 +63,96 @@ impl RunReport {
             self.core_cycles.iter().sum::<Cycle>() as f64 / self.core_cycles.len() as f64
         }
     }
+
+    /// Serializes the whole report — raw counters, derived rates, and
+    /// the observability sections — as one JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::object();
+        o.set("scheme", self.scheme_name.as_str())
+            .set("accesses_per_core", self.accesses_per_core)
+            .set(
+                "core_cycles",
+                Json::Arr(self.core_cycles.iter().map(|&c| Json::from(c)).collect()),
+            )
+            .set("mean_core_cycles", self.mean_core_cycles())
+            .set("avg_latency", self.avg_latency())
+            .set("offchip_bytes", self.offchip_bytes())
+            .set("wasted_bytes", self.wasted_bytes())
+            .set("metadata_bank_rbh", self.metadata_bank_rbh)
+            .set("data_bank_rbh", self.data_bank_rbh)
+            .set("stats", scheme_stats_json(&self.scheme))
+            .set("cache_dram", dram_stats_json(&self.cache_dram))
+            .set("offchip_dram", dram_stats_json(&self.offchip))
+            .set("obs", self.obs.to_json());
+        o
+    }
+}
+
+/// All [`SchemeStats`] counters plus the derived rates, as JSON.
+fn scheme_stats_json(s: &SchemeStats) -> Json {
+    let mut b = Json::object();
+    b.set("sram", s.breakdown.sram)
+        .set("dram_tag", s.breakdown.dram_tag)
+        .set("dram_data", s.breakdown.dram_data)
+        .set("offchip", s.breakdown.offchip);
+    let mut o = Json::object();
+    o.set("accesses", s.accesses)
+        .set("hits", s.hits)
+        .set("misses", s.misses)
+        .set("reads", s.reads)
+        .set("writes", s.writes)
+        .set("prefetches", s.prefetches)
+        .set("prefetch_bypasses", s.prefetch_bypasses)
+        .set("hit_rate", s.hit_rate())
+        .set("miss_rate", s.miss_rate())
+        .set("avg_latency", s.avg_latency())
+        .set("total_latency", s.total_latency)
+        .set("latency_breakdown", b)
+        .set("small_block_accesses", s.small_block_accesses)
+        .set("small_block_fraction", s.small_block_fraction())
+        .set("big_hits", s.big_hits)
+        .set("small_hits", s.small_hits)
+        .set("locator_hits", s.locator_hits)
+        .set("locator_misses", s.locator_misses)
+        .set("locator_hit_rate", s.locator_hit_rate())
+        .set("fills_big", s.fills_big)
+        .set("fills_small", s.fills_small)
+        .set("evictions", s.evictions)
+        .set("writebacks", s.writebacks)
+        .set("offchip_fetched_bytes", s.offchip_fetched_bytes)
+        .set("offchip_writeback_bytes", s.offchip_writeback_bytes)
+        .set("offchip_wasted_bytes", s.offchip_wasted_bytes)
+        .set("wasted_fetch_fraction", s.wasted_fetch_fraction())
+        .set("spec_fetches", s.spec_fetches)
+        .set("spec_wasted", s.spec_wasted)
+        .set("md_accesses", s.md_accesses)
+        .set("md_row_hits", s.md_row_hits)
+        .set("metadata_rbh", s.metadata_rbh())
+        .set("data_accesses", s.data_accesses)
+        .set("data_row_hits", s.data_row_hits)
+        .set("data_rbh", s.data_rbh())
+        .set("big_evictions_well_used", s.big_evictions_well_used)
+        .set("big_evictions_under_used", s.big_evictions_under_used);
+    o
+}
+
+/// One DRAM module's counters as JSON.
+fn dram_stats_json(d: &DramStats) -> Json {
+    let t = d.totals;
+    let mut o = Json::object();
+    o.set("row_hits", t.row_hits)
+        .set("row_misses", t.row_misses)
+        .set("row_empty", t.row_empty)
+        .set("row_buffer_hit_rate", d.row_buffer_hit_rate())
+        .set("activates", t.activates)
+        .set("precharges", t.precharges)
+        .set("reads", t.reads)
+        .set("writes", t.writes)
+        .set("bytes_read", t.bytes_read)
+        .set("bytes_written", t.bytes_written)
+        .set("refresh_stalls", d.refresh_stalls);
+    o
 }
 
 #[cfg(test)]
@@ -76,6 +170,7 @@ mod tests {
             accesses_per_core: 0,
             metadata_bank_rbh: None,
             data_bank_rbh: None,
+            obs: ObsSummary::default(),
         };
         assert_eq!(r.mean_core_cycles(), 0.0);
         assert_eq!(r.avg_latency(), 0.0);
@@ -99,11 +194,50 @@ mod tests {
             accesses_per_core: 5,
             metadata_bank_rbh: None,
             data_bank_rbh: None,
+            obs: ObsSummary::default(),
         };
         assert_eq!(r.dram_cache_accesses(), 10);
         assert!((r.avg_latency() - 100.0).abs() < 1e-12);
         assert_eq!(r.offchip_bytes(), 576);
         assert_eq!(r.wasted_bytes(), 128);
         assert!((r.mean_core_cycles() - 150.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn to_json_exposes_counters_rates_and_obs() {
+        let r = RunReport {
+            scheme_name: "bimodal".into(),
+            scheme: SchemeStats {
+                accesses: 4,
+                hits: 3,
+                misses: 1,
+                total_latency: 400,
+                ..SchemeStats::default()
+            },
+            cache_dram: DramStats::default(),
+            offchip: DramStats::default(),
+            core_cycles: vec![10, 20],
+            accesses_per_core: 2,
+            metadata_bank_rbh: Some(0.5),
+            data_bank_rbh: None,
+            obs: ObsSummary::default(),
+        };
+        let j = r.to_json();
+        assert_eq!(j.get("scheme").and_then(Json::as_str), Some("bimodal"));
+        let stats = j.get("stats").expect("stats");
+        assert_eq!(stats.get("hit_rate").and_then(Json::as_f64), Some(0.75));
+        assert_eq!(stats.get("accesses").and_then(Json::as_f64), Some(4.0));
+        assert_eq!(
+            j.get("core_cycles")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(2)
+        );
+        assert_eq!(j.get("metadata_bank_rbh").and_then(Json::as_f64), Some(0.5));
+        assert_eq!(j.get("data_bank_rbh"), Some(&Json::Null));
+        assert!(j.get("cache_dram").is_some());
+        assert!(j.get("obs").is_some());
+        // The export round-trips through the parser.
+        assert!(Json::parse(&j.to_pretty()).is_ok());
     }
 }

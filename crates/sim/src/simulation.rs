@@ -101,6 +101,27 @@ impl Simulation {
         mix: &WorkloadMix,
         accesses_per_core: u64,
     ) -> Result<RunReport, SimError> {
+        self.run_mix_observed(
+            mix,
+            accesses_per_core,
+            &mut bimodal_obs::Observer::disabled(),
+        )
+    }
+
+    /// Like [`Simulation::run_mix`], but records into `obs` (latency
+    /// histograms, epoch time series, event trace, wall-clock profile).
+    /// The observer is borrowed so the caller can export its event trace
+    /// after reading the report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidRun`] if the access count is zero.
+    pub fn run_mix_observed(
+        &self,
+        mix: &WorkloadMix,
+        accesses_per_core: u64,
+        obs: &mut bimodal_obs::Observer,
+    ) -> Result<RunReport, SimError> {
         if accesses_per_core == 0 {
             return Err(SimError::InvalidRun(
                 "accesses_per_core must be positive".into(),
@@ -117,7 +138,12 @@ impl Simulation {
             .collect();
         let mut scheme = self.build_scheme(accesses_per_core, mix.cores() as u64);
         let mut mem = self.system.build_memory();
-        Ok(Engine::new(self.options(accesses_per_core)).run(scheme.as_mut(), &mut mem, traces))
+        Ok(Engine::new(self.options(accesses_per_core)).run_observed(
+            scheme.as_mut(),
+            &mut mem,
+            traces,
+            obs,
+        ))
     }
 
     /// Runs each of `mix`'s programs standalone (alone on the machine) and

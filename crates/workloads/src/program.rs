@@ -1,7 +1,6 @@
 //! The parameterized synthetic program generator.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use bimodal_prng::SmallRng;
 
 use crate::access::Access;
 

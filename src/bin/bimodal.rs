@@ -4,7 +4,8 @@
 //! ```text
 //! bimodal list
 //! bimodal run --mix Q3 --scheme bimodal --accesses 30000 --cache-mb 8
-//! bimodal compare --mix Q3
+//! bimodal run --mix Q3 --scheme bimodal --json out.json --trace-out trace.json
+//! bimodal compare --mix Q3 --json compare.json
 //! bimodal antt --mix E2 --scheme bimodal
 //! bimodal sweep --mix Q3
 //! bimodal record --program mcf --out mcf.bmt --n 100000
@@ -12,41 +13,87 @@
 
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::time::Duration;
 
+use bimodal::obs::{Json, ObsSummary, Observer, ObserverConfig};
 use bimodal::prelude::*;
-use bimodal::sim::sweep;
+use bimodal::sim::{sweep, PrefetchMode};
 use bimodal::workloads::{spec_names, spec_profile, write_trace};
 
 fn usage() -> &'static str {
-    "usage: bimodal <command> [--flag value]...\n\
+    "usage: bimodal <command> [--flag value | --flag=value]...\n\
      \n\
      commands:\n\
      \x20 list                         mixes, schemes and programs\n\
      \x20 run     --mix <M> --scheme <S> [--accesses N] [--cache-mb C] [--seed K]\n\
-     \x20 compare --mix <M> [--accesses N] [--cache-mb C]\n\
-     \x20 antt    --mix <M> --scheme <S> [--accesses N] [--cache-mb C]\n\
-     \x20 sweep   --mix <M> [--accesses N] [--cache-mb C]\n\
+     \x20         [--warmup N] [--mlp N] [--prefetch N[:bypass]]\n\
+     \x20         [--json FILE] [--trace-out FILE] [--epoch CYCLES] [--heartbeat SECS]\n\
+     \x20 compare --mix <M> [--accesses N] [--cache-mb C] [--seed K]\n\
+     \x20         [--warmup N] [--mlp N] [--prefetch N[:bypass]] [--json FILE]\n\
+     \x20 antt    --mix <M> --scheme <S> [--accesses N] [--cache-mb C] [--seed K]\n\
+     \x20         [--warmup N] [--mlp N] [--prefetch N[:bypass]] [--json FILE]\n\
+     \x20 sweep   --mix <M> [--accesses N] [--cache-mb C] [--seed K] [--json FILE]\n\
      \x20 record  --program <P> --out <FILE> [--n N] [--seed K]\n\
+     \n\
+     observability:\n\
+     \x20 --json FILE       write the full machine-readable report (counters,\n\
+     \x20                   latency percentiles, epoch time series, wall clock)\n\
+     \x20 --trace-out FILE  write a sampled event trace in Chrome trace-event\n\
+     \x20                   format (load in chrome://tracing or Perfetto)\n\
+     \x20 --epoch CYCLES    epoch length for the time series (default 100000)\n\
+     \x20 --heartbeat SECS  periodic progress line on stderr\n\
      \n\
      mixes: Q1..Q24 (4-core), E1..E16 (8-core), S1..S8 (16-core)\n\
      schemes: bimodal, bimodal-only, waylocator-only, fixed512, alloy,\n\
      \x20        lohhill, atcache, footprint, bimodal-mp"
 }
 
-fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+/// Parses `--flag value` / `--flag=value` pairs, rejecting flags not in
+/// `allowed`, duplicates, and flags without a value.
+fn parse_flags(args: &[String], allowed: &[&str]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
     let mut i = 0;
     while i < args.len() {
-        let key = args[i]
+        let arg = &args[i];
+        let body = arg
             .strip_prefix("--")
-            .ok_or_else(|| format!("expected a --flag, got {:?}", args[i]))?;
-        let value = args
-            .get(i + 1)
-            .ok_or_else(|| format!("--{key} needs a value"))?;
-        flags.insert(key.to_owned(), value.clone());
-        i += 2;
+            .ok_or_else(|| format!("expected a --flag, got {arg:?}"))?;
+        let (key, value) = if let Some((k, v)) = body.split_once('=') {
+            (k.to_owned(), v.to_owned())
+        } else {
+            let v = args
+                .get(i + 1)
+                .ok_or_else(|| format!("--{body} needs a value"))?;
+            i += 1;
+            (body.to_owned(), v.clone())
+        };
+        if !allowed.contains(&key.as_str()) {
+            return Err(format!(
+                "unknown flag --{key} for this command (allowed: {})",
+                allowed
+                    .iter()
+                    .map(|a| format!("--{a}"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            ));
+        }
+        if flags.insert(key.clone(), value).is_some() {
+            return Err(format!("duplicate flag --{key}"));
+        }
+        i += 1;
     }
     Ok(flags)
+}
+
+fn num<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        Some(v) => v.parse().map_err(|_| format!("--{key} must be a number")),
+        None => Ok(default),
+    }
 }
 
 fn parse_scheme(name: &str) -> Result<SchemeKind, String> {
@@ -85,25 +132,88 @@ fn configured_system(
     if let Some(mb) = flags.get("cache-mb") {
         let mb: u64 = mb
             .parse()
-            .map_err(|_| "cache-mb must be a number".to_owned())?;
+            .map_err(|_| "--cache-mb must be a number".to_owned())?;
         system = system.with_cache_mb(mb);
     }
     if let Some(seed) = flags.get("seed") {
         let seed: u64 = seed
             .parse()
-            .map_err(|_| "seed must be a number".to_owned())?;
+            .map_err(|_| "--seed must be a number".to_owned())?;
         system = system.with_seed(seed);
+    }
+    if let Some(warmup) = flags.get("warmup") {
+        let warmup: u64 = warmup
+            .parse()
+            .map_err(|_| "--warmup must be a number".to_owned())?;
+        system = system.with_warmup(warmup);
+    }
+    if let Some(mlp) = flags.get("mlp") {
+        let mlp: u32 = mlp
+            .parse()
+            .map_err(|_| "--mlp must be a number".to_owned())?;
+        if mlp == 0 {
+            return Err("--mlp must be at least 1".to_owned());
+        }
+        system = system.with_mlp(mlp);
     }
     Ok(system)
 }
 
-fn accesses(flags: &HashMap<String, String>, default: u64) -> Result<u64, String> {
-    match flags.get("accesses") {
-        Some(v) => v
-            .parse()
-            .map_err(|_| "accesses must be a number".to_owned()),
-        None => Ok(default),
+/// `--prefetch N` (next-N-lines) or `--prefetch N:bypass` (bypass fills
+/// on prefetch misses, Table VI).
+fn parse_prefetch(flags: &HashMap<String, String>) -> Result<Option<(u32, PrefetchMode)>, String> {
+    let Some(v) = flags.get("prefetch") else {
+        return Ok(None);
+    };
+    let (n, mode) = v.split_once(':').unwrap_or((v.as_str(), "normal"));
+    let n: u32 = n
+        .parse()
+        .map_err(|_| "--prefetch must be N or N:bypass".to_owned())?;
+    let mode = match mode.to_ascii_lowercase().as_str() {
+        "normal" => PrefetchMode::Normal,
+        "bypass" => PrefetchMode::Bypass,
+        other => return Err(format!("unknown prefetch mode {other:?} (normal, bypass)")),
+    };
+    Ok(Some((n, mode)))
+}
+
+fn build_simulation(
+    system: SystemConfig,
+    kind: SchemeKind,
+    flags: &HashMap<String, String>,
+) -> Result<Simulation, String> {
+    let mut sim = Simulation::new(system, kind);
+    if let Some((n, mode)) = parse_prefetch(flags)? {
+        sim = sim.with_prefetch(n, mode);
     }
+    Ok(sim)
+}
+
+/// Builds the observer requested by `--json` / `--trace-out` /
+/// `--heartbeat` / `--epoch`; disabled when none of them is present.
+fn build_observer(flags: &HashMap<String, String>) -> Result<Observer, String> {
+    let observing = ["json", "trace-out", "heartbeat"]
+        .iter()
+        .any(|k| flags.contains_key(*k));
+    if !observing {
+        return Ok(Observer::disabled());
+    }
+    let mut cfg = ObserverConfig::default().with_epoch_cycles(num(flags, "epoch", 100_000u64)?);
+    if flags.contains_key("trace-out") {
+        cfg = cfg.with_trace(262_144, 1);
+    }
+    if let Some(secs) = flags.get("heartbeat") {
+        let secs: f64 = secs
+            .parse()
+            .map_err(|_| "--heartbeat must be seconds".to_owned())?;
+        cfg = cfg.with_heartbeat(Duration::from_secs_f64(secs.max(0.0)));
+    }
+    Ok(Observer::enabled(cfg))
+}
+
+fn write_json(path: &str, json: &Json) -> Result<(), String> {
+    std::fs::write(path, format!("{}\n", json.to_pretty()))
+        .map_err(|e| format!("writing {path}: {e}"))
 }
 
 fn print_report(label: &str, r: &bimodal::sim::RunReport) {
@@ -130,6 +240,37 @@ fn print_report(label: &str, r: &bimodal::sim::RunReport) {
         "wasted fetch bytes   : {:6.2} %",
         r.scheme.wasted_fetch_fraction() * 100.0
     );
+}
+
+fn print_obs(obs: &ObsSummary) {
+    if obs.is_empty() {
+        return;
+    }
+    println!("-- latency percentiles (cycles) --");
+    for (name, s) in &obs.latency {
+        if s.count == 0 {
+            continue;
+        }
+        println!(
+            "{name:9}: n={:<8} p50={:<6} p95={:<6} p99={:<6} max={}",
+            s.count, s.p50, s.p95, s.p99, s.max
+        );
+    }
+    if let Some(w) = &obs.wall {
+        let phases = w
+            .phases
+            .iter()
+            .map(|(n, secs)| format!("{n} {secs:.3}s"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        println!("-- wall clock --");
+        println!("phases    : {phases}");
+        println!(
+            "throughput: {:.0} simulated cycles/s over {} cycles",
+            w.cycles_per_second, w.sim_cycles
+        );
+    }
+    println!("epochs recorded: {}", obs.epochs.len());
 }
 
 fn cmd_list() {
@@ -161,11 +302,24 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
     let scheme = parse_scheme(flags.get("scheme").ok_or("run needs --scheme")?)?;
     let (mix, base) = parse_mix(mix_name)?;
     let system = configured_system(base, flags)?;
-    let n = accesses(flags, 30_000)?;
-    let report = Simulation::new(system, scheme)
-        .run_mix(&mix, n)
+    let n = num(flags, "accesses", 30_000)?;
+    let mut obs = build_observer(flags)?;
+    let report = build_simulation(system, scheme, flags)?
+        .run_mix_observed(&mix, n, &mut obs)
         .map_err(|e| e.to_string())?;
     print_report(&format!("{} on {}", scheme.name(), mix.name()), &report);
+    print_obs(&report.obs);
+    if let Some(path) = flags.get("trace-out") {
+        let ring = obs.trace.as_ref().expect("tracing was enabled");
+        write_json(path, &ring.chrome_trace())?;
+        println!("wrote event trace ({} events) to {path}", ring.len());
+    }
+    if let Some(path) = flags.get("json") {
+        let mut j = report.to_json();
+        j.set("mix", mix.name());
+        write_json(path, &j)?;
+        println!("wrote report JSON to {path}");
+    }
     Ok(())
 }
 
@@ -173,13 +327,14 @@ fn cmd_compare(flags: &HashMap<String, String>) -> Result<(), String> {
     let mix_name = flags.get("mix").ok_or("compare needs --mix")?;
     let (mix, base) = parse_mix(mix_name)?;
     let system = configured_system(base, flags)?;
-    let n = accesses(flags, 30_000)?;
+    let n = num(flags, "accesses", 30_000)?;
     println!(
         "{:18} {:>8} {:>10} {:>12} {:>12} {:>10}",
         "scheme", "hit %", "locator %", "avg lat (cy)", "offchip MB", "wasted %"
     );
+    let mut reports = Vec::new();
     for kind in SchemeKind::all() {
-        let r = Simulation::new(system.clone(), kind)
+        let r = build_simulation(system.clone(), kind, flags)?
             .run_mix(&mix, n)
             .map_err(|e| e.to_string())?;
         println!(
@@ -191,6 +346,16 @@ fn cmd_compare(flags: &HashMap<String, String>) -> Result<(), String> {
             r.offchip_bytes() as f64 / 1048576.0,
             r.scheme.wasted_fetch_fraction() * 100.0,
         );
+        reports.push(r.to_json());
+    }
+    if let Some(path) = flags.get("json") {
+        let mut j = Json::object();
+        j.set("command", "compare")
+            .set("mix", mix.name())
+            .set("accesses_per_core", n)
+            .set("reports", Json::Arr(reports));
+        write_json(path, &j)?;
+        println!("wrote comparison JSON to {path}");
     }
     Ok(())
 }
@@ -200,11 +365,11 @@ fn cmd_antt(flags: &HashMap<String, String>) -> Result<(), String> {
     let scheme = parse_scheme(flags.get("scheme").ok_or("antt needs --scheme")?)?;
     let (mix, base) = parse_mix(mix_name)?;
     let system = configured_system(base, flags)?;
-    let n = accesses(flags, 20_000)?;
-    let ours = Simulation::new(system.clone(), scheme)
+    let n = num(flags, "accesses", 20_000)?;
+    let ours = build_simulation(system.clone(), scheme, flags)?
         .run_antt(&mix, n)
         .map_err(|e| e.to_string())?;
-    let baseline = Simulation::new(system, SchemeKind::Alloy)
+    let baseline = build_simulation(system, SchemeKind::Alloy, flags)?
         .run_antt(&mix, n)
         .map_err(|e| e.to_string())?;
     println!(
@@ -218,6 +383,17 @@ fn cmd_antt(flags: &HashMap<String, String>) -> Result<(), String> {
         "improvement            : {:+.1} %",
         ours.improvement_over(&baseline)
     );
+    if let Some(path) = flags.get("json") {
+        let mut j = Json::object();
+        j.set("command", "antt")
+            .set("mix", mix.name())
+            .set("accesses_per_core", n)
+            .set("scheme", ours.to_json())
+            .set("baseline", baseline.to_json())
+            .set("improvement_percent", ours.improvement_over(&baseline));
+        write_json(path, &j)?;
+        println!("wrote ANTT JSON to {path}");
+    }
     Ok(())
 }
 
@@ -225,17 +401,39 @@ fn cmd_sweep(flags: &HashMap<String, String>) -> Result<(), String> {
     let mix_name = flags.get("mix").ok_or("sweep needs --mix")?;
     let (mix, base) = parse_mix(mix_name)?;
     let system = configured_system(base, flags)?;
-    let n = accesses(flags, 400_000)?;
+    let n = num(flags, "accesses", 400_000)?;
     let scaled = mix.clone().with_footprint_scale(system.footprint_scale);
     println!(
         "miss rate vs block size (functional, {} MB):",
         system.cache_mb
     );
     let sizes = [64u32, 128, 256, 512, 1024, 2048, 4096];
-    for (bs, rate) in
-        sweep::miss_rate_vs_block_size(&scaled, system.cache_bytes(), &sizes, n, system.seed)
-    {
+    let points =
+        sweep::miss_rate_vs_block_size(&scaled, system.cache_bytes(), &sizes, n, system.seed);
+    for &(bs, rate) in &points {
         println!("  {bs:>5} B : {:5.1} % miss", rate * 100.0);
+    }
+    if let Some(path) = flags.get("json") {
+        let mut j = Json::object();
+        j.set("command", "sweep")
+            .set("mix", mix.name())
+            .set("cache_mb", system.cache_mb)
+            .set("accesses", n)
+            .set(
+                "points",
+                Json::Arr(
+                    points
+                        .iter()
+                        .map(|&(bs, rate)| {
+                            let mut p = Json::object();
+                            p.set("block_bytes", u64::from(bs)).set("miss_rate", rate);
+                            p
+                        })
+                        .collect(),
+                ),
+            );
+        write_json(path, &j)?;
+        println!("wrote sweep JSON to {path}");
     }
     Ok(())
 }
@@ -243,19 +441,47 @@ fn cmd_sweep(flags: &HashMap<String, String>) -> Result<(), String> {
 fn cmd_record(flags: &HashMap<String, String>) -> Result<(), String> {
     let program = flags.get("program").ok_or("record needs --program")?;
     let out = flags.get("out").ok_or("record needs --out")?;
-    let n: usize = match flags.get("n") {
-        Some(v) => v.parse().map_err(|_| "n must be a number".to_owned())?,
-        None => 100_000,
-    };
-    let seed: u64 = match flags.get("seed") {
-        Some(v) => v.parse().map_err(|_| "seed must be a number".to_owned())?,
-        None => 7,
-    };
+    let n: usize = num(flags, "n", 100_000)?;
+    let seed: u64 = num(flags, "seed", 7)?;
     let spec = spec_profile(program).ok_or_else(|| format!("unknown program {program:?}"))?;
     let accesses: Vec<_> = spec.trace(seed, 0).take(n).collect();
     let written = write_trace(out, &accesses).map_err(|e| e.to_string())?;
     println!("wrote {written} accesses of {program} to {out}");
     Ok(())
+}
+
+/// Flags each command accepts; anything else is rejected up front.
+fn allowed_flags(command: &str) -> &'static [&'static str] {
+    const RUN: &[&str] = &[
+        "mix",
+        "scheme",
+        "accesses",
+        "cache-mb",
+        "seed",
+        "warmup",
+        "mlp",
+        "prefetch",
+        "json",
+        "trace-out",
+        "epoch",
+        "heartbeat",
+    ];
+    const COMPARE: &[&str] = &[
+        "mix", "accesses", "cache-mb", "seed", "warmup", "mlp", "prefetch", "json",
+    ];
+    const ANTT: &[&str] = &[
+        "mix", "scheme", "accesses", "cache-mb", "seed", "warmup", "mlp", "prefetch", "json",
+    ];
+    const SWEEP: &[&str] = &["mix", "accesses", "cache-mb", "seed", "json"];
+    const RECORD: &[&str] = &["program", "out", "n", "seed"];
+    match command {
+        "run" => RUN,
+        "compare" => COMPARE,
+        "antt" => ANTT,
+        "sweep" => SWEEP,
+        "record" => RECORD,
+        _ => &[],
+    }
 }
 
 fn main() -> ExitCode {
@@ -264,7 +490,7 @@ fn main() -> ExitCode {
         eprintln!("{}", usage());
         return ExitCode::FAILURE;
     };
-    let flags = match parse_flags(&args[1..]) {
+    let flags = match parse_flags(&args[1..], allowed_flags(command)) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("error: {e}\n\n{}", usage());

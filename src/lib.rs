@@ -13,7 +13,11 @@
 //! * [`workloads`] — synthetic SPEC-like trace generators and the Q/E/S
 //!   multiprogrammed mixes,
 //! * [`sim`] — the trace-driven multi-core simulation engine, prefetcher,
-//!   energy model and ANTT metrics.
+//!   energy model and ANTT metrics,
+//! * [`obs`] — the observability layer: latency histograms, epoch time
+//!   series, event tracing, JSON export, wall-clock profiling,
+//! * [`prng`] — the dependency-free xoshiro256++ PRNG the workload
+//!   generators draw from.
 //!
 //! # Quickstart
 //!
@@ -35,6 +39,8 @@
 pub use bimodal_baselines as baselines;
 pub use bimodal_core as cache;
 pub use bimodal_dram as dram;
+pub use bimodal_obs as obs;
+pub use bimodal_prng as prng;
 pub use bimodal_sim as sim;
 pub use bimodal_workloads as workloads;
 
@@ -42,6 +48,7 @@ pub use bimodal_workloads as workloads;
 pub mod prelude {
     pub use bimodal_core::{BiModalCache, BiModalConfig, BlockSize, CacheGeometry};
     pub use bimodal_dram::{DramConfig, DramModule, MemorySystem};
+    pub use bimodal_obs::{Json, Observer, ObserverConfig};
     pub use bimodal_sim::{SchemeKind, Simulation, SystemConfig};
     pub use bimodal_workloads::{WorkloadMix, WorkloadSpec};
 }

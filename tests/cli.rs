@@ -98,3 +98,185 @@ fn no_arguments_prints_usage() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
 }
+
+#[test]
+fn equals_flag_syntax_is_accepted() {
+    let out = bimodal()
+        .args([
+            "run",
+            "--mix=Q2",
+            "--scheme=bimodal",
+            "--accesses=1000",
+            "--cache-mb=4",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("hit rate"));
+}
+
+#[test]
+fn duplicate_flags_are_rejected() {
+    let out = bimodal()
+        .args(["run", "--mix", "Q2", "--mix", "Q3", "--scheme", "bimodal"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("duplicate flag --mix"));
+}
+
+#[test]
+fn unknown_flags_are_rejected() {
+    let out = bimodal()
+        .args(["run", "--mix", "Q2", "--scheme", "bimodal", "--bogus", "1"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag --bogus"));
+}
+
+#[test]
+fn engine_knob_flags_are_accepted() {
+    let out = bimodal()
+        .args([
+            "run",
+            "--mix",
+            "Q2",
+            "--scheme",
+            "bimodal",
+            "--accesses",
+            "1000",
+            "--cache-mb",
+            "4",
+            "--warmup",
+            "100",
+            "--mlp",
+            "4",
+            "--prefetch",
+            "2:bypass",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn run_json_export_has_expected_shape() {
+    use bimodal::obs::Json;
+    let dir = std::env::temp_dir();
+    let json_path = dir.join(format!("bimodal-cli-{}.json", std::process::id()));
+    let trace_path = dir.join(format!("bimodal-cli-{}.trace.json", std::process::id()));
+    let out = bimodal()
+        .args([
+            "run",
+            "--mix",
+            "Q2",
+            "--scheme",
+            "bimodal",
+            "--accesses",
+            "2000",
+            "--cache-mb",
+            "4",
+            "--json",
+            json_path.to_str().expect("utf8"),
+            "--trace-out",
+            trace_path.to_str().expect("utf8"),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // The report: all RunReport sections plus the observability layer.
+    let text = std::fs::read_to_string(&json_path).expect("json written");
+    let j = Json::parse(&text).expect("valid JSON");
+    for key in [
+        "mix",
+        "scheme",
+        "accesses_per_core",
+        "core_cycles",
+        "avg_latency",
+        "stats",
+        "cache_dram",
+        "offchip_dram",
+        "obs",
+    ] {
+        assert!(j.get(key).is_some(), "missing key {key}");
+    }
+    let stats = j.get("stats").expect("stats");
+    assert!(stats.get("hit_rate").and_then(Json::as_f64).is_some());
+    let read = j
+        .get("obs")
+        .and_then(|o| o.get("latency"))
+        .and_then(|l| l.get("read"))
+        .expect("read latency summary");
+    for key in ["count", "mean", "p50", "p95", "p99", "max"] {
+        assert!(
+            read.get(key).and_then(Json::as_f64).is_some(),
+            "missing {key}"
+        );
+    }
+    assert!(read.get("count").and_then(Json::as_f64).expect("count") > 0.0);
+    let epochs = j
+        .get("obs")
+        .and_then(|o| o.get("epochs"))
+        .and_then(Json::as_arr)
+        .expect("epoch series");
+    assert!(!epochs.is_empty());
+    assert!(epochs[0].get("hit_rate").is_some());
+    let wall = j.get("obs").and_then(|o| o.get("wall")).expect("wall");
+    assert!(wall.get("sim_cycles_per_second").is_some());
+
+    // The trace: Chrome trace-event object format.
+    let trace_text = std::fs::read_to_string(&trace_path).expect("trace written");
+    let t = Json::parse(&trace_text).expect("valid trace JSON");
+    let events = t.get("traceEvents").and_then(Json::as_arr).expect("events");
+    assert!(!events.is_empty());
+    for key in ["name", "ph", "ts", "pid", "tid"] {
+        assert!(events[0].get(key).is_some(), "missing trace key {key}");
+    }
+
+    std::fs::remove_file(&json_path).expect("cleanup");
+    std::fs::remove_file(&trace_path).expect("cleanup");
+}
+
+#[test]
+fn compare_json_export_covers_all_schemes() {
+    use bimodal::obs::Json;
+    let path = std::env::temp_dir().join(format!("bimodal-cmp-{}.json", std::process::id()));
+    let out = bimodal()
+        .args([
+            "compare",
+            "--mix",
+            "Q2",
+            "--accesses",
+            "500",
+            "--cache-mb",
+            "4",
+            "--json",
+            path.to_str().expect("utf8"),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let j = Json::parse(&std::fs::read_to_string(&path).expect("written")).expect("valid");
+    let reports = j.get("reports").and_then(Json::as_arr).expect("reports");
+    assert!(reports.len() >= 5, "one report per scheme");
+    assert!(reports[0].get("stats").is_some());
+    std::fs::remove_file(&path).expect("cleanup");
+}
