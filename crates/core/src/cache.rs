@@ -23,6 +23,7 @@ use crate::layout::DataLayout;
 use crate::metadata::{MetadataLayout, MetadataPlacement};
 use crate::miss_predictor::MissPredictor;
 use crate::predictor::{BlockSizePredictor, PredictorConfig, UtilizationTracker};
+use crate::resilience::{FaultTarget, MetadataFault};
 use crate::scheme::{AccessKind, AccessOutcome, CacheAccess, DramCacheScheme};
 use crate::set::{BiModalSet, Victim, WayRef};
 use crate::sram::SramModel;
@@ -77,6 +78,11 @@ pub struct BiModalConfig {
     /// The stacked-DRAM module this cache will be laid out on. Must match
     /// the `MemorySystem` used at access time.
     pub stacked_dram: DramConfig,
+    /// Protect metadata entries with SECDED ECC check bytes. Injected
+    /// metadata faults are then detected at the next tag probe (corrected
+    /// if single-bit) instead of silently corrupting tags, at the cost of
+    /// wider metadata entries and tag reads.
+    pub metadata_ecc: bool,
     /// RNG seed for the replacement policy.
     pub seed: u64,
 }
@@ -137,6 +143,7 @@ impl BiModalConfig {
             miss_predictor: false,
             adaptive_threshold: false,
             stacked_dram,
+            metadata_ecc: false,
             geometry,
             addr_bits,
             seed: 0x00B1_30DA_1CAC_4E01,
@@ -262,6 +269,14 @@ impl BiModalConfig {
         self.stacked_dram = dram;
         self
     }
+
+    /// Protects metadata entries with SECDED ECC (see
+    /// [`MetadataLayout::with_ecc`]).
+    #[must_use]
+    pub fn with_metadata_ecc(mut self, enable: bool) -> Self {
+        self.metadata_ecc = enable;
+        self
+    }
 }
 
 /// The Bi-Modal DRAM cache.
@@ -288,6 +303,10 @@ pub struct BiModalCache {
     epoch_well_used: u64,
     epoch_promotions_base: u64,
     epoch_small_fills_base: u64,
+    /// Injected metadata flips held by the ECC ledger: with SECDED on,
+    /// a flip never reaches the live tags — it waits here until the next
+    /// tag probe of its set decodes (and corrects or rejects) the entry.
+    pending_faults: Vec<MetadataFault>,
     rng: SmallRng,
     stats: SchemeStats,
     config: BiModalConfig,
@@ -307,12 +326,15 @@ impl BiModalCache {
         geometry.validate().expect("geometry must be valid");
         let dedicated = config.metadata_placement == MetadataPlacement::DedicatedBank;
         let layout = DataLayout::new(&geometry, &config.stacked_dram, dedicated);
-        let metadata = MetadataLayout::new(
+        let mut metadata = MetadataLayout::new(
             &geometry,
             &config.stacked_dram,
             &layout,
             config.metadata_placement,
         );
+        if config.metadata_ecc {
+            metadata = metadata.with_ecc();
+        }
         let sets = (0..geometry.n_sets())
             .map(|_| BiModalSet::new(&geometry))
             .collect();
@@ -356,6 +378,7 @@ impl BiModalCache {
             epoch_well_used: 0,
             epoch_promotions_base: 0,
             epoch_small_fills_base: 0,
+            pending_faults: Vec::new(),
             rng: SmallRng::seed_from_u64(config.seed),
             stats: SchemeStats::default(),
             geometry,
@@ -725,6 +748,187 @@ impl BiModalCache {
 
         (fetch.done, outcome.way.size)
     }
+
+    /// Applies SECDED detection to every ledgered fault of `set_idx`: the
+    /// tag probe that just completed decoded each protected entry of the
+    /// set. Single-bit flips are corrected; multi-bit flips are detected
+    /// but uncorrectable, so the affected way is dropped (its data array
+    /// contents are fine — the entry describing them became unreadable).
+    /// Either way a scrub write of the repaired entry goes back to the
+    /// metadata bank off the critical path.
+    fn scrub_set(&mut self, set_idx: u64, at: Cycle, mem: &mut MemorySystem) {
+        let mut i = 0;
+        while i < self.pending_faults.len() {
+            if self.pending_faults[i].set != set_idx {
+                i += 1;
+                continue;
+            }
+            let fault = self.pending_faults.swap_remove(i);
+            if fault.multi_bit {
+                self.stats.ecc_detected_uncorrected += 1;
+                if let Some(victim) = self.invalidate_faulted_way(&fault) {
+                    // Dirty data survives: write it back before the way
+                    // is recycled, exactly as an eviction would.
+                    let small = u64::from(self.geometry.small_block);
+                    let base = self.geometry.reconstruct(victim.tag, fault.set);
+                    let subs = match victim.size {
+                        BlockSize::Big => self.geometry.sub_blocks(),
+                        BlockSize::Small => 1,
+                    };
+                    let first = u64::from(victim.sub_block);
+                    for s in 0..subs {
+                        if victim.dirty_mask & (1 << s) != 0 {
+                            mem.defer(
+                                at,
+                                DeferredOp::MainWrite {
+                                    addr: base + (first + u64::from(s)) * small,
+                                    bytes: self.geometry.small_block,
+                                },
+                            );
+                            self.stats.writebacks += 1;
+                            self.stats.offchip_writeback_bytes +=
+                                u64::from(self.geometry.small_block);
+                        }
+                    }
+                }
+            } else {
+                self.stats.ecc_corrected += 1;
+            }
+            let data_loc = self.layout.set_location(set_idx);
+            let md_loc = self.metadata.metadata_location(set_idx, data_loc);
+            mem.defer(
+                at,
+                DeferredOp::CacheWrite {
+                    loc: md_loc,
+                    bytes: 8,
+                },
+            );
+        }
+    }
+
+    /// Drops the way a detected-uncorrectable metadata fault pointed at,
+    /// together with its way-locator entry, returning the displaced block.
+    fn invalidate_faulted_way(&mut self, fault: &MetadataFault) -> Option<Victim> {
+        let way = WayRef {
+            size: if fault.big {
+                BlockSize::Big
+            } else {
+                BlockSize::Small
+            },
+            index: fault.way,
+        };
+        let set = &mut self.sets[usize::try_from(fault.set).expect("set fits usize")];
+        let victim = set.invalidate_way(way)?;
+        let base = self.geometry.reconstruct(victim.tag, fault.set);
+        let addr = base + u64::from(victim.sub_block) * u64::from(self.geometry.small_block);
+        if let Some(wl) = self.way_locator.as_mut() {
+            wl.invalidate(addr, victim.size);
+        }
+        Some(victim)
+    }
+}
+
+impl FaultTarget for BiModalCache {
+    fn inject_metadata_flip(
+        &mut self,
+        rng: &mut SmallRng,
+        multi_bit: bool,
+    ) -> Option<MetadataFault> {
+        // Probe sets from a random start for a resident entry to disturb;
+        // a warmed cache finds one immediately, and an empty one returns
+        // `None` after one wrap.
+        let n_sets = self.sets.len();
+        let start = rng.gen_range(0..n_sets);
+        for probe in 0..n_sets {
+            let idx = (start + probe) % n_sets;
+            let ways = self.sets[idx].occupied_ways();
+            if ways.is_empty() {
+                continue;
+            }
+            let way = ways[rng.gen_range(0..ways.len())];
+            // Disturb the low 20 tag bits — within every geometry's width.
+            let xor = if multi_bit {
+                let b1 = rng.gen_range(0u32..20);
+                let b2 = (b1 + rng.gen_range(1u32..20)) % 20;
+                (1u64 << b1) | (1u64 << b2)
+            } else {
+                1u64 << rng.gen_range(0u32..20)
+            };
+            let apply = !self.metadata.ecc();
+            let (orig_tag, new_tag) = if apply {
+                self.sets[idx].corrupt_tag(way, xor)?
+            } else {
+                let (tag, _) = self.sets[idx].way_tag(way)?;
+                (tag, tag ^ xor)
+            };
+            let fault = MetadataFault {
+                set: idx as u64,
+                big: way.size == BlockSize::Big,
+                way: way.index,
+                orig_tag,
+                new_tag,
+                multi_bit,
+                applied: apply,
+            };
+            if !apply {
+                self.pending_faults.push(fault);
+            }
+            return Some(fault);
+        }
+        None
+    }
+
+    fn inject_locator_flip(&mut self, rng: &mut SmallRng) -> bool {
+        self.way_locator
+            .as_mut()
+            .is_some_and(|wl| wl.corrupt_random_way(rng))
+    }
+
+    fn inject_predictor_upset(&mut self, rng: &mut SmallRng) -> bool {
+        if !self.bimodal {
+            return false;
+        }
+        self.predictor.upset_counter(rng);
+        true
+    }
+
+    fn contents_digest(&self) -> u64 {
+        const PRIME: u64 = 0x100_0000_01b3;
+        fn mix(h: u64, v: u64) -> u64 {
+            (h ^ v).wrapping_mul(PRIME)
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for (i, set) in self.sets.iter().enumerate() {
+            for v in set.residents() {
+                h = mix(h, i as u64);
+                h = mix(h, v.tag);
+                h = mix(h, u64::from(v.sub_block));
+                h = mix(h, u64::from(v.size == BlockSize::Big));
+                h = mix(h, u64::from(v.dirty_mask));
+                h = mix(h, u64::from(v.referenced_mask));
+            }
+        }
+        h
+    }
+
+    fn flush_faults(&mut self) -> (u64, u64) {
+        let pending = std::mem::take(&mut self.pending_faults);
+        let mut corrected = 0u64;
+        let mut uncorrected = 0u64;
+        for fault in pending {
+            if fault.multi_bit {
+                uncorrected += 1;
+                self.stats.ecc_detected_uncorrected += 1;
+                // End-of-campaign accounting scrub: no run left to charge
+                // the writebacks to, so just drop the way.
+                self.invalidate_faulted_way(&fault);
+            } else {
+                corrected += 1;
+                self.stats.ecc_corrected += 1;
+            }
+        }
+        (corrected, uncorrected)
+    }
 }
 
 impl DramCacheScheme for BiModalCache {
@@ -764,13 +968,24 @@ impl DramCacheScheme for BiModalCache {
         };
 
         // ------------------------------------------------ way locator hit
-        if let Some(wl) = self.way_locator.as_mut() {
-            if let Some(entry) = wl.lookup(access.addr) {
+        if let Some(entry) = self
+            .way_locator
+            .as_mut()
+            .and_then(|wl| wl.lookup(access.addr))
+        {
+            let way = WayRef {
+                size: entry.size,
+                index: entry.way,
+            };
+            // Verify the hint against the authoritative set state before
+            // spending the data access. The locator never mispredicts by
+            // construction, but an injected soft error can corrupt its way
+            // field: a poisoned hint must cost latency, never correctness.
+            let resident = self.sets[usize::try_from(set_idx).expect("set fits usize")]
+                .lookup(tag, sub)
+                == Some(way);
+            if resident {
                 self.stats.locator_hits += 1;
-                let way = WayRef {
-                    size: entry.size,
-                    index: entry.way,
-                };
                 let start = access.now + self.wl_cycles;
                 let comp = mem.cache_dram.access(Request {
                     loc: data_loc,
@@ -783,11 +998,6 @@ impl DramCacheScheme for BiModalCache {
                     self.stats.data_row_hits += 1;
                 }
                 let set = &mut self.sets[usize::try_from(set_idx).expect("set fits usize")];
-                debug_assert_eq!(
-                    set.lookup(tag, sub),
-                    Some(way),
-                    "way locator pointed at a block that is not resident"
-                );
                 set.touch(way, sub, access.is_write());
                 if access.is_write() {
                     // Dirty-bit metadata update, off the critical path.
@@ -821,6 +1031,18 @@ impl DramCacheScheme for BiModalCache {
                     small_block: small,
                 };
             }
+            // Locator-vs-metadata mismatch: self-heal. Retract the bogus
+            // SRAM hit, drop the poisoned entry, and fall through to the
+            // full DRAM tag probe, which re-inserts a clean entry on hit.
+            self.stats.locator_heals += 1;
+            let wl = self
+                .way_locator
+                .as_mut()
+                .expect("entry came from the locator");
+            wl.retract_hit();
+            wl.invalidate(access.addr, entry.size);
+            self.stats.locator_misses += 1;
+        } else if self.way_locator.is_some() {
             self.stats.locator_misses += 1;
         }
 
@@ -860,6 +1082,13 @@ impl DramCacheScheme for BiModalCache {
             md_comp.done
         };
         let tags_checked = md_comp.done + self.tag_compare_cycles;
+
+        // The tag read just decoded every SECDED-protected entry of this
+        // set, so any ledgered metadata faults are detected now: corrected
+        // in place if single-bit, or the affected way dropped if not.
+        if !self.pending_faults.is_empty() {
+            self.scrub_set(set_idx, md_comp.done, mem);
+        }
 
         let hit_way = self.sets[usize::try_from(set_idx).expect("set fits usize")].lookup(tag, sub);
 
@@ -988,6 +1217,10 @@ impl DramCacheScheme for BiModalCache {
         }
         self.stats.offchip_wasted_bytes += wasted;
     }
+
+    fn fault_target(&mut self) -> Option<&mut dyn crate::FaultTarget> {
+        Some(self)
+    }
 }
 
 #[cfg(test)]
@@ -1064,6 +1297,11 @@ mod tests {
             }
         }
         assert!(c.stats().accesses == 36);
+        assert_eq!(
+            c.stats().locator_heals,
+            0,
+            "an unfaulted run never trips the hint verifier"
+        );
     }
 
     #[test]
@@ -1282,6 +1520,109 @@ mod tests {
             "well-used traffic must not raise T, got {}",
             c.threshold()
         );
+    }
+
+    #[test]
+    fn corrupted_locator_entry_heals_without_losing_the_block() {
+        let (mut c, mut mem) = small_cache();
+        let a = c.access(CacheAccess::read(0x20000, 0), &mut mem);
+        let mut rng = SmallRng::seed_from_u64(9);
+        assert!(c.inject_locator_flip(&mut rng), "one entry is resident");
+        let b = c.access(CacheAccess::read(0x20000, a.complete + 1_000), &mut mem);
+        assert!(b.hit, "a corrupted hint costs latency, never the block");
+        assert_eq!(c.stats().locator_heals, 1);
+        // The tag probe re-inserted a clean entry: the next access is a
+        // plain locator hit again.
+        let d = c.access(CacheAccess::read(0x20000, b.complete + 1_000), &mut mem);
+        assert!(d.hit);
+        assert_eq!(c.stats().locator_heals, 1);
+    }
+
+    #[test]
+    fn ecc_ledgers_flips_and_scrubs_on_the_next_tag_probe() {
+        let config = BiModalConfig::for_cache_mb(1)
+            .with_epoch(500)
+            .with_metadata_ecc(true);
+        let mut c = BiModalCache::new(config);
+        let mut mem = MemorySystem::quad_core();
+        let a = c.access(CacheAccess::read(0x30000, 0), &mut mem);
+        let digest = c.contents_digest();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let f = c
+            .inject_metadata_flip(&mut rng, false)
+            .expect("a block is resident");
+        assert!(!f.applied, "SECDED holds the flip in the ledger");
+        assert_eq!(digest, c.contents_digest(), "tags were never disturbed");
+        // A tag probe of the same set (here: a conflicting miss) decodes
+        // the protected entries and corrects the flip.
+        let set_stride = 1u64 << (c.geometry.offset_bits() + c.geometry.set_index_bits());
+        let _ = c.access(
+            CacheAccess::read(0x30000 + set_stride, a.complete),
+            &mut mem,
+        );
+        assert_eq!(c.stats().ecc_corrected, 1);
+        assert_eq!(c.stats().ecc_detected_uncorrected, 0);
+    }
+
+    #[test]
+    fn multi_bit_flip_is_detected_and_drops_the_way() {
+        let config = BiModalConfig::for_cache_mb(1)
+            .with_epoch(500)
+            .with_metadata_ecc(true);
+        let mut c = BiModalCache::new(config);
+        let mut mem = MemorySystem::quad_core();
+        let a = c.access(CacheAccess::read(0x40000, 0), &mut mem);
+        let mut rng = SmallRng::seed_from_u64(13);
+        let f = c
+            .inject_metadata_flip(&mut rng, true)
+            .expect("a block is resident");
+        assert!(f.multi_bit && !f.applied);
+        let set_stride = 1u64 << (c.geometry.offset_bits() + c.geometry.set_index_bits());
+        let b = c.access(
+            CacheAccess::read(0x40000 + set_stride, a.complete),
+            &mut mem,
+        );
+        assert_eq!(c.stats().ecc_detected_uncorrected, 1);
+        // The entry was unreadable, so its way was dropped: the original
+        // block is gone, detectedly (not silently).
+        let d = c.access(CacheAccess::read(0x40000, b.complete), &mut mem);
+        assert!(!d.hit);
+    }
+
+    #[test]
+    fn without_ecc_a_flip_corrupts_the_tag_for_real() {
+        let (mut c, mut mem) = small_cache();
+        let a = c.access(CacheAccess::read(0x50000, 0), &mut mem);
+        let digest = c.contents_digest();
+        let mut rng = SmallRng::seed_from_u64(17);
+        let f = c
+            .inject_metadata_flip(&mut rng, false)
+            .expect("a block is resident");
+        assert!(f.applied, "no ECC: the stored tag really changes");
+        assert_ne!(f.orig_tag, f.new_tag);
+        assert_ne!(digest, c.contents_digest());
+        // The stale locator hint is caught by the verifier (heal), but the
+        // block itself is lost — the silent-corruption baseline.
+        let b = c.access(CacheAccess::read(0x50000, a.complete), &mut mem);
+        assert!(!b.hit);
+        assert_eq!(c.stats().locator_heals, 1);
+        assert_eq!(c.stats().ecc_corrected, 0);
+    }
+
+    #[test]
+    fn flush_faults_accounts_for_undetected_ledger_entries() {
+        let config = BiModalConfig::for_cache_mb(1)
+            .with_epoch(500)
+            .with_metadata_ecc(true);
+        let mut c = BiModalCache::new(config);
+        let mut mem = MemorySystem::quad_core();
+        let _ = c.access(CacheAccess::read(0x60000, 0), &mut mem);
+        let mut rng = SmallRng::seed_from_u64(19);
+        c.inject_metadata_flip(&mut rng, false).expect("resident");
+        c.inject_metadata_flip(&mut rng, true).expect("resident");
+        let (corrected, uncorrected) = c.flush_faults();
+        assert_eq!((corrected, uncorrected), (1, 1));
+        assert_eq!(c.flush_faults(), (0, 0), "ledger drained");
     }
 
     #[test]

@@ -21,7 +21,9 @@
 //! * [`CacheGeometry`], [`DataLayout`], [`MetadataLayout`] — address
 //!   decomposition and the placement of sets and metadata on stacked DRAM,
 //! * [`FunctionalCache`] — a fast tag-only model for hit-rate and
-//!   utilization design-space sweeps (Figures 1, 2 and 5).
+//!   utilization design-space sweeps (Figures 1, 2 and 5),
+//! * [`FaultTarget`] — the fault-injection surface used by resilience
+//!   campaigns (metadata SECDED ECC, hint-structure self-healing).
 //!
 //! # Example
 //!
@@ -48,6 +50,7 @@ mod layout;
 mod metadata;
 mod miss_predictor;
 mod predictor;
+mod resilience;
 mod scheme;
 mod set;
 mod sram;
@@ -62,6 +65,7 @@ pub use layout::DataLayout;
 pub use metadata::{MetadataLayout, MetadataPlacement};
 pub use miss_predictor::MissPredictor;
 pub use predictor::{BlockSizePredictor, PredictorConfig, UtilizationTracker};
+pub use resilience::{FaultTarget, MetadataFault};
 pub use scheme::{AccessKind, AccessOutcome, CacheAccess, DramCacheScheme};
 pub use set::{BiModalSet, InsertOutcome, Victim, WayRef};
 pub use sram::SramModel;

@@ -35,6 +35,7 @@ pub struct MetadataLayout {
     entry_bytes: u32,
     sets_per_row: u32,
     tag_read_bytes: u32,
+    ecc: bool,
 }
 
 impl MetadataLayout {
@@ -72,7 +73,27 @@ impl MetadataLayout {
             entry_bytes,
             sets_per_row,
             tag_read_bytes,
+            ecc: false,
         }
+    }
+
+    /// Widens every metadata entry with SECDED ECC check bytes (one per
+    /// eight data bytes, 12.5%). Fewer sets fit a metadata page and tag
+    /// reads may need an extra burst — the protection's bandwidth/latency
+    /// cost, charged through the normal DRAM timing model.
+    #[must_use]
+    pub fn with_ecc(mut self) -> Self {
+        self.ecc = true;
+        self.entry_bytes += self.entry_bytes.div_ceil(8);
+        self.sets_per_row = (self.row_bytes / self.entry_bytes).max(1);
+        self.tag_read_bytes = self.entry_bytes.div_ceil(64) * 64;
+        self
+    }
+
+    /// Whether entries carry SECDED check bytes.
+    #[must_use]
+    pub fn ecc(&self) -> bool {
+        self.ecc
     }
 
     /// The placement policy.
@@ -104,7 +125,10 @@ impl MetadataLayout {
     /// one 64 B burst, more need two (Section III-D2).
     #[must_use]
     pub fn tag_read_bytes_for(&self, ways: u16) -> u32 {
-        let bytes = 1 + 4 * u32::from(ways);
+        let mut bytes = 1 + 4 * u32::from(ways);
+        if self.ecc {
+            bytes += bytes.div_ceil(8);
+        }
         bytes.div_ceil(64) * 64
     }
 
@@ -157,6 +181,21 @@ mod tests {
         assert_eq!(md.sets_per_row(), 2048 / 73);
         // 18 tags need two 64 B bursts (Section III-D2).
         assert_eq!(md.tag_read_bytes(), 128);
+    }
+
+    #[test]
+    fn ecc_widens_entries_and_tag_reads() {
+        let (_, _, _, md) = setup(MetadataPlacement::DedicatedBank);
+        assert!(!md.ecc());
+        let ecc = md.clone().with_ecc();
+        assert!(ecc.ecc());
+        // 73 B + ceil(73/8) = 83 B per entry; 24 sets per 2 KB page.
+        assert_eq!(ecc.entry_bytes(), 73 + 10);
+        assert_eq!(ecc.sets_per_row(), 2048 / 83);
+        assert_eq!(ecc.tag_read_bytes(), 128);
+        // A 15-way read fits one burst unprotected but needs two with ECC.
+        assert_eq!(md.tag_read_bytes_for(15), 64);
+        assert_eq!(ecc.tag_read_bytes_for(15), 128);
     }
 
     #[test]

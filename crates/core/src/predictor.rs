@@ -213,6 +213,17 @@ impl BlockSizePredictor {
         self.promotions += 1;
     }
 
+    /// Flips one random bit of one random 2-bit counter, modelling an SRAM
+    /// upset in the hint structure. The group is marked trained so the
+    /// flipped counter actually drives predictions (an upset in an
+    /// untrained group would be shadowed by the bias and unobservable).
+    pub fn upset_counter(&mut self, rng: &mut bimodal_prng::SmallRng) {
+        let idx = rng.gen_range(0..self.counters.len());
+        let bit = rng.gen_range(0u8..2);
+        self.counters[idx] ^= 1 << bit;
+        self.trained[idx] = true;
+    }
+
     /// Number of promotions performed.
     #[must_use]
     pub fn promotions(&self) -> u64 {
@@ -397,6 +408,22 @@ mod tests {
         p.predict(0);
         assert_eq!(p.prediction_counts(), (1, 1));
         assert_eq!(p.update_counts(), (0, 2));
+    }
+
+    #[test]
+    fn upset_flips_a_counter_bit_and_trains_the_group() {
+        use bimodal_prng::SmallRng;
+        let mut p = BlockSizePredictor::new(PredictorConfig::paper_default());
+        let mut rng = SmallRng::seed_from_u64(3);
+        let before = p.counters.clone();
+        p.upset_counter(&mut rng);
+        let changed: Vec<usize> = (0..before.len())
+            .filter(|&i| p.counters[i] != before[i])
+            .collect();
+        assert_eq!(changed.len(), 1, "exactly one counter changes");
+        let i = changed[0];
+        assert_eq!((p.counters[i] ^ before[i]).count_ones(), 1);
+        assert!(p.trained[i], "the upset group becomes observable");
     }
 
     #[test]

@@ -1,0 +1,76 @@
+//! The fault-injection surface a cache scheme exposes to resilience
+//! campaigns.
+//!
+//! A fault campaign perturbs three classes of controller state — DRAM
+//! metadata entries, SRAM way-locator entries and block-size-predictor
+//! counters — through the [`FaultTarget`] trait, and the scheme models the
+//! architectural response:
+//!
+//! * With metadata ECC enabled, injected metadata flips are held in a
+//!   pending ledger instead of being applied: the SECDED code over each
+//!   entry detects them at the next tag probe of the set, where single-bit
+//!   flips are corrected in place and multi-bit flips invalidate the
+//!   affected way (detected but uncorrectable).
+//! * Without ECC, metadata flips corrupt the stored tag for real — the
+//!   honest silent-corruption baseline.
+//! * Way-locator and predictor upsets only ever disturb *hints*; the
+//!   access path verifies hints against metadata and self-heals, so these
+//!   faults cost latency and bandwidth but never correctness.
+
+use bimodal_prng::SmallRng;
+
+/// One injected metadata-entry disturbance, as recorded by the scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetadataFault {
+    /// Set index of the disturbed entry.
+    pub set: u64,
+    /// Whether the disturbed way holds a big block.
+    pub big: bool,
+    /// Way index within its kind (big or small).
+    pub way: u8,
+    /// The tag before the flip.
+    pub orig_tag: u64,
+    /// The tag the flip would produce.
+    pub new_tag: u64,
+    /// True for a multi-bit upset (detectable but not correctable by
+    /// SECDED).
+    pub multi_bit: bool,
+    /// True when the flip was applied to live state (no ECC); false when
+    /// it sits in the ECC ledger awaiting detection at the next tag probe.
+    pub applied: bool,
+}
+
+/// The hooks a scheme exposes to the fault-campaign engine.
+///
+/// All injection is driven by the campaign's own seeded [`SmallRng`], so a
+/// given seed reproduces the exact same disturbance schedule; the scheme
+/// never consumes its own RNG on these paths (a zero-rate campaign is
+/// bit-identical to an unfaulted run).
+pub trait FaultTarget {
+    /// Flips one (or, for `multi_bit`, two) tag bits of a randomly chosen
+    /// resident metadata entry. Returns `None` when no entry is resident
+    /// near the probed sets.
+    fn inject_metadata_flip(
+        &mut self,
+        rng: &mut SmallRng,
+        multi_bit: bool,
+    ) -> Option<MetadataFault>;
+
+    /// Corrupts the way field of a randomly chosen way-locator entry.
+    /// Returns false when the locator is absent or empty.
+    fn inject_locator_flip(&mut self, rng: &mut SmallRng) -> bool;
+
+    /// Flips one bit of a randomly chosen block-size-predictor counter.
+    /// Returns false when the scheme has no predictor in play.
+    fn inject_predictor_upset(&mut self, rng: &mut SmallRng) -> bool;
+
+    /// An order-sensitive digest of the functional cache contents
+    /// (resident tags, granularities, referenced/dirty masks). Two runs
+    /// whose accesses left identical contents produce identical digests.
+    fn contents_digest(&self) -> u64;
+
+    /// Scrubs every still-pending (ledgered) metadata fault at end of
+    /// campaign, as a background scrubber eventually would. Returns
+    /// `(corrected, detected_uncorrectable)` counts.
+    fn flush_faults(&mut self) -> (u64, u64);
+}

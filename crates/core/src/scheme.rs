@@ -114,6 +114,15 @@ pub trait DramCacheScheme {
     /// Folds end-of-run information into the statistics (e.g. wasted-fetch
     /// bytes of blocks still resident). Call once, after the last access.
     fn finalize(&mut self) {}
+
+    /// The scheme's fault-injection surface, if it has one.
+    ///
+    /// Returns `None` (the default) for organizations that do not
+    /// participate in fault campaigns; [`crate::BiModalCache`] returns its
+    /// [`crate::FaultTarget`] implementation.
+    fn fault_target(&mut self) -> Option<&mut dyn crate::FaultTarget> {
+        None
+    }
 }
 
 #[cfg(test)]

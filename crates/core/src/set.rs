@@ -435,6 +435,78 @@ impl BiModalSet {
                 .count()
     }
 
+    /// Every occupied way in the current state, big ways first.
+    #[must_use]
+    pub fn occupied_ways(&self) -> Vec<WayRef> {
+        let mut ways = Vec::new();
+        for (i, w) in self
+            .big
+            .iter()
+            .take(usize::from(self.state.big))
+            .enumerate()
+        {
+            if w.is_some() {
+                ways.push(WayRef {
+                    size: BlockSize::Big,
+                    index: i as u8,
+                });
+            }
+        }
+        for (i, w) in self
+            .small
+            .iter()
+            .take(usize::from(self.state.small))
+            .enumerate()
+        {
+            if w.is_some() {
+                ways.push(WayRef {
+                    size: BlockSize::Small,
+                    index: i as u8,
+                });
+            }
+        }
+        ways
+    }
+
+    /// XORs `xor` into the tag stored in `way`, modelling a metadata-entry
+    /// bit flip. Returns the `(original, corrupted)` tag pair, or `None`
+    /// when the way is empty.
+    pub fn corrupt_tag(&mut self, way: WayRef, xor: u64) -> Option<(u64, u64)> {
+        match way.size {
+            BlockSize::Big => self.big[usize::from(way.index)].as_mut().map(|b| {
+                let orig = b.tag;
+                b.tag ^= xor;
+                (orig, b.tag)
+            }),
+            BlockSize::Small => self.small[usize::from(way.index)].as_mut().map(|s| {
+                let orig = s.tag;
+                s.tag ^= xor;
+                (orig, s.tag)
+            }),
+        }
+    }
+
+    /// Removes the block in `way`, returning it as a victim (used when ECC
+    /// detects an uncorrectable metadata error). `None` when already empty.
+    pub fn invalidate_way(&mut self, way: WayRef) -> Option<Victim> {
+        match way.size {
+            BlockSize::Big => self.big[usize::from(way.index)].take().map(|b| Victim {
+                size: BlockSize::Big,
+                tag: b.tag,
+                sub_block: 0,
+                dirty_mask: b.dirty,
+                referenced_mask: b.referenced,
+            }),
+            BlockSize::Small => self.small[usize::from(way.index)].take().map(|s| Victim {
+                size: BlockSize::Small,
+                tag: s.tag,
+                sub_block: s.sub_block,
+                dirty_mask: u16::from(s.dirty),
+                referenced_mask: 1,
+            }),
+        }
+    }
+
     /// Number of resident small blocks belonging to the region `tag`
     /// (used to detect sparse-filled regions that turn out spatial).
     #[must_use]
@@ -648,6 +720,27 @@ mod tests {
         s.insert(BlockSize::Big, 1, 0, mixed(), &mut *first_pick());
         s.insert(BlockSize::Small, 2, 0, mixed(), &mut *first_pick());
         assert_eq!(s.occupancy(), 2);
+    }
+
+    #[test]
+    fn corrupt_and_invalidate_target_resident_ways() {
+        let mut s = BiModalSet::new(&geometry());
+        s.insert(BlockSize::Big, 42, 0, mixed(), &mut *first_pick());
+        s.insert(BlockSize::Small, 77, 1, mixed(), &mut *first_pick());
+        let ways = s.occupied_ways();
+        assert_eq!(ways.len(), 2);
+        let (orig, new) = s.corrupt_tag(ways[0], 0b100).expect("occupied");
+        assert_eq!(orig, 42);
+        assert_eq!(new, 42 ^ 0b100);
+        assert!(s.lookup(42, 0).is_none(), "corrupted tag no longer matches");
+        assert!(s.lookup(new, 0).is_some(), "the flipped tag aliases");
+        let v = s.invalidate_way(ways[1]).expect("occupied");
+        assert_eq!(v.tag, 77);
+        assert!(s.lookup(77, 1).is_none());
+        assert_eq!(s.occupied_ways().len(), 1);
+        // Empty ways report None for both operations.
+        assert!(s.invalidate_way(ways[1]).is_none());
+        assert!(s.corrupt_tag(ways[1], 1).is_none());
     }
 
     #[test]

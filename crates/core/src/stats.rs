@@ -109,6 +109,15 @@ pub struct SchemeStats {
     pub big_evictions_well_used: u64,
     /// Big-block evictions below the threshold.
     pub big_evictions_under_used: u64,
+
+    /// Way-locator entries repaired after a locator-vs-metadata mismatch
+    /// (hint self-healing: the access fell back to a full tag probe).
+    pub locator_heals: u64,
+    /// Metadata-entry bit flips corrected by the SECDED ECC model.
+    pub ecc_corrected: u64,
+    /// Metadata-entry multi-bit flips detected but not correctable; the
+    /// affected way was invalidated.
+    pub ecc_detected_uncorrected: u64,
 }
 
 impl SchemeStats {

@@ -238,6 +238,43 @@ impl WayLocator {
         }
     }
 
+    /// XORs a nonzero pattern into the way id of a random occupied entry,
+    /// modelling an SRAM bit upset in the hint structure. Returns `false`
+    /// when the table is empty.
+    ///
+    /// Only the 5-bit way field is disturbed: key/sub-block corruption
+    /// would make the entry miss (a pure perf event), whereas a wrong way
+    /// id is the dangerous case the self-healing verify step must catch.
+    pub fn corrupt_random_way(&mut self, rng: &mut bimodal_prng::SmallRng) -> bool {
+        let occupied: Vec<(usize, usize)> = self
+            .slots
+            .iter()
+            .enumerate()
+            .flat_map(|(i, pair)| {
+                (0..2)
+                    .filter(move |&w| pair[w].entry.is_some())
+                    .map(move |w| (i, w))
+            })
+            .collect();
+        if occupied.is_empty() {
+            return false;
+        }
+        let (idx, w) = occupied[rng.gen_range(0..occupied.len())];
+        let xor = rng.gen_range(1u8..32);
+        if let Some(e) = self.slots[idx][w].entry.as_mut() {
+            e.way = (e.way ^ xor) & 0x1F;
+        }
+        true
+    }
+
+    /// Reclassifies the most recent hit as a miss (used when the verify
+    /// step finds the located way stale and the access falls back to a
+    /// full tag probe).
+    pub fn retract_hit(&mut self) {
+        self.hits = self.hits.saturating_sub(1);
+        self.misses += 1;
+    }
+
     /// Way-locator hits since the last reset.
     #[must_use]
     pub fn hits(&self) -> u64 {
@@ -406,6 +443,34 @@ mod tests {
             wl.lookup(0x8000 + 11 * 64).is_none(),
             "sub-block 11 must not alias sub-block 3"
         );
+    }
+
+    #[test]
+    fn corrupt_random_way_changes_a_way_id() {
+        use bimodal_prng::SmallRng;
+        let mut wl = locator(6);
+        let mut rng = SmallRng::seed_from_u64(7);
+        assert!(
+            !wl.corrupt_random_way(&mut rng),
+            "empty table: nothing to corrupt"
+        );
+        wl.insert(0x8000, BlockSize::Big, 3);
+        assert!(wl.corrupt_random_way(&mut rng));
+        let way = wl.peek(0x8000).expect("entry survives corruption").way;
+        assert_ne!(way, 3, "the way id must actually change");
+        assert!(way < 32);
+    }
+
+    #[test]
+    fn retract_hit_reclassifies() {
+        let mut wl = locator(6);
+        wl.insert(0x4000, BlockSize::Big, 0);
+        wl.lookup(0x4000);
+        assert_eq!((wl.hits(), wl.misses()), (1, 0));
+        wl.retract_hit();
+        assert_eq!((wl.hits(), wl.misses()), (0, 1));
+        wl.retract_hit(); // saturates rather than underflowing
+        assert_eq!((wl.hits(), wl.misses()), (0, 2));
     }
 
     #[test]

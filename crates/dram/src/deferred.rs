@@ -74,6 +74,62 @@ impl DeferredQueue {
         self.heap.len()
     }
 
+    fn sorted_entries(&mut self) -> Vec<(Cycle, u64, DeferredOp)> {
+        let mut v: Vec<_> = std::mem::take(&mut self.heap)
+            .into_iter()
+            .map(|Reverse(e)| e)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn rebuild(&mut self, entries: Vec<(Cycle, u64, DeferredOp)>) {
+        self.heap = entries.into_iter().map(Reverse).collect();
+    }
+
+    /// Fault injection: delays the `n`-th pending operation (in execution
+    /// order) by `extra` cycles, modelling a late DRAM response. Returns
+    /// false when fewer than `n + 1` operations are pending.
+    pub fn delay_nth(&mut self, n: usize, extra: Cycle) -> bool {
+        let mut v = self.sorted_entries();
+        let hit = n < v.len();
+        if hit {
+            v[n].0 += extra;
+        }
+        self.rebuild(v);
+        hit
+    }
+
+    /// Fault injection: drops the `n`-th pending operation, modelling a
+    /// lost DRAM response (the background write never happens). Returns
+    /// false when fewer than `n + 1` operations are pending.
+    pub fn drop_nth(&mut self, n: usize) -> bool {
+        let mut v = self.sorted_entries();
+        let hit = n < v.len();
+        if hit {
+            v.remove(n);
+        }
+        self.rebuild(v);
+        hit
+    }
+
+    /// Fault injection: enqueues a second copy of the `n`-th pending
+    /// operation, modelling a duplicated DRAM response (the write is
+    /// replayed, costing bandwidth). Returns false when fewer than `n + 1`
+    /// operations are pending.
+    pub fn duplicate_nth(&mut self, n: usize) -> bool {
+        let v = self.sorted_entries();
+        let dup = v.get(n).map(|&(at, _, op)| (at, op));
+        self.rebuild(v);
+        match dup {
+            Some((at, op)) => {
+                self.push(at, op);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Whether the queue is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
@@ -99,6 +155,41 @@ mod tests {
         assert!(q.pop_due(150).is_none());
         assert!(q.pop_due(300).is_some());
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn tamper_ops_delay_drop_and_duplicate() {
+        let loc = Location::new(0, 0, 0, 0);
+        let fill = |q: &mut DeferredQueue| {
+            q.push(100, DeferredOp::MainWrite { addr: 0, bytes: 64 });
+            q.push(200, DeferredOp::CacheWrite { loc, bytes: 64 });
+        };
+
+        let mut q = DeferredQueue::new();
+        fill(&mut q);
+        assert!(q.delay_nth(0, 500));
+        assert!(q.pop_due(200).is_some_and(|(at, _)| at == 200));
+        assert!(q.pop_due(599).is_none(), "delayed to cycle 600");
+        assert!(q.pop_due(600).is_some());
+
+        let mut q = DeferredQueue::new();
+        fill(&mut q);
+        assert!(q.drop_nth(1));
+        assert_eq!(q.len(), 1);
+        assert!(q.pop_due(100).is_some_and(|(at, _)| at == 100));
+
+        let mut q = DeferredQueue::new();
+        fill(&mut q);
+        assert!(q.duplicate_nth(0));
+        assert_eq!(q.len(), 3);
+        let (a, x) = q.pop_due(100).expect("original");
+        let (b, y) = q.pop_due(100).expect("duplicate");
+        assert_eq!((a, x), (b, y));
+
+        let mut empty = DeferredQueue::new();
+        assert!(!empty.delay_nth(0, 1));
+        assert!(!empty.drop_nth(0));
+        assert!(!empty.duplicate_nth(0));
     }
 
     #[test]

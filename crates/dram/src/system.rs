@@ -70,6 +70,27 @@ impl MemorySystem {
         self.deferred.len()
     }
 
+    /// Fault injection: delays the `n`-th pending background operation by
+    /// `extra` cycles (a late DRAM response). Returns false when fewer
+    /// than `n + 1` operations are pending.
+    pub fn tamper_delay(&mut self, n: usize, extra: Cycle) -> bool {
+        self.deferred.delay_nth(n, extra)
+    }
+
+    /// Fault injection: drops the `n`-th pending background operation (a
+    /// lost DRAM response). Returns false when fewer than `n + 1`
+    /// operations are pending.
+    pub fn tamper_drop(&mut self, n: usize) -> bool {
+        self.deferred.drop_nth(n)
+    }
+
+    /// Fault injection: replays the `n`-th pending background operation (a
+    /// duplicated DRAM response, costing bandwidth). Returns false when
+    /// fewer than `n + 1` operations are pending.
+    pub fn tamper_duplicate(&mut self, n: usize) -> bool {
+        self.deferred.duplicate_nth(n)
+    }
+
     /// The paper's quad-core memory system: 2 stacked channels with
     /// 8 banks each; 1 off-chip channel with 2 ranks (16 banks).
     #[must_use]

@@ -1,0 +1,366 @@
+//! The seeded fault injector: decides, per demand access, whether to
+//! corrupt something, and records every decision in a replayable
+//! schedule.
+
+use bimodal_core::DramCacheScheme;
+use bimodal_dram::{Cycle, MemorySystem};
+use bimodal_obs::{EventKind, Observer, TraceEvent};
+use bimodal_prng::SmallRng;
+use bimodal_sim::AccessContext;
+
+/// Which structure one injection targeted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Single-bit tag flip in a metadata entry (SECDED-correctable).
+    MetadataFlip,
+    /// Double-bit tag flip in a metadata entry (SECDED detects, cannot
+    /// correct).
+    MetadataMultiFlip,
+    /// Bit flip in a way-locator entry's way field.
+    LocatorFlip,
+    /// Bit upset in a block-size-predictor counter.
+    PredictorUpset,
+    /// A pending background DRAM operation delivered late.
+    DramDelay,
+    /// A pending background DRAM operation lost.
+    DramDrop,
+    /// A pending background DRAM operation replayed.
+    DramDuplicate,
+}
+
+impl FaultKind {
+    /// Stable lowercase name used in exports and trace events.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::MetadataFlip => "metadata_flip",
+            FaultKind::MetadataMultiFlip => "metadata_multi_flip",
+            FaultKind::LocatorFlip => "locator_flip",
+            FaultKind::PredictorUpset => "predictor_upset",
+            FaultKind::DramDelay => "dram_delay",
+            FaultKind::DramDrop => "dram_drop",
+            FaultKind::DramDuplicate => "dram_duplicate",
+        }
+    }
+}
+
+/// Per-access injection probabilities. A rate of zero never draws from
+/// the generator, so an all-zero campaign consumes no randomness and
+/// perturbs nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FaultRates {
+    /// Probability of flipping a random occupied metadata entry's tag.
+    pub metadata: f64,
+    /// Fraction of metadata flips that hit two bits (uncorrectable by
+    /// SECDED).
+    pub multi_bit: f64,
+    /// Probability of corrupting a random way-locator entry.
+    pub locator: f64,
+    /// Probability of upsetting a block-size-predictor counter.
+    pub predictor: f64,
+    /// Probability of tampering with a pending background DRAM operation
+    /// (delay, drop or duplicate, chosen uniformly).
+    pub dram: f64,
+}
+
+impl FaultRates {
+    /// True when every rate is zero (the injector will never fire).
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.metadata == 0.0 && self.locator == 0.0 && self.predictor == 0.0 && self.dram == 0.0
+    }
+}
+
+/// One injection attempt, as recorded in the campaign schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectionRecord {
+    /// Global access sequence number the injection rode on.
+    pub seq: u64,
+    /// Simulated cycle.
+    pub at: Cycle,
+    /// What was targeted.
+    pub kind: FaultKind,
+    /// Whether a target existed (an empty structure yields a recorded
+    /// but unapplied attempt).
+    pub landed: bool,
+}
+
+/// Per-kind counters over the landed injections.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InjectionCounts {
+    /// Single-bit metadata flips landed.
+    pub metadata: u64,
+    /// Multi-bit metadata flips landed.
+    pub metadata_multi: u64,
+    /// Way-locator corruptions landed.
+    pub locator: u64,
+    /// Predictor upsets landed.
+    pub predictor: u64,
+    /// DRAM response tamperings landed.
+    pub dram: u64,
+    /// Metadata flips applied raw to the array (no ECC ledger): each is
+    /// a real, undetected corruption until the workload stumbles on it.
+    pub metadata_applied: u64,
+}
+
+impl InjectionCounts {
+    /// Total landed injections.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.metadata + self.metadata_multi + self.locator + self.predictor + self.dram
+    }
+}
+
+/// Seeded per-access fault source. Drives the [`bimodal_core::FaultTarget`]
+/// surface of the scheme and the DRAM tamper hooks, and logs every
+/// attempt.
+#[derive(Debug)]
+pub struct FaultInjector {
+    rates: FaultRates,
+    /// Inject only while `seq` lies in this window (global sequence
+    /// numbers, warm-up included). `None` = the whole measured run.
+    window: Option<(u64, u64)>,
+    rng: SmallRng,
+    schedule: Vec<InjectionRecord>,
+    counts: InjectionCounts,
+}
+
+impl FaultInjector {
+    /// A deterministic injector: same seed, rates and window produce the
+    /// same schedule against the same run.
+    #[must_use]
+    pub fn new(seed: u64, rates: FaultRates, window: Option<(u64, u64)>) -> Self {
+        FaultInjector {
+            rates,
+            window,
+            rng: SmallRng::seed_from_u64(seed ^ 0xFA_017_CA4),
+            schedule: Vec::new(),
+            counts: InjectionCounts::default(),
+        }
+    }
+
+    /// The injection attempts so far, in issue order.
+    #[must_use]
+    pub fn schedule(&self) -> &[InjectionRecord] {
+        &self.schedule
+    }
+
+    /// Landed-injection counters.
+    #[must_use]
+    pub fn counts(&self) -> InjectionCounts {
+        self.counts
+    }
+
+    fn in_window(&self, ctx: AccessContext) -> bool {
+        ctx.warmed_up
+            && self
+                .window
+                .is_none_or(|(start, end)| ctx.seq >= start && ctx.seq < end)
+    }
+
+    /// Rolls every configured fault source once for this access. Called
+    /// by the campaign hook before the access is issued.
+    pub fn maybe_inject(
+        &mut self,
+        ctx: AccessContext,
+        scheme: &mut dyn DramCacheScheme,
+        mem: &mut MemorySystem,
+        obs: &mut Observer,
+    ) {
+        if !self.in_window(ctx) || self.rates.is_zero() {
+            return;
+        }
+        if self.rates.metadata > 0.0 && self.rng.gen_bool(self.rates.metadata) {
+            let multi = self.rates.multi_bit > 0.0 && self.rng.gen_bool(self.rates.multi_bit);
+            let kind = if multi {
+                FaultKind::MetadataMultiFlip
+            } else {
+                FaultKind::MetadataFlip
+            };
+            let fault = scheme
+                .fault_target()
+                .and_then(|ft| ft.inject_metadata_flip(&mut self.rng, multi));
+            if let Some(f) = fault {
+                if multi {
+                    self.counts.metadata_multi += 1;
+                } else {
+                    self.counts.metadata += 1;
+                }
+                if f.applied {
+                    self.counts.metadata_applied += 1;
+                }
+            }
+            self.log(ctx, kind, fault.is_some(), obs);
+        }
+        if self.rates.locator > 0.0 && self.rng.gen_bool(self.rates.locator) {
+            let landed = scheme
+                .fault_target()
+                .is_some_and(|ft| ft.inject_locator_flip(&mut self.rng));
+            if landed {
+                self.counts.locator += 1;
+            }
+            self.log(ctx, FaultKind::LocatorFlip, landed, obs);
+        }
+        if self.rates.predictor > 0.0 && self.rng.gen_bool(self.rates.predictor) {
+            let landed = scheme
+                .fault_target()
+                .is_some_and(|ft| ft.inject_predictor_upset(&mut self.rng));
+            if landed {
+                self.counts.predictor += 1;
+            }
+            self.log(ctx, FaultKind::PredictorUpset, landed, obs);
+        }
+        if self.rates.dram > 0.0 && self.rng.gen_bool(self.rates.dram) {
+            let (kind, landed) = self.tamper_dram(mem);
+            if landed {
+                self.counts.dram += 1;
+            }
+            self.log(ctx, kind, landed, obs);
+        }
+    }
+
+    /// Tampers with one pending background DRAM operation: delay, drop
+    /// or duplicate, uniformly.
+    fn tamper_dram(&mut self, mem: &mut MemorySystem) -> (FaultKind, bool) {
+        let pending = mem.deferred_pending();
+        let which = self.rng.gen_range(0u32..3);
+        if pending == 0 {
+            let kind = match which {
+                0 => FaultKind::DramDelay,
+                1 => FaultKind::DramDrop,
+                _ => FaultKind::DramDuplicate,
+            };
+            return (kind, false);
+        }
+        let n = self.rng.gen_range(0usize..pending);
+        match which {
+            0 => {
+                let extra = 100 + u64::from(self.rng.gen_range(0u32..900));
+                (FaultKind::DramDelay, mem.tamper_delay(n, extra))
+            }
+            1 => (FaultKind::DramDrop, mem.tamper_drop(n)),
+            _ => (FaultKind::DramDuplicate, mem.tamper_duplicate(n)),
+        }
+    }
+
+    fn log(&mut self, ctx: AccessContext, kind: FaultKind, landed: bool, obs: &mut Observer) {
+        self.schedule.push(InjectionRecord {
+            seq: ctx.seq,
+            at: ctx.now,
+            kind,
+            landed,
+        });
+        if obs.is_enabled() {
+            if let Some(ring) = obs.trace.as_mut() {
+                ring.push(TraceEvent {
+                    at: ctx.now,
+                    dur: 0,
+                    kind: EventKind::Fault,
+                    core: ctx.core,
+                    addr: ctx.addr,
+                    what: kind.name(),
+                    detail: u64::from(landed),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bimodal_core::{BiModalCache, BiModalConfig, CacheAccess};
+
+    fn ctx(seq: u64, warmed_up: bool) -> AccessContext {
+        AccessContext {
+            seq,
+            core: 0,
+            now: 1_000,
+            addr: 0x4000,
+            is_write: false,
+            warmed_up,
+        }
+    }
+
+    fn warmed_scheme() -> (BiModalCache, MemorySystem) {
+        let mut c = BiModalCache::new(BiModalConfig::for_cache_mb(1));
+        let mut mem = MemorySystem::quad_core();
+        let mut now = 0;
+        for k in 0..64u64 {
+            let out = c.access(CacheAccess::read(k * 512, now), &mut mem);
+            now = out.complete + 10;
+        }
+        (c, mem)
+    }
+
+    #[test]
+    fn zero_rates_never_fire_and_consume_no_randomness() {
+        let (mut c, mut mem) = warmed_scheme();
+        let mut inj = FaultInjector::new(7, FaultRates::default(), None);
+        let mut obs = Observer::disabled();
+        for s in 0..1_000 {
+            inj.maybe_inject(ctx(s, true), &mut c, &mut mem, &mut obs);
+        }
+        assert!(inj.schedule().is_empty());
+        assert_eq!(inj.counts().total(), 0);
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let rates = FaultRates {
+            metadata: 0.2,
+            locator: 0.1,
+            predictor: 0.1,
+            dram: 0.1,
+            multi_bit: 0.3,
+        };
+        let run = || {
+            let (mut c, mut mem) = warmed_scheme();
+            let mut inj = FaultInjector::new(99, rates, None);
+            let mut obs = Observer::disabled();
+            for s in 0..500 {
+                inj.maybe_inject(ctx(s, true), &mut c, &mut mem, &mut obs);
+            }
+            (inj.schedule().to_vec(), inj.counts())
+        };
+        let (a, ca) = run();
+        let (b, cb) = run();
+        assert_eq!(a, b);
+        assert_eq!(ca, cb);
+        assert!(!a.is_empty(), "rates this high must fire in 500 rolls");
+    }
+
+    #[test]
+    fn warmup_and_window_gate_injection() {
+        let rates = FaultRates {
+            metadata: 1.0,
+            ..FaultRates::default()
+        };
+        let (mut c, mut mem) = warmed_scheme();
+        let mut inj = FaultInjector::new(1, rates, Some((10, 20)));
+        let mut obs = Observer::disabled();
+        for s in 0..30 {
+            inj.maybe_inject(ctx(s, s >= 5), &mut c, &mut mem, &mut obs);
+        }
+        // Only seqs 10..20 inject (warm-up at 5 precedes the window).
+        assert_eq!(inj.schedule().len(), 10);
+        assert!(inj.schedule().iter().all(|r| (10..20).contains(&r.seq)));
+    }
+
+    #[test]
+    fn fault_events_land_in_the_ring() {
+        let rates = FaultRates {
+            locator: 1.0,
+            ..FaultRates::default()
+        };
+        let (mut c, mut mem) = warmed_scheme();
+        let mut inj = FaultInjector::new(3, rates, None);
+        let mut obs = bimodal_obs::Observer::enabled(
+            bimodal_obs::ObserverConfig::default().with_trace(64, 1),
+        );
+        inj.maybe_inject(ctx(0, true), &mut c, &mut mem, &mut obs);
+        let ring = obs.trace.as_ref().expect("tracing on");
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.events()[0].kind, EventKind::Fault);
+    }
+}

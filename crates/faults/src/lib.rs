@@ -1,0 +1,37 @@
+//! # bimodal-faults — fault injection and resilience campaigns
+//!
+//! Seeded fault campaigns against the Bi-Modal DRAM cache's metadata
+//! and hint structures, with the detection/repair machinery to match:
+//!
+//! * [`FaultInjector`] / [`FaultRates`] — a deterministic per-access
+//!   fault source (metadata tag flips, way-locator corruption, block
+//!   size predictor upsets, delayed/dropped/duplicated background DRAM
+//!   operations), recording every attempt in a replayable schedule,
+//! * [`ShadowChecker`] — an untimed referee over the same demand
+//!   stream: flags *impossible hits* (a hit on a region the stream
+//!   never touched can only come from a corrupted tag) and tracks
+//!   hit-rate drift,
+//! * [`CampaignConfig`] / [`CampaignReport`] — a clean run, a faulted
+//!   run under the injector, and a JSON report classifying every
+//!   injection as detected-corrected, detected-uncorrected, or silent,
+//!   with hit-rate / latency / ANTT degradation.
+//!
+//! The detection mechanisms themselves live in the model crates:
+//! metadata SECDED ECC and the self-healing way locator in
+//! `bimodal-core` ([`bimodal_core::FaultTarget`]), DRAM response
+//! tampering in `bimodal-dram`, and the forward-progress watchdog in
+//! `bimodal-sim` ([`bimodal_sim::WatchdogConfig`]). A campaign with
+//! every rate at zero consumes no randomness and reproduces the plain
+//! simulation bit for bit — the resilience plumbing costs clean runs
+//! nothing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod campaign;
+mod injector;
+mod shadow;
+
+pub use campaign::{CampaignConfig, CampaignError, CampaignReport, ShadowOutcome};
+pub use injector::{FaultInjector, FaultKind, FaultRates, InjectionCounts, InjectionRecord};
+pub use shadow::ShadowChecker;

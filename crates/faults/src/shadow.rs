@@ -1,0 +1,153 @@
+//! Shadow-model invariant checking.
+//!
+//! A fault campaign needs a referee that does not share the timed
+//! model's corrupted state. The checker runs the untimed
+//! [`bimodal_core::FunctionalCache`] over the same demand stream and
+//! enforces one sound invariant plus one drift statistic:
+//!
+//! * **No impossible hits.** The timed cache fills only from demanded
+//!   512 B regions (campaigns run without prefetching), so a reported
+//!   hit on a region the stream never touched can only come from a
+//!   corrupted tag aliasing another block — silent corruption made
+//!   visible. The check is one-directional and therefore sound: the
+//!   region set over-approximates residency, never under-approximates
+//!   it.
+//! * **Hit-rate drift.** The functional model's hit rate is compared at
+//!   a configurable cadence; the maximum divergence is reported (not
+//!   asserted — the models differ legitimately in replacement and
+//!   granularity).
+
+use std::collections::HashSet;
+
+use bimodal_core::{FunctionalCache, FunctionalConfig};
+
+/// Big-block granularity of the Bi-Modal cache; region tracking uses it
+/// because one demand fill can bring in the whole 512 B block.
+const REGION_BITS: u32 = 9;
+
+/// Untimed referee for a fault campaign.
+#[derive(Debug)]
+pub struct ShadowChecker {
+    functional: FunctionalCache,
+    /// 512 B regions the demand stream has touched (warm-up included).
+    seen: HashSet<u64>,
+    /// Compare hit rates every this many accesses.
+    cadence: u64,
+    accesses: u64,
+    timed_hits: u64,
+    shadow_hits: u64,
+    violations: u64,
+    checks: u64,
+    max_drift: f64,
+}
+
+impl ShadowChecker {
+    /// A checker for a cache of `cache_bytes`, comparing hit rates every
+    /// `cadence` accesses (`cadence` is clamped to at least 1).
+    #[must_use]
+    pub fn new(cache_bytes: u64, cadence: u64) -> Self {
+        ShadowChecker {
+            functional: FunctionalCache::new(FunctionalConfig::new(cache_bytes, 512, 16)),
+            seen: HashSet::new(),
+            cadence: cadence.max(1),
+            accesses: 0,
+            timed_hits: 0,
+            shadow_hits: 0,
+            violations: 0,
+            checks: 0,
+            max_drift: 0.0,
+        }
+    }
+
+    /// Feeds one demand access and the timed model's verdict. Warm-up
+    /// accesses must be fed too (with `measured = false`): they populate
+    /// the cache, so the region set has to cover them.
+    pub fn observe(&mut self, addr: u64, timed_hit: bool, measured: bool) {
+        let region = addr >> REGION_BITS;
+        if measured && timed_hit && !self.seen.contains(&region) {
+            self.violations += 1;
+        }
+        self.seen.insert(region);
+        let shadow_hit = self.functional.access(addr);
+        if measured {
+            self.accesses += 1;
+            self.timed_hits += u64::from(timed_hit);
+            self.shadow_hits += u64::from(shadow_hit);
+            if self.accesses.is_multiple_of(self.cadence) {
+                self.checks += 1;
+                let n = self.accesses as f64;
+                let drift = (self.timed_hits as f64 / n - self.shadow_hits as f64 / n).abs();
+                self.max_drift = self.max_drift.max(drift);
+            }
+        }
+    }
+
+    /// Impossible hits observed — each one is a silent corruption the
+    /// workload tripped over.
+    #[must_use]
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// Number of cadence comparisons performed.
+    #[must_use]
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+
+    /// Largest timed-vs-shadow hit-rate divergence seen at any check.
+    #[must_use]
+    pub fn max_drift(&self) -> f64 {
+        self.max_drift
+    }
+
+    /// The shadow model's own hit rate over the measured stream.
+    #[must_use]
+    pub fn shadow_hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.shadow_hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honest_hits_raise_no_violations() {
+        let mut s = ShadowChecker::new(1 << 20, 10);
+        // Warm-up touch, then a measured hit on the same region.
+        s.observe(0x1234, false, false);
+        s.observe(0x1240, true, true);
+        assert_eq!(s.violations(), 0);
+        assert_eq!(s.shadow_hit_rate(), 1.0, "same 512 B block in shadow too");
+    }
+
+    #[test]
+    fn a_hit_on_an_untouched_region_is_flagged() {
+        let mut s = ShadowChecker::new(1 << 20, 10);
+        s.observe(0x0, false, true);
+        s.observe(0x80_0000, true, true); // never seen: impossible hit
+        assert_eq!(s.violations(), 1);
+        // Once seen, a repeat hit is legitimate.
+        s.observe(0x80_0000, true, true);
+        assert_eq!(s.violations(), 1);
+    }
+
+    #[test]
+    fn cadence_tracks_drift() {
+        let mut s = ShadowChecker::new(1 << 20, 2);
+        for i in 0..10u64 {
+            // Timed model claims all hits; shadow misses all (cold,
+            // distinct blocks) — drift approaches 1.
+            s.observe(i * 4096, true, i > 0);
+        }
+        assert!(s.checks() >= 4);
+        assert!(s.max_drift() > 0.5);
+        // All flagged: distinct regions were never pre-touched.
+        assert_eq!(s.violations(), 9);
+    }
+}

@@ -1,0 +1,205 @@
+//! End-to-end resilience guarantees: zero-rate transparency, schedule
+//! determinism, ECC completeness, and hint-fault harmlessness.
+
+use bimodal_faults::{CampaignConfig, CampaignError, FaultRates};
+use bimodal_obs::{Json, Observer};
+use bimodal_sim::{SchemeKind, Simulation, SystemConfig};
+use bimodal_workloads::WorkloadMix;
+
+fn quick_system() -> SystemConfig {
+    SystemConfig::quad_core().with_cache_mb(4).with_warmup(300)
+}
+
+fn single_core_mix() -> WorkloadMix {
+    let spec = bimodal_workloads::spec_profile("mcf").expect("known workload");
+    WorkloadMix::from_programs("mcf-solo", vec![spec])
+}
+
+fn campaign() -> CampaignConfig {
+    let mix = WorkloadMix::quad("Q1").expect("known mix");
+    CampaignConfig::new(quick_system(), SchemeKind::BiModal, mix).with_accesses(800)
+}
+
+#[test]
+fn zero_rate_campaign_is_bit_identical_to_a_plain_run() {
+    let report = campaign().run(&mut Observer::disabled()).expect("runs");
+    // No injections, no degradation, identical runs.
+    assert_eq!(report.counts.total(), 0);
+    assert!(report.schedule.is_empty());
+    assert_eq!(report.clean, report.faulted);
+    assert_eq!(report.clean_digest, report.faulted_digest);
+    // And identical to the plain simulation facade on the same inputs.
+    let mix = WorkloadMix::quad("Q1").expect("known mix");
+    let plain = Simulation::new(quick_system(), SchemeKind::BiModal)
+        .run_mix(&mix, 800)
+        .expect("runs");
+    assert_eq!(report.faulted.scheme, plain.scheme);
+    assert_eq!(report.faulted.core_cycles, plain.core_cycles);
+    // The hooks saw a clean run: shadow raised nothing.
+    let shadow = report.shadow.expect("shadow on by default");
+    assert_eq!(shadow.clean_violations, 0);
+    assert_eq!(shadow.faulted_violations, 0);
+    assert_eq!(report.silent_corruptions, 0);
+}
+
+#[test]
+fn same_seed_reproduces_schedule_and_report() {
+    let rates = FaultRates {
+        metadata: 0.01,
+        multi_bit: 0.2,
+        locator: 0.01,
+        predictor: 0.005,
+        dram: 0.005,
+    };
+    let run = || {
+        campaign()
+            .with_rates(rates)
+            .with_seed(0xDEAD)
+            .run(&mut Observer::disabled())
+            .expect("runs")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.schedule, b.schedule);
+    assert_eq!(a, b);
+    assert!(a.counts.total() > 0, "these rates must land injections");
+    // A different seed lands a different schedule.
+    let c = campaign()
+        .with_rates(rates)
+        .with_seed(0xBEEF)
+        .run(&mut Observer::disabled())
+        .expect("runs");
+    assert_ne!(a.schedule, c.schedule);
+}
+
+#[test]
+fn ecc_campaign_has_zero_silent_corruptions() {
+    let rates = FaultRates {
+        metadata: 0.05,
+        multi_bit: 0.25,
+        ..FaultRates::default()
+    };
+    let report = campaign()
+        .with_rates(rates)
+        .with_ecc(true)
+        .with_seed(7)
+        .run(&mut Observer::disabled())
+        .expect("runs");
+    let flips = report.counts.metadata + report.counts.metadata_multi;
+    assert!(flips > 0, "the campaign must land metadata flips");
+    // Every flip was ledgered (never applied raw) and ended up
+    // classified as corrected or detected-uncorrectable.
+    assert_eq!(report.counts.metadata_applied, 0);
+    assert_eq!(report.silent_corruptions, 0);
+    assert_eq!(
+        report.shadow.expect("shadow on").faulted_violations,
+        0,
+        "ECC must stop corrupted tags from ever serving data"
+    );
+    assert!(report.detected_corrected + report.detected_uncorrected >= flips);
+}
+
+#[test]
+fn without_ecc_the_same_flips_go_silent() {
+    let rates = FaultRates {
+        metadata: 0.05,
+        ..FaultRates::default()
+    };
+    let report = campaign()
+        .with_rates(rates)
+        .with_ecc(false)
+        .with_seed(7)
+        .run(&mut Observer::disabled())
+        .expect("runs");
+    assert!(report.counts.metadata > 0);
+    assert_eq!(report.counts.metadata_applied, report.counts.metadata);
+    assert_eq!(report.silent_corruptions, report.counts.metadata);
+}
+
+#[test]
+fn hint_only_faults_never_touch_functional_contents() {
+    // Single core: with identical access order, locator and predictor
+    // corruption may cost latency but must leave the cache's contents
+    // digest untouched (hints are self-healing, never authoritative).
+    let mix = single_core_mix();
+    let rates = FaultRates {
+        locator: 0.05,
+        predictor: 0.05,
+        ..FaultRates::default()
+    };
+    let report = CampaignConfig::new(quick_system(), SchemeKind::BiModal, mix)
+        .with_accesses(1_500)
+        .with_rates(rates)
+        .with_seed(11)
+        .run(&mut Observer::disabled())
+        .expect("runs");
+    assert!(
+        report.counts.locator + report.counts.predictor > 0,
+        "the campaign must land hint faults"
+    );
+    assert_eq!(report.silent_corruptions, 0);
+    assert_eq!(report.shadow.expect("shadow on").faulted_violations, 0);
+    assert_eq!(
+        report.clean_digest, report.faulted_digest,
+        "hint corruption must never change what the cache holds"
+    );
+    // The locator heals show up in the stats, and healing costs
+    // full tag probes (timing-visible, correctness-invisible).
+    assert!(report.faulted.scheme.locator_heals > 0);
+}
+
+#[test]
+fn dram_response_faults_change_timing_not_contents() {
+    let mix = single_core_mix();
+    let rates = FaultRates {
+        dram: 0.05,
+        ..FaultRates::default()
+    };
+    let report = CampaignConfig::new(quick_system(), SchemeKind::BiModal, mix)
+        .with_accesses(1_500)
+        .with_rates(rates)
+        .with_seed(13)
+        .run(&mut Observer::disabled())
+        .expect("runs");
+    assert!(report.counts.dram > 0, "the campaign must land DRAM faults");
+    assert_eq!(report.silent_corruptions, 0);
+    assert_eq!(report.clean_digest, report.faulted_digest);
+}
+
+#[test]
+fn campaign_report_json_round_trips() {
+    let rates = FaultRates {
+        metadata: 0.02,
+        locator: 0.02,
+        ..FaultRates::default()
+    };
+    let report = campaign()
+        .with_rates(rates)
+        .with_ecc(true)
+        .with_antt(true)
+        .run(&mut Observer::disabled())
+        .expect("runs");
+    let j = report.to_json();
+    let text = j.to_pretty();
+    let parsed = Json::parse(&text).expect("round-trips");
+    assert_eq!(
+        parsed.get("silent_corruptions").and_then(Json::as_f64),
+        Some(0.0)
+    );
+    assert_eq!(parsed.get("scheme").and_then(Json::as_str), Some("BiModal"));
+    assert!(parsed
+        .get("degradation")
+        .and_then(|d| d.get("antt"))
+        .is_some());
+    assert!(report.clean_antt.is_some() && report.faulted_antt.is_some());
+}
+
+#[test]
+fn non_bimodal_schemes_are_rejected() {
+    let mix = WorkloadMix::quad("Q1").expect("known mix");
+    let err = CampaignConfig::new(quick_system(), SchemeKind::Alloy, mix)
+        .run(&mut Observer::disabled())
+        .expect_err("must reject");
+    assert!(matches!(err, CampaignError::Invalid(_)));
+    assert!(err.to_string().contains("Bi-Modal"));
+}

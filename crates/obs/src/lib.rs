@@ -5,6 +5,9 @@
 //!
 //! * [`Histogram`] — log2-bucketed latency histograms with p50/p95/p99
 //!   estimation (Figure 3's breakdowns talk averages; tails need this),
+//! * [`Reservoir`] — optional exact-tail sampling (Algorithm R) next to
+//!   the histograms, for when the factor-of-two bucket bound is too
+//!   coarse,
 //! * [`EpochRecorder`] — periodic snapshots of hit rate, row-buffer hit
 //!   rate, off-chip and wasted bytes, and queue occupancy over simulated
 //!   time,
@@ -34,12 +37,14 @@
 
 mod hist;
 pub mod json;
+mod reservoir;
 mod series;
 mod timer;
 mod trace;
 
 pub use hist::{HistSummary, Histogram};
 pub use json::Json;
+pub use reservoir::{Reservoir, TailSummary};
 pub use series::{Counters, EpochRecorder, EpochSnapshot};
 pub use timer::{Heartbeat, PhaseTimers, WallSummary};
 pub use trace::{EventKind, EventRing, TraceEvent};
@@ -123,6 +128,81 @@ impl LatencyHistograms {
     }
 }
 
+/// Optional exact-tail reservoirs mirroring [`LatencyHistograms`]'
+/// populations, for runs where the histogram's factor-of-two tail bound
+/// is too coarse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TailReservoirs {
+    capacity: usize,
+    /// Demand reads.
+    pub read: Reservoir,
+    /// Writes.
+    pub write: Reservoir,
+    /// Prefetches.
+    pub prefetch: Reservoir,
+    /// All requests that hit in the DRAM cache.
+    pub hit: Reservoir,
+    /// All requests that missed.
+    pub miss: Reservoir,
+}
+
+impl TailReservoirs {
+    /// Fixed per-population seeds: sampling must be deterministic so
+    /// equal runs export equal reports.
+    const SEED: u64 = 0xB1_0DA1_7A11;
+
+    /// One reservoir of `capacity` values per population.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let r = |salt: u64| Reservoir::new(capacity, Self::SEED ^ salt);
+        TailReservoirs {
+            capacity,
+            read: r(1),
+            write: r(2),
+            prefetch: r(3),
+            hit: r(4),
+            miss: r(5),
+        }
+    }
+
+    /// Records one completed request, mirroring
+    /// [`LatencyHistograms::record`].
+    #[inline]
+    pub fn record(&mut self, class: RequestClass, hit: bool, latency: u64) {
+        match class {
+            RequestClass::Read => self.read.record(latency),
+            RequestClass::Write => self.write.record(latency),
+            RequestClass::Prefetch => self.prefetch.record(latency),
+        }
+        if hit {
+            self.hit.record(latency);
+        } else {
+            self.miss.record(latency);
+        }
+    }
+
+    /// Clears all reservoirs (e.g. at the end of warm-up).
+    pub fn reset(&mut self) {
+        *self = TailReservoirs::new(self.capacity);
+    }
+
+    /// `(population name, tail summary)` pairs, same fixed order as
+    /// [`LatencyHistograms::summaries`].
+    #[must_use]
+    pub fn summaries(&self) -> Vec<(String, TailSummary)> {
+        [
+            ("read", &self.read),
+            ("write", &self.write),
+            ("prefetch", &self.prefetch),
+            ("hit", &self.hit),
+            ("miss", &self.miss),
+        ]
+        .into_iter()
+        .map(|(name, r)| (name.to_owned(), r.summary()))
+        .collect()
+    }
+}
+
 /// What to record; see [`Observer::enabled`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct ObserverConfig {
@@ -135,6 +215,9 @@ pub struct ObserverConfig {
     /// Print a stderr progress line at most every this often
     /// (`None` disables the heartbeat).
     pub heartbeat: Option<Duration>,
+    /// Keep exact-tail reservoirs of this many values per latency
+    /// population (`None` disables them).
+    pub exact_tails: Option<usize>,
 }
 
 impl Default for ObserverConfig {
@@ -144,6 +227,7 @@ impl Default for ObserverConfig {
             trace_capacity: 0,
             trace_sample_every: 1,
             heartbeat: None,
+            exact_tails: None,
         }
     }
 }
@@ -171,6 +255,14 @@ impl ObserverConfig {
         self.heartbeat = Some(interval);
         self
     }
+
+    /// Enables exact-tail reservoirs of `capacity` values per latency
+    /// population.
+    #[must_use]
+    pub fn with_exact_tails(mut self, capacity: usize) -> Self {
+        self.exact_tails = Some(capacity.max(1));
+        self
+    }
 }
 
 /// Everything the observability layer collected, in report-ready form.
@@ -179,6 +271,9 @@ pub struct ObsSummary {
     /// `(population, percentile summary)` per request class and
     /// hit/miss split. Empty when observability was off.
     pub latency: Vec<(String, HistSummary)>,
+    /// `(population, exact-tail summary)` per population, same order as
+    /// `latency`. Empty unless exact-tail reservoirs were enabled.
+    pub exact_tails: Vec<(String, TailSummary)>,
     /// The epoch time series. Empty when observability was off.
     pub epochs: Vec<EpochSnapshot>,
     /// Wall-clock profile. `None` when observability was off.
@@ -189,19 +284,27 @@ impl ObsSummary {
     /// True when nothing was recorded (observability was off).
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.latency.is_empty() && self.epochs.is_empty() && self.wall.is_none()
+        self.latency.is_empty()
+            && self.exact_tails.is_empty()
+            && self.epochs.is_empty()
+            && self.wall.is_none()
     }
 
-    /// Serializes as a JSON object with `latency`, `epochs` and `wall`
-    /// keys.
+    /// Serializes as a JSON object with `latency`, `exact_tails`,
+    /// `epochs` and `wall` keys.
     #[must_use]
     pub fn to_json(&self) -> Json {
         let mut latency = Json::object();
         for (name, s) in &self.latency {
             latency.set(name, s.to_json());
         }
+        let mut tails = Json::object();
+        for (name, s) in &self.exact_tails {
+            tails.set(name, s.to_json());
+        }
         let mut o = Json::object();
         o.set("latency", latency)
+            .set("exact_tails", tails)
             .set(
                 "epochs",
                 Json::Arr(self.epochs.iter().map(EpochSnapshot::to_json).collect()),
@@ -217,6 +320,8 @@ pub struct Observer {
     enabled: bool,
     /// Per-population latency histograms.
     pub latency: LatencyHistograms,
+    /// Exact-tail reservoirs, when enabled.
+    pub tails: Option<TailReservoirs>,
     /// The epoch time-series recorder.
     pub epochs: EpochRecorder,
     /// The sampled event ring, when tracing is on.
@@ -236,6 +341,7 @@ impl Observer {
         Observer {
             enabled: false,
             latency: LatencyHistograms::default(),
+            tails: None,
             epochs: EpochRecorder::new(u64::MAX),
             trace: None,
             heartbeat: None,
@@ -249,6 +355,7 @@ impl Observer {
         Observer {
             enabled: true,
             latency: LatencyHistograms::default(),
+            tails: config.exact_tails.map(TailReservoirs::new),
             epochs: EpochRecorder::new(config.epoch_cycles.max(1)),
             trace: (config.trace_capacity > 0)
                 .then(|| EventRing::new(config.trace_capacity, config.trace_sample_every.max(1))),
@@ -269,6 +376,9 @@ impl Observer {
     #[inline]
     pub fn record_latency(&mut self, class: RequestClass, hit: bool, latency: u64) {
         self.latency.record(class, hit, latency);
+        if let Some(t) = &mut self.tails {
+            t.record(class, hit, latency);
+        }
     }
 
     /// Clears measurement state at the warm-up boundary so summaries
@@ -277,6 +387,9 @@ impl Observer {
     /// hit rate climb as the cache fills is half its value.
     pub fn reset_measurement(&mut self) {
         self.latency.reset();
+        if let Some(t) = &mut self.tails {
+            t.reset();
+        }
     }
 
     /// Summarizes everything recorded. `sim_cycles` is the simulated
@@ -288,6 +401,11 @@ impl Observer {
         }
         ObsSummary {
             latency: self.latency.summaries(),
+            exact_tails: self
+                .tails
+                .as_ref()
+                .map(TailReservoirs::summaries)
+                .unwrap_or_default(),
             epochs: self.epochs.epochs().to_vec(),
             wall: Some(self.timers.summarize(sim_cycles)),
         }
@@ -354,6 +472,29 @@ mod tests {
         assert_eq!(h.miss.count(), 2);
         h.reset();
         assert_eq!(h.read.count(), 0);
+    }
+
+    #[test]
+    fn exact_tails_follow_the_latency_populations() {
+        let mut obs = Observer::enabled(ObserverConfig::default().with_exact_tails(64));
+        for i in 0..10u64 {
+            obs.record_latency(RequestClass::Read, i % 2 == 0, 10 + i);
+        }
+        let s = obs.summary(100);
+        let names: Vec<&str> = s.exact_tails.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["read", "write", "prefetch", "hit", "miss"]);
+        let read = &s.exact_tails[0].1;
+        assert_eq!(read.count, 10);
+        assert!(read.exact);
+        assert_eq!(read.max, 19);
+        assert!(s
+            .to_json()
+            .get("exact_tails")
+            .and_then(|t| t.get("read"))
+            .is_some());
+        // Warm-up reset clears the reservoirs too.
+        obs.reset_measurement();
+        assert_eq!(obs.summary(100).exact_tails[0].1.count, 0);
     }
 
     #[test]

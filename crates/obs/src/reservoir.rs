@@ -1,0 +1,213 @@
+//! Exact-tail latency sampling (reservoir, Algorithm R).
+//!
+//! The log2 histograms bound percentile estimates by bucket width — a
+//! factor-of-two band at the tail. When exact tails matter, a fixed-size
+//! uniform reservoir runs next to each histogram: every recorded value
+//! is a candidate, the kept sample is uniform over the population, and
+//! percentiles are read off the sorted sample directly. Memory stays
+//! bounded regardless of run length.
+//!
+//! The replacement decisions use an internal deterministic generator
+//! (the observability crate is dependency-free), so equal runs produce
+//! byte-equal reports.
+
+use crate::json::Json;
+
+/// Fixed-size uniform sample of a latency population (Vitter's
+/// Algorithm R) with exact percentile read-out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reservoir {
+    sample: Vec<u64>,
+    capacity: usize,
+    seen: u64,
+    max: u64,
+    state: u64,
+}
+
+impl Reservoir {
+    /// A reservoir keeping at most `capacity` values, replacing
+    /// deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        assert!(capacity > 0, "reservoir capacity must be positive");
+        Reservoir {
+            sample: Vec::new(),
+            capacity,
+            seen: 0,
+            max: 0,
+            state: seed,
+        }
+    }
+
+    /// splitmix64 step — the standard 64-bit mixer; plenty for uniform
+    /// slot selection.
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Offers one value to the sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.seen += 1;
+        self.max = self.max.max(value);
+        if self.sample.len() < self.capacity {
+            self.sample.push(value);
+        } else {
+            // Algorithm R: keep with probability capacity/seen. The modulo
+            // bias is < capacity/2^64 — irrelevant next to sampling noise.
+            let j = self.next_u64() % self.seen;
+            if let Ok(slot) = usize::try_from(j) {
+                if slot < self.capacity {
+                    self.sample[slot] = value;
+                }
+            }
+        }
+    }
+
+    /// Values offered so far (the population size).
+    #[must_use]
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Whether the sample still holds the entire population (percentiles
+    /// are then exact rather than sampled).
+    #[must_use]
+    pub fn is_exact(&self) -> bool {
+        self.seen <= self.capacity as u64
+    }
+
+    /// Percentiles and extrema of the sample.
+    #[must_use]
+    pub fn summary(&self) -> TailSummary {
+        let mut sorted = self.sample.clone();
+        sorted.sort_unstable();
+        let at = |p: f64| -> u64 {
+            if sorted.is_empty() {
+                return 0;
+            }
+            let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+            sorted[idx.min(sorted.len() - 1)]
+        };
+        TailSummary {
+            count: self.seen,
+            sampled: self.sample.len(),
+            exact: self.is_exact(),
+            p50: at(0.50),
+            p90: at(0.90),
+            p99: at(0.99),
+            p999: at(0.999),
+            max: self.max,
+        }
+    }
+}
+
+/// Percentile read-out of one reservoir.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TailSummary {
+    /// Population size (values offered).
+    pub count: u64,
+    /// Values actually held in the sample.
+    pub sampled: usize,
+    /// True when the sample is the whole population (no sampling error).
+    pub exact: bool,
+    /// Median of the sample.
+    pub p50: u64,
+    /// 90th percentile of the sample.
+    pub p90: u64,
+    /// 99th percentile of the sample.
+    pub p99: u64,
+    /// 99.9th percentile of the sample.
+    pub p999: u64,
+    /// Exact maximum over the whole population (tracked outside the
+    /// sample, so it never suffers sampling error).
+    pub max: u64,
+}
+
+impl TailSummary {
+    /// Serializes as a flat JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::object();
+        o.set("count", self.count)
+            .set("sampled", self.sampled)
+            .set("exact", self.exact)
+            .set("p50", self.p50)
+            .set("p90", self.p90)
+            .set("p99", self.p99)
+            .set("p999", self.p999)
+            .set("max", self.max);
+        o
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_population_is_exact() {
+        let mut r = Reservoir::new(16, 7);
+        for v in [5u64, 1, 9, 3] {
+            r.record(v);
+        }
+        let s = r.summary();
+        assert!(s.exact);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sampled, 4);
+        assert_eq!(s.p50, 5); // sorted [1,3,5,9], idx round(1.5)=2
+        assert_eq!(s.max, 9);
+    }
+
+    #[test]
+    fn capacity_bounds_memory_and_max_stays_exact() {
+        let mut r = Reservoir::new(32, 42);
+        for v in 0..10_000u64 {
+            r.record(v);
+        }
+        let s = r.summary();
+        assert!(!s.exact);
+        assert_eq!(s.count, 10_000);
+        assert_eq!(s.sampled, 32);
+        assert_eq!(s.max, 9_999, "max is tracked outside the sample");
+        // A uniform sample of 0..10000 has a median nowhere near the ends.
+        assert!(s.p50 > 1_000 && s.p50 < 9_000, "p50 = {}", s.p50);
+        assert!(s.p90 >= s.p50 && s.p99 >= s.p90 && s.p999 >= s.p99);
+    }
+
+    #[test]
+    fn same_seed_same_sample() {
+        let mut a = Reservoir::new(8, 123);
+        let mut b = Reservoir::new(8, 123);
+        for v in 0..1_000u64 {
+            a.record(v * 3);
+            b.record(v * 3);
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.summary(), b.summary());
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let mut r = Reservoir::new(4, 1);
+        r.record(10);
+        r.record(20);
+        let j = r.summary().to_json();
+        assert_eq!(j.get("count").and_then(Json::as_f64), Some(2.0));
+        assert!(Json::parse(&j.to_pretty()).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _ = Reservoir::new(0, 0);
+    }
+}

@@ -25,7 +25,16 @@ pub enum EventKind {
     WayLocator,
     /// DRAM command activity attributed to one access.
     DramCommand,
+    /// An injected fault (resilience campaigns).
+    Fault,
 }
+
+/// Synthetic viewer thread lanes for event streams that are not tied to
+/// one core. Core ids stay far below this range.
+const LANE_PREDICTOR: u32 = 1001;
+const LANE_WAY_LOCATOR: u32 = 1002;
+const LANE_DRAM: u32 = 1003;
+const LANE_FAULT: u32 = 1004;
 
 impl EventKind {
     /// Stable lowercase name used in exports.
@@ -38,6 +47,7 @@ impl EventKind {
             EventKind::Predictor => "predictor",
             EventKind::WayLocator => "way_locator",
             EventKind::DramCommand => "dram_command",
+            EventKind::Fault => "fault",
         }
     }
 
@@ -48,6 +58,30 @@ impl EventKind {
             EventKind::Fill | EventKind::Eviction => "cache",
             EventKind::Predictor | EventKind::WayLocator => "sram",
             EventKind::DramCommand => "dram",
+            EventKind::Fault => "fault",
+        }
+    }
+
+    /// Viewer thread lane: per-core for the access/fill/eviction stream,
+    /// one shared synthetic lane per hardware structure otherwise.
+    fn lane(self, core: u32) -> u32 {
+        match self {
+            EventKind::Access | EventKind::Fill | EventKind::Eviction => core,
+            EventKind::Predictor => LANE_PREDICTOR,
+            EventKind::WayLocator => LANE_WAY_LOCATOR,
+            EventKind::DramCommand => LANE_DRAM,
+            EventKind::Fault => LANE_FAULT,
+        }
+    }
+
+    /// Label for a synthetic lane (core lanes are named `core N`).
+    fn lane_label(self) -> &'static str {
+        match self {
+            EventKind::Access | EventKind::Fill | EventKind::Eviction => "core",
+            EventKind::Predictor => "predictor",
+            EventKind::WayLocator => "way locator",
+            EventKind::DramCommand => "dram commands",
+            EventKind::Fault => "faults",
         }
     }
 }
@@ -156,10 +190,30 @@ impl EventRing {
     /// Exports the ring in Chrome trace-event JSON object format.
     ///
     /// Durations use the "X" (complete) phase; zero-duration events use
-    /// "i" (instant). One simulated cycle = 1 µs of viewer time.
+    /// "i" (instant). One simulated cycle = 1 µs of viewer time. Leading
+    /// "M" metadata events name the process and every thread lane in use
+    /// (`core N` for the access stream, `predictor` / `way locator` /
+    /// `dram commands` / `faults` for the structure streams) so Perfetto
+    /// shows labels instead of bare thread ids.
     #[must_use]
     pub fn chrome_trace(&self) -> Json {
-        let mut events: Vec<Json> = Vec::with_capacity(self.events.len());
+        let mut events: Vec<Json> = Vec::with_capacity(self.events.len() + 8);
+        let mut lanes: Vec<(u32, String)> = Vec::new();
+        for e in self.events() {
+            let tid = e.kind.lane(e.core);
+            if !lanes.iter().any(|(t, _)| *t == tid) {
+                let label = match e.kind.lane_label() {
+                    "core" => format!("core {tid}"),
+                    fixed => fixed.to_owned(),
+                };
+                lanes.push((tid, label));
+            }
+        }
+        lanes.sort_unstable_by_key(|(t, _)| *t);
+        events.push(meta_event("process_name", 0, "bimodal-sim"));
+        for (tid, label) in lanes {
+            events.push(meta_event("thread_name", tid, &label));
+        }
         for e in self.events() {
             let mut o = Json::object();
             o.set("name", format!("{} {}", e.kind.name(), e.what))
@@ -167,7 +221,7 @@ impl EventRing {
                 .set("ph", if e.dur > 0 { "X" } else { "i" })
                 .set("ts", e.at)
                 .set("pid", 0u64)
-                .set("tid", e.core);
+                .set("tid", e.kind.lane(e.core));
             if e.dur > 0 {
                 o.set("dur", e.dur);
             } else {
@@ -191,6 +245,21 @@ impl EventRing {
             });
         root
     }
+}
+
+/// One Chrome "M" (metadata) event labelling the process or a thread
+/// lane in the viewer.
+fn meta_event(kind: &str, tid: u32, label: &str) -> Json {
+    let mut args = Json::object();
+    args.set("name", label);
+    let mut o = Json::object();
+    o.set("name", kind)
+        .set("ph", "M")
+        .set("ts", 0u64)
+        .set("pid", 0u64)
+        .set("tid", tid)
+        .set("args", args);
+    o
 }
 
 #[cfg(test)]
@@ -240,18 +309,63 @@ mod tests {
         });
         let j = r.chrome_trace();
         let events = j.get("traceEvents").and_then(Json::as_arr).expect("arr");
-        assert_eq!(events.len(), 2);
-        let e0 = &events[0];
+        // Leading "M" metadata: process_name + thread_name for core 0.
+        let metas = events
+            .iter()
+            .take_while(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
+            .count();
+        assert_eq!(metas, 2);
+        let data = &events[metas..];
+        assert_eq!(data.len(), 2);
+        let e0 = &data[0];
         assert_eq!(e0.get("ph").and_then(Json::as_str), Some("X"));
         assert_eq!(e0.get("ts").and_then(Json::as_f64), Some(100.0));
         assert_eq!(e0.get("dur").and_then(Json::as_f64), Some(10.0));
         assert!(e0.get("args").is_some());
         // Instant event: phase "i", no duration.
-        assert_eq!(events[1].get("ph").and_then(Json::as_str), Some("i"));
-        assert!(events[1].get("dur").is_none());
+        assert_eq!(data[1].get("ph").and_then(Json::as_str), Some("i"));
+        assert!(data[1].get("dur").is_none());
         // The whole export round-trips through the parser.
         let text = j.to_pretty();
         assert!(Json::parse(&text).is_ok());
+    }
+
+    #[test]
+    fn structure_events_ride_named_synthetic_lanes() {
+        let mut r = EventRing::new(8, 1);
+        r.push(ev(10, EventKind::Access));
+        r.push(TraceEvent {
+            dur: 0,
+            ..ev(11, EventKind::Predictor)
+        });
+        r.push(TraceEvent {
+            dur: 0,
+            ..ev(12, EventKind::Fault)
+        });
+        let j = r.chrome_trace();
+        let events = j.get("traceEvents").and_then(Json::as_arr).expect("arr");
+        let names: Vec<(f64, &str)> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("thread_name"))
+            .map(|e| {
+                (
+                    e.get("tid").and_then(Json::as_f64).expect("tid"),
+                    e.get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(Json::as_str)
+                        .expect("label"),
+                )
+            })
+            .collect();
+        assert!(names.contains(&(0.0, "core 0")));
+        assert!(names.contains(&(1001.0, "predictor")));
+        assert!(names.contains(&(1004.0, "faults")));
+        // The fault event itself rides its synthetic lane.
+        let fault = events
+            .iter()
+            .find(|e| e.get("cat").and_then(Json::as_str) == Some("fault"))
+            .expect("fault event");
+        assert_eq!(fault.get("tid").and_then(Json::as_f64), Some(1004.0));
     }
 
     #[test]
@@ -259,6 +373,7 @@ mod tests {
         assert_eq!(EventKind::Access.name(), "access");
         assert_eq!(EventKind::WayLocator.name(), "way_locator");
         assert_eq!(EventKind::DramCommand.name(), "dram_command");
+        assert_eq!(EventKind::Fault.name(), "fault");
     }
 
     #[test]

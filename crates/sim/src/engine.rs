@@ -11,7 +11,7 @@
 //! keep generating contention) until every core finishes its measured
 //! accesses, mirroring the paper's methodology.
 
-use bimodal_core::{AccessKind, CacheAccess, DramCacheScheme, SchemeStats};
+use bimodal_core::{AccessKind, AccessOutcome, CacheAccess, DramCacheScheme, SchemeStats};
 use bimodal_dram::{Cycle, DramStats, MemorySystem};
 use bimodal_obs::{Counters, EventKind, Observer, RequestClass, TraceEvent};
 use bimodal_workloads::ProgramTrace;
@@ -36,6 +36,10 @@ pub struct EngineOptions {
     /// dirty writebacks) reach the DRAM cache. `None` (default) treats
     /// traces as LLSC-miss streams, the generators' native meaning.
     pub llsc: Option<LlscConfig>,
+    /// Optional forward-progress watchdog: when the completion frontier
+    /// stops advancing, [`Engine::try_run`] returns a structured
+    /// [`StallDiagnostic`] instead of looping forever.
+    pub watchdog: Option<WatchdogConfig>,
 }
 
 impl EngineOptions {
@@ -49,6 +53,7 @@ impl EngineOptions {
             prefetch: None,
             mlp: 1,
             llsc: None,
+            watchdog: None,
         }
     }
 
@@ -84,7 +89,151 @@ impl EngineOptions {
         self.warmup_per_core = warmup;
         self
     }
+
+    /// Arms the forward-progress watchdog.
+    #[must_use]
+    pub fn with_watchdog(mut self, watchdog: WatchdogConfig) -> Self {
+        self.watchdog = Some(watchdog);
+        self
+    }
 }
+
+/// Forward-progress watchdog limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Simulated cycles the run may advance without the global completion
+    /// frontier moving before it aborts.
+    pub stall_cycles: Cycle,
+    /// Engine iterations without frontier progress before the run aborts —
+    /// the second trigger catches a wedged controller whose clock is
+    /// frozen too (completions pinned at cycle 0 never advance `now`).
+    pub stall_iterations: u64,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        // Far beyond anything a healthy run produces: the frontier
+        // normally advances every few iterations.
+        WatchdogConfig {
+            stall_cycles: 10_000_000,
+            stall_iterations: 1_000_000,
+        }
+    }
+}
+
+/// One core's state at the moment the watchdog fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreSnapshot {
+    /// Core index.
+    pub core: u32,
+    /// Accesses issued so far (warm-up included).
+    pub issued: u64,
+    /// Cycle the core would issue its next access at.
+    pub next_issue: Cycle,
+    /// Requests still outstanding (occupied MLP slots).
+    pub inflight: usize,
+    /// The core's retirement frontier.
+    pub frontier: Cycle,
+}
+
+/// Structured diagnostic returned by [`Engine::try_run`] when the
+/// forward-progress watchdog fires: the simulation stopped retiring work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StallDiagnostic {
+    /// Cycle at which the watchdog fired.
+    pub now: Cycle,
+    /// The global completion frontier that stopped advancing.
+    pub frontier: Cycle,
+    /// Cycle at which the frontier last advanced.
+    pub last_progress: Cycle,
+    /// Engine iterations executed since the frontier last advanced.
+    pub stalled_iterations: u64,
+    /// Per-core queue/issue snapshots.
+    pub cores: Vec<CoreSnapshot>,
+    /// Background DRAM operations still queued in the memory system.
+    pub deferred_pending: usize,
+    /// The last access issued before the abort: `(core, addr, is_write)`.
+    pub last_access: Option<(u32, u64, bool)>,
+}
+
+impl std::fmt::Display for StallDiagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "simulation stalled at cycle {}: completion frontier stuck at {} \
+             since cycle {} ({} iterations); {} deferred ops pending",
+            self.now,
+            self.frontier,
+            self.last_progress,
+            self.stalled_iterations,
+            self.deferred_pending
+        )?;
+        for c in &self.cores {
+            write!(
+                f,
+                "; core {}: issued {}, next issue {}, {} inflight, frontier {}",
+                c.core, c.issued, c.next_issue, c.inflight, c.frontier
+            )?;
+        }
+        if let Some((core, addr, is_write)) = self.last_access {
+            write!(
+                f,
+                "; last access: core {} {} {:#x}",
+                core,
+                if is_write { "write" } else { "read" },
+                addr
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for StallDiagnostic {}
+
+/// Where and when a demand access is issued, as seen by a [`RunHook`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessContext {
+    /// Global issue sequence number (warm-up included).
+    pub seq: u64,
+    /// Issuing core.
+    pub core: u32,
+    /// Issue cycle.
+    pub now: Cycle,
+    /// Physical byte address.
+    pub addr: u64,
+    /// Whether the trace access is a write.
+    pub is_write: bool,
+    /// True once every core passed warm-up (statistics are live).
+    pub warmed_up: bool,
+}
+
+/// Observation/intervention points the engine exposes around each demand
+/// access (prefetches and LLSC writebacks are not hooked). Resilience
+/// campaigns use these to inject faults and cross-check a shadow model;
+/// the default bodies do nothing, so a hook only pays for what it uses.
+pub trait RunHook {
+    /// Called before the access is issued to the scheme.
+    fn on_access(
+        &mut self,
+        ctx: AccessContext,
+        scheme: &mut dyn DramCacheScheme,
+        mem: &mut MemorySystem,
+        obs: &mut Observer,
+    ) {
+        let _ = (ctx, scheme, mem, obs);
+    }
+
+    /// Called after the scheme serviced the access.
+    fn on_outcome(&mut self, ctx: AccessContext, outcome: &AccessOutcome, obs: &mut Observer) {
+        let _ = (ctx, outcome, obs);
+    }
+}
+
+/// The do-nothing hook plain runs use.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopHook;
+
+impl RunHook for NoopHook {}
 
 struct CoreState {
     trace: ProgramTrace,
@@ -134,7 +283,9 @@ impl Engine {
     ///
     /// # Panics
     ///
-    /// Panics if `traces` is empty or the measured access count is zero.
+    /// Panics if `traces` is empty, the measured access count is zero, or
+    /// an armed watchdog fires (plain runs want the loud failure; use
+    /// [`Engine::try_run`] to handle the diagnostic).
     pub fn run_observed(
         &self,
         scheme: &mut dyn DramCacheScheme,
@@ -142,6 +293,35 @@ impl Engine {
         traces: Vec<ProgramTrace>,
         obs: &mut Observer,
     ) -> RunReport {
+        self.try_run(scheme, mem, traces, obs, &mut NoopHook)
+            .unwrap_or_else(|d| panic!("{d}"))
+    }
+
+    /// Runs the simulation with a [`RunHook`] around every demand access
+    /// and, when armed, a forward-progress watchdog.
+    ///
+    /// With [`NoopHook`] and no watchdog this is exactly
+    /// [`Engine::run_observed`] — the hook points compile to empty calls,
+    /// so resilience plumbing costs plain runs nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StallDiagnostic`] when the watchdog detects that the
+    /// completion frontier stopped advancing (a wedged controller would
+    /// otherwise spin this loop forever).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces` is empty or the measured access count is zero.
+    #[allow(clippy::too_many_lines)] // the engine's central loop
+    pub fn try_run(
+        &self,
+        scheme: &mut dyn DramCacheScheme,
+        mem: &mut MemorySystem,
+        traces: Vec<ProgramTrace>,
+        obs: &mut Observer,
+        hook: &mut dyn RunHook,
+    ) -> Result<RunReport, Box<StallDiagnostic>> {
         assert!(!traces.is_empty(), "need at least one core trace");
         assert!(
             self.options.accesses_per_core > 0,
@@ -183,6 +363,12 @@ impl Engine {
         let mut issued_total: u64 = 0;
         let mut epoch_base = Counters::default();
 
+        // Forward-progress watchdog state: the global completion frontier
+        // and when (in cycles and iterations) it last advanced.
+        let mut wd_frontier: Cycle = 0;
+        let mut wd_last_progress: Cycle = 0;
+        let mut wd_stalled_iters: u64 = 0;
+
         while cores.iter().any(|c| c.finished_at.is_none()) {
             // Next core to issue: earliest next_issue; ties by index.
             // Finished cores keep issuing (they still contend) until every
@@ -199,6 +385,15 @@ impl Engine {
             } else {
                 AccessKind::Read
             };
+            let ctx = AccessContext {
+                seq: issued_total,
+                core: u32::try_from(idx).expect("few cores"),
+                now,
+                addr: access.addr,
+                is_write: access.is_write,
+                warmed_up: stats_reset,
+            };
+            hook.on_access(ctx, scheme, mem, obs);
             // Sampled tracing snapshots the (O(1)) counters around the
             // access and diffs them afterwards, deriving fill / eviction /
             // predictor / way-locator / DRAM-command events without
@@ -244,6 +439,7 @@ impl Engine {
                     mem,
                 )
             };
+            hook.on_outcome(ctx, &outcome, obs);
 
             if obs.is_enabled() {
                 let latency = outcome.complete.saturating_sub(now);
@@ -338,6 +534,39 @@ impl Engine {
                 mem.reset_stats();
                 stats_reset = true;
             }
+
+            if let Some(wd) = self.options.watchdog {
+                if outcome.complete > wd_frontier {
+                    wd_frontier = outcome.complete;
+                    wd_last_progress = now;
+                    wd_stalled_iters = 0;
+                } else {
+                    wd_stalled_iters += 1;
+                    if wd_stalled_iters >= wd.stall_iterations
+                        || now.saturating_sub(wd_last_progress) > wd.stall_cycles
+                    {
+                        return Err(Box::new(StallDiagnostic {
+                            now,
+                            frontier: wd_frontier,
+                            last_progress: wd_last_progress,
+                            stalled_iterations: wd_stalled_iters,
+                            cores: cores
+                                .iter()
+                                .enumerate()
+                                .map(|(i, c)| CoreSnapshot {
+                                    core: u32::try_from(i).expect("few cores"),
+                                    issued: c.issued,
+                                    next_issue: c.next_issue,
+                                    inflight: c.inflight.len(),
+                                    frontier: c.frontier,
+                                })
+                                .collect(),
+                            deferred_pending: mem.deferred_pending(),
+                            last_access: Some((ctx.core, ctx.addr, ctx.is_write)),
+                        }));
+                    }
+                }
+            }
         }
 
         scheme.finalize();
@@ -358,7 +587,7 @@ impl Engine {
             .collect();
 
         let (md_rbh, data_rbh) = bank_group_rbh(mem);
-        RunReport {
+        Ok(RunReport {
             scheme_name: scheme.name().to_owned(),
             scheme: scheme.stats().clone(),
             cache_dram: mem.cache_dram.stats(),
@@ -368,7 +597,7 @@ impl Engine {
             metadata_bank_rbh: md_rbh,
             data_bank_rbh: data_rbh,
             obs: obs.summary(end_cycle),
-        }
+        })
     }
 }
 
@@ -676,5 +905,77 @@ mod tests {
     fn empty_traces_panic() {
         let (mut s, mut mem) = scheme();
         let _ = Engine::new(EngineOptions::measured(10)).run(&mut s, &mut mem, vec![]);
+    }
+
+    /// A controller that never completes anything: every access "finishes"
+    /// at cycle 0, so the retirement frontier cannot advance.
+    struct WedgedScheme {
+        stats: SchemeStats,
+    }
+
+    impl DramCacheScheme for WedgedScheme {
+        fn name(&self) -> &str {
+            "Wedged"
+        }
+
+        fn access(&mut self, _access: CacheAccess, _mem: &mut MemorySystem) -> AccessOutcome {
+            AccessOutcome {
+                complete: 0,
+                hit: false,
+                offchip_bytes: 0,
+                small_block: false,
+            }
+        }
+
+        fn stats(&self) -> &SchemeStats {
+            &self.stats
+        }
+
+        fn reset_stats(&mut self) {}
+    }
+
+    #[test]
+    fn watchdog_turns_a_wedged_run_into_a_structured_error() {
+        let mut s = WedgedScheme {
+            stats: SchemeStats::default(),
+        };
+        let mut mem = MemorySystem::quad_core();
+        let options = EngineOptions::measured(10_000).with_watchdog(WatchdogConfig {
+            stall_cycles: 1_000_000,
+            stall_iterations: 500,
+        });
+        let err = Engine::new(options)
+            .try_run(
+                &mut s,
+                &mut mem,
+                small_traces(2),
+                &mut Observer::disabled(),
+                &mut NoopHook,
+            )
+            .expect_err("a wedged controller must trip the watchdog");
+        assert_eq!(err.stalled_iterations, 500);
+        assert_eq!(err.cores.len(), 2);
+        assert!(err.cores.iter().map(|c| c.issued).sum::<u64>() <= 501);
+        assert!(err.to_string().contains("stalled"));
+    }
+
+    #[test]
+    fn armed_watchdog_does_not_disturb_a_healthy_run() {
+        let (mut s, mut mem) = scheme();
+        let plain =
+            Engine::new(EngineOptions::measured(300)).run(&mut s, &mut mem, small_traces(2));
+        let (mut s2, mut mem2) = scheme();
+        let watched =
+            Engine::new(EngineOptions::measured(300).with_watchdog(WatchdogConfig::default()))
+                .try_run(
+                    &mut s2,
+                    &mut mem2,
+                    small_traces(2),
+                    &mut Observer::disabled(),
+                    &mut NoopHook,
+                )
+                .expect("healthy run passes the watchdog");
+        assert_eq!(plain.core_cycles, watched.core_cycles);
+        assert_eq!(plain.scheme, watched.scheme);
     }
 }

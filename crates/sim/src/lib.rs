@@ -9,6 +9,9 @@
 //! * [`SchemeKind`] — constructs any of the organizations under study,
 //! * [`AnttReport`] — Average Normalized Turnaround Time (standalone vs
 //!   multiprogrammed runs),
+//! * [`RunHook`] / [`WatchdogConfig`] — per-access engine hooks (used by
+//!   fault-injection campaigns) and the forward-progress watchdog that
+//!   turns a wedged run into a structured [`StallDiagnostic`],
 //! * [`NextNPrefetcher`] — the next-N-lines prefetcher of Section V-I,
 //! * [`EnergyModel`] — the event-count energy model of Section V-H,
 //! * [`sweep`] — fast functional design-space sweeps (Figures 1, 2, 5).
@@ -44,7 +47,10 @@ pub mod sweep;
 pub use antt::AnttReport;
 pub use config::SystemConfig;
 pub use energy::{EnergyBreakdown, EnergyModel};
-pub use engine::{Engine, EngineOptions};
+pub use engine::{
+    AccessContext, CoreSnapshot, Engine, EngineOptions, NoopHook, RunHook, StallDiagnostic,
+    WatchdogConfig,
+};
 pub use llsc::{LlscCache, LlscConfig, LlscOutcome};
 pub use prefetch::{NextNPrefetcher, PrefetchMode};
 pub use report::RunReport;

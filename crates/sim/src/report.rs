@@ -116,6 +116,9 @@ fn scheme_stats_json(s: &SchemeStats) -> Json {
         .set("locator_hits", s.locator_hits)
         .set("locator_misses", s.locator_misses)
         .set("locator_hit_rate", s.locator_hit_rate())
+        .set("locator_heals", s.locator_heals)
+        .set("ecc_corrected", s.ecc_corrected)
+        .set("ecc_detected_uncorrected", s.ecc_detected_uncorrected)
         .set("fills_big", s.fills_big)
         .set("fills_small", s.fills_small)
         .set("evictions", s.evictions)

@@ -95,26 +95,17 @@ impl SchemeKind {
         prefetch_bypass: bool,
         adapt_epoch: Option<u64>,
     ) -> Box<dyn DramCacheScheme> {
+        if let Some(config) = self.bimodal_config(system, prefetch_bypass, adapt_epoch) {
+            return Box::new(BiModalCache::new(config));
+        }
         let mb = system.cache_mb;
-        let epoch = adapt_epoch.unwrap_or_else(|| epoch_for(system));
-        // Scaled-down runs (shorter measurement windows) sample the
-        // tracker more densely so the block size predictor still trains.
-        let sample_interval = if system.footprint_scale < 0.5 { 8 } else { 32 };
-        let bimodal = move |f: fn(BiModalConfig) -> BiModalConfig| -> Box<dyn DramCacheScheme> {
-            let config =
-                f(BiModalConfig::for_cache_mb(mb).with_stacked_dram(system.stacked.clone()))
-                    .with_epoch(epoch)
-                    .with_sample_interval(sample_interval)
-                    .with_prefetch_bypass(prefetch_bypass);
-            Box::new(BiModalCache::new(config))
-        };
         match self {
-            SchemeKind::BiModal => bimodal(|c| c),
-            SchemeKind::BiModalOnly => bimodal(BiModalConfig::bimodal_only),
-            SchemeKind::WayLocatorOnly => bimodal(BiModalConfig::way_locator_only),
-            SchemeKind::Fixed512 => bimodal(BiModalConfig::fixed_big_blocks),
-            SchemeKind::BiModalColocatedMetadata => bimodal(BiModalConfig::with_colocated_metadata),
-            SchemeKind::BiModalMissPredict => bimodal(|c| c.with_miss_predictor(true)),
+            SchemeKind::BiModal
+            | SchemeKind::BiModalOnly
+            | SchemeKind::WayLocatorOnly
+            | SchemeKind::Fixed512
+            | SchemeKind::BiModalColocatedMetadata
+            | SchemeKind::BiModalMissPredict => unreachable!("handled by bimodal_config"),
             SchemeKind::Alloy => Box::new(AlloyCache::with_capacity_mb(mb)),
             SchemeKind::LohHill => Box::new(LohHillCache::with_capacity_mb(mb)),
             SchemeKind::AtCache => {
@@ -140,6 +131,43 @@ impl SchemeKind {
                 ))
             }
         }
+    }
+
+    /// The [`BiModalConfig`] this kind would run with, or `None` for the
+    /// baseline organizations that are not Bi-Modal caches.
+    ///
+    /// Exposed so external drivers (e.g. fault-injection campaigns) can
+    /// reproduce the exact configuration [`SchemeKind::build_with`] uses
+    /// and layer extra options (such as metadata ECC) on top.
+    #[must_use]
+    pub fn bimodal_config(
+        &self,
+        system: &SystemConfig,
+        prefetch_bypass: bool,
+        adapt_epoch: Option<u64>,
+    ) -> Option<BiModalConfig> {
+        let epoch = adapt_epoch.unwrap_or_else(|| epoch_for(system));
+        // Scaled-down runs (shorter measurement windows) sample the
+        // tracker more densely so the block size predictor still trains.
+        let sample_interval = if system.footprint_scale < 0.5 { 8 } else { 32 };
+        let variant: fn(BiModalConfig) -> BiModalConfig = match self {
+            SchemeKind::BiModal => |c| c,
+            SchemeKind::BiModalOnly => BiModalConfig::bimodal_only,
+            SchemeKind::WayLocatorOnly => BiModalConfig::way_locator_only,
+            SchemeKind::Fixed512 => BiModalConfig::fixed_big_blocks,
+            SchemeKind::BiModalColocatedMetadata => BiModalConfig::with_colocated_metadata,
+            SchemeKind::BiModalMissPredict => |c| c.with_miss_predictor(true),
+            _ => return None,
+        };
+        Some(
+            variant(
+                BiModalConfig::for_cache_mb(system.cache_mb)
+                    .with_stacked_dram(system.stacked.clone()),
+            )
+            .with_epoch(epoch)
+            .with_sample_interval(sample_interval)
+            .with_prefetch_bypass(prefetch_bypass),
+        )
     }
 }
 

@@ -14,13 +14,23 @@ use crate::scheme_kind::SchemeKind;
 pub enum SimError {
     /// The run parameters are unusable (zero accesses, core mismatch...).
     InvalidRun(String),
+    /// The forward-progress watchdog aborted a run that stopped
+    /// completing accesses; the diagnostic snapshots the wedged state.
+    Stalled(Box<crate::engine::StallDiagnostic>),
 }
 
 impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SimError::InvalidRun(msg) => write!(f, "invalid run: {msg}"),
+            SimError::Stalled(d) => write!(f, "{d}"),
         }
+    }
+}
+
+impl From<Box<crate::engine::StallDiagnostic>> for SimError {
+    fn from(d: Box<crate::engine::StallDiagnostic>) -> Self {
+        SimError::Stalled(d)
     }
 }
 
@@ -64,13 +74,19 @@ impl Simulation {
         self.kind
     }
 
-    fn options(&self, accesses_per_core: u64) -> EngineOptions {
+    /// The engine options [`Simulation::run_mix`] drives the run with.
+    ///
+    /// Public so external drivers (e.g. fault-injection campaigns) can
+    /// reproduce the exact run and layer hooks or a watchdog on top.
+    #[must_use]
+    pub fn engine_options(&self, accesses_per_core: u64) -> EngineOptions {
         let mut o = EngineOptions {
             accesses_per_core,
             warmup_per_core: self.system.warmup_per_core,
             prefetch: None,
             mlp: self.system.mlp,
             llsc: None,
+            watchdog: None,
         };
         if let Some((n, mode)) = self.prefetch {
             o = o.with_prefetch(n, mode);
@@ -78,17 +94,43 @@ impl Simulation {
         o
     }
 
-    fn build_scheme(
+    /// The adaptation epoch [`Simulation::build_scheme`] tunes the scheme
+    /// with for a run of `accesses_per_core` accesses on `cores` cores.
+    #[must_use]
+    pub fn adapt_epoch(&self, accesses_per_core: u64, cores: u64) -> u64 {
+        // Give the global mix controller ~10 adaptation epochs per run
+        // (the paper's 1 M-access epoch assumes billion-instruction runs).
+        let epoch = ((accesses_per_core + self.system.warmup_per_core) * cores / 10).max(1_000);
+        epoch.min(1_000_000)
+    }
+
+    /// Builds the scheme exactly as [`Simulation::run_mix`] would for a
+    /// run of `accesses_per_core` accesses on `cores` cores.
+    #[must_use]
+    pub fn build_scheme(
         &self,
         accesses_per_core: u64,
         cores: u64,
     ) -> Box<dyn bimodal_core::DramCacheScheme> {
         let bypass = matches!(self.prefetch, Some((_, PrefetchMode::Bypass)));
-        // Give the global mix controller ~10 adaptation epochs per run
-        // (the paper's 1 M-access epoch assumes billion-instruction runs).
-        let epoch = ((accesses_per_core + self.system.warmup_per_core) * cores / 10).max(1_000);
-        self.kind
-            .build_with(&self.system, bypass, Some(epoch.min(1_000_000)))
+        self.kind.build_with(
+            &self.system,
+            bypass,
+            Some(self.adapt_epoch(accesses_per_core, cores)),
+        )
+    }
+
+    /// The per-core traces [`Simulation::run_mix`] would drive: the mix
+    /// scaled to the system's footprint, seeded per core.
+    #[must_use]
+    pub fn traces_for(&self, mix: &WorkloadMix) -> Vec<bimodal_workloads::ProgramTrace> {
+        mix.clone()
+            .with_footprint_scale(self.system.footprint_scale)
+            .programs()
+            .iter()
+            .enumerate()
+            .map(|(core, p)| p.trace(self.system.seed, u32::try_from(core).expect("few cores")))
+            .collect()
     }
 
     /// Runs `mix` for `accesses_per_core` measured accesses on each core.
@@ -127,23 +169,17 @@ impl Simulation {
                 "accesses_per_core must be positive".into(),
             ));
         }
-        let scaled = mix
-            .clone()
-            .with_footprint_scale(self.system.footprint_scale);
-        let traces = scaled
-            .programs()
-            .iter()
-            .enumerate()
-            .map(|(core, p)| p.trace(self.system.seed, u32::try_from(core).expect("few cores")))
-            .collect();
+        let traces = self.traces_for(mix);
         let mut scheme = self.build_scheme(accesses_per_core, mix.cores() as u64);
         let mut mem = self.system.build_memory();
-        Ok(Engine::new(self.options(accesses_per_core)).run_observed(
-            scheme.as_mut(),
-            &mut mem,
-            traces,
-            obs,
-        ))
+        Ok(
+            Engine::new(self.engine_options(accesses_per_core)).run_observed(
+                scheme.as_mut(),
+                &mut mem,
+                traces,
+                obs,
+            ),
+        )
     }
 
     /// Runs each of `mix`'s programs standalone (alone on the machine) and
@@ -158,15 +194,12 @@ impl Simulation {
         accesses_per_core: u64,
     ) -> Result<AnttReport, SimError> {
         let mp = self.run_mix(mix, accesses_per_core)?;
-        let scaled = mix
-            .clone()
-            .with_footprint_scale(self.system.footprint_scale);
-        let mut standalone = Vec::with_capacity(scaled.programs().len());
-        for (core, p) in scaled.programs().iter().enumerate() {
-            let trace = p.trace(self.system.seed, u32::try_from(core).expect("few cores"));
+        let traces = self.traces_for(mix);
+        let mut standalone = Vec::with_capacity(traces.len());
+        for trace in traces {
             let mut scheme = self.build_scheme(accesses_per_core, 1);
             let mut mem = self.system.build_memory();
-            let report = Engine::new(self.options(accesses_per_core)).run(
+            let report = Engine::new(self.engine_options(accesses_per_core)).run(
                 scheme.as_mut(),
                 &mut mem,
                 vec![trace],

@@ -45,4 +45,4 @@ pub use access::Access;
 pub use mix::{all_eight_core, all_quad, all_sixteen_core, WorkloadMix};
 pub use program::{ProgramTrace, SpatialProfile, TemporalProfile, WorkloadSpec};
 pub use spec::{spec_names, spec_profile};
-pub use trace_io::{read_trace, write_trace, FileTrace};
+pub use trace_io::{read_trace, write_trace, FileTrace, TraceError};

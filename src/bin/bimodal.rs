@@ -15,9 +15,10 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 use std::time::Duration;
 
+use bimodal::faults::{CampaignConfig, CampaignReport, FaultRates};
 use bimodal::obs::{Json, ObsSummary, Observer, ObserverConfig};
 use bimodal::prelude::*;
-use bimodal::sim::{sweep, PrefetchMode};
+use bimodal::sim::{sweep, PrefetchMode, WatchdogConfig};
 use bimodal::workloads::{spec_names, spec_profile, write_trace};
 
 fn usage() -> &'static str {
@@ -34,6 +35,11 @@ fn usage() -> &'static str {
      \x20         [--warmup N] [--mlp N] [--prefetch N[:bypass]] [--json FILE]\n\
      \x20 sweep   --mix <M> [--accesses N] [--cache-mb C] [--seed K] [--json FILE]\n\
      \x20 record  --program <P> --out <FILE> [--n N] [--seed K]\n\
+     \x20 inject  --mix <M> [--scheme <S>] [--accesses N] [--seed K]\n\
+     \x20         [--metadata-rate P] [--multi-bit P] [--locator-rate P]\n\
+     \x20         [--predictor-rate P] [--dram-rate P] [--ecc] [--antt]\n\
+     \x20         [--shadow-every N] [--watchdog CYCLES | --no-watchdog]\n\
+     \x20         [--json FILE] [--trace-out FILE]\n\
      \n\
      observability:\n\
      \x20 --json FILE       write the full machine-readable report (counters,\n\
@@ -41,6 +47,8 @@ fn usage() -> &'static str {
      \x20 --trace-out FILE  write a sampled event trace in Chrome trace-event\n\
      \x20                   format (load in chrome://tracing or Perfetto)\n\
      \x20 --epoch CYCLES    epoch length for the time series (default 100000)\n\
+     \x20 --exact-tails[=N] reservoir-sample latencies for exact tail\n\
+     \x20                   percentiles (default capacity 4096)\n\
      \x20 --heartbeat SECS  periodic progress line on stderr\n\
      \n\
      mixes: Q1..Q24 (4-core), E1..E16 (8-core), S1..S8 (16-core)\n\
@@ -48,8 +56,13 @@ fn usage() -> &'static str {
      \x20        lohhill, atcache, footprint, bimodal-mp"
 }
 
+/// Flags that stand alone (`--ecc`); an explicit value still works via
+/// `--flag=value`.
+const BARE_FLAGS: &[&str] = &["ecc", "antt", "no-watchdog", "exact-tails"];
+
 /// Parses `--flag value` / `--flag=value` pairs, rejecting flags not in
-/// `allowed`, duplicates, and flags without a value.
+/// `allowed`, duplicates, and flags without a value. Flags listed in
+/// [`BARE_FLAGS`] need no value and default to `"true"`.
 fn parse_flags(args: &[String], allowed: &[&str]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
     let mut i = 0;
@@ -60,6 +73,8 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> Result<HashMap<String, Stri
             .ok_or_else(|| format!("expected a --flag, got {arg:?}"))?;
         let (key, value) = if let Some((k, v)) = body.split_once('=') {
             (k.to_owned(), v.to_owned())
+        } else if BARE_FLAGS.contains(&body) {
+            (body.to_owned(), "true".to_owned())
         } else {
             let v = args
                 .get(i + 1)
@@ -93,6 +108,16 @@ fn num<T: std::str::FromStr>(
     match flags.get(key) {
         Some(v) => v.parse().map_err(|_| format!("--{key} must be a number")),
         None => Ok(default),
+    }
+}
+
+/// A bare flag: absent = false, present = true, `--flag=false` works.
+fn flag_bool(flags: &HashMap<String, String>, key: &str) -> Result<bool, String> {
+    match flags.get(key).map(String::as_str) {
+        None => Ok(false),
+        Some("true" | "") => Ok(true),
+        Some("false") => Ok(false),
+        Some(other) => Err(format!("--{key} takes no value (got {other:?})")),
     }
 }
 
@@ -192,7 +217,7 @@ fn build_simulation(
 /// Builds the observer requested by `--json` / `--trace-out` /
 /// `--heartbeat` / `--epoch`; disabled when none of them is present.
 fn build_observer(flags: &HashMap<String, String>) -> Result<Observer, String> {
-    let observing = ["json", "trace-out", "heartbeat"]
+    let observing = ["json", "trace-out", "heartbeat", "exact-tails"]
         .iter()
         .any(|k| flags.contains_key(*k));
     if !observing {
@@ -201,6 +226,15 @@ fn build_observer(flags: &HashMap<String, String>) -> Result<Observer, String> {
     let mut cfg = ObserverConfig::default().with_epoch_cycles(num(flags, "epoch", 100_000u64)?);
     if flags.contains_key("trace-out") {
         cfg = cfg.with_trace(262_144, 1);
+    }
+    if let Some(cap) = flags.get("exact-tails") {
+        let cap: usize = match cap.as_str() {
+            "true" | "" => 4_096,
+            n => n
+                .parse()
+                .map_err(|_| "--exact-tails takes an optional sample capacity".to_owned())?,
+        };
+        cfg = cfg.with_exact_tails(cap);
     }
     if let Some(secs) = flags.get("heartbeat") {
         let secs: f64 = secs
@@ -255,6 +289,22 @@ fn print_obs(obs: &ObsSummary) {
             "{name:9}: n={:<8} p50={:<6} p95={:<6} p99={:<6} max={}",
             s.count, s.p50, s.p95, s.p99, s.max
         );
+    }
+    if !obs.exact_tails.is_empty() {
+        println!("-- exact tails (reservoir) --");
+        for (name, t) in &obs.exact_tails {
+            if t.count == 0 {
+                continue;
+            }
+            println!(
+                "{name:9}: n={:<8} p99={:<6} p99.9={:<6} max={}{}",
+                t.count,
+                t.p99,
+                t.p999,
+                t.max,
+                if t.exact { "  (exact)" } else { "  (sampled)" }
+            );
+        }
     }
     if let Some(w) = &obs.wall {
         let phases = w
@@ -450,6 +500,122 @@ fn cmd_record(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+fn print_campaign(report: &CampaignReport) {
+    println!("== fault campaign: {} on {} ==", report.scheme, report.mix);
+    println!(
+        "injections           : {} attempted, {} landed",
+        report.schedule.len(),
+        report.counts.total()
+    );
+    println!(
+        "  by kind            : {} metadata ({} multi-bit), {} locator, {} predictor, {} dram",
+        report.counts.metadata + report.counts.metadata_multi,
+        report.counts.metadata_multi,
+        report.counts.locator,
+        report.counts.predictor,
+        report.counts.dram
+    );
+    println!(
+        "metadata ECC         : {}",
+        if report.ecc { "armed" } else { "off" }
+    );
+    println!("detected, corrected  : {}", report.detected_corrected);
+    println!("detected, uncorrected: {}", report.detected_uncorrected);
+    println!("silent corruptions   : {}", report.silent_corruptions);
+    if let Some(s) = &report.shadow {
+        println!(
+            "shadow checker       : {} impossible hits over {} checks, max drift {:.4}",
+            s.faulted_violations, s.checks, s.max_drift
+        );
+    }
+    match (report.clean_digest, report.faulted_digest) {
+        (Some(c), Some(f)) if c == f => {
+            println!("contents digest      : {c:#018x} (clean == faulted)");
+        }
+        (Some(c), Some(f)) => {
+            println!("contents digest      : clean {c:#018x} != faulted {f:#018x}");
+        }
+        _ => {}
+    }
+    println!(
+        "hit rate             : {:6.2} % clean, {:6.2} % faulted ({:+.2} pp)",
+        report.clean.scheme.hit_rate() * 100.0,
+        report.faulted.scheme.hit_rate() * 100.0,
+        -report.hit_rate_degradation() * 100.0
+    );
+    println!(
+        "avg access latency   : {:6.1} cycles clean, {:6.1} faulted ({:+.1})",
+        report.clean.avg_latency(),
+        report.faulted.avg_latency(),
+        report.latency_degradation()
+    );
+    if let (Some(c), Some(f)) = (report.clean_antt, report.faulted_antt) {
+        println!("ANTT                 : {c:6.3} clean, {f:6.3} faulted");
+    }
+}
+
+fn cmd_inject(flags: &HashMap<String, String>) -> Result<(), String> {
+    let mix_name = flags.get("mix").ok_or("inject needs --mix")?;
+    let scheme = parse_scheme(flags.get("scheme").map_or("bimodal", String::as_str))?;
+    let (mix, base) = parse_mix(mix_name)?;
+    let system = configured_system(base, flags)?;
+    let rates = FaultRates {
+        metadata: num(flags, "metadata-rate", 0.0)?,
+        multi_bit: num(flags, "multi-bit", 0.2)?,
+        locator: num(flags, "locator-rate", 0.0)?,
+        predictor: num(flags, "predictor-rate", 0.0)?,
+        dram: num(flags, "dram-rate", 0.0)?,
+    };
+    for (name, p) in [
+        ("metadata-rate", rates.metadata),
+        ("multi-bit", rates.multi_bit),
+        ("locator-rate", rates.locator),
+        ("predictor-rate", rates.predictor),
+        ("dram-rate", rates.dram),
+    ] {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(format!("--{name} must be a probability in [0, 1]"));
+        }
+    }
+    let watchdog = if flag_bool(flags, "no-watchdog")? {
+        None
+    } else {
+        Some(WatchdogConfig {
+            stall_cycles: num(flags, "watchdog", WatchdogConfig::default().stall_cycles)?,
+            ..WatchdogConfig::default()
+        })
+    };
+    let campaign = CampaignConfig::new(system.clone(), scheme, mix)
+        .with_accesses(num(flags, "accesses", 30_000)?)
+        .with_seed(num(flags, "seed", system.seed)?)
+        .with_rates(rates)
+        .with_ecc(flag_bool(flags, "ecc")?)
+        .with_shadow_cadence(num(flags, "shadow-every", 256)?)
+        .with_watchdog(watchdog)
+        .with_antt(flag_bool(flags, "antt")?);
+    let mut obs = build_observer(flags)?;
+    let report = campaign.run(&mut obs).map_err(|e| e.to_string())?;
+    print_campaign(&report);
+    let sim_cycles = report
+        .faulted
+        .core_cycles
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(0);
+    print_obs(&obs.summary(sim_cycles));
+    if let Some(path) = flags.get("trace-out") {
+        let ring = obs.trace.as_ref().expect("tracing was enabled");
+        write_json(path, &ring.chrome_trace())?;
+        println!("wrote event trace ({} events) to {path}", ring.len());
+    }
+    if let Some(path) = flags.get("json") {
+        write_json(path, &report.to_json())?;
+        println!("wrote campaign JSON to {path}");
+    }
+    Ok(())
+}
+
 /// Flags each command accepts; anything else is rejected up front.
 fn allowed_flags(command: &str) -> &'static [&'static str] {
     const RUN: &[&str] = &[
@@ -465,6 +631,31 @@ fn allowed_flags(command: &str) -> &'static [&'static str] {
         "trace-out",
         "epoch",
         "heartbeat",
+        "exact-tails",
+    ];
+    const INJECT: &[&str] = &[
+        "mix",
+        "scheme",
+        "accesses",
+        "cache-mb",
+        "seed",
+        "warmup",
+        "mlp",
+        "metadata-rate",
+        "multi-bit",
+        "locator-rate",
+        "predictor-rate",
+        "dram-rate",
+        "ecc",
+        "antt",
+        "shadow-every",
+        "watchdog",
+        "no-watchdog",
+        "json",
+        "trace-out",
+        "epoch",
+        "heartbeat",
+        "exact-tails",
     ];
     const COMPARE: &[&str] = &[
         "mix", "accesses", "cache-mb", "seed", "warmup", "mlp", "prefetch", "json",
@@ -480,6 +671,7 @@ fn allowed_flags(command: &str) -> &'static [&'static str] {
         "antt" => ANTT,
         "sweep" => SWEEP,
         "record" => RECORD,
+        "inject" => INJECT,
         _ => &[],
     }
 }
@@ -507,6 +699,7 @@ fn main() -> ExitCode {
         "antt" => cmd_antt(&flags),
         "sweep" => cmd_sweep(&flags),
         "record" => cmd_record(&flags),
+        "inject" => cmd_inject(&flags),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())

@@ -16,6 +16,8 @@
 //!   energy model and ANTT metrics,
 //! * [`obs`] — the observability layer: latency histograms, epoch time
 //!   series, event tracing, JSON export, wall-clock profiling,
+//! * [`faults`] — seeded fault-injection campaigns, the shadow-model
+//!   invariant checker, and resilience reporting,
 //! * [`prng`] — the dependency-free xoshiro256++ PRNG the workload
 //!   generators draw from.
 //!
@@ -39,6 +41,7 @@
 pub use bimodal_baselines as baselines;
 pub use bimodal_core as cache;
 pub use bimodal_dram as dram;
+pub use bimodal_faults as faults;
 pub use bimodal_obs as obs;
 pub use bimodal_prng as prng;
 pub use bimodal_sim as sim;
