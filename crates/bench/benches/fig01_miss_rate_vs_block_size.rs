@@ -24,9 +24,13 @@ fn main() {
     println!();
 
     let mut per_size: Vec<Vec<f64>> = vec![Vec::new(); sizes.len()];
-    for mix in bench::quad_mixes(bench::mixes_to_run(8)) {
+    let mixes = bench::quad_mixes(bench::mixes_to_run(8));
+    let per_mix = bench::fan(mixes, |mix| {
         let scaled = mix.clone().with_footprint_scale(scale);
         let rates = sweep::miss_rate_vs_block_size(&scaled, cache, &sizes, accesses, 7);
+        (mix, rates)
+    });
+    for (mix, rates) in per_mix {
         print!("{:6}", mix.name());
         for (i, (_, r)) in rates.iter().enumerate() {
             print!(" {:>6.1}%", r * 100.0);

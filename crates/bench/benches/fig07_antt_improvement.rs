@@ -11,13 +11,16 @@ use bimodal_workloads::WorkloadMix;
 fn suite(label: &str, system: &SystemConfig, mixes: &[WorkloadMix], n: u64) -> f64 {
     let mut gains = Vec::new();
     println!("{label}:");
-    for mix in mixes {
+    let rows = bench::fan(mixes.to_vec(), |mix| {
         let ours = Simulation::new(system.clone(), SchemeKind::BiModal)
-            .run_antt(mix, n)
+            .run_antt(&mix, n)
             .expect("valid run");
         let base = Simulation::new(system.clone(), SchemeKind::Alloy)
-            .run_antt(mix, n)
+            .run_antt(&mix, n)
             .expect("valid run");
+        (mix, base, ours)
+    });
+    for (mix, base, ours) in rows {
         let gain = ours.improvement_over(&base);
         println!(
             "  {:4}  alloy ANTT {:5.2}  bimodal ANTT {:5.2}  improvement {:6.1}%",

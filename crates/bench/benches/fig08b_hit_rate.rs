@@ -21,16 +21,11 @@ fn main() {
     );
     let mut fixed_gain = Vec::new();
     let mut bimodal_gain = Vec::new();
-    for mix in bench::quad_mixes(bench::mixes_to_run(8)) {
-        let a = bench::run(&system, SchemeKind::Alloy, &mix, n)
-            .scheme
-            .hit_rate();
-        let f = bench::run(&system, SchemeKind::Fixed512, &mix, n)
-            .scheme
-            .hit_rate();
-        let b = bench::run(&system, SchemeKind::BiModal, &mix, n)
-            .scheme
-            .hit_rate();
+    let kinds = [SchemeKind::Alloy, SchemeKind::Fixed512, SchemeKind::BiModal];
+    let mixes = bench::quad_mixes(bench::mixes_to_run(8));
+    let reports = bench::run_all(&system, &kinds, &mixes, n);
+    for (mix, row) in mixes.iter().zip(&reports) {
+        let [a, f, b] = [0, 1, 2].map(|i| row[i].scheme.hit_rate());
         let fg = (f - a) / a * 100.0;
         let bg = (b - a) / a * 100.0;
         println!(

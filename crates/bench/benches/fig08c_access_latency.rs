@@ -23,10 +23,12 @@ fn main() {
     println!();
 
     let mut sums = vec![Vec::new(); kinds.len()];
-    for mix in bench::quad_mixes(bench::mixes_to_run(8)) {
+    let mixes = bench::quad_mixes(bench::mixes_to_run(8));
+    let reports = bench::run_all(&system, &kinds, &mixes, n);
+    for (mix, row) in mixes.iter().zip(&reports) {
         print!("{:6}", mix.name());
-        for (i, k) in kinds.iter().enumerate() {
-            let lat = bench::run(&system, *k, &mix, n).avg_latency();
+        for (i, report) in row.iter().enumerate() {
+            let lat = report.avg_latency();
             print!(" {lat:>15.1}");
             sums[i].push(lat);
         }

@@ -12,6 +12,13 @@
 //! workload footprints scaled by the same factor. Override the run length
 //! with `BIMODAL_ACCESSES` (per core) and the number of mixes per suite
 //! with `BIMODAL_MIXES`.
+//!
+//! # Parallelism
+//!
+//! Figure targets fan their independent units (one per mix, typically)
+//! across worker threads via [`fan`]. Every unit seeds its own
+//! simulation, so the printed tables are bit-identical to a serial run.
+//! Override the worker count with `BIMODAL_JOBS` (default: all cores).
 
 #![forbid(unsafe_code)]
 
@@ -34,6 +41,47 @@ pub fn mixes_to_run(default: usize) -> usize {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// Worker threads for fanned experiment units (env-overridable with
+/// `BIMODAL_JOBS`; default: every available core).
+#[must_use]
+pub fn jobs() -> usize {
+    std::env::var("BIMODAL_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&j: &usize| j >= 1)
+        .unwrap_or_else(bimodal_exec::available_jobs)
+}
+
+/// Fans independent experiment units across [`jobs`] worker threads and
+/// returns results in input order, so callers print the same table a
+/// serial loop would have produced.
+pub fn fan<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    bimodal_exec::map(jobs(), items, f)
+}
+
+/// Runs every scheme over every mix in parallel (one unit per mix), and
+/// returns reports as `out[mix_index][scheme_index]`.
+///
+/// # Panics
+///
+/// Panics if a simulation rejects its parameters (a bench bug).
+#[must_use]
+pub fn run_all(
+    system: &SystemConfig,
+    kinds: &[SchemeKind],
+    mixes: &[WorkloadMix],
+    n: u64,
+) -> Vec<Vec<RunReport>> {
+    fan(mixes.to_vec(), |mix| {
+        kinds.iter().map(|k| run(system, *k, &mix, n)).collect()
+    })
 }
 
 /// The scaled quad-core system used by the experiments. The long warm-up

@@ -284,6 +284,8 @@ impl BiModalConfig {
 pub struct BiModalCache {
     name: String,
     geometry: CacheGeometry,
+    /// Mask/shift snapshot of `geometry` for the per-access decode path.
+    amap: crate::AddrMap,
     sets: Vec<BiModalSet>,
     way_locator: Option<WayLocator>,
     wl_cycles: Cycle,
@@ -381,6 +383,7 @@ impl BiModalCache {
             pending_faults: Vec::new(),
             rng: SmallRng::seed_from_u64(config.seed),
             stats: SchemeStats::default(),
+            amap: geometry.addr_map(),
             geometry,
             config,
         }
@@ -478,18 +481,15 @@ impl BiModalCache {
     /// (address, bytes), per the block size predictor and the effective
     /// fill granularity.
     fn fetch_plan(&self, addr: u64) -> (u64, u32) {
-        let big_base = self.geometry.big_block_base(addr);
+        let big_base = self.amap.big_block_base(addr);
         let raw = if self.bimodal {
             self.predictor.peek(big_base)
         } else {
             BlockSize::Big
         };
-        let set_idx = self.geometry.set_of(addr);
+        let set_idx = self.amap.set_of(addr);
         match self.effective_fill_size(raw, set_idx) {
-            BlockSize::Small => (
-                self.geometry.small_block_base(addr),
-                self.geometry.small_block,
-            ),
+            BlockSize::Small => (self.amap.small_block_base(addr), self.geometry.small_block),
             BlockSize::Big => (big_base, self.geometry.big_block),
         }
     }
@@ -505,51 +505,63 @@ impl BiModalCache {
     }
 
     fn full_addr(&self, tag: u64, set: u64, sub_block: u8) -> u64 {
-        self.geometry.reconstruct(tag, set)
+        self.amap.reconstruct(tag, set)
             + u64::from(sub_block) * u64::from(self.geometry.small_block)
     }
 
     /// Chooses a victim way among `n` candidates honouring the
     /// random-not-recent policy: ways currently pointed at by the way
-    /// locator are protected unless every candidate is.
-    fn pick_victim(rng: &mut SmallRng, n: u8, protected: &[bool]) -> u8 {
+    /// locator are protected unless every candidate is. Bit `i` of
+    /// `protected` marks way `i` as protected.
+    ///
+    /// The RNG draw sequence (one `usize` draw when any way is free, one
+    /// `u8` draw when none is) matches the historical `Vec<bool>`-based
+    /// implementation exactly, so seeded runs are unaffected.
+    fn pick_victim(rng: &mut SmallRng, n: u8, protected: u64) -> u8 {
         // `protected` is computed before the insert; a Table II state
-        // transition may grow the way count, and ways beyond the computed
-        // slice are new (hence unprotected).
-        let is_protected = |i: u8| protected.get(usize::from(i)).copied().unwrap_or(false);
-        let free: Vec<u8> = (0..n).filter(|&i| !is_protected(i)).collect();
-        if free.is_empty() {
+        // transition may grow the way count, and bits beyond the computed
+        // count are clear (new ways are unprotected).
+        let candidates = if n >= 64 { !0 } else { (1u64 << n) - 1 };
+        let free = candidates & !protected;
+        let n_free = free.count_ones();
+        if n_free == 0 {
             rng.gen_range(0..n)
         } else {
-            free[rng.gen_range(0..free.len())]
+            // The k-th set bit of `free` is the k-th unprotected way in
+            // ascending order — the same element the old free-list indexed.
+            let k = rng.gen_range(0..usize::try_from(n_free).expect("count fits usize"));
+            let mut remaining = free;
+            for _ in 0..k {
+                remaining &= remaining - 1;
+            }
+            u8::try_from(remaining.trailing_zeros()).expect("way index fits u8")
         }
     }
 
-    /// Computes which ways of `set` are protected from replacement.
-    fn protected_ways(&self, set_idx: u64, size: BlockSize) -> Vec<bool> {
+    /// Computes the protected-way bitmask of `set`: bit `i` set means way
+    /// `i` (of `size`) is currently pointed at by the way locator.
+    fn protected_mask(&self, set_idx: u64, size: BlockSize) -> u64 {
+        if self.replacement != ReplacementPolicy::RandomNotRecent {
+            return 0;
+        }
+        let Some(wl) = self.way_locator.as_ref() else {
+            return 0;
+        };
         let set = &self.sets[usize::try_from(set_idx).expect("set fits usize")];
         let n = match size {
             BlockSize::Big => set.state().big,
             BlockSize::Small => set.state().small,
         };
-        let use_locator = self.replacement == ReplacementPolicy::RandomNotRecent;
-        (0..n)
-            .map(|i| {
-                if !use_locator {
-                    return false;
+        let mut mask = 0u64;
+        for i in 0..n {
+            if let Some((tag, sub)) = set.way_tag(WayRef { size, index: i }) {
+                let addr = self.full_addr(tag, set_idx, sub);
+                if wl.peek(addr).is_some() {
+                    mask |= 1u64 << i;
                 }
-                let Some(wl) = self.way_locator.as_ref() else {
-                    return false;
-                };
-                match set.way_tag(WayRef { size, index: i }) {
-                    Some((tag, sub)) => {
-                        let addr = self.full_addr(tag, set_idx, sub);
-                        wl.peek(addr).is_some()
-                    }
-                    None => false,
-                }
-            })
-            .collect()
+            }
+        }
+        mask
     }
 
     /// Handles an eviction: way-locator invalidation, dirty writebacks,
@@ -557,7 +569,7 @@ impl BiModalCache {
     fn retire_victim(&mut self, victim: &Victim, set_idx: u64, at: Cycle, mem: &mut MemorySystem) {
         let subs = self.geometry.sub_blocks();
         let small = u64::from(self.geometry.small_block);
-        let base = self.geometry.reconstruct(victim.tag, set_idx);
+        let base = self.amap.reconstruct(victim.tag, set_idx);
         let addr = base + u64::from(victim.sub_block) * small;
         if let Some(wl) = self.way_locator.as_mut() {
             wl.invalidate(addr, victim.size);
@@ -635,8 +647,8 @@ impl BiModalCache {
         speculative: Option<(bimodal_dram::Completion, u64, u32)>,
         mem: &mut MemorySystem,
     ) -> (Cycle, BlockSize) {
-        let big_base = self.geometry.big_block_base(access.addr);
-        let small_base = self.geometry.small_block_base(access.addr);
+        let big_base = self.amap.big_block_base(access.addr);
+        let small_base = self.amap.small_block_base(access.addr);
 
         let raw_prediction = if self.bimodal {
             self.predictor.predict(big_base)
@@ -672,11 +684,11 @@ impl BiModalCache {
         // Choose the insertion path per Table II, with random-not-recent
         // victims.
         let global_target = self.global.target();
-        let protected = self.protected_ways(set_idx, predicted);
+        let protected = self.protected_mask(set_idx, predicted);
         let outcome = {
             let rng = &mut self.rng;
             let set = &mut self.sets[usize::try_from(set_idx).expect("set fits usize")];
-            let mut pick = |n: u8| Self::pick_victim(rng, n, &protected);
+            let mut pick = |n: u8| Self::pick_victim(rng, n, protected);
             set.insert(predicted, tag, sub, global_target, &mut pick)
         };
 
@@ -693,8 +705,8 @@ impl BiModalCache {
             }
         }
 
-        for victim in outcome.evicted.clone() {
-            self.retire_victim(&victim, set_idx, fetch.done, mem);
+        for victim in &outcome.evicted {
+            self.retire_victim(victim, set_idx, fetch.done, mem);
         }
 
         // Mark the requested line referenced (and dirty on writes).
@@ -957,9 +969,9 @@ impl DramCacheScheme for BiModalCache {
             }
         }
 
-        let set_idx = self.geometry.set_of(access.addr);
-        let tag = self.geometry.tag_of(access.addr);
-        let sub = self.geometry.sub_block_of(access.addr);
+        let set_idx = self.amap.set_of(access.addr);
+        let tag = self.amap.tag_of(access.addr);
+        let sub = self.amap.sub_block_of(access.addr);
         let data_loc = self.layout.set_location(set_idx);
         let op = if access.is_write() {
             Op::Write
@@ -1150,7 +1162,7 @@ impl DramCacheScheme for BiModalCache {
         if access.kind == AccessKind::Prefetch && self.prefetch_bypass {
             // PREF_BYPASS: fetch around the cache without allocating.
             let comp = mem.main.read(
-                self.geometry.small_block_base(access.addr),
+                self.amap.small_block_base(access.addr),
                 self.geometry.small_block,
                 tags_checked,
             );
@@ -1628,14 +1640,31 @@ mod tests {
     #[test]
     fn pick_victim_honours_protection() {
         let mut rng = SmallRng::seed_from_u64(7);
-        // Only way 2 unprotected.
-        let protected = vec![true, true, false, true];
+        // Only way 2 unprotected (bits 0, 1 and 3 set).
+        let protected = 0b1011u64;
         for _ in 0..20 {
-            assert_eq!(BiModalCache::pick_victim(&mut rng, 4, &protected), 2);
+            assert_eq!(BiModalCache::pick_victim(&mut rng, 4, protected), 2);
         }
         // All protected: any way may be chosen.
-        let all = vec![true, true];
-        let v = BiModalCache::pick_victim(&mut rng, 2, &all);
+        let v = BiModalCache::pick_victim(&mut rng, 2, 0b11);
         assert!(v < 2);
+    }
+
+    #[test]
+    fn pick_victim_mask_matches_free_list_semantics() {
+        // The mask-based selector must draw the same victims the old
+        // Vec<bool> free-list code drew: k-th unprotected way in
+        // ascending order, via one usize draw over the free count.
+        for seed in 0..16u64 {
+            for (n, protected) in [(4u8, 0b0101u64), (6, 0b110010), (18, 0b10_1010_1010_1010)] {
+                let mut a = SmallRng::seed_from_u64(seed);
+                let mut b = SmallRng::seed_from_u64(seed);
+                let free: Vec<u8> = (0..n).filter(|&i| protected & (1 << i) == 0).collect();
+                let expect = free[b.gen_range(0..free.len())];
+                assert_eq!(BiModalCache::pick_victim(&mut a, n, protected), expect);
+                // Both paths must leave the RNG in the same state.
+                assert_eq!(a.next_u64(), b.next_u64());
+            }
+        }
     }
 }

@@ -28,7 +28,9 @@ impl FunctionalConfig {
     /// # Panics
     ///
     /// Panics on inconsistent parameters (non-powers of two, associativity
-    /// of zero, block smaller than sub-block, or fewer than one set).
+    /// of zero, block smaller than sub-block, fewer than one set, or a
+    /// set count that is not a power of two — the decode path indexes
+    /// sets with a mask).
     #[must_use]
     pub fn new(cache_bytes: u64, block_bytes: u32, assoc: u32) -> Self {
         let c = FunctionalConfig {
@@ -51,6 +53,10 @@ impl FunctionalConfig {
             "block smaller than sub-block"
         );
         assert!(c.n_sets() > 0, "cache must have at least one set");
+        assert!(
+            c.n_sets().is_power_of_two(),
+            "set count must be a power of two"
+        );
         c
     }
 
@@ -107,6 +113,12 @@ impl MruProfile {
 #[derive(Debug, Clone)]
 pub struct FunctionalCache {
     config: FunctionalConfig,
+    /// Precomputed decode constants (all sizes are powers of two), so the
+    /// per-access path is shifts and masks instead of 64-bit divisions.
+    block_shift: u32,
+    set_mask: u64,
+    sub_shift: u32,
+    block_mask: u64,
     /// Per set: resident tags in MRU order (front = most recent).
     sets: Vec<Vec<u64>>,
     /// Per set: referenced-sub-block masks, parallel to `sets`.
@@ -125,6 +137,10 @@ impl FunctionalCache {
     pub fn new(config: FunctionalConfig) -> Self {
         let n = usize::try_from(config.n_sets()).expect("set count fits usize");
         FunctionalCache {
+            block_shift: config.block_bytes.trailing_zeros(),
+            set_mask: config.n_sets() - 1,
+            sub_shift: config.sub_block_bytes.trailing_zeros(),
+            block_mask: u64::from(config.block_bytes) - 1,
             sets: vec![Vec::new(); n],
             masks: vec![Vec::new(); n],
             hits: 0,
@@ -143,12 +159,10 @@ impl FunctionalCache {
 
     /// Simulates one access; returns whether it hit.
     pub fn access(&mut self, addr: u64) -> bool {
-        let block = addr / u64::from(self.config.block_bytes);
-        let n_sets = self.config.n_sets();
-        let set = usize::try_from(block % n_sets).expect("set fits usize");
-        let tag = block / n_sets;
-        let sub =
-            (addr % u64::from(self.config.block_bytes)) / u64::from(self.config.sub_block_bytes);
+        let block = addr >> self.block_shift;
+        let set = usize::try_from(block & self.set_mask).expect("set fits usize");
+        let tag = block >> self.set_mask.count_ones();
+        let sub = (addr & self.block_mask) >> self.sub_shift;
         let ways = &mut self.sets[set];
         if let Some(pos) = ways.iter().position(|&t| t == tag) {
             self.hits += 1;

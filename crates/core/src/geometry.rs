@@ -213,6 +213,82 @@ impl CacheGeometry {
     pub fn reconstruct(&self, tag: u64, set: u64) -> u64 {
         ((tag << self.set_index_bits()) | set) << self.offset_bits()
     }
+
+    /// Precomputes the address-decomposition constants of this geometry.
+    #[must_use]
+    pub fn addr_map(&self) -> AddrMap {
+        AddrMap {
+            offset_bits: self.offset_bits(),
+            tag_shift: self.offset_bits() + self.set_index_bits(),
+            set_mask: self.n_sets() - 1,
+            big_mask: u64::from(self.big_block) - 1,
+            small_mask: u64::from(self.small_block) - 1,
+            small_shift: self.small_block.trailing_zeros(),
+        }
+    }
+}
+
+/// Precomputed address-decomposition constants of a [`CacheGeometry`].
+///
+/// [`CacheGeometry`] keeps only the four defining sizes and derives
+/// everything else on demand, which puts a `trailing_zeros` and a 64-bit
+/// division on every [`CacheGeometry::set_of`] call. The timed model
+/// decomposes every access several times, so it snapshots the geometry
+/// into this mask/shift form once at construction and decodes addresses
+/// with pure bit operations thereafter. All methods agree bit-for-bit
+/// with their [`CacheGeometry`] counterparts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddrMap {
+    offset_bits: u32,
+    tag_shift: u32,
+    set_mask: u64,
+    big_mask: u64,
+    small_mask: u64,
+    small_shift: u32,
+}
+
+impl AddrMap {
+    /// Set index of a physical address.
+    #[inline]
+    #[must_use]
+    pub fn set_of(&self, addr: u64) -> u64 {
+        (addr >> self.offset_bits) & self.set_mask
+    }
+
+    /// Tag of a physical address (bits above set index and offset).
+    #[inline]
+    #[must_use]
+    pub fn tag_of(&self, addr: u64) -> u64 {
+        addr >> self.tag_shift
+    }
+
+    /// Which small sub-block within the big block an address falls into.
+    #[inline]
+    #[must_use]
+    pub fn sub_block_of(&self, addr: u64) -> u8 {
+        u8::try_from((addr & self.big_mask) >> self.small_shift).expect("sub-block index fits u8")
+    }
+
+    /// Base address of the big-block-aligned region containing `addr`.
+    #[inline]
+    #[must_use]
+    pub fn big_block_base(&self, addr: u64) -> u64 {
+        addr & !self.big_mask
+    }
+
+    /// Base address of the small-block-aligned region containing `addr`.
+    #[inline]
+    #[must_use]
+    pub fn small_block_base(&self, addr: u64) -> u64 {
+        addr & !self.small_mask
+    }
+
+    /// Reconstructs the big-block base address from `(tag, set)`.
+    #[inline]
+    #[must_use]
+    pub fn reconstruct(&self, tag: u64, set: u64) -> u64 {
+        ((tag << (self.tag_shift - self.offset_bits)) | set) << self.offset_bits
+    }
 }
 
 #[cfg(test)]
@@ -299,6 +375,44 @@ mod tests {
         let mut g = geom();
         g.big_block = 4096; // bigger than the set
         assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn addr_map_agrees_with_geometry_everywhere() {
+        for g in [
+            geom(),
+            CacheGeometry {
+                cache_bytes: 64 << 20,
+                set_bytes: 4096,
+                big_block: 512,
+                small_block: 64,
+            },
+            CacheGeometry {
+                cache_bytes: 1 << 20,
+                set_bytes: 2048,
+                big_block: 256,
+                small_block: 32,
+            },
+        ] {
+            let m = g.addr_map();
+            // Cover aligned, unaligned, low and high addresses.
+            for addr in (0..2_000u64)
+                .map(|i| i * 97)
+                .chain([0, 63, 64, 511, 512, u64::MAX >> 8])
+            {
+                assert_eq!(m.set_of(addr), g.set_of(addr), "set_of({addr:#x})");
+                assert_eq!(m.tag_of(addr), g.tag_of(addr), "tag_of({addr:#x})");
+                assert_eq!(
+                    m.sub_block_of(addr),
+                    g.sub_block_of(addr),
+                    "sub_block_of({addr:#x})"
+                );
+                assert_eq!(m.big_block_base(addr), g.big_block_base(addr));
+                assert_eq!(m.small_block_base(addr), g.small_block_base(addr));
+                let (tag, set) = (g.tag_of(addr), g.set_of(addr));
+                assert_eq!(m.reconstruct(tag, set), g.reconstruct(tag, set));
+            }
+        }
     }
 
     #[test]

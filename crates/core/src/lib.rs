@@ -60,7 +60,7 @@ mod way_locator;
 pub use adaptive::{GlobalMixController, MixDecision};
 pub use cache::{BiModalCache, BiModalConfig, ReplacementPolicy};
 pub use functional::{FunctionalCache, FunctionalConfig, MruProfile};
-pub use geometry::{BlockSize, CacheGeometry, SetState};
+pub use geometry::{AddrMap, BlockSize, CacheGeometry, SetState};
 pub use layout::DataLayout;
 pub use metadata::{MetadataLayout, MetadataPlacement};
 pub use miss_predictor::MissPredictor;

@@ -369,6 +369,10 @@ impl Engine {
         let mut wd_last_progress: Cycle = 0;
         let mut wd_stalled_iters: u64 = 0;
 
+        // Reused across iterations so the prefetch path allocates once
+        // per run, not once per access.
+        let mut pf_lines: Vec<u64> = Vec::new();
+
         while cores.iter().any(|c| c.finished_at.is_none()) {
             // Next core to issue: earliest next_issue; ties by index.
             // Finished cores keep issuing (they still contend) until every
@@ -473,7 +477,8 @@ impl Engine {
             // level resource model requires.
             if let Some(pf) = prefetcher.as_mut() {
                 pf.observe(access.addr);
-                for line in pf.candidates(access.addr) {
+                pf.candidates_into(access.addr, &mut pf_lines);
+                for &line in &pf_lines {
                     let po = scheme.access(CacheAccess::prefetch(line, now), mem);
                     if obs.is_enabled() {
                         obs.record_latency(

@@ -108,8 +108,17 @@ impl NextNPrefetcher {
     /// The next-N line addresses worth prefetching after a miss to `addr`
     /// (those not already present in the LLSC filter).
     pub fn candidates(&mut self, addr: u64) -> Vec<u64> {
-        let base = addr & !(LINE - 1);
         let mut out = Vec::new();
+        self.candidates_into(addr, &mut out);
+        out
+    }
+
+    /// [`Prefetcher::candidates`] into a caller-owned buffer, so the
+    /// engine's issue loop reuses one scratch allocation across accesses.
+    /// `out` is cleared first.
+    pub fn candidates_into(&mut self, addr: u64, out: &mut Vec<u64>) {
+        out.clear();
+        let base = addr & !(LINE - 1);
         for k in 1..=u64::from(self.n) {
             let line_addr = base + k * LINE;
             if self.in_llsc(line_addr) {
@@ -119,7 +128,6 @@ impl NextNPrefetcher {
                 self.issued += 1;
             }
         }
-        out
     }
 
     /// Prefetches issued and suppressed (already-present) so far.

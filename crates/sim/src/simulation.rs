@@ -193,19 +193,72 @@ impl Simulation {
         mix: &WorkloadMix,
         accesses_per_core: u64,
     ) -> Result<AnttReport, SimError> {
-        let mp = self.run_mix(mix, accesses_per_core)?;
-        let traces = self.traces_for(mix);
-        let mut standalone = Vec::with_capacity(traces.len());
-        for trace in traces {
-            let mut scheme = self.build_scheme(accesses_per_core, 1);
-            let mut mem = self.system.build_memory();
-            let report = Engine::new(self.engine_options(accesses_per_core)).run(
-                scheme.as_mut(),
-                &mut mem,
-                vec![trace],
-            );
-            standalone.push(report.core_cycles[0]);
+        self.run_antt_jobs(mix, accesses_per_core, 1)
+    }
+
+    /// [`Simulation::run_antt`] fanned over up to `jobs` worker threads.
+    ///
+    /// The multiprogrammed run and each program's standalone baseline are
+    /// independent units (own scheme, own memory, own seeded traces), and
+    /// the report is assembled in canonical (core) order, so the result
+    /// is bit-identical to the serial path for any `jobs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidRun`] if the access count is zero, or
+    /// the first (in canonical order) error any unit produced.
+    pub fn run_antt_jobs(
+        &self,
+        mix: &WorkloadMix,
+        accesses_per_core: u64,
+        jobs: usize,
+    ) -> Result<AnttReport, SimError> {
+        if accesses_per_core == 0 {
+            return Err(SimError::InvalidRun(
+                "accesses_per_core must be positive".into(),
+            ));
         }
+        enum Unit {
+            Multi,
+            Solo(Box<bimodal_workloads::ProgramTrace>),
+        }
+        enum Done {
+            Multi(Box<RunReport>),
+            Solo(u64),
+        }
+        let units: Vec<Unit> = std::iter::once(Unit::Multi)
+            .chain(
+                self.traces_for(mix)
+                    .into_iter()
+                    .map(|t| Unit::Solo(Box::new(t))),
+            )
+            .collect();
+        let results = bimodal_exec::map(jobs, units, |unit| -> Result<Done, SimError> {
+            match unit {
+                Unit::Multi => self
+                    .run_mix(mix, accesses_per_core)
+                    .map(|r| Done::Multi(Box::new(r))),
+                Unit::Solo(trace) => {
+                    let mut scheme = self.build_scheme(accesses_per_core, 1);
+                    let mut mem = self.system.build_memory();
+                    let report = Engine::new(self.engine_options(accesses_per_core)).run(
+                        scheme.as_mut(),
+                        &mut mem,
+                        vec![*trace],
+                    );
+                    Ok(Done::Solo(report.core_cycles[0]))
+                }
+            }
+        });
+        let mut mp = None;
+        let mut standalone = Vec::with_capacity(results.len().saturating_sub(1));
+        for done in results {
+            match done? {
+                Done::Multi(r) => mp = Some(r),
+                Done::Solo(cycles) => standalone.push(cycles),
+            }
+        }
+        let mp = mp.expect("the multiprogrammed unit always runs");
         Ok(AnttReport::from_cycles(
             mix.name(),
             self.kind.name(),
@@ -249,6 +302,16 @@ mod tests {
         assert_eq!(r.slowdowns.len(), 4);
         // Sharing the machine cannot speed programs up (beyond noise).
         assert!(r.antt() > 0.8, "got {}", r.antt());
+    }
+
+    #[test]
+    fn parallel_antt_is_bit_identical_to_serial() {
+        let mix = WorkloadMix::quad("Q2").expect("known");
+        let sim = Simulation::new(quick_system(), SchemeKind::BiModal);
+        let serial = sim.run_antt(&mix, 300).expect("runs");
+        let parallel = sim.run_antt_jobs(&mix, 300, 4).expect("runs");
+        assert_eq!(serial.slowdowns, parallel.slowdowns);
+        assert_eq!(serial.antt().to_bits(), parallel.antt().to_bits());
     }
 
     #[test]

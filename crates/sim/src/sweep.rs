@@ -7,26 +7,37 @@
 //! faster than the timed model, exactly as the paper used a trace-driven
 //! cache simulator for its design-space exploration.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use bimodal_core::{FunctionalCache, FunctionalConfig, MruProfile};
 use bimodal_workloads::{Access, ProgramTrace, WorkloadMix};
 
 /// Interleaves the per-core traces of a mix by (gap-driven) virtual time.
+///
+/// Core selection is a binary heap keyed on `(clock, core)`, so each
+/// access costs O(log cores) instead of the previous O(cores) min-scan.
+/// The `(clock, index)` key reproduces the old scan's tie-break exactly
+/// (equal clocks resolve to the lowest core index), so merged streams
+/// are bit-identical to the linear-scan implementation.
 #[derive(Debug)]
 pub struct MergedTrace {
-    cores: Vec<(ProgramTrace, u64)>,
+    cores: Vec<ProgramTrace>,
+    ready: BinaryHeap<Reverse<(u64, usize)>>,
 }
 
 impl MergedTrace {
     /// Builds the merged stream of `mix` with the given seed.
     #[must_use]
     pub fn new(mix: &WorkloadMix, seed: u64) -> Self {
-        let cores = mix
+        let cores: Vec<ProgramTrace> = mix
             .programs()
             .iter()
             .enumerate()
-            .map(|(core, p)| (p.trace(seed, u32::try_from(core).expect("few cores")), 0u64))
+            .map(|(core, p)| p.trace(seed, u32::try_from(core).expect("few cores")))
             .collect();
-        MergedTrace { cores }
+        let ready = (0..cores.len()).map(|i| Reverse((0u64, i))).collect();
+        MergedTrace { cores, ready }
     }
 }
 
@@ -34,15 +45,11 @@ impl Iterator for MergedTrace {
     type Item = Access;
 
     fn next(&mut self) -> Option<Access> {
-        let idx = self
-            .cores
-            .iter()
-            .enumerate()
-            .min_by_key(|(i, (_, clock))| (*clock, *i))
-            .map(|(i, _)| i)?;
-        let (trace, clock) = &mut self.cores[idx];
-        let access = trace.next()?;
-        *clock += access.gap + 1;
+        let Reverse((clock, idx)) = self.ready.pop()?;
+        // Program traces are endless; if one ever dries up, stop the
+        // merged stream like the scan-based implementation did.
+        let access = self.cores[idx].next()?;
+        self.ready.push(Reverse((clock + access.gap + 1, idx)));
         Some(access)
     }
 }
@@ -59,18 +66,32 @@ pub fn miss_rate_vs_block_size(
     accesses: u64,
     seed: u64,
 ) -> Vec<(u32, f64)> {
-    block_sizes
-        .iter()
-        .map(|&bs| {
-            let mut cache = FunctionalCache::new(FunctionalConfig::new(cache_bytes, bs, 4));
-            for a in MergedTrace::new(mix, seed)
-                .take(usize::try_from(accesses).expect("access count fits usize"))
-            {
-                cache.access(a.addr);
-            }
-            (bs, cache.miss_rate())
-        })
-        .collect()
+    miss_rate_vs_block_size_jobs(mix, cache_bytes, block_sizes, accesses, seed, 1)
+}
+
+/// [`miss_rate_vs_block_size`] fanned over up to `jobs` worker threads.
+///
+/// Each block size is an independent unit with its own freshly seeded
+/// [`MergedTrace`], and results come back in block-size order, so the
+/// output is bit-identical to the serial sweep for any `jobs`.
+#[must_use]
+pub fn miss_rate_vs_block_size_jobs(
+    mix: &WorkloadMix,
+    cache_bytes: u64,
+    block_sizes: &[u32],
+    accesses: u64,
+    seed: u64,
+    jobs: usize,
+) -> Vec<(u32, f64)> {
+    bimodal_exec::map(jobs, block_sizes.to_vec(), |bs| {
+        let mut cache = FunctionalCache::new(FunctionalConfig::new(cache_bytes, bs, 4));
+        for a in MergedTrace::new(mix, seed)
+            .take(usize::try_from(accesses).expect("access count fits usize"))
+        {
+            cache.access(a.addr);
+        }
+        (bs, cache.miss_rate())
+    })
 }
 
 /// Distribution of 64 B sub-block utilization within 512 B blocks
@@ -123,6 +144,56 @@ mod tests {
         WorkloadMix::quad("Q1")
             .expect("known")
             .with_footprint_scale(0.02)
+    }
+
+    /// The pre-heap implementation: O(cores) min-scan per access, with
+    /// the (clock, index) tie-break. Kept as the oracle for bit-identity.
+    struct ScanMerged {
+        cores: Vec<(ProgramTrace, u64)>,
+    }
+
+    impl Iterator for ScanMerged {
+        type Item = Access;
+
+        fn next(&mut self) -> Option<Access> {
+            let idx = self
+                .cores
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, (_, clock))| (*clock, *i))
+                .map(|(i, _)| i)?;
+            let (trace, clock) = &mut self.cores[idx];
+            let access = trace.next()?;
+            *clock += access.gap + 1;
+            Some(access)
+        }
+    }
+
+    #[test]
+    fn heap_merge_is_bit_identical_to_min_scan() {
+        for seed in [1, 7, 42] {
+            let m = mix();
+            let scan = ScanMerged {
+                cores: m
+                    .programs()
+                    .iter()
+                    .enumerate()
+                    .map(|(core, p)| (p.trace(seed, u32::try_from(core).expect("few")), 0u64))
+                    .collect(),
+            };
+            let heap = MergedTrace::new(&m, seed);
+            for (i, (a, b)) in heap.zip(scan).take(20_000).enumerate() {
+                assert_eq!(a, b, "seed {seed} diverged at access {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial() {
+        let sizes = [64u32, 128, 512, 2048, 4096];
+        let serial = miss_rate_vs_block_size(&mix(), 4 << 20, &sizes, 20_000, 3);
+        let parallel = miss_rate_vs_block_size_jobs(&mix(), 4 << 20, &sizes, 20_000, 3, 4);
+        assert_eq!(serial, parallel);
     }
 
     #[test]

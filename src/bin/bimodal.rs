@@ -29,23 +29,32 @@ fn usage() -> &'static str {
      \x20 run     --mix <M> --scheme <S> [--accesses N] [--cache-mb C] [--seed K]\n\
      \x20         [--warmup N] [--mlp N] [--prefetch N[:bypass]]\n\
      \x20         [--json FILE] [--trace-out FILE] [--epoch CYCLES] [--heartbeat SECS]\n\
-     \x20 compare --mix <M> [--accesses N] [--cache-mb C] [--seed K]\n\
+     \x20 compare --mix <M> [--accesses N] [--cache-mb C] [--seed K] [--jobs N]\n\
      \x20         [--warmup N] [--mlp N] [--prefetch N[:bypass]] [--json FILE]\n\
      \x20 antt    --mix <M> --scheme <S> [--accesses N] [--cache-mb C] [--seed K]\n\
-     \x20         [--warmup N] [--mlp N] [--prefetch N[:bypass]] [--json FILE]\n\
-     \x20 sweep   --mix <M> [--accesses N] [--cache-mb C] [--seed K] [--json FILE]\n\
+     \x20         [--warmup N] [--mlp N] [--prefetch N[:bypass]] [--jobs N] [--json FILE]\n\
+     \x20 sweep   --mix <M> [--accesses N] [--cache-mb C] [--seed K] [--jobs N]\n\
+     \x20         [--json FILE]\n\
      \x20 record  --program <P> --out <FILE> [--n N] [--seed K]\n\
-     \x20 inject  --mix <M> [--scheme <S>] [--accesses N] [--seed K]\n\
+     \x20 inject  --mix <M> [--scheme <S>] [--accesses N] [--seed K] [--seeds N]\n\
      \x20         [--metadata-rate P] [--multi-bit P] [--locator-rate P]\n\
      \x20         [--predictor-rate P] [--dram-rate P] [--ecc] [--antt]\n\
      \x20         [--shadow-every N] [--watchdog CYCLES | --no-watchdog]\n\
-     \x20         [--json FILE] [--trace-out FILE]\n\
+     \x20         [--jobs N] [--json FILE] [--trace-out FILE]\n\
+     \x20 bench   [--quick] [--jobs N] [--min-speedup X] [--out FILE]\n\
+     \n\
+     parallelism:\n\
+     \x20 --jobs N          worker threads for fanned runs (default: all cores;\n\
+     \x20                   results are bit-identical for any N)\n\
+     \x20 --seeds N         inject: fan the campaign over N consecutive seeds\n\
      \n\
      observability:\n\
      \x20 --json FILE       write the full machine-readable report (counters,\n\
      \x20                   latency percentiles, epoch time series, wall clock)\n\
      \x20 --trace-out FILE  write a sampled event trace in Chrome trace-event\n\
      \x20                   format (load in chrome://tracing or Perfetto)\n\
+     \x20 --sample-every N  record every N-th access in the event trace\n\
+     \x20                   (default 1; raise for long traced runs)\n\
      \x20 --epoch CYCLES    epoch length for the time series (default 100000)\n\
      \x20 --exact-tails[=N] reservoir-sample latencies for exact tail\n\
      \x20                   percentiles (default capacity 4096)\n\
@@ -58,7 +67,7 @@ fn usage() -> &'static str {
 
 /// Flags that stand alone (`--ecc`); an explicit value still works via
 /// `--flag=value`.
-const BARE_FLAGS: &[&str] = &["ecc", "antt", "no-watchdog", "exact-tails"];
+const BARE_FLAGS: &[&str] = &["ecc", "antt", "no-watchdog", "exact-tails", "quick"];
 
 /// Parses `--flag value` / `--flag=value` pairs, rejecting flags not in
 /// `allowed`, duplicates, and flags without a value. Flags listed in
@@ -202,6 +211,18 @@ fn parse_prefetch(flags: &HashMap<String, String>) -> Result<Option<(u32, Prefet
     Ok(Some((n, mode)))
 }
 
+/// `--jobs N` (worker threads for fanned runs); absent or `auto` means
+/// the host's available parallelism.
+fn parse_jobs(flags: &HashMap<String, String>) -> Result<usize, String> {
+    match flags.get("jobs").map(String::as_str) {
+        None | Some("auto") => Ok(bimodal::exec::available_jobs()),
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err("--jobs must be a positive number or 'auto'".to_owned()),
+        },
+    }
+}
+
 fn build_simulation(
     system: SystemConfig,
     kind: SchemeKind,
@@ -217,15 +238,27 @@ fn build_simulation(
 /// Builds the observer requested by `--json` / `--trace-out` /
 /// `--heartbeat` / `--epoch`; disabled when none of them is present.
 fn build_observer(flags: &HashMap<String, String>) -> Result<Observer, String> {
-    let observing = ["json", "trace-out", "heartbeat", "exact-tails"]
-        .iter()
-        .any(|k| flags.contains_key(*k));
+    let observing = [
+        "json",
+        "trace-out",
+        "heartbeat",
+        "exact-tails",
+        "sample-every",
+    ]
+    .iter()
+    .any(|k| flags.contains_key(*k));
     if !observing {
         return Ok(Observer::disabled());
     }
     let mut cfg = ObserverConfig::default().with_epoch_cycles(num(flags, "epoch", 100_000u64)?);
     if flags.contains_key("trace-out") {
-        cfg = cfg.with_trace(262_144, 1);
+        let sample_every: u32 = num(flags, "sample-every", 1)?;
+        if sample_every == 0 {
+            return Err("--sample-every must be at least 1".to_owned());
+        }
+        cfg = cfg.with_trace(262_144, sample_every);
+    } else if flags.contains_key("sample-every") {
+        return Err("--sample-every only applies with --trace-out".to_owned());
     }
     if let Some(cap) = flags.get("exact-tails") {
         let cap: usize = match cap.as_str() {
@@ -378,15 +411,24 @@ fn cmd_compare(flags: &HashMap<String, String>) -> Result<(), String> {
     let (mix, base) = parse_mix(mix_name)?;
     let system = configured_system(base, flags)?;
     let n = num(flags, "accesses", 30_000)?;
+    let jobs = parse_jobs(flags)?;
+    // Each scheme is an independent unit (own seeded scheme + memory);
+    // results come back in canonical scheme order, so the table and the
+    // JSON are bit-identical for any --jobs value.
+    let sims = SchemeKind::all()
+        .into_iter()
+        .map(|kind| build_simulation(system.clone(), kind, flags).map(|s| (kind, s)))
+        .collect::<Result<Vec<_>, _>>()?;
+    let runs = bimodal::exec::map(jobs, sims, |(kind, sim)| {
+        (kind, sim.run_mix(&mix, n).map_err(|e| e.to_string()))
+    });
     println!(
         "{:18} {:>8} {:>10} {:>12} {:>12} {:>10}",
         "scheme", "hit %", "locator %", "avg lat (cy)", "offchip MB", "wasted %"
     );
     let mut reports = Vec::new();
-    for kind in SchemeKind::all() {
-        let r = build_simulation(system.clone(), kind, flags)?
-            .run_mix(&mix, n)
-            .map_err(|e| e.to_string())?;
+    for (kind, run) in runs {
+        let r = run?;
         println!(
             "{:18} {:>8.2} {:>10.2} {:>12.1} {:>12.2} {:>10.2}",
             kind.name(),
@@ -416,11 +458,12 @@ fn cmd_antt(flags: &HashMap<String, String>) -> Result<(), String> {
     let (mix, base) = parse_mix(mix_name)?;
     let system = configured_system(base, flags)?;
     let n = num(flags, "accesses", 20_000)?;
+    let jobs = parse_jobs(flags)?;
     let ours = build_simulation(system.clone(), scheme, flags)?
-        .run_antt(&mix, n)
+        .run_antt_jobs(&mix, n, jobs)
         .map_err(|e| e.to_string())?;
     let baseline = build_simulation(system, SchemeKind::Alloy, flags)?
-        .run_antt(&mix, n)
+        .run_antt_jobs(&mix, n, jobs)
         .map_err(|e| e.to_string())?;
     println!(
         "{} ANTT on {}: {:.3}",
@@ -458,8 +501,14 @@ fn cmd_sweep(flags: &HashMap<String, String>) -> Result<(), String> {
         system.cache_mb
     );
     let sizes = [64u32, 128, 256, 512, 1024, 2048, 4096];
-    let points =
-        sweep::miss_rate_vs_block_size(&scaled, system.cache_bytes(), &sizes, n, system.seed);
+    let points = sweep::miss_rate_vs_block_size_jobs(
+        &scaled,
+        system.cache_bytes(),
+        &sizes,
+        n,
+        system.seed,
+        parse_jobs(flags)?,
+    );
     for &(bs, rate) in &points {
         println!("  {bs:>5} B : {:5.1} % miss", rate * 100.0);
     }
@@ -585,33 +634,163 @@ fn cmd_inject(flags: &HashMap<String, String>) -> Result<(), String> {
             ..WatchdogConfig::default()
         })
     };
+    let seeds: u64 = num(flags, "seeds", 1)?;
+    if seeds == 0 {
+        return Err("--seeds must be at least 1".to_owned());
+    }
+    let base_seed = num(flags, "seed", system.seed)?;
+    let mix_name = mix.name().to_owned();
     let campaign = CampaignConfig::new(system.clone(), scheme, mix)
         .with_accesses(num(flags, "accesses", 30_000)?)
-        .with_seed(num(flags, "seed", system.seed)?)
+        .with_seed(base_seed)
         .with_rates(rates)
         .with_ecc(flag_bool(flags, "ecc")?)
         .with_shadow_cadence(num(flags, "shadow-every", 256)?)
         .with_watchdog(watchdog)
         .with_antt(flag_bool(flags, "antt")?);
-    let mut obs = build_observer(flags)?;
-    let report = campaign.run(&mut obs).map_err(|e| e.to_string())?;
-    print_campaign(&report);
-    let sim_cycles = report
-        .faulted
-        .core_cycles
-        .iter()
-        .copied()
-        .max()
-        .unwrap_or(0);
-    print_obs(&obs.summary(sim_cycles));
-    if let Some(path) = flags.get("trace-out") {
-        let ring = obs.trace.as_ref().expect("tracing was enabled");
-        write_json(path, &ring.chrome_trace())?;
-        println!("wrote event trace ({} events) to {path}", ring.len());
+
+    if seeds == 1 {
+        let mut obs = build_observer(flags)?;
+        let report = campaign.run(&mut obs).map_err(|e| e.to_string())?;
+        print_campaign(&report);
+        let sim_cycles = report
+            .faulted
+            .core_cycles
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0);
+        print_obs(&obs.summary(sim_cycles));
+        if let Some(path) = flags.get("trace-out") {
+            let ring = obs.trace.as_ref().expect("tracing was enabled");
+            write_json(path, &ring.chrome_trace())?;
+            println!("wrote event trace ({} events) to {path}", ring.len());
+        }
+        if let Some(path) = flags.get("json") {
+            write_json(path, &report.to_json())?;
+            println!("wrote campaign JSON to {path}");
+        }
+        return Ok(());
     }
+
+    // Multi-seed fan-out: each campaign is an independent unit with its
+    // own injector seed and a disabled observer, reduced in seed order.
+    for heavy in [
+        "trace-out",
+        "heartbeat",
+        "exact-tails",
+        "epoch",
+        "sample-every",
+    ] {
+        if flags.contains_key(heavy) {
+            return Err(format!("--{heavy} is not available with --seeds > 1"));
+        }
+    }
+    let jobs = parse_jobs(flags)?;
+    let runs = bimodal::exec::map(jobs, (0..seeds).collect::<Vec<u64>>(), |k| {
+        let mut obs = Observer::disabled();
+        campaign
+            .clone()
+            .with_seed(base_seed + k)
+            .run(&mut obs)
+            .map(|r| (base_seed + k, r))
+            .map_err(|e| e.to_string())
+    });
+    println!(
+        "{:>10} {:>8} {:>8} {:>12} {:>12} {:>10}",
+        "seed", "landed", "silent", "hit % clean", "hit % fault", "lat +cy"
+    );
+    let mut campaigns = Vec::new();
+    let mut total_silent = 0u64;
+    for run in runs {
+        let (seed, r) = run?;
+        println!(
+            "{seed:>10} {:>8} {:>8} {:>12.2} {:>12.2} {:>10.1}",
+            r.counts.total(),
+            r.silent_corruptions,
+            r.clean.scheme.hit_rate() * 100.0,
+            r.faulted.scheme.hit_rate() * 100.0,
+            r.latency_degradation(),
+        );
+        total_silent += r.silent_corruptions;
+        campaigns.push(r.to_json());
+    }
+    println!("total silent corruptions across {seeds} seeds: {total_silent}");
     if let Some(path) = flags.get("json") {
-        write_json(path, &report.to_json())?;
+        let mut j = Json::object();
+        j.set("command", "inject")
+            .set("mix", mix_name.as_str())
+            .set("base_seed", base_seed)
+            .set("seeds", seeds)
+            .set("campaigns", Json::Arr(campaigns));
+        write_json(path, &j)?;
         println!("wrote campaign JSON to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), String> {
+    let opts = bimodal::selfbench::BenchOptions {
+        quick: flag_bool(flags, "quick")?,
+        jobs: parse_jobs(flags)?,
+    };
+    // Parse the threshold before the (long) measurement, so a typo
+    // fails fast instead of after the whole benchmark has run.
+    let min_speedup = flags
+        .get("min-speedup")
+        .map(|m| {
+            m.parse::<f64>()
+                .map_err(|_| "--min-speedup must be a number".to_owned())
+        })
+        .transpose()?;
+    eprintln!(
+        "benchmarking (quick: {}, jobs: {}, host parallelism: {})...",
+        opts.quick,
+        opts.jobs,
+        bimodal::exec::available_jobs()
+    );
+    let report = bimodal::selfbench::run(&opts);
+    println!(
+        "{:10} {:>6} {:>12} {:>14} {:>9}",
+        "workload", "units", "serial (s)", "parallel (s)", "speedup"
+    );
+    for w in &report.workloads {
+        println!(
+            "{:10} {:>6} {:>12.3} {:>14.3} {:>8.2}x",
+            w.name,
+            w.units,
+            w.serial_secs,
+            w.parallel_secs,
+            w.speedup()
+        );
+    }
+    println!();
+    println!(
+        "{:18} {:>12} {:>10} {:>14}",
+        "scheme", "accesses", "secs", "accesses/sec"
+    );
+    for s in &report.schemes {
+        println!(
+            "{:18} {:>12} {:>10.3} {:>14.0}",
+            s.scheme, s.accesses, s.secs, s.accesses_per_sec
+        );
+    }
+    let path = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| format!("BENCH_{}.json", report.date));
+    write_json(&path, &report.to_json())?;
+    println!("wrote benchmark JSON to {path}");
+    if let Some(min) = min_speedup {
+        let got = report.compare_speedup();
+        if got < min {
+            return Err(format!(
+                "compare speedup {got:.2}x is below the required {min:.2}x \
+                 (host parallelism: {}, jobs: {})",
+                report.host_parallelism, report.jobs
+            ));
+        }
+        println!("compare speedup {got:.2}x meets the required {min:.2}x");
     }
     Ok(())
 }
@@ -629,6 +808,7 @@ fn allowed_flags(command: &str) -> &'static [&'static str] {
         "prefetch",
         "json",
         "trace-out",
+        "sample-every",
         "epoch",
         "heartbeat",
         "exact-tails",
@@ -639,6 +819,8 @@ fn allowed_flags(command: &str) -> &'static [&'static str] {
         "accesses",
         "cache-mb",
         "seed",
+        "seeds",
+        "jobs",
         "warmup",
         "mlp",
         "metadata-rate",
@@ -653,18 +835,21 @@ fn allowed_flags(command: &str) -> &'static [&'static str] {
         "no-watchdog",
         "json",
         "trace-out",
+        "sample-every",
         "epoch",
         "heartbeat",
         "exact-tails",
     ];
     const COMPARE: &[&str] = &[
-        "mix", "accesses", "cache-mb", "seed", "warmup", "mlp", "prefetch", "json",
+        "mix", "accesses", "cache-mb", "seed", "warmup", "mlp", "prefetch", "jobs", "json",
     ];
     const ANTT: &[&str] = &[
-        "mix", "scheme", "accesses", "cache-mb", "seed", "warmup", "mlp", "prefetch", "json",
+        "mix", "scheme", "accesses", "cache-mb", "seed", "warmup", "mlp", "prefetch", "jobs",
+        "json",
     ];
-    const SWEEP: &[&str] = &["mix", "accesses", "cache-mb", "seed", "json"];
+    const SWEEP: &[&str] = &["mix", "accesses", "cache-mb", "seed", "jobs", "json"];
     const RECORD: &[&str] = &["program", "out", "n", "seed"];
+    const BENCH: &[&str] = &["quick", "jobs", "min-speedup", "out"];
     match command {
         "run" => RUN,
         "compare" => COMPARE,
@@ -672,6 +857,7 @@ fn allowed_flags(command: &str) -> &'static [&'static str] {
         "sweep" => SWEEP,
         "record" => RECORD,
         "inject" => INJECT,
+        "bench" => BENCH,
         _ => &[],
     }
 }
@@ -700,6 +886,7 @@ fn main() -> ExitCode {
         "sweep" => cmd_sweep(&flags),
         "record" => cmd_record(&flags),
         "inject" => cmd_inject(&flags),
+        "bench" => cmd_bench(&flags),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())

@@ -18,6 +18,8 @@
 //!   series, event tracing, JSON export, wall-clock profiling,
 //! * [`faults`] — seeded fault-injection campaigns, the shadow-model
 //!   invariant checker, and resilience reporting,
+//! * [`exec`] — the dependency-free bounded worker pool that fans
+//!   independent runs across threads with bit-identical results,
 //! * [`prng`] — the dependency-free xoshiro256++ PRNG the workload
 //!   generators draw from.
 //!
@@ -41,11 +43,14 @@
 pub use bimodal_baselines as baselines;
 pub use bimodal_core as cache;
 pub use bimodal_dram as dram;
+pub use bimodal_exec as exec;
 pub use bimodal_faults as faults;
 pub use bimodal_obs as obs;
 pub use bimodal_prng as prng;
 pub use bimodal_sim as sim;
 pub use bimodal_workloads as workloads;
+
+pub mod selfbench;
 
 /// Convenient glob-import surface for examples and quick experiments.
 pub mod prelude {

@@ -1,0 +1,317 @@
+//! Self-benchmarking harness behind `bimodal bench`.
+//!
+//! Times representative serial-vs-parallel workloads (the multi-scheme
+//! compare, the functional block-size sweep, and the ANTT standalone
+//! fan-out) and reports per-scheme simulation throughput, so every PR
+//! has a perf trajectory to regress against. The numbers go into
+//! `BENCH_<date>.json` (see [`BenchReport::to_json`] for the schema).
+//!
+//! Wall-clock numbers are honest about the host: `host_parallelism`
+//! records how many cores the measurement actually had, so a ~1.0×
+//! "speedup" on a single-core box reads as the hardware limit it is,
+//! not a regression.
+
+use std::time::Instant;
+
+use bimodal_obs::Json;
+use bimodal_sim::{sweep, SchemeKind, Simulation, SystemConfig};
+use bimodal_workloads::WorkloadMix;
+
+/// What `bimodal bench` should run.
+#[derive(Debug, Clone)]
+pub struct BenchOptions {
+    /// Shrink every workload (CI smoke mode).
+    pub quick: bool,
+    /// Worker threads for the parallel passes.
+    pub jobs: usize,
+}
+
+/// One serial-vs-parallel timing of a fanned command.
+#[derive(Debug, Clone)]
+pub struct WorkloadTiming {
+    /// Command-like name (`compare`, `sweep`, `antt`).
+    pub name: &'static str,
+    /// Independent units the command fans out.
+    pub units: usize,
+    /// Wall-clock seconds with `--jobs 1`.
+    pub serial_secs: f64,
+    /// Wall-clock seconds with `--jobs N`.
+    pub parallel_secs: f64,
+}
+
+impl WorkloadTiming {
+    /// Serial time over parallel time (1.0 = no gain).
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        if self.parallel_secs > 0.0 {
+            self.serial_secs / self.parallel_secs
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Simulation throughput of one scheme on the compare workload.
+#[derive(Debug, Clone)]
+pub struct SchemeRate {
+    /// Scheme name as reported by the scheme itself.
+    pub scheme: String,
+    /// DRAM-cache accesses the timed run performed.
+    pub accesses: u64,
+    /// Wall-clock seconds of that run.
+    pub secs: f64,
+    /// `accesses / secs`.
+    pub accesses_per_sec: f64,
+}
+
+/// Everything `bimodal bench` measured.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// UTC date the benchmark ran (`YYYY-MM-DD`).
+    pub date: String,
+    /// Cores the host actually offered the measurement.
+    pub host_parallelism: usize,
+    /// Worker threads the parallel passes used.
+    pub jobs: usize,
+    /// Whether the quick (CI smoke) sizes were used.
+    pub quick: bool,
+    /// Serial-vs-parallel timings per command.
+    pub workloads: Vec<WorkloadTiming>,
+    /// Per-scheme simulation throughput on the compare workload.
+    pub schemes: Vec<SchemeRate>,
+}
+
+impl BenchReport {
+    /// Speedup of the compare workload (the CI assertion target).
+    #[must_use]
+    pub fn compare_speedup(&self) -> f64 {
+        self.workloads
+            .iter()
+            .find(|w| w.name == "compare")
+            .map_or(1.0, WorkloadTiming::speedup)
+    }
+
+    /// The `BENCH_*.json` document:
+    ///
+    /// ```json
+    /// {
+    ///   "schema": "bimodal-bench-v1",
+    ///   "date": "2026-08-05",
+    ///   "host_parallelism": 4, "jobs": 4, "quick": false,
+    ///   "workloads": [{"name": "compare", "units": 9,
+    ///                  "serial_secs": 1.2, "parallel_secs": 0.4,
+    ///                  "speedup": 3.0}, ...],
+    ///   "schemes": [{"scheme": "BiModal", "accesses": 123456,
+    ///                "secs": 0.21, "accesses_per_sec": 587885.7}, ...]
+    /// }
+    /// ```
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut j = Json::object();
+        j.set("schema", "bimodal-bench-v1")
+            .set("date", self.date.as_str())
+            .set("host_parallelism", self.host_parallelism as u64)
+            .set("jobs", self.jobs as u64)
+            .set("quick", self.quick)
+            .set(
+                "workloads",
+                Json::Arr(
+                    self.workloads
+                        .iter()
+                        .map(|w| {
+                            let mut o = Json::object();
+                            o.set("name", w.name)
+                                .set("units", w.units as u64)
+                                .set("serial_secs", w.serial_secs)
+                                .set("parallel_secs", w.parallel_secs)
+                                .set("speedup", w.speedup());
+                            o
+                        })
+                        .collect(),
+                ),
+            )
+            .set(
+                "schemes",
+                Json::Arr(
+                    self.schemes
+                        .iter()
+                        .map(|s| {
+                            let mut o = Json::object();
+                            o.set("scheme", s.scheme.as_str())
+                                .set("accesses", s.accesses)
+                                .set("secs", s.secs)
+                                .set("accesses_per_sec", s.accesses_per_sec);
+                            o
+                        })
+                        .collect(),
+                ),
+            );
+        j
+    }
+}
+
+/// The standard Q-mix compare setup: every scheme on Q3, the same system
+/// the `compare` command defaults to.
+fn compare_setup() -> (WorkloadMix, SystemConfig) {
+    let mix = WorkloadMix::quad("Q3").expect("Q3 is a known mix");
+    (mix, SystemConfig::quad_core().with_cache_mb(8))
+}
+
+/// Runs the benchmark.
+///
+/// # Panics
+///
+/// Panics if a simulation rejects its parameters, which cannot happen
+/// with the built-in workload sizes.
+#[must_use]
+pub fn run(opts: &BenchOptions) -> BenchReport {
+    let jobs = opts.jobs.max(1);
+    let mut workloads = Vec::new();
+
+    // -------- compare: every scheme on the standard Q-mix, timed run.
+    let accesses = if opts.quick { 3_000 } else { 20_000 };
+    let (mix, system) = compare_setup();
+    let run_compare = |jobs: usize| -> Vec<(String, u64, f64)> {
+        bimodal_exec::map(jobs, SchemeKind::all(), |kind| {
+            let t = Instant::now();
+            let r = Simulation::new(system.clone(), kind)
+                .run_mix(&mix, accesses)
+                .expect("bench parameters are valid");
+            let accesses = r.dram_cache_accesses();
+            (r.scheme_name, accesses, t.elapsed().as_secs_f64())
+        })
+    };
+    let t = Instant::now();
+    let serial_runs = run_compare(1);
+    let serial_secs = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let parallel_runs = run_compare(jobs);
+    let parallel_secs = t.elapsed().as_secs_f64();
+    workloads.push(WorkloadTiming {
+        name: "compare",
+        units: parallel_runs.len(),
+        serial_secs,
+        parallel_secs,
+    });
+    let schemes = serial_runs
+        .into_iter()
+        .map(|(scheme, accesses, secs)| SchemeRate {
+            scheme,
+            accesses,
+            accesses_per_sec: if secs > 0.0 {
+                accesses as f64 / secs
+            } else {
+                0.0
+            },
+            secs,
+        })
+        .collect();
+
+    // -------- sweep: functional miss rate across block sizes.
+    let sweep_accesses = if opts.quick { 40_000 } else { 300_000 };
+    let sizes = [64u32, 128, 256, 512, 1024, 2048, 4096];
+    let scaled = mix.clone().with_footprint_scale(system.footprint_scale);
+    let run_sweep = |jobs: usize| -> f64 {
+        let t = Instant::now();
+        let points = sweep::miss_rate_vs_block_size_jobs(
+            &scaled,
+            system.cache_bytes(),
+            &sizes,
+            sweep_accesses,
+            system.seed,
+            jobs,
+        );
+        assert_eq!(points.len(), sizes.len());
+        t.elapsed().as_secs_f64()
+    };
+    let serial_secs = run_sweep(1);
+    let parallel_secs = run_sweep(jobs);
+    workloads.push(WorkloadTiming {
+        name: "sweep",
+        units: sizes.len(),
+        serial_secs,
+        parallel_secs,
+    });
+
+    // -------- antt: multiprogrammed run plus per-program standalones.
+    let antt_accesses = if opts.quick { 2_000 } else { 10_000 };
+    let sim = Simulation::new(system.clone(), SchemeKind::BiModal);
+    let run_antt = |jobs: usize| -> f64 {
+        let t = Instant::now();
+        let r = sim
+            .run_antt_jobs(&mix, antt_accesses, jobs)
+            .expect("bench parameters are valid");
+        assert!(r.antt() > 0.0);
+        t.elapsed().as_secs_f64()
+    };
+    let serial_secs = run_antt(1);
+    let parallel_secs = run_antt(jobs);
+    workloads.push(WorkloadTiming {
+        name: "antt",
+        units: 1 + mix.cores(),
+        serial_secs,
+        parallel_secs,
+    });
+
+    BenchReport {
+        date: utc_date_string(),
+        host_parallelism: bimodal_exec::available_jobs(),
+        jobs,
+        quick: opts.quick,
+        workloads,
+        schemes,
+    }
+}
+
+/// Today's UTC date as `YYYY-MM-DD`, from the system clock alone (no
+/// external time crates; civil-from-days per Howard Hinnant's algorithm).
+fn utc_date_string() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let (y, m, d) = civil_from_days((secs / 86_400) as i64);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = u32::try_from(doy - (153 * mp + 2) / 5 + 1).expect("day of month");
+    let m = u32::try_from(if mp < 10 { mp + 3 } else { mp - 9 }).expect("month");
+    let y = yoe + era * 400 + i64::from(m <= 2);
+    (y, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn civil_from_days_known_dates() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(19_723), (2024, 1, 1)); // leap year
+        assert_eq!(civil_from_days(19_782), (2024, 2, 29));
+        assert_eq!(civil_from_days(20_670), (2026, 8, 5));
+    }
+
+    #[test]
+    fn quick_bench_produces_all_sections() {
+        let r = run(&BenchOptions {
+            quick: true,
+            jobs: 2,
+        });
+        assert_eq!(r.workloads.len(), 3);
+        assert_eq!(r.schemes.len(), SchemeKind::all().len());
+        assert!(r.schemes.iter().all(|s| s.accesses_per_sec > 0.0));
+        assert!(r.compare_speedup() > 0.0);
+        let json = r.to_json().to_pretty();
+        for key in ["bimodal-bench-v1", "workloads", "schemes", "speedup"] {
+            assert!(json.contains(key), "missing {key}");
+        }
+    }
+}

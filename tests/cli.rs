@@ -280,3 +280,164 @@ fn compare_json_export_covers_all_schemes() {
     assert!(reports[0].get("stats").is_some());
     std::fs::remove_file(&path).expect("cleanup");
 }
+
+/// Runs `command` twice — `--jobs 1` and `--jobs 4` — writing JSON to a
+/// temp file each time, and asserts the two documents are byte-identical.
+fn assert_jobs_byte_identical(tag: &str, args: &[&str]) {
+    let dir = std::env::temp_dir();
+    let mut docs = Vec::new();
+    for jobs in ["1", "4"] {
+        let path = dir.join(format!("bimodal-{tag}-j{jobs}-{}.json", std::process::id()));
+        let out = bimodal()
+            .args(args)
+            .args(["--jobs", jobs, "--json", path.to_str().expect("utf8")])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "--jobs {jobs} stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        docs.push(std::fs::read(&path).expect("json written"));
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+    assert_eq!(
+        docs[0], docs[1],
+        "{tag}: --jobs 4 JSON differs from --jobs 1"
+    );
+}
+
+#[test]
+fn compare_is_byte_identical_across_jobs() {
+    assert_jobs_byte_identical(
+        "cmp",
+        &[
+            "compare",
+            "--mix",
+            "Q2",
+            "--accesses",
+            "400",
+            "--cache-mb",
+            "4",
+        ],
+    );
+}
+
+#[test]
+fn sweep_is_byte_identical_across_jobs() {
+    assert_jobs_byte_identical("sweep", &["sweep", "--mix", "Q2", "--accesses", "20000"]);
+}
+
+#[test]
+fn inject_is_byte_identical_across_jobs() {
+    assert_jobs_byte_identical(
+        "inj",
+        &[
+            "inject",
+            "--mix",
+            "Q2",
+            "--accesses",
+            "1500",
+            "--metadata-rate",
+            "0.001",
+            "--seeds",
+            "3",
+        ],
+    );
+}
+
+#[test]
+fn sample_every_requires_trace_out() {
+    let out = bimodal()
+        .args([
+            "run",
+            "--mix",
+            "Q2",
+            "--scheme",
+            "bimodal",
+            "--accesses",
+            "500",
+            "--sample-every",
+            "4",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--sample-every"));
+}
+
+#[test]
+fn sample_every_thins_the_event_trace() {
+    let dir = std::env::temp_dir();
+    let mut counts = Vec::new();
+    for every in ["1", "8"] {
+        let path = dir.join(format!("bimodal-se{every}-{}.json", std::process::id()));
+        let out = bimodal()
+            .args([
+                "run",
+                "--mix",
+                "Q2",
+                "--scheme",
+                "bimodal",
+                "--accesses",
+                "2000",
+                "--cache-mb",
+                "4",
+                "--trace-out",
+                path.to_str().expect("utf8"),
+                "--sample-every",
+                every,
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let t = bimodal::obs::Json::parse(&std::fs::read_to_string(&path).expect("written"))
+            .expect("valid trace JSON");
+        counts.push(
+            t.get("traceEvents")
+                .and_then(bimodal::obs::Json::as_arr)
+                .expect("events")
+                .len(),
+        );
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+    assert!(
+        counts[1] * 4 < counts[0],
+        "sampling every 8th access should thin the trace well over 4x \
+         (got {} vs {})",
+        counts[1],
+        counts[0]
+    );
+}
+
+#[test]
+fn bench_quick_writes_schema_json() {
+    use bimodal::obs::Json;
+    let path = std::env::temp_dir().join(format!("bimodal-bench-{}.json", std::process::id()));
+    let out = bimodal()
+        .args(["bench", "--quick", "--out", path.to_str().expect("utf8")])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let j = Json::parse(&std::fs::read_to_string(&path).expect("written")).expect("valid");
+    assert_eq!(
+        j.get("schema").and_then(Json::as_str),
+        Some("bimodal-bench-v1")
+    );
+    let workloads = j
+        .get("workloads")
+        .and_then(Json::as_arr)
+        .expect("workloads");
+    assert_eq!(workloads.len(), 3);
+    let schemes = j.get("schemes").and_then(Json::as_arr).expect("schemes");
+    assert!(schemes.len() >= 8, "one rate per scheme");
+    std::fs::remove_file(&path).expect("cleanup");
+}
