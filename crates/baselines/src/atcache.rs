@@ -15,9 +15,11 @@
 //! 64 B tag burst on the accessed row — same timing, same warming effect.
 
 use bimodal_core::{
-    AccessKind, AccessOutcome, CacheAccess, DramCacheScheme, SchemeStats, SramModel,
+    random_tag_xor, AccessKind, AccessOutcome, CacheAccess, ContentsDigest, DramCacheScheme,
+    EccLedger, FaultTarget, MetadataFault, SchemeStats, SramModel,
 };
 use bimodal_dram::{Cycle, DeferredOp, MemorySystem, Op, Request, RowEvent};
+use bimodal_prng::SmallRng;
 
 use crate::common::RowMapper;
 
@@ -39,6 +41,12 @@ pub struct AtCacheConfig {
     pub prefetch_group: u64,
     /// Cycles to compare tags after they arrive.
     pub tag_compare_cycles: Cycle,
+    /// Protect the DRAM tag blocks with SECDED ECC: injected flips are
+    /// ledgered and detected at the next DRAM tag read of the set instead
+    /// of corrupting it, at the cost of a 12.5% wider tag burst. The SRAM
+    /// tag cache is parity-protected: a locator upset invalidates the
+    /// entry, and the next access re-reads the tags from DRAM.
+    pub metadata_ecc: bool,
 }
 
 impl AtCacheConfig {
@@ -52,7 +60,15 @@ impl AtCacheConfig {
             tag_cache_sets: 4096,
             prefetch_group: 8,
             tag_compare_cycles: 1,
+            metadata_ecc: false,
         }
+    }
+
+    /// Enables or disables SECDED ECC over the DRAM tag blocks.
+    #[must_use]
+    pub fn with_metadata_ecc(mut self, ecc: bool) -> Self {
+        self.metadata_ecc = ecc;
+        self
     }
 }
 
@@ -72,6 +88,7 @@ pub struct AtCache {
     tag_cache: Vec<u64>,
     tag_cache_cycles: Cycle,
     mapper: Option<RowMapper>,
+    ledger: EccLedger,
     stats: SchemeStats,
 }
 
@@ -96,6 +113,7 @@ impl AtCache {
             tag_cache: Vec::new(),
             tag_cache_cycles: sram.access_cycles(tag_cache_bytes),
             mapper: None,
+            ledger: EccLedger::new(),
             stats: SchemeStats::default(),
             config,
         }
@@ -143,6 +161,147 @@ impl AtCache {
             self.tag_cache.pop();
         }
     }
+
+    /// Bytes moved per DRAM tag lookup (target set + PG-group burst):
+    /// SECDED check bits widen each burst by one byte per eight.
+    fn dram_tag_bytes(&self) -> u32 {
+        let per_burst = if self.config.metadata_ecc {
+            TAG_READ_BYTES + TAG_READ_BYTES.div_ceil(8)
+        } else {
+            TAG_READ_BYTES
+        };
+        per_burst * 2
+    }
+
+    /// SECDED detection for every ledgered fault of `set_idx`: the DRAM
+    /// tag read that just completed decoded the protected tag block.
+    /// Single-bit flips are corrected in place; multi-bit flips are
+    /// detected but uncorrectable, so the described line is dropped
+    /// (dirty data written back first, like an eviction).
+    fn scrub_set(
+        &mut self,
+        set_idx: u64,
+        loc: bimodal_dram::Location,
+        at: Cycle,
+        mem: &mut MemorySystem,
+    ) {
+        for fault in self.ledger.drain_set(set_idx) {
+            if fault.multi_bit {
+                self.stats.ecc_detected_uncorrected += 1;
+                let set = &mut self.sets[usize::try_from(set_idx).expect("set fits usize")];
+                if let Some(pos) = set.iter().position(|l| l.tag == fault.orig_tag) {
+                    let line = set.remove(pos);
+                    if line.dirty {
+                        let bytes = self.config.block_bytes;
+                        mem.defer(
+                            at,
+                            DeferredOp::MainWrite {
+                                addr: self.line_addr(line.tag, set_idx),
+                                bytes,
+                            },
+                        );
+                        self.stats.writebacks += 1;
+                        self.stats.offchip_writeback_bytes += u64::from(bytes);
+                    }
+                }
+            } else {
+                self.stats.ecc_corrected += 1;
+            }
+            // Scrub write of the repaired tag block, off the critical path.
+            mem.defer(at, DeferredOp::CacheWrite { loc, bytes: 64 });
+        }
+    }
+}
+
+impl FaultTarget for AtCache {
+    fn inject_metadata_flip(
+        &mut self,
+        rng: &mut SmallRng,
+        multi_bit: bool,
+    ) -> Option<MetadataFault> {
+        // Probe sets from a random start for a non-empty one.
+        let n = usize::try_from(self.n_sets).expect("set count fits usize");
+        let start = rng.gen_range(0..n);
+        for probe in 0..n {
+            let idx = (start + probe) % n;
+            if self.sets[idx].is_empty() {
+                continue;
+            }
+            let way = rng.gen_range(0..self.sets[idx].len());
+            let xor = random_tag_xor(rng, multi_bit);
+            let apply = !self.config.metadata_ecc;
+            let line = &mut self.sets[idx][way];
+            let (orig_tag, new_tag) = (line.tag, line.tag ^ xor);
+            if apply {
+                line.tag = new_tag;
+            }
+            let fault = MetadataFault {
+                set: idx as u64,
+                big: false,
+                way: way.min(usize::from(u8::MAX)) as u8,
+                orig_tag,
+                new_tag,
+                multi_bit,
+                applied: apply,
+            };
+            if !apply {
+                self.ledger.push(fault);
+            }
+            return Some(fault);
+        }
+        None
+    }
+
+    fn inject_locator_flip(&mut self, rng: &mut SmallRng) -> bool {
+        // The SRAM tag cache is parity-protected: an upset entry is
+        // detected and invalidated, so the next access to that set pays a
+        // DRAM tag read instead of consulting a stale copy. Pure timing,
+        // never correctness.
+        if self.tag_cache.is_empty() {
+            return false;
+        }
+        let pos = rng.gen_range(0..self.tag_cache.len());
+        self.tag_cache.remove(pos);
+        self.stats.locator_heals += 1;
+        true
+    }
+
+    fn inject_predictor_upset(&mut self, _rng: &mut SmallRng) -> bool {
+        false // no predictor state
+    }
+
+    fn contents_digest(&self) -> u64 {
+        // The SRAM tag cache is deliberately excluded: it is a hint
+        // structure whose contents only shift timing.
+        let mut d = ContentsDigest::new();
+        for (s, set) in self.sets.iter().enumerate() {
+            for line in set {
+                d.mix(s as u64);
+                d.mix(line.tag);
+                d.mix(u64::from(line.dirty));
+            }
+        }
+        d.value()
+    }
+
+    fn flush_faults(&mut self) -> (u64, u64) {
+        let mut corrected = 0u64;
+        let mut uncorrected = 0u64;
+        for fault in self.ledger.drain_all() {
+            if fault.multi_bit {
+                uncorrected += 1;
+                self.stats.ecc_detected_uncorrected += 1;
+                let set = &mut self.sets[usize::try_from(fault.set).expect("set fits usize")];
+                if let Some(pos) = set.iter().position(|l| l.tag == fault.orig_tag) {
+                    set.remove(pos);
+                }
+            } else {
+                corrected += 1;
+                self.stats.ecc_corrected += 1;
+            }
+        }
+        (corrected, uncorrected)
+    }
 }
 
 impl DramCacheScheme for AtCache {
@@ -180,13 +339,17 @@ impl DramCacheScheme for AtCache {
             // DRAM tag read: target set's tags plus the PG-group burst.
             let t = mem.cache_dram.access(Request {
                 loc,
-                bytes: TAG_READ_BYTES * 2,
+                bytes: self.dram_tag_bytes(),
                 op: Op::Read,
                 arrival: access.now + self.tag_cache_cycles,
             });
             self.stats.md_accesses += 1;
             if t.row_event == RowEvent::Hit {
                 self.stats.md_row_hits += 1;
+            }
+            if !self.ledger.is_empty() {
+                // The DRAM read just decoded the protected tags: scrub.
+                self.scrub_set(set_idx, loc, t.done, mem);
             }
             self.tag_cache_fill_group(set_idx);
             self.stats.breakdown.sram += self.tag_cache_cycles;
@@ -272,6 +435,10 @@ impl DramCacheScheme for AtCache {
 
     fn reset_stats(&mut self) {
         self.stats.reset();
+    }
+
+    fn fault_target(&mut self) -> Option<&mut dyn FaultTarget> {
+        Some(self)
     }
 }
 

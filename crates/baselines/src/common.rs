@@ -12,11 +12,26 @@ pub struct RowMapper {
 
 impl RowMapper {
     /// Builds a mapper over all banks of `config`.
+    ///
+    /// Debug builds assert power-of-two channel and bank counts: the
+    /// schemes' set-index arithmetic assumes the stripe divides evenly,
+    /// and a non-power-of-two geometry would silently alias rows (the
+    /// same guard [`bimodal_core::FunctionalCache`] applies to its sets).
     #[must_use]
     pub fn new(config: &DramConfig) -> Self {
+        let channels = u64::from(config.channels);
+        let banks_per_channel = u64::from(config.ranks_per_channel * config.banks_per_rank);
+        debug_assert!(
+            channels.is_power_of_two(),
+            "channel count must be a power of two, got {channels}"
+        );
+        debug_assert!(
+            banks_per_channel.is_power_of_two(),
+            "banks per channel must be a power of two, got {banks_per_channel}"
+        );
         RowMapper {
-            channels: u64::from(config.channels),
-            banks_per_channel: u64::from(config.ranks_per_channel * config.banks_per_rank),
+            channels,
+            banks_per_channel,
         }
     }
 
@@ -48,5 +63,27 @@ mod tests {
         assert_eq!(m.location(2), Location::new(0, 0, 1, 0));
         assert_eq!(m.location(16), Location::new(0, 0, 0, 1));
         assert_eq!(m.stripe(), 16);
+    }
+
+    #[test]
+    fn accepts_every_stock_geometry() {
+        for config in [
+            DramConfig::stacked(2, 8),
+            DramConfig::stacked(4, 8),
+            DramConfig::stacked(8, 8),
+            DramConfig::ddr3(1, 2),
+        ] {
+            let m = RowMapper::new(&config);
+            assert!(m.stripe().is_power_of_two());
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "channel count must be a power of two")]
+    fn rejects_non_power_of_two_channels() {
+        let mut config = DramConfig::stacked(2, 8);
+        config.channels = 3;
+        let _ = RowMapper::new(&config);
     }
 }

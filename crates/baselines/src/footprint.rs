@@ -14,9 +14,11 @@
 //! fetch with residual over-fetch within committed pages. See DESIGN.md.
 
 use bimodal_core::{
-    AccessKind, AccessOutcome, CacheAccess, DramCacheScheme, SchemeStats, SramModel,
+    random_tag_xor, AccessKind, AccessOutcome, CacheAccess, ContentsDigest, DramCacheScheme,
+    EccLedger, FaultTarget, MetadataFault, SchemeStats, SramModel,
 };
 use bimodal_dram::{Cycle, DeferredOp, MemorySystem, Op, RowEvent};
+use bimodal_prng::SmallRng;
 
 use crate::common::RowMapper;
 
@@ -37,6 +39,11 @@ pub struct FootprintConfig {
     /// experiments to charge the latency of the *full-scale* tag store
     /// the design would really need.
     pub tag_latency_override: Option<Cycle>,
+    /// Protect the SRAM tag store with SECDED ECC: injected flips are
+    /// ledgered and detected at the next tag lookup of the set instead of
+    /// corrupting it, at the cost of one extra cycle per tag access
+    /// (SRAM arrays widen by the check bits, not by extra bursts).
+    pub metadata_ecc: bool,
 }
 
 impl FootprintConfig {
@@ -50,6 +57,7 @@ impl FootprintConfig {
             assoc: 4,
             single_use_bypass: true,
             tag_latency_override: None,
+            metadata_ecc: false,
         }
     }
 
@@ -57,6 +65,13 @@ impl FootprintConfig {
     #[must_use]
     pub fn with_tag_latency(mut self, cycles: Cycle) -> Self {
         self.tag_latency_override = Some(cycles);
+        self
+    }
+
+    /// Enables or disables SECDED ECC over the SRAM tag store.
+    #[must_use]
+    pub fn with_metadata_ecc(mut self, ecc: bool) -> Self {
+        self.metadata_ecc = ecc;
         self
     }
 
@@ -137,6 +152,15 @@ impl FootprintPredictor {
             self.table[i] = (page, 1 << sub);
         }
     }
+
+    /// Flips one bit of a randomly chosen entry's footprint mask — a
+    /// predictor upset only ever disturbs a hint (a wrong footprint costs
+    /// over- or under-fetch, never correctness).
+    pub fn upset_entry(&mut self, rng: &mut SmallRng) {
+        let idx = rng.gen_range(0..self.table.len());
+        let bit = rng.gen_range(0u32..32);
+        self.table[idx].1 ^= 1 << bit;
+    }
 }
 
 impl Default for FootprintPredictor {
@@ -165,6 +189,7 @@ pub struct FootprintCache {
     predictor: FootprintPredictor,
     tag_sram_cycles: Cycle,
     mapper: Option<RowMapper>,
+    ledger: EccLedger,
     stats: SchemeStats,
 }
 
@@ -186,11 +211,14 @@ impl FootprintCache {
         let tag_cycles = config
             .tag_latency_override
             .unwrap_or_else(|| sram.access_cycles(tag_bytes));
+        // The SECDED decode adds a cycle to every SRAM tag lookup.
+        let tag_cycles = tag_cycles + Cycle::from(config.metadata_ecc);
         FootprintCache {
             sets: vec![Vec::new(); usize::try_from(config.n_sets()).expect("sets fit usize")],
             predictor: FootprintPredictor::new(),
             tag_sram_cycles: tag_cycles,
             mapper: None,
+            ledger: EccLedger::new(),
             stats: SchemeStats::default(),
             config,
         }
@@ -264,6 +292,125 @@ impl FootprintCache {
         self.stats.offchip_wasted_bytes += u64::from(wasted) * sub;
         offchip
     }
+
+    /// SECDED detection for every ledgered fault of `set_idx`: the SRAM
+    /// tag lookup that just ran decoded the protected entry. Single-bit
+    /// flips are corrected in place; multi-bit flips are detected but
+    /// uncorrectable, so the page is dropped (dirty sub-blocks written
+    /// back first). The predictor is *not* trained from a dropped page —
+    /// its footprint metadata was lost with the tag.
+    fn scrub_set(&mut self, set_idx: u64, at: Cycle, mem: &mut MemorySystem) {
+        for fault in self.ledger.drain_set(set_idx) {
+            if fault.multi_bit {
+                self.stats.ecc_detected_uncorrected += 1;
+                let set = &mut self.sets[usize::try_from(set_idx).expect("set fits usize")];
+                if let Some(pos) = set.iter().position(|p| p.tag == fault.orig_tag) {
+                    let page = set.remove(pos);
+                    let base = self.page_addr(page.tag, set_idx);
+                    let sub = u64::from(self.config.sub_block_bytes);
+                    for s in 0..self.config.sub_blocks() {
+                        if page.dirty & (1 << s) != 0 {
+                            mem.defer(
+                                at,
+                                DeferredOp::MainWrite {
+                                    addr: base + u64::from(s) * sub,
+                                    bytes: self.config.sub_block_bytes,
+                                },
+                            );
+                            self.stats.writebacks += 1;
+                            self.stats.offchip_writeback_bytes += sub;
+                        }
+                    }
+                }
+            } else {
+                self.stats.ecc_corrected += 1;
+            }
+            // SRAM scrub: the corrected word is rewritten in place, no
+            // DRAM traffic.
+        }
+    }
+}
+
+impl FaultTarget for FootprintCache {
+    fn inject_metadata_flip(
+        &mut self,
+        rng: &mut SmallRng,
+        multi_bit: bool,
+    ) -> Option<MetadataFault> {
+        // Probe page sets from a random start for a non-empty one.
+        let n = usize::try_from(self.config.n_sets()).expect("set count fits usize");
+        let start = rng.gen_range(0..n);
+        for probe in 0..n {
+            let idx = (start + probe) % n;
+            if self.sets[idx].is_empty() {
+                continue;
+            }
+            let way = rng.gen_range(0..self.sets[idx].len());
+            let xor = random_tag_xor(rng, multi_bit);
+            let apply = !self.config.metadata_ecc;
+            let page = &mut self.sets[idx][way];
+            let (orig_tag, new_tag) = (page.tag, page.tag ^ xor);
+            if apply {
+                page.tag = new_tag;
+            }
+            let fault = MetadataFault {
+                set: idx as u64,
+                big: true, // page-grain allocation unit
+                way: way.min(usize::from(u8::MAX)) as u8,
+                orig_tag,
+                new_tag,
+                multi_bit,
+                applied: apply,
+            };
+            if !apply {
+                self.ledger.push(fault);
+            }
+            return Some(fault);
+        }
+        None
+    }
+
+    fn inject_locator_flip(&mut self, _rng: &mut SmallRng) -> bool {
+        false // tags are the only locator, covered by metadata flips
+    }
+
+    fn inject_predictor_upset(&mut self, rng: &mut SmallRng) -> bool {
+        self.predictor.upset_entry(rng);
+        true
+    }
+
+    fn contents_digest(&self) -> u64 {
+        let mut d = ContentsDigest::new();
+        for (s, set) in self.sets.iter().enumerate() {
+            for page in set {
+                d.mix(s as u64);
+                d.mix(page.tag);
+                d.mix(u64::from(page.fetched));
+                d.mix(u64::from(page.referenced));
+                d.mix(u64::from(page.dirty));
+            }
+        }
+        d.value()
+    }
+
+    fn flush_faults(&mut self) -> (u64, u64) {
+        let mut corrected = 0u64;
+        let mut uncorrected = 0u64;
+        for fault in self.ledger.drain_all() {
+            if fault.multi_bit {
+                uncorrected += 1;
+                self.stats.ecc_detected_uncorrected += 1;
+                let set = &mut self.sets[usize::try_from(fault.set).expect("set fits usize")];
+                if let Some(pos) = set.iter().position(|p| p.tag == fault.orig_tag) {
+                    set.remove(pos);
+                }
+            } else {
+                corrected += 1;
+                self.stats.ecc_corrected += 1;
+            }
+        }
+        (corrected, uncorrected)
+    }
 }
 
 impl DramCacheScheme for FootprintCache {
@@ -301,6 +448,10 @@ impl DramCacheScheme for FootprintCache {
         let tags_checked = access.now + self.tag_sram_cycles;
         self.stats.breakdown.sram += self.tag_sram_cycles;
         self.stats.locator_hits += 1; // tags always answered by SRAM
+        if !self.ledger.is_empty() {
+            // The lookup just decoded the protected entry: SECDED scrub.
+            self.scrub_set(set_idx, tags_checked, mem);
+        }
 
         let set = &mut self.sets[usize::try_from(set_idx).expect("set fits usize")];
         let pos = set.iter().position(|p| p.tag == tag);
@@ -443,6 +594,10 @@ impl DramCacheScheme for FootprintCache {
 
     fn reset_stats(&mut self) {
         self.stats.reset();
+    }
+
+    fn fault_target(&mut self) -> Option<&mut dyn FaultTarget> {
+        Some(self)
     }
 
     fn finalize(&mut self) {

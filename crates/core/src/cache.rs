@@ -23,7 +23,7 @@ use crate::layout::DataLayout;
 use crate::metadata::{MetadataLayout, MetadataPlacement};
 use crate::miss_predictor::MissPredictor;
 use crate::predictor::{BlockSizePredictor, PredictorConfig, UtilizationTracker};
-use crate::resilience::{FaultTarget, MetadataFault};
+use crate::resilience::{random_tag_xor, ContentsDigest, EccLedger, FaultTarget, MetadataFault};
 use crate::scheme::{AccessKind, AccessOutcome, CacheAccess, DramCacheScheme};
 use crate::set::{BiModalSet, Victim, WayRef};
 use crate::sram::SramModel;
@@ -308,7 +308,7 @@ pub struct BiModalCache {
     /// Injected metadata flips held by the ECC ledger: with SECDED on,
     /// a flip never reaches the live tags — it waits here until the next
     /// tag probe of its set decodes (and corrects or rejects) the entry.
-    pending_faults: Vec<MetadataFault>,
+    ledger: EccLedger,
     rng: SmallRng,
     stats: SchemeStats,
     config: BiModalConfig,
@@ -380,7 +380,7 @@ impl BiModalCache {
             epoch_well_used: 0,
             epoch_promotions_base: 0,
             epoch_small_fills_base: 0,
-            pending_faults: Vec::new(),
+            ledger: EccLedger::new(),
             rng: SmallRng::seed_from_u64(config.seed),
             stats: SchemeStats::default(),
             amap: geometry.addr_map(),
@@ -769,13 +769,7 @@ impl BiModalCache {
     /// Either way a scrub write of the repaired entry goes back to the
     /// metadata bank off the critical path.
     fn scrub_set(&mut self, set_idx: u64, at: Cycle, mem: &mut MemorySystem) {
-        let mut i = 0;
-        while i < self.pending_faults.len() {
-            if self.pending_faults[i].set != set_idx {
-                i += 1;
-                continue;
-            }
-            let fault = self.pending_faults.swap_remove(i);
+        for fault in self.ledger.drain_set(set_idx) {
             if fault.multi_bit {
                 self.stats.ecc_detected_uncorrected += 1;
                 if let Some(victim) = self.invalidate_faulted_way(&fault) {
@@ -858,14 +852,7 @@ impl FaultTarget for BiModalCache {
                 continue;
             }
             let way = ways[rng.gen_range(0..ways.len())];
-            // Disturb the low 20 tag bits — within every geometry's width.
-            let xor = if multi_bit {
-                let b1 = rng.gen_range(0u32..20);
-                let b2 = (b1 + rng.gen_range(1u32..20)) % 20;
-                (1u64 << b1) | (1u64 << b2)
-            } else {
-                1u64 << rng.gen_range(0u32..20)
-            };
+            let xor = random_tag_xor(rng, multi_bit);
             let apply = !self.metadata.ecc();
             let (orig_tag, new_tag) = if apply {
                 self.sets[idx].corrupt_tag(way, xor)?
@@ -883,7 +870,7 @@ impl FaultTarget for BiModalCache {
                 applied: apply,
             };
             if !apply {
-                self.pending_faults.push(fault);
+                self.ledger.push(fault);
             }
             return Some(fault);
         }
@@ -905,29 +892,24 @@ impl FaultTarget for BiModalCache {
     }
 
     fn contents_digest(&self) -> u64 {
-        const PRIME: u64 = 0x100_0000_01b3;
-        fn mix(h: u64, v: u64) -> u64 {
-            (h ^ v).wrapping_mul(PRIME)
-        }
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut d = ContentsDigest::new();
         for (i, set) in self.sets.iter().enumerate() {
             for v in set.residents() {
-                h = mix(h, i as u64);
-                h = mix(h, v.tag);
-                h = mix(h, u64::from(v.sub_block));
-                h = mix(h, u64::from(v.size == BlockSize::Big));
-                h = mix(h, u64::from(v.dirty_mask));
-                h = mix(h, u64::from(v.referenced_mask));
+                d.mix(i as u64);
+                d.mix(v.tag);
+                d.mix(u64::from(v.sub_block));
+                d.mix(u64::from(v.size == BlockSize::Big));
+                d.mix(u64::from(v.dirty_mask));
+                d.mix(u64::from(v.referenced_mask));
             }
         }
-        h
+        d.value()
     }
 
     fn flush_faults(&mut self) -> (u64, u64) {
-        let pending = std::mem::take(&mut self.pending_faults);
         let mut corrected = 0u64;
         let mut uncorrected = 0u64;
-        for fault in pending {
+        for fault in self.ledger.drain_all() {
             if fault.multi_bit {
                 uncorrected += 1;
                 self.stats.ecc_detected_uncorrected += 1;
@@ -1098,7 +1080,7 @@ impl DramCacheScheme for BiModalCache {
         // The tag read just decoded every SECDED-protected entry of this
         // set, so any ledgered metadata faults are detected now: corrected
         // in place if single-bit, or the affected way dropped if not.
-        if !self.pending_faults.is_empty() {
+        if !self.ledger.is_empty() {
             self.scrub_set(set_idx, md_comp.done, mem);
         }
 

@@ -60,6 +60,42 @@ impl FunctionalConfig {
         c
     }
 
+    /// A cache described by explicit geometry — set count, block size,
+    /// associativity — for organizations whose total capacity is not a
+    /// power of two (e.g. the 29-way Loh-Hill structure). The set count
+    /// and block size must still be powers of two (the decode path
+    /// indexes with masks), but the resulting capacity need not be.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero or non-power-of-two set count, a non-power-of-two
+    /// block size, zero associativity, or a block smaller than the 64 B
+    /// sub-block.
+    #[must_use]
+    pub fn with_geometry(n_sets: u64, block_bytes: u32, assoc: u32) -> Self {
+        let c = FunctionalConfig {
+            cache_bytes: n_sets * u64::from(block_bytes) * u64::from(assoc),
+            block_bytes,
+            assoc,
+            sub_block_bytes: 64,
+        };
+        assert!(
+            n_sets > 0 && n_sets.is_power_of_two(),
+            "set count must be a power of two"
+        );
+        assert!(
+            block_bytes.is_power_of_two(),
+            "block size must be a power of two"
+        );
+        assert!(assoc > 0, "associativity must be positive");
+        assert!(
+            block_bytes >= c.sub_block_bytes,
+            "block smaller than sub-block"
+        );
+        debug_assert_eq!(c.n_sets(), n_sets);
+        c
+    }
+
     /// Number of sets.
     #[must_use]
     pub fn n_sets(&self) -> u64 {
@@ -326,6 +362,29 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn bad_config_panics() {
         let _ = FunctionalConfig::new(3 << 20, 64, 8);
+    }
+
+    #[test]
+    fn geometry_constructor_allows_odd_associativity() {
+        // 29 ways: the capacity is not a power of two, but decode works
+        // because set count and block size still are.
+        let c = FunctionalConfig::with_geometry(512, 64, 29);
+        assert_eq!(c.n_sets(), 512);
+        assert_eq!(c.cache_bytes, 512 * 64 * 29);
+        let mut cache = FunctionalCache::new(c);
+        let stride = 512 * 64;
+        for k in 0..29u64 {
+            assert!(!cache.access(k * stride), "cold fill {k}");
+        }
+        for k in 0..29u64 {
+            assert!(cache.access(k * stride), "way {k} resident in 29-way set");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "set count must be a power of two")]
+    fn geometry_constructor_rejects_odd_set_counts() {
+        let _ = FunctionalConfig::with_geometry(1536, 64, 29);
     }
 
     #[test]

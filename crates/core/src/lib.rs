@@ -65,7 +65,7 @@ pub use layout::DataLayout;
 pub use metadata::{MetadataLayout, MetadataPlacement};
 pub use miss_predictor::MissPredictor;
 pub use predictor::{BlockSizePredictor, PredictorConfig, UtilizationTracker};
-pub use resilience::{FaultTarget, MetadataFault};
+pub use resilience::{random_tag_xor, ContentsDigest, EccLedger, FaultTarget, MetadataFault};
 pub use scheme::{AccessKind, AccessOutcome, CacheAccess, DramCacheScheme};
 pub use set::{BiModalSet, InsertOutcome, Victim, WayRef};
 pub use sram::SramModel;

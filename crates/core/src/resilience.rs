@@ -74,3 +74,162 @@ pub trait FaultTarget {
     /// `(corrected, detected_uncorrectable)` counts.
     fn flush_faults(&mut self) -> (u64, u64);
 }
+
+/// The pending-fault side of a SECDED ECC model, shared by every
+/// organization: injected metadata flips are parked here instead of
+/// corrupting live state, and the next tag probe of the affected set
+/// drains them (detection happens when the protected entries are
+/// actually decoded).
+#[derive(Debug, Default)]
+pub struct EccLedger {
+    pending: Vec<MetadataFault>,
+}
+
+impl EccLedger {
+    /// An empty ledger.
+    #[must_use]
+    pub fn new() -> Self {
+        EccLedger {
+            pending: Vec::new(),
+        }
+    }
+
+    /// Whether any fault is awaiting detection.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Parks a flip until the next probe of its set.
+    pub fn push(&mut self, fault: MetadataFault) {
+        self.pending.push(fault);
+    }
+
+    /// Removes and returns every pending fault of `set` — the probe that
+    /// just completed decoded all of the set's protected entries.
+    pub fn drain_set(&mut self, set: u64) -> Vec<MetadataFault> {
+        let mut drained = Vec::new();
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].set == set {
+                drained.push(self.pending.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        drained
+    }
+
+    /// Removes and returns every pending fault (end-of-campaign scrub).
+    pub fn drain_all(&mut self) -> Vec<MetadataFault> {
+        std::mem::take(&mut self.pending)
+    }
+}
+
+/// The tag disturbance pattern shared by every scheme's
+/// [`FaultTarget::inject_metadata_flip`]: one bit flip within the low 20
+/// tag bits (inside every geometry's tag width), or two distinct bits for
+/// a multi-bit upset. Draws from `rng` in a fixed order so the schedule
+/// is seed-reproducible across organizations.
+#[must_use]
+pub fn random_tag_xor(rng: &mut SmallRng, multi_bit: bool) -> u64 {
+    if multi_bit {
+        let b1 = rng.gen_range(0u32..20);
+        let b2 = (b1 + rng.gen_range(1u32..20)) % 20;
+        (1u64 << b1) | (1u64 << b2)
+    } else {
+        1u64 << rng.gen_range(0u32..20)
+    }
+}
+
+/// FNV-1a accumulator behind every scheme's
+/// [`FaultTarget::contents_digest`], so digests are comparable within a
+/// scheme (identical contents, identical digest) using one shared set of
+/// constants.
+#[derive(Debug, Clone, Copy)]
+pub struct ContentsDigest(u64);
+
+impl ContentsDigest {
+    /// The FNV-1a offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        ContentsDigest(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Mixes one value into the digest (order-sensitive).
+    pub fn mix(&mut self, v: u64) {
+        const PRIME: u64 = 0x100_0000_01b3;
+        self.0 = (self.0 ^ v).wrapping_mul(PRIME);
+    }
+
+    /// The accumulated digest.
+    #[must_use]
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for ContentsDigest {
+    fn default() -> Self {
+        ContentsDigest::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_drains_by_set_and_then_fully() {
+        let fault = |set: u64, multi_bit: bool| MetadataFault {
+            set,
+            big: false,
+            way: 0,
+            orig_tag: 5,
+            new_tag: 7,
+            multi_bit,
+            applied: false,
+        };
+        let mut ledger = EccLedger::new();
+        assert!(ledger.is_empty());
+        ledger.push(fault(3, false));
+        ledger.push(fault(9, true));
+        ledger.push(fault(3, true));
+        let drained = ledger.drain_set(3);
+        assert_eq!(drained.len(), 2);
+        assert!(drained.iter().all(|f| f.set == 3));
+        assert!(!ledger.is_empty());
+        assert_eq!(ledger.drain_set(4).len(), 0);
+        assert_eq!(ledger.drain_all().len(), 1);
+        assert!(ledger.is_empty());
+    }
+
+    #[test]
+    fn tag_xor_stays_in_the_low_twenty_bits() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for i in 0..200 {
+            let xor = random_tag_xor(&mut rng, i % 2 == 0);
+            assert_ne!(xor, 0);
+            assert_eq!(xor >> 20, 0, "flips must stay within the tag width");
+            let bits = xor.count_ones();
+            assert_eq!(bits, if i % 2 == 0 { 2 } else { 1 });
+        }
+    }
+
+    #[test]
+    fn digest_is_order_sensitive() {
+        let mut a = ContentsDigest::new();
+        a.mix(1);
+        a.mix(2);
+        let mut b = ContentsDigest::new();
+        b.mix(2);
+        b.mix(1);
+        assert_ne!(a.value(), b.value());
+        assert_eq!(a.value(), {
+            let mut c = ContentsDigest::new();
+            c.mix(1);
+            c.mix(2);
+            c.value()
+        });
+    }
+}

@@ -1,7 +1,7 @@
 //! Seeded fault campaigns: a clean reference run, a faulted run under
 //! the injector, and a report classifying every injected corruption.
 
-use bimodal_core::{AccessOutcome, BiModalCache, DramCacheScheme};
+use bimodal_core::{AccessOutcome, DramCacheScheme};
 use bimodal_dram::MemorySystem;
 use bimodal_obs::{Json, Observer};
 use bimodal_sim::{
@@ -45,9 +45,9 @@ impl From<Box<StallDiagnostic>> for CampaignError {
 pub struct CampaignConfig {
     /// The machine.
     pub system: SystemConfig,
-    /// The organization under test; must be one of the Bi-Modal
-    /// variants (the fault surfaces — metadata bank, way locator, block
-    /// size predictor — are theirs).
+    /// The organization under test: any of the Bi-Modal variants or the
+    /// baseline organizations — every scheme exposes its own fault
+    /// surface (metadata/tag store, locator hints, predictor state).
     pub kind: SchemeKind,
     /// The workload mix.
     pub mix: WorkloadMix,
@@ -161,24 +161,13 @@ impl CampaignConfig {
     ///
     /// # Errors
     ///
-    /// [`CampaignError::Invalid`] for a zero access count or a non
-    /// Bi-Modal scheme; [`CampaignError::Stalled`] when the watchdog
-    /// aborts a run.
+    /// [`CampaignError::Invalid`] for a zero access count;
+    /// [`CampaignError::Stalled`] when the watchdog aborts a run.
     pub fn run(&self, obs: &mut Observer) -> Result<CampaignReport, CampaignError> {
         if self.accesses_per_core == 0 {
             return Err(CampaignError::Invalid(
                 "accesses_per_core must be positive".into(),
             ));
-        }
-        if self
-            .kind
-            .bimodal_config(&self.system, false, None)
-            .is_none()
-        {
-            return Err(CampaignError::Invalid(format!(
-                "fault campaigns target the Bi-Modal organizations, not {}",
-                self.kind.name()
-            )));
         }
         let sim = Simulation::new(self.system.clone(), self.kind);
         let cores = self.mix.cores() as u64;
@@ -279,20 +268,18 @@ impl CampaignConfig {
     }
 
     fn shadow(&self) -> Option<ShadowChecker> {
-        (self.shadow_cadence > 0)
-            .then(|| ShadowChecker::new(self.system.cache_bytes(), self.shadow_cadence))
+        (self.shadow_cadence > 0).then(|| {
+            let (config, region_bits) = self.kind.shadow_model(self.system.cache_bytes());
+            ShadowChecker::with_model(config, region_bits, self.shadow_cadence)
+        })
     }
 
     fn build_scheme(&self, sim: &Simulation, cores: u64) -> Box<dyn DramCacheScheme> {
-        let config = self
-            .kind
-            .bimodal_config(
-                &self.system,
-                false,
-                Some(sim.adapt_epoch(self.accesses_per_core, cores)),
-            )
-            .expect("validated as a Bi-Modal kind");
-        Box::new(BiModalCache::new(config.with_metadata_ecc(self.ecc)))
+        self.kind.build_resilient(
+            &self.system,
+            Some(sim.adapt_epoch(self.accesses_per_core, cores)),
+            self.ecc,
+        )
     }
 
     /// One clean single-core run per program, for the ANTT denominators.

@@ -1,7 +1,9 @@
 //! # bimodal-faults — fault injection and resilience campaigns
 //!
-//! Seeded fault campaigns against the Bi-Modal DRAM cache's metadata
-//! and hint structures, with the detection/repair machinery to match:
+//! Seeded fault campaigns against the metadata and hint structures of
+//! every DRAM cache organization under study — the Bi-Modal variants
+//! and the four baselines (AlloyCache, Loh-Hill, ATCache, Footprint
+//! Cache) — with the detection/repair machinery to match:
 //!
 //! * [`FaultInjector`] / [`FaultRates`] — a deterministic per-access
 //!   fault source (metadata tag flips, way-locator corruption, block
@@ -10,7 +12,7 @@
 //! * [`ShadowChecker`] — an untimed referee over the same demand
 //!   stream: flags *impossible hits* (a hit on a region the stream
 //!   never touched can only come from a corrupted tag) and tracks
-//!   hit-rate drift,
+//!   hit-rate drift, at each scheme's own allocation granularity,
 //! * [`CampaignConfig`] / [`CampaignReport`] — a clean run, a faulted
 //!   run under the injector, and a JSON report classifying every
 //!   injection as detected-corrected, detected-uncorrected, or silent,
@@ -18,9 +20,10 @@
 //!
 //! The detection mechanisms themselves live in the model crates:
 //! metadata SECDED ECC and the self-healing way locator in
-//! `bimodal-core` ([`bimodal_core::FaultTarget`]), DRAM response
-//! tampering in `bimodal-dram`, and the forward-progress watchdog in
-//! `bimodal-sim` ([`bimodal_sim::WatchdogConfig`]). A campaign with
+//! `bimodal-core` ([`bimodal_core::FaultTarget`]), the baselines' ECC
+//! surfaces in `bimodal-baselines`, DRAM response tampering in
+//! `bimodal-dram`, and the forward-progress watchdog in `bimodal-sim`
+//! ([`bimodal_sim::WatchdogConfig`]). A campaign with
 //! every rate at zero consumes no randomness and reproduces the plain
 //! simulation bit for bit — the resilience plumbing costs clean runs
 //! nothing.

@@ -6,12 +6,14 @@
 //! enforces one sound invariant plus one drift statistic:
 //!
 //! * **No impossible hits.** The timed cache fills only from demanded
-//!   512 B regions (campaigns run without prefetching), so a reported
-//!   hit on a region the stream never touched can only come from a
-//!   corrupted tag aliasing another block — silent corruption made
-//!   visible. The check is one-directional and therefore sound: the
-//!   region set over-approximates residency, never under-approximates
-//!   it.
+//!   allocation-unit regions (campaigns run without prefetching), so a
+//!   reported hit on a region the stream never touched can only come
+//!   from a corrupted tag aliasing another block — silent corruption
+//!   made visible. The check is one-directional and therefore sound:
+//!   the region set over-approximates residency, never
+//!   under-approximates it. The region size is the scheme's allocation
+//!   unit (512 B Bi-Modal big blocks by default; see
+//!   [`ShadowChecker::with_model`]).
 //! * **Hit-rate drift.** The functional model's hit rate is compared at
 //!   a configurable cadence; the maximum divergence is reported (not
 //!   asserted — the models differ legitimately in replacement and
@@ -21,15 +23,18 @@ use std::collections::HashSet;
 
 use bimodal_core::{FunctionalCache, FunctionalConfig};
 
-/// Big-block granularity of the Bi-Modal cache; region tracking uses it
-/// because one demand fill can bring in the whole 512 B block.
-const REGION_BITS: u32 = 9;
+/// Big-block granularity of the Bi-Modal cache; the default region
+/// tracking uses it because one demand fill can bring in the whole
+/// 512 B block.
+const BIMODAL_REGION_BITS: u32 = 9;
 
 /// Untimed referee for a fault campaign.
 #[derive(Debug)]
 pub struct ShadowChecker {
     functional: FunctionalCache,
-    /// 512 B regions the demand stream has touched (warm-up included).
+    /// Allocation-unit granularity (log2 bytes) of region tracking.
+    region_bits: u32,
+    /// Regions the demand stream has touched (warm-up included).
     seen: HashSet<u64>,
     /// Compare hit rates every this many accesses.
     cadence: u64,
@@ -42,12 +47,28 @@ pub struct ShadowChecker {
 }
 
 impl ShadowChecker {
-    /// A checker for a cache of `cache_bytes`, comparing hit rates every
-    /// `cadence` accesses (`cadence` is clamped to at least 1).
+    /// A checker for a Bi-Modal cache of `cache_bytes`, comparing hit
+    /// rates every `cadence` accesses (`cadence` is clamped to at
+    /// least 1).
     #[must_use]
     pub fn new(cache_bytes: u64, cadence: u64) -> Self {
+        ShadowChecker::with_model(
+            FunctionalConfig::new(cache_bytes, 512, 16),
+            BIMODAL_REGION_BITS,
+            cadence,
+        )
+    }
+
+    /// A checker over an arbitrary shadow geometry — used by campaigns
+    /// against the baseline organizations, whose allocation units differ
+    /// (64 B line-grain for Alloy/Loh-Hill/ATCache, 2 KB page-grain for
+    /// the Footprint Cache). `region_bits` sets the granularity of the
+    /// impossible-hit invariant.
+    #[must_use]
+    pub fn with_model(config: FunctionalConfig, region_bits: u32, cadence: u64) -> Self {
         ShadowChecker {
-            functional: FunctionalCache::new(FunctionalConfig::new(cache_bytes, 512, 16)),
+            functional: FunctionalCache::new(config),
+            region_bits,
             seen: HashSet::new(),
             cadence: cadence.max(1),
             accesses: 0,
@@ -63,7 +84,7 @@ impl ShadowChecker {
     /// accesses must be fed too (with `measured = false`): they populate
     /// the cache, so the region set has to cover them.
     pub fn observe(&mut self, addr: u64, timed_hit: bool, measured: bool) {
-        let region = addr >> REGION_BITS;
+        let region = addr >> self.region_bits;
         if measured && timed_hit && !self.seen.contains(&region) {
             self.violations += 1;
         }
@@ -135,6 +156,20 @@ mod tests {
         // Once seen, a repeat hit is legitimate.
         s.observe(0x80_0000, true, true);
         assert_eq!(s.violations(), 1);
+    }
+
+    #[test]
+    fn line_grain_model_distinguishes_neighbouring_lines() {
+        // At 64 B grain, a hit on the neighbouring line of a touched
+        // 512 B block is impossible; the default 512 B grain forgives it.
+        let mut fine = ShadowChecker::with_model(FunctionalConfig::new(1 << 20, 64, 1), 6, 10);
+        fine.observe(0x1000, false, false);
+        fine.observe(0x1040, true, true);
+        assert_eq!(fine.violations(), 1);
+        let mut coarse = ShadowChecker::new(1 << 20, 10);
+        coarse.observe(0x1000, false, false);
+        coarse.observe(0x1040, true, true);
+        assert_eq!(coarse.violations(), 0);
     }
 
     #[test]

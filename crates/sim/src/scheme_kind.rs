@@ -1,9 +1,10 @@
 //! Scheme selection and construction.
 
 use bimodal_baselines::{
-    AlloyCache, AtCache, AtCacheConfig, FootprintCache, FootprintConfig, LohHillCache,
+    AlloyCache, AlloyConfig, AtCache, AtCacheConfig, FootprintCache, FootprintConfig, LohHillCache,
+    LohHillConfig,
 };
-use bimodal_core::{BiModalCache, BiModalConfig, DramCacheScheme, SramModel};
+use bimodal_core::{BiModalCache, BiModalConfig, DramCacheScheme, FunctionalConfig, SramModel};
 
 use crate::config::SystemConfig;
 
@@ -95,8 +96,32 @@ impl SchemeKind {
         prefetch_bypass: bool,
         adapt_epoch: Option<u64>,
     ) -> Box<dyn DramCacheScheme> {
+        self.build_inner(system, prefetch_bypass, adapt_epoch, false)
+    }
+
+    /// Builds the scheme with metadata SECDED ECC enabled or disabled —
+    /// the constructor used by fault-injection campaigns. With
+    /// `ecc = false` this is identical to [`SchemeKind::build_with`]
+    /// without prefetch bypass.
+    #[must_use]
+    pub fn build_resilient(
+        &self,
+        system: &SystemConfig,
+        adapt_epoch: Option<u64>,
+        ecc: bool,
+    ) -> Box<dyn DramCacheScheme> {
+        self.build_inner(system, false, adapt_epoch, ecc)
+    }
+
+    fn build_inner(
+        &self,
+        system: &SystemConfig,
+        prefetch_bypass: bool,
+        adapt_epoch: Option<u64>,
+        ecc: bool,
+    ) -> Box<dyn DramCacheScheme> {
         if let Some(config) = self.bimodal_config(system, prefetch_bypass, adapt_epoch) {
-            return Box::new(BiModalCache::new(config));
+            return Box::new(BiModalCache::new(config.with_metadata_ecc(ecc)));
         }
         let mb = system.cache_mb;
         match self {
@@ -106,14 +131,18 @@ impl SchemeKind {
             | SchemeKind::Fixed512
             | SchemeKind::BiModalColocatedMetadata
             | SchemeKind::BiModalMissPredict => unreachable!("handled by bimodal_config"),
-            SchemeKind::Alloy => Box::new(AlloyCache::with_capacity_mb(mb)),
-            SchemeKind::LohHill => Box::new(LohHillCache::with_capacity_mb(mb)),
+            SchemeKind::Alloy => Box::new(AlloyCache::new(
+                AlloyConfig::for_cache_mb(mb).with_metadata_ecc(ecc),
+            )),
+            SchemeKind::LohHill => Box::new(LohHillCache::new(
+                LohHillConfig::for_cache_mb(mb).with_metadata_ecc(ecc),
+            )),
             SchemeKind::AtCache => {
                 // The full-scale design's tag cache covers ~3% of sets;
                 // keep that fraction under scaling (a fixed 4096-entry
                 // cache would cover half of a scaled-down cache's sets).
                 let n_sets = (mb << 20) / (64 * 16);
-                let mut c = AtCacheConfig::for_cache_mb(mb);
+                let mut c = AtCacheConfig::for_cache_mb(mb).with_metadata_ecc(ecc);
                 c.tag_cache_sets = usize::try_from((n_sets / 32).max(64)).expect("fits");
                 Box::new(AtCache::new(c))
             }
@@ -127,9 +156,39 @@ impl SchemeKind {
                 let tag_bytes = full_bytes / 2048 * 12;
                 let cycles = SramModel::new().access_cycles(tag_bytes);
                 Box::new(FootprintCache::new(
-                    FootprintConfig::for_cache_mb(mb).with_tag_latency(cycles),
+                    FootprintConfig::for_cache_mb(mb)
+                        .with_tag_latency(cycles)
+                        .with_metadata_ecc(ecc),
                 ))
             }
+        }
+    }
+
+    /// The functional shadow-model geometry for this organization, plus
+    /// the conformance-region granularity (log2 bytes) a shadow checker
+    /// should compare hits at.
+    ///
+    /// The granularity is each scheme's allocation unit: 512 B for the
+    /// Bi-Modal variants (big-block grain), 64 B for the line-grain
+    /// baselines, and 2 KB for the Footprint Cache — whose predictor may
+    /// legitimately fill never-demanded lines of a resident page, so
+    /// only page-grain residency is oracle-checkable.
+    #[must_use]
+    pub fn shadow_model(&self, cache_bytes: u64) -> (FunctionalConfig, u32) {
+        match self {
+            SchemeKind::BiModal
+            | SchemeKind::BiModalOnly
+            | SchemeKind::WayLocatorOnly
+            | SchemeKind::Fixed512
+            | SchemeKind::BiModalColocatedMetadata
+            | SchemeKind::BiModalMissPredict => (FunctionalConfig::new(cache_bytes, 512, 16), 9),
+            SchemeKind::Alloy => (FunctionalConfig::new(cache_bytes, 64, 1), 6),
+            SchemeKind::LohHill => (
+                FunctionalConfig::with_geometry(cache_bytes / 2048, 64, 29),
+                6,
+            ),
+            SchemeKind::AtCache => (FunctionalConfig::new(cache_bytes, 64, 16), 6),
+            SchemeKind::Footprint => (FunctionalConfig::new(cache_bytes, 2048, 4), 11),
         }
     }
 
@@ -214,6 +273,42 @@ mod tests {
         let all = SchemeKind::all();
         for k in SchemeKind::comparison_set() {
             assert!(all.contains(&k));
+        }
+    }
+
+    #[test]
+    fn every_scheme_exposes_a_fault_target_and_shadow_model() {
+        let system = SystemConfig::quad_core().with_cache_mb(4);
+        for kind in SchemeKind::all() {
+            let mut scheme = kind.build_resilient(&system, Some(2_000), true);
+            assert!(
+                scheme.fault_target().is_some(),
+                "{kind}: no fault-injection surface"
+            );
+            let (config, region_bits) = kind.shadow_model(system.cache_bytes());
+            let shadow = bimodal_core::FunctionalCache::new(config);
+            assert!(shadow.config().cache_bytes > 0, "{kind}");
+            assert!((6..=11).contains(&region_bits), "{kind}");
+        }
+    }
+
+    #[test]
+    fn build_resilient_without_ecc_matches_build_with() {
+        // Campaigns rely on this equivalence for clean-vs-faulted runs.
+        let system = SystemConfig::quad_core().with_cache_mb(4);
+        for kind in SchemeKind::all() {
+            let mut a = kind.build_resilient(&system, Some(2_000), false);
+            let mut b = kind.build_with(&system, false, Some(2_000));
+            let mut mem_a = system.build_memory();
+            let mut mem_b = system.build_memory();
+            let mut now = 0;
+            for k in 0..200u64 {
+                let ra = a.access(CacheAccess::read(k * 64 % 4096 * 96, now), &mut mem_a);
+                let rb = b.access(CacheAccess::read(k * 64 % 4096 * 96, now), &mut mem_b);
+                assert_eq!(ra.complete, rb.complete, "{kind}");
+                assert_eq!(ra.hit, rb.hit, "{kind}");
+                now = ra.complete + 10;
+            }
         }
     }
 

@@ -36,7 +36,7 @@ fn usage() -> &'static str {
      \x20 sweep   --mix <M> [--accesses N] [--cache-mb C] [--seed K] [--jobs N]\n\
      \x20         [--json FILE]\n\
      \x20 record  --program <P> --out <FILE> [--n N] [--seed K]\n\
-     \x20 inject  --mix <M> [--scheme <S>] [--accesses N] [--seed K] [--seeds N]\n\
+     \x20 inject  --mix <M> [--scheme <S|all>] [--accesses N] [--seed K] [--seeds N]\n\
      \x20         [--metadata-rate P] [--multi-bit P] [--locator-rate P]\n\
      \x20         [--predictor-rate P] [--dram-rate P] [--ecc] [--antt]\n\
      \x20         [--shadow-every N] [--watchdog CYCLES | --no-watchdog]\n\
@@ -62,7 +62,8 @@ fn usage() -> &'static str {
      \n\
      mixes: Q1..Q24 (4-core), E1..E16 (8-core), S1..S8 (16-core)\n\
      schemes: bimodal, bimodal-only, waylocator-only, fixed512, alloy,\n\
-     \x20        lohhill, atcache, footprint, bimodal-mp"
+     \x20        lohhill, atcache, footprint, bimodal-mp\n\
+     \x20        (inject also accepts `all`: the five-scheme comparison set)"
 }
 
 /// Flags that stand alone (`--ecc`); an explicit value still works via
@@ -605,7 +606,15 @@ fn print_campaign(report: &CampaignReport) {
 
 fn cmd_inject(flags: &HashMap<String, String>) -> Result<(), String> {
     let mix_name = flags.get("mix").ok_or("inject needs --mix")?;
-    let scheme = parse_scheme(flags.get("scheme").map_or("bimodal", String::as_str))?;
+    let scheme_flag = flags.get("scheme").map_or("bimodal", String::as_str);
+    // `--scheme all` fans the campaign across every organization in the
+    // comparison set, producing one clean-vs-faulted degradation row per
+    // scheme.
+    let kinds = if scheme_flag.eq_ignore_ascii_case("all") {
+        SchemeKind::comparison_set()
+    } else {
+        vec![parse_scheme(scheme_flag)?]
+    };
     let (mix, base) = parse_mix(mix_name)?;
     let system = configured_system(base, flags)?;
     let rates = FaultRates {
@@ -640,18 +649,26 @@ fn cmd_inject(flags: &HashMap<String, String>) -> Result<(), String> {
     }
     let base_seed = num(flags, "seed", system.seed)?;
     let mix_name = mix.name().to_owned();
-    let campaign = CampaignConfig::new(system.clone(), scheme, mix)
-        .with_accesses(num(flags, "accesses", 30_000)?)
-        .with_seed(base_seed)
-        .with_rates(rates)
-        .with_ecc(flag_bool(flags, "ecc")?)
-        .with_shadow_cadence(num(flags, "shadow-every", 256)?)
-        .with_watchdog(watchdog)
-        .with_antt(flag_bool(flags, "antt")?);
+    let accesses: u64 = num(flags, "accesses", 30_000)?;
+    let ecc = flag_bool(flags, "ecc")?;
+    let shadow_every: u64 = num(flags, "shadow-every", 256)?;
+    let antt = flag_bool(flags, "antt")?;
+    let campaign_for = |kind: SchemeKind, seed: u64| {
+        CampaignConfig::new(system.clone(), kind, mix.clone())
+            .with_accesses(accesses)
+            .with_seed(seed)
+            .with_rates(rates)
+            .with_ecc(ecc)
+            .with_shadow_cadence(shadow_every)
+            .with_watchdog(watchdog)
+            .with_antt(antt)
+    };
 
-    if seeds == 1 {
+    if kinds.len() == 1 && seeds == 1 {
         let mut obs = build_observer(flags)?;
-        let report = campaign.run(&mut obs).map_err(|e| e.to_string())?;
+        let report = campaign_for(kinds[0], base_seed)
+            .run(&mut obs)
+            .map_err(|e| e.to_string())?;
         print_campaign(&report);
         let sim_cycles = report
             .faulted
@@ -673,8 +690,9 @@ fn cmd_inject(flags: &HashMap<String, String>) -> Result<(), String> {
         return Ok(());
     }
 
-    // Multi-seed fan-out: each campaign is an independent unit with its
-    // own injector seed and a disabled observer, reduced in seed order.
+    // Fan-out: each (scheme, seed) pair is an independent unit with its
+    // own injector seed and a disabled observer, reduced in canonical
+    // order (schemes in comparison order, then seeds ascending).
     for heavy in [
         "trace-out",
         "heartbeat",
@@ -683,30 +701,45 @@ fn cmd_inject(flags: &HashMap<String, String>) -> Result<(), String> {
         "sample-every",
     ] {
         if flags.contains_key(heavy) {
-            return Err(format!("--{heavy} is not available with --seeds > 1"));
+            return Err(format!(
+                "--{heavy} is not available when fanning over schemes or seeds"
+            ));
         }
     }
     let jobs = parse_jobs(flags)?;
-    let runs = bimodal::exec::map(jobs, (0..seeds).collect::<Vec<u64>>(), |k| {
+    let units: Vec<(SchemeKind, u64)> = kinds
+        .iter()
+        .flat_map(|&kind| (0..seeds).map(move |k| (kind, k)))
+        .collect();
+    let runs = bimodal::exec::map(jobs, units, |(kind, k)| {
         let mut obs = Observer::disabled();
-        campaign
-            .clone()
-            .with_seed(base_seed + k)
+        campaign_for(kind, base_seed + k)
             .run(&mut obs)
-            .map(|r| (base_seed + k, r))
+            .map(|r| (kind, base_seed + k, r))
             .map_err(|e| e.to_string())
     });
     println!(
-        "{:>10} {:>8} {:>8} {:>12} {:>12} {:>10}",
-        "seed", "landed", "silent", "hit % clean", "hit % fault", "lat +cy"
+        "{:>16} {:>10} {:>8} {:>9} {:>7} {:>7} {:>12} {:>12} {:>10}",
+        "scheme",
+        "seed",
+        "landed",
+        "corrected",
+        "uncorr",
+        "silent",
+        "hit % clean",
+        "hit % fault",
+        "lat +cy"
     );
     let mut campaigns = Vec::new();
     let mut total_silent = 0u64;
     for run in runs {
-        let (seed, r) = run?;
+        let (kind, seed, r) = run?;
         println!(
-            "{seed:>10} {:>8} {:>8} {:>12.2} {:>12.2} {:>10.1}",
+            "{:>16} {seed:>10} {:>8} {:>9} {:>7} {:>7} {:>12.2} {:>12.2} {:>10.1}",
+            kind.name(),
             r.counts.total(),
+            r.detected_corrected,
+            r.detected_uncorrected,
             r.silent_corruptions,
             r.clean.scheme.hit_rate() * 100.0,
             r.faulted.scheme.hit_rate() * 100.0,
@@ -715,13 +748,20 @@ fn cmd_inject(flags: &HashMap<String, String>) -> Result<(), String> {
         total_silent += r.silent_corruptions;
         campaigns.push(r.to_json());
     }
-    println!("total silent corruptions across {seeds} seeds: {total_silent}");
+    println!(
+        "total silent corruptions across {} campaigns: {total_silent}",
+        campaigns.len()
+    );
     if let Some(path) = flags.get("json") {
         let mut j = Json::object();
         j.set("command", "inject")
             .set("mix", mix_name.as_str())
             .set("base_seed", base_seed)
             .set("seeds", seeds)
+            .set(
+                "schemes",
+                Json::Arr(kinds.iter().map(|k| Json::from(k.name())).collect()),
+            )
             .set("campaigns", Json::Arr(campaigns));
         write_json(path, &j)?;
         println!("wrote campaign JSON to {path}");

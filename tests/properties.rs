@@ -16,8 +16,11 @@ use bimodal::dram::{
     AddressMapping, DeferredOp, DeferredQueue, DramConfig, DramModule, Location, MemorySystem,
     Request,
 };
+use bimodal::faults::{CampaignConfig, FaultRates};
+use bimodal::obs::Observer;
 use bimodal::prng::SmallRng;
-use bimodal::sim::{LlscCache, LlscConfig, SchemeKind};
+use bimodal::sim::{LlscCache, LlscConfig, SchemeKind, SystemConfig};
+use bimodal::workloads::WorkloadMix;
 
 const SEEDS: [u64; 6] = [1, 7, 42, 1234, 0xDEAD_BEEF, u64::MAX / 3];
 
@@ -231,6 +234,83 @@ fn bimodal_cache_stats_invariants() {
         assert_eq!(s.hits + s.misses, s.accesses);
         assert_eq!(s.small_hits + s.big_hits, s.hits);
         assert_eq!(s.locator_hits + s.locator_misses, s.accesses);
+    }
+}
+
+fn ecc_campaign(kind: SchemeKind, seed: u64, multi_bit: f64) -> bimodal::faults::CampaignReport {
+    let system = SystemConfig::quad_core().with_cache_mb(4).with_warmup(300);
+    let mix = WorkloadMix::quad("Q1").expect("known mix");
+    CampaignConfig::new(system, kind, mix)
+        .with_accesses(600)
+        .with_rates(FaultRates {
+            metadata: 0.05,
+            multi_bit,
+            ..FaultRates::default()
+        })
+        .with_ecc(true)
+        .with_seed(seed)
+        .run(&mut Observer::disabled())
+        .expect("ECC campaign runs")
+}
+
+/// SECDED property, single-bit half: with ECC on, every single-bit
+/// metadata flip is ledgered (never applied raw), eventually corrected,
+/// and invisible to the shadow oracle — on every organization.
+#[test]
+fn ecc_corrects_every_single_bit_flip() {
+    for seed in &SEEDS[..3] {
+        for kind in SchemeKind::comparison_set() {
+            let report = ecc_campaign(kind, *seed, 0.0);
+            assert!(
+                report.counts.metadata > 0,
+                "{kind}: campaign must land flips (seed {seed})"
+            );
+            assert_eq!(report.counts.metadata_multi, 0, "{kind} (seed {seed})");
+            assert_eq!(report.counts.metadata_applied, 0, "{kind} (seed {seed})");
+            assert_eq!(report.silent_corruptions, 0, "{kind} (seed {seed})");
+            assert_eq!(
+                report.detected_uncorrected, 0,
+                "{kind}: single-bit flips must never invalidate (seed {seed})"
+            );
+            assert!(
+                report.detected_corrected >= report.counts.metadata,
+                "{kind}: every flip corrected (seed {seed})"
+            );
+            assert_eq!(
+                report.shadow.expect("shadow on").faulted_violations,
+                0,
+                "{kind} (seed {seed})"
+            );
+        }
+    }
+}
+
+/// SECDED property, double-bit half: with ECC on, every multi-bit
+/// metadata flip is detected-uncorrectable — the entry is invalidated
+/// rather than trusted, so nothing goes silent and the shadow oracle
+/// stays quiet — on every organization.
+#[test]
+fn ecc_invalidates_every_double_bit_flip() {
+    for seed in &SEEDS[..3] {
+        for kind in SchemeKind::comparison_set() {
+            let report = ecc_campaign(kind, *seed, 1.0);
+            assert!(
+                report.counts.metadata_multi > 0,
+                "{kind}: campaign must land multi-bit flips (seed {seed})"
+            );
+            assert_eq!(report.counts.metadata, 0, "{kind} (seed {seed})");
+            assert_eq!(report.counts.metadata_applied, 0, "{kind} (seed {seed})");
+            assert_eq!(report.silent_corruptions, 0, "{kind} (seed {seed})");
+            assert!(
+                report.detected_uncorrected >= report.counts.metadata_multi,
+                "{kind}: every multi-bit flip invalidates (seed {seed})"
+            );
+            assert_eq!(
+                report.shadow.expect("shadow on").faulted_violations,
+                0,
+                "{kind}: a detected-uncorrectable flip must never serve data (seed {seed})"
+            );
+        }
     }
 }
 

@@ -5,7 +5,10 @@
 //! accounting, and determinism.
 
 use bimodal::cache::CacheAccess;
-use bimodal::sim::{SchemeKind, SystemConfig};
+use bimodal::faults::CampaignConfig;
+use bimodal::obs::Observer;
+use bimodal::sim::{SchemeKind, Simulation, SystemConfig};
+use bimodal::workloads::WorkloadMix;
 
 fn system() -> SystemConfig {
     SystemConfig::quad_core().with_cache_mb(4)
@@ -136,6 +139,40 @@ fn dirty_data_is_written_back_under_conflict_pressure() {
             mem.main.stats().totals.bytes_written >= s.offchip_writeback_bytes / 2,
             "{kind}"
         );
+    }
+}
+
+#[test]
+fn armed_but_silent_injector_is_invisible_for_every_scheme() {
+    // The resilience plumbing must cost clean runs nothing, on every
+    // organization: a campaign with all rates at zero produces a faulted
+    // run byte-identical (JSON included) to the clean one, and identical
+    // to the plain simulation facade on the same inputs.
+    let sys = || system().with_warmup(300);
+    for kind in SchemeKind::comparison_set() {
+        let mix = WorkloadMix::quad("Q1").expect("known mix");
+        let report = CampaignConfig::new(sys(), kind, mix)
+            .with_accesses(600)
+            .run(&mut Observer::disabled())
+            .expect("zero-rate campaign runs");
+        assert_eq!(report.counts.total(), 0, "{kind}");
+        assert!(report.schedule.is_empty(), "{kind}");
+        assert_eq!(report.clean, report.faulted, "{kind}");
+        assert_eq!(report.clean_digest, report.faulted_digest, "{kind}");
+        assert!(report.clean_digest.is_some(), "{kind}: digest exposed");
+        let j = report.to_json();
+        let clean = j.get("clean").expect("clean section").to_pretty();
+        let faulted = j.get("faulted").expect("faulted section").to_pretty();
+        assert_eq!(clean, faulted, "{kind}: byte-identical JSON sections");
+        let shadow = report.shadow.expect("shadow on by default");
+        assert_eq!(shadow.clean_violations, 0, "{kind}");
+        assert_eq!(shadow.faulted_violations, 0, "{kind}");
+        let mix = WorkloadMix::quad("Q1").expect("known mix");
+        let plain = Simulation::new(sys(), kind)
+            .run_mix(&mix, 600)
+            .expect("runs");
+        assert_eq!(report.faulted.scheme, plain.scheme, "{kind}");
+        assert_eq!(report.faulted.core_cycles, plain.core_cycles, "{kind}");
     }
 }
 

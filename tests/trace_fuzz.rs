@@ -1,0 +1,185 @@
+//! Seeded garbage-trace fuzz against the full replay path.
+//!
+//! The `BMT1` reader already has a unit-level fuzz test proving it
+//! never panics on malformed bytes. These tests extend that corpus one
+//! layer up: whatever the reader *does* yield — clean records, a good
+//! prefix before a truncation, or nothing — is replayed into every
+//! cache organization in the comparison set. External trace input must
+//! never panic any scheme; every malformation surfaces as a typed
+//! [`TraceError`], and every parsed record is serviced.
+
+use bimodal::cache::CacheAccess;
+use bimodal::prng::SmallRng;
+use bimodal::sim::{SchemeKind, SystemConfig};
+use bimodal::workloads::{read_trace, write_trace, Access, TraceError};
+
+const MAGIC: &[u8; 4] = b"BMT1";
+
+fn temp(name: &str, seed: u64) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "bimodal-fuzz-{name}-{seed}-{}.bmt",
+        std::process::id()
+    ))
+}
+
+fn system() -> SystemConfig {
+    SystemConfig::quad_core().with_cache_mb(4)
+}
+
+/// Replays `accesses` through `kind`, asserting time always advances.
+fn replay(kind: SchemeKind, accesses: &[Access]) {
+    let mut scheme = kind.build(&system());
+    let mut mem = system().build_memory();
+    let mut now = 0;
+    for a in accesses {
+        let access = if a.is_write {
+            CacheAccess::write(a.addr, now)
+        } else {
+            CacheAccess::read(a.addr, now)
+        };
+        let out = scheme.access(access, &mut mem);
+        assert!(out.complete > now, "{kind}: completion must advance");
+        now = out.complete + a.gap;
+    }
+    assert_eq!(scheme.stats().accesses, accesses.len() as u64, "{kind}");
+}
+
+/// Random byte garbage — raw, or with a valid `BMT1` header spliced on
+/// so the record parser gets exercised — must never panic the reader or
+/// any scheme fed from it. Garbage that parses yields arbitrary 63-bit
+/// addresses and gaps; every organization must service them.
+#[test]
+fn garbage_traces_never_panic_any_scheme() {
+    for seed in 0..48u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let len = rng.gen_range(0usize..240);
+        let mut bytes: Vec<u8> = (0..len).map(|_| rng.gen_range(0u32..256) as u8).collect();
+        if seed.is_multiple_of(2) {
+            let mut with_magic = MAGIC.to_vec();
+            with_magic.append(&mut bytes);
+            bytes = with_magic;
+        }
+        let path = temp("garbage", seed);
+        std::fs::write(&path, &bytes).expect("writes");
+        let opened = read_trace(&path);
+        match opened {
+            Err(e) => assert!(
+                matches!(e, TraceError::NotATrace | TraceError::Io(_)),
+                "open failures are typed (seed {seed})"
+            ),
+            Ok(trace) => {
+                let mut good = Vec::new();
+                for (i, item) in trace.enumerate() {
+                    match item {
+                        Ok(a) => {
+                            assert_eq!(a.addr >> 63, 0, "write flag stripped (seed {seed})");
+                            good.push(a);
+                        }
+                        Err(e) => {
+                            // Errors are typed and terminal: only a
+                            // truncated tail can follow a valid header.
+                            assert!(
+                                matches!(e, TraceError::TruncatedRecord { index } if index == i as u64),
+                                "seed {seed}"
+                            );
+                            break;
+                        }
+                    }
+                }
+                for kind in SchemeKind::comparison_set() {
+                    replay(kind, &good);
+                }
+            }
+        }
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+}
+
+/// A trace cut off mid-record still replays its good prefix on every
+/// scheme, and the truncation reports exactly how many records survived.
+#[test]
+fn truncated_traces_replay_their_good_prefix_everywhere() {
+    for seed in [3u64, 17, 99] {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = rng.gen_range(4u64..20);
+        let accesses: Vec<Access> = (0..n)
+            .map(|_| {
+                let addr = rng.gen_range(0u64..1 << 26) & !63;
+                let gap = rng.gen_range(0u64..500);
+                if rng.gen_bool(0.3) {
+                    Access::write(addr, gap)
+                } else {
+                    Access::read(addr, gap)
+                }
+            })
+            .collect();
+        let path = temp("truncated", seed);
+        write_trace(&path, &accesses).expect("writes");
+        // Chop the file inside the final record.
+        let mut bytes = std::fs::read(&path).expect("reads back");
+        let cut = rng.gen_range(1usize..12);
+        bytes.truncate(bytes.len() - cut);
+        std::fs::write(&path, &bytes).expect("rewrites");
+        let items: Vec<_> = read_trace(&path).expect("opens").collect();
+        std::fs::remove_file(&path).expect("cleanup");
+        assert_eq!(items.len() as u64, n, "seed {seed}");
+        let good: Vec<Access> = items[..items.len() - 1]
+            .iter()
+            .map(|r| *r.as_ref().expect("prefix parses"))
+            .collect();
+        assert!(
+            matches!(
+                items[items.len() - 1],
+                Err(TraceError::TruncatedRecord { index }) if index == n - 1
+            ),
+            "seed {seed}"
+        );
+        for kind in SchemeKind::comparison_set() {
+            replay(kind, &good);
+        }
+    }
+}
+
+/// Round-trip determinism through the file format: replaying a trace
+/// read back from disk gives every scheme the same statistics as
+/// replaying the in-memory original.
+#[test]
+fn file_round_trip_replays_identically_on_every_scheme() {
+    let mut rng = SmallRng::seed_from_u64(0xF0F0);
+    let accesses: Vec<Access> = (0..400)
+        .map(|_| {
+            let addr = rng.gen_range(0u64..1 << 23) & !63;
+            let gap = rng.gen_range(0u64..200);
+            if rng.gen_bool(0.25) {
+                Access::write(addr, gap)
+            } else {
+                Access::read(addr, gap)
+            }
+        })
+        .collect();
+    let path = temp("roundtrip", 0);
+    write_trace(&path, &accesses).expect("writes");
+    let back: Vec<Access> = read_trace(&path)
+        .expect("opens")
+        .collect::<Result<_, _>>()
+        .expect("parses");
+    std::fs::remove_file(&path).expect("cleanup");
+    assert_eq!(back, accesses);
+    for kind in SchemeKind::comparison_set() {
+        let run = |trace: &[Access]| {
+            let mut scheme = kind.build(&system());
+            let mut mem = system().build_memory();
+            let mut now = 0;
+            for a in trace {
+                let access = if a.is_write {
+                    CacheAccess::write(a.addr, now)
+                } else {
+                    CacheAccess::read(a.addr, now)
+                };
+                now = scheme.access(access, &mut mem).complete + a.gap;
+            }
+            (scheme.stats().clone(), now)
+        };
+        assert_eq!(run(&accesses), run(&back), "{kind}");
+    }
+}
