@@ -19,7 +19,7 @@ use bimodal_core::{
     random_tag_xor, AccessKind, AccessOutcome, CacheAccess, ContentsDigest, DramCacheScheme,
     EccLedger, FaultTarget, MetadataFault, SchemeStats,
 };
-use bimodal_dram::{Cycle, DeferredOp, MemorySystem, Op, Request};
+use bimodal_dram::{Cycle, DeferredOp, MemorySystem, Op, Request, TrafficClass};
 use bimodal_prng::SmallRng;
 
 use crate::common::RowMapper;
@@ -238,6 +238,7 @@ impl AlloyCache {
         mem: &mut MemorySystem,
     ) -> bimodal_dram::Completion {
         let loc = self.tad_location(index, mem);
+        mem.cache_dram.set_class(TrafficClass::TagProbe);
         let comp = mem.cache_dram.access(Request {
             loc,
             bytes: self.tad_bytes(),
@@ -271,6 +272,7 @@ impl AlloyCache {
                             DeferredOp::MainWrite {
                                 addr: self.block_addr(entry.tag, fault.set),
                                 bytes,
+                                class: TrafficClass::Writeback,
                             },
                         );
                         self.stats.writebacks += 1;
@@ -283,7 +285,14 @@ impl AlloyCache {
             // Scrub write of the repaired TAD, off the critical path.
             let bytes = self.tad_bytes();
             let loc = self.tad_location(fault.set, mem);
-            mem.defer(at, DeferredOp::CacheWrite { loc, bytes });
+            mem.defer(
+                at,
+                DeferredOp::CacheWrite {
+                    loc,
+                    bytes,
+                    class: TrafficClass::Scrub,
+                },
+            );
         }
     }
 }
@@ -427,7 +436,14 @@ impl DramCacheScheme for AlloyCache {
                 // The dirty TAD is rewritten in place, off the critical path.
                 let bytes = self.tad_bytes();
                 let loc = self.tad_location(index, mem);
-                mem.defer(tag_known, DeferredOp::CacheWrite { loc, bytes });
+                mem.defer(
+                    tag_known,
+                    DeferredOp::CacheWrite {
+                        loc,
+                        bytes,
+                        class: TrafficClass::MetadataWrite,
+                    },
+                );
             }
             complete = tag_known;
             self.stats.breakdown.dram_data += complete.saturating_sub(access.now);
@@ -438,6 +454,7 @@ impl DramCacheScheme for AlloyCache {
             // Predicted miss overlaps the fetch with the probe; predicted
             // hit pays the serialization.
             let fetch_start = if predicted_hit { tag_known } else { access.now };
+            mem.main.set_class(TrafficClass::MainMemRefill);
             let fetch = mem.main.read(base, bytes, fetch_start);
             self.stats.offchip_fetched_bytes += u64::from(bytes);
             offchip_bytes += u64::from(bytes);
@@ -451,6 +468,7 @@ impl DramCacheScheme for AlloyCache {
                         DeferredOp::MainWrite {
                             addr: victim_addr,
                             bytes,
+                            class: TrafficClass::Writeback,
                         },
                     );
                     self.stats.writebacks += 1;
@@ -466,7 +484,14 @@ impl DramCacheScheme for AlloyCache {
             // Fill the TAD (write, off the critical path).
             let tad_w = self.tad_bytes();
             let loc = self.tad_location(index, mem);
-            mem.defer(fetch.done, DeferredOp::CacheWrite { loc, bytes: tad_w });
+            mem.defer(
+                fetch.done,
+                DeferredOp::CacheWrite {
+                    loc,
+                    bytes: tad_w,
+                    class: TrafficClass::DataFill,
+                },
+            );
             let _ = op;
             complete = fetch.done.max(tag_known);
             self.stats.breakdown.dram_data += tag_known.saturating_sub(access.now);

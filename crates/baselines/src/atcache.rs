@@ -18,7 +18,7 @@ use bimodal_core::{
     random_tag_xor, AccessKind, AccessOutcome, CacheAccess, ContentsDigest, DramCacheScheme,
     EccLedger, FaultTarget, MetadataFault, SchemeStats, SramModel,
 };
-use bimodal_dram::{Cycle, DeferredOp, MemorySystem, Op, Request, RowEvent};
+use bimodal_dram::{Cycle, DeferredOp, MemorySystem, Op, Request, RowEvent, TrafficClass};
 use bimodal_prng::SmallRng;
 
 use crate::common::RowMapper;
@@ -198,6 +198,7 @@ impl AtCache {
                             DeferredOp::MainWrite {
                                 addr: self.line_addr(line.tag, set_idx),
                                 bytes,
+                                class: TrafficClass::Writeback,
                             },
                         );
                         self.stats.writebacks += 1;
@@ -208,7 +209,14 @@ impl AtCache {
                 self.stats.ecc_corrected += 1;
             }
             // Scrub write of the repaired tag block, off the critical path.
-            mem.defer(at, DeferredOp::CacheWrite { loc, bytes: 64 });
+            mem.defer(
+                at,
+                DeferredOp::CacheWrite {
+                    loc,
+                    bytes: 64,
+                    class: TrafficClass::Scrub,
+                },
+            );
         }
     }
 }
@@ -337,6 +345,7 @@ impl DramCacheScheme for AtCache {
         } else {
             self.stats.locator_misses += 1;
             // DRAM tag read: target set's tags plus the PG-group burst.
+            mem.cache_dram.set_class(TrafficClass::MetadataRead);
             let t = mem.cache_dram.access(Request {
                 loc,
                 bytes: self.dram_tag_bytes(),
@@ -372,6 +381,7 @@ impl DramCacheScheme for AtCache {
                     ..line
                 },
             );
+            mem.cache_dram.set_class(TrafficClass::DataHit);
             let data = mem
                 .cache_dram
                 .column_access(loc, self.config.block_bytes, op, tags_checked);
@@ -387,6 +397,7 @@ impl DramCacheScheme for AtCache {
             self.stats.misses += 1;
             let bytes = self.config.block_bytes;
             let base = access.addr & !u64::from(bytes - 1);
+            mem.main.set_class(TrafficClass::MainMemRefill);
             let fetch = mem.main.read(base, bytes, tags_checked);
             self.stats.offchip_fetched_bytes += u64::from(bytes);
             offchip_bytes += u64::from(bytes);
@@ -407,6 +418,7 @@ impl DramCacheScheme for AtCache {
                         DeferredOp::MainWrite {
                             addr: victim_addr,
                             bytes,
+                            class: TrafficClass::Writeback,
                         },
                     );
                     self.stats.writebacks += 1;
@@ -415,8 +427,22 @@ impl DramCacheScheme for AtCache {
                 }
             }
             self.stats.fills_big += 1;
-            mem.defer(fetch.done, DeferredOp::CacheWrite { loc, bytes });
-            mem.defer(fetch.done, DeferredOp::CacheWrite { loc, bytes: 64 });
+            mem.defer(
+                fetch.done,
+                DeferredOp::CacheWrite {
+                    loc,
+                    bytes,
+                    class: TrafficClass::DataFill,
+                },
+            );
+            mem.defer(
+                fetch.done,
+                DeferredOp::CacheWrite {
+                    loc,
+                    bytes: 64,
+                    class: TrafficClass::MetadataWrite,
+                },
+            );
             complete = fetch.done;
             self.stats.breakdown.offchip += complete.saturating_sub(tags_checked);
         }

@@ -17,7 +17,7 @@ use bimodal_core::{
     random_tag_xor, AccessKind, AccessOutcome, CacheAccess, ContentsDigest, DramCacheScheme,
     EccLedger, FaultTarget, MetadataFault, SchemeStats, SramModel,
 };
-use bimodal_dram::{Cycle, DeferredOp, MemorySystem, Op, RowEvent};
+use bimodal_dram::{Cycle, DeferredOp, MemorySystem, Op, RowEvent, TrafficClass};
 use bimodal_prng::SmallRng;
 
 use crate::common::RowMapper;
@@ -280,6 +280,7 @@ impl FootprintCache {
                     DeferredOp::MainWrite {
                         addr: base + u64::from(s) * sub,
                         bytes: self.config.sub_block_bytes,
+                        class: TrafficClass::Writeback,
                     },
                 );
                 self.stats.writebacks += 1;
@@ -315,6 +316,7 @@ impl FootprintCache {
                                 DeferredOp::MainWrite {
                                     addr: base + u64::from(s) * sub,
                                     bytes: self.config.sub_block_bytes,
+                                    class: TrafficClass::Writeback,
                                 },
                             );
                             self.stats.writebacks += 1;
@@ -467,6 +469,7 @@ impl DramCacheScheme for FootprintCache {
                     pg.dirty |= 1 << sub;
                 }
                 set.insert(0, pg);
+                mem.cache_dram.set_class(TrafficClass::DataHit);
                 let data = mem.cache_dram.column_access(
                     loc,
                     self.config.sub_block_bytes,
@@ -498,10 +501,18 @@ impl DramCacheScheme for FootprintCache {
             self.stats.misses += 1;
             let bytes = self.config.sub_block_bytes;
             let base = access.addr & !u64::from(bytes - 1);
+            mem.main.set_class(TrafficClass::MainMemRefill);
             let fetch = mem.main.read(base, bytes, tags_checked);
             self.stats.offchip_fetched_bytes += u64::from(bytes);
             offchip_bytes += u64::from(bytes);
-            mem.defer(fetch.done, DeferredOp::CacheWrite { loc, bytes });
+            mem.defer(
+                fetch.done,
+                DeferredOp::CacheWrite {
+                    loc,
+                    bytes,
+                    class: TrafficClass::DataFill,
+                },
+            );
             self.stats.breakdown.offchip += fetch.done.saturating_sub(tags_checked);
             self.stats.total_latency += fetch.done.saturating_sub(access.now);
             return AccessOutcome {
@@ -525,6 +536,7 @@ impl DramCacheScheme for FootprintCache {
         if self.config.single_use_bypass && predicted_count <= 1 && !seen_before {
             // Predicted single-use: bypass the cache.
             self.predictor.record_bypass_touch(page, sub);
+            mem.main.set_class(TrafficClass::MainMemRefill);
             let fetch = mem.main.read(base, bytes, tags_checked);
             self.stats.offchip_fetched_bytes += u64::from(bytes);
             offchip_bytes += u64::from(bytes);
@@ -542,10 +554,13 @@ impl DramCacheScheme for FootprintCache {
         // Fetch the predicted footprint (the demanded line first; the rest
         // streams behind it).
         let page_base = page * u64::from(self.config.page_bytes);
+        mem.main.set_class(TrafficClass::MainMemRefill);
         let demand = mem.main.read(base, bytes, tags_checked);
         let mut fill_done = demand.done;
         if predicted_count > 1 {
             let rest_bytes = (predicted_count - 1) * bytes;
+            // Non-demand remainder of the predicted footprint.
+            mem.main.set_class(TrafficClass::PredictorOverfetch);
             let rest = mem.main.read(page_base, rest_bytes, demand.done);
             fill_done = rest.done;
         }
@@ -575,6 +590,7 @@ impl DramCacheScheme for FootprintCache {
             DeferredOp::CacheWrite {
                 loc,
                 bytes: predicted_count * bytes,
+                class: TrafficClass::DataFill,
             },
         );
 

@@ -10,7 +10,7 @@ use bimodal_core::{
     random_tag_xor, AccessKind, AccessOutcome, CacheAccess, ContentsDigest, DramCacheScheme,
     EccLedger, FaultTarget, MetadataFault, SchemeStats,
 };
-use bimodal_dram::{Cycle, DeferredOp, MemorySystem, Op, Request, RowEvent};
+use bimodal_dram::{Cycle, DeferredOp, MemorySystem, Op, Request, RowEvent, TrafficClass};
 use bimodal_prng::SmallRng;
 
 use crate::common::RowMapper;
@@ -147,6 +147,7 @@ impl LohHillCache {
                             DeferredOp::MainWrite {
                                 addr: self.line_addr(line.tag, set_idx),
                                 bytes,
+                                class: TrafficClass::Writeback,
                             },
                         );
                         self.stats.writebacks += 1;
@@ -157,7 +158,14 @@ impl LohHillCache {
                 self.stats.ecc_corrected += 1;
             }
             // Scrub write of one repaired tag block, off the critical path.
-            mem.defer(at, DeferredOp::CacheWrite { loc, bytes: 64 });
+            mem.defer(
+                at,
+                DeferredOp::CacheWrite {
+                    loc,
+                    bytes: 64,
+                    class: TrafficClass::Scrub,
+                },
+            );
         }
     }
 }
@@ -267,6 +275,7 @@ impl DramCacheScheme for LohHillCache {
         let loc = mapper.location(set_idx);
 
         // Compound access: activate the row, read the tag blocks.
+        mem.cache_dram.set_class(TrafficClass::MetadataRead);
         let tags = mem.cache_dram.access(Request {
             loc,
             bytes: self.tag_read_bytes(),
@@ -299,6 +308,7 @@ impl DramCacheScheme for LohHillCache {
                     ..line
                 },
             );
+            mem.cache_dram.set_class(TrafficClass::DataHit);
             let data = mem
                 .cache_dram
                 .column_access(loc, self.config.block_bytes, op, tags_checked);
@@ -315,6 +325,7 @@ impl DramCacheScheme for LohHillCache {
             self.stats.misses += 1;
             let bytes = self.config.block_bytes;
             let base = access.addr & !u64::from(bytes - 1);
+            mem.main.set_class(TrafficClass::MainMemRefill);
             let fetch = mem.main.read(base, bytes, tags_checked);
             self.stats.offchip_fetched_bytes += u64::from(bytes);
             offchip_bytes += u64::from(bytes);
@@ -335,6 +346,7 @@ impl DramCacheScheme for LohHillCache {
                         DeferredOp::MainWrite {
                             addr: victim_addr,
                             bytes,
+                            class: TrafficClass::Writeback,
                         },
                     );
                     self.stats.writebacks += 1;
@@ -344,8 +356,22 @@ impl DramCacheScheme for LohHillCache {
             }
             self.stats.fills_big += 1;
             // Fill + tag update on the row, off the critical path.
-            mem.defer(fetch.done, DeferredOp::CacheWrite { loc, bytes });
-            mem.defer(fetch.done, DeferredOp::CacheWrite { loc, bytes: 64 });
+            mem.defer(
+                fetch.done,
+                DeferredOp::CacheWrite {
+                    loc,
+                    bytes,
+                    class: TrafficClass::DataFill,
+                },
+            );
+            mem.defer(
+                fetch.done,
+                DeferredOp::CacheWrite {
+                    loc,
+                    bytes: 64,
+                    class: TrafficClass::MetadataWrite,
+                },
+            );
             complete = fetch.done;
             self.stats.breakdown.dram_tag += tags_checked.saturating_sub(access.now);
             self.stats.breakdown.offchip += complete.saturating_sub(tags_checked);

@@ -15,7 +15,9 @@
 
 use bimodal_prng::SmallRng;
 
-use bimodal_dram::{Cycle, DeferredOp, DramConfig, MemorySystem, Op, Request, RowEvent};
+use bimodal_dram::{
+    Cycle, DeferredOp, DramConfig, MemorySystem, Op, Request, RowEvent, TrafficClass,
+};
 
 use crate::adaptive::GlobalMixController;
 use crate::geometry::{BlockSize, CacheGeometry};
@@ -587,6 +589,7 @@ impl BiModalCache {
                             DeferredOp::MainWrite {
                                 addr: base + u64::from(s) * small,
                                 bytes: self.geometry.small_block,
+                                class: TrafficClass::Writeback,
                             },
                         );
                         self.stats.writebacks += 1;
@@ -625,6 +628,7 @@ impl BiModalCache {
                         DeferredOp::MainWrite {
                             addr,
                             bytes: self.geometry.small_block,
+                            class: TrafficClass::Writeback,
                         },
                     );
                     self.stats.writebacks += 1;
@@ -675,9 +679,13 @@ impl BiModalCache {
                 self.stats.offchip_fetched_bytes += u64::from(sb);
                 self.stats.offchip_wasted_bytes += u64::from(sb);
                 self.stats.spec_wasted += 1;
+                mem.main.set_class(TrafficClass::MainMemRefill);
                 mem.main.read(fetch_addr, fetch_bytes, tags_checked)
             }
-            None => mem.main.read(fetch_addr, fetch_bytes, tags_checked),
+            None => {
+                mem.main.set_class(TrafficClass::MainMemRefill);
+                mem.main.read(fetch_addr, fetch_bytes, tags_checked)
+            }
         };
         self.stats.offchip_fetched_bytes += u64::from(fetch_bytes);
 
@@ -746,6 +754,7 @@ impl BiModalCache {
             DeferredOp::CacheWrite {
                 loc: data_loc,
                 bytes: fill_bytes,
+                class: TrafficClass::DataFill,
             },
         );
         let md_loc = self.metadata.metadata_location(set_idx, data_loc);
@@ -755,6 +764,7 @@ impl BiModalCache {
             DeferredOp::CacheWrite {
                 loc: md_loc,
                 bytes: 16,
+                class: TrafficClass::MetadataWrite,
             },
         );
 
@@ -789,6 +799,7 @@ impl BiModalCache {
                                 DeferredOp::MainWrite {
                                     addr: base + (first + u64::from(s)) * small,
                                     bytes: self.geometry.small_block,
+                                    class: TrafficClass::Writeback,
                                 },
                             );
                             self.stats.writebacks += 1;
@@ -807,6 +818,7 @@ impl BiModalCache {
                 DeferredOp::CacheWrite {
                     loc: md_loc,
                     bytes: 8,
+                    class: TrafficClass::Scrub,
                 },
             );
         }
@@ -981,6 +993,7 @@ impl DramCacheScheme for BiModalCache {
             if resident {
                 self.stats.locator_hits += 1;
                 let start = access.now + self.wl_cycles;
+                mem.cache_dram.set_class(TrafficClass::DataHit);
                 let comp = mem.cache_dram.access(Request {
                     loc: data_loc,
                     bytes: self.geometry.small_block,
@@ -1001,6 +1014,7 @@ impl DramCacheScheme for BiModalCache {
                         DeferredOp::CacheWrite {
                             loc: md_loc,
                             bytes: 8,
+                            class: TrafficClass::MetadataWrite,
                         },
                     );
                 }
@@ -1048,6 +1062,7 @@ impl DramCacheScheme for BiModalCache {
         let speculative = match self.miss_predictor.as_ref() {
             Some(mp) if access.kind != AccessKind::Prefetch && !mp.predict_hit(access.addr) => {
                 let (fetch_addr, fetch_bytes) = self.fetch_plan(access.addr);
+                mem.main.set_class(TrafficClass::PredictorOverfetch);
                 let comp = mem.main.read(fetch_addr, fetch_bytes, tag_start);
                 self.stats.spec_fetches += 1;
                 Some((comp, fetch_addr, fetch_bytes))
@@ -1058,6 +1073,7 @@ impl DramCacheScheme for BiModalCache {
         let set_ways = self.sets[usize::try_from(set_idx).expect("set fits usize")]
             .state()
             .ways();
+        mem.cache_dram.set_class(TrafficClass::MetadataRead);
         let md_comp = mem.cache_dram.access(Request {
             loc: md_loc,
             bytes: self.metadata.tag_read_bytes_for(set_ways),
@@ -1089,6 +1105,7 @@ impl DramCacheScheme for BiModalCache {
         if let Some(way) = hit_way {
             // --------------------------- cache hit after DRAM tag check
             let start = tags_checked.max(row_open);
+            mem.cache_dram.set_class(TrafficClass::DataHit);
             let comp = mem
                 .cache_dram
                 .column_access(data_loc, self.geometry.small_block, op, start);
@@ -1143,6 +1160,7 @@ impl DramCacheScheme for BiModalCache {
 
         if access.kind == AccessKind::Prefetch && self.prefetch_bypass {
             // PREF_BYPASS: fetch around the cache without allocating.
+            mem.main.set_class(TrafficClass::MainMemRefill);
             let comp = mem.main.read(
                 self.amap.small_block_base(access.addr),
                 self.geometry.small_block,

@@ -2,6 +2,8 @@
 
 use std::collections::VecDeque;
 
+use bimodal_obs::{BandwidthTracker, TrafficClass};
+
 use crate::bank::{Bank, RowEvent};
 use crate::config::{DramConfig, PagePolicy};
 use crate::request::{Completion, Location, Op, Request};
@@ -59,6 +61,10 @@ pub struct DramModule {
     queue: VecDeque<Pending>,
     done: Vec<(u64, Completion)>,
     next_id: u64,
+    /// Traffic class the next command is attributed to; set by the
+    /// issuing scheme via [`DramModule::set_class`] before each access.
+    class: TrafficClass,
+    bandwidth: BandwidthTracker,
 }
 
 impl DramModule {
@@ -88,8 +94,30 @@ impl DramModule {
             queue: VecDeque::new(),
             done: Vec::new(),
             next_id: 0,
+            class: TrafficClass::Other,
+            bandwidth: BandwidthTracker::new(config.channels as usize, n_banks),
             config,
         }
+    }
+
+    /// Sets the traffic class attributed to subsequent commands. A plain
+    /// register store: schemes set it immediately before each DRAM
+    /// operation they issue.
+    #[inline]
+    pub fn set_class(&mut self, class: TrafficClass) {
+        self.class = class;
+    }
+
+    /// Per-class bandwidth and occupancy counters.
+    #[must_use]
+    pub fn bandwidth(&self) -> &BandwidthTracker {
+        &self.bandwidth
+    }
+
+    /// Turns on the per-set access heatmap (a hash insert per access, so
+    /// off unless an observer wants it).
+    pub fn enable_heatmap(&mut self) {
+        self.bandwidth.enable_heatmap();
     }
 
     /// The configuration this module was built with.
@@ -156,6 +184,11 @@ impl DramModule {
             // A refresh has occurred since the last access: the row buffer
             // contents were lost to the precharge-all. The precharge was
             // part of the refresh itself, so no tRP is charged here.
+            // Each crossed epoch occupied the bank for tRFC; attribute
+            // that occupancy (no data-bus time) to the Refresh class.
+            let crossed = epoch - self.bank_epoch[bank_idx];
+            self.bandwidth
+                .record_bank_busy(bank_idx, TrafficClass::Refresh, crossed * rfc);
             self.bank_epoch[bank_idx] = epoch;
             self.banks[bank_idx].discard_row();
         }
@@ -237,6 +270,19 @@ impl DramModule {
             Op::Write => data_ready + burst + t.wr,
         };
         self.banks[idx].occupy_until(occupy);
+        // Attribution: pure counter adds off values the timing model just
+        // computed; nothing here feeds back into timing.
+        self.bandwidth.record_transfer(
+            ch,
+            self.class,
+            burst,
+            u64::from(bytes),
+            start.saturating_sub(arrival),
+            done,
+        );
+        self.bandwidth
+            .record_bank_busy(idx, self.class, occupy.saturating_sub(start));
+        self.bandwidth.record_access(idx as u32, loc.row);
         if self.config.page_policy == PagePolicy::Closed {
             // Auto-precharge after the column access.
             let timing = self.config.timing;
@@ -385,6 +431,7 @@ impl DramModule {
         }
         self.totals = BankStats::default();
         self.refresh_stalls = 0;
+        self.bandwidth.reset();
     }
 }
 
@@ -563,6 +610,55 @@ mod tests {
         }
         // The fifth activate waits for the four-activate window.
         assert!(starts[4] >= starts[0] + 1000, "{starts:?}");
+    }
+
+    #[test]
+    fn bandwidth_classes_sum_to_channel_busy_and_fit_elapsed() {
+        let mut m = DramModule::new(no_refresh_config());
+        let mut last_done = 0;
+        m.set_class(TrafficClass::MetadataRead);
+        for i in 0..4u32 {
+            let c = m.access(Request::read(loc(i % 2, u64::from(i) + 1), 64, 0));
+            last_done = last_done.max(c.done);
+        }
+        m.set_class(TrafficClass::DataHit);
+        for i in 0..4u32 {
+            let c = m.access(Request::write(loc(i % 2, 1), 64, last_done));
+            last_done = last_done.max(c.done);
+        }
+        for ch in m.bandwidth().channels() {
+            // Per-channel class cycles sum exactly to the channel's busy
+            // cycles, and bus serialization bounds busy by elapsed time.
+            assert_eq!(ch.busy.total_cycles(), ch.busy_cycles);
+            assert!(ch.busy_cycles <= last_done);
+            assert!(ch.busy_until <= last_done);
+        }
+        let s = m.bandwidth().summary(last_done, 8);
+        assert!(s.class_totals.cycles[TrafficClass::MetadataRead.index()] > 0);
+        assert!(s.class_totals.cycles[TrafficClass::DataHit.index()] > 0);
+        assert_eq!(s.class_totals.total_cycles(), s.total_busy_cycles());
+        // Queue waits were recorded for every transfer.
+        let waits: u64 = m
+            .bandwidth()
+            .channels()
+            .iter()
+            .map(|c| c.queue_wait.count())
+            .sum();
+        assert_eq!(waits, 8);
+    }
+
+    #[test]
+    fn refresh_windows_accrue_bank_refresh_cycles_not_bus_cycles() {
+        let mut c = DramConfig::stacked(1, 2);
+        c.timing.refi = 1000;
+        c.timing.rfc = 200;
+        let mut m = DramModule::new(c);
+        m.access(Request::read(loc(0, 1), 64, 0));
+        m.access(Request::read(loc(0, 1), 64, 5_500));
+        let s = m.bandwidth().summary(6_000, 4);
+        // Five refresh epochs crossed at 200 cycles each, on the bank.
+        assert_eq!(s.bank_totals.cycles[TrafficClass::Refresh.index()], 1000);
+        assert_eq!(s.class_totals.cycles[TrafficClass::Refresh.index()], 0);
     }
 
     #[test]

@@ -12,6 +12,8 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use bimodal_obs::TrafficClass;
+
 use crate::request::Location;
 use crate::timing::Cycle;
 
@@ -25,6 +27,8 @@ pub enum DeferredOp {
         loc: Location,
         /// Bytes written.
         bytes: u32,
+        /// Traffic class the write's bandwidth is attributed to.
+        class: TrafficClass,
     },
     /// Write `bytes` to main memory at `addr` (a dirty writeback).
     MainWrite {
@@ -32,6 +36,8 @@ pub enum DeferredOp {
         addr: u64,
         /// Bytes written.
         bytes: u32,
+        /// Traffic class the write's bandwidth is attributed to.
+        class: TrafficClass,
     },
 }
 
@@ -145,8 +151,22 @@ mod tests {
     fn pops_in_time_order_and_only_when_due() {
         let mut q = DeferredQueue::new();
         let loc = Location::new(0, 0, 0, 0);
-        q.push(200, DeferredOp::CacheWrite { loc, bytes: 64 });
-        q.push(100, DeferredOp::MainWrite { addr: 0, bytes: 64 });
+        q.push(
+            200,
+            DeferredOp::CacheWrite {
+                loc,
+                bytes: 64,
+                class: TrafficClass::DataFill,
+            },
+        );
+        q.push(
+            100,
+            DeferredOp::MainWrite {
+                addr: 0,
+                bytes: 64,
+                class: TrafficClass::Writeback,
+            },
+        );
         assert_eq!(q.len(), 2);
         assert!(q.pop_due(50).is_none());
         let (at, op) = q.pop_due(150).expect("due");
@@ -161,8 +181,22 @@ mod tests {
     fn tamper_ops_delay_drop_and_duplicate() {
         let loc = Location::new(0, 0, 0, 0);
         let fill = |q: &mut DeferredQueue| {
-            q.push(100, DeferredOp::MainWrite { addr: 0, bytes: 64 });
-            q.push(200, DeferredOp::CacheWrite { loc, bytes: 64 });
+            q.push(
+                100,
+                DeferredOp::MainWrite {
+                    addr: 0,
+                    bytes: 64,
+                    class: TrafficClass::Writeback,
+                },
+            );
+            q.push(
+                200,
+                DeferredOp::CacheWrite {
+                    loc,
+                    bytes: 64,
+                    class: TrafficClass::DataFill,
+                },
+            );
         };
 
         let mut q = DeferredQueue::new();
@@ -196,11 +230,39 @@ mod tests {
     fn fifo_within_same_cycle() {
         let mut q = DeferredQueue::new();
         let loc = Location::new(0, 0, 0, 0);
-        q.push(10, DeferredOp::CacheWrite { loc, bytes: 1 });
-        q.push(10, DeferredOp::CacheWrite { loc, bytes: 2 });
+        q.push(
+            10,
+            DeferredOp::CacheWrite {
+                loc,
+                bytes: 1,
+                class: TrafficClass::DataFill,
+            },
+        );
+        q.push(
+            10,
+            DeferredOp::CacheWrite {
+                loc,
+                bytes: 2,
+                class: TrafficClass::DataFill,
+            },
+        );
         let (_, a) = q.pop_due(10).expect("due");
         let (_, b) = q.pop_due(10).expect("due");
-        assert_eq!(a, DeferredOp::CacheWrite { loc, bytes: 1 });
-        assert_eq!(b, DeferredOp::CacheWrite { loc, bytes: 2 });
+        assert_eq!(
+            a,
+            DeferredOp::CacheWrite {
+                loc,
+                bytes: 1,
+                class: TrafficClass::DataFill
+            }
+        );
+        assert_eq!(
+            b,
+            DeferredOp::CacheWrite {
+                loc,
+                bytes: 2,
+                class: TrafficClass::DataFill
+            }
+        );
     }
 }

@@ -53,3 +53,7 @@ pub use request::{Completion, Location, Op, Request};
 pub use stats::{BankStats, DramStats};
 pub use system::MemorySystem;
 pub use timing::{Cycle, TimingParams};
+
+// Re-exported so schemes can tag their traffic without depending on
+// `bimodal-obs` directly.
+pub use bimodal_obs::{BandwidthTracker, QueueDepthStats, TrafficClass};

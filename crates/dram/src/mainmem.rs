@@ -93,6 +93,19 @@ impl MainMemory {
         self.transfer(addr, bytes, Op::Write, at)
     }
 
+    /// Sets the traffic class attributed to subsequent transfers (see
+    /// [`DramModule::set_class`]).
+    #[inline]
+    pub fn set_class(&mut self, class: bimodal_obs::TrafficClass) {
+        self.module.set_class(class);
+    }
+
+    /// Per-class bandwidth and occupancy counters.
+    #[must_use]
+    pub fn bandwidth(&self) -> &bimodal_obs::BandwidthTracker {
+        self.module.bandwidth()
+    }
+
     /// Aggregate DRAM statistics.
     #[must_use]
     pub fn stats(&self) -> DramStats {

@@ -1,5 +1,7 @@
 //! The two-level memory system handed to DRAM cache organizations.
 
+use bimodal_obs::QueueDepthStats;
+
 use crate::config::DramConfig;
 use crate::controller::DramModule;
 use crate::deferred::{DeferredOp, DeferredQueue};
@@ -21,6 +23,7 @@ pub struct MemorySystem {
     /// Off-chip main memory.
     pub main: MainMemory,
     deferred: DeferredQueue,
+    queue_depth: QueueDepthStats,
 }
 
 impl MemorySystem {
@@ -35,6 +38,7 @@ impl MemorySystem {
             cache_dram: DramModule::new(stacked),
             main: MainMemory::new(offchip),
             deferred: DeferredQueue::new(),
+            queue_depth: QueueDepthStats::default(),
         }
     }
 
@@ -47,6 +51,9 @@ impl MemorySystem {
     /// [`MemorySystem::drain_deferred`].
     pub fn defer(&mut self, at: Cycle, op: DeferredOp) {
         self.deferred.push(at, op);
+        // High-water only: pushes carry no clock, so the time-weighted
+        // integral advances in drain_deferred.
+        self.queue_depth.note_depth(self.deferred.len() as u64);
     }
 
     /// Executes every deferred operation due at or before `now`. Call at
@@ -54,14 +61,24 @@ impl MemorySystem {
     pub fn drain_deferred(&mut self, now: Cycle) {
         while let Some((at, op)) = self.deferred.pop_due(now) {
             match op {
-                DeferredOp::CacheWrite { loc, bytes } => {
+                DeferredOp::CacheWrite { loc, bytes, class } => {
+                    self.cache_dram.set_class(class);
                     self.cache_dram.column_access(loc, bytes, Op::Write, at);
                 }
-                DeferredOp::MainWrite { addr, bytes } => {
+                DeferredOp::MainWrite { addr, bytes, class } => {
+                    self.main.set_class(class);
                     self.main.write(addr, bytes, at);
                 }
             }
         }
+        self.queue_depth.observe(now, self.deferred.len() as u64);
+    }
+
+    /// The deferred queue's depth profile (high-water mark and
+    /// time-weighted mean).
+    #[must_use]
+    pub fn queue_depth(&self) -> QueueDepthStats {
+        self.queue_depth
     }
 
     /// Number of deferred operations not yet executed.
@@ -116,6 +133,7 @@ impl MemorySystem {
     pub fn reset_stats(&mut self) {
         self.cache_dram.reset_stats();
         self.main.reset_stats();
+        self.queue_depth.reset();
     }
 }
 

@@ -18,11 +18,14 @@ const BUCKETS: usize = 65;
 /// A log2-bucketed histogram of `u64` samples (latencies in cycles).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
-    counts: [u64; BUCKETS],
+    // Scalar summary fields first: the zero-value fast path in
+    // `record` then touches a single cache line (these plus the first
+    // few buckets) instead of two, 520 bytes apart.
     count: u64,
     sum: u64,
     min: u64,
     max: u64,
+    counts: [u64; BUCKETS],
 }
 
 impl Default for Histogram {
@@ -51,17 +54,26 @@ impl Histogram {
     #[must_use]
     pub fn new() -> Self {
         Histogram {
-            counts: [0; BUCKETS],
             count: 0,
             sum: 0,
             min: u64::MAX,
             max: 0,
+            counts: [0; BUCKETS],
         }
     }
 
     /// Records one sample. O(1).
     #[inline]
     pub fn record(&mut self, value: u64) {
+        if value == 0 {
+            // Fast path for the dominant uncontended case (e.g. bus
+            // queue waits of zero): two adjacent increments, no bucket
+            // math, sum/max unchanged.
+            self.count += 1;
+            self.min = 0;
+            self.counts[0] += 1;
+            return;
+        }
         self.counts[bucket_of(value)] += 1;
         self.count += 1;
         self.sum = self.sum.saturating_add(value);

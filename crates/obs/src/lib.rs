@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bandwidth;
 mod hist;
 pub mod json;
 mod reservoir;
@@ -42,6 +43,11 @@ mod series;
 mod timer;
 mod trace;
 
+pub use bandwidth::{
+    BandwidthSample, BandwidthSeries, BandwidthSummary, BandwidthTracker, ChannelBandwidth,
+    ChannelBandwidthSummary, ClassCounters, HotSet, MemoryBandwidth, QueueDepthStats, TrafficClass,
+    TRAFFIC_CLASSES,
+};
 pub use hist::{HistSummary, Histogram};
 pub use json::Json;
 pub use reservoir::{Reservoir, TailSummary};
@@ -326,6 +332,9 @@ pub struct Observer {
     pub epochs: EpochRecorder,
     /// The sampled event ring, when tracing is on.
     pub trace: Option<EventRing>,
+    /// Per-channel busy-cycle samples taken at epoch boundaries, for
+    /// Chrome-trace counter lanes.
+    pub bandwidth: BandwidthSeries,
     /// The stderr progress heartbeat, when on.
     pub heartbeat: Option<Heartbeat>,
     /// Per-phase wall-clock timers (always running; two `Instant` reads
@@ -344,6 +353,7 @@ impl Observer {
             tails: None,
             epochs: EpochRecorder::new(u64::MAX),
             trace: None,
+            bandwidth: BandwidthSeries::default(),
             heartbeat: None,
             timers: PhaseTimers::start(),
         }
@@ -359,6 +369,7 @@ impl Observer {
             epochs: EpochRecorder::new(config.epoch_cycles.max(1)),
             trace: (config.trace_capacity > 0)
                 .then(|| EventRing::new(config.trace_capacity, config.trace_sample_every.max(1))),
+            bandwidth: BandwidthSeries::default(),
             heartbeat: config.heartbeat.map(Heartbeat::new),
             timers: PhaseTimers::start(),
         }

@@ -7,6 +7,16 @@
 //! the Chrome trace-event JSON (`chrome://tracing` / Perfetto "JSON
 //! object format"): one simulated cycle maps to one microsecond on the
 //! viewer's timebase, cores map to thread lanes.
+//!
+//! For runs too long for any in-memory ring, [`EventRing::stream_to`]
+//! switches the ring into streaming mode: every sampled event is written
+//! to disk incrementally (the ring buffer stays empty, so memory use is
+//! constant regardless of run length) and [`EventRing::finish_stream`]
+//! closes the file into the same Chrome trace-event format.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
 
 use crate::json::Json;
 
@@ -105,8 +115,18 @@ pub struct TraceEvent {
     pub detail: u64,
 }
 
+/// Incremental writer state while an [`EventRing`] streams to disk.
+#[derive(Debug)]
+struct TraceStream {
+    out: BufWriter<File>,
+    /// Lanes already announced with a `thread_name` metadata event.
+    lanes: Vec<u32>,
+    /// Data events written so far.
+    written: u64,
+}
+
 /// Bounded, sampled event buffer.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug)]
 pub struct EventRing {
     events: Vec<TraceEvent>,
     capacity: usize,
@@ -118,6 +138,10 @@ pub struct EventRing {
     sample_every: u32,
     /// Accesses seen by the sampler.
     seen: u64,
+    /// When set, pushes bypass the ring and go straight to disk.
+    stream: Option<TraceStream>,
+    /// A streamed write failed; the stream was abandoned.
+    stream_failed: bool,
 }
 
 impl EventRing {
@@ -138,7 +162,72 @@ impl EventRing {
             dropped: 0,
             sample_every,
             seen: 0,
+            stream: None,
+            stream_failed: false,
         }
+    }
+
+    /// Switches the ring into streaming mode: subsequent pushes are
+    /// written to `path` incrementally instead of being buffered, so a
+    /// run of any length traces in constant memory. Finish the file
+    /// with [`EventRing::finish_stream`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error when the file cannot be created or the
+    /// header cannot be written.
+    pub fn stream_to(&mut self, path: &Path) -> io::Result<()> {
+        let mut out = BufWriter::new(File::create(path)?);
+        out.write_all(b"{\n\"displayTimeUnit\": \"ns\",\n\"traceEvents\": [\n")?;
+        out.write_all(
+            meta_event("process_name", 0, "bimodal-sim")
+                .to_compact()
+                .as_bytes(),
+        )?;
+        self.stream = Some(TraceStream {
+            out,
+            lanes: Vec::new(),
+            written: 0,
+        });
+        self.stream_failed = false;
+        Ok(())
+    }
+
+    /// True when pushes are being streamed to disk.
+    #[must_use]
+    pub fn is_streaming(&self) -> bool {
+        self.stream.is_some()
+    }
+
+    /// Appends `extra` events (e.g. bandwidth counter samples), closes
+    /// the streamed file and returns how many data events were written.
+    /// A no-op returning 0 when the ring is not streaming.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error when a streamed write failed mid-run or the
+    /// trailer cannot be written.
+    pub fn finish_stream(&mut self, extra: &[Json]) -> io::Result<u64> {
+        if self.stream_failed {
+            return Err(io::Error::other("trace stream write failed mid-run"));
+        }
+        let Some(mut s) = self.stream.take() else {
+            return Ok(0);
+        };
+        for e in extra {
+            s.out.write_all(b",\n")?;
+            s.out.write_all(e.to_compact().as_bytes())?;
+        }
+        let mut other = Json::object();
+        other
+            .set("dropped_events", 0u64)
+            .set("sample_every", u64::from(self.sample_every))
+            .set("streamed", true);
+        s.out.write_all(b"\n],\n\"otherData\": ")?;
+        s.out.write_all(other.to_compact().as_bytes())?;
+        s.out.write_all(b"\n}\n")?;
+        s.out.flush()?;
+        Ok(s.written)
     }
 
     /// Advances the access sampler; returns `true` when the current
@@ -150,14 +239,42 @@ impl EventRing {
         pick
     }
 
-    /// Appends an event, overwriting the oldest once full.
+    /// Appends an event: into the ring (overwriting the oldest once
+    /// full), or straight to disk when streaming.
     pub fn push(&mut self, event: TraceEvent) {
+        if self.stream.is_some() {
+            self.stream_push(&event);
+            return;
+        }
         if self.events.len() < self.capacity {
             self.events.push(event);
         } else {
             self.events[self.head] = event;
             self.head = (self.head + 1) % self.capacity;
             self.dropped += 1;
+        }
+    }
+
+    /// Writes one event incrementally, announcing its lane first if new.
+    /// On I/O failure the stream is abandoned (the hot path cannot
+    /// return errors); [`EventRing::finish_stream`] reports it.
+    fn stream_push(&mut self, e: &TraceEvent) {
+        let Some(s) = self.stream.as_mut() else {
+            return;
+        };
+        let tid = e.kind.lane(e.core);
+        let mut chunk = String::new();
+        if !s.lanes.contains(&tid) {
+            s.lanes.push(tid);
+            chunk.push_str(",\n");
+            chunk.push_str(&meta_event("thread_name", tid, &lane_name(e.kind, tid)).to_compact());
+        }
+        chunk.push_str(",\n");
+        chunk.push_str(&event_json(e).to_compact());
+        s.written += 1;
+        if s.out.write_all(chunk.as_bytes()).is_err() {
+            self.stream = None;
+            self.stream_failed = true;
         }
     }
 
@@ -197,16 +314,19 @@ impl EventRing {
     /// shows labels instead of bare thread ids.
     #[must_use]
     pub fn chrome_trace(&self) -> Json {
-        let mut events: Vec<Json> = Vec::with_capacity(self.events.len() + 8);
+        self.chrome_trace_with(&[])
+    }
+
+    /// Like [`EventRing::chrome_trace`], with `extra` pre-built events
+    /// (e.g. the bandwidth counter samples) appended after the ring's.
+    #[must_use]
+    pub fn chrome_trace_with(&self, extra: &[Json]) -> Json {
+        let mut events: Vec<Json> = Vec::with_capacity(self.events.len() + extra.len() + 8);
         let mut lanes: Vec<(u32, String)> = Vec::new();
         for e in self.events() {
             let tid = e.kind.lane(e.core);
             if !lanes.iter().any(|(t, _)| *t == tid) {
-                let label = match e.kind.lane_label() {
-                    "core" => format!("core {tid}"),
-                    fixed => fixed.to_owned(),
-                };
-                lanes.push((tid, label));
+                lanes.push((tid, lane_name(e.kind, tid)));
             }
         }
         lanes.sort_unstable_by_key(|(t, _)| *t);
@@ -215,25 +335,9 @@ impl EventRing {
             events.push(meta_event("thread_name", tid, &label));
         }
         for e in self.events() {
-            let mut o = Json::object();
-            o.set("name", format!("{} {}", e.kind.name(), e.what))
-                .set("cat", e.kind.category())
-                .set("ph", if e.dur > 0 { "X" } else { "i" })
-                .set("ts", e.at)
-                .set("pid", 0u64)
-                .set("tid", e.kind.lane(e.core));
-            if e.dur > 0 {
-                o.set("dur", e.dur);
-            } else {
-                // Instant events: thread scope.
-                o.set("s", "t");
-            }
-            let mut args = Json::object();
-            args.set("addr", format!("{:#x}", e.addr))
-                .set("detail", e.detail);
-            o.set("args", args);
-            events.push(o);
+            events.push(event_json(e));
         }
+        events.extend(extra.iter().cloned());
         let mut root = Json::object();
         root.set("traceEvents", Json::Arr(events))
             .set("displayTimeUnit", "ns")
@@ -244,6 +348,38 @@ impl EventRing {
                 o
             });
         root
+    }
+}
+
+/// One trace event as a Chrome trace-event JSON object. Durations use
+/// the "X" (complete) phase; zero-duration events use "i" (instant).
+fn event_json(e: &TraceEvent) -> Json {
+    let mut o = Json::object();
+    o.set("name", format!("{} {}", e.kind.name(), e.what))
+        .set("cat", e.kind.category())
+        .set("ph", if e.dur > 0 { "X" } else { "i" })
+        .set("ts", e.at)
+        .set("pid", 0u64)
+        .set("tid", e.kind.lane(e.core));
+    if e.dur > 0 {
+        o.set("dur", e.dur);
+    } else {
+        // Instant events: thread scope.
+        o.set("s", "t");
+    }
+    let mut args = Json::object();
+    args.set("addr", format!("{:#x}", e.addr))
+        .set("detail", e.detail);
+    o.set("args", args);
+    o
+}
+
+/// Viewer label for a lane (`core N` for core lanes, the structure
+/// name otherwise).
+fn lane_name(kind: EventKind, tid: u32) -> String {
+    match kind.lane_label() {
+        "core" => format!("core {tid}"),
+        fixed => fixed.to_owned(),
     }
 }
 
@@ -380,5 +516,82 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_capacity_panics() {
         let _ = EventRing::new(0, 1);
+    }
+
+    #[test]
+    fn streamed_trace_round_trips_and_bypasses_the_ring() {
+        let path =
+            std::env::temp_dir().join(format!("bimodal_stream_test_{}.json", std::process::id()));
+        // A tiny ring: streaming must not be bounded by it.
+        let mut r = EventRing::new(4, 1);
+        r.stream_to(&path).expect("open stream");
+        assert!(r.is_streaming());
+        for i in 0..100 {
+            r.push(ev(i, EventKind::Access));
+        }
+        assert!(r.is_empty(), "streamed events must not be buffered");
+        assert_eq!(r.dropped(), 0, "streaming never drops");
+        let mut counter = Json::object();
+        counter
+            .set("name", "dram ch0 busy cycles")
+            .set("ph", "C")
+            .set("ts", 0u64)
+            .set("pid", 0u64)
+            .set("tid", 0u64);
+        let written = r.finish_stream(&[counter]).expect("finish");
+        assert_eq!(written, 100);
+        assert!(!r.is_streaming());
+        let text = std::fs::read_to_string(&path).expect("read back");
+        std::fs::remove_file(&path).ok();
+        let j = Json::parse(&text).expect("streamed file parses");
+        let events = j.get("traceEvents").and_then(Json::as_arr).expect("arr");
+        // process_name + one thread_name (core 0) + 100 data + 1 extra.
+        assert_eq!(events.len(), 103);
+        assert_eq!(
+            events[0].get("name").and_then(Json::as_str),
+            Some("process_name")
+        );
+        assert_eq!(
+            events
+                .last()
+                .and_then(|e| e.get("ph"))
+                .and_then(Json::as_str),
+            Some("C")
+        );
+        assert_eq!(
+            j.get("otherData").and_then(|o| o.get("streamed")),
+            Some(&Json::Bool(true))
+        );
+    }
+
+    #[test]
+    fn finish_stream_without_stream_is_a_noop() {
+        let mut r = EventRing::new(4, 1);
+        assert_eq!(r.finish_stream(&[]).expect("noop"), 0);
+    }
+
+    #[test]
+    fn chrome_trace_with_appends_extra_events() {
+        let mut r = EventRing::new(8, 1);
+        r.push(ev(100, EventKind::Access));
+        let mut counter = Json::object();
+        counter.set("ph", "C").set("ts", 5u64);
+        let j = r.chrome_trace_with(std::slice::from_ref(&counter));
+        let events = j.get("traceEvents").and_then(Json::as_arr).expect("arr");
+        assert_eq!(
+            events
+                .last()
+                .and_then(|e| e.get("ph"))
+                .and_then(Json::as_str),
+            Some("C")
+        );
+        // Plain chrome_trace is the no-extras special case.
+        let plain = r.chrome_trace();
+        let n = plain
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("arr")
+            .len();
+        assert_eq!(events.len(), n + 1);
     }
 }

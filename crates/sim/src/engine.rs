@@ -13,7 +13,7 @@
 
 use bimodal_core::{AccessKind, AccessOutcome, CacheAccess, DramCacheScheme, SchemeStats};
 use bimodal_dram::{Cycle, DramStats, MemorySystem};
-use bimodal_obs::{Counters, EventKind, Observer, RequestClass, TraceEvent};
+use bimodal_obs::{Counters, EventKind, MemoryBandwidth, Observer, RequestClass, TraceEvent};
 use bimodal_workloads::ProgramTrace;
 
 use crate::llsc::{LlscCache, LlscConfig};
@@ -330,6 +330,13 @@ impl Engine {
         let warmup = self.options.warmup_per_core;
         let target = warmup + self.options.accesses_per_core;
 
+        if obs.is_enabled() {
+            // The per-set heatmap allocates per touched row, so it is
+            // opt-in with the rest of the observability layer; the flat
+            // per-class counters are always on (plain adds).
+            mem.cache_dram.enable_heatmap();
+        }
+
         let mut prefetcher = self
             .options
             .prefetch
@@ -520,7 +527,14 @@ impl Engine {
             if obs.is_enabled() {
                 let c = cumulative_counters(&*scheme, mem, &epoch_base);
                 let queued = mem.deferred_pending() as u64;
+                let epochs_before = obs.epochs.epochs().len();
                 obs.epochs.observe(now, &c, queued);
+                if obs.epochs.epochs().len() > epochs_before {
+                    // An epoch closed: sample the cumulative per-channel
+                    // class cycles for the counter-event trace lanes.
+                    obs.bandwidth
+                        .push(now, mem.cache_dram.bandwidth().channel_class_cycles());
+                }
                 if let Some(hb) = obs.heartbeat.as_mut() {
                     hb.tick(issued_total.min(issue_target), issue_target, now);
                 }
@@ -581,6 +595,8 @@ impl Engine {
             let c = cumulative_counters(&*scheme, mem, &epoch_base);
             let queued = mem.deferred_pending() as u64;
             obs.epochs.finish(end_cycle, &c, queued);
+            obs.bandwidth
+                .push(end_cycle, mem.cache_dram.bandwidth().channel_class_cycles());
         }
         let core_cycles = cores
             .iter()
@@ -592,6 +608,7 @@ impl Engine {
             .collect();
 
         let (md_rbh, data_rbh) = bank_group_rbh(mem);
+        const HOT_SET_TOP_K: usize = 8;
         Ok(RunReport {
             scheme_name: scheme.name().to_owned(),
             scheme: scheme.stats().clone(),
@@ -602,6 +619,12 @@ impl Engine {
             metadata_bank_rbh: md_rbh,
             data_bank_rbh: data_rbh,
             obs: obs.summary(end_cycle),
+            bandwidth: MemoryBandwidth {
+                elapsed_cycles: end_cycle,
+                cache: mem.cache_dram.bandwidth().summary(end_cycle, HOT_SET_TOP_K),
+                offchip: mem.main.bandwidth().summary(end_cycle, HOT_SET_TOP_K),
+                deferred_queue: mem.queue_depth(),
+            },
         })
     }
 }
@@ -885,6 +908,21 @@ mod tests {
         assert_eq!(plain.core_cycles, observed.core_cycles);
         assert_eq!(plain.scheme, observed.scheme);
         assert!(plain.obs.is_empty());
+        // Bandwidth attribution is always on and identical either way;
+        // only the heatmap (per-set allocation) is observer-gated.
+        assert_eq!(
+            plain.bandwidth.cache.class_totals,
+            observed.bandwidth.cache.class_totals
+        );
+        assert_eq!(
+            plain.bandwidth.offchip.class_totals,
+            observed.bandwidth.offchip.class_totals
+        );
+        assert!(plain.bandwidth.cache.hot_sets.is_empty());
+        assert!(!observed.bandwidth.cache.hot_sets.is_empty());
+        // The observed run also sampled the per-class series for the
+        // counter-track trace export.
+        assert!(!obs.bandwidth.is_empty());
         // ...and must actually record.
         assert!(!observed.obs.is_empty());
         let read = &observed.obs.latency[0];
@@ -903,6 +941,31 @@ mod tests {
         assert!(events.iter().any(|e| e.kind == EventKind::Access));
         assert!(events.iter().any(|e| e.kind == EventKind::Fill));
         assert!(events.iter().any(|e| e.kind == EventKind::DramCommand));
+    }
+
+    #[test]
+    fn bandwidth_classes_sum_to_channel_busy_on_both_modules() {
+        let (mut s, mut mem) = scheme();
+        let report =
+            Engine::new(EngineOptions::measured(500)).run(&mut s, &mut mem, small_traces(2));
+        let bw = &report.bandwidth;
+        assert!(bw.elapsed_cycles > 0);
+        assert!(bw.cache.total_busy_cycles() > 0);
+        assert!(bw.offchip.total_busy_cycles() > 0);
+        for (module, summary) in [("cache", &bw.cache), ("offchip", &bw.offchip)] {
+            for (ch, c) in summary.channels.iter().enumerate() {
+                assert_eq!(
+                    c.busy.total_cycles(),
+                    c.busy_cycles,
+                    "{module} ch{ch}: per-class cycles must sum to total busy"
+                );
+            }
+            assert_eq!(
+                summary.class_totals.total_cycles(),
+                summary.channels.iter().map(|c| c.busy_cycles).sum::<u64>()
+            );
+        }
+        assert!(bw.deferred_queue.high_water > 0);
     }
 
     #[test]

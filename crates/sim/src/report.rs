@@ -2,7 +2,7 @@
 
 use bimodal_core::SchemeStats;
 use bimodal_dram::{Cycle, DramStats};
-use bimodal_obs::{Json, ObsSummary};
+use bimodal_obs::{Json, MemoryBandwidth, ObsSummary};
 
 /// Everything measured during one run.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,6 +27,10 @@ pub struct RunReport {
     /// Observability-layer output: latency percentiles, epoch time
     /// series, wall-clock profile. Empty when the run was unobserved.
     pub obs: ObsSummary,
+    /// Per-class bandwidth attribution and occupancy profile of both
+    /// DRAM modules. Always populated: the counters are plain adds on
+    /// paths the timing model executes anyway.
+    pub bandwidth: MemoryBandwidth,
 }
 
 impl RunReport {
@@ -84,7 +88,8 @@ impl RunReport {
             .set("stats", scheme_stats_json(&self.scheme))
             .set("cache_dram", dram_stats_json(&self.cache_dram))
             .set("offchip_dram", dram_stats_json(&self.offchip))
-            .set("obs", self.obs.to_json());
+            .set("obs", self.obs.to_json())
+            .set("bandwidth", self.bandwidth.to_json());
         o
     }
 }
@@ -174,6 +179,7 @@ mod tests {
             metadata_bank_rbh: None,
             data_bank_rbh: None,
             obs: ObsSummary::default(),
+            bandwidth: MemoryBandwidth::default(),
         };
         assert_eq!(r.mean_core_cycles(), 0.0);
         assert_eq!(r.avg_latency(), 0.0);
@@ -198,6 +204,7 @@ mod tests {
             metadata_bank_rbh: None,
             data_bank_rbh: None,
             obs: ObsSummary::default(),
+            bandwidth: MemoryBandwidth::default(),
         };
         assert_eq!(r.dram_cache_accesses(), 10);
         assert!((r.avg_latency() - 100.0).abs() < 1e-12);
@@ -224,6 +231,7 @@ mod tests {
             metadata_bank_rbh: Some(0.5),
             data_bank_rbh: None,
             obs: ObsSummary::default(),
+            bandwidth: MemoryBandwidth::default(),
         };
         let j = r.to_json();
         assert_eq!(j.get("scheme").and_then(Json::as_str), Some("bimodal"));
@@ -242,5 +250,52 @@ mod tests {
         assert!(j.get("obs").is_some());
         // The export round-trips through the parser.
         assert!(Json::parse(&j.to_pretty()).is_ok());
+    }
+
+    /// Bandwidth attribution must not disturb the established report
+    /// shape: every pre-existing key stays, in order, and the new
+    /// `bandwidth` section is appended last.
+    #[test]
+    fn to_json_appends_bandwidth_last_keeping_existing_keys() {
+        let r = RunReport {
+            scheme_name: "X".into(),
+            scheme: SchemeStats::default(),
+            cache_dram: DramStats::default(),
+            offchip: DramStats::default(),
+            core_cycles: vec![],
+            accesses_per_core: 0,
+            metadata_bank_rbh: None,
+            data_bank_rbh: None,
+            obs: ObsSummary::default(),
+            bandwidth: MemoryBandwidth::default(),
+        };
+        let Json::Obj(pairs) = r.to_json() else {
+            panic!("report serializes to an object");
+        };
+        let keys: Vec<&str> = pairs.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            keys,
+            [
+                "scheme",
+                "accesses_per_core",
+                "core_cycles",
+                "mean_core_cycles",
+                "avg_latency",
+                "offchip_bytes",
+                "wasted_bytes",
+                "metadata_bank_rbh",
+                "data_bank_rbh",
+                "stats",
+                "cache_dram",
+                "offchip_dram",
+                "obs",
+                "bandwidth",
+            ]
+        );
+        let bw = r.to_json();
+        let bw = bw.get("bandwidth").expect("bandwidth section");
+        for key in ["elapsed_cycles", "cache", "offchip", "deferred_queue"] {
+            assert!(bw.get(key).is_some(), "missing bandwidth key {key}");
+        }
     }
 }

@@ -42,6 +42,9 @@ fn usage() -> &'static str {
      \x20         [--shadow-every N] [--watchdog CYCLES | --no-watchdog]\n\
      \x20         [--jobs N] [--json FILE] [--trace-out FILE]\n\
      \x20 bench   [--quick] [--jobs N] [--min-speedup X] [--out FILE]\n\
+     \x20 bandwidth --mix <M> [--scheme <S|all>] [--accesses N] [--cache-mb C]\n\
+     \x20         [--seed K] [--jobs N] [--json FILE]\n\
+     \x20 diff    <a.json> <b.json> [--threshold PCT]\n\
      \n\
      parallelism:\n\
      \x20 --jobs N          worker threads for fanned runs (default: all cores;\n\
@@ -53,6 +56,9 @@ fn usage() -> &'static str {
      \x20                   latency percentiles, epoch time series, wall clock)\n\
      \x20 --trace-out FILE  write a sampled event trace in Chrome trace-event\n\
      \x20                   format (load in chrome://tracing or Perfetto)\n\
+     \x20 --stream          with --trace-out: write events to disk as they\n\
+     \x20                   happen (constant memory; for multi-million-access\n\
+     \x20                   runs the bounded in-memory ring would truncate)\n\
      \x20 --sample-every N  record every N-th access in the event trace\n\
      \x20                   (default 1; raise for long traced runs)\n\
      \x20 --epoch CYCLES    epoch length for the time series (default 100000)\n\
@@ -68,7 +74,14 @@ fn usage() -> &'static str {
 
 /// Flags that stand alone (`--ecc`); an explicit value still works via
 /// `--flag=value`.
-const BARE_FLAGS: &[&str] = &["ecc", "antt", "no-watchdog", "exact-tails", "quick"];
+const BARE_FLAGS: &[&str] = &[
+    "ecc",
+    "antt",
+    "no-watchdog",
+    "exact-tails",
+    "quick",
+    "stream",
+];
 
 /// Parses `--flag value` / `--flag=value` pairs, rejecting flags not in
 /// `allowed`, duplicates, and flags without a value. Flags listed in
@@ -387,16 +400,38 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
     let (mix, base) = parse_mix(mix_name)?;
     let system = configured_system(base, flags)?;
     let n = num(flags, "accesses", 30_000)?;
+    let stream = flag_bool(flags, "stream")?;
+    if stream && !flags.contains_key("trace-out") {
+        return Err("--stream requires --trace-out".to_owned());
+    }
     let mut obs = build_observer(flags)?;
+    if stream {
+        let path = flags.get("trace-out").expect("checked above");
+        obs.trace
+            .as_mut()
+            .expect("tracing was enabled")
+            .stream_to(std::path::Path::new(path))
+            .map_err(|e| format!("opening trace stream {path}: {e}"))?;
+    }
     let report = build_simulation(system, scheme, flags)?
         .run_mix_observed(&mix, n, &mut obs)
         .map_err(|e| e.to_string())?;
     print_report(&format!("{} on {}", scheme.name(), mix.name()), &report);
     print_obs(&report.obs);
     if let Some(path) = flags.get("trace-out") {
-        let ring = obs.trace.as_ref().expect("tracing was enabled");
-        write_json(path, &ring.chrome_trace())?;
-        println!("wrote event trace ({} events) to {path}", ring.len());
+        // The per-channel bandwidth counter samples ride along as
+        // Chrome "C" events so Perfetto draws stacked utilization lanes.
+        let counters = obs.bandwidth.counter_events();
+        let ring = obs.trace.as_mut().expect("tracing was enabled");
+        if stream {
+            let written = ring
+                .finish_stream(&counters)
+                .map_err(|e| format!("finishing trace stream {path}: {e}"))?;
+            println!("streamed event trace ({written} events) to {path}");
+        } else {
+            write_json(path, &ring.chrome_trace_with(&counters))?;
+            println!("wrote event trace ({} events) to {path}", ring.len());
+        }
     }
     if let Some(path) = flags.get("json") {
         let mut j = report.to_json();
@@ -679,8 +714,9 @@ fn cmd_inject(flags: &HashMap<String, String>) -> Result<(), String> {
             .unwrap_or(0);
         print_obs(&obs.summary(sim_cycles));
         if let Some(path) = flags.get("trace-out") {
+            let counters = obs.bandwidth.counter_events();
             let ring = obs.trace.as_ref().expect("tracing was enabled");
-            write_json(path, &ring.chrome_trace())?;
+            write_json(path, &ring.chrome_trace_with(&counters))?;
             println!("wrote event trace ({} events) to {path}", ring.len());
         }
         if let Some(path) = flags.get("json") {
@@ -835,6 +871,299 @@ fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Short column label for one traffic class in the breakdown tables.
+fn class_label(class: bimodal::obs::TrafficClass) -> &'static str {
+    use bimodal::obs::TrafficClass as T;
+    match class {
+        T::MetadataRead => "md.r",
+        T::MetadataWrite => "md.w",
+        T::TagProbe => "probe",
+        T::DataFill => "fill",
+        T::DataHit => "hit",
+        T::Writeback => "wb",
+        T::MainMemRefill => "refill",
+        T::PredictorOverfetch => "spec",
+        T::Scrub => "scrub",
+        T::Refresh => "refr",
+        T::Other => "other",
+    }
+}
+
+/// Verifies the class-accounting invariant on one module's summary:
+/// per-channel class cycles must sum exactly to that channel's busy
+/// cycles (they are incremented by the same add, so a mismatch means
+/// the attribution layer is broken, not the run).
+fn check_class_sums(
+    scheme: &str,
+    module: &str,
+    s: &bimodal::obs::BandwidthSummary,
+) -> Result<(), String> {
+    for (ch, c) in s.channels.iter().enumerate() {
+        if c.busy.total_cycles() != c.busy_cycles {
+            return Err(format!(
+                "class accounting broken: {scheme} {module} channel {ch}: \
+                 classes sum to {} busy cycles but the channel counted {}",
+                c.busy.total_cycles(),
+                c.busy_cycles
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// One per-class share row (percent of bus busy cycles) for the table.
+fn share_row(name: &str, s: &bimodal::obs::BandwidthSummary, elapsed: u64) -> String {
+    use std::fmt::Write as _;
+    let util = if elapsed == 0 || s.channels.is_empty() {
+        0.0
+    } else {
+        s.total_busy_cycles() as f64 / (elapsed as f64 * s.channels.len() as f64)
+    };
+    let mut row = format!("{name:>16} {:>6.1}", util * 100.0);
+    for class in bimodal::obs::TrafficClass::ALL {
+        let _ = write!(row, " {:>6.1}", s.class_share(class) * 100.0);
+    }
+    row
+}
+
+fn cmd_bandwidth(flags: &HashMap<String, String>) -> Result<(), String> {
+    let mix_name = flags.get("mix").ok_or("bandwidth needs --mix")?;
+    let scheme_flag = flags.get("scheme").map_or("all", String::as_str);
+    // `--scheme all` fans the breakdown across the five-organization
+    // comparison set (the paper's Fig. 10 shape): one row per scheme.
+    let kinds = if scheme_flag.eq_ignore_ascii_case("all") {
+        SchemeKind::comparison_set()
+    } else {
+        vec![parse_scheme(scheme_flag)?]
+    };
+    let (mix, base) = parse_mix(mix_name)?;
+    let system = configured_system(base, flags)?;
+    let n = num(flags, "accesses", 30_000)?;
+    let jobs = parse_jobs(flags)?;
+    let sims = kinds
+        .iter()
+        .map(|&kind| build_simulation(system.clone(), kind, flags).map(|s| (kind, s)))
+        .collect::<Result<Vec<_>, _>>()?;
+    let runs = bimodal::exec::map(jobs, sims, |(kind, sim)| {
+        (kind, sim.run_mix(&mix, n).map_err(|e| e.to_string()))
+    });
+    let mut reports = Vec::new();
+    for (kind, run) in runs {
+        let r = run?;
+        check_class_sums(kind.name(), "cache", &r.bandwidth.cache)?;
+        check_class_sums(kind.name(), "offchip", &r.bandwidth.offchip)?;
+        reports.push((kind, r));
+    }
+    let header = {
+        use std::fmt::Write as _;
+        let mut h = format!("{:>16} {:>6}", "scheme", "util%");
+        for class in bimodal::obs::TrafficClass::ALL {
+            let _ = write!(h, " {:>6}", class_label(class));
+        }
+        h
+    };
+    println!(
+        "== bandwidth breakdown on {} ({} accesses/core) ==",
+        mix.name(),
+        n
+    );
+    println!("-- stacked DRAM (cache) bus busy-cycle shares, % --");
+    println!("{header}");
+    for (kind, r) in &reports {
+        println!(
+            "{}",
+            share_row(kind.name(), &r.bandwidth.cache, r.bandwidth.elapsed_cycles)
+        );
+    }
+    println!("-- off-chip DRAM bus busy-cycle shares, % --");
+    println!("{header}");
+    for (kind, r) in &reports {
+        println!(
+            "{}",
+            share_row(
+                kind.name(),
+                &r.bandwidth.offchip,
+                r.bandwidth.elapsed_cycles
+            )
+        );
+    }
+    println!("-- deferred background-op queue --");
+    for (kind, r) in &reports {
+        let q = &r.bandwidth.deferred_queue;
+        println!(
+            "{:>16} high-water {:>4}, time-weighted mean {:.3}",
+            kind.name(),
+            q.high_water,
+            q.time_weighted_mean()
+        );
+    }
+    println!(
+        "class sums verified: per-class busy cycles match channel totals \
+         on {} scheme(s), both modules",
+        reports.len()
+    );
+    if let Some(path) = flags.get("json") {
+        let mut j = Json::object();
+        j.set("command", "bandwidth")
+            .set("mix", mix.name())
+            .set("accesses_per_core", n)
+            .set(
+                "schemes",
+                Json::Arr(reports.iter().map(|(k, _)| Json::from(k.name())).collect()),
+            )
+            .set(
+                "reports",
+                Json::Arr(reports.iter().map(|(_, r)| r.to_json()).collect()),
+            );
+        write_json(path, &j)?;
+        println!("wrote bandwidth JSON to {path}");
+    }
+    Ok(())
+}
+
+/// Reads one number at `path` inside `j`.
+fn json_num(j: &Json, path: &[&str]) -> Option<f64> {
+    let mut cur = j;
+    for p in path {
+        cur = cur.get(p)?;
+    }
+    cur.as_f64()
+}
+
+/// Relative drift between two scalars, in percent of the larger
+/// magnitude (0 when both are 0, so identical runs diff to zero).
+fn rel_drift_pct(a: f64, b: f64) -> f64 {
+    let denom = a.abs().max(b.abs());
+    if denom == 0.0 {
+        0.0
+    } else {
+        (a - b).abs() / denom * 100.0
+    }
+}
+
+/// Per-class cache bus busy-cycle shares from a run report's
+/// `bandwidth.cache.by_class` section, as `(class, share)` pairs.
+fn cache_class_shares(j: &Json) -> Vec<(String, f64)> {
+    let Some(Json::Obj(pairs)) = j
+        .get("bandwidth")
+        .and_then(|b| b.get("cache"))
+        .and_then(|c| c.get("by_class"))
+    else {
+        return Vec::new();
+    };
+    let cycles: Vec<(String, f64)> = pairs
+        .iter()
+        .filter_map(|(name, v)| Some((name.clone(), v.get("cycles")?.as_f64()?)))
+        .collect();
+    let total: f64 = cycles.iter().map(|(_, c)| c).sum();
+    cycles
+        .into_iter()
+        .map(|(name, c)| (name, if total == 0.0 { 0.0 } else { c / total }))
+        .collect()
+}
+
+fn cmd_diff(args: &[String]) -> Result<(), String> {
+    // `diff` takes two positional report paths before/between its
+    // flags; a flag without `=` consumes the next argument as its value.
+    let mut paths: Vec<String> = Vec::new();
+    let mut flag_args: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i].starts_with("--") {
+            flag_args.push(args[i].clone());
+            if !args[i].contains('=') {
+                if let Some(v) = args.get(i + 1) {
+                    flag_args.push(v.clone());
+                    i += 1;
+                }
+            }
+        } else {
+            paths.push(args[i].clone());
+        }
+        i += 1;
+    }
+    let flags = parse_flags(&flag_args, &["threshold"])?;
+    let [a_path, b_path] = paths.as_slice() else {
+        return Err(format!(
+            "diff needs exactly two report files, got {}",
+            paths.len()
+        ));
+    };
+    let threshold: f64 = num(&flags, "threshold", 2.0)?;
+    if threshold < 0.0 {
+        return Err("--threshold must be non-negative".to_owned());
+    }
+    let load = |path: &str| -> Result<Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let j = Json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+        if j.get("reports").is_some() || j.get("campaigns").is_some() {
+            return Err(format!(
+                "{path} is a fanned multi-run file; diff compares single-run \
+                 reports (write one with `bimodal run --json` or pick one \
+                 entry out of the `reports` array)"
+            ));
+        }
+        Ok(j)
+    };
+    let a = load(a_path)?;
+    let b = load(b_path)?;
+
+    // Scalar metrics: relative drift in percent.
+    let scalars: &[(&str, &[&str])] = &[
+        ("avg_latency", &["avg_latency"]),
+        ("mean_core_cycles", &["mean_core_cycles"]),
+        ("hit_rate", &["stats", "hit_rate"]),
+        ("offchip_bytes", &["offchip_bytes"]),
+        ("read p50", &["obs", "latency", "read", "p50"]),
+        ("read p99", &["obs", "latency", "read", "p99"]),
+    ];
+    let mut rows: Vec<(String, f64, f64, f64)> = Vec::new();
+    for (label, path) in scalars {
+        match (json_num(&a, path), json_num(&b, path)) {
+            (Some(x), Some(y)) => rows.push(((*label).to_owned(), x, y, rel_drift_pct(x, y))),
+            // Percentiles are absent in unobserved reports; skip quietly.
+            _ if path.first() == Some(&"obs") => {}
+            _ => return Err(format!("metric {label:?} missing from one of the reports")),
+        }
+    }
+    // Per-class bandwidth shares: absolute drift in percentage points,
+    // gated by the same threshold.
+    let (sa, sb) = (cache_class_shares(&a), cache_class_shares(&b));
+    let mut classes: Vec<String> = sa.iter().chain(sb.iter()).map(|(n, _)| n.clone()).collect();
+    classes.sort();
+    classes.dedup();
+    let share = |shares: &[(String, f64)], name: &str| {
+        shares
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0.0, |(_, s)| *s)
+    };
+    for name in classes {
+        let (x, y) = (share(&sa, &name), share(&sb, &name));
+        rows.push((format!("cache share {name}"), x, y, (x - y).abs() * 100.0));
+    }
+
+    println!(
+        "{:>24} {:>14} {:>14} {:>9}",
+        "metric", a_path, b_path, "drift%"
+    );
+    let mut over = 0usize;
+    for (label, x, y, drift) in &rows {
+        let mark = if *drift > threshold { " <-- drift" } else { "" };
+        if *drift > threshold {
+            over += 1;
+        }
+        println!("{label:>24} {x:>14.4} {y:>14.4} {drift:>9.3}{mark}");
+    }
+    if over > 0 {
+        return Err(format!(
+            "{over} metric(s) drifted more than {threshold}% between {a_path} and {b_path}"
+        ));
+    }
+    println!("no drift above {threshold}%");
+    Ok(())
+}
+
 /// Flags each command accepts; anything else is rejected up front.
 fn allowed_flags(command: &str) -> &'static [&'static str] {
     const RUN: &[&str] = &[
@@ -848,6 +1177,7 @@ fn allowed_flags(command: &str) -> &'static [&'static str] {
         "prefetch",
         "json",
         "trace-out",
+        "stream",
         "sample-every",
         "epoch",
         "heartbeat",
@@ -890,6 +1220,10 @@ fn allowed_flags(command: &str) -> &'static [&'static str] {
     const SWEEP: &[&str] = &["mix", "accesses", "cache-mb", "seed", "jobs", "json"];
     const RECORD: &[&str] = &["program", "out", "n", "seed"];
     const BENCH: &[&str] = &["quick", "jobs", "min-speedup", "out"];
+    const BANDWIDTH: &[&str] = &[
+        "mix", "scheme", "accesses", "cache-mb", "seed", "warmup", "mlp", "prefetch", "jobs",
+        "json",
+    ];
     match command {
         "run" => RUN,
         "compare" => COMPARE,
@@ -898,6 +1232,7 @@ fn allowed_flags(command: &str) -> &'static [&'static str] {
         "record" => RECORD,
         "inject" => INJECT,
         "bench" => BENCH,
+        "bandwidth" => BANDWIDTH,
         _ => &[],
     }
 }
@@ -908,6 +1243,17 @@ fn main() -> ExitCode {
         eprintln!("{}", usage());
         return ExitCode::FAILURE;
     };
+    // `diff` takes positional file arguments, which the --flag parser
+    // would reject; hand it the raw tail instead.
+    if command == "diff" {
+        return match cmd_diff(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let flags = match parse_flags(&args[1..], allowed_flags(command)) {
         Ok(f) => f,
         Err(e) => {
@@ -927,6 +1273,7 @@ fn main() -> ExitCode {
         "record" => cmd_record(&flags),
         "inject" => cmd_inject(&flags),
         "bench" => cmd_bench(&flags),
+        "bandwidth" => cmd_bandwidth(&flags),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())

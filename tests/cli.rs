@@ -237,6 +237,12 @@ fn run_json_export_has_expected_shape() {
     assert!(epochs[0].get("hit_rate").is_some());
     let wall = j.get("obs").and_then(|o| o.get("wall")).expect("wall");
     assert!(wall.get("sim_cycles_per_second").is_some());
+    // The bandwidth-attribution section rides along on every report.
+    let bw = j.get("bandwidth").expect("bandwidth section");
+    for key in ["elapsed_cycles", "cache", "offchip", "deferred_queue"] {
+        assert!(bw.get(key).is_some(), "missing bandwidth key {key}");
+    }
+    assert!(bw.get("cache").and_then(|c| c.get("by_class")).is_some());
 
     // The trace: Chrome trace-event object format.
     let trace_text = std::fs::read_to_string(&trace_path).expect("trace written");
@@ -412,6 +418,255 @@ fn sample_every_thins_the_event_trace() {
         counts[1],
         counts[0]
     );
+}
+
+#[test]
+fn bandwidth_covers_all_schemes_and_classes_sum_to_busy() {
+    use bimodal::obs::Json;
+    let path = std::env::temp_dir().join(format!("bimodal-bw-{}.json", std::process::id()));
+    let out = bimodal()
+        .args([
+            "bandwidth",
+            "--mix",
+            "Q2",
+            "--accesses",
+            "800",
+            "--cache-mb",
+            "4",
+            "--json",
+            path.to_str().expect("utf8"),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("class sums verified"));
+    let j = Json::parse(&std::fs::read_to_string(&path).expect("written")).expect("valid");
+    std::fs::remove_file(&path).expect("cleanup");
+    assert_eq!(j.get("command").and_then(Json::as_str), Some("bandwidth"));
+    let reports = j.get("reports").and_then(Json::as_arr).expect("reports");
+    assert!(reports.len() >= 5, "one report per organization");
+    for r in reports {
+        let scheme = r.get("scheme").and_then(Json::as_str).expect("scheme");
+        for module in ["cache", "offchip"] {
+            let s = r
+                .get("bandwidth")
+                .and_then(|b| b.get(module))
+                .unwrap_or_else(|| panic!("{scheme}: missing {module} summary"));
+            let channels = s.get("channels").and_then(Json::as_arr).expect("channels");
+            assert!(!channels.is_empty());
+            for (i, ch) in channels.iter().enumerate() {
+                let busy = ch
+                    .get("busy_cycles")
+                    .and_then(Json::as_f64)
+                    .expect("busy_cycles");
+                let Some(Json::Obj(by_class)) = ch.get("by_class") else {
+                    panic!("{scheme} {module} ch{i}: by_class must be an object");
+                };
+                let sum: f64 = by_class
+                    .iter()
+                    .filter_map(|(_, v)| v.get("cycles").and_then(Json::as_f64))
+                    .sum();
+                assert_eq!(
+                    sum, busy,
+                    "{scheme} {module} ch{i}: class cycles must sum to busy"
+                );
+            }
+        }
+        let cache_busy = r
+            .get("bandwidth")
+            .and_then(|b| b.get("cache"))
+            .and_then(|c| c.get("busy_cycles"))
+            .and_then(Json::as_f64)
+            .expect("cache busy");
+        assert!(cache_busy > 0.0, "{scheme}: cache bus never moved");
+    }
+}
+
+#[test]
+fn bandwidth_is_byte_identical_across_jobs() {
+    assert_jobs_byte_identical(
+        "bw",
+        &[
+            "bandwidth",
+            "--mix",
+            "Q2",
+            "--accesses",
+            "400",
+            "--cache-mb",
+            "4",
+        ],
+    );
+}
+
+#[test]
+fn diff_of_identical_runs_reports_zero_drift() {
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let run = |accesses: &str, path: &std::path::Path| {
+        let out = bimodal()
+            .args([
+                "run",
+                "--mix",
+                "Q2",
+                "--scheme",
+                "bimodal",
+                "--accesses",
+                accesses,
+                "--cache-mb",
+                "4",
+                "--seed",
+                "11",
+                "--json",
+                path.to_str().expect("utf8"),
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    };
+    let a = dir.join(format!("bimodal-diff-a-{pid}.json"));
+    let b = dir.join(format!("bimodal-diff-b-{pid}.json"));
+    let c = dir.join(format!("bimodal-diff-c-{pid}.json"));
+    run("600", &a);
+    run("600", &b);
+    run("1800", &c);
+
+    // Same seed, same config: every metric matches exactly.
+    let same = bimodal()
+        .args(["diff", a.to_str().expect("utf8"), b.to_str().expect("utf8")])
+        .output()
+        .expect("binary runs");
+    assert!(
+        same.status.success(),
+        "identical runs must not drift: {}{}",
+        String::from_utf8_lossy(&same.stdout),
+        String::from_utf8_lossy(&same.stderr)
+    );
+    assert!(String::from_utf8_lossy(&same.stdout).contains("no drift"));
+
+    // 3x the accesses: mean core cycles drifts far past any threshold.
+    let drifted = bimodal()
+        .args([
+            "diff",
+            a.to_str().expect("utf8"),
+            c.to_str().expect("utf8"),
+            "--threshold",
+            "2",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        !drifted.status.success(),
+        "a 3x-longer run must trip the drift gate"
+    );
+    assert!(String::from_utf8_lossy(&drifted.stdout).contains("drift"));
+
+    for p in [&a, &b, &c] {
+        std::fs::remove_file(p).expect("cleanup");
+    }
+}
+
+#[test]
+fn diff_needs_two_report_files() {
+    let out = bimodal()
+        .args(["diff", "only-one.json"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("two report files"));
+}
+
+#[test]
+fn stream_requires_trace_out() {
+    let out = bimodal()
+        .args([
+            "run",
+            "--mix",
+            "Q2",
+            "--scheme",
+            "bimodal",
+            "--accesses",
+            "500",
+            "--stream",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--trace-out"));
+}
+
+#[test]
+fn streamed_trace_matches_the_ring_export() {
+    use bimodal::obs::Json;
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let mut counts = Vec::new();
+    let mut streamed_doc = None;
+    for mode in ["ring", "stream"] {
+        let path = dir.join(format!("bimodal-{mode}-{pid}.trace.json"));
+        let mut args = vec![
+            "run",
+            "--mix",
+            "Q2",
+            "--scheme",
+            "bimodal",
+            "--accesses",
+            "1500",
+            "--cache-mb",
+            "4",
+        ];
+        let p = path.to_str().expect("utf8").to_owned();
+        args.extend(["--trace-out", &p]);
+        if mode == "stream" {
+            args.push("--stream");
+        }
+        let out = bimodal().args(&args).output().expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{mode} stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let t = Json::parse(&std::fs::read_to_string(&path).expect("written")).expect("valid");
+        std::fs::remove_file(&path).expect("cleanup");
+        counts.push(
+            t.get("traceEvents")
+                .and_then(Json::as_arr)
+                .expect("events")
+                .len(),
+        );
+        if mode == "stream" {
+            streamed_doc = Some(t);
+        }
+    }
+    assert_eq!(
+        counts[0], counts[1],
+        "streaming must produce the same events as the ring export"
+    );
+    let t = streamed_doc.expect("streamed");
+    assert_eq!(
+        t.get("otherData")
+            .and_then(|o| o.get("streamed"))
+            .and_then(Json::as_f64),
+        None,
+        "streamed flag is a bool, not a number"
+    );
+    assert!(matches!(
+        t.get("otherData").and_then(|o| o.get("streamed")),
+        Some(Json::Bool(true))
+    ));
+    // Streamed traces carry the per-class counter track too.
+    let events = t.get("traceEvents").and_then(Json::as_arr).expect("events");
+    assert!(events
+        .iter()
+        .any(|e| e.get("ph").and_then(Json::as_str) == Some("C")));
 }
 
 #[test]

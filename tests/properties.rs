@@ -14,7 +14,7 @@ use bimodal::cache::{
 };
 use bimodal::dram::{
     AddressMapping, DeferredOp, DeferredQueue, DramConfig, DramModule, Location, MemorySystem,
-    Request,
+    Request, TrafficClass,
 };
 use bimodal::faults::{CampaignConfig, FaultRates};
 use bimodal::obs::Observer;
@@ -363,7 +363,14 @@ fn deferred_queue_orders_by_time() {
         let mut q = DeferredQueue::new();
         for _ in 0..100 {
             let t = rng.gen_range(0u64..10_000);
-            q.push(t, DeferredOp::MainWrite { addr: t, bytes: 64 });
+            q.push(
+                t,
+                DeferredOp::MainWrite {
+                    addr: t,
+                    bytes: 64,
+                    class: TrafficClass::Writeback,
+                },
+            );
         }
         let mut last = 0;
         while let Some((at, _)) = q.pop_due(u64::MAX) {
