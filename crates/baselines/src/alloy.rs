@@ -20,6 +20,7 @@ use bimodal_core::{
     EccLedger, FaultTarget, MetadataFault, SchemeStats,
 };
 use bimodal_dram::{Cycle, DeferredOp, MemorySystem, Op, Request, TrafficClass};
+use bimodal_obs::span::{self, SpanId};
 use bimodal_prng::SmallRng;
 
 use crate::common::RowMapper;
@@ -403,11 +404,17 @@ impl DramCacheScheme for AlloyCache {
         } else {
             Op::Read
         };
-        let predicted_hit = !self.config.use_predictor || self.predictor.predict_hit(access.addr);
+        let predicted_hit = !self.config.use_predictor || {
+            let _g = span::enter(SpanId::PredictorLookup);
+            self.predictor.predict_hit(access.addr)
+        };
 
         // The TAD probe always happens (it is both tag check and data).
+        let span_tag = span::enter(SpanId::TagRead);
         let tad = self.probe_tad(index, Op::Read, access.now, mem);
         let tag_known = tad.done + self.config.tag_compare_cycles;
+        span::add_cycles(SpanId::TagRead, tag_known.saturating_sub(access.now));
+        drop(span_tag);
         if !self.ledger.is_empty() {
             // The probe just decoded the protected TAD: SECDED scrub.
             self.scrub_index(index, tad.done, mem);
@@ -448,6 +455,7 @@ impl DramCacheScheme for AlloyCache {
             complete = tag_known;
             self.stats.breakdown.dram_data += complete.saturating_sub(access.now);
         } else {
+            let _span_fill = span::enter(SpanId::Fill);
             self.stats.misses += 1;
             let bytes = self.config.block_bytes;
             let base = access.addr & !u64::from(bytes - 1);
@@ -462,6 +470,7 @@ impl DramCacheScheme for AlloyCache {
             if let Some(old) = entry {
                 self.stats.evictions += 1;
                 if old.dirty {
+                    let _g = span::enter(SpanId::Writeback);
                     let victim_addr = self.block_addr(old.tag, index);
                     mem.defer(
                         fetch.done,
@@ -494,6 +503,7 @@ impl DramCacheScheme for AlloyCache {
             );
             let _ = op;
             complete = fetch.done.max(tag_known);
+            span::add_cycles(SpanId::Fill, complete.saturating_sub(tag_known));
             self.stats.breakdown.dram_data += tag_known.saturating_sub(access.now);
             self.stats.breakdown.offchip += complete.saturating_sub(tag_known);
         }

@@ -19,6 +19,7 @@ use bimodal_core::{
     EccLedger, FaultTarget, MetadataFault, SchemeStats, SramModel,
 };
 use bimodal_dram::{Cycle, DeferredOp, MemorySystem, Op, Request, RowEvent, TrafficClass};
+use bimodal_obs::span::{self, SpanId};
 use bimodal_prng::SmallRng;
 
 use crate::common::RowMapper;
@@ -337,7 +338,11 @@ impl DramCacheScheme for AtCache {
             .get_or_insert_with(|| RowMapper::new(mem.cache_dram.config()));
         let loc = mapper.location(set_idx);
 
-        let tc_hit = self.tag_cache_lookup(set_idx);
+        let tc_hit = {
+            let _g = span::enter(SpanId::LocatorProbe);
+            span::add_cycles(SpanId::LocatorProbe, self.tag_cache_cycles);
+            self.tag_cache_lookup(set_idx)
+        };
         let tags_checked = if tc_hit {
             self.stats.locator_hits += 1;
             self.stats.breakdown.sram += self.tag_cache_cycles;
@@ -345,6 +350,7 @@ impl DramCacheScheme for AtCache {
         } else {
             self.stats.locator_misses += 1;
             // DRAM tag read: target set's tags plus the PG-group burst.
+            let span_tag = span::enter(SpanId::TagRead);
             mem.cache_dram.set_class(TrafficClass::MetadataRead);
             let t = mem.cache_dram.access(Request {
                 loc,
@@ -364,6 +370,12 @@ impl DramCacheScheme for AtCache {
             self.stats.breakdown.sram += self.tag_cache_cycles;
             self.stats.breakdown.dram_tag += (t.done + self.config.tag_compare_cycles)
                 .saturating_sub(access.now + self.tag_cache_cycles);
+            span::add_cycles(
+                SpanId::TagRead,
+                (t.done + self.config.tag_compare_cycles)
+                    .saturating_sub(access.now + self.tag_cache_cycles),
+            );
+            drop(span_tag);
             t.done + self.config.tag_compare_cycles
         };
 
@@ -394,6 +406,7 @@ impl DramCacheScheme for AtCache {
             complete = data.done;
             self.stats.breakdown.dram_data += complete.saturating_sub(tags_checked);
         } else {
+            let _span_fill = span::enter(SpanId::Fill);
             self.stats.misses += 1;
             let bytes = self.config.block_bytes;
             let base = access.addr & !u64::from(bytes - 1);
@@ -412,6 +425,7 @@ impl DramCacheScheme for AtCache {
                 let victim = set.pop().expect("set overflowed");
                 self.stats.evictions += 1;
                 if victim.dirty {
+                    let _g = span::enter(SpanId::Writeback);
                     let victim_addr = self.line_addr(victim.tag, set_idx);
                     mem.defer(
                         fetch.done,
@@ -444,6 +458,7 @@ impl DramCacheScheme for AtCache {
                 },
             );
             complete = fetch.done;
+            span::add_cycles(SpanId::Fill, complete.saturating_sub(tags_checked));
             self.stats.breakdown.offchip += complete.saturating_sub(tags_checked);
         }
         self.stats.total_latency += complete.saturating_sub(access.now);

@@ -18,6 +18,7 @@ use bimodal_core::{
     EccLedger, FaultTarget, MetadataFault, SchemeStats, SramModel,
 };
 use bimodal_dram::{Cycle, DeferredOp, MemorySystem, Op, RowEvent, TrafficClass};
+use bimodal_obs::span::{self, SpanId};
 use bimodal_prng::SmallRng;
 
 use crate::common::RowMapper;
@@ -267,6 +268,7 @@ impl FootprintCache {
 
     /// Evicts `page`, recording its footprint and writing back dirty data.
     fn retire_page(&mut self, page: Page, set_idx: u64, at: Cycle, mem: &mut MemorySystem) -> u64 {
+        let _span = span::enter(SpanId::Writeback);
         self.stats.evictions += 1;
         let base = self.page_addr(page.tag, set_idx);
         let page_id = base / u64::from(self.config.page_bytes);
@@ -447,6 +449,10 @@ impl DramCacheScheme for FootprintCache {
         let loc = mapper.location(set_idx);
 
         // Tags are in SRAM: the check always costs the SRAM latency first.
+        // (Profiled as tag.read even though no DRAM burst is involved —
+        // it is this scheme's tag-check phase.)
+        let span_tag = span::enter(SpanId::TagRead);
+        span::add_cycles(SpanId::TagRead, self.tag_sram_cycles);
         let tags_checked = access.now + self.tag_sram_cycles;
         self.stats.breakdown.sram += self.tag_sram_cycles;
         self.stats.locator_hits += 1; // tags always answered by SRAM
@@ -457,6 +463,7 @@ impl DramCacheScheme for FootprintCache {
 
         let set = &mut self.sets[usize::try_from(set_idx).expect("set fits usize")];
         let pos = set.iter().position(|p| p.tag == tag);
+        drop(span_tag);
 
         let mut offchip_bytes = 0u64;
         if let Some(pos) = pos {
@@ -492,6 +499,7 @@ impl DramCacheScheme for FootprintCache {
                 };
             }
             // Sub-block miss within a resident page: fetch just this line.
+            let _span_fill = span::enter(SpanId::Fill);
             pg.fetched |= 1 << sub;
             pg.referenced |= 1 << sub;
             if access.is_write() {
@@ -513,6 +521,7 @@ impl DramCacheScheme for FootprintCache {
                     class: TrafficClass::DataFill,
                 },
             );
+            span::add_cycles(SpanId::Fill, fetch.done.saturating_sub(tags_checked));
             self.stats.breakdown.offchip += fetch.done.saturating_sub(tags_checked);
             self.stats.total_latency += fetch.done.saturating_sub(access.now);
             return AccessOutcome {
@@ -525,7 +534,10 @@ impl DramCacheScheme for FootprintCache {
 
         // ------------------------------------------------- page miss
         self.stats.misses += 1;
-        let predicted = self.predictor.predict(page, sub);
+        let predicted = {
+            let _g = span::enter(SpanId::PredictorLookup);
+            self.predictor.predict(page, sub)
+        };
         let predicted_count = predicted.count_ones();
         let bytes = self.config.sub_block_bytes;
         let base = access.addr & !u64::from(bytes - 1);
@@ -553,6 +565,7 @@ impl DramCacheScheme for FootprintCache {
 
         // Fetch the predicted footprint (the demanded line first; the rest
         // streams behind it).
+        let span_fill = span::enter(SpanId::Fill);
         let page_base = page * u64::from(self.config.page_bytes);
         mem.main.set_class(TrafficClass::MainMemRefill);
         let demand = mem.main.read(base, bytes, tags_checked);
@@ -594,6 +607,8 @@ impl DramCacheScheme for FootprintCache {
             },
         );
 
+        span::add_cycles(SpanId::Fill, fill_done.saturating_sub(tags_checked));
+        drop(span_fill);
         self.stats.breakdown.offchip += demand.done.saturating_sub(tags_checked);
         self.stats.total_latency += demand.done.saturating_sub(access.now);
         AccessOutcome {

@@ -11,6 +11,7 @@ use bimodal_core::{
     EccLedger, FaultTarget, MetadataFault, SchemeStats,
 };
 use bimodal_dram::{Cycle, DeferredOp, MemorySystem, Op, Request, RowEvent, TrafficClass};
+use bimodal_obs::span::{self, SpanId};
 use bimodal_prng::SmallRng;
 
 use crate::common::RowMapper;
@@ -275,6 +276,7 @@ impl DramCacheScheme for LohHillCache {
         let loc = mapper.location(set_idx);
 
         // Compound access: activate the row, read the tag blocks.
+        let span_tag = span::enter(SpanId::TagRead);
         mem.cache_dram.set_class(TrafficClass::MetadataRead);
         let tags = mem.cache_dram.access(Request {
             loc,
@@ -287,6 +289,8 @@ impl DramCacheScheme for LohHillCache {
             self.stats.md_row_hits += 1;
         }
         let tags_checked = tags.done + self.config.tag_compare_cycles;
+        span::add_cycles(SpanId::TagRead, tags_checked.saturating_sub(access.now));
+        drop(span_tag);
         if !self.ledger.is_empty() {
             // The tag read just decoded the protected blocks: SECDED scrub.
             self.scrub_set(set_idx, loc, tags.done, mem);
@@ -322,6 +326,7 @@ impl DramCacheScheme for LohHillCache {
             self.stats.breakdown.dram_tag += tags_checked.saturating_sub(access.now);
             self.stats.breakdown.dram_data += complete.saturating_sub(tags_checked);
         } else {
+            let _span_fill = span::enter(SpanId::Fill);
             self.stats.misses += 1;
             let bytes = self.config.block_bytes;
             let base = access.addr & !u64::from(bytes - 1);
@@ -340,6 +345,7 @@ impl DramCacheScheme for LohHillCache {
                 let victim = set.pop().expect("set overflowed");
                 self.stats.evictions += 1;
                 if victim.dirty {
+                    let _g = span::enter(SpanId::Writeback);
                     let victim_addr = self.line_addr(victim.tag, set_idx);
                     mem.defer(
                         fetch.done,
@@ -373,6 +379,7 @@ impl DramCacheScheme for LohHillCache {
                 },
             );
             complete = fetch.done;
+            span::add_cycles(SpanId::Fill, complete.saturating_sub(tags_checked));
             self.stats.breakdown.dram_tag += tags_checked.saturating_sub(access.now);
             self.stats.breakdown.offchip += complete.saturating_sub(tags_checked);
         }

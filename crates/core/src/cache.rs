@@ -18,6 +18,7 @@ use bimodal_prng::SmallRng;
 use bimodal_dram::{
     Cycle, DeferredOp, DramConfig, MemorySystem, Op, Request, RowEvent, TrafficClass,
 };
+use bimodal_obs::span::{self, SpanId};
 
 use crate::adaptive::GlobalMixController;
 use crate::geometry::{BlockSize, CacheGeometry};
@@ -569,6 +570,7 @@ impl BiModalCache {
     /// Handles an eviction: way-locator invalidation, dirty writebacks,
     /// waste accounting and predictor training.
     fn retire_victim(&mut self, victim: &Victim, set_idx: u64, at: Cycle, mem: &mut MemorySystem) {
+        let _span = span::enter(SpanId::Writeback);
         let subs = self.geometry.sub_blocks();
         let small = u64::from(self.geometry.small_block);
         let base = self.amap.reconstruct(victim.tag, set_idx);
@@ -651,10 +653,12 @@ impl BiModalCache {
         speculative: Option<(bimodal_dram::Completion, u64, u32)>,
         mem: &mut MemorySystem,
     ) -> (Cycle, BlockSize) {
+        let span_fill = span::enter(SpanId::Fill);
         let big_base = self.amap.big_block_base(access.addr);
         let small_base = self.amap.small_block_base(access.addr);
 
         let raw_prediction = if self.bimodal {
+            let _g = span::enter(SpanId::PredictorLookup);
             self.predictor.predict(big_base)
         } else {
             BlockSize::Big
@@ -768,6 +772,8 @@ impl BiModalCache {
             },
         );
 
+        span::add_cycles(SpanId::Fill, fetch.done.saturating_sub(tags_checked));
+        drop(span_fill);
         (fetch.done, outcome.way.size)
     }
 
@@ -974,11 +980,18 @@ impl DramCacheScheme for BiModalCache {
         };
 
         // ------------------------------------------------ way locator hit
-        if let Some(entry) = self
-            .way_locator
-            .as_mut()
-            .and_then(|wl| wl.lookup(access.addr))
-        {
+        let locator_entry = {
+            let _g = span::enter(SpanId::LocatorProbe);
+            let entry = self
+                .way_locator
+                .as_mut()
+                .and_then(|wl| wl.lookup(access.addr));
+            if self.way_locator.is_some() {
+                span::add_cycles(SpanId::LocatorProbe, self.wl_cycles);
+            }
+            entry
+        };
+        if let Some(entry) = locator_entry {
             let way = WayRef {
                 size: entry.size,
                 index: entry.way,
@@ -1069,6 +1082,7 @@ impl DramCacheScheme for BiModalCache {
             }
             _ => None,
         };
+        let span_tag = span::enter(SpanId::TagRead);
         let md_loc = self.metadata.metadata_location(set_idx, data_loc);
         let set_ways = self.sets[usize::try_from(set_idx).expect("set fits usize")]
             .state()
@@ -1092,6 +1106,8 @@ impl DramCacheScheme for BiModalCache {
             md_comp.done
         };
         let tags_checked = md_comp.done + self.tag_compare_cycles;
+        span::add_cycles(SpanId::TagRead, tags_checked.saturating_sub(tag_start));
+        drop(span_tag);
 
         // The tag read just decoded every SECDED-protected entry of this
         // set, so any ledgered metadata faults are detected now: corrected

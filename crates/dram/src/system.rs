@@ -59,6 +59,10 @@ impl MemorySystem {
     /// Executes every deferred operation due at or before `now`. Call at
     /// the start of each demand access.
     pub fn drain_deferred(&mut self, now: Cycle) {
+        // Only non-empty drains count as profiled work; the common empty
+        // check would otherwise drown the span in no-op calls.
+        let _span = (!self.deferred.is_empty())
+            .then(|| bimodal_obs::span::enter(bimodal_obs::SpanId::DeferredDrain));
         while let Some((at, op)) = self.deferred.pop_due(now) {
             match op {
                 DeferredOp::CacheWrite { loc, bytes, class } => {

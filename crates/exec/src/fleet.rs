@@ -1,0 +1,180 @@
+//! Fleet-wide progress aggregation for `--jobs N` fan-outs.
+//!
+//! A serial run's `--heartbeat` prints its own stderr line from inside
+//! the engine loop. Under a worker pool that would interleave N
+//! uncoordinated lines — so instead each worker's [`Heartbeat`] forwards
+//! rate-limited deltas to one shared [`FleetProgress`]
+//! ([`bimodal_obs::ProgressSink`]), which merges them and prints a
+//! single fleet-wide line: units finished, accesses done, aggregate
+//! accesses/sec.
+//!
+//! Workers only reach the sink at most once per heartbeat interval
+//! (the per-worker `Heartbeat` rate-limits locally), so the mutex here
+//! is far off the hot path.
+//!
+//! [`Heartbeat`]: bimodal_obs::Heartbeat
+
+use std::io::Write as _;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use bimodal_obs::ProgressSink;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct UnitProgress {
+    done: u64,
+    total: u64,
+}
+
+#[derive(Debug)]
+struct FleetState {
+    units: Vec<UnitProgress>,
+    last_print: Instant,
+    last_done: u64,
+    printed_final: bool,
+}
+
+/// Aggregates per-worker progress into one fleet-wide stderr line.
+///
+/// Create one per fan-out, share it via `Arc`, and point each unit's
+/// `Heartbeat::to_sink` (or direct [`ProgressSink::tick`] calls for
+/// unit-granular work like sweep points) at it.
+#[derive(Debug)]
+pub struct FleetProgress {
+    /// Noun for the fanned units in the printed line (`schemes`,
+    /// `points`, `programs`, `campaigns`).
+    noun: &'static str,
+    interval: Duration,
+    started: Instant,
+    state: Mutex<FleetState>,
+}
+
+impl FleetProgress {
+    /// A fleet aggregate over `units` work units, printing at most every
+    /// `interval`.
+    #[must_use]
+    pub fn new(noun: &'static str, units: usize, interval: Duration) -> Self {
+        let now = Instant::now();
+        FleetProgress {
+            noun,
+            interval,
+            started: now,
+            state: Mutex::new(FleetState {
+                units: vec![UnitProgress::default(); units],
+                last_print: now,
+                last_done: 0,
+                printed_final: false,
+            }),
+        }
+    }
+
+    /// The print interval, for building per-worker `Heartbeat`s with a
+    /// matching local rate limit.
+    #[must_use]
+    pub fn interval(&self) -> Duration {
+        self.interval
+    }
+
+    /// Marks work unit `unit` finished (for fan-outs that only know
+    /// completion, not intra-unit progress).
+    pub fn unit_done(&self, unit: usize) {
+        self.tick(unit, 1, 1, 0);
+    }
+
+    /// Prints the final fleet line if it has not been printed yet (for
+    /// callers that want a guaranteed 100% line after the pool joins).
+    pub fn finish(&self) {
+        let mut st = self.state.lock().expect("fleet state poisoned");
+        if !st.printed_final {
+            self.print_line(&mut st);
+            st.printed_final = true;
+        }
+    }
+
+    fn print_line(&self, st: &mut FleetState) {
+        let now = Instant::now();
+        let done_units = st
+            .units
+            .iter()
+            .filter(|u| u.total > 0 && u.done >= u.total)
+            .count();
+        let done: u64 = st.units.iter().map(|u| u.done).sum();
+        let total: u64 = st.units.iter().map(|u| u.total).sum();
+        let dt = (now - st.last_print).as_secs_f64();
+        let rate = if dt > 0.0 {
+            (done.saturating_sub(st.last_done)) as f64 / dt
+        } else {
+            0.0
+        };
+        let pct = if total > 0 {
+            done as f64 / total as f64 * 100.0
+        } else {
+            0.0
+        };
+        let mut err = std::io::stderr().lock();
+        let _ = writeln!(
+            err,
+            "[fleet +{:.1}s] {done_units}/{} {} done, {done}/{total} accesses ({pct:.1}%), {rate:.0} acc/s",
+            self.started.elapsed().as_secs_f64(),
+            st.units.len(),
+            self.noun,
+        );
+        st.last_print = now;
+        st.last_done = done;
+    }
+}
+
+impl ProgressSink for FleetProgress {
+    fn tick(&self, unit: usize, done: u64, total: u64, _cycle: u64) {
+        let mut st = self.state.lock().expect("fleet state poisoned");
+        if let Some(u) = st.units.get_mut(unit) {
+            u.done = done;
+            u.total = total;
+        }
+        let all_done = st.units.iter().all(|u| u.total > 0 && u.done >= u.total);
+        if all_done {
+            if !st.printed_final {
+                self.print_line(&mut st);
+                st.printed_final = true;
+            }
+            return;
+        }
+        if st.last_print.elapsed() >= self.interval {
+            self.print_line(&mut st);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_units_and_prints_once_complete() {
+        let fleet = FleetProgress::new("schemes", 2, Duration::from_secs(3600));
+        fleet.tick(0, 50, 100, 10);
+        fleet.tick(1, 100, 100, 20);
+        {
+            let st = fleet.state.lock().unwrap();
+            assert_eq!(st.units[0].done, 50);
+            assert_eq!(st.units[1].total, 100);
+            assert!(!st.printed_final);
+        }
+        fleet.tick(0, 100, 100, 30);
+        assert!(fleet.state.lock().unwrap().printed_final);
+        // finish() after the final line is a no-op.
+        fleet.finish();
+    }
+
+    #[test]
+    fn unit_done_and_finish_cover_completion_only_fanouts() {
+        let fleet = FleetProgress::new("points", 3, Duration::from_secs(3600));
+        fleet.unit_done(0);
+        fleet.unit_done(2);
+        assert!(!fleet.state.lock().unwrap().printed_final);
+        fleet.finish();
+        assert!(fleet.state.lock().unwrap().printed_final);
+        // Late ticks for an out-of-range unit are ignored, not a panic.
+        fleet.tick(99, 1, 1, 0);
+    }
+}

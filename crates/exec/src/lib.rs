@@ -25,6 +25,10 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+mod fleet;
+
+pub use fleet::FleetProgress;
+
 /// The host's available parallelism, used as the `--jobs` default.
 ///
 /// Falls back to 1 if the value cannot be determined (exotic platforms,

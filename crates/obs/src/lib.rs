@@ -38,8 +38,10 @@
 mod bandwidth;
 mod hist;
 pub mod json;
+pub mod metrics;
 mod reservoir;
 mod series;
+pub mod span;
 mod timer;
 mod trace;
 
@@ -50,9 +52,11 @@ pub use bandwidth::{
 };
 pub use hist::{HistSummary, Histogram};
 pub use json::Json;
+pub use metrics::{MetricValue, MetricsRegistry};
 pub use reservoir::{Reservoir, TailSummary};
 pub use series::{Counters, EpochRecorder, EpochSnapshot};
-pub use timer::{Heartbeat, PhaseTimers, WallSummary};
+pub use span::{SpanId, SpanProfile};
+pub use timer::{Heartbeat, PhaseTimers, ProgressSink, WallSummary};
 pub use trace::{EventKind, EventRing, TraceEvent};
 
 use std::time::Duration;
@@ -224,6 +228,8 @@ pub struct ObserverConfig {
     /// Keep exact-tail reservoirs of this many values per latency
     /// population (`None` disables them).
     pub exact_tails: Option<usize>,
+    /// Collect hot-path span profiles (see [`span`]).
+    pub spans: bool,
 }
 
 impl Default for ObserverConfig {
@@ -234,6 +240,7 @@ impl Default for ObserverConfig {
             trace_sample_every: 1,
             heartbeat: None,
             exact_tails: None,
+            spans: false,
         }
     }
 }
@@ -267,6 +274,13 @@ impl ObserverConfig {
     #[must_use]
     pub fn with_exact_tails(mut self, capacity: usize) -> Self {
         self.exact_tails = Some(capacity.max(1));
+        self
+    }
+
+    /// Enables hot-path span profiling (see [`span`]).
+    #[must_use]
+    pub fn with_spans(mut self) -> Self {
+        self.spans = true;
         self
     }
 }
@@ -340,6 +354,8 @@ pub struct Observer {
     /// Per-phase wall-clock timers (always running; two `Instant` reads
     /// per run are free).
     pub timers: PhaseTimers,
+    /// Whether the engine should collect hot-path span profiles.
+    pub spans: bool,
 }
 
 impl Observer {
@@ -356,6 +372,7 @@ impl Observer {
             bandwidth: BandwidthSeries::default(),
             heartbeat: None,
             timers: PhaseTimers::start(),
+            spans: false,
         }
     }
 
@@ -372,6 +389,7 @@ impl Observer {
             bandwidth: BandwidthSeries::default(),
             heartbeat: config.heartbeat.map(Heartbeat::new),
             timers: PhaseTimers::start(),
+            spans: config.spans,
         }
     }
 

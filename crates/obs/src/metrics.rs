@@ -1,0 +1,252 @@
+//! A dependency-free metrics registry with stable hierarchical names.
+//!
+//! Every subsystem that wants to expose numbers — engine counters, DRAM
+//! statistics, bandwidth attribution, the span profiler — registers them
+//! here under dotted lowercase names (`scheme.hits`,
+//! `span.tag.read.host_ns`, `dram.cache.activates`). The registry is the
+//! single export surface: one JSON snapshot ([`MetricsRegistry::to_json`])
+//! and one Prometheus-style text exposition
+//! ([`MetricsRegistry::to_prometheus`]) that monitoring can scrape from a
+//! file or stderr.
+//!
+//! Names are part of the repo's public contract: a golden key-stability
+//! test pins the set a canonical run produces, so renames are loud,
+//! deliberate events instead of silent churn.
+
+use crate::hist::HistSummary;
+use crate::json::Json;
+
+/// One registered metric's value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A monotonically increasing integer (events, bytes, cycles).
+    Counter(u64),
+    /// A point-in-time measurement (rates, ratios, seconds).
+    Gauge(f64),
+    /// A summarized distribution (the log2 histograms from `hist.rs`).
+    Histogram(HistSummary),
+}
+
+/// An ordered collection of named metrics.
+///
+/// Insertion order is preserved so exports are deterministic; inserting
+/// an existing name overwrites its value (last write wins), keeping the
+/// name set stable when a section is filled twice.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    metrics: Vec<(String, MetricValue)>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Registers (or overwrites) a counter.
+    pub fn counter(&mut self, name: impl Into<String>, value: u64) -> &mut Self {
+        self.insert(name.into(), MetricValue::Counter(value));
+        self
+    }
+
+    /// Registers (or overwrites) a gauge.
+    pub fn gauge(&mut self, name: impl Into<String>, value: f64) -> &mut Self {
+        self.insert(name.into(), MetricValue::Gauge(value));
+        self
+    }
+
+    /// Registers (or overwrites) a histogram summary.
+    pub fn histogram(&mut self, name: impl Into<String>, value: HistSummary) -> &mut Self {
+        self.insert(name.into(), MetricValue::Histogram(value));
+        self
+    }
+
+    fn insert(&mut self, name: String, value: MetricValue) {
+        debug_assert!(
+            name.chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_'),
+            "metric names are dotted lowercase: {name:?}"
+        );
+        if let Some(slot) = self.metrics.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = value;
+        } else {
+            self.metrics.push((name, value));
+        }
+    }
+
+    /// Number of registered metrics.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// True when nothing is registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// The registered names, in insertion order. This is the surface the
+    /// key-stability test pins.
+    #[must_use]
+    pub fn names(&self) -> Vec<&str> {
+        self.metrics.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Looks one metric up by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.metrics.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// The JSON snapshot: one object keyed by metric name. Counters and
+    /// gauges are plain numbers; histograms are `{count, mean, min, p50,
+    /// p95, p99, max}` objects.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::object();
+        for (name, value) in &self.metrics {
+            match value {
+                MetricValue::Counter(c) => o.set(name, *c),
+                MetricValue::Gauge(g) => o.set(name, *g),
+                MetricValue::Histogram(h) => o.set(name, h.to_json()),
+            };
+        }
+        let mut doc = Json::object();
+        doc.set("schema", "bimodal-metrics-v1").set("metrics", o);
+        doc
+    }
+
+    /// Prometheus-style text exposition.
+    ///
+    /// Dotted names become underscore-separated with a `bimodal_` prefix
+    /// (`scheme.hits` → `bimodal_scheme_hits`); every metric carries a
+    /// `# TYPE` line. Histograms export Prometheus summaries: quantile
+    /// series plus `_sum` and `_count`.
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, value) in &self.metrics {
+            let flat = prometheus_name(name);
+            match value {
+                MetricValue::Counter(c) => {
+                    let _ = writeln!(out, "# TYPE {flat} counter\n{flat} {c}");
+                }
+                MetricValue::Gauge(g) => {
+                    let _ = writeln!(out, "# TYPE {flat} gauge\n{flat} {}", fmt_f64(*g));
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = writeln!(out, "# TYPE {flat} summary");
+                    for (q, v) in [("0.5", h.p50), ("0.95", h.p95), ("0.99", h.p99)] {
+                        let _ = writeln!(out, "{flat}{{quantile=\"{q}\"}} {v}");
+                    }
+                    let sum = h.mean * h.count as f64;
+                    let _ = writeln!(out, "{flat}_sum {}", fmt_f64(sum));
+                    let _ = writeln!(out, "{flat}_count {}", h.count);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// `scheme.hits` → `bimodal_scheme_hits`.
+fn prometheus_name(name: &str) -> String {
+    let mut flat = String::with_capacity(name.len() + 8);
+    flat.push_str("bimodal_");
+    for c in name.chars() {
+        flat.push(if c == '.' { '_' } else { c });
+    }
+    flat
+}
+
+/// Prometheus floats: integral values print without a fractional part,
+/// everything else with enough digits to round-trip.
+fn fmt_f64(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_hist() -> HistSummary {
+        HistSummary {
+            count: 4,
+            mean: 25.0,
+            min: 10,
+            p50: 20,
+            p95: 40,
+            p99: 40,
+            max: 40,
+        }
+    }
+
+    #[test]
+    fn registry_preserves_insertion_order_and_overwrites() {
+        let mut r = MetricsRegistry::new();
+        r.counter("scheme.hits", 3)
+            .gauge("scheme.hit_rate", 0.75)
+            .counter("scheme.hits", 5);
+        assert_eq!(r.names(), ["scheme.hits", "scheme.hit_rate"]);
+        assert_eq!(r.get("scheme.hits"), Some(&MetricValue::Counter(5)));
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn json_snapshot_has_schema_and_values() {
+        let mut r = MetricsRegistry::new();
+        r.counter("run.accesses", 100)
+            .gauge("run.hit_rate", 0.5)
+            .histogram("latency.read", sample_hist());
+        let j = r.to_json();
+        assert_eq!(
+            j.get("schema").and_then(Json::as_str),
+            Some("bimodal-metrics-v1")
+        );
+        let m = j.get("metrics").expect("metrics object");
+        assert_eq!(m.get("run.accesses").and_then(Json::as_f64), Some(100.0));
+        assert_eq!(m.get("run.hit_rate").and_then(Json::as_f64), Some(0.5));
+        assert_eq!(
+            m.get("latency.read")
+                .and_then(|h| h.get("p95"))
+                .and_then(Json::as_f64),
+            Some(40.0)
+        );
+        // Round-trips through the hand-rolled parser.
+        assert!(Json::parse(&j.to_pretty()).is_ok());
+    }
+
+    #[test]
+    fn prometheus_exposition_flattens_names_and_types() {
+        let mut r = MetricsRegistry::new();
+        r.counter("dram.cache.activates", 7)
+            .gauge("wall.total_seconds", 1.25)
+            .histogram("latency.read", sample_hist());
+        let text = r.to_prometheus();
+        assert!(text.contains("# TYPE bimodal_dram_cache_activates counter"));
+        assert!(text.contains("bimodal_dram_cache_activates 7"));
+        assert!(text.contains("# TYPE bimodal_wall_total_seconds gauge"));
+        assert!(text.contains("bimodal_wall_total_seconds 1.25"));
+        assert!(text.contains("# TYPE bimodal_latency_read summary"));
+        assert!(text.contains("bimodal_latency_read{quantile=\"0.99\"} 40"));
+        assert!(text.contains("bimodal_latency_read_sum 100"));
+        assert!(text.contains("bimodal_latency_read_count 4"));
+    }
+
+    #[test]
+    fn integral_gauges_print_without_fraction() {
+        let mut r = MetricsRegistry::new();
+        r.gauge("a.b", 3.0).gauge("a.c", 0.125);
+        let text = r.to_prometheus();
+        assert!(text.contains("bimodal_a_b 3\n"));
+        assert!(text.contains("bimodal_a_c 0.125\n"));
+    }
+}

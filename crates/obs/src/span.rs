@@ -1,0 +1,369 @@
+//! Scoped span profiler for the simulation hot path.
+//!
+//! Components wrap their interesting phases in RAII guards:
+//!
+//! ```
+//! use bimodal_obs::span::{self, SpanId};
+//! span::begin_run();
+//! {
+//!     let _g = span::enter(SpanId::TagRead);
+//!     // ... probe tag metadata ...
+//!     span::add_cycles(SpanId::TagRead, 12);
+//! }
+//! let profile = span::end_run();
+//! assert_eq!(profile.get(SpanId::TagRead).map(|s| s.calls), Some(1));
+//! ```
+//!
+//! Each span accumulates a call count, total host nanoseconds (inclusive
+//! of nested spans), and attributed simulated cycles. State is
+//! thread-local so schemes deep in `crates/core`/`crates/baselines` can
+//! report without any plumbing through trait signatures; the engine runs
+//! one simulation per thread, so a run's spans all land in one collector.
+//!
+//! Profiling is off by default. When off, [`enter`] and [`add_cycles`]
+//! reduce to one inlined relaxed load of a process-wide atomic (the
+//! count of threads currently profiling) — cheap enough that the engine
+//! keeps the calls unconditionally (the ≤2% disabled-overhead budget is
+//! measured in EXPERIMENTS.md). Only when some thread profiles does the
+//! slow path consult this thread's own flag.
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use crate::json::Json;
+
+/// Every profiled phase. Order here is export order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum SpanId {
+    /// Engine: pulling the next access out of the trace/mix generator.
+    TraceDecode,
+    /// Engine: one full `scheme.access` call (contains the rest).
+    SchemeAccess,
+    /// Core: way-locator probe on the hit path.
+    LocatorProbe,
+    /// Core/baselines: tag metadata read from cache DRAM.
+    TagRead,
+    /// Core: hit/bypass predictor lookup on the miss path.
+    PredictorLookup,
+    /// Core/baselines: fetching a missed block and installing it.
+    Fill,
+    /// Core/baselines: evicting dirty data to main memory.
+    Writeback,
+    /// DRAM: draining the deferred metadata-update queue.
+    DeferredDrain,
+    /// Engine: epoch bookkeeping and observer callbacks.
+    EpochObserve,
+}
+
+impl SpanId {
+    /// All spans, in export order.
+    pub const ALL: [SpanId; SPAN_COUNT] = [
+        SpanId::TraceDecode,
+        SpanId::SchemeAccess,
+        SpanId::LocatorProbe,
+        SpanId::TagRead,
+        SpanId::PredictorLookup,
+        SpanId::Fill,
+        SpanId::Writeback,
+        SpanId::DeferredDrain,
+        SpanId::EpochObserve,
+    ];
+
+    /// Stable dotted name used in metrics and reports.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            SpanId::TraceDecode => "trace.decode",
+            SpanId::SchemeAccess => "scheme.access",
+            SpanId::LocatorProbe => "locator.probe",
+            SpanId::TagRead => "tag.read",
+            SpanId::PredictorLookup => "predictor.lookup",
+            SpanId::Fill => "fill",
+            SpanId::Writeback => "writeback",
+            SpanId::DeferredDrain => "deferred.drain",
+            SpanId::EpochObserve => "epoch.observe",
+        }
+    }
+}
+
+const SPAN_COUNT: usize = 9;
+
+/// Accumulated totals for one span.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Times the span was entered.
+    pub calls: u64,
+    /// Total host time inside the span (inclusive of nested spans).
+    pub host_ns: u64,
+    /// Simulated cycles attributed via [`add_cycles`].
+    pub sim_cycles: u64,
+}
+
+impl SpanStat {
+    fn is_zero(self) -> bool {
+        self == SpanStat::default()
+    }
+}
+
+thread_local! {
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+    static STATS: RefCell<[SpanStat; SPAN_COUNT]> =
+        const { RefCell::new([SpanStat { calls: 0, host_ns: 0, sim_cycles: 0 }; SPAN_COUNT]) };
+}
+
+/// Number of threads currently inside a `begin_run`/`end_run` window.
+/// The hot-path gate: while zero, [`profiling`] is one relaxed load —
+/// no thread-local access at all.
+static ACTIVE: AtomicUsize = AtomicUsize::new(0);
+
+/// True when this thread is currently collecting spans.
+#[inline]
+#[must_use]
+pub fn profiling() -> bool {
+    ACTIVE.load(Ordering::Relaxed) != 0 && ENABLED.with(Cell::get)
+}
+
+/// Starts collecting on this thread, zeroing any previous totals.
+pub fn begin_run() {
+    STATS.with(|s| *s.borrow_mut() = [SpanStat::default(); SPAN_COUNT]);
+    ENABLED.with(|e| {
+        if !e.replace(true) {
+            ACTIVE.fetch_add(1, Ordering::Relaxed);
+        }
+    });
+}
+
+/// Stops collecting on this thread and returns what was gathered.
+pub fn end_run() -> SpanProfile {
+    ENABLED.with(|e| {
+        if e.replace(false) {
+            ACTIVE.fetch_sub(1, Ordering::Relaxed);
+        }
+    });
+    let stats = STATS.with(|s| *s.borrow());
+    SpanProfile {
+        enabled: true,
+        stats,
+    }
+}
+
+/// Enters a span; totals are recorded when the guard drops. A no-op
+/// (and near-free) when profiling is off.
+#[inline]
+pub fn enter(id: SpanId) -> SpanGuard {
+    SpanGuard {
+        id,
+        started: if profiling() {
+            Some(Instant::now())
+        } else {
+            None
+        },
+    }
+}
+
+/// Attributes simulated cycles to a span. A no-op when profiling is off.
+#[inline]
+pub fn add_cycles(id: SpanId, cycles: u64) {
+    if profiling() {
+        STATS.with(|s| s.borrow_mut()[id as usize].sim_cycles += cycles);
+    }
+}
+
+/// RAII handle from [`enter`]; its `Drop` charges the elapsed host time.
+#[must_use = "dropping the guard immediately records a zero-length span"]
+pub struct SpanGuard {
+    id: SpanId,
+    started: Option<Instant>,
+}
+
+impl Drop for SpanGuard {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some(started) = self.started {
+            let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            STATS.with(|s| {
+                let stat = &mut s.borrow_mut()[self.id as usize];
+                stat.calls += 1;
+                stat.host_ns = stat.host_ns.saturating_add(ns);
+            });
+        }
+    }
+}
+
+/// A finished run's span totals, as captured by [`end_run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanProfile {
+    /// Whether profiling was on for the run (off → all totals zero).
+    pub enabled: bool,
+    stats: [SpanStat; SPAN_COUNT],
+}
+
+impl Default for SpanProfile {
+    /// The profile of a run that never profiled: disabled, all zero.
+    fn default() -> Self {
+        SpanProfile {
+            enabled: false,
+            stats: [SpanStat::default(); SPAN_COUNT],
+        }
+    }
+}
+
+impl SpanProfile {
+    /// Totals for one span.
+    #[must_use]
+    pub fn get(&self, id: SpanId) -> Option<SpanStat> {
+        let stat = self.stats[id as usize];
+        if stat.is_zero() {
+            None
+        } else {
+            Some(stat)
+        }
+    }
+
+    /// Spans that recorded anything, in export order.
+    pub fn iter(&self) -> impl Iterator<Item = (SpanId, SpanStat)> + '_ {
+        SpanId::ALL
+            .iter()
+            .filter_map(|&id| self.get(id).map(|s| (id, s)))
+    }
+
+    /// Sums another profile into this one (fleet/merge aggregation).
+    pub fn merge(&mut self, other: &SpanProfile) {
+        self.enabled |= other.enabled;
+        for (mine, theirs) in self.stats.iter_mut().zip(other.stats.iter()) {
+            mine.calls += theirs.calls;
+            mine.host_ns = mine.host_ns.saturating_add(theirs.host_ns);
+            mine.sim_cycles += theirs.sim_cycles;
+        }
+    }
+
+    /// The report's `profile` section:
+    ///
+    /// ```json
+    /// {"enabled": true,
+    ///  "spans": [{"name": "scheme.access", "calls": 5000,
+    ///             "host_ns": 812345, "sim_cycles": 912000}, ...]}
+    /// ```
+    ///
+    /// Zero spans are omitted so a disabled run exports
+    /// `{"enabled": false, "spans": []}`.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut j = Json::object();
+        j.set("enabled", self.enabled).set(
+            "spans",
+            Json::Arr(
+                self.iter()
+                    .map(|(id, s)| {
+                        let mut o = Json::object();
+                        o.set("name", id.name())
+                            .set("calls", s.calls)
+                            .set("host_ns", s.host_ns)
+                            .set("sim_cycles", s.sim_cycles);
+                        o
+                    })
+                    .collect(),
+            ),
+        );
+        j
+    }
+
+    /// Registers `span.<name>.{calls,host_ns,sim_cycles}` counters for
+    /// every non-zero span.
+    pub fn fill_metrics(&self, reg: &mut crate::metrics::MetricsRegistry) {
+        for (id, s) in self.iter() {
+            let base = format!("span.{}", id.name());
+            reg.counter(format!("{base}.calls"), s.calls)
+                .counter(format!("{base}.host_ns"), s.host_ns)
+                .counter(format!("{base}.sim_cycles"), s.sim_cycles);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        assert!(!profiling());
+        {
+            let _g = enter(SpanId::TagRead);
+            add_cycles(SpanId::TagRead, 100);
+        }
+        begin_run();
+        let p = end_run();
+        assert_eq!(p.get(SpanId::TagRead), None);
+        assert_eq!(p.iter().count(), 0);
+        assert!(p.to_json().to_pretty().contains("\"enabled\": true"));
+    }
+
+    #[test]
+    fn spans_accumulate_calls_time_and_cycles() {
+        begin_run();
+        for _ in 0..3 {
+            let _g = enter(SpanId::SchemeAccess);
+            add_cycles(SpanId::SchemeAccess, 7);
+        }
+        let p = end_run();
+        assert!(!profiling());
+        let s = p.get(SpanId::SchemeAccess).expect("span recorded");
+        assert_eq!(s.calls, 3);
+        assert_eq!(s.sim_cycles, 21);
+        // Instant is monotonic; three guard drops charge >= 0 ns total.
+        assert!(s.host_ns < u64::MAX);
+        // Re-entering after end_run records nothing.
+        let _g = enter(SpanId::SchemeAccess);
+        drop(_g);
+        begin_run();
+        assert_eq!(end_run().get(SpanId::SchemeAccess), None);
+    }
+
+    #[test]
+    fn nested_spans_account_separately() {
+        begin_run();
+        {
+            let _outer = enter(SpanId::SchemeAccess);
+            let _inner = enter(SpanId::TagRead);
+        }
+        let p = end_run();
+        assert_eq!(p.get(SpanId::SchemeAccess).map(|s| s.calls), Some(1));
+        assert_eq!(p.get(SpanId::TagRead).map(|s| s.calls), Some(1));
+        assert_eq!(p.iter().count(), 2);
+    }
+
+    #[test]
+    fn merge_sums_and_json_lists_spans_in_order() {
+        begin_run();
+        add_cycles(SpanId::Fill, 5);
+        {
+            let _g = enter(SpanId::Fill);
+        }
+        let mut a = end_run();
+        begin_run();
+        add_cycles(SpanId::Fill, 10);
+        add_cycles(SpanId::TraceDecode, 2);
+        let b = end_run();
+        a.merge(&b);
+        assert_eq!(a.get(SpanId::Fill).map(|s| s.sim_cycles), Some(15));
+        assert_eq!(a.get(SpanId::TraceDecode).map(|s| s.sim_cycles), Some(2));
+        let names: Vec<&str> = a.iter().map(|(id, _)| id.name()).collect();
+        assert_eq!(names, ["trace.decode", "fill"]);
+
+        let mut reg = crate::metrics::MetricsRegistry::new();
+        a.fill_metrics(&mut reg);
+        assert!(reg.names().contains(&"span.fill.sim_cycles"));
+        assert!(reg.names().contains(&"span.trace.decode.calls"));
+    }
+
+    #[test]
+    fn default_profile_is_disabled_and_empty() {
+        let p = SpanProfile::default();
+        assert!(!p.enabled);
+        assert_eq!(p.iter().count(), 0);
+        let json = p.to_json().to_pretty();
+        assert!(json.contains("\"enabled\": false"));
+    }
+}

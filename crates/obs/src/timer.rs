@@ -7,9 +7,20 @@
 //! tracked separately across perf PRs.
 
 use std::io::Write as _;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::json::Json;
+
+/// Where a worker's rate-limited progress goes when it isn't printing
+/// to stderr itself: a pool-side aggregator (e.g. `FleetProgress` in
+/// `bimodal-exec`) that merges deltas from every worker into one
+/// fleet-wide line.
+pub trait ProgressSink: Send + Sync {
+    /// One rate-limited progress report from work unit `unit`: `done`
+    /// of `total` accesses, at simulated cycle `cycle`.
+    fn tick(&self, unit: usize, done: u64, total: u64, cycle: u64);
+}
 
 /// Wall-clock profile of one run, split into named phases.
 #[derive(Debug, Clone, PartialEq)]
@@ -111,20 +122,47 @@ impl WallSummary {
     }
 }
 
-/// Rate-limited progress reporting to stderr.
+/// Rate-limited progress reporting: to stderr directly, or forwarded to
+/// a [`ProgressSink`] when the run is one worker in a `--jobs N` fleet.
 ///
 /// The caller ticks it from its hot loop (cheaply, e.g. every few
-/// thousand iterations); at most one line is printed per `interval`.
-#[derive(Debug)]
+/// thousand iterations); at most one line is printed (or delta
+/// forwarded) per `interval`, so the sink's synchronization cost is off
+/// the hot path.
 pub struct Heartbeat {
     interval: Duration,
     started: Instant,
     last_beat: Instant,
     last_done: u64,
+    output: HeartbeatOutput,
+}
+
+enum HeartbeatOutput {
+    Stderr,
+    Sink {
+        sink: Arc<dyn ProgressSink>,
+        unit: usize,
+    },
+}
+
+impl std::fmt::Debug for Heartbeat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Heartbeat")
+            .field("interval", &self.interval)
+            .field("last_done", &self.last_done)
+            .field(
+                "output",
+                match self.output {
+                    HeartbeatOutput::Stderr => &"stderr",
+                    HeartbeatOutput::Sink { .. } => &"sink",
+                },
+            )
+            .finish_non_exhaustive()
+    }
 }
 
 impl Heartbeat {
-    /// A heartbeat printing at most every `interval`.
+    /// A heartbeat printing to stderr at most every `interval`.
     #[must_use]
     pub fn new(interval: Duration) -> Self {
         let now = Instant::now();
@@ -133,32 +171,59 @@ impl Heartbeat {
             started: now,
             last_beat: now,
             last_done: 0,
+            output: HeartbeatOutput::Stderr,
         }
     }
 
+    /// A heartbeat forwarding to `sink` (as work unit `unit`) at most
+    /// every `interval`, instead of printing itself.
+    #[must_use]
+    pub fn to_sink(interval: Duration, sink: Arc<dyn ProgressSink>, unit: usize) -> Self {
+        let mut hb = Heartbeat::new(interval);
+        hb.output = HeartbeatOutput::Sink { sink, unit };
+        hb
+    }
+
     /// Reports progress (`done` of `total` work units, at simulated cycle
-    /// `cycle`); prints to stderr when the interval elapsed. Returns
-    /// whether a line was printed (for tests).
+    /// `cycle`); prints to stderr — or forwards to the sink — when the
+    /// interval elapsed. Returns whether anything was emitted (for tests).
     pub fn tick(&mut self, done: u64, total: u64, cycle: u64) -> bool {
         let now = Instant::now();
         if now - self.last_beat < self.interval {
             return false;
         }
-        let rate = (done - self.last_done) as f64 / (now - self.last_beat).as_secs_f64();
-        let pct = if total > 0 {
-            done as f64 / total as f64 * 100.0
-        } else {
-            0.0
-        };
-        let mut err = std::io::stderr().lock();
-        let _ = writeln!(
-            err,
-            "[heartbeat +{:.1}s] {done}/{total} accesses ({pct:.1}%), cycle {cycle}, {rate:.0} acc/s",
-            self.started.elapsed().as_secs_f64(),
-        );
+        match &self.output {
+            HeartbeatOutput::Stderr => {
+                let rate = (done - self.last_done) as f64 / (now - self.last_beat).as_secs_f64();
+                let pct = if total > 0 {
+                    done as f64 / total as f64 * 100.0
+                } else {
+                    0.0
+                };
+                let mut err = std::io::stderr().lock();
+                let _ = writeln!(
+                    err,
+                    "[heartbeat +{:.1}s] {done}/{total} accesses ({pct:.1}%), cycle {cycle}, {rate:.0} acc/s",
+                    self.started.elapsed().as_secs_f64(),
+                );
+            }
+            HeartbeatOutput::Sink { sink, unit } => sink.tick(*unit, done, total, cycle),
+        }
         self.last_beat = now;
         self.last_done = done;
         true
+    }
+
+    /// Flushes a final progress report regardless of the interval — the
+    /// fleet aggregate should end at 100% even for units that finished
+    /// between beats. Stderr heartbeats stay quiet (the summary line
+    /// covers them).
+    pub fn finish(&mut self, done: u64, total: u64, cycle: u64) {
+        if let HeartbeatOutput::Sink { sink, unit } = &self.output {
+            sink.tick(*unit, done, total, cycle);
+        }
+        self.last_beat = Instant::now();
+        self.last_done = done;
     }
 }
 
@@ -219,5 +284,32 @@ mod tests {
         let mut hb = Heartbeat::new(Duration::ZERO);
         assert!(hb.tick(10, 100, 5000));
         assert!(hb.tick(20, 100, 9000));
+    }
+
+    #[test]
+    fn sink_heartbeat_forwards_rate_limited_deltas() {
+        use std::sync::Mutex;
+
+        #[derive(Default)]
+        struct Capture(Mutex<Vec<(usize, u64, u64, u64)>>);
+        impl ProgressSink for Capture {
+            fn tick(&self, unit: usize, done: u64, total: u64, cycle: u64) {
+                self.0.lock().unwrap().push((unit, done, total, cycle));
+            }
+        }
+
+        let sink = Arc::new(Capture::default());
+        let mut hb = Heartbeat::to_sink(Duration::ZERO, sink.clone(), 3);
+        assert!(hb.tick(10, 100, 500));
+        hb.finish(100, 100, 4000);
+        let seen = sink.0.lock().unwrap().clone();
+        assert_eq!(seen, vec![(3, 10, 100, 500), (3, 100, 100, 4000)]);
+
+        // A long interval suppresses forwards but finish still reports.
+        let sink = Arc::new(Capture::default());
+        let mut hb = Heartbeat::to_sink(Duration::from_secs(3600), sink.clone(), 0);
+        assert!(!hb.tick(10, 100, 500));
+        hb.finish(100, 100, 4000);
+        assert_eq!(sink.0.lock().unwrap().len(), 1);
     }
 }

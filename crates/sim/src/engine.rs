@@ -13,7 +13,10 @@
 
 use bimodal_core::{AccessKind, AccessOutcome, CacheAccess, DramCacheScheme, SchemeStats};
 use bimodal_dram::{Cycle, DramStats, MemorySystem};
-use bimodal_obs::{Counters, EventKind, MemoryBandwidth, Observer, RequestClass, TraceEvent};
+use bimodal_obs::span::{self, SpanId};
+use bimodal_obs::{
+    Counters, EventKind, MemoryBandwidth, Observer, RequestClass, SpanProfile, TraceEvent,
+};
 use bimodal_workloads::ProgramTrace;
 
 use crate::llsc::{LlscCache, LlscConfig};
@@ -330,6 +333,14 @@ impl Engine {
         let warmup = self.options.warmup_per_core;
         let target = warmup + self.options.accesses_per_core;
 
+        // Span profiling is per-thread state: the engine owns begin/end so
+        // component-level spans (locator, tag read, fills...) recorded deep
+        // inside the scheme land in this run's profile.
+        let profiling = obs.is_enabled() && obs.spans;
+        if profiling {
+            span::begin_run();
+        }
+
         if obs.is_enabled() {
             // The per-set heatmap allocates per touched row, so it is
             // opt-in with the rest of the observability layer; the flat
@@ -390,7 +401,10 @@ impl Engine {
                 .min_by_key(|(i, c)| (c.next_issue, *i))
                 .expect("at least one active core");
             let now = cores[idx].next_issue;
-            let access = cores[idx].trace.next().expect("traces are endless");
+            let access = {
+                let _g = span::enter(SpanId::TraceDecode);
+                cores[idx].trace.next().expect("traces are endless")
+            };
             let kind = if access.is_write {
                 AccessKind::Write
             } else {
@@ -416,6 +430,7 @@ impl Engine {
             };
             // With an LLSC front-end, hits are absorbed in SRAM and dirty
             // victims become writes into the DRAM cache.
+            let span_access = span::enter(SpanId::SchemeAccess);
             let outcome = if let Some(l) = llsc.as_mut() {
                 let r = l.access(access.addr, access.is_write);
                 if r.hit {
@@ -450,6 +465,8 @@ impl Engine {
                     mem,
                 )
             };
+            span::add_cycles(SpanId::SchemeAccess, outcome.complete.saturating_sub(now));
+            drop(span_access);
             hook.on_outcome(ctx, &outcome, obs);
 
             if obs.is_enabled() {
@@ -525,6 +542,7 @@ impl Engine {
 
             issued_total += 1;
             if obs.is_enabled() {
+                let _g = span::enter(SpanId::EpochObserve);
                 let c = cumulative_counters(&*scheme, mem, &epoch_base);
                 let queued = mem.deferred_pending() as u64;
                 let epochs_before = obs.epochs.epochs().len();
@@ -535,9 +553,13 @@ impl Engine {
                     obs.bandwidth
                         .push(now, mem.cache_dram.bandwidth().channel_class_cycles());
                 }
-                if let Some(hb) = obs.heartbeat.as_mut() {
-                    hb.tick(issued_total.min(issue_target), issue_target, now);
-                }
+            }
+            // The heartbeat is decoupled from the rest of the
+            // observability layer: fleet fan-outs attach a sink heartbeat
+            // to an otherwise-disabled observer so workers report
+            // progress without paying for histograms and epoch series.
+            if let Some(hb) = obs.heartbeat.as_mut() {
+                hb.tick(issued_total.min(issue_target), issue_target, now);
             }
 
             if !stats_reset && cores.iter().all(|c| c.issued >= warmup) {
@@ -598,6 +620,16 @@ impl Engine {
             obs.bandwidth
                 .push(end_cycle, mem.cache_dram.bandwidth().channel_class_cycles());
         }
+        if let Some(hb) = obs.heartbeat.as_mut() {
+            // Fleet aggregation needs units to end at 100% even when
+            // they finish between beats.
+            hb.finish(issue_target, issue_target, end_cycle);
+        }
+        let profile = if profiling {
+            span::end_run()
+        } else {
+            SpanProfile::default()
+        };
         let core_cycles = cores
             .iter()
             .map(|c| {
@@ -625,6 +657,7 @@ impl Engine {
                 offchip: mem.main.bandwidth().summary(end_cycle, HOT_SET_TOP_K),
                 deferred_queue: mem.queue_depth(),
             },
+            profile,
         })
     }
 }

@@ -2,7 +2,7 @@
 
 use bimodal_core::SchemeStats;
 use bimodal_dram::{Cycle, DramStats};
-use bimodal_obs::{Json, MemoryBandwidth, ObsSummary};
+use bimodal_obs::{Json, MemoryBandwidth, MetricsRegistry, ObsSummary, SpanProfile};
 
 /// Everything measured during one run.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,6 +31,10 @@ pub struct RunReport {
     /// DRAM modules. Always populated: the counters are plain adds on
     /// paths the timing model executes anyway.
     pub bandwidth: MemoryBandwidth,
+    /// Hot-path span profile: per-phase call counts, host nanoseconds
+    /// and simulated-cycle attribution. Disabled (all zero) unless the
+    /// run was observed with spans on.
+    pub profile: SpanProfile,
 }
 
 impl RunReport {
@@ -89,8 +93,77 @@ impl RunReport {
             .set("cache_dram", dram_stats_json(&self.cache_dram))
             .set("offchip_dram", dram_stats_json(&self.offchip))
             .set("obs", self.obs.to_json())
-            .set("bandwidth", self.bandwidth.to_json());
+            .set("bandwidth", self.bandwidth.to_json())
+            .set("profile", self.profile.to_json());
         o
+    }
+
+    /// Registers every scalar the report carries under stable dotted
+    /// names: `run.*` (headline rates), `scheme.*` (raw counters),
+    /// `dram.cache.*` / `dram.offchip.*` (module counters),
+    /// `bandwidth.*` (bus occupancy), `latency.*` (histograms, when the
+    /// run was observed), `wall.*` (host timing) and `span.*` (the
+    /// hot-path profile, when spans were on). Names are part of the
+    /// tooling contract — see `tests/golden/metrics_keys.txt`.
+    pub fn fill_metrics(&self, reg: &mut MetricsRegistry) {
+        reg.gauge("run.accesses_per_core", self.accesses_per_core as f64)
+            .gauge("run.mean_core_cycles", self.mean_core_cycles())
+            .gauge("run.avg_latency", self.avg_latency())
+            .counter("run.offchip_bytes", self.offchip_bytes())
+            .counter("run.wasted_bytes", self.wasted_bytes());
+        let s = &self.scheme;
+        reg.counter("scheme.accesses", s.accesses)
+            .counter("scheme.hits", s.hits)
+            .counter("scheme.misses", s.misses)
+            .counter("scheme.reads", s.reads)
+            .counter("scheme.writes", s.writes)
+            .counter("scheme.prefetches", s.prefetches)
+            .gauge("scheme.hit_rate", s.hit_rate())
+            .counter("scheme.small_block_accesses", s.small_block_accesses)
+            .counter("scheme.locator_hits", s.locator_hits)
+            .counter("scheme.locator_misses", s.locator_misses)
+            .counter("scheme.fills_big", s.fills_big)
+            .counter("scheme.fills_small", s.fills_small)
+            .counter("scheme.evictions", s.evictions)
+            .counter("scheme.writebacks", s.writebacks)
+            .counter("scheme.md_accesses", s.md_accesses)
+            .counter("scheme.data_accesses", s.data_accesses);
+        for (prefix, d) in [
+            ("dram.cache", &self.cache_dram),
+            ("dram.offchip", &self.offchip),
+        ] {
+            let t = d.totals;
+            reg.counter(format!("{prefix}.activates"), t.activates)
+                .counter(format!("{prefix}.reads"), t.reads)
+                .counter(format!("{prefix}.writes"), t.writes)
+                .counter(format!("{prefix}.bytes_read"), t.bytes_read)
+                .counter(format!("{prefix}.bytes_written"), t.bytes_written)
+                .gauge(
+                    format!("{prefix}.row_buffer_hit_rate"),
+                    d.row_buffer_hit_rate(),
+                );
+        }
+        reg.counter("bandwidth.elapsed_cycles", self.bandwidth.elapsed_cycles)
+            .counter(
+                "bandwidth.cache.busy_cycles",
+                self.bandwidth.cache.total_busy_cycles(),
+            )
+            .counter(
+                "bandwidth.offchip.busy_cycles",
+                self.bandwidth.offchip.total_busy_cycles(),
+            )
+            .counter(
+                "bandwidth.deferred_queue.high_water",
+                self.bandwidth.deferred_queue.high_water,
+            );
+        for (name, h) in &self.obs.latency {
+            reg.histogram(format!("latency.{name}"), *h);
+        }
+        if let Some(w) = &self.obs.wall {
+            reg.gauge("wall.total_seconds", w.total_seconds)
+                .gauge("wall.cycles_per_second", w.cycles_per_second);
+        }
+        self.profile.fill_metrics(reg);
     }
 }
 
@@ -180,6 +253,7 @@ mod tests {
             data_bank_rbh: None,
             obs: ObsSummary::default(),
             bandwidth: MemoryBandwidth::default(),
+            profile: SpanProfile::default(),
         };
         assert_eq!(r.mean_core_cycles(), 0.0);
         assert_eq!(r.avg_latency(), 0.0);
@@ -205,6 +279,7 @@ mod tests {
             data_bank_rbh: None,
             obs: ObsSummary::default(),
             bandwidth: MemoryBandwidth::default(),
+            profile: SpanProfile::default(),
         };
         assert_eq!(r.dram_cache_accesses(), 10);
         assert!((r.avg_latency() - 100.0).abs() < 1e-12);
@@ -232,6 +307,7 @@ mod tests {
             data_bank_rbh: None,
             obs: ObsSummary::default(),
             bandwidth: MemoryBandwidth::default(),
+            profile: SpanProfile::default(),
         };
         let j = r.to_json();
         assert_eq!(j.get("scheme").and_then(Json::as_str), Some("bimodal"));
@@ -268,6 +344,7 @@ mod tests {
             data_bank_rbh: None,
             obs: ObsSummary::default(),
             bandwidth: MemoryBandwidth::default(),
+            profile: SpanProfile::default(),
         };
         let Json::Obj(pairs) = r.to_json() else {
             panic!("report serializes to an object");
@@ -290,6 +367,7 @@ mod tests {
                 "offchip_dram",
                 "obs",
                 "bandwidth",
+                "profile",
             ]
         );
         let bw = r.to_json();

@@ -213,6 +213,26 @@ impl Simulation {
         accesses_per_core: u64,
         jobs: usize,
     ) -> Result<AnttReport, SimError> {
+        self.run_antt_jobs_with_progress(mix, accesses_per_core, jobs, None)
+    }
+
+    /// [`Simulation::run_antt_jobs`] with an optional fleet-progress
+    /// aggregate: each unit attaches a sink heartbeat to an otherwise
+    /// disabled observer, so `--heartbeat --jobs N` prints one merged
+    /// fleet line instead of nothing. Progress reporting is passive —
+    /// the report stays bit-identical to the serial path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidRun`] if the access count is zero, or
+    /// the first (in canonical order) error any unit produced.
+    pub fn run_antt_jobs_with_progress(
+        &self,
+        mix: &WorkloadMix,
+        accesses_per_core: u64,
+        jobs: usize,
+        progress: Option<&std::sync::Arc<bimodal_exec::FleetProgress>>,
+    ) -> Result<AnttReport, SimError> {
         if accesses_per_core == 0 {
             return Err(SimError::InvalidRun(
                 "accesses_per_core must be positive".into(),
@@ -233,23 +253,36 @@ impl Simulation {
                     .map(|t| Unit::Solo(Box::new(t))),
             )
             .collect();
-        let results = bimodal_exec::map(jobs, units, |unit| -> Result<Done, SimError> {
-            match unit {
-                Unit::Multi => self
-                    .run_mix(mix, accesses_per_core)
-                    .map(|r| Done::Multi(Box::new(r))),
-                Unit::Solo(trace) => {
-                    let mut scheme = self.build_scheme(accesses_per_core, 1);
-                    let mut mem = self.system.build_memory();
-                    let report = Engine::new(self.engine_options(accesses_per_core)).run(
-                        scheme.as_mut(),
-                        &mut mem,
-                        vec![*trace],
-                    );
-                    Ok(Done::Solo(report.core_cycles[0]))
-                }
+        // A unit's observer is disabled except for the optional sink
+        // heartbeat, which only reports progress — never measurements —
+        // so the fan-out stays bit-identical to the serial path.
+        let unit_obs = |unit: usize| -> bimodal_obs::Observer {
+            let mut obs = bimodal_obs::Observer::disabled();
+            if let Some(fleet) = progress {
+                obs.heartbeat = Some(bimodal_obs::Heartbeat::to_sink(
+                    fleet.interval(),
+                    std::sync::Arc::clone(fleet) as std::sync::Arc<dyn bimodal_obs::ProgressSink>,
+                    unit,
+                ));
             }
-        });
+            obs
+        };
+        let results =
+            bimodal_exec::map_indexed(jobs, units, |idx, unit| -> Result<Done, SimError> {
+                let mut obs = unit_obs(idx);
+                match unit {
+                    Unit::Multi => self
+                        .run_mix_observed(mix, accesses_per_core, &mut obs)
+                        .map(|r| Done::Multi(Box::new(r))),
+                    Unit::Solo(trace) => {
+                        let mut scheme = self.build_scheme(accesses_per_core, 1);
+                        let mut mem = self.system.build_memory();
+                        let report = Engine::new(self.engine_options(accesses_per_core))
+                            .run_observed(scheme.as_mut(), &mut mem, vec![*trace], &mut obs);
+                        Ok(Done::Solo(report.core_cycles[0]))
+                    }
+                }
+            });
         let mut mp = None;
         let mut standalone = Vec::with_capacity(results.len().saturating_sub(1));
         for done in results {

@@ -83,12 +83,31 @@ pub fn miss_rate_vs_block_size_jobs(
     seed: u64,
     jobs: usize,
 ) -> Vec<(u32, f64)> {
-    bimodal_exec::map(jobs, block_sizes.to_vec(), |bs| {
+    miss_rate_vs_block_size_with_progress(mix, cache_bytes, block_sizes, accesses, seed, jobs, None)
+}
+
+/// [`miss_rate_vs_block_size_jobs`] with an optional fleet-progress
+/// aggregate. The functional sweep has no engine heartbeat, so progress
+/// is unit-granular: each finished block size marks its unit done.
+#[must_use]
+pub fn miss_rate_vs_block_size_with_progress(
+    mix: &WorkloadMix,
+    cache_bytes: u64,
+    block_sizes: &[u32],
+    accesses: u64,
+    seed: u64,
+    jobs: usize,
+    progress: Option<&std::sync::Arc<bimodal_exec::FleetProgress>>,
+) -> Vec<(u32, f64)> {
+    bimodal_exec::map_indexed(jobs, block_sizes.to_vec(), |idx, bs| {
         let mut cache = FunctionalCache::new(FunctionalConfig::new(cache_bytes, bs, 4));
         for a in MergedTrace::new(mix, seed)
             .take(usize::try_from(accesses).expect("access count fits usize"))
         {
             cache.access(a.addr);
+        }
+        if let Some(fleet) = progress {
+            fleet.unit_done(idx);
         }
         (bs, cache.miss_rate())
     })

@@ -13,11 +13,17 @@
 
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
+use bimodal::exec::FleetProgress;
 use bimodal::faults::{CampaignConfig, CampaignReport, FaultRates};
-use bimodal::obs::{Json, ObsSummary, Observer, ObserverConfig};
+use bimodal::obs::{
+    Heartbeat, Json, MetricValue, MetricsRegistry, ObsSummary, Observer, ObserverConfig,
+    ProgressSink, SpanProfile,
+};
 use bimodal::prelude::*;
+use bimodal::selfbench::GateOutcome;
 use bimodal::sim::{sweep, PrefetchMode, WatchdogConfig};
 use bimodal::workloads::{spec_names, spec_profile, write_trace};
 
@@ -27,21 +33,26 @@ fn usage() -> &'static str {
      commands:\n\
      \x20 list                         mixes, schemes and programs\n\
      \x20 run     --mix <M> --scheme <S> [--accesses N] [--cache-mb C] [--seed K]\n\
-     \x20         [--warmup N] [--mlp N] [--prefetch N[:bypass]]\n\
+     \x20         [--warmup N] [--mlp N] [--prefetch N[:bypass]] [--profile]\n\
      \x20         [--json FILE] [--trace-out FILE] [--epoch CYCLES] [--heartbeat SECS]\n\
+     \x20         [--metrics-out FILE] [--metrics-format json|prom]\n\
      \x20 compare --mix <M> [--accesses N] [--cache-mb C] [--seed K] [--jobs N]\n\
      \x20         [--warmup N] [--mlp N] [--prefetch N[:bypass]] [--json FILE]\n\
+     \x20         [--heartbeat SECS] [--metrics-out FILE] [--metrics-format json|prom]\n\
      \x20 antt    --mix <M> --scheme <S> [--accesses N] [--cache-mb C] [--seed K]\n\
      \x20         [--warmup N] [--mlp N] [--prefetch N[:bypass]] [--jobs N] [--json FILE]\n\
+     \x20         [--heartbeat SECS]\n\
      \x20 sweep   --mix <M> [--accesses N] [--cache-mb C] [--seed K] [--jobs N]\n\
-     \x20         [--json FILE]\n\
+     \x20         [--json FILE] [--heartbeat SECS]\n\
      \x20 record  --program <P> --out <FILE> [--n N] [--seed K]\n\
      \x20 inject  --mix <M> [--scheme <S|all>] [--accesses N] [--seed K] [--seeds N]\n\
      \x20         [--metadata-rate P] [--multi-bit P] [--locator-rate P]\n\
      \x20         [--predictor-rate P] [--dram-rate P] [--ecc] [--antt]\n\
      \x20         [--shadow-every N] [--watchdog CYCLES | --no-watchdog]\n\
      \x20         [--jobs N] [--json FILE] [--trace-out FILE]\n\
+     \x20         [--metrics-out FILE] [--metrics-format json|prom]\n\
      \x20 bench   [--quick] [--jobs N] [--min-speedup X] [--out FILE]\n\
+     \x20         [--history FILE] [--check-history] [--window N] [--max-regress PCT]\n\
      \x20 bandwidth --mix <M> [--scheme <S|all>] [--accesses N] [--cache-mb C]\n\
      \x20         [--seed K] [--jobs N] [--json FILE]\n\
      \x20 diff    <a.json> <b.json> [--threshold PCT]\n\
@@ -64,7 +75,22 @@ fn usage() -> &'static str {
      \x20 --epoch CYCLES    epoch length for the time series (default 100000)\n\
      \x20 --exact-tails[=N] reservoir-sample latencies for exact tail\n\
      \x20                   percentiles (default capacity 4096)\n\
-     \x20 --heartbeat SECS  periodic progress line on stderr\n\
+     \x20 --heartbeat SECS  periodic progress line on stderr; with --jobs N\n\
+     \x20                   on fanned commands, one aggregated fleet line\n\
+     \x20 --profile         run: collect the hot-path span profile\n\
+     \x20                   (per-phase call counts, host ns, sim cycles)\n\
+     \x20 --metrics-out F   write the unified metrics snapshot to F\n\
+     \x20                   (`-` writes to stderr)\n\
+     \x20 --metrics-format  json (default) or prom (Prometheus text)\n\
+     \n\
+     bench trendline:\n\
+     \x20 --history FILE    append this run's per-scheme accesses/sec to a\n\
+     \x20                   JSONL history file\n\
+     \x20 --check-history   compare the newest history point against the\n\
+     \x20                   trailing median (no benchmark run); exits\n\
+     \x20                   nonzero on a regression beyond --max-regress\n\
+     \x20 --window N        trailing points for the median (default 5)\n\
+     \x20 --max-regress PCT regression budget in percent (default 25)\n\
      \n\
      mixes: Q1..Q24 (4-core), E1..E16 (8-core), S1..S8 (16-core)\n\
      schemes: bimodal, bimodal-only, waylocator-only, fixed512, alloy,\n\
@@ -81,6 +107,8 @@ const BARE_FLAGS: &[&str] = &[
     "exact-tails",
     "quick",
     "stream",
+    "profile",
+    "check-history",
 ];
 
 /// Parses `--flag value` / `--flag=value` pairs, rejecting flags not in
@@ -258,6 +286,8 @@ fn build_observer(flags: &HashMap<String, String>) -> Result<Observer, String> {
         "heartbeat",
         "exact-tails",
         "sample-every",
+        "profile",
+        "metrics-out",
     ]
     .iter()
     .any(|k| flags.contains_key(*k));
@@ -283,13 +313,103 @@ fn build_observer(flags: &HashMap<String, String>) -> Result<Observer, String> {
         };
         cfg = cfg.with_exact_tails(cap);
     }
-    if let Some(secs) = flags.get("heartbeat") {
-        let secs: f64 = secs
-            .parse()
-            .map_err(|_| "--heartbeat must be seconds".to_owned())?;
-        cfg = cfg.with_heartbeat(Duration::from_secs_f64(secs.max(0.0)));
+    if let Some(interval) = parse_heartbeat(flags)? {
+        cfg = cfg.with_heartbeat(interval);
+    }
+    if flag_bool(flags, "profile")? {
+        cfg = cfg.with_spans();
     }
     Ok(Observer::enabled(cfg))
+}
+
+/// `--heartbeat SECS` as a `Duration`, if the flag is present.
+fn parse_heartbeat(flags: &HashMap<String, String>) -> Result<Option<Duration>, String> {
+    match flags.get("heartbeat") {
+        None => Ok(None),
+        Some(secs) => {
+            let secs: f64 = secs
+                .parse()
+                .map_err(|_| "--heartbeat must be seconds".to_owned())?;
+            Ok(Some(Duration::from_secs_f64(secs.max(0.0))))
+        }
+    }
+}
+
+/// Metric-name prefix for a scheme (`BiModal+MP` → `bimodal_mp`).
+fn metric_slug(name: &str) -> String {
+    let mut slug = String::with_capacity(name.len());
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            slug.push(c.to_ascii_lowercase());
+        } else if !slug.ends_with('_') && !slug.is_empty() {
+            slug.push('_');
+        }
+    }
+    slug.trim_end_matches('_').to_owned()
+}
+
+/// Copies every metric of `src` into `dst` under `<prefix>.`.
+fn merge_metrics_prefixed(dst: &mut MetricsRegistry, prefix: &str, src: &MetricsRegistry) {
+    for name in src.names() {
+        let full = format!("{prefix}.{name}");
+        match src.get(name).expect("name came from the registry") {
+            MetricValue::Counter(c) => dst.counter(full, *c),
+            MetricValue::Gauge(g) => dst.gauge(full, *g),
+            MetricValue::Histogram(h) => dst.histogram(full, *h),
+        };
+    }
+}
+
+/// Writes the metrics snapshot per `--metrics-out` / `--metrics-format`;
+/// `--metrics-out -` writes the exposition to stderr.
+fn write_metrics(flags: &HashMap<String, String>, reg: &MetricsRegistry) -> Result<(), String> {
+    let Some(path) = flags.get("metrics-out") else {
+        if flags.contains_key("metrics-format") {
+            return Err("--metrics-format only applies with --metrics-out".to_owned());
+        }
+        return Ok(());
+    };
+    let format = flags.get("metrics-format").map_or("json", String::as_str);
+    let body = match format {
+        "json" => format!("{}\n", reg.to_json().to_pretty()),
+        "prom" | "prometheus" => reg.to_prometheus(),
+        other => return Err(format!("unknown --metrics-format {other:?} (json, prom)")),
+    };
+    if path == "-" {
+        eprint!("{body}");
+    } else {
+        std::fs::write(path, body).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote metrics ({format}) to {path}");
+    }
+    Ok(())
+}
+
+/// Prints the hot-path span profile table (silent when profiling was
+/// off, so unprofiled output stays unchanged).
+fn print_profile(p: &SpanProfile) {
+    if !p.enabled {
+        return;
+    }
+    println!("-- hot-path span profile --");
+    println!(
+        "{:16} {:>10} {:>12} {:>12} {:>9}",
+        "span", "calls", "host us", "sim cycles", "ns/call"
+    );
+    for (id, s) in p.iter() {
+        let per_call = if s.calls > 0 {
+            s.host_ns as f64 / s.calls as f64
+        } else {
+            0.0
+        };
+        println!(
+            "{:16} {:>10} {:>12.1} {:>12} {:>9.0}",
+            id.name(),
+            s.calls,
+            s.host_ns as f64 / 1_000.0,
+            s.sim_cycles,
+            per_call,
+        );
+    }
 }
 
 fn write_json(path: &str, json: &Json) -> Result<(), String> {
@@ -418,6 +538,7 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     print_report(&format!("{} on {}", scheme.name(), mix.name()), &report);
     print_obs(&report.obs);
+    print_profile(&report.profile);
     if let Some(path) = flags.get("trace-out") {
         // The per-channel bandwidth counter samples ride along as
         // Chrome "C" events so Perfetto draws stacked utilization lanes.
@@ -439,6 +560,9 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
         write_json(path, &j)?;
         println!("wrote report JSON to {path}");
     }
+    let mut reg = MetricsRegistry::new();
+    report.fill_metrics(&mut reg);
+    write_metrics(flags, &reg)?;
     Ok(())
 }
 
@@ -455,14 +579,35 @@ fn cmd_compare(flags: &HashMap<String, String>) -> Result<(), String> {
         .into_iter()
         .map(|kind| build_simulation(system.clone(), kind, flags).map(|s| (kind, s)))
         .collect::<Result<Vec<_>, _>>()?;
-    let runs = bimodal::exec::map(jobs, sims, |(kind, sim)| {
-        (kind, sim.run_mix(&mix, n).map_err(|e| e.to_string()))
+    // Each worker forwards rate-limited progress deltas to one shared
+    // fleet aggregate, so --heartbeat under --jobs prints a single
+    // merged line instead of N interleaved ones (or nothing).
+    let fleet = parse_heartbeat(flags)?
+        .map(|interval| Arc::new(FleetProgress::new("schemes", sims.len(), interval)));
+    let runs = bimodal::exec::map_indexed(jobs, sims, |idx, (kind, sim)| {
+        let mut obs = Observer::disabled();
+        if let Some(fleet) = &fleet {
+            obs.heartbeat = Some(Heartbeat::to_sink(
+                fleet.interval(),
+                Arc::clone(fleet) as Arc<dyn ProgressSink>,
+                idx,
+            ));
+        }
+        (
+            kind,
+            sim.run_mix_observed(&mix, n, &mut obs)
+                .map_err(|e| e.to_string()),
+        )
     });
+    if let Some(fleet) = &fleet {
+        fleet.finish();
+    }
     println!(
         "{:18} {:>8} {:>10} {:>12} {:>12} {:>10}",
         "scheme", "hit %", "locator %", "avg lat (cy)", "offchip MB", "wasted %"
     );
     let mut reports = Vec::new();
+    let mut reg = MetricsRegistry::new();
     for (kind, run) in runs {
         let r = run?;
         println!(
@@ -474,8 +619,14 @@ fn cmd_compare(flags: &HashMap<String, String>) -> Result<(), String> {
             r.offchip_bytes() as f64 / 1048576.0,
             r.scheme.wasted_fetch_fraction() * 100.0,
         );
+        if flags.contains_key("metrics-out") {
+            let mut one = MetricsRegistry::new();
+            r.fill_metrics(&mut one);
+            merge_metrics_prefixed(&mut reg, &metric_slug(kind.name()), &one);
+        }
         reports.push(r.to_json());
     }
+    write_metrics(flags, &reg)?;
     if let Some(path) = flags.get("json") {
         let mut j = Json::object();
         j.set("command", "compare")
@@ -495,12 +646,22 @@ fn cmd_antt(flags: &HashMap<String, String>) -> Result<(), String> {
     let system = configured_system(base, flags)?;
     let n = num(flags, "accesses", 20_000)?;
     let jobs = parse_jobs(flags)?;
-    let ours = build_simulation(system.clone(), scheme, flags)?
-        .run_antt_jobs(&mix, n, jobs)
-        .map_err(|e| e.to_string())?;
-    let baseline = build_simulation(system, SchemeKind::Alloy, flags)?
-        .run_antt_jobs(&mix, n, jobs)
-        .map_err(|e| e.to_string())?;
+    let heartbeat = parse_heartbeat(flags)?;
+    // One fleet aggregate per antt invocation: the multiprogrammed run
+    // plus one standalone per program are the fanned units.
+    let fleet_for = |interval| Arc::new(FleetProgress::new("programs", 1 + mix.cores(), interval));
+    let run_one = |kind: SchemeKind| -> Result<bimodal::sim::AnttReport, String> {
+        let fleet = heartbeat.map(fleet_for);
+        let r = build_simulation(system.clone(), kind, flags)?
+            .run_antt_jobs_with_progress(&mix, n, jobs, fleet.as_ref())
+            .map_err(|e| e.to_string())?;
+        if let Some(fleet) = &fleet {
+            fleet.finish();
+        }
+        Ok(r)
+    };
+    let ours = run_one(scheme)?;
+    let baseline = run_one(SchemeKind::Alloy)?;
     println!(
         "{} ANTT on {}: {:.3}",
         scheme.name(),
@@ -537,14 +698,22 @@ fn cmd_sweep(flags: &HashMap<String, String>) -> Result<(), String> {
         system.cache_mb
     );
     let sizes = [64u32, 128, 256, 512, 1024, 2048, 4096];
-    let points = sweep::miss_rate_vs_block_size_jobs(
+    // The functional sweep has no engine heartbeat; progress is
+    // unit-granular (one tick per finished block size).
+    let fleet = parse_heartbeat(flags)?
+        .map(|interval| Arc::new(FleetProgress::new("points", sizes.len(), interval)));
+    let points = sweep::miss_rate_vs_block_size_with_progress(
         &scaled,
         system.cache_bytes(),
         &sizes,
         n,
         system.seed,
         parse_jobs(flags)?,
+        fleet.as_ref(),
     );
+    if let Some(fleet) = &fleet {
+        fleet.finish();
+    }
     for &(bs, rate) in &points {
         println!("  {bs:>5} B : {:5.1} % miss", rate * 100.0);
     }
@@ -723,19 +892,18 @@ fn cmd_inject(flags: &HashMap<String, String>) -> Result<(), String> {
             write_json(path, &report.to_json())?;
             println!("wrote campaign JSON to {path}");
         }
+        let mut reg = MetricsRegistry::new();
+        fill_campaign_metrics(&mut reg, "", &report);
+        write_metrics(flags, &reg)?;
         return Ok(());
     }
 
     // Fan-out: each (scheme, seed) pair is an independent unit with its
     // own injector seed and a disabled observer, reduced in canonical
     // order (schemes in comparison order, then seeds ascending).
-    for heavy in [
-        "trace-out",
-        "heartbeat",
-        "exact-tails",
-        "epoch",
-        "sample-every",
-    ] {
+    // `--heartbeat` aggregates completion-granular progress into one
+    // fleet line instead of being rejected.
+    for heavy in ["trace-out", "exact-tails", "epoch", "sample-every"] {
         if flags.contains_key(heavy) {
             return Err(format!(
                 "--{heavy} is not available when fanning over schemes or seeds"
@@ -747,13 +915,22 @@ fn cmd_inject(flags: &HashMap<String, String>) -> Result<(), String> {
         .iter()
         .flat_map(|&kind| (0..seeds).map(move |k| (kind, k)))
         .collect();
-    let runs = bimodal::exec::map(jobs, units, |(kind, k)| {
+    let fleet = parse_heartbeat(flags)?
+        .map(|interval| Arc::new(FleetProgress::new("campaigns", units.len(), interval)));
+    let runs = bimodal::exec::map_indexed(jobs, units, |idx, (kind, k)| {
         let mut obs = Observer::disabled();
-        campaign_for(kind, base_seed + k)
+        let run = campaign_for(kind, base_seed + k)
             .run(&mut obs)
             .map(|r| (kind, base_seed + k, r))
-            .map_err(|e| e.to_string())
+            .map_err(|e| e.to_string());
+        if let Some(fleet) = &fleet {
+            fleet.unit_done(idx);
+        }
+        run
     });
+    if let Some(fleet) = &fleet {
+        fleet.finish();
+    }
     println!(
         "{:>16} {:>10} {:>8} {:>9} {:>7} {:>7} {:>12} {:>12} {:>10}",
         "scheme",
@@ -768,8 +945,13 @@ fn cmd_inject(flags: &HashMap<String, String>) -> Result<(), String> {
     );
     let mut campaigns = Vec::new();
     let mut total_silent = 0u64;
+    let mut reg = MetricsRegistry::new();
     for run in runs {
         let (kind, seed, r) = run?;
+        if flags.contains_key("metrics-out") {
+            let prefix = format!("{}.seed{seed}", metric_slug(kind.name()));
+            fill_campaign_metrics(&mut reg, &prefix, &r);
+        }
         println!(
             "{:>16} {seed:>10} {:>8} {:>9} {:>7} {:>7} {:>12.2} {:>12.2} {:>10.1}",
             kind.name(),
@@ -802,10 +984,66 @@ fn cmd_inject(flags: &HashMap<String, String>) -> Result<(), String> {
         write_json(path, &j)?;
         println!("wrote campaign JSON to {path}");
     }
+    write_metrics(flags, &reg)?;
     Ok(())
 }
 
+/// Registers one campaign's headline counters plus its clean and faulted
+/// run metrics, optionally under a `<prefix>.` namespace (fan-outs).
+fn fill_campaign_metrics(reg: &mut MetricsRegistry, prefix: &str, r: &CampaignReport) {
+    let key = |name: &str| {
+        if prefix.is_empty() {
+            name.to_owned()
+        } else {
+            format!("{prefix}.{name}")
+        }
+    };
+    reg.counter(key("campaign.injections_landed"), r.counts.total())
+        .counter(key("campaign.detected_corrected"), r.detected_corrected)
+        .counter(key("campaign.detected_uncorrected"), r.detected_uncorrected)
+        .counter(key("campaign.silent_corruptions"), r.silent_corruptions);
+    for (leg, report) in [("clean", &r.clean), ("faulted", &r.faulted)] {
+        let mut one = MetricsRegistry::new();
+        report.fill_metrics(&mut one);
+        merge_metrics_prefixed(reg, &key(leg), &one);
+    }
+}
+
 fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), String> {
+    let window: usize = num(flags, "window", 5)?;
+    if window == 0 {
+        return Err("--window must be at least 1".to_owned());
+    }
+    let max_regress: f64 = num(flags, "max-regress", 25.0)?;
+    if !(0.0..100.0).contains(&max_regress) {
+        return Err("--max-regress must be a percentage in [0, 100)".to_owned());
+    }
+    if flag_bool(flags, "check-history")? {
+        // Pure check mode: no benchmark run, just the trendline gate
+        // over an existing history file.
+        let path = flags
+            .get("history")
+            .ok_or("--check-history needs --history FILE")?;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let verdict = bimodal::selfbench::check_history(&text, window, max_regress)?;
+        println!(
+            "trendline check over {path}: newest point vs trailing median \
+             of {} comparable point(s), budget {max_regress}%",
+            verdict.baseline_points
+        );
+        for line in &verdict.lines {
+            println!("  {line}");
+        }
+        if !verdict.passed() {
+            return Err(format!(
+                "bench trendline regression: {} fell more than {max_regress}% \
+                 below the trailing median",
+                verdict.regressions.join(", ")
+            ));
+        }
+        println!("trendline gate passed");
+        return Ok(());
+    }
     let opts = bimodal::selfbench::BenchOptions {
         quick: flag_bool(flags, "quick")?,
         jobs: parse_jobs(flags)?,
@@ -857,16 +1095,26 @@ fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), String> {
         .unwrap_or_else(|| format!("BENCH_{}.json", report.date));
     write_json(&path, &report.to_json())?;
     println!("wrote benchmark JSON to {path}");
+    if let Some(hpath) = flags.get("history") {
+        use std::io::Write as _;
+        let line = format!("{}\n", report.history_line());
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(hpath)
+            .and_then(|mut f| f.write_all(line.as_bytes()))
+            .map_err(|e| format!("appending {hpath}: {e}"))?;
+        println!("appended history point to {hpath}");
+    }
     if let Some(min) = min_speedup {
-        let got = report.compare_speedup();
-        if got < min {
-            return Err(format!(
-                "compare speedup {got:.2}x is below the required {min:.2}x \
-                 (host parallelism: {}, jobs: {})",
-                report.host_parallelism, report.jobs
-            ));
+        match bimodal::selfbench::speedup_gate(&report, min) {
+            GateOutcome::Pass => println!(
+                "compare speedup {:.2}x meets the required {min:.2}x",
+                report.compare_speedup()
+            ),
+            GateOutcome::Warn(msg) => eprintln!("warning: {msg}"),
+            GateOutcome::Fail(msg) => return Err(msg),
         }
-        println!("compare speedup {got:.2}x meets the required {min:.2}x");
     }
     Ok(())
 }
@@ -1182,6 +1430,9 @@ fn allowed_flags(command: &str) -> &'static [&'static str] {
         "epoch",
         "heartbeat",
         "exact-tails",
+        "profile",
+        "metrics-out",
+        "metrics-format",
     ];
     const INJECT: &[&str] = &[
         "mix",
@@ -1209,17 +1460,56 @@ fn allowed_flags(command: &str) -> &'static [&'static str] {
         "epoch",
         "heartbeat",
         "exact-tails",
+        "metrics-out",
+        "metrics-format",
     ];
     const COMPARE: &[&str] = &[
-        "mix", "accesses", "cache-mb", "seed", "warmup", "mlp", "prefetch", "jobs", "json",
+        "mix",
+        "accesses",
+        "cache-mb",
+        "seed",
+        "warmup",
+        "mlp",
+        "prefetch",
+        "jobs",
+        "json",
+        "heartbeat",
+        "metrics-out",
+        "metrics-format",
     ];
     const ANTT: &[&str] = &[
-        "mix", "scheme", "accesses", "cache-mb", "seed", "warmup", "mlp", "prefetch", "jobs",
+        "mix",
+        "scheme",
+        "accesses",
+        "cache-mb",
+        "seed",
+        "warmup",
+        "mlp",
+        "prefetch",
+        "jobs",
         "json",
+        "heartbeat",
     ];
-    const SWEEP: &[&str] = &["mix", "accesses", "cache-mb", "seed", "jobs", "json"];
+    const SWEEP: &[&str] = &[
+        "mix",
+        "accesses",
+        "cache-mb",
+        "seed",
+        "jobs",
+        "json",
+        "heartbeat",
+    ];
     const RECORD: &[&str] = &["program", "out", "n", "seed"];
-    const BENCH: &[&str] = &["quick", "jobs", "min-speedup", "out"];
+    const BENCH: &[&str] = &[
+        "quick",
+        "jobs",
+        "min-speedup",
+        "out",
+        "history",
+        "check-history",
+        "window",
+        "max-regress",
+    ];
     const BANDWIDTH: &[&str] = &[
         "mix", "scheme", "accesses", "cache-mb", "seed", "warmup", "mlp", "prefetch", "jobs",
         "json",

@@ -150,6 +150,185 @@ impl BenchReport {
     }
 }
 
+/// Outcome of a perf gate: pass, degrade to a warning (the measurement
+/// cannot support the assertion), or fail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GateOutcome {
+    /// The gate held.
+    Pass,
+    /// The gate could not be meaningfully evaluated; explains why.
+    Warn(String),
+    /// The gate tripped; explains by how much.
+    Fail(String),
+}
+
+/// Evaluates the `--min-speedup` gate against the compare workload.
+///
+/// On a single-core host parallel speedup is physically capped at ~1.0×,
+/// so any threshold above that would flake on every run; the gate
+/// degrades to [`GateOutcome::Warn`] there instead of failing.
+#[must_use]
+pub fn speedup_gate(report: &BenchReport, min_speedup: f64) -> GateOutcome {
+    let got = report.compare_speedup();
+    if got >= min_speedup {
+        GateOutcome::Pass
+    } else if report.host_parallelism == 1 {
+        GateOutcome::Warn(format!(
+            "compare speedup {got:.2}x below {min_speedup:.2}x, but the host offered only \
+             1 core; parallel speedup is not measurable here (gate downgraded to a warning)"
+        ))
+    } else {
+        GateOutcome::Fail(format!(
+            "compare speedup {got:.2}x below required {min_speedup:.2}x \
+             (host_parallelism {})",
+            report.host_parallelism
+        ))
+    }
+}
+
+impl BenchReport {
+    /// One line of `BENCH_HISTORY.jsonl`: the per-scheme throughput of
+    /// this run, compact, self-describing:
+    ///
+    /// ```json
+    /// {"schema": "bimodal-bench-history-v1", "date": "2026-08-08",
+    ///  "quick": true, "jobs": 2, "host_parallelism": 2,
+    ///  "schemes": {"BiModal": 587885.7, ...}}
+    /// ```
+    #[must_use]
+    pub fn history_line(&self) -> String {
+        let mut schemes = Json::object();
+        for s in &self.schemes {
+            schemes.set(s.scheme.as_str(), s.accesses_per_sec);
+        }
+        let mut j = Json::object();
+        j.set("schema", "bimodal-bench-history-v1")
+            .set("date", self.date.as_str())
+            .set("quick", self.quick)
+            .set("jobs", self.jobs as u64)
+            .set("host_parallelism", self.host_parallelism as u64)
+            .set("schemes", schemes);
+        j.to_compact()
+    }
+}
+
+/// One parsed `BENCH_HISTORY.jsonl` point.
+#[derive(Debug, Clone)]
+struct HistoryPoint {
+    quick: bool,
+    /// `(scheme, accesses_per_sec)` pairs.
+    schemes: Vec<(String, f64)>,
+}
+
+/// What [`check_history`] concluded.
+#[derive(Debug, Clone)]
+pub struct HistoryVerdict {
+    /// Trailing points (matching the newest point's `quick` flag) the
+    /// medians were computed over.
+    pub baseline_points: usize,
+    /// One human-readable line per scheme in the newest point.
+    pub lines: Vec<String>,
+    /// Schemes whose newest throughput regressed beyond the threshold.
+    pub regressions: Vec<String>,
+}
+
+impl HistoryVerdict {
+    /// Whether the newest point passed the trendline gate.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Checks the newest `BENCH_HISTORY.jsonl` point against the trailing
+/// median of the previous up-to-`window` points with the same `quick`
+/// flag (quick and full runs have incomparable sizes). A scheme regresses
+/// when its newest accesses/sec falls more than `max_regress_pct`
+/// percent below its median. With fewer than two comparable points the
+/// check passes vacuously (noted in `lines`).
+///
+/// # Errors
+///
+/// Returns a message if `text` holds no valid history lines (corrupt
+/// JSON, wrong schema, or empty input).
+pub fn check_history(
+    text: &str,
+    window: usize,
+    max_regress_pct: f64,
+) -> Result<HistoryVerdict, String> {
+    let mut points = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let j = Json::parse(line).map_err(|e| format!("history line {}: {e}", i + 1))?;
+        if j.get("schema").and_then(Json::as_str) != Some("bimodal-bench-history-v1") {
+            return Err(format!("history line {}: not a bench-history point", i + 1));
+        }
+        let quick = matches!(j.get("quick"), Some(Json::Bool(true)));
+        let Some(Json::Obj(pairs)) = j.get("schemes") else {
+            return Err(format!("history line {}: missing schemes object", i + 1));
+        };
+        let schemes = pairs
+            .iter()
+            .filter_map(|(k, v)| v.as_f64().map(|r| (k.clone(), r)))
+            .collect();
+        points.push(HistoryPoint { quick, schemes });
+    }
+    let Some(newest) = points.pop() else {
+        return Err("history is empty; run `bimodal bench --history FILE` first".into());
+    };
+    let baseline: Vec<&HistoryPoint> = points
+        .iter()
+        .rev()
+        .filter(|p| p.quick == newest.quick)
+        .take(window.max(1))
+        .collect();
+    let mut verdict = HistoryVerdict {
+        baseline_points: baseline.len(),
+        lines: Vec::new(),
+        regressions: Vec::new(),
+    };
+    if baseline.is_empty() {
+        verdict.lines.push(format!(
+            "no earlier {} points to compare against; gate passes vacuously",
+            if newest.quick { "quick" } else { "full" }
+        ));
+        return Ok(verdict);
+    }
+    for (scheme, rate) in &newest.schemes {
+        let mut rates: Vec<f64> = baseline
+            .iter()
+            .filter_map(|p| p.schemes.iter().find(|(s, _)| s == scheme).map(|&(_, r)| r))
+            .collect();
+        if rates.is_empty() {
+            verdict
+                .lines
+                .push(format!("{scheme}: new scheme, no baseline"));
+            continue;
+        }
+        rates.sort_by(f64::total_cmp);
+        let median = rates[rates.len() / 2];
+        let floor = median * (1.0 - max_regress_pct / 100.0);
+        let delta_pct = if median > 0.0 {
+            (rate / median - 1.0) * 100.0
+        } else {
+            0.0
+        };
+        let ok = *rate >= floor;
+        verdict.lines.push(format!(
+            "{scheme}: {rate:.0} acc/s vs median {median:.0} over {} points ({delta_pct:+.1}%){}",
+            rates.len(),
+            if ok { "" } else { "  << REGRESSION" },
+        ));
+        if !ok {
+            verdict.regressions.push(scheme.clone());
+        }
+    }
+    Ok(verdict)
+}
+
 /// The standard Q-mix compare setup: every scheme on Q3, the same system
 /// the `compare` command defaults to.
 fn compare_setup() -> (WorkloadMix, SystemConfig) {
@@ -297,6 +476,107 @@ mod tests {
         assert_eq!(civil_from_days(19_723), (2024, 1, 1)); // leap year
         assert_eq!(civil_from_days(19_782), (2024, 2, 29));
         assert_eq!(civil_from_days(20_670), (2026, 8, 5));
+    }
+
+    fn report_with(host_parallelism: usize, serial: f64, parallel: f64) -> BenchReport {
+        BenchReport {
+            date: "2026-08-08".into(),
+            host_parallelism,
+            jobs: 2,
+            quick: true,
+            workloads: vec![WorkloadTiming {
+                name: "compare",
+                units: 9,
+                serial_secs: serial,
+                parallel_secs: parallel,
+            }],
+            schemes: vec![SchemeRate {
+                scheme: "BiModal".into(),
+                accesses: 1000,
+                secs: 0.5,
+                accesses_per_sec: 2000.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn speedup_gate_warns_instead_of_failing_on_one_core() {
+        // 1.0x speedup against a 1.2x requirement.
+        let r = report_with(1, 1.0, 1.0);
+        match speedup_gate(&r, 1.2) {
+            GateOutcome::Warn(msg) => assert!(msg.contains("1 core"), "{msg}"),
+            other => panic!("expected Warn on a single-core host, got {other:?}"),
+        }
+        // The same shortfall on a multi-core host is a hard failure...
+        assert!(matches!(
+            speedup_gate(&report_with(4, 1.0, 1.0), 1.2),
+            GateOutcome::Fail(_)
+        ));
+        // ...and meeting the bar passes regardless of cores.
+        assert_eq!(
+            speedup_gate(&report_with(1, 2.0, 1.0), 1.2),
+            GateOutcome::Pass
+        );
+    }
+
+    fn history_point(rate: f64) -> String {
+        format!(
+            "{{\"schema\": \"bimodal-bench-history-v1\", \"date\": \"2026-08-08\", \
+             \"quick\": true, \"jobs\": 2, \"host_parallelism\": 2, \
+             \"schemes\": {{\"BiModal\": {rate}}}}}"
+        )
+    }
+
+    #[test]
+    fn history_line_round_trips_through_check() {
+        let r = report_with(2, 1.0, 0.5);
+        let text = format!("{}\n{}\n", r.history_line(), r.history_line());
+        let v = check_history(&text, 5, 25.0).expect("parses");
+        assert_eq!(v.baseline_points, 1);
+        assert!(v.passed());
+    }
+
+    #[test]
+    fn check_history_trips_on_regression_and_passes_on_flat() {
+        let mut lines: Vec<String> = (0..5).map(|_| history_point(1000.0)).collect();
+        lines.push(history_point(900.0)); // -10%: within a 25% budget
+        let v = check_history(&lines.join("\n"), 5, 25.0).expect("parses");
+        assert!(v.passed(), "{:?}", v.lines);
+
+        lines.pop();
+        lines.push(history_point(500.0)); // -50%: trips
+        let v = check_history(&lines.join("\n"), 5, 25.0).expect("parses");
+        assert!(!v.passed());
+        assert_eq!(v.regressions, vec!["BiModal".to_owned()]);
+    }
+
+    #[test]
+    fn check_history_single_point_passes_vacuously() {
+        let v = check_history(&history_point(1000.0), 5, 25.0).expect("parses");
+        assert!(v.passed());
+        assert_eq!(v.baseline_points, 0);
+    }
+
+    #[test]
+    fn check_history_ignores_points_with_other_quick_flag() {
+        let full = history_point(4000.0).replace("\"quick\": true", "\"quick\": false");
+        let text = format!(
+            "{}\n{}\n{}",
+            full,
+            history_point(1000.0),
+            history_point(990.0)
+        );
+        let v = check_history(&text, 5, 25.0).expect("parses");
+        // Only the quick point is a comparable baseline.
+        assert_eq!(v.baseline_points, 1);
+        assert!(v.passed(), "{:?}", v.lines);
+    }
+
+    #[test]
+    fn check_history_rejects_garbage() {
+        assert!(check_history("", 5, 25.0).is_err());
+        assert!(check_history("{not json", 5, 25.0).is_err());
+        assert!(check_history("{\"schema\": \"other\"}", 5, 25.0).is_err());
     }
 
     #[test]

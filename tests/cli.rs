@@ -670,11 +670,21 @@ fn streamed_trace_matches_the_ring_export() {
 }
 
 #[test]
-fn bench_quick_writes_schema_json() {
+fn bench_quick_writes_schema_json_and_appends_history() {
     use bimodal::obs::Json;
-    let path = std::env::temp_dir().join(format!("bimodal-bench-{}.json", std::process::id()));
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let path = dir.join(format!("bimodal-bench-{pid}.json"));
+    let hist = dir.join(format!("bimodal-bench-hist-{pid}.jsonl"));
     let out = bimodal()
-        .args(["bench", "--quick", "--out", path.to_str().expect("utf8")])
+        .args([
+            "bench",
+            "--quick",
+            "--out",
+            path.to_str().expect("utf8"),
+            "--history",
+            hist.to_str().expect("utf8"),
+        ])
         .output()
         .expect("binary runs");
     assert!(
@@ -695,4 +705,449 @@ fn bench_quick_writes_schema_json() {
     let schemes = j.get("schemes").and_then(Json::as_arr).expect("schemes");
     assert!(schemes.len() >= 8, "one rate per scheme");
     std::fs::remove_file(&path).expect("cleanup");
+
+    // The trendline history got one compact JSONL point appended...
+    let text = std::fs::read_to_string(&hist).expect("history written");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 1, "one run appends one point");
+    let point = Json::parse(lines[0]).expect("history line is valid JSON");
+    assert_eq!(
+        point.get("schema").and_then(Json::as_str),
+        Some("bimodal-bench-history-v1")
+    );
+    assert!(point
+        .get("schemes")
+        .and_then(|s| s.get("BiModal"))
+        .and_then(Json::as_f64)
+        .is_some_and(|r| r > 0.0));
+
+    // ...and a single point passes the gate vacuously (nothing to
+    // compare against), so the first CI run never trips it.
+    let check = bimodal()
+        .args([
+            "bench",
+            "--check-history",
+            "--history",
+            hist.to_str().expect("utf8"),
+        ])
+        .output()
+        .expect("binary runs");
+    std::fs::remove_file(&hist).expect("cleanup");
+    assert!(
+        check.status.success(),
+        "single-point history must pass: {}{}",
+        String::from_utf8_lossy(&check.stdout),
+        String::from_utf8_lossy(&check.stderr)
+    );
+}
+
+#[test]
+fn bench_check_history_gates_on_trendline() {
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let point = |rate: f64| {
+        format!(
+            "{{\"schema\":\"bimodal-bench-history-v1\",\"date\":\"2026-01-01\",\
+             \"quick\":true,\"jobs\":1,\"host_parallelism\":1,\
+             \"schemes\":{{\"bimodal\":{rate:.1}}}}}\n"
+        )
+    };
+
+    // Flat history: the newest point sits on the trailing median.
+    let flat = dir.join(format!("bimodal-hist-flat-{pid}.jsonl"));
+    std::fs::write(&flat, [point(100.0), point(101.0), point(100.0)].concat()).expect("write");
+    let ok = bimodal()
+        .args([
+            "bench",
+            "--check-history",
+            "--history",
+            flat.to_str().expect("utf8"),
+        ])
+        .output()
+        .expect("binary runs");
+    std::fs::remove_file(&flat).expect("cleanup");
+    assert!(
+        ok.status.success(),
+        "flat history must pass: {}{}",
+        String::from_utf8_lossy(&ok.stdout),
+        String::from_utf8_lossy(&ok.stderr)
+    );
+    assert!(String::from_utf8_lossy(&ok.stdout).contains("trendline gate passed"));
+
+    // Synthetic regression: the newest point is 50% below the median,
+    // far past the default 25% budget, so the gate must exit nonzero.
+    let bad = dir.join(format!("bimodal-hist-bad-{pid}.jsonl"));
+    std::fs::write(
+        &bad,
+        [point(100.0), point(101.0), point(100.0), point(50.0)].concat(),
+    )
+    .expect("write");
+    let out = bimodal()
+        .args([
+            "bench",
+            "--check-history",
+            "--history",
+            bad.to_str().expect("utf8"),
+        ])
+        .output()
+        .expect("binary runs");
+    std::fs::remove_file(&bad).expect("cleanup");
+    assert!(
+        !out.status.success(),
+        "a 50% drop must trip the trendline gate"
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("REGRESSION"));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bench trendline regression"));
+}
+
+#[test]
+fn check_history_requires_a_history_file() {
+    let out = bimodal()
+        .args(["bench", "--check-history"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--history"));
+}
+
+#[test]
+fn run_metrics_export_json_and_prometheus() {
+    use bimodal::obs::Json;
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let base = [
+        "run",
+        "--mix",
+        "Q1",
+        "--scheme",
+        "bimodal",
+        "--accesses",
+        "5000",
+        "--cache-mb",
+        "4",
+        "--seed",
+        "7",
+        "--profile",
+    ];
+
+    // JSON snapshot (the default --metrics-format).
+    let jpath = dir.join(format!("bimodal-metrics-{pid}.json"));
+    let out = bimodal()
+        .args(base)
+        .args(["--metrics-out", jpath.to_str().expect("utf8")])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let j = Json::parse(&std::fs::read_to_string(&jpath).expect("written")).expect("valid");
+    std::fs::remove_file(&jpath).expect("cleanup");
+    assert_eq!(
+        j.get("schema").and_then(Json::as_str),
+        Some("bimodal-metrics-v1")
+    );
+    let metrics = j.get("metrics").expect("metrics object");
+    for key in [
+        "run.avg_latency",
+        "scheme.accesses",
+        "scheme.hits",
+        "scheme.hit_rate",
+        "dram.cache.activates",
+        "dram.offchip.reads",
+        "bandwidth.elapsed_cycles",
+        "span.scheme.access.calls",
+    ] {
+        assert!(metrics.get(key).is_some(), "missing metric {key}");
+    }
+    // Log2 latency histograms export as summary objects.
+    let read = metrics.get("latency.read").expect("latency.read");
+    for key in ["count", "mean", "p50", "p95", "p99", "max"] {
+        assert!(read.get(key).is_some(), "latency.read missing {key}");
+    }
+
+    // Prometheus text exposition.
+    let ppath = dir.join(format!("bimodal-metrics-{pid}.prom"));
+    let out = bimodal()
+        .args(base)
+        .args([
+            "--metrics-out",
+            ppath.to_str().expect("utf8"),
+            "--metrics-format",
+            "prom",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let prom = std::fs::read_to_string(&ppath).expect("written");
+    std::fs::remove_file(&ppath).expect("cleanup");
+    assert!(prom.contains("# TYPE bimodal_scheme_hits counter"));
+    assert!(prom.contains("# TYPE bimodal_scheme_hit_rate gauge"));
+    assert!(prom.contains("# TYPE bimodal_latency_read summary"));
+    assert!(prom.contains("bimodal_latency_read{quantile=\"0.95\"}"));
+
+    // --metrics-format without a destination is a flag error.
+    let out = bimodal()
+        .args(base)
+        .args(["--metrics-format", "prom"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--metrics-out"));
+}
+
+/// The canonical run's metric names, pinned against
+/// `tests/golden/metrics_keys.txt`. Renaming or dropping a metric is a
+/// contract change: regenerate the golden file deliberately with
+/// `bimodal run --mix Q1 --scheme bimodal --accesses 5000 --cache-mb 4
+/// --seed 7 --profile --metrics-out -` and update it in the same commit.
+#[test]
+fn metrics_keys_match_golden_snapshot() {
+    use bimodal::obs::Json;
+    let path = std::env::temp_dir().join(format!("bimodal-mkeys-{}.json", std::process::id()));
+    let out = bimodal()
+        .args([
+            "run",
+            "--mix",
+            "Q1",
+            "--scheme",
+            "bimodal",
+            "--accesses",
+            "5000",
+            "--cache-mb",
+            "4",
+            "--seed",
+            "7",
+            "--profile",
+            "--metrics-out",
+            path.to_str().expect("utf8"),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let j = Json::parse(&std::fs::read_to_string(&path).expect("written")).expect("valid");
+    std::fs::remove_file(&path).expect("cleanup");
+    let Some(Json::Obj(pairs)) = j.get("metrics") else {
+        panic!("metrics must be an object");
+    };
+    let got: Vec<&str> = pairs.iter().map(|(k, _)| k.as_str()).collect();
+    let golden: Vec<&str> = include_str!("golden/metrics_keys.txt")
+        .lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .collect();
+    assert_eq!(
+        got, golden,
+        "metric names drifted from tests/golden/metrics_keys.txt; \
+         renames are deliberate events — update the golden file in the \
+         same commit if this change is intended"
+    );
+}
+
+/// Drops the volatile parts of a run report: the `profile` section
+/// (whose content legitimately differs when profiling is on) and the
+/// host wall-clock summary (nondeterministic between any two runs).
+fn without_volatile(j: &bimodal::obs::Json) -> bimodal::obs::Json {
+    use bimodal::obs::Json;
+    let Json::Obj(pairs) = j else {
+        panic!("report must be an object");
+    };
+    Json::Obj(
+        pairs
+            .iter()
+            .filter(|(k, _)| k != "profile")
+            .map(|(k, v)| {
+                if k == "obs" {
+                    let Json::Obj(op) = v else {
+                        panic!("obs must be an object");
+                    };
+                    let kept = op.iter().filter(|(ok, _)| ok != "wall").cloned().collect();
+                    (k.clone(), Json::Obj(kept))
+                } else {
+                    (k.clone(), v.clone())
+                }
+            })
+            .collect(),
+    )
+}
+
+#[test]
+fn profile_rides_along_without_perturbing_the_report() {
+    use bimodal::obs::Json;
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let mut docs = Vec::new();
+    for profiled in [false, true] {
+        let path = dir.join(format!("bimodal-prof{}-{pid}.json", u8::from(profiled)));
+        let mut args = vec![
+            "run",
+            "--mix",
+            "Q1",
+            "--scheme",
+            "bimodal",
+            "--accesses",
+            "3000",
+            "--cache-mb",
+            "4",
+            "--seed",
+            "7",
+        ];
+        let p = path.to_str().expect("utf8").to_owned();
+        args.extend(["--json", &p]);
+        if profiled {
+            args.push("--profile");
+        }
+        let out = bimodal().args(&args).output().expect("binary runs");
+        assert!(
+            out.status.success(),
+            "profiled={profiled} stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        docs.push(Json::parse(&std::fs::read_to_string(&path).expect("written")).expect("valid"));
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    // The profile section reports its own state...
+    let enabled = |d: &Json| {
+        matches!(
+            d.get("profile").and_then(|p| p.get("enabled")),
+            Some(Json::Bool(true))
+        )
+    };
+    assert!(!enabled(&docs[0]), "plain run must not profile");
+    assert!(enabled(&docs[1]), "--profile must enable span collection");
+    let spans = docs[1]
+        .get("profile")
+        .and_then(|p| p.get("spans"))
+        .and_then(Json::as_arr)
+        .expect("spans");
+    assert!(!spans.is_empty(), "a profiled run records spans");
+    assert!(spans.iter().any(|s| {
+        s.get("name").and_then(Json::as_str) == Some("scheme.access")
+            && s.get("calls").and_then(Json::as_f64).unwrap_or(0.0) > 0.0
+    }));
+
+    // ...and never perturbs the pre-existing report fields.
+    assert_eq!(
+        without_volatile(&docs[0]).to_pretty(),
+        without_volatile(&docs[1]).to_pretty(),
+        "--profile changed report fields outside the profile section"
+    );
+}
+
+/// Walks every `"ph": "X"` span in a Chrome trace document and asserts
+/// the spans on each (pid, tid) lane nest properly (child intervals sit
+/// fully inside their parent), and every `"ph": "C"` counter sample
+/// carries only non-negative series values.
+fn assert_trace_is_valid(doc: &bimodal::obs::Json, tag: &str) {
+    use bimodal::obs::Json;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("events");
+    assert!(!events.is_empty(), "{tag}: empty trace");
+
+    let mut lanes: std::collections::BTreeMap<(u64, u64), Vec<(u64, u64)>> =
+        std::collections::BTreeMap::new();
+    let mut counters = 0usize;
+    for e in events {
+        let ph = e.get("ph").and_then(Json::as_str).expect("ph");
+        let num = |key: &str| {
+            e.get(key)
+                .and_then(Json::as_f64)
+                .map(|v| v as u64)
+                .unwrap_or_else(|| panic!("{tag}: {ph} event missing {key}"))
+        };
+        match ph {
+            "C" => {
+                counters += 1;
+                let Some(Json::Obj(args)) = e.get("args") else {
+                    panic!("{tag}: counter event without args object");
+                };
+                for (name, v) in args {
+                    let v = v.as_f64().expect("counter series are numeric");
+                    assert!(v >= 0.0, "{tag}: counter {name} went negative: {v}");
+                }
+            }
+            "X" => {
+                lanes
+                    .entry((num("pid"), num("tid")))
+                    .or_default()
+                    .push((num("ts"), num("dur")));
+            }
+            _ => {}
+        }
+    }
+    assert!(counters > 0, "{tag}: no counter samples");
+    assert!(
+        lanes.values().any(|spans| !spans.is_empty()),
+        "{tag}: no span events"
+    );
+
+    for ((pid, tid), mut spans) in lanes {
+        // Sort by start; ties open the longer span first so it becomes
+        // the parent.
+        spans.sort_by_key(|&(ts, dur)| (ts, std::cmp::Reverse(dur)));
+        let mut open: Vec<u64> = Vec::new(); // stack of parent end times
+        for (ts, dur) in spans {
+            while open.last().is_some_and(|&end| end <= ts) {
+                open.pop();
+            }
+            let end = ts + dur;
+            if let Some(&parent_end) = open.last() {
+                assert!(
+                    end <= parent_end,
+                    "{tag}: span [{ts}, {end}) on lane ({pid}, {tid}) \
+                     straddles its parent's end {parent_end}"
+                );
+            }
+            open.push(end);
+        }
+    }
+}
+
+#[test]
+fn exported_traces_are_valid_in_ring_and_stream_modes() {
+    use bimodal::obs::Json;
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    for mode in ["ring", "stream"] {
+        let path = dir.join(format!("bimodal-valid-{mode}-{pid}.trace.json"));
+        let mut args = vec![
+            "run",
+            "--mix",
+            "Q2",
+            "--scheme",
+            "bimodal",
+            "--accesses",
+            "2000",
+            "--cache-mb",
+            "4",
+            "--seed",
+            "5",
+        ];
+        let p = path.to_str().expect("utf8").to_owned();
+        args.extend(["--trace-out", &p]);
+        if mode == "stream" {
+            args.push("--stream");
+        }
+        let out = bimodal().args(&args).output().expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{mode} stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let doc =
+            Json::parse(&std::fs::read_to_string(&path).expect("written")).expect("valid JSON");
+        std::fs::remove_file(&path).expect("cleanup");
+        assert_trace_is_valid(&doc, mode);
+    }
 }
