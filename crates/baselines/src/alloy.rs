@@ -531,6 +531,94 @@ impl DramCacheScheme for AlloyCache {
     fn fault_target(&mut self) -> Option<&mut dyn FaultTarget> {
         Some(self)
     }
+
+    fn save_state(&self, w: &mut bimodal_ckpt::SnapshotWriter) {
+        use bimodal_ckpt::Snapshot;
+        w.u8(1);
+        self.entries.save(w);
+        self.predictor.save_state(w);
+        self.ledger.save(w);
+        self.stats.save(w);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut bimodal_ckpt::SnapshotReader<'_>,
+    ) -> Result<(), bimodal_ckpt::CkptError> {
+        use bimodal_ckpt::Snapshot;
+        expect_stateful_marker(r, "AlloyCache")?;
+        let entries: Vec<Option<TadEntry>> = Snapshot::load(r)?;
+        if entries.len() != self.entries.len() {
+            return Err(r.corrupt(format!(
+                "checkpoint has {} TAD entries, configuration expects {}",
+                entries.len(),
+                self.entries.len()
+            )));
+        }
+        self.entries = entries;
+        self.predictor.load_state(r)?;
+        self.ledger = Snapshot::load(r)?;
+        self.stats = Snapshot::load(r)?;
+        Ok(())
+    }
+}
+
+impl bimodal_ckpt::Snapshot for TadEntry {
+    fn save(&self, w: &mut bimodal_ckpt::SnapshotWriter) {
+        w.u64(self.tag);
+        w.bool(self.dirty);
+    }
+
+    fn load(r: &mut bimodal_ckpt::SnapshotReader<'_>) -> Result<Self, bimodal_ckpt::CkptError> {
+        Ok(TadEntry {
+            tag: r.u64()?,
+            dirty: r.bool()?,
+        })
+    }
+}
+
+impl MapPredictor {
+    /// Serializes the counter table and accuracy counters.
+    pub fn save_state(&self, w: &mut bimodal_ckpt::SnapshotWriter) {
+        use bimodal_ckpt::Snapshot;
+        self.counters.save(w);
+        w.u64(self.correct);
+        w.u64(self.wrong);
+    }
+
+    /// Restores state written by [`MapPredictor::save_state`].
+    pub fn load_state(
+        &mut self,
+        r: &mut bimodal_ckpt::SnapshotReader<'_>,
+    ) -> Result<(), bimodal_ckpt::CkptError> {
+        use bimodal_ckpt::Snapshot;
+        let counters: Vec<u8> = Snapshot::load(r)?;
+        if counters.len() != self.counters.len() {
+            return Err(r.corrupt(format!(
+                "MAP predictor has {} counters in checkpoint, {} configured",
+                counters.len(),
+                self.counters.len()
+            )));
+        }
+        if counters.iter().any(|&c| c > 3) {
+            return Err(r.corrupt("MAP counter out of 2-bit range"));
+        }
+        self.counters = counters;
+        self.correct = r.u64()?;
+        self.wrong = r.u64()?;
+        Ok(())
+    }
+}
+
+/// Shared check for the leading marker byte every stateful baseline writes.
+pub(crate) fn expect_stateful_marker(
+    r: &mut bimodal_ckpt::SnapshotReader<'_>,
+    scheme: &str,
+) -> Result<(), bimodal_ckpt::CkptError> {
+    match r.u8()? {
+        1 => Ok(()),
+        b => Err(r.corrupt(format!("{scheme} expects stateful marker 1, found {b}"))),
+    }
 }
 
 #[cfg(test)]

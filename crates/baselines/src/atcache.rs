@@ -481,6 +481,58 @@ impl DramCacheScheme for AtCache {
     fn fault_target(&mut self) -> Option<&mut dyn FaultTarget> {
         Some(self)
     }
+
+    fn save_state(&self, w: &mut bimodal_ckpt::SnapshotWriter) {
+        use bimodal_ckpt::Snapshot;
+        w.u8(1);
+        self.sets.save(w);
+        self.tag_cache.save(w);
+        self.ledger.save(w);
+        self.stats.save(w);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut bimodal_ckpt::SnapshotReader<'_>,
+    ) -> Result<(), bimodal_ckpt::CkptError> {
+        use bimodal_ckpt::Snapshot;
+        crate::alloy::expect_stateful_marker(r, "AtCache")?;
+        let sets: Vec<Vec<Line>> = Snapshot::load(r)?;
+        if sets.len() != self.sets.len() {
+            return Err(r.corrupt(format!(
+                "checkpoint has {} sets, configuration expects {}",
+                sets.len(),
+                self.sets.len()
+            )));
+        }
+        let tag_cache: Vec<u64> = Snapshot::load(r)?;
+        if tag_cache.len() > self.config.tag_cache_sets {
+            return Err(r.corrupt(format!(
+                "tag cache holds {} sets, capacity is {}",
+                tag_cache.len(),
+                self.config.tag_cache_sets
+            )));
+        }
+        self.sets = sets;
+        self.tag_cache = tag_cache;
+        self.ledger = Snapshot::load(r)?;
+        self.stats = Snapshot::load(r)?;
+        Ok(())
+    }
+}
+
+impl bimodal_ckpt::Snapshot for Line {
+    fn save(&self, w: &mut bimodal_ckpt::SnapshotWriter) {
+        w.u64(self.tag);
+        w.bool(self.dirty);
+    }
+
+    fn load(r: &mut bimodal_ckpt::SnapshotReader<'_>) -> Result<Self, bimodal_ckpt::CkptError> {
+        Ok(Line {
+            tag: r.u64()?,
+            dirty: r.bool()?,
+        })
+    }
 }
 
 #[cfg(test)]

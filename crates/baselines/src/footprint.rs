@@ -641,6 +641,62 @@ impl DramCacheScheme for FootprintCache {
         }
         self.stats.offchip_wasted_bytes += wasted;
     }
+
+    fn save_state(&self, w: &mut bimodal_ckpt::SnapshotWriter) {
+        use bimodal_ckpt::Snapshot;
+        w.u8(1);
+        self.sets.save(w);
+        self.predictor.table.save(w);
+        self.ledger.save(w);
+        self.stats.save(w);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut bimodal_ckpt::SnapshotReader<'_>,
+    ) -> Result<(), bimodal_ckpt::CkptError> {
+        use bimodal_ckpt::Snapshot;
+        crate::alloy::expect_stateful_marker(r, "FootprintCache")?;
+        let sets: Vec<Vec<Page>> = Snapshot::load(r)?;
+        if sets.len() != self.sets.len() {
+            return Err(r.corrupt(format!(
+                "checkpoint has {} page sets, configuration expects {}",
+                sets.len(),
+                self.sets.len()
+            )));
+        }
+        let table: Vec<(u64, u32)> = Snapshot::load(r)?;
+        if table.len() != self.predictor.table.len() {
+            return Err(r.corrupt(format!(
+                "footprint predictor has {} entries in checkpoint, {} configured",
+                table.len(),
+                self.predictor.table.len()
+            )));
+        }
+        self.sets = sets;
+        self.predictor.table = table;
+        self.ledger = Snapshot::load(r)?;
+        self.stats = Snapshot::load(r)?;
+        Ok(())
+    }
+}
+
+impl bimodal_ckpt::Snapshot for Page {
+    fn save(&self, w: &mut bimodal_ckpt::SnapshotWriter) {
+        w.u64(self.tag);
+        w.u32(self.fetched);
+        w.u32(self.referenced);
+        w.u32(self.dirty);
+    }
+
+    fn load(r: &mut bimodal_ckpt::SnapshotReader<'_>) -> Result<Self, bimodal_ckpt::CkptError> {
+        Ok(Page {
+            tag: r.u64()?,
+            fetched: r.u32()?,
+            referenced: r.u32()?,
+            dirty: r.u32()?,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -403,6 +403,48 @@ impl DramCacheScheme for LohHillCache {
     fn fault_target(&mut self) -> Option<&mut dyn FaultTarget> {
         Some(self)
     }
+
+    fn save_state(&self, w: &mut bimodal_ckpt::SnapshotWriter) {
+        use bimodal_ckpt::Snapshot;
+        w.u8(1);
+        self.sets.save(w);
+        self.ledger.save(w);
+        self.stats.save(w);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut bimodal_ckpt::SnapshotReader<'_>,
+    ) -> Result<(), bimodal_ckpt::CkptError> {
+        use bimodal_ckpt::Snapshot;
+        crate::alloy::expect_stateful_marker(r, "LohHillCache")?;
+        let sets: Vec<Vec<Line>> = Snapshot::load(r)?;
+        if sets.len() != self.sets.len() {
+            return Err(r.corrupt(format!(
+                "checkpoint has {} sets, configuration expects {}",
+                sets.len(),
+                self.sets.len()
+            )));
+        }
+        self.sets = sets;
+        self.ledger = Snapshot::load(r)?;
+        self.stats = Snapshot::load(r)?;
+        Ok(())
+    }
+}
+
+impl bimodal_ckpt::Snapshot for Line {
+    fn save(&self, w: &mut bimodal_ckpt::SnapshotWriter) {
+        w.u64(self.tag);
+        w.bool(self.dirty);
+    }
+
+    fn load(r: &mut bimodal_ckpt::SnapshotReader<'_>) -> Result<Self, bimodal_ckpt::CkptError> {
+        Ok(Line {
+            tag: r.u64()?,
+            dirty: r.bool()?,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -156,6 +156,38 @@ impl GlobalMixController {
     }
 }
 
+impl GlobalMixController {
+    /// Serializes the controller's position and epoch accumulators (the
+    /// allowed-state table, weight and epoch length are config-derived).
+    pub fn save_state(&self, w: &mut bimodal_ckpt::SnapshotWriter) {
+        w.usize(self.current);
+        w.u64(self.accesses);
+        w.u64(self.demand_big);
+        w.u64(self.demand_small);
+        w.u64(self.transitions);
+    }
+
+    /// Restores state written by [`GlobalMixController::save_state`].
+    pub fn load_state(
+        &mut self,
+        r: &mut bimodal_ckpt::SnapshotReader<'_>,
+    ) -> Result<(), bimodal_ckpt::CkptError> {
+        let current = r.usize()?;
+        if current >= self.states.len() {
+            return Err(r.corrupt(format!(
+                "mix state index {current} out of range for {} allowed states",
+                self.states.len()
+            )));
+        }
+        self.current = current;
+        self.accesses = r.u64()?;
+        self.demand_big = r.u64()?;
+        self.demand_small = r.u64()?;
+        self.transitions = r.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1249,6 +1249,96 @@ impl DramCacheScheme for BiModalCache {
     fn fault_target(&mut self) -> Option<&mut dyn crate::FaultTarget> {
         Some(self)
     }
+
+    fn save_state(&self, w: &mut bimodal_ckpt::SnapshotWriter) {
+        use bimodal_ckpt::Snapshot;
+        w.u8(1); // stateful marker
+        self.sets.save(w);
+        match &self.way_locator {
+            Some(wl) => {
+                w.u8(1);
+                wl.save_state(w);
+            }
+            None => w.u8(0),
+        }
+        self.predictor.save_state(w);
+        self.tracker.save_state(w);
+        self.global.save_state(w);
+        match &self.miss_predictor {
+            Some(mp) => {
+                w.u8(1);
+                mp.save_state(w);
+            }
+            None => w.u8(0),
+        }
+        w.u64(self.epoch_under_used);
+        w.u64(self.epoch_well_used);
+        w.u64(self.epoch_promotions_base);
+        w.u64(self.epoch_small_fills_base);
+        self.ledger.save(w);
+        let s = self.rng.state();
+        for v in s {
+            w.u64(v);
+        }
+        self.stats.save(w);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut bimodal_ckpt::SnapshotReader<'_>,
+    ) -> Result<(), bimodal_ckpt::CkptError> {
+        use bimodal_ckpt::Snapshot;
+        match r.u8()? {
+            1 => {}
+            b => {
+                return Err(r.corrupt(format!(
+                    "bi-modal cache expects stateful marker 1, found {b}"
+                )))
+            }
+        }
+        let sets: Vec<BiModalSet> = Snapshot::load(r)?;
+        if sets.len() != self.sets.len() {
+            return Err(r.corrupt(format!(
+                "checkpoint has {} sets, geometry expects {}",
+                sets.len(),
+                self.sets.len()
+            )));
+        }
+        let has_locator = r.u8()? == 1;
+        if has_locator != self.way_locator.is_some() {
+            return Err(bimodal_ckpt::CkptError::Mismatch {
+                detail: "checkpoint and configuration disagree on the way locator".into(),
+            });
+        }
+        self.sets = sets;
+        if let Some(wl) = &mut self.way_locator {
+            wl.load_state(r)?;
+        }
+        self.predictor.load_state(r)?;
+        self.tracker.load_state(r)?;
+        self.global.load_state(r)?;
+        let has_mp = r.u8()? == 1;
+        if has_mp != self.miss_predictor.is_some() {
+            return Err(bimodal_ckpt::CkptError::Mismatch {
+                detail: "checkpoint and configuration disagree on the miss predictor".into(),
+            });
+        }
+        if let Some(mp) = &mut self.miss_predictor {
+            mp.load_state(r)?;
+        }
+        self.epoch_under_used = r.u64()?;
+        self.epoch_well_used = r.u64()?;
+        self.epoch_promotions_base = r.u64()?;
+        self.epoch_small_fills_base = r.u64()?;
+        self.ledger = Snapshot::load(r)?;
+        let rng_state = [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
+        if rng_state == [0; 4] {
+            return Err(r.corrupt("all-zero replacement RNG state"));
+        }
+        self.rng = bimodal_prng::SmallRng::from_state(rng_state);
+        self.stats = Snapshot::load(r)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -1260,6 +1350,53 @@ mod tests {
         // 1 MB cache keeps tests fast; epoch shortened so adaptation fires.
         let config = BiModalConfig::for_cache_mb(1).with_epoch(500);
         (BiModalCache::new(config), MemorySystem::quad_core())
+    }
+
+    #[test]
+    fn checkpoint_round_trip_resumes_bit_identically() {
+        let drive = |c: &mut BiModalCache, mem: &mut MemorySystem, base: u64| {
+            let mut now = base;
+            for i in 0..400u64 {
+                // Mixed strides so both granularities and evictions occur.
+                let addr = (i * 7919 % 97) * 512 + (i % 8) * 64;
+                let out = c.access(CacheAccess::read(addr, now), mem);
+                now = out.complete + 10;
+            }
+            now
+        };
+
+        let (mut a, mut mem_a) = small_cache();
+        drive(&mut a, &mut mem_a, 0);
+
+        let mut w = bimodal_ckpt::SnapshotWriter::new();
+        DramCacheScheme::save_state(&a, &mut w);
+        let bytes = w.into_bytes();
+
+        let (mut b, mut mem_b) = small_cache();
+        let mut r = bimodal_ckpt::SnapshotReader::new(&bytes, "scheme");
+        b.restore_state(&mut r).expect("restore");
+        assert!(r.is_exhausted());
+        let mut wm = bimodal_ckpt::SnapshotWriter::new();
+        mem_a.save_state(&mut wm);
+        let mem_bytes = wm.into_bytes();
+        let mut rm = bimodal_ckpt::SnapshotReader::new(&mem_bytes, "mem");
+        mem_b.load_state(&mut rm).expect("mem restore");
+
+        drive(&mut a, &mut mem_a, 4_000_000);
+        drive(&mut b, &mut mem_b, 4_000_000);
+        assert_eq!(a.stats(), b.stats());
+        use crate::FaultTarget;
+        assert_eq!(a.contents_digest(), b.contents_digest());
+    }
+
+    #[test]
+    fn restore_rejects_stateless_marker() {
+        let (mut c, _) = small_cache();
+        let mut w = bimodal_ckpt::SnapshotWriter::new();
+        w.u8(0);
+        let bytes = w.into_bytes();
+        let mut r = bimodal_ckpt::SnapshotReader::new(&bytes, "scheme");
+        assert!(c.restore_state(&mut r).is_err());
     }
 
     #[test]

@@ -291,6 +291,37 @@ impl AddrMap {
     }
 }
 
+impl bimodal_ckpt::Snapshot for BlockSize {
+    fn save(&self, w: &mut bimodal_ckpt::SnapshotWriter) {
+        w.u8(match self {
+            BlockSize::Big => 0,
+            BlockSize::Small => 1,
+        });
+    }
+
+    fn load(r: &mut bimodal_ckpt::SnapshotReader<'_>) -> Result<Self, bimodal_ckpt::CkptError> {
+        match r.u8()? {
+            0 => Ok(BlockSize::Big),
+            1 => Ok(BlockSize::Small),
+            b => Err(r.corrupt(format!("invalid block size tag {b}"))),
+        }
+    }
+}
+
+impl bimodal_ckpt::Snapshot for SetState {
+    fn save(&self, w: &mut bimodal_ckpt::SnapshotWriter) {
+        w.u8(self.big);
+        w.u8(self.small);
+    }
+
+    fn load(r: &mut bimodal_ckpt::SnapshotReader<'_>) -> Result<Self, bimodal_ckpt::CkptError> {
+        Ok(SetState {
+            big: r.u8()?,
+            small: r.u8()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

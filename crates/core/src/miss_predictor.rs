@@ -88,6 +88,39 @@ impl Default for MissPredictor {
     }
 }
 
+impl MissPredictor {
+    /// Serializes the counter table and accuracy counters.
+    pub fn save_state(&self, w: &mut bimodal_ckpt::SnapshotWriter) {
+        use bimodal_ckpt::Snapshot;
+        self.counters.save(w);
+        w.u64(self.correct);
+        w.u64(self.wrong);
+    }
+
+    /// Restores state written by [`MissPredictor::save_state`].
+    pub fn load_state(
+        &mut self,
+        r: &mut bimodal_ckpt::SnapshotReader<'_>,
+    ) -> Result<(), bimodal_ckpt::CkptError> {
+        use bimodal_ckpt::Snapshot;
+        let counters: Vec<u8> = Snapshot::load(r)?;
+        if counters.len() != self.counters.len() {
+            return Err(r.corrupt(format!(
+                "miss predictor has {} counters in checkpoint, {} configured",
+                counters.len(),
+                self.counters.len()
+            )));
+        }
+        if counters.iter().any(|&c| c > 3) {
+            return Err(r.corrupt("miss predictor counter out of 2-bit range"));
+        }
+        self.counters = counters;
+        self.correct = r.u64()?;
+        self.wrong = r.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -321,6 +321,77 @@ impl UtilizationTracker {
     }
 }
 
+impl BlockSizePredictor {
+    /// Serializes the counter table, training bookkeeping and bias (the
+    /// configuration is rebuilt from the experiment setup).
+    pub fn save_state(&self, w: &mut bimodal_ckpt::SnapshotWriter) {
+        use bimodal_ckpt::Snapshot;
+        self.counters.save(w);
+        self.trained.save(w);
+        self.bias.save(w);
+        w.u64(self.predictions_big);
+        w.u64(self.predictions_small);
+        w.u64(self.updates_big);
+        w.u64(self.updates_small);
+        w.u64(self.promotions);
+    }
+
+    /// Restores state written by [`BlockSizePredictor::save_state`],
+    /// rejecting a snapshot taken under a different table size.
+    pub fn load_state(
+        &mut self,
+        r: &mut bimodal_ckpt::SnapshotReader<'_>,
+    ) -> Result<(), bimodal_ckpt::CkptError> {
+        use bimodal_ckpt::Snapshot;
+        let counters: Vec<u8> = Snapshot::load(r)?;
+        let trained: Vec<bool> = Snapshot::load(r)?;
+        if counters.len() != self.counters.len() || trained.len() != self.trained.len() {
+            return Err(r.corrupt(format!(
+                "predictor table has {} counters in checkpoint, {} configured",
+                counters.len(),
+                self.counters.len()
+            )));
+        }
+        if counters.iter().any(|&c| c > 3) {
+            return Err(r.corrupt("predictor counter out of 2-bit range"));
+        }
+        self.counters = counters;
+        self.trained = trained;
+        self.bias = Snapshot::load(r)?;
+        self.predictions_big = r.u64()?;
+        self.predictions_small = r.u64()?;
+        self.updates_big = r.u64()?;
+        self.updates_small = r.u64()?;
+        self.promotions = r.u64()?;
+        Ok(())
+    }
+}
+
+impl UtilizationTracker {
+    /// Serializes the tracker's counters and its run-time threshold `T`
+    /// (mutable when the adaptive-threshold extension is enabled).
+    pub fn save_state(&self, w: &mut bimodal_ckpt::SnapshotWriter) {
+        w.u32(self.config.threshold);
+        w.u64(self.observed);
+        w.u64(self.big_worthy);
+    }
+
+    /// Restores state written by [`UtilizationTracker::save_state`].
+    pub fn load_state(
+        &mut self,
+        r: &mut bimodal_ckpt::SnapshotReader<'_>,
+    ) -> Result<(), bimodal_ckpt::CkptError> {
+        let threshold = r.u32()?;
+        if threshold == 0 {
+            return Err(r.corrupt("utilization threshold must be positive"));
+        }
+        self.config.threshold = threshold;
+        self.observed = r.u64()?;
+        self.big_worthy = r.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -175,6 +175,42 @@ impl Default for ContentsDigest {
     }
 }
 
+impl bimodal_ckpt::Snapshot for MetadataFault {
+    fn save(&self, w: &mut bimodal_ckpt::SnapshotWriter) {
+        w.u64(self.set);
+        w.bool(self.big);
+        w.u8(self.way);
+        w.u64(self.orig_tag);
+        w.u64(self.new_tag);
+        w.bool(self.multi_bit);
+        w.bool(self.applied);
+    }
+
+    fn load(r: &mut bimodal_ckpt::SnapshotReader<'_>) -> Result<Self, bimodal_ckpt::CkptError> {
+        Ok(MetadataFault {
+            set: r.u64()?,
+            big: r.bool()?,
+            way: r.u8()?,
+            orig_tag: r.u64()?,
+            new_tag: r.u64()?,
+            multi_bit: r.bool()?,
+            applied: r.bool()?,
+        })
+    }
+}
+
+impl bimodal_ckpt::Snapshot for EccLedger {
+    fn save(&self, w: &mut bimodal_ckpt::SnapshotWriter) {
+        self.pending.save(w);
+    }
+
+    fn load(r: &mut bimodal_ckpt::SnapshotReader<'_>) -> Result<Self, bimodal_ckpt::CkptError> {
+        Ok(EccLedger {
+            pending: bimodal_ckpt::Snapshot::load(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -123,6 +123,37 @@ pub trait DramCacheScheme {
     fn fault_target(&mut self) -> Option<&mut dyn crate::FaultTarget> {
         None
     }
+
+    /// Serializes the scheme's mutable state (cache contents, predictors,
+    /// statistics) into a checkpoint payload.
+    ///
+    /// The default writes a `0` marker byte: the scheme declares itself
+    /// stateless and a resumed run rebuilds it fresh from configuration.
+    /// Stateful organizations override this, writing a `1` marker followed
+    /// by their state, and override [`DramCacheScheme::restore_state`] to
+    /// match.
+    fn save_state(&self, w: &mut bimodal_ckpt::SnapshotWriter) {
+        w.u8(0);
+    }
+
+    /// Restores state written by [`DramCacheScheme::save_state`] into a
+    /// scheme freshly built from the same configuration.
+    ///
+    /// The default accepts only the stateless `0` marker; a checkpoint
+    /// carrying real state for a scheme that cannot restore it is a
+    /// corruption error, not a silent reset.
+    fn restore_state(
+        &mut self,
+        r: &mut bimodal_ckpt::SnapshotReader<'_>,
+    ) -> Result<(), bimodal_ckpt::CkptError> {
+        match r.u8()? {
+            0 => Ok(()),
+            b => Err(r.corrupt(format!(
+                "scheme {:?} is stateless but checkpoint carries state marker {b}",
+                self.name()
+            ))),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -531,6 +531,78 @@ impl BiModalSet {
     }
 }
 
+impl bimodal_ckpt::Snapshot for BigWay {
+    fn save(&self, w: &mut bimodal_ckpt::SnapshotWriter) {
+        w.u64(self.tag);
+        w.u16(self.referenced);
+        w.u16(self.dirty);
+    }
+
+    fn load(r: &mut bimodal_ckpt::SnapshotReader<'_>) -> Result<Self, bimodal_ckpt::CkptError> {
+        Ok(BigWay {
+            tag: r.u64()?,
+            referenced: r.u16()?,
+            dirty: r.u16()?,
+        })
+    }
+}
+
+impl bimodal_ckpt::Snapshot for SmallWay {
+    fn save(&self, w: &mut bimodal_ckpt::SnapshotWriter) {
+        w.u64(self.tag);
+        w.u8(self.sub_block);
+        w.bool(self.dirty);
+    }
+
+    fn load(r: &mut bimodal_ckpt::SnapshotReader<'_>) -> Result<Self, bimodal_ckpt::CkptError> {
+        Ok(SmallWay {
+            tag: r.u64()?,
+            sub_block: r.u8()?,
+            dirty: r.bool()?,
+        })
+    }
+}
+
+impl bimodal_ckpt::Snapshot for BiModalSet {
+    fn save(&self, w: &mut bimodal_ckpt::SnapshotWriter) {
+        self.state.save(w);
+        w.u8(self.base_assoc);
+        w.u8(self.ratio);
+        self.big.save(w);
+        self.small.save(w);
+    }
+
+    fn load(r: &mut bimodal_ckpt::SnapshotReader<'_>) -> Result<Self, bimodal_ckpt::CkptError> {
+        let state: SetState = bimodal_ckpt::Snapshot::load(r)?;
+        let base_assoc = r.u8()?;
+        let ratio = r.u8()?;
+        let big: Vec<Option<BigWay>> = bimodal_ckpt::Snapshot::load(r)?;
+        let small: Vec<Option<SmallWay>> = bimodal_ckpt::Snapshot::load(r)?;
+        let max_small = usize::from(base_assoc - base_assoc / 2) * usize::from(ratio);
+        if state.big > base_assoc
+            || big.len() != usize::from(base_assoc)
+            || small.len() != max_small
+        {
+            return Err(r.corrupt(format!(
+                "inconsistent set shape: state ({}, {}), {} big / {} small slots for \
+                 associativity {}",
+                state.big,
+                state.small,
+                big.len(),
+                small.len(),
+                base_assoc
+            )));
+        }
+        Ok(BiModalSet {
+            state,
+            base_assoc,
+            ratio,
+            big,
+            small,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

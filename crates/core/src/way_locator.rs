@@ -305,6 +305,79 @@ impl WayLocator {
     }
 }
 
+impl bimodal_ckpt::Snapshot for WayLocatorEntry {
+    fn save(&self, w: &mut bimodal_ckpt::SnapshotWriter) {
+        w.u64(self.key);
+        self.size.save(w);
+        w.u8(self.sub_block);
+        w.u8(self.way);
+    }
+
+    fn load(r: &mut bimodal_ckpt::SnapshotReader<'_>) -> Result<Self, bimodal_ckpt::CkptError> {
+        Ok(WayLocatorEntry {
+            key: r.u64()?,
+            size: bimodal_ckpt::Snapshot::load(r)?,
+            sub_block: r.u8()?,
+            way: r.u8()?,
+        })
+    }
+}
+
+impl bimodal_ckpt::Snapshot for Slot {
+    fn save(&self, w: &mut bimodal_ckpt::SnapshotWriter) {
+        self.entry.save(w);
+        w.u8(self.lru);
+    }
+
+    fn load(r: &mut bimodal_ckpt::SnapshotReader<'_>) -> Result<Self, bimodal_ckpt::CkptError> {
+        Ok(Slot {
+            entry: bimodal_ckpt::Snapshot::load(r)?,
+            lru: r.u8()?,
+        })
+    }
+}
+
+impl WayLocator {
+    /// Serializes the table contents and hit/miss counters (the
+    /// configuration is rebuilt from the experiment setup).
+    pub fn save_state(&self, w: &mut bimodal_ckpt::SnapshotWriter) {
+        use bimodal_ckpt::Snapshot;
+        w.usize(self.slots.len());
+        for pair in &self.slots {
+            pair[0].save(w);
+            pair[1].save(w);
+        }
+        w.u64(self.hits);
+        w.u64(self.misses);
+    }
+
+    /// Restores state written by [`WayLocator::save_state`], rejecting a
+    /// snapshot taken under a different table size.
+    pub fn load_state(
+        &mut self,
+        r: &mut bimodal_ckpt::SnapshotReader<'_>,
+    ) -> Result<(), bimodal_ckpt::CkptError> {
+        use bimodal_ckpt::Snapshot;
+        let n = r.bounded_len()?;
+        if n != self.slots.len() {
+            return Err(r.corrupt(format!(
+                "way locator has {n} indices in checkpoint, {} configured",
+                self.slots.len()
+            )));
+        }
+        let mut slots = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let a: Slot = Snapshot::load(r)?;
+            let b: Slot = Snapshot::load(r)?;
+            slots.push([a, b]);
+        }
+        self.slots = slots;
+        self.hits = r.u64()?;
+        self.misses = r.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

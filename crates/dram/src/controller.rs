@@ -433,6 +433,96 @@ impl DramModule {
         self.refresh_stalls = 0;
         self.bandwidth.reset();
     }
+
+    /// Serializes the module's mutable state (banks, stats, queues,
+    /// bandwidth accounting). The geometry and timing configuration are
+    /// not written: a checkpoint is restored into a module freshly built
+    /// from the same experiment configuration.
+    pub fn save_state(&self, w: &mut bimodal_ckpt::SnapshotWriter) {
+        use bimodal_ckpt::Snapshot;
+        self.banks.save(w);
+        self.bank_stats.save(w);
+        self.totals.save(w);
+        self.bank_epoch.save(w);
+        self.rank_activates.save(w);
+        self.bus_free_at.save(w);
+        w.u64(self.refresh_stalls);
+        w.usize(self.queue.len());
+        for p in &self.queue {
+            w.u64(p.id);
+            p.req.save(w);
+        }
+        self.done.save(w);
+        w.u64(self.next_id);
+        self.class.save(w);
+        self.bandwidth.save(w);
+    }
+
+    /// Restores state written by [`DramModule::save_state`] into a module
+    /// built from the same configuration. Vector lengths are validated
+    /// against the module's geometry so a checkpoint taken under a
+    /// different configuration is rejected rather than silently applied.
+    pub fn load_state(
+        &mut self,
+        r: &mut bimodal_ckpt::SnapshotReader<'_>,
+    ) -> Result<(), bimodal_ckpt::CkptError> {
+        use bimodal_ckpt::Snapshot;
+        let banks: Vec<Bank> = Snapshot::load(r)?;
+        let bank_stats: Vec<BankStats> = Snapshot::load(r)?;
+        let totals: BankStats = Snapshot::load(r)?;
+        let bank_epoch: Vec<u64> = Snapshot::load(r)?;
+        let rank_activates: Vec<([Cycle; 4], u8)> = Snapshot::load(r)?;
+        let bus_free_at: Vec<Cycle> = Snapshot::load(r)?;
+        let n_banks = self.config.total_banks() as usize;
+        let n_ranks = (self.config.channels * self.config.ranks_per_channel) as usize;
+        if banks.len() != n_banks
+            || bank_stats.len() != n_banks
+            || bank_epoch.len() != n_banks
+            || rank_activates.len() != n_ranks
+            || bus_free_at.len() != self.config.channels as usize
+        {
+            return Err(r.corrupt(format!(
+                "DRAM geometry mismatch: checkpoint has {} banks / {} ranks / {} channels, \
+                 configuration expects {} / {} / {}",
+                banks.len(),
+                rank_activates.len(),
+                bus_free_at.len(),
+                n_banks,
+                n_ranks,
+                self.config.channels
+            )));
+        }
+        let refresh_stalls = r.u64()?;
+        let queue_len = r.bounded_len()?;
+        let mut queue = VecDeque::with_capacity(queue_len);
+        for _ in 0..queue_len {
+            let id = r.u64()?;
+            let req: Request = Snapshot::load(r)?;
+            queue.push_back(Pending { id, req });
+        }
+        let done: Vec<(u64, Completion)> = Snapshot::load(r)?;
+        let next_id = r.u64()?;
+        let class: TrafficClass = Snapshot::load(r)?;
+        let bandwidth: BandwidthTracker = Snapshot::load(r)?;
+        if bandwidth.channels().len() != self.config.channels as usize
+            || bandwidth.banks().len() != n_banks
+        {
+            return Err(r.corrupt("bandwidth tracker shape does not match DRAM geometry"));
+        }
+        self.banks = banks;
+        self.bank_stats = bank_stats;
+        self.totals = totals;
+        self.bank_epoch = bank_epoch;
+        self.rank_activates = rank_activates;
+        self.bus_free_at = bus_free_at;
+        self.refresh_stalls = refresh_stalls;
+        self.queue = queue;
+        self.done = done;
+        self.next_id = next_id;
+        self.class = class;
+        self.bandwidth = bandwidth;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -143,6 +143,65 @@ impl DeferredQueue {
     }
 }
 
+impl bimodal_ckpt::Snapshot for DeferredOp {
+    fn save(&self, w: &mut bimodal_ckpt::SnapshotWriter) {
+        match self {
+            DeferredOp::CacheWrite { loc, bytes, class } => {
+                w.u8(0);
+                loc.save(w);
+                w.u32(*bytes);
+                class.save(w);
+            }
+            DeferredOp::MainWrite { addr, bytes, class } => {
+                w.u8(1);
+                w.u64(*addr);
+                w.u32(*bytes);
+                class.save(w);
+            }
+        }
+    }
+
+    fn load(r: &mut bimodal_ckpt::SnapshotReader<'_>) -> Result<Self, bimodal_ckpt::CkptError> {
+        match r.u8()? {
+            0 => Ok(DeferredOp::CacheWrite {
+                loc: bimodal_ckpt::Snapshot::load(r)?,
+                bytes: r.u32()?,
+                class: bimodal_ckpt::Snapshot::load(r)?,
+            }),
+            1 => Ok(DeferredOp::MainWrite {
+                addr: r.u64()?,
+                bytes: r.u32()?,
+                class: bimodal_ckpt::Snapshot::load(r)?,
+            }),
+            b => Err(r.corrupt(format!("invalid deferred op tag {b}"))),
+        }
+    }
+}
+
+impl bimodal_ckpt::Snapshot for DeferredQueue {
+    fn save(&self, w: &mut bimodal_ckpt::SnapshotWriter) {
+        // A BinaryHeap iterates in arbitrary order; sort so the snapshot
+        // bytes are deterministic for a given logical queue state.
+        let mut entries: Vec<(Cycle, u64, DeferredOp)> =
+            self.heap.iter().map(|Reverse(e)| *e).collect();
+        entries.sort_unstable();
+        entries.save(w);
+        w.u64(self.seq);
+    }
+
+    fn load(r: &mut bimodal_ckpt::SnapshotReader<'_>) -> Result<Self, bimodal_ckpt::CkptError> {
+        let entries: Vec<(Cycle, u64, DeferredOp)> = bimodal_ckpt::Snapshot::load(r)?;
+        let seq = r.u64()?;
+        if entries.iter().any(|&(_, s, _)| s >= seq) {
+            return Err(r.corrupt("deferred entry sequence number beyond next seq"));
+        }
+        let mut q = DeferredQueue::new();
+        q.rebuild(entries);
+        q.seq = seq;
+        Ok(q)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

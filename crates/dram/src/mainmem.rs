@@ -128,6 +128,20 @@ impl MainMemory {
     pub fn mapping(&self) -> &AddressMapping {
         &self.mapping
     }
+
+    /// Serializes the underlying module's mutable state. The address
+    /// mapping is config-derived and not written.
+    pub fn save_state(&self, w: &mut bimodal_ckpt::SnapshotWriter) {
+        self.module.save_state(w);
+    }
+
+    /// Restores state written by [`MainMemory::save_state`].
+    pub fn load_state(
+        &mut self,
+        r: &mut bimodal_ckpt::SnapshotReader<'_>,
+    ) -> Result<(), bimodal_ckpt::CkptError> {
+        self.module.load_state(r)
+    }
 }
 
 #[cfg(test)]

@@ -3,7 +3,7 @@
 //! Every figure in the paper is a fan-out of independent
 //! (scheme × mix × config × seed) runs, so the natural execution model is
 //! a bounded worker pool over a fixed work list. This crate provides
-//! exactly that, with no dependencies beyond `std`:
+//! exactly that:
 //!
 //! - [`map`] / [`map_indexed`] run one closure per item on up to `jobs`
 //!   scoped threads ([`std::thread::scope`], so borrowed captures work)
@@ -11,6 +11,13 @@
 //!   finished first. Each unit owns its input (seeded PRNGs, observer
 //!   sinks travel with it), so parallel output is bit-identical to
 //!   serial output.
+//! - [`map_fallible`] is the fault-tolerant variant campaigns use: each
+//!   unit is panic-isolated, retried under a bounded [`RetryPolicy`]
+//!   with jittered exponential backoff, and degrades to a
+//!   [`UnitResult::Failed`] slot instead of sinking the pool.
+//! - [`Manifest`] journals completed units (key + result digest) to an
+//!   append-only, torn-write-tolerant file, so re-invoking a crashed
+//!   campaign skips the work it already finished.
 //! - `jobs == 1` (or a single item) short-circuits to a plain inline
 //!   loop on the calling thread: no threads are spawned, which keeps the
 //!   serial path trivially identical to the pre-parallel code.
@@ -26,8 +33,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 mod fleet;
+mod manifest;
+mod retry;
 
 pub use fleet::FleetProgress;
+pub use manifest::{Manifest, MANIFEST_FILE};
+pub use retry::{map_fallible, RetryPolicy, UnitFailure, UnitResult};
 
 /// The host's available parallelism, used as the `--jobs` default.
 ///

@@ -1,0 +1,239 @@
+//! Resumable-campaign manifests: an append-only completion journal.
+//!
+//! A campaign (`compare`/`sweep`/`inject` fan-out) pointed at a manifest
+//! directory journals every finished unit as one JSON line — the unit's
+//! stable key plus a digest of its result — to `manifest.jsonl`. When the
+//! same campaign is re-invoked with the same directory, units already in
+//! the journal are skipped and their digests replayed, so a crashed or
+//! interrupted campaign resumes where it stopped instead of recomputing
+//! finished work.
+//!
+//! The journal is crash-tolerant by construction: lines are appended and
+//! flushed one at a time, and a torn final line (the process died
+//! mid-write) is ignored on load rather than poisoning the whole journal.
+
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+/// File name of the journal inside a manifest directory.
+pub const MANIFEST_FILE: &str = "manifest.jsonl";
+
+/// An append-only journal of completed campaign units.
+#[derive(Debug)]
+pub struct Manifest {
+    path: PathBuf,
+    done: HashMap<String, String>,
+    writer: File,
+}
+
+impl Manifest {
+    /// Opens (creating if needed) the journal in `dir` and loads every
+    /// complete entry. A torn trailing line is tolerated and dropped; it
+    /// will be rewritten when its unit re-runs.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors creating the directory or opening the journal.
+    pub fn open(dir: &Path) -> std::io::Result<Self> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(MANIFEST_FILE);
+        let mut done = HashMap::new();
+        if path.exists() {
+            for line in BufReader::new(File::open(&path)?).lines() {
+                let line = line?;
+                if let Some((unit, digest)) = parse_line(&line) {
+                    done.insert(unit, digest);
+                }
+                // Unparseable lines are torn writes from a crash; skip.
+            }
+        }
+        let writer = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(Manifest { path, done, writer })
+    }
+
+    /// The journal file's path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The digest a finished unit recorded, if any.
+    #[must_use]
+    pub fn digest(&self, unit: &str) -> Option<&str> {
+        self.done.get(unit).map(String::as_str)
+    }
+
+    /// Whether `unit` already completed in a previous invocation.
+    #[must_use]
+    pub fn is_done(&self, unit: &str) -> bool {
+        self.done.contains_key(unit)
+    }
+
+    /// Completed units loaded or recorded so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.done.len()
+    }
+
+    /// Whether no unit has completed yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.done.is_empty()
+    }
+
+    /// Journals `unit` as complete with `digest` (one flushed JSON line).
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors appending to the journal.
+    pub fn record(&mut self, unit: &str, digest: &str) -> std::io::Result<()> {
+        writeln!(
+            self.writer,
+            "{{\"unit\":\"{}\",\"digest\":\"{}\"}}",
+            escape(unit),
+            escape(digest)
+        )?;
+        self.writer.flush()?;
+        self.done.insert(unit.to_owned(), digest.to_owned());
+        Ok(())
+    }
+}
+
+/// JSON string escaping for the two journalled fields.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parses one journal line of the exact shape [`Manifest::record`]
+/// writes. Returns `None` (torn/foreign line) on any deviation.
+fn parse_line(line: &str) -> Option<(String, String)> {
+    let rest = line.trim().strip_prefix("{\"unit\":\"")?;
+    let (unit, rest) = take_json_string(rest)?;
+    let rest = rest.strip_prefix(",\"digest\":\"")?;
+    let (digest, rest) = take_json_string(rest)?;
+    if rest != "}" {
+        return None;
+    }
+    Some((unit, digest))
+}
+
+/// Consumes an escaped JSON string up to (and including) its closing
+/// quote; returns the unescaped value and the remainder.
+fn take_json_string(s: &str) -> Option<(String, &str)> {
+    let mut out = String::new();
+    let mut chars = s.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Some((out, &s[i + 1..])),
+            '\\' => match chars.next()?.1 {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        code = code * 16 + chars.next()?.1.to_digit(16)?;
+                    }
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_manifest(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("bimodal-manifest-{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn records_and_reloads() {
+        let dir = temp_manifest("roundtrip");
+        let _ = fs::remove_dir_all(&dir);
+        {
+            let mut m = Manifest::open(&dir).expect("opens");
+            assert!(m.is_empty());
+            m.record("BiModal/Q1", "abc123").expect("records");
+            m.record("Alloy/Q1", "def456").expect("records");
+            assert_eq!(m.len(), 2);
+        }
+        let m = Manifest::open(&dir).expect("reopens");
+        assert!(m.is_done("BiModal/Q1"));
+        assert_eq!(m.digest("Alloy/Q1"), Some("def456"));
+        assert!(!m.is_done("LohHill/Q1"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped() {
+        let dir = temp_manifest("torn");
+        let _ = fs::remove_dir_all(&dir);
+        {
+            let mut m = Manifest::open(&dir).expect("opens");
+            m.record("done/unit", "d1").expect("records");
+        }
+        // Simulate a crash mid-append: a truncated JSON line.
+        let path = dir.join(MANIFEST_FILE);
+        let mut f = OpenOptions::new().append(true).open(&path).expect("opens");
+        write!(f, "{{\"unit\":\"half/writ").expect("writes");
+        drop(f);
+        let m = Manifest::open(&dir).expect("survives the torn line");
+        assert_eq!(m.len(), 1);
+        assert!(m.is_done("done/unit"));
+        assert!(!m.is_done("half/writ"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn keys_with_quotes_and_newlines_round_trip() {
+        let dir = temp_manifest("escape");
+        let _ = fs::remove_dir_all(&dir);
+        let weird = "mix \"Q1\"\\with\nnewline\ttab\u{1}";
+        {
+            let mut m = Manifest::open(&dir).expect("opens");
+            m.record(weird, "d").expect("records");
+        }
+        let m = Manifest::open(&dir).expect("reopens");
+        assert!(m.is_done(weird));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_lines_are_ignored() {
+        assert_eq!(parse_line("not json"), None);
+        assert_eq!(
+            parse_line("{\"unit\":\"a\",\"digest\":\"b\"}"),
+            Some(("a".to_owned(), "b".to_owned()))
+        );
+        assert_eq!(
+            parse_line("{\"unit\":\"a\",\"digest\":\"b\"} trailing"),
+            None
+        );
+        assert_eq!(
+            parse_line("{\"unit\":\"a\\u0041\",\"digest\":\"\"}"),
+            Some(("aA".to_owned(), String::new()))
+        );
+    }
+}

@@ -1,0 +1,330 @@
+//! Fault-tolerant fan-out: panic isolation, bounded retries with
+//! jittered exponential backoff, and graceful degradation.
+//!
+//! A campaign of hundreds of units should not lose a night's work to one
+//! wedged run: [`map_fallible`] wraps every unit in
+//! [`std::panic::catch_unwind`], retries failures up to a bounded number
+//! of attempts with exponential backoff (jittered by a seeded PRNG so
+//! re-runs of the same campaign back off identically), and reports units
+//! that exhaust their attempts as [`UnitResult::Failed`] instead of
+//! tearing the pool down. The caller decides what a failed slot means —
+//! typically a `failed` entry in the campaign report and a nonzero exit.
+//!
+//! Per-unit timeouts are intentionally *not* a wall-clock kill here: a
+//! simulation unit that stops making progress is caught by the engine's
+//! forward-progress watchdog ([`EngineOptions::with_watchdog`]-armed
+//! runs return a structured stall diagnostic), which surfaces as an
+//! ordinary `Err` and flows through the same retry/degrade path. That
+//! keeps the pool deterministic — no thread is ever killed mid-unit.
+//!
+//! [`EngineOptions::with_watchdog`]: https://docs.rs/bimodal-sim
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+use bimodal_prng::SmallRng;
+
+/// Bounded-retry policy for [`map_fallible`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per unit (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before retry k (1-based) is `base_backoff_ms << (k - 1)`,
+    /// clamped to [`RetryPolicy::max_backoff_ms`], plus up to 25% jitter.
+    pub base_backoff_ms: u64,
+    /// Upper bound on a single backoff sleep.
+    pub max_backoff_ms: u64,
+    /// Seed of the jitter stream. Each (unit, attempt) derives its own
+    /// deterministic jitter, so identical campaigns back off identically
+    /// no matter how the pool schedules them.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff_ms: 100,
+            max_backoff_ms: 5_000,
+            jitter_seed: 0x5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that fails units on their first error (no retries, no
+    /// backoff).
+    #[must_use]
+    pub fn no_retries() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff_ms: 0,
+            max_backoff_ms: 0,
+            jitter_seed: 0,
+        }
+    }
+
+    /// The backoff before retry attempt `attempt` (2-based: the sleep
+    /// happens between attempt `attempt - 1` failing and `attempt`
+    /// starting) of unit `unit`.
+    #[must_use]
+    pub fn backoff(&self, unit: usize, attempt: u32) -> Duration {
+        if self.base_backoff_ms == 0 || attempt < 2 {
+            return Duration::ZERO;
+        }
+        let exp = (attempt - 2).min(20);
+        let base = self
+            .base_backoff_ms
+            .saturating_mul(1 << exp)
+            .min(self.max_backoff_ms);
+        // Up to 25% deterministic jitter decorrelates simultaneous
+        // retries without losing reproducibility.
+        let mut rng = SmallRng::seed_from_u64(
+            self.jitter_seed
+                ^ (unit as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ u64::from(attempt),
+        );
+        let jitter = if base == 0 {
+            0
+        } else {
+            rng.gen_range(0..base / 4 + 1)
+        };
+        Duration::from_millis(base.saturating_add(jitter).min(self.max_backoff_ms))
+    }
+}
+
+/// The terminal outcome of one unit under [`map_fallible`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnitResult<R> {
+    /// The unit produced a value (possibly after retries).
+    Ok {
+        /// The unit's result.
+        value: R,
+        /// Attempts consumed (1 = first try succeeded).
+        attempts: u32,
+    },
+    /// The unit failed every attempt; the campaign continues without it.
+    Failed(UnitFailure),
+}
+
+/// Why (and after how many attempts) a unit was given up on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnitFailure {
+    /// Attempts consumed (equals the policy's `max_attempts`).
+    pub attempts: u32,
+    /// The last attempt's error: the closure's `Err` or the panic
+    /// message.
+    pub error: String,
+    /// Whether the last attempt panicked (vs returned `Err`).
+    pub panicked: bool,
+}
+
+impl<R> UnitResult<R> {
+    /// The value, if the unit succeeded.
+    pub fn ok(self) -> Option<R> {
+        match self {
+            UnitResult::Ok { value, .. } => Some(value),
+            UnitResult::Failed(_) => None,
+        }
+    }
+
+    /// The failure, if the unit was given up on.
+    #[must_use]
+    pub fn failure(&self) -> Option<&UnitFailure> {
+        match self {
+            UnitResult::Ok { .. } => None,
+            UnitResult::Failed(f) => Some(f),
+        }
+    }
+}
+
+/// Renders a caught panic payload as a message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_owned()
+    }
+}
+
+/// One guarded attempt: catches panics and flattens them into `Err`.
+fn attempt_unit<T, R, F>(f: &F, index: usize, item: &T) -> Result<R, (String, bool)>
+where
+    F: Fn(usize, &T) -> Result<R, String>,
+{
+    match catch_unwind(AssertUnwindSafe(|| f(index, item))) {
+        Ok(Ok(value)) => Ok(value),
+        Ok(Err(e)) => Err((e, false)),
+        Err(payload) => Err((panic_message(payload.as_ref()), true)),
+    }
+}
+
+/// Runs `f(index, &item)` over `items` on up to `jobs` workers with
+/// per-unit panic isolation and bounded, backoff-spaced retries; returns
+/// one [`UnitResult`] per item, in input order.
+///
+/// Unlike [`crate::map`], a unit that panics (or keeps returning `Err`)
+/// does not tear down the pool: its slot degrades to
+/// [`UnitResult::Failed`] carrying the final error, and every other unit
+/// still completes. The closure takes the item by reference because a
+/// retried unit is re-run with the same input.
+///
+/// # Panics
+///
+/// Panics if `policy.max_attempts` is zero (a unit must get at least one
+/// attempt).
+pub fn map_fallible<T, R, F>(
+    jobs: usize,
+    items: Vec<T>,
+    policy: RetryPolicy,
+    f: F,
+) -> Vec<UnitResult<R>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &T) -> Result<R, String> + Sync,
+{
+    assert!(policy.max_attempts > 0, "units need at least one attempt");
+    crate::map_indexed(jobs, items, |index, item| {
+        let mut last = None;
+        for attempt in 1..=policy.max_attempts {
+            std::thread::sleep(policy.backoff(index, attempt));
+            match attempt_unit(&f, index, &item) {
+                Ok(value) => {
+                    return UnitResult::Ok {
+                        value,
+                        attempts: attempt,
+                    }
+                }
+                Err((error, panicked)) => last = Some((error, panicked)),
+            }
+        }
+        let (error, panicked) = last.expect("at least one attempt ran");
+        UnitResult::Failed(UnitFailure {
+            attempts: policy.max_attempts,
+            error,
+            panicked,
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn all_units_succeed_first_try() {
+        let out = map_fallible(
+            4,
+            (0..8u64).collect(),
+            RetryPolicy::no_retries(),
+            |_, &x| Ok::<_, String>(x * 2),
+        );
+        assert!(out.iter().all(|r| r.failure().is_none()));
+        let values: Vec<u64> = out.into_iter().map(|r| r.ok().unwrap()).collect();
+        assert_eq!(values, (0..8u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn a_panicking_unit_degrades_without_sinking_the_pool() {
+        let out = map_fallible(
+            4,
+            (0..8u32).collect(),
+            RetryPolicy {
+                max_attempts: 2,
+                base_backoff_ms: 0,
+                ..RetryPolicy::default()
+            },
+            |_, &x| {
+                assert!(x != 5, "unit 5 is cursed");
+                Ok::<_, String>(x)
+            },
+        );
+        assert_eq!(out.len(), 8);
+        for (i, r) in out.iter().enumerate() {
+            if i == 5 {
+                let f = r.failure().expect("unit 5 fails");
+                assert_eq!(f.attempts, 2);
+                assert!(f.panicked);
+                assert!(f.error.contains("cursed"));
+            } else {
+                assert!(r.failure().is_none(), "unit {i} must survive");
+            }
+        }
+    }
+
+    #[test]
+    fn transient_failures_are_retried_to_success() {
+        let tries = AtomicU32::new(0);
+        let out = map_fallible(
+            1,
+            vec![()],
+            RetryPolicy {
+                max_attempts: 3,
+                base_backoff_ms: 0,
+                ..RetryPolicy::default()
+            },
+            |_, ()| {
+                if tries.fetch_add(1, Ordering::SeqCst) < 2 {
+                    Err("transient".to_owned())
+                } else {
+                    Ok(42u8)
+                }
+            },
+        );
+        assert_eq!(
+            out,
+            vec![UnitResult::Ok {
+                value: 42,
+                attempts: 3
+            }]
+        );
+    }
+
+    #[test]
+    fn err_returns_are_not_panics() {
+        let out = map_fallible(1, vec![()], RetryPolicy::no_retries(), |_, ()| {
+            Err::<u8, _>("typed failure".to_owned())
+        });
+        let f = out[0].failure().expect("fails");
+        assert!(!f.panicked);
+        assert_eq!(f.error, "typed failure");
+    }
+
+    #[test]
+    fn backoff_grows_is_capped_and_deterministic() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            base_backoff_ms: 100,
+            max_backoff_ms: 1_000,
+            jitter_seed: 7,
+        };
+        assert_eq!(p.backoff(0, 1), Duration::ZERO, "first attempt never waits");
+        let b2 = p.backoff(0, 2);
+        let b3 = p.backoff(0, 3);
+        assert!(b2 >= Duration::from_millis(100));
+        assert!(b3 >= Duration::from_millis(200));
+        assert!(p.backoff(0, 9) <= Duration::from_millis(1_000), "capped");
+        // Deterministic: same (seed, unit, attempt) -> same jitter.
+        assert_eq!(p.backoff(3, 4), p.backoff(3, 4));
+        // Different units decorrelate.
+        assert!((0..16).any(|u| p.backoff(u, 2) != p.backoff(0, 2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attempt")]
+    fn zero_attempts_is_a_bug() {
+        let _ = map_fallible(
+            1,
+            vec![0u8],
+            RetryPolicy {
+                max_attempts: 0,
+                ..RetryPolicy::default()
+            },
+            |_, &x| Ok::<_, String>(x),
+        );
+    }
+}

@@ -737,6 +737,145 @@ fn ratio(num: u64, den: u64) -> f64 {
     }
 }
 
+use bimodal_ckpt::{CkptError, Snapshot, SnapshotReader, SnapshotWriter};
+
+impl Snapshot for TrafficClass {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.u8(u8::try_from(self.index()).expect("few classes"));
+    }
+
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, CkptError> {
+        let i = usize::from(r.u8()?);
+        TrafficClass::ALL
+            .get(i)
+            .copied()
+            .ok_or_else(|| r.corrupt(format!("traffic class index {i} out of range")))
+    }
+}
+
+impl Snapshot for ClassCounters {
+    fn save(&self, w: &mut SnapshotWriter) {
+        self.cycles.save(w);
+        self.bytes.save(w);
+    }
+
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, CkptError> {
+        Ok(ClassCounters {
+            cycles: Snapshot::load(r)?,
+            bytes: Snapshot::load(r)?,
+        })
+    }
+}
+
+impl Snapshot for WaitHist {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.u64(self.count);
+        w.u64(self.sum);
+        w.u64(self.min);
+        w.u64(self.max);
+        self.counts.save(w);
+    }
+
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, CkptError> {
+        Ok(WaitHist {
+            count: r.u64()?,
+            sum: r.u64()?,
+            min: r.u64()?,
+            max: r.u64()?,
+            counts: Snapshot::load(r)?,
+        })
+    }
+}
+
+impl Snapshot for ChannelBandwidth {
+    fn save(&self, w: &mut SnapshotWriter) {
+        self.busy.save(w);
+        w.u64(self.busy_cycles);
+        w.u64(self.busy_until);
+        self.queue_wait.save(w);
+    }
+
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, CkptError> {
+        Ok(ChannelBandwidth {
+            busy: Snapshot::load(r)?,
+            busy_cycles: r.u64()?,
+            busy_until: r.u64()?,
+            queue_wait: Snapshot::load(r)?,
+        })
+    }
+}
+
+impl Snapshot for BandwidthTracker {
+    fn save(&self, w: &mut SnapshotWriter) {
+        self.channels.save(w);
+        self.banks.save(w);
+        // HashMap iteration order is arbitrary; sort so equal trackers
+        // serialize to equal bytes.
+        let mut hot: Vec<((u32, u64), u64)> = self.heatmap.iter().map(|(&k, &v)| (k, v)).collect();
+        hot.sort_unstable();
+        hot.save(w);
+        w.bool(self.heatmap_enabled);
+    }
+
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, CkptError> {
+        let channels = Snapshot::load(r)?;
+        let banks = Snapshot::load(r)?;
+        let hot: Vec<((u32, u64), u64)> = Snapshot::load(r)?;
+        Ok(BandwidthTracker {
+            channels,
+            banks,
+            heatmap: hot.into_iter().collect(),
+            heatmap_enabled: r.bool()?,
+        })
+    }
+}
+
+impl Snapshot for QueueDepthStats {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.u64(self.high_water);
+        w.u128(self.integral);
+        w.u64(self.window_start);
+        w.u64(self.last_cycle);
+        w.u64(self.last_depth);
+    }
+
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, CkptError> {
+        Ok(QueueDepthStats {
+            high_water: r.u64()?,
+            integral: r.u128()?,
+            window_start: r.u64()?,
+            last_cycle: r.u64()?,
+            last_depth: r.u64()?,
+        })
+    }
+}
+
+impl Snapshot for BandwidthSample {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.u64(self.cycle);
+        self.channels.save(w);
+    }
+
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, CkptError> {
+        Ok(BandwidthSample {
+            cycle: r.u64()?,
+            channels: Snapshot::load(r)?,
+        })
+    }
+}
+
+impl Snapshot for BandwidthSeries {
+    fn save(&self, w: &mut SnapshotWriter) {
+        self.samples.save(w);
+    }
+
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, CkptError> {
+        Ok(BandwidthSeries {
+            samples: Snapshot::load(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -229,6 +229,29 @@ impl HistSummary {
     }
 }
 
+impl bimodal_ckpt::Snapshot for Histogram {
+    fn save(&self, w: &mut bimodal_ckpt::SnapshotWriter) {
+        w.u64(self.count);
+        w.u64(self.sum);
+        w.u64(self.min);
+        w.u64(self.max);
+        self.counts.save(w);
+    }
+
+    fn load(r: &mut bimodal_ckpt::SnapshotReader<'_>) -> Result<Self, bimodal_ckpt::CkptError> {
+        let mut h = Histogram::new();
+        h.count = r.u64()?;
+        h.sum = r.u64()?;
+        h.min = r.u64()?;
+        h.max = r.u64()?;
+        h.counts = bimodal_ckpt::Snapshot::load(r)?;
+        if h.counts.iter().sum::<u64>() != h.count {
+            return Err(r.corrupt("histogram bucket counts disagree with total"));
+        }
+        Ok(h)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -441,6 +441,98 @@ impl Observer {
     }
 }
 
+impl bimodal_ckpt::Snapshot for LatencyHistograms {
+    fn save(&self, w: &mut bimodal_ckpt::SnapshotWriter) {
+        self.read.save(w);
+        self.write.save(w);
+        self.prefetch.save(w);
+        self.hit.save(w);
+        self.miss.save(w);
+    }
+
+    fn load(r: &mut bimodal_ckpt::SnapshotReader<'_>) -> Result<Self, bimodal_ckpt::CkptError> {
+        Ok(LatencyHistograms {
+            read: bimodal_ckpt::Snapshot::load(r)?,
+            write: bimodal_ckpt::Snapshot::load(r)?,
+            prefetch: bimodal_ckpt::Snapshot::load(r)?,
+            hit: bimodal_ckpt::Snapshot::load(r)?,
+            miss: bimodal_ckpt::Snapshot::load(r)?,
+        })
+    }
+}
+
+impl bimodal_ckpt::Snapshot for TailReservoirs {
+    fn save(&self, w: &mut bimodal_ckpt::SnapshotWriter) {
+        w.usize(self.capacity);
+        self.read.save(w);
+        self.write.save(w);
+        self.prefetch.save(w);
+        self.hit.save(w);
+        self.miss.save(w);
+    }
+
+    fn load(r: &mut bimodal_ckpt::SnapshotReader<'_>) -> Result<Self, bimodal_ckpt::CkptError> {
+        let capacity = r.usize()?;
+        if capacity == 0 {
+            return Err(r.corrupt("zero reservoir capacity"));
+        }
+        Ok(TailReservoirs {
+            capacity,
+            read: bimodal_ckpt::Snapshot::load(r)?,
+            write: bimodal_ckpt::Snapshot::load(r)?,
+            prefetch: bimodal_ckpt::Snapshot::load(r)?,
+            hit: bimodal_ckpt::Snapshot::load(r)?,
+            miss: bimodal_ckpt::Snapshot::load(r)?,
+        })
+    }
+}
+
+impl Observer {
+    /// Serializes every deterministic accumulator (histograms, tail
+    /// reservoirs, epoch series, bandwidth series) into a checkpoint
+    /// section. Wall-clock timers and the heartbeat are host state, not
+    /// simulation state, and are deliberately excluded; the sampled event
+    /// ring is excluded too (checkpointing is rejected upstream when
+    /// tracing is on).
+    pub fn save_accumulators(&self, w: &mut bimodal_ckpt::SnapshotWriter) {
+        use bimodal_ckpt::Snapshot as _;
+        w.bool(self.enabled);
+        self.latency.save(w);
+        self.tails.save(w);
+        self.epochs.save(w);
+        self.bandwidth.save(w);
+    }
+
+    /// Restores accumulators saved by [`Observer::save_accumulators`]
+    /// into this observer.
+    ///
+    /// # Errors
+    ///
+    /// [`bimodal_ckpt::CkptError::Mismatch`] when the snapshot was taken
+    /// with a different observer enablement (e.g. resuming a `--json` run
+    /// without `--json`); decode errors on corrupt payloads.
+    pub fn restore_accumulators(
+        &mut self,
+        r: &mut bimodal_ckpt::SnapshotReader<'_>,
+    ) -> Result<(), bimodal_ckpt::CkptError> {
+        let enabled = r.bool()?;
+        if enabled != self.enabled {
+            return Err(bimodal_ckpt::CkptError::Mismatch {
+                detail: format!(
+                    "checkpoint taken with observability {}, resuming with it {}",
+                    if enabled { "on" } else { "off" },
+                    if self.enabled { "on" } else { "off" },
+                ),
+            });
+        }
+        self.latency = bimodal_ckpt::Snapshot::load(r)?;
+        self.tails = bimodal_ckpt::Snapshot::load(r)?;
+        self.epochs = bimodal_ckpt::Snapshot::load(r)?;
+        self.bandwidth = bimodal_ckpt::Snapshot::load(r)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

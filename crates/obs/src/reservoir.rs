@@ -149,6 +149,34 @@ impl TailSummary {
     }
 }
 
+impl bimodal_ckpt::Snapshot for Reservoir {
+    fn save(&self, w: &mut bimodal_ckpt::SnapshotWriter) {
+        self.sample.save(w);
+        w.usize(self.capacity);
+        w.u64(self.seen);
+        w.u64(self.max);
+        w.u64(self.state);
+    }
+
+    fn load(r: &mut bimodal_ckpt::SnapshotReader<'_>) -> Result<Self, bimodal_ckpt::CkptError> {
+        let sample: Vec<u64> = bimodal_ckpt::Snapshot::load(r)?;
+        let capacity = r.usize()?;
+        if capacity == 0 || sample.len() > capacity {
+            return Err(r.corrupt(format!(
+                "reservoir holds {} samples with capacity {capacity}",
+                sample.len()
+            )));
+        }
+        Ok(Reservoir {
+            sample,
+            capacity,
+            seen: r.u64()?,
+            max: r.u64()?,
+            state: r.u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

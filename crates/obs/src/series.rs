@@ -186,6 +186,70 @@ impl EpochRecorder {
     }
 }
 
+impl bimodal_ckpt::Snapshot for Counters {
+    fn save(&self, w: &mut bimodal_ckpt::SnapshotWriter) {
+        w.u64(self.accesses);
+        w.u64(self.hits);
+        w.u64(self.row_hits);
+        w.u64(self.row_accesses);
+        w.u64(self.offchip_bytes);
+        w.u64(self.wasted_bytes);
+    }
+
+    fn load(r: &mut bimodal_ckpt::SnapshotReader<'_>) -> Result<Self, bimodal_ckpt::CkptError> {
+        Ok(Counters {
+            accesses: r.u64()?,
+            hits: r.u64()?,
+            row_hits: r.u64()?,
+            row_accesses: r.u64()?,
+            offchip_bytes: r.u64()?,
+            wasted_bytes: r.u64()?,
+        })
+    }
+}
+
+impl bimodal_ckpt::Snapshot for EpochSnapshot {
+    fn save(&self, w: &mut bimodal_ckpt::SnapshotWriter) {
+        w.u64(self.start_cycle);
+        w.u64(self.end_cycle);
+        self.delta.save(w);
+        w.u64(self.queue_occupancy);
+    }
+
+    fn load(r: &mut bimodal_ckpt::SnapshotReader<'_>) -> Result<Self, bimodal_ckpt::CkptError> {
+        Ok(EpochSnapshot {
+            start_cycle: r.u64()?,
+            end_cycle: r.u64()?,
+            delta: bimodal_ckpt::Snapshot::load(r)?,
+            queue_occupancy: r.u64()?,
+        })
+    }
+}
+
+impl bimodal_ckpt::Snapshot for EpochRecorder {
+    fn save(&self, w: &mut bimodal_ckpt::SnapshotWriter) {
+        w.u64(self.epoch_cycles);
+        w.u64(self.next_boundary);
+        w.u64(self.epoch_start);
+        self.last.save(w);
+        self.epochs.save(w);
+    }
+
+    fn load(r: &mut bimodal_ckpt::SnapshotReader<'_>) -> Result<Self, bimodal_ckpt::CkptError> {
+        let epoch_cycles = r.u64()?;
+        if epoch_cycles == 0 {
+            return Err(r.corrupt("zero epoch length"));
+        }
+        Ok(EpochRecorder {
+            epoch_cycles,
+            next_boundary: r.u64()?,
+            epoch_start: r.u64()?,
+            last: bimodal_ckpt::Snapshot::load(r)?,
+            epochs: bimodal_ckpt::Snapshot::load(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

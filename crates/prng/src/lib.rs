@@ -41,6 +41,29 @@ impl SmallRng {
         }
     }
 
+    /// The generator's raw stream state, for checkpointing. Restoring it
+    /// with [`SmallRng::from_state`] resumes the stream exactly where it
+    /// left off.
+    #[must_use]
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a previously exported [`SmallRng::state`].
+    ///
+    /// An all-zero state is the xoshiro fixed point (the stream would be
+    /// constant zero); it cannot be produced by `seed_from_u64`, so it is
+    /// rejected here to keep corrupt checkpoints from smuggling one in.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the all-zero state.
+    #[must_use]
+    pub fn from_state(s: [u64; 4]) -> Self {
+        assert!(s.iter().any(|&w| w != 0), "all-zero xoshiro state");
+        SmallRng { s }
+    }
+
     /// The next raw 64-bit output.
     #[must_use]
     pub fn next_u64(&mut self) -> u64 {

@@ -11,6 +11,7 @@
 //! keep generating contention) until every core finishes its measured
 //! accesses, mirroring the paper's methodology.
 
+use bimodal_ckpt::{CkptError, CkptFile, SnapshotWriter};
 use bimodal_core::{AccessKind, AccessOutcome, CacheAccess, DramCacheScheme, SchemeStats};
 use bimodal_dram::{Cycle, DramStats, MemorySystem};
 use bimodal_obs::span::{self, SpanId};
@@ -19,6 +20,7 @@ use bimodal_obs::{
 };
 use bimodal_workloads::ProgramTrace;
 
+use crate::checkpoint::{section, CheckpointSpec, CkptRunError};
 use crate::llsc::{LlscCache, LlscConfig};
 use crate::prefetch::{NextNPrefetcher, PrefetchMode};
 use crate::report::RunReport;
@@ -316,7 +318,6 @@ impl Engine {
     /// # Panics
     ///
     /// Panics if `traces` is empty or the measured access count is zero.
-    #[allow(clippy::too_many_lines)] // the engine's central loop
     pub fn try_run(
         &self,
         scheme: &mut dyn DramCacheScheme,
@@ -325,11 +326,80 @@ impl Engine {
         obs: &mut Observer,
         hook: &mut dyn RunHook,
     ) -> Result<RunReport, Box<StallDiagnostic>> {
+        match self.run_loop(scheme, mem, traces, obs, hook, None, None) {
+            Ok(report) => Ok(report),
+            Err(CkptRunError::Stall(d)) => Err(d),
+            Err(CkptRunError::Ckpt(e)) => {
+                unreachable!("checkpoint error without checkpointing requested: {e}")
+            }
+        }
+    }
+
+    /// [`Engine::try_run`] with crash-safety: when `ckpt` is set, a
+    /// [`bimodal_ckpt`] snapshot of the full deterministic state is
+    /// written every `ckpt.every` issued accesses (atomically, keeping the
+    /// previous snapshot as `.prev`); when `resume` is set, the run picks
+    /// up from that snapshot and produces a report byte-identical to an
+    /// uninterrupted run's.
+    ///
+    /// The checkpoint fingerprints the experiment (options, scheme, core
+    /// count, observability), so resuming under a different configuration
+    /// fails with [`CkptError::Mismatch`] instead of silently diverging.
+    /// Span profiling and event tracing are rejected alongside
+    /// checkpointing — their buffers are not serialized, so a resumed run
+    /// could not reproduce them.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptRunError::Stall`] when an armed watchdog fires;
+    /// [`CkptRunError::Ckpt`] when a checkpoint cannot be written or the
+    /// resume snapshot is corrupt or mismatched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces` is empty or the measured access count is zero.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_run_checkpointed(
+        &self,
+        scheme: &mut dyn DramCacheScheme,
+        mem: &mut MemorySystem,
+        traces: Vec<ProgramTrace>,
+        obs: &mut Observer,
+        hook: &mut dyn RunHook,
+        ckpt: Option<&CheckpointSpec>,
+        resume: Option<&CkptFile>,
+    ) -> Result<RunReport, CkptRunError> {
+        self.run_loop(scheme, mem, traces, obs, hook, ckpt, resume)
+    }
+
+    #[allow(clippy::too_many_lines, clippy::too_many_arguments)] // the engine's central loop
+    fn run_loop(
+        &self,
+        scheme: &mut dyn DramCacheScheme,
+        mem: &mut MemorySystem,
+        traces: Vec<ProgramTrace>,
+        obs: &mut Observer,
+        hook: &mut dyn RunHook,
+        ckpt: Option<&CheckpointSpec>,
+        resume: Option<&CkptFile>,
+    ) -> Result<RunReport, CkptRunError> {
         assert!(!traces.is_empty(), "need at least one core trace");
         assert!(
             self.options.accesses_per_core > 0,
             "need a positive access count"
         );
+        if (ckpt.is_some() || resume.is_some())
+            && obs.is_enabled()
+            && (obs.spans || obs.trace.is_some())
+        {
+            return Err(CkptError::Mismatch {
+                detail: "checkpointing is incompatible with span profiling and event \
+                         tracing: their buffers are not serialized, so a resumed run \
+                         could not reproduce them"
+                    .into(),
+            }
+            .into());
+        }
         let warmup = self.options.warmup_per_core;
         let target = warmup + self.options.accesses_per_core;
 
@@ -386,6 +456,36 @@ impl Engine {
         let mut wd_frontier: Cycle = 0;
         let mut wd_last_progress: Cycle = 0;
         let mut wd_stalled_iters: u64 = 0;
+
+        // The fingerprint ties a snapshot to the exact experiment whose
+        // state it froze: same knobs, same scheme, same core count, same
+        // observability (a heatmap-enabled module serializes differently).
+        let fingerprint = format!(
+            "{:?}|{}|{}|{}",
+            self.options,
+            scheme.name(),
+            cores.len(),
+            obs.is_enabled()
+        );
+        if let Some(file) = resume {
+            let v = restore_run(
+                file,
+                &fingerprint,
+                &mut cores,
+                scheme,
+                mem,
+                obs,
+                prefetcher.as_mut(),
+                llsc.as_mut(),
+                mlp,
+            )?;
+            stats_reset = v.stats_reset;
+            issued_total = v.issued_total;
+            epoch_base = v.epoch_base;
+            wd_frontier = v.wd_frontier;
+            wd_last_progress = v.wd_last_progress;
+            wd_stalled_iters = v.wd_stalled_iters;
+        }
 
         // Reused across iterations so the prefetch path allocates once
         // per run, not once per access.
@@ -586,7 +686,7 @@ impl Engine {
                     if wd_stalled_iters >= wd.stall_iterations
                         || now.saturating_sub(wd_last_progress) > wd.stall_cycles
                     {
-                        return Err(Box::new(StallDiagnostic {
+                        return Err(CkptRunError::Stall(Box::new(StallDiagnostic {
                             now,
                             frontier: wd_frontier,
                             last_progress: wd_last_progress,
@@ -604,8 +704,37 @@ impl Engine {
                                 .collect(),
                             deferred_pending: mem.deferred_pending(),
                             last_access: Some((ctx.core, ctx.addr, ctx.is_write)),
-                        }));
+                        })));
                     }
+                }
+            }
+
+            // Checkpoint at the iteration boundary: every piece of loop
+            // state is quiescent here, so the snapshot resumes exactly
+            // where this iteration left off. The final iteration is
+            // skipped — a finished run has a report, not a checkpoint.
+            if let Some(spec) = ckpt {
+                if issued_total.is_multiple_of(spec.every)
+                    && cores.iter().any(|c| c.finished_at.is_none())
+                {
+                    save_run(
+                        spec,
+                        &fingerprint,
+                        &cores,
+                        &*scheme,
+                        mem,
+                        obs,
+                        prefetcher.as_ref(),
+                        llsc.as_ref(),
+                        SavedVars {
+                            stats_reset,
+                            issued_total,
+                            epoch_base,
+                            wd_frontier,
+                            wd_last_progress,
+                            wd_stalled_iters,
+                        },
+                    )?;
                 }
             }
         }
@@ -660,6 +789,190 @@ impl Engine {
             profile,
         })
     }
+}
+
+/// The engine-loop scalars a checkpoint carries alongside the per-core,
+/// scheme, memory and observer state.
+#[derive(Clone, Copy)]
+struct SavedVars {
+    stats_reset: bool,
+    issued_total: u64,
+    epoch_base: Counters,
+    wd_frontier: Cycle,
+    wd_last_progress: Cycle,
+    wd_stalled_iters: u64,
+}
+
+/// Writes one checkpoint of the full run state (atomic, double-buffered).
+#[allow(clippy::too_many_arguments)] // one call site, gathering the whole loop
+fn save_run(
+    spec: &CheckpointSpec,
+    fingerprint: &str,
+    cores: &[CoreState],
+    scheme: &dyn DramCacheScheme,
+    mem: &MemorySystem,
+    obs: &Observer,
+    prefetcher: Option<&NextNPrefetcher>,
+    llsc: Option<&LlscCache>,
+    vars: SavedVars,
+) -> Result<(), CkptError> {
+    use bimodal_ckpt::Snapshot;
+    let mut file = CkptFile::new();
+
+    let mut w = SnapshotWriter::new();
+    w.str(fingerprint);
+    file.put(section::META, w.into_bytes());
+
+    let mut w = SnapshotWriter::new();
+    w.bool(vars.stats_reset);
+    w.u64(vars.issued_total);
+    w.u64(vars.epoch_base.accesses);
+    w.u64(vars.epoch_base.hits);
+    w.u64(vars.epoch_base.row_hits);
+    w.u64(vars.epoch_base.row_accesses);
+    w.u64(vars.epoch_base.offchip_bytes);
+    w.u64(vars.epoch_base.wasted_bytes);
+    w.u64(vars.wd_frontier);
+    w.u64(vars.wd_last_progress);
+    w.u64(vars.wd_stalled_iters);
+    w.usize(cores.len());
+    for c in cores {
+        w.u64(c.next_issue);
+        w.u64(c.issued);
+        c.inflight.save(&mut w);
+        w.u64(c.frontier);
+        c.start_at.save(&mut w);
+        c.finished_at.save(&mut w);
+    }
+    file.put(section::ENGINE, w.into_bytes());
+
+    let mut w = SnapshotWriter::new();
+    for c in cores {
+        c.trace.save_state(&mut w);
+    }
+    file.put(section::TRACES, w.into_bytes());
+
+    let mut w = SnapshotWriter::new();
+    scheme.save_state(&mut w);
+    file.put(section::SCHEME, w.into_bytes());
+
+    let mut w = SnapshotWriter::new();
+    mem.save_state(&mut w);
+    file.put(section::MEM, w.into_bytes());
+
+    let mut w = SnapshotWriter::new();
+    obs.save_accumulators(&mut w);
+    file.put(section::OBS, w.into_bytes());
+
+    let mut w = SnapshotWriter::new();
+    w.bool(prefetcher.is_some());
+    if let Some(pf) = prefetcher {
+        pf.save_state(&mut w);
+    }
+    w.bool(llsc.is_some());
+    if let Some(l) = llsc {
+        l.save_state(&mut w);
+    }
+    file.put(section::FRONTEND, w.into_bytes());
+
+    file.write(&spec.path)
+}
+
+/// Restores a checkpoint into freshly built run state, validating the
+/// experiment fingerprint and every structural invariant on the way in.
+#[allow(clippy::too_many_arguments)] // one call site, scattering the whole loop
+fn restore_run(
+    file: &CkptFile,
+    fingerprint: &str,
+    cores: &mut [CoreState],
+    scheme: &mut dyn DramCacheScheme,
+    mem: &mut MemorySystem,
+    obs: &mut Observer,
+    prefetcher: Option<&mut NextNPrefetcher>,
+    llsc: Option<&mut LlscCache>,
+    mlp: usize,
+) -> Result<SavedVars, CkptError> {
+    use bimodal_ckpt::Snapshot;
+
+    let mut r = file.section(section::META)?;
+    let stored = r.str()?;
+    if stored != fingerprint {
+        return Err(CkptError::Mismatch {
+            detail: format!(
+                "checkpoint was taken by a different experiment:\n  \
+                 checkpoint: {stored}\n  this run:   {fingerprint}"
+            ),
+        });
+    }
+
+    let mut r = file.section(section::ENGINE)?;
+    let vars = SavedVars {
+        stats_reset: r.bool()?,
+        issued_total: r.u64()?,
+        epoch_base: Counters {
+            accesses: r.u64()?,
+            hits: r.u64()?,
+            row_hits: r.u64()?,
+            row_accesses: r.u64()?,
+            offchip_bytes: r.u64()?,
+            wasted_bytes: r.u64()?,
+        },
+        wd_frontier: r.u64()?,
+        wd_last_progress: r.u64()?,
+        wd_stalled_iters: r.u64()?,
+    };
+    let n = r.usize()?;
+    if n != cores.len() {
+        return Err(r.corrupt(format!(
+            "checkpoint has {n} cores, this run has {}",
+            cores.len()
+        )));
+    }
+    for c in cores.iter_mut() {
+        c.next_issue = r.u64()?;
+        c.issued = r.u64()?;
+        let inflight: Vec<Cycle> = Snapshot::load(&mut r)?;
+        if inflight.len() > mlp {
+            return Err(r.corrupt(format!(
+                "core has {} requests in flight, MLP is {mlp}",
+                inflight.len()
+            )));
+        }
+        c.inflight = inflight;
+        c.frontier = r.u64()?;
+        c.start_at = Snapshot::load(&mut r)?;
+        c.finished_at = Snapshot::load(&mut r)?;
+    }
+
+    let mut r = file.section(section::TRACES)?;
+    for c in cores.iter_mut() {
+        c.trace.load_state(&mut r)?;
+    }
+
+    let mut r = file.section(section::SCHEME)?;
+    scheme.restore_state(&mut r)?;
+
+    let mut r = file.section(section::MEM)?;
+    mem.load_state(&mut r)?;
+
+    let mut r = file.section(section::OBS)?;
+    obs.restore_accumulators(&mut r)?;
+
+    // The fingerprint already pins the options that decide front-end
+    // presence, so these marker mismatches only fire on a corrupt file.
+    let mut r = file.section(section::FRONTEND)?;
+    match (r.bool()?, prefetcher) {
+        (true, Some(pf)) => pf.load_state(&mut r)?,
+        (false, None) => {}
+        _ => return Err(r.corrupt("prefetcher presence differs from checkpoint")),
+    }
+    match (r.bool()?, llsc) {
+        (true, Some(l)) => l.load_state(&mut r)?,
+        (false, None) => {}
+        _ => return Err(r.corrupt("LLSC presence differs from checkpoint")),
+    }
+
+    Ok(vars)
 }
 
 /// Cumulative vital-sign counters for the epoch recorder. `base` carries
@@ -1058,6 +1371,143 @@ mod tests {
         assert_eq!(err.cores.len(), 2);
         assert!(err.cores.iter().map(|c| c.issued).sum::<u64>() <= 501);
         assert!(err.to_string().contains("stalled"));
+    }
+
+    fn ckpt_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("bimodal-engine-{name}-{}.ckpt", std::process::id()))
+    }
+
+    #[test]
+    fn resumed_run_is_bit_identical_to_uninterrupted() {
+        let path = ckpt_path("resume");
+        let spec = CheckpointSpec::new(&path, 700).expect("positive cadence");
+
+        // The uninterrupted reference run.
+        let (mut s, mut mem) = scheme();
+        let reference =
+            Engine::new(EngineOptions::measured(600)).run(&mut s, &mut mem, small_traces(2));
+
+        // The same run, writing checkpoints along the way. 2 cores x
+        // (120 warmup + 600 measured) = 1440 issues, so snapshots land at
+        // 700 and 1400; the file on disk holds the 1400-issue state.
+        let (mut s2, mut mem2) = scheme();
+        let checkpointed = Engine::new(EngineOptions::measured(600))
+            .try_run_checkpointed(
+                &mut s2,
+                &mut mem2,
+                small_traces(2),
+                &mut Observer::disabled(),
+                &mut NoopHook,
+                Some(&spec),
+                None,
+            )
+            .expect("checkpointed run completes");
+        assert_eq!(reference.scheme, checkpointed.scheme);
+
+        // Resume from the last snapshot into fresh state: the final
+        // report must match the uninterrupted run exactly.
+        let file = CkptFile::read(&path).expect("snapshot on disk");
+        let (mut s3, mut mem3) = scheme();
+        let resumed = Engine::new(EngineOptions::measured(600))
+            .try_run_checkpointed(
+                &mut s3,
+                &mut mem3,
+                small_traces(2),
+                &mut Observer::disabled(),
+                &mut NoopHook,
+                None,
+                Some(&file),
+            )
+            .expect("resumed run completes");
+        assert_eq!(reference.scheme, resumed.scheme);
+        assert_eq!(reference.core_cycles, resumed.core_cycles);
+        assert_eq!(reference.cache_dram, resumed.cache_dram);
+        assert_eq!(reference.offchip, resumed.offchip);
+        assert_eq!(
+            reference.bandwidth.cache.class_totals,
+            resumed.bandwidth.cache.class_totals
+        );
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(path.with_extension("ckpt.prev"));
+    }
+
+    #[test]
+    fn resume_rejects_a_mismatched_experiment() {
+        let path = ckpt_path("mismatch");
+        let spec = CheckpointSpec::new(&path, 500).expect("positive cadence");
+        let (mut s, mut mem) = scheme();
+        let _ = Engine::new(EngineOptions::measured(600))
+            .try_run_checkpointed(
+                &mut s,
+                &mut mem,
+                small_traces(2),
+                &mut Observer::disabled(),
+                &mut NoopHook,
+                Some(&spec),
+                None,
+            )
+            .expect("checkpointed run completes");
+        let file = CkptFile::read(&path).expect("snapshot on disk");
+        // Different access count, different core count: both must refuse.
+        let (mut s2, mut mem2) = scheme();
+        let err = Engine::new(EngineOptions::measured(900))
+            .try_run_checkpointed(
+                &mut s2,
+                &mut mem2,
+                small_traces(2),
+                &mut Observer::disabled(),
+                &mut NoopHook,
+                None,
+                Some(&file),
+            )
+            .expect_err("mismatched options must be rejected");
+        assert!(matches!(
+            err,
+            CkptRunError::Ckpt(CkptError::Mismatch { .. })
+        ));
+        let (mut s3, mut mem3) = scheme();
+        let err = Engine::new(EngineOptions::measured(600))
+            .try_run_checkpointed(
+                &mut s3,
+                &mut mem3,
+                small_traces(4),
+                &mut Observer::disabled(),
+                &mut NoopHook,
+                None,
+                Some(&file),
+            )
+            .expect_err("mismatched core count must be rejected");
+        assert!(matches!(
+            err,
+            CkptRunError::Ckpt(CkptError::Mismatch { .. })
+        ));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(path.with_extension("ckpt.prev"));
+    }
+
+    #[test]
+    fn checkpointing_rejects_span_profiling_and_tracing() {
+        use bimodal_obs::ObserverConfig;
+        let path = ckpt_path("reject-obs");
+        let spec = CheckpointSpec::new(&path, 500).expect("positive cadence");
+        let (mut s, mut mem) = scheme();
+        let mut obs = Observer::enabled(ObserverConfig::default().with_trace(1024, 1));
+        let err = Engine::new(EngineOptions::measured(600))
+            .try_run_checkpointed(
+                &mut s,
+                &mut mem,
+                small_traces(2),
+                &mut obs,
+                &mut NoopHook,
+                Some(&spec),
+                None,
+            )
+            .expect_err("tracing plus checkpointing must be rejected");
+        assert!(matches!(
+            err,
+            CkptRunError::Ckpt(CkptError::Mismatch { .. })
+        ));
+        assert!(!path.exists(), "no snapshot may be written");
     }
 
     #[test]

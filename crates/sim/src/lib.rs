@@ -12,6 +12,9 @@
 //! * [`RunHook`] / [`WatchdogConfig`] — per-access engine hooks (used by
 //!   fault-injection campaigns) and the forward-progress watchdog that
 //!   turns a wedged run into a structured [`StallDiagnostic`],
+//! * [`CheckpointSpec`] — crash-safe checkpoint/resume: periodic atomic
+//!   snapshots of the full deterministic run state, with byte-identical
+//!   continuation after a crash,
 //! * [`NextNPrefetcher`] — the next-N-lines prefetcher of Section V-I,
 //! * [`EnergyModel`] — the event-count energy model of Section V-H,
 //! * [`sweep`] — fast functional design-space sweeps (Figures 1, 2, 5).
@@ -34,6 +37,7 @@
 #![warn(missing_docs)]
 
 mod antt;
+mod checkpoint;
 mod config;
 mod energy;
 mod engine;
@@ -45,6 +49,7 @@ mod simulation;
 pub mod sweep;
 
 pub use antt::AnttReport;
+pub use checkpoint::{read_checkpoint, CheckpointSpec, CkptRunError};
 pub use config::SystemConfig;
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use engine::{

@@ -153,6 +153,39 @@ impl LlscCache {
     pub fn counts(&self) -> (u64, u64) {
         (self.hits, self.misses)
     }
+
+    /// Serializes the cache contents and hit/miss counters (the
+    /// configuration is rebuilt from the experiment setup).
+    pub fn save_state(&self, w: &mut bimodal_ckpt::SnapshotWriter) {
+        use bimodal_ckpt::Snapshot;
+        self.sets.save(w);
+        w.u64(self.hits);
+        w.u64(self.misses);
+    }
+
+    /// Restores state written by [`LlscCache::save_state`], rejecting a
+    /// snapshot taken under a different geometry.
+    pub fn load_state(
+        &mut self,
+        r: &mut bimodal_ckpt::SnapshotReader<'_>,
+    ) -> Result<(), bimodal_ckpt::CkptError> {
+        use bimodal_ckpt::Snapshot;
+        let sets: Vec<Vec<(u64, bool)>> = Snapshot::load(r)?;
+        if sets.len() != self.sets.len() {
+            return Err(r.corrupt(format!(
+                "LLSC has {} sets in checkpoint, {} configured",
+                sets.len(),
+                self.sets.len()
+            )));
+        }
+        if sets.iter().any(|s| s.len() > self.config.assoc as usize) {
+            return Err(r.corrupt("LLSC set exceeds configured associativity"));
+        }
+        self.sets = sets;
+        self.hits = r.u64()?;
+        self.misses = r.u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -135,6 +135,36 @@ impl NextNPrefetcher {
     pub fn counts(&self) -> (u64, u64) {
         (self.issued, self.suppressed)
     }
+
+    /// Serializes the LLSC-presence filter and issue counters (depth and
+    /// mode are rebuilt from the experiment setup).
+    pub fn save_state(&self, w: &mut bimodal_ckpt::SnapshotWriter) {
+        use bimodal_ckpt::Snapshot;
+        self.filter.save(w);
+        w.u64(self.issued);
+        w.u64(self.suppressed);
+    }
+
+    /// Restores state written by [`NextNPrefetcher::save_state`],
+    /// rejecting a snapshot taken under a different filter size.
+    pub fn load_state(
+        &mut self,
+        r: &mut bimodal_ckpt::SnapshotReader<'_>,
+    ) -> Result<(), bimodal_ckpt::CkptError> {
+        use bimodal_ckpt::Snapshot;
+        let filter: Vec<Vec<u64>> = Snapshot::load(r)?;
+        if filter.len() != self.filter.len() {
+            return Err(r.corrupt(format!(
+                "prefetch filter has {} sets in checkpoint, {} configured",
+                filter.len(),
+                self.filter.len()
+            )));
+        }
+        self.filter = filter;
+        self.issued = r.u64()?;
+        self.suppressed = r.u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

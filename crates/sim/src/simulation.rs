@@ -17,6 +17,9 @@ pub enum SimError {
     /// The forward-progress watchdog aborted a run that stopped
     /// completing accesses; the diagnostic snapshots the wedged state.
     Stalled(Box<crate::engine::StallDiagnostic>),
+    /// A checkpoint could not be written, or a resume snapshot is
+    /// unreadable, corrupt, or from a different experiment.
+    Checkpoint(bimodal_ckpt::CkptError),
 }
 
 impl std::fmt::Display for SimError {
@@ -24,6 +27,7 @@ impl std::fmt::Display for SimError {
         match self {
             SimError::InvalidRun(msg) => write!(f, "invalid run: {msg}"),
             SimError::Stalled(d) => write!(f, "{d}"),
+            SimError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
         }
     }
 }
@@ -31,6 +35,21 @@ impl std::fmt::Display for SimError {
 impl From<Box<crate::engine::StallDiagnostic>> for SimError {
     fn from(d: Box<crate::engine::StallDiagnostic>) -> Self {
         SimError::Stalled(d)
+    }
+}
+
+impl From<bimodal_ckpt::CkptError> for SimError {
+    fn from(e: bimodal_ckpt::CkptError) -> Self {
+        SimError::Checkpoint(e)
+    }
+}
+
+impl From<crate::checkpoint::CkptRunError> for SimError {
+    fn from(e: crate::checkpoint::CkptRunError) -> Self {
+        match e {
+            crate::checkpoint::CkptRunError::Ckpt(e) => SimError::Checkpoint(e),
+            crate::checkpoint::CkptRunError::Stall(d) => SimError::Stalled(d),
+        }
     }
 }
 
@@ -180,6 +199,47 @@ impl Simulation {
                 obs,
             ),
         )
+    }
+
+    /// Like [`Simulation::run_mix_observed`], but crash-safe: writes a
+    /// checkpoint of the full deterministic run state every `ckpt.every`
+    /// accesses and/or resumes from the snapshot at `resume`. A resumed
+    /// run's report is byte-identical to an uninterrupted run's.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidRun`] if the access count is zero,
+    /// [`SimError::Checkpoint`] when a snapshot cannot be written or the
+    /// resume file is unreadable, corrupt, or from a different experiment,
+    /// and [`SimError::Stalled`] when an armed watchdog fires.
+    pub fn run_mix_checkpointed(
+        &self,
+        mix: &WorkloadMix,
+        accesses_per_core: u64,
+        obs: &mut bimodal_obs::Observer,
+        ckpt: Option<&crate::checkpoint::CheckpointSpec>,
+        resume: Option<&std::path::Path>,
+    ) -> Result<RunReport, SimError> {
+        if accesses_per_core == 0 {
+            return Err(SimError::InvalidRun(
+                "accesses_per_core must be positive".into(),
+            ));
+        }
+        let snapshot = resume.map(crate::checkpoint::read_checkpoint).transpose()?;
+        let traces = self.traces_for(mix);
+        let mut scheme = self.build_scheme(accesses_per_core, mix.cores() as u64);
+        let mut mem = self.system.build_memory();
+        Engine::new(self.engine_options(accesses_per_core))
+            .try_run_checkpointed(
+                scheme.as_mut(),
+                &mut mem,
+                traces,
+                obs,
+                &mut crate::engine::NoopHook,
+                ckpt,
+                snapshot.as_ref(),
+            )
+            .map_err(SimError::from)
     }
 
     /// Runs each of `mix`'s programs standalone (alone on the machine) and

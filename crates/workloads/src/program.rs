@@ -1,5 +1,6 @@
 //! The parameterized synthetic program generator.
 
+use bimodal_ckpt::{CkptError, Snapshot, SnapshotReader, SnapshotWriter};
 use bimodal_prng::SmallRng;
 
 use crate::access::Access;
@@ -355,6 +356,61 @@ impl ProgramTrace {
         }
     }
 
+    /// Serializes the trace's mutable cursor state (generator stream,
+    /// scan position, recency window, queued lines) for a checkpoint. The
+    /// spec itself is not stored — resume rebuilds the trace from the same
+    /// mix and seed — but its identity is, as a guard against resuming
+    /// with the wrong workload.
+    pub fn save_state(&self, w: &mut SnapshotWriter) {
+        w.str(&self.spec.name);
+        w.u64(self.spec.footprint_bytes);
+        w.u64(self.base);
+        self.rng.state().save(w);
+        w.u64(self.cursor);
+        self.recent.save(w);
+        w.u64(self.visit_serial);
+        self.pending.save(w);
+    }
+
+    /// Restores cursor state saved by [`ProgramTrace::save_state`] into a
+    /// freshly built trace of the same spec/seed/core.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::Mismatch`] when the snapshot belongs to a different
+    /// program or core; decode errors on truncated/corrupt payloads.
+    pub fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), CkptError> {
+        let name = r.str()?;
+        let footprint = r.u64()?;
+        let base = r.u64()?;
+        if name != self.spec.name || footprint != self.spec.footprint_bytes || base != self.base {
+            return Err(CkptError::Mismatch {
+                detail: format!(
+                    "trace snapshot is for '{name}' ({footprint} B, base {base:#x}); \
+                     this run uses '{}' ({} B, base {:#x})",
+                    self.spec.name, self.spec.footprint_bytes, self.base
+                ),
+            });
+        }
+        let s = <[u64; 4]>::load(r)?;
+        if s == [0; 4] {
+            return Err(r.corrupt("all-zero rng state"));
+        }
+        let cursor = r.u64()?;
+        if cursor >= self.n_regions {
+            return Err(r.corrupt(format!(
+                "cursor {cursor} out of range ({} regions)",
+                self.n_regions
+            )));
+        }
+        self.rng = SmallRng::from_state(s);
+        self.cursor = cursor;
+        self.recent = Snapshot::load(r)?;
+        self.visit_serial = r.u64()?;
+        self.pending = Snapshot::load(r)?;
+        Ok(())
+    }
+
     fn sample_gap(&mut self) -> u64 {
         // A skewed (geometric-ish) gap around the mean.
         let mean = self.spec.mean_gap as f64;
@@ -394,6 +450,42 @@ mod tests {
             0.3,
             100,
         )
+    }
+
+    #[test]
+    fn trace_state_round_trips_through_snapshot() {
+        let mut t = spec().trace(7, 0);
+        for _ in 0..500 {
+            t.next();
+        }
+        let mut w = SnapshotWriter::new();
+        t.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut fresh = spec().trace(7, 0);
+        let mut r = SnapshotReader::new(&bytes, "traces");
+        fresh.load_state(&mut r).unwrap();
+        assert!(r.is_exhausted());
+        let a: Vec<_> = t.take(2_000).collect();
+        let b: Vec<_> = fresh.take(2_000).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trace_state_rejects_wrong_program() {
+        let mut t = spec().trace(7, 0);
+        for _ in 0..10 {
+            t.next();
+        }
+        let mut w = SnapshotWriter::new();
+        t.save_state(&mut w);
+        let bytes = w.into_bytes();
+        // Different core → different base address slice.
+        let mut other = spec().trace(7, 1);
+        let mut r = SnapshotReader::new(&bytes, "traces");
+        assert!(matches!(
+            other.load_state(&mut r),
+            Err(CkptError::Mismatch { .. })
+        ));
     }
 
     #[test]

@@ -16,7 +16,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
-use bimodal::exec::FleetProgress;
+use bimodal::exec::{FleetProgress, Manifest, RetryPolicy, UnitResult};
 use bimodal::faults::{CampaignConfig, CampaignReport, FaultRates};
 use bimodal::obs::{
     Heartbeat, Json, MetricValue, MetricsRegistry, ObsSummary, Observer, ObserverConfig,
@@ -24,7 +24,7 @@ use bimodal::obs::{
 };
 use bimodal::prelude::*;
 use bimodal::selfbench::GateOutcome;
-use bimodal::sim::{sweep, PrefetchMode, WatchdogConfig};
+use bimodal::sim::{sweep, CheckpointSpec, PrefetchMode, WatchdogConfig};
 use bimodal::workloads::{spec_names, spec_profile, write_trace};
 
 fn usage() -> &'static str {
@@ -36,14 +36,17 @@ fn usage() -> &'static str {
      \x20         [--warmup N] [--mlp N] [--prefetch N[:bypass]] [--profile]\n\
      \x20         [--json FILE] [--trace-out FILE] [--epoch CYCLES] [--heartbeat SECS]\n\
      \x20         [--metrics-out FILE] [--metrics-format json|prom]\n\
+     \x20         [--checkpoint FILE [--checkpoint-every N]] [--resume FILE]\n\
      \x20 compare --mix <M> [--accesses N] [--cache-mb C] [--seed K] [--jobs N]\n\
      \x20         [--warmup N] [--mlp N] [--prefetch N[:bypass]] [--json FILE]\n\
      \x20         [--heartbeat SECS] [--metrics-out FILE] [--metrics-format json|prom]\n\
+     \x20         [--manifest DIR] [--checkpoint FILE [--checkpoint-every N]]\n\
+     \x20         [--resume FILE]\n\
      \x20 antt    --mix <M> --scheme <S> [--accesses N] [--cache-mb C] [--seed K]\n\
      \x20         [--warmup N] [--mlp N] [--prefetch N[:bypass]] [--jobs N] [--json FILE]\n\
      \x20         [--heartbeat SECS]\n\
      \x20 sweep   --mix <M> [--accesses N] [--cache-mb C] [--seed K] [--jobs N]\n\
-     \x20         [--json FILE] [--heartbeat SECS]\n\
+     \x20         [--json FILE] [--heartbeat SECS] [--manifest DIR]\n\
      \x20 record  --program <P> --out <FILE> [--n N] [--seed K]\n\
      \x20 inject  --mix <M> [--scheme <S|all>] [--accesses N] [--seed K] [--seeds N]\n\
      \x20         [--metadata-rate P] [--multi-bit P] [--locator-rate P]\n\
@@ -51,16 +54,33 @@ fn usage() -> &'static str {
      \x20         [--shadow-every N] [--watchdog CYCLES | --no-watchdog]\n\
      \x20         [--jobs N] [--json FILE] [--trace-out FILE]\n\
      \x20         [--metrics-out FILE] [--metrics-format json|prom]\n\
+     \x20         [--manifest DIR] [--retries N] [--retry-backoff-ms MS]\n\
      \x20 bench   [--quick] [--jobs N] [--min-speedup X] [--out FILE]\n\
      \x20         [--history FILE] [--check-history] [--window N] [--max-regress PCT]\n\
      \x20 bandwidth --mix <M> [--scheme <S|all>] [--accesses N] [--cache-mb C]\n\
      \x20         [--seed K] [--jobs N] [--json FILE]\n\
-     \x20 diff    <a.json> <b.json> [--threshold PCT]\n\
+     \x20 diff    <a.json> <b.json> [--threshold PCT] [--exact]\n\
+     \x20         exits 1 on drift/difference, 2 on unreadable or malformed input\n\
      \n\
      parallelism:\n\
      \x20 --jobs N          worker threads for fanned runs (default: all cores;\n\
      \x20                   results are bit-identical for any N)\n\
      \x20 --seeds N         inject: fan the campaign over N consecutive seeds\n\
+     \n\
+     crash safety:\n\
+     \x20 --checkpoint FILE    periodically snapshot the full run state to FILE\n\
+     \x20                      (atomic, previous snapshot kept as FILE.prev;\n\
+     \x20                      compare appends .<scheme> per unit)\n\
+     \x20 --checkpoint-every N snapshot cadence in issued accesses (default 100000)\n\
+     \x20 --resume FILE        continue from a snapshot; the final report is\n\
+     \x20                      byte-identical to an uninterrupted run\n\
+     \x20 --manifest DIR       journal finished campaign units in DIR and skip\n\
+     \x20                      them when the same command is re-invoked\n\
+     \x20 --retries N          inject fan-out: attempts per unit before it is\n\
+     \x20                      reported failed (default 3)\n\
+     \x20 --retry-backoff-ms M base backoff between attempts (default 100)\n\
+     \x20 --exact              diff: require byte-identical reports (ignoring\n\
+     \x20                      wall-clock and span-profile sections)\n\
      \n\
      observability:\n\
      \x20 --json FILE       write the full machine-readable report (counters,\n\
@@ -109,6 +129,7 @@ const BARE_FLAGS: &[&str] = &[
     "stream",
     "profile",
     "check-history",
+    "exact",
 ];
 
 /// Parses `--flag value` / `--flag=value` pairs, rejecting flags not in
@@ -322,6 +343,41 @@ fn build_observer(flags: &HashMap<String, String>) -> Result<Observer, String> {
     Ok(Observer::enabled(cfg))
 }
 
+/// `--checkpoint FILE [--checkpoint-every N]` and `--resume FILE` as a
+/// snapshot spec plus a resume path. `--checkpoint-every` without
+/// `--checkpoint` is a hard error (a cadence with nowhere to write).
+fn parse_crash_safety(
+    flags: &HashMap<String, String>,
+) -> Result<(Option<CheckpointSpec>, Option<std::path::PathBuf>), String> {
+    let every: u64 = num(flags, "checkpoint-every", 100_000)?;
+    let ckpt = match flags.get("checkpoint") {
+        Some(path) => Some(
+            CheckpointSpec::new(std::path::PathBuf::from(path), every)
+                .map_err(|e| e.to_string())?,
+        ),
+        None if flags.contains_key("checkpoint-every") => {
+            return Err("--checkpoint-every needs --checkpoint FILE".to_owned());
+        }
+        None => None,
+    };
+    Ok((ckpt, flags.get("resume").map(std::path::PathBuf::from)))
+}
+
+/// Rejects observer features whose buffers are not part of a snapshot,
+/// so checkpoint/resume fails with a CLI-level message instead of a
+/// mid-run engine error.
+fn reject_unsnapshottable(flags: &HashMap<String, String>) -> Result<(), String> {
+    for incompatible in ["trace-out", "profile", "stream"] {
+        if flags.contains_key(incompatible) {
+            return Err(format!(
+                "--{incompatible} cannot be combined with --checkpoint/--resume \
+                 (event-trace and span buffers are not snapshotted)"
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// `--heartbeat SECS` as a `Duration`, if the flag is present.
 fn parse_heartbeat(flags: &HashMap<String, String>) -> Result<Option<Duration>, String> {
     match flags.get("heartbeat") {
@@ -378,7 +434,8 @@ fn write_metrics(flags: &HashMap<String, String>, reg: &MetricsRegistry) -> Resu
     if path == "-" {
         eprint!("{body}");
     } else {
-        std::fs::write(path, body).map_err(|e| format!("writing {path}: {e}"))?;
+        bimodal::ckpt::atomic_write_str(std::path::Path::new(path), &body)
+            .map_err(|e| format!("writing {path}: {e}"))?;
         println!("wrote metrics ({format}) to {path}");
     }
     Ok(())
@@ -412,9 +469,25 @@ fn print_profile(p: &SpanProfile) {
     }
 }
 
+/// All CLI-written reports go through one atomic temp-file+rename write,
+/// so a crash mid-write never leaves a torn half-report behind.
 fn write_json(path: &str, json: &Json) -> Result<(), String> {
-    std::fs::write(path, format!("{}\n", json.to_pretty()))
-        .map_err(|e| format!("writing {path}: {e}"))
+    bimodal::ckpt::atomic_write_str(
+        std::path::Path::new(path),
+        &format!("{}\n", json.to_pretty()),
+    )
+    .map_err(|e| format!("writing {path}: {e}"))
+}
+
+/// FNV-1a digest of a report's compact JSON, used as the manifest's
+/// result fingerprint.
+fn report_digest(j: &Json) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in j.to_compact().bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
 }
 
 fn print_report(label: &str, r: &bimodal::sim::RunReport) {
@@ -533,9 +606,17 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
             .stream_to(std::path::Path::new(path))
             .map_err(|e| format!("opening trace stream {path}: {e}"))?;
     }
-    let report = build_simulation(system, scheme, flags)?
-        .run_mix_observed(&mix, n, &mut obs)
-        .map_err(|e| e.to_string())?;
+    let (ckpt, resume) = parse_crash_safety(flags)?;
+    let report = if ckpt.is_some() || resume.is_some() {
+        reject_unsnapshottable(flags)?;
+        build_simulation(system, scheme, flags)?
+            .run_mix_checkpointed(&mix, n, &mut obs, ckpt.as_ref(), resume.as_deref())
+            .map_err(|e| e.to_string())?
+    } else {
+        build_simulation(system, scheme, flags)?
+            .run_mix_observed(&mix, n, &mut obs)
+            .map_err(|e| e.to_string())?
+    };
     print_report(&format!("{} on {}", scheme.name(), mix.name()), &report);
     print_obs(&report.obs);
     print_profile(&report.profile);
@@ -566,17 +647,63 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Opens `--manifest DIR` as a campaign journal, if requested.
+fn parse_manifest(
+    flags: &HashMap<String, String>,
+) -> Result<Option<(std::path::PathBuf, Manifest)>, String> {
+    let Some(dir) = flags.get("manifest") else {
+        return Ok(None);
+    };
+    let dir = std::path::PathBuf::from(dir);
+    let manifest =
+        Manifest::open(&dir).map_err(|e| format!("opening manifest {}: {e}", dir.display()))?;
+    Ok(Some((dir, manifest)))
+}
+
+/// Loads the journalled report of a finished unit back from its manifest
+/// directory. Returns `None` (re-run the unit) when the stored file is
+/// missing, unreadable, or no longer matches the journalled digest.
+fn load_cached_unit(dir: &std::path::Path, file: &str, digest: &str) -> Option<Json> {
+    let text = std::fs::read_to_string(dir.join(file)).ok()?;
+    let j = Json::parse(&text).ok()?;
+    (report_digest(&j) == digest).then_some(j)
+}
+
 fn cmd_compare(flags: &HashMap<String, String>) -> Result<(), String> {
     let mix_name = flags.get("mix").ok_or("compare needs --mix")?;
     let (mix, base) = parse_mix(mix_name)?;
     let system = configured_system(base, flags)?;
     let n = num(flags, "accesses", 30_000)?;
     let jobs = parse_jobs(flags)?;
+    let (ckpt, resume) = parse_crash_safety(flags)?;
+    let journal = parse_manifest(flags)?;
+    if journal.is_some() && flags.contains_key("metrics-out") {
+        return Err(
+            "--metrics-out cannot be combined with --manifest (units replayed \
+             from the journal have no metrics registry); re-run without --manifest"
+                .to_owned(),
+        );
+    }
+    // Units already journalled as complete replay their stored report;
+    // a missing or digest-mismatched file silently re-runs the unit.
+    let mut cached: HashMap<String, Json> = HashMap::new();
+    if let Some((dir, manifest)) = &journal {
+        for kind in SchemeKind::all() {
+            if let Some(digest) = manifest.digest(kind.name()) {
+                let file = format!("{}.json", metric_slug(kind.name()));
+                if let Some(j) = load_cached_unit(dir, &file, digest) {
+                    cached.insert(kind.name().to_owned(), j);
+                }
+            }
+        }
+    }
+    let manifest = journal.map(|(dir, m)| (dir, std::sync::Mutex::new(m)));
     // Each scheme is an independent unit (own seeded scheme + memory);
     // results come back in canonical scheme order, so the table and the
     // JSON are bit-identical for any --jobs value.
     let sims = SchemeKind::all()
         .into_iter()
+        .filter(|kind| !cached.contains_key(kind.name()))
         .map(|kind| build_simulation(system.clone(), kind, flags).map(|s| (kind, s)))
         .collect::<Result<Vec<_>, _>>()?;
     // Each worker forwards rate-limited progress deltas to one shared
@@ -593,11 +720,50 @@ fn cmd_compare(flags: &HashMap<String, String>) -> Result<(), String> {
                 idx,
             ));
         }
-        (
-            kind,
+        let slug = metric_slug(kind.name());
+        // --checkpoint/--resume act as per-scheme templates: each unit
+        // snapshots to (and resumes from) FILE.<scheme>. A missing
+        // per-unit snapshot simply starts that unit fresh.
+        let unit_ckpt = ckpt.as_ref().map(|c| {
+            CheckpointSpec::new(
+                std::path::PathBuf::from(format!("{}.{slug}", c.path.display())),
+                c.every,
+            )
+            .expect("cadence was validated when parsing the flag")
+        });
+        let unit_resume = resume.as_ref().and_then(|r| {
+            let p = std::path::PathBuf::from(format!("{}.{slug}", r.display()));
+            p.exists().then_some(p)
+        });
+        let run = if unit_ckpt.is_some() || unit_resume.is_some() {
+            sim.run_mix_checkpointed(
+                &mix,
+                n,
+                &mut obs,
+                unit_ckpt.as_ref(),
+                unit_resume.as_deref(),
+            )
+        } else {
             sim.run_mix_observed(&mix, n, &mut obs)
-                .map_err(|e| e.to_string()),
-        )
+        }
+        .map_err(|e| e.to_string());
+        // Journal the finished unit right away (stored report first,
+        // then the manifest line), so a crash between units loses at
+        // most the unit that was still in flight.
+        if let (Ok(r), Some((dir, m))) = (&run, &manifest) {
+            let journalled = (|| -> Result<(), String> {
+                let j = r.to_json();
+                write_json(&dir.join(format!("{slug}.json")).display().to_string(), &j)?;
+                m.lock()
+                    .expect("manifest lock")
+                    .record(kind.name(), &report_digest(&j))
+                    .map_err(|e| e.to_string())
+            })();
+            if let Err(e) = journalled {
+                eprintln!("warning: could not journal {}: {e}", kind.name());
+            }
+        }
+        (kind, run)
     });
     if let Some(fleet) = &fleet {
         fleet.finish();
@@ -606,25 +772,45 @@ fn cmd_compare(flags: &HashMap<String, String>) -> Result<(), String> {
         "{:18} {:>8} {:>10} {:>12} {:>12} {:>10}",
         "scheme", "hit %", "locator %", "avg lat (cy)", "offchip MB", "wasted %"
     );
+    let mut fresh: HashMap<String, bimodal::sim::RunReport> = HashMap::new();
+    for (kind, run) in runs {
+        fresh.insert(kind.name().to_owned(), run?);
+    }
     let mut reports = Vec::new();
     let mut reg = MetricsRegistry::new();
-    for (kind, run) in runs {
-        let r = run?;
-        println!(
-            "{:18} {:>8.2} {:>10.2} {:>12.1} {:>12.2} {:>10.2}",
-            kind.name(),
-            r.scheme.hit_rate() * 100.0,
-            r.scheme.locator_hit_rate() * 100.0,
-            r.avg_latency(),
-            r.offchip_bytes() as f64 / 1048576.0,
-            r.scheme.wasted_fetch_fraction() * 100.0,
-        );
-        if flags.contains_key("metrics-out") {
-            let mut one = MetricsRegistry::new();
-            r.fill_metrics(&mut one);
-            merge_metrics_prefixed(&mut reg, &metric_slug(kind.name()), &one);
+    for kind in SchemeKind::all() {
+        if let Some(r) = fresh.remove(kind.name()) {
+            println!(
+                "{:18} {:>8.2} {:>10.2} {:>12.1} {:>12.2} {:>10.2}",
+                kind.name(),
+                r.scheme.hit_rate() * 100.0,
+                r.scheme.locator_hit_rate() * 100.0,
+                r.avg_latency(),
+                r.offchip_bytes() as f64 / 1048576.0,
+                r.scheme.wasted_fetch_fraction() * 100.0,
+            );
+            if flags.contains_key("metrics-out") {
+                let mut one = MetricsRegistry::new();
+                r.fill_metrics(&mut one);
+                merge_metrics_prefixed(&mut reg, &metric_slug(kind.name()), &one);
+            }
+            reports.push(r.to_json());
+        } else {
+            let j = cached
+                .remove(kind.name())
+                .expect("every scheme is either fresh or cached");
+            let v = |path: &[&str]| json_num(&j, path).unwrap_or(f64::NAN);
+            println!(
+                "{:18} {:>8.2} {:>10.2} {:>12.1} {:>12.2} {:>10.2}  (from manifest)",
+                kind.name(),
+                v(&["stats", "hit_rate"]) * 100.0,
+                v(&["stats", "locator_hit_rate"]) * 100.0,
+                v(&["avg_latency"]),
+                v(&["offchip_bytes"]) / 1048576.0,
+                v(&["stats", "wasted_fetch_fraction"]) * 100.0,
+            );
+            reports.push(j);
         }
-        reports.push(r.to_json());
     }
     write_metrics(flags, &reg)?;
     if let Some(path) = flags.get("json") {
@@ -698,24 +884,73 @@ fn cmd_sweep(flags: &HashMap<String, String>) -> Result<(), String> {
         system.cache_mb
     );
     let sizes = [64u32, 128, 256, 512, 1024, 2048, 4096];
+    // A sweep point's result is one f64, so the manifest digest *is* the
+    // result (the miss rate's bit pattern): journalled points replay
+    // without any stored report file.
+    let mut manifest = parse_manifest(flags)?.map(|(_, m)| m);
+    let mut done: HashMap<u32, f64> = HashMap::new();
+    if let Some(m) = &manifest {
+        for &bs in &sizes {
+            if let Some(bits) = m
+                .digest(&format!("bs{bs}"))
+                .and_then(|d| u64::from_str_radix(d, 16).ok())
+            {
+                done.insert(bs, f64::from_bits(bits));
+            }
+        }
+    }
+    let pending: Vec<u32> = sizes
+        .iter()
+        .copied()
+        .filter(|bs| !done.contains_key(bs))
+        .collect();
     // The functional sweep has no engine heartbeat; progress is
     // unit-granular (one tick per finished block size).
     let fleet = parse_heartbeat(flags)?
-        .map(|interval| Arc::new(FleetProgress::new("points", sizes.len(), interval)));
-    let points = sweep::miss_rate_vs_block_size_with_progress(
-        &scaled,
-        system.cache_bytes(),
-        &sizes,
-        n,
-        system.seed,
-        parse_jobs(flags)?,
-        fleet.as_ref(),
-    );
+        .map(|interval| Arc::new(FleetProgress::new("points", pending.len(), interval)));
+    let fresh = if pending.is_empty() {
+        Vec::new()
+    } else {
+        sweep::miss_rate_vs_block_size_with_progress(
+            &scaled,
+            system.cache_bytes(),
+            &pending,
+            n,
+            system.seed,
+            parse_jobs(flags)?,
+            fleet.as_ref(),
+        )
+    };
     if let Some(fleet) = &fleet {
         fleet.finish();
     }
+    if let Some(m) = &mut manifest {
+        for &(bs, rate) in &fresh {
+            m.record(&format!("bs{bs}"), &format!("{:016x}", rate.to_bits()))
+                .map_err(|e| format!("recording manifest: {e}"))?;
+        }
+    }
+    // Merge journalled and fresh points back into canonical size order.
+    let points: Vec<(u32, f64)> = sizes
+        .iter()
+        .map(|&bs| {
+            let rate = done.get(&bs).copied().unwrap_or_else(|| {
+                fresh
+                    .iter()
+                    .find(|&&(b, _)| b == bs)
+                    .map(|&(_, r)| r)
+                    .expect("every size is journalled or freshly swept")
+            });
+            (bs, rate)
+        })
+        .collect();
     for &(bs, rate) in &points {
-        println!("  {bs:>5} B : {:5.1} % miss", rate * 100.0);
+        let replayed = if done.contains_key(&bs) && manifest.is_some() {
+            "  (from manifest)"
+        } else {
+            ""
+        };
+        println!("  {bs:>5} B : {:5.1} % miss{replayed}", rate * 100.0);
     }
     if let Some(path) = flags.get("json") {
         let mut j = Json::object();
@@ -809,6 +1044,15 @@ fn print_campaign(report: &CampaignReport) {
 }
 
 fn cmd_inject(flags: &HashMap<String, String>) -> Result<(), String> {
+    for snap in ["checkpoint", "checkpoint-every", "resume"] {
+        if flags.contains_key(snap) {
+            return Err(format!(
+                "--{snap} is not available for inject (the clean and faulted \
+                 legs run in lockstep and are not snapshotted mid-run); use \
+                 --manifest DIR to resume a campaign at unit granularity"
+            ));
+        }
+    }
     let mix_name = flags.get("mix").ok_or("inject needs --mix")?;
     let scheme_flag = flags.get("scheme").map_or("bimodal", String::as_str);
     // `--scheme all` fans the campaign across every organization in the
@@ -869,6 +1113,14 @@ fn cmd_inject(flags: &HashMap<String, String>) -> Result<(), String> {
     };
 
     if kinds.len() == 1 && seeds == 1 {
+        for fanned in ["manifest", "retries", "retry-backoff-ms"] {
+            if flags.contains_key(fanned) {
+                return Err(format!(
+                    "--{fanned} applies to fanned campaigns (--scheme all or \
+                     --seeds N); a single unit re-runs from scratch"
+                ));
+            }
+        }
         let mut obs = build_observer(flags)?;
         let report = campaign_for(kinds[0], base_seed)
             .run(&mut obs)
@@ -911,22 +1163,84 @@ fn cmd_inject(flags: &HashMap<String, String>) -> Result<(), String> {
         }
     }
     let jobs = parse_jobs(flags)?;
-    let units: Vec<(SchemeKind, u64)> = kinds
-        .iter()
-        .flat_map(|&kind| (0..seeds).map(move |k| (kind, k)))
-        .collect();
+    let retries: u32 = num(flags, "retries", 3)?;
+    if retries == 0 {
+        return Err("--retries must be at least 1".to_owned());
+    }
+    let backoff_ms: u64 = num(flags, "retry-backoff-ms", 100)?;
+    let policy = RetryPolicy {
+        max_attempts: retries,
+        base_backoff_ms: backoff_ms,
+        max_backoff_ms: backoff_ms.saturating_mul(50).max(5_000),
+        jitter_seed: base_seed,
+    };
+    let journal = parse_manifest(flags)?;
+    if journal.is_some() && flags.contains_key("metrics-out") {
+        return Err(
+            "--metrics-out cannot be combined with --manifest (units replayed \
+             from the journal have no metrics registry); re-run without --manifest"
+                .to_owned(),
+        );
+    }
+    // Split the campaign into units already journalled as complete
+    // (replayed from their stored reports) and units still to run.
+    let mut cached: HashMap<(SchemeKind, u64), Json> = HashMap::new();
+    let mut units: Vec<(SchemeKind, u64)> = Vec::new();
+    for &kind in &kinds {
+        for k in 0..seeds {
+            let seed = base_seed + k;
+            let hit = journal.as_ref().and_then(|(dir, m)| {
+                let file = format!("{}_seed{seed}.json", metric_slug(kind.name()));
+                m.digest(&format!("{}/seed{seed}", kind.name()))
+                    .and_then(|d| load_cached_unit(dir, &file, d))
+            });
+            match hit {
+                Some(j) => {
+                    cached.insert((kind, seed), j);
+                }
+                None => units.push((kind, k)),
+            }
+        }
+    }
+    let manifest = journal.map(|(dir, m)| (dir, std::sync::Mutex::new(m)));
     let fleet = parse_heartbeat(flags)?
         .map(|interval| Arc::new(FleetProgress::new("campaigns", units.len(), interval)));
-    let runs = bimodal::exec::map_indexed(jobs, units, |idx, (kind, k)| {
+    let unit_list = units.clone();
+    let runs = bimodal::exec::map_fallible(jobs, units, policy, |idx, &(kind, k)| {
+        // Test hook: deterministically wreck one unit so the degradation
+        // path (retries, failed slot, nonzero exit) can be exercised end
+        // to end from the integration tests.
+        if std::env::var("BIMODAL_TEST_PANIC_UNIT").ok().as_deref()
+            == Some(idx.to_string().as_str())
+        {
+            panic!("injected test panic in unit {idx}");
+        }
+        let seed = base_seed + k;
         let mut obs = Observer::disabled();
-        let run = campaign_for(kind, base_seed + k)
+        let run = campaign_for(kind, seed)
             .run(&mut obs)
-            .map(|r| (kind, base_seed + k, r))
             .map_err(|e| e.to_string());
         if let Some(fleet) = &fleet {
             fleet.unit_done(idx);
         }
-        run
+        let r = run?;
+        // Journal the finished unit right away, so a crash (or a later
+        // unit exhausting its retries) never forfeits this one.
+        if let Some((dir, m)) = &manifest {
+            let journalled = (|| -> Result<(), String> {
+                let j = r.to_json();
+                let file = format!("{}_seed{seed}.json", metric_slug(kind.name()));
+                write_json(&dir.join(file).display().to_string(), &j)?;
+                m.lock()
+                    .expect("manifest lock")
+                    .record(&format!("{}/seed{seed}", kind.name()), &report_digest(&j))
+                    .map_err(|e| e.to_string())
+            })();
+            if let Err(e) = journalled {
+                eprintln!("warning: could not journal {}/seed{seed}: {e}", kind.name());
+            }
+        }
+        Ok(r)
     });
     if let Some(fleet) = &fleet {
         fleet.finish();
@@ -944,32 +1258,87 @@ fn cmd_inject(flags: &HashMap<String, String>) -> Result<(), String> {
         "lat +cy"
     );
     let mut campaigns = Vec::new();
+    let mut failed: Vec<Json> = Vec::new();
     let mut total_silent = 0u64;
     let mut reg = MetricsRegistry::new();
-    for run in runs {
-        let (kind, seed, r) = run?;
-        if flags.contains_key("metrics-out") {
-            let prefix = format!("{}.seed{seed}", metric_slug(kind.name()));
-            fill_campaign_metrics(&mut reg, &prefix, &r);
+    let mut fresh = unit_list.iter().zip(runs);
+    for &kind in &kinds {
+        for k in 0..seeds {
+            let seed = base_seed + k;
+            if let Some(j) = cached.remove(&(kind, seed)) {
+                let v = |path: &[&str]| json_num(&j, path).unwrap_or(f64::NAN);
+                println!(
+                    "{:>16} {seed:>10} {:>8} {:>9} {:>7} {:>7} {:>12.2} {:>12.2} {:>10.1}  (from manifest)",
+                    kind.name(),
+                    v(&["injected", "total"]) as u64,
+                    v(&["detected_corrected"]) as u64,
+                    v(&["detected_uncorrected"]) as u64,
+                    v(&["silent_corruptions"]) as u64,
+                    v(&["clean", "hit_rate"]) * 100.0,
+                    v(&["faulted", "hit_rate"]) * 100.0,
+                    v(&["degradation", "avg_latency"]),
+                );
+                total_silent += v(&["silent_corruptions"]) as u64;
+                campaigns.push(j);
+                continue;
+            }
+            let (unit, result) = fresh
+                .next()
+                .expect("every campaign unit is either cached or ran");
+            debug_assert_eq!(*unit, (kind, k), "pool results stay in unit order");
+            match result {
+                UnitResult::Ok { value: r, attempts } => {
+                    if attempts > 1 {
+                        eprintln!(
+                            "note: {}/seed{seed} succeeded on attempt {attempts}",
+                            kind.name()
+                        );
+                    }
+                    if flags.contains_key("metrics-out") {
+                        let prefix = format!("{}.seed{seed}", metric_slug(kind.name()));
+                        fill_campaign_metrics(&mut reg, &prefix, &r);
+                    }
+                    println!(
+                        "{:>16} {seed:>10} {:>8} {:>9} {:>7} {:>7} {:>12.2} {:>12.2} {:>10.1}",
+                        kind.name(),
+                        r.counts.total(),
+                        r.detected_corrected,
+                        r.detected_uncorrected,
+                        r.silent_corruptions,
+                        r.clean.scheme.hit_rate() * 100.0,
+                        r.faulted.scheme.hit_rate() * 100.0,
+                        r.latency_degradation(),
+                    );
+                    total_silent += r.silent_corruptions;
+                    campaigns.push(r.to_json());
+                }
+                UnitResult::Failed(f) => {
+                    eprintln!(
+                        "warning: {}/seed{seed} {} after {} attempt(s): {}",
+                        kind.name(),
+                        if f.panicked { "panicked" } else { "failed" },
+                        f.attempts,
+                        f.error
+                    );
+                    println!("{:>16} {seed:>10} {:>8}", kind.name(), "FAILED");
+                    let mut fj = Json::object();
+                    fj.set("unit", format!("{}/seed{seed}", kind.name()))
+                        .set("scheme", kind.name())
+                        .set("seed", seed)
+                        .set("attempts", u64::from(f.attempts))
+                        .set("error", f.error.as_str())
+                        .set("panicked", f.panicked);
+                    failed.push(fj);
+                }
+            }
         }
-        println!(
-            "{:>16} {seed:>10} {:>8} {:>9} {:>7} {:>7} {:>12.2} {:>12.2} {:>10.1}",
-            kind.name(),
-            r.counts.total(),
-            r.detected_corrected,
-            r.detected_uncorrected,
-            r.silent_corruptions,
-            r.clean.scheme.hit_rate() * 100.0,
-            r.faulted.scheme.hit_rate() * 100.0,
-            r.latency_degradation(),
-        );
-        total_silent += r.silent_corruptions;
-        campaigns.push(r.to_json());
     }
     println!(
         "total silent corruptions across {} campaigns: {total_silent}",
         campaigns.len()
     );
+    // Write the (possibly partial) results before deciding the exit
+    // code: a degraded campaign still delivers everything it finished.
     if let Some(path) = flags.get("json") {
         let mut j = Json::object();
         j.set("command", "inject")
@@ -980,11 +1349,19 @@ fn cmd_inject(flags: &HashMap<String, String>) -> Result<(), String> {
                 "schemes",
                 Json::Arr(kinds.iter().map(|k| Json::from(k.name())).collect()),
             )
-            .set("campaigns", Json::Arr(campaigns));
+            .set("campaigns", Json::Arr(campaigns))
+            .set("failed", Json::Arr(failed.clone()));
         write_json(path, &j)?;
         println!("wrote campaign JSON to {path}");
     }
     write_metrics(flags, &reg)?;
+    if !failed.is_empty() {
+        return Err(format!(
+            "{} campaign unit(s) failed after retries; completed units were \
+             still reported (and journalled under --manifest)",
+            failed.len()
+        ));
+    }
     Ok(())
 }
 
@@ -1096,13 +1473,19 @@ fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), String> {
     write_json(&path, &report.to_json())?;
     println!("wrote benchmark JSON to {path}");
     if let Some(hpath) = flags.get("history") {
-        use std::io::Write as _;
-        let line = format!("{}\n", report.history_line());
-        std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(hpath)
-            .and_then(|mut f| f.write_all(line.as_bytes()))
+        // Read-modify-write with an atomic rename: a crash mid-append
+        // can no longer tear the newest history line.
+        let mut text = match std::fs::read_to_string(hpath) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(format!("reading {hpath}: {e}")),
+        };
+        if !text.is_empty() && !text.ends_with('\n') {
+            text.push('\n');
+        }
+        text.push_str(&report.history_line());
+        text.push('\n');
+        bimodal::ckpt::atomic_write_str(std::path::Path::new(hpath), &text)
             .map_err(|e| format!("appending {hpath}: {e}"))?;
         println!("appended history point to {hpath}");
     }
@@ -1310,7 +1693,80 @@ fn cache_class_shares(j: &Json) -> Vec<(String, f64)> {
         .collect()
 }
 
-fn cmd_diff(args: &[String]) -> Result<(), String> {
+/// How `diff` failed, mapped to distinct exit codes in `main`: drift
+/// between readable reports exits 1, unreadable or malformed input
+/// exits 2, so CI can tell "the experiment regressed" from "the golden
+/// file is broken".
+enum DiffError {
+    /// The inputs could not be read, parsed, or compared (exit code 2).
+    Input(String),
+    /// The reports differ beyond the gate (exit code 1).
+    Drift(String),
+}
+
+/// Drops the sections that legitimately differ between byte-identical
+/// runs (wall-clock timings under `obs.wall`, the host-time span
+/// profile) before an `--exact` comparison.
+fn strip_volatile(j: &mut Json) {
+    if let Json::Obj(entries) = j {
+        entries.retain(|(k, _)| k != "profile");
+        for (k, v) in entries.iter_mut() {
+            if k == "obs" {
+                if let Json::Obj(obs) = v {
+                    obs.retain(|(k, _)| k != "wall");
+                }
+            }
+        }
+    }
+}
+
+/// Collects the paths where two JSON trees differ (up to `limit`, so a
+/// wholly different pair of files prints a digest, not a flood).
+fn json_diff_paths(a: &Json, b: &Json, path: &str, out: &mut Vec<String>, limit: usize) {
+    if out.len() >= limit {
+        return;
+    }
+    match (a, b) {
+        (Json::Obj(xa), Json::Obj(xb)) => {
+            let mut keys: Vec<&str> = xa.iter().map(|(k, _)| k.as_str()).collect();
+            let extra: Vec<&str> = xb
+                .iter()
+                .map(|(k, _)| k.as_str())
+                .filter(|k| !keys.contains(k))
+                .collect();
+            keys.extend(extra);
+            for k in keys {
+                let sub = if path.is_empty() {
+                    k.to_owned()
+                } else {
+                    format!("{path}.{k}")
+                };
+                let va = xa.iter().find(|(n, _)| n == k).map(|(_, v)| v);
+                let vb = xb.iter().find(|(n, _)| n == k).map(|(_, v)| v);
+                match (va, vb) {
+                    (Some(va), Some(vb)) => json_diff_paths(va, vb, &sub, out, limit),
+                    _ => {
+                        if out.len() < limit {
+                            out.push(format!("{sub} (present in only one report)"));
+                        }
+                    }
+                }
+            }
+        }
+        (Json::Arr(xa), Json::Arr(xb)) if xa.len() == xb.len() => {
+            for (i, (va, vb)) in xa.iter().zip(xb).enumerate() {
+                json_diff_paths(va, vb, &format!("{path}[{i}]"), out, limit);
+            }
+        }
+        _ => {
+            if a != b && out.len() < limit {
+                out.push(path.to_owned());
+            }
+        }
+    }
+}
+
+fn cmd_diff(args: &[String]) -> Result<(), DiffError> {
     // `diff` takes two positional report paths before/between its
     // flags; a flag without `=` consumes the next argument as its value.
     let mut paths: Vec<String> = Vec::new();
@@ -1319,7 +1775,7 @@ fn cmd_diff(args: &[String]) -> Result<(), String> {
     while i < args.len() {
         if args[i].starts_with("--") {
             flag_args.push(args[i].clone());
-            if !args[i].contains('=') {
+            if !args[i].contains('=') && !args[i].trim_start_matches("--").eq("exact") {
                 if let Some(v) = args.get(i + 1) {
                     flag_args.push(v.clone());
                     i += 1;
@@ -1330,31 +1786,60 @@ fn cmd_diff(args: &[String]) -> Result<(), String> {
         }
         i += 1;
     }
-    let flags = parse_flags(&flag_args, &["threshold"])?;
+    let flags = parse_flags(&flag_args, &["threshold", "exact"]).map_err(DiffError::Input)?;
     let [a_path, b_path] = paths.as_slice() else {
-        return Err(format!(
+        return Err(DiffError::Input(format!(
             "diff needs exactly two report files, got {}",
             paths.len()
-        ));
+        )));
     };
-    let threshold: f64 = num(&flags, "threshold", 2.0)?;
-    if threshold < 0.0 {
-        return Err("--threshold must be non-negative".to_owned());
+    let exact = flag_bool(&flags, "exact").map_err(DiffError::Input)?;
+    if exact && flags.contains_key("threshold") {
+        return Err(DiffError::Input(
+            "--exact and --threshold are mutually exclusive".to_owned(),
+        ));
     }
-    let load = |path: &str| -> Result<Json, String> {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-        let j = Json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    let threshold: f64 = num(&flags, "threshold", 2.0).map_err(DiffError::Input)?;
+    if threshold < 0.0 {
+        return Err(DiffError::Input(
+            "--threshold must be non-negative".to_owned(),
+        ));
+    }
+    let load = |path: &str| -> Result<Json, DiffError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| DiffError::Input(format!("reading {path}: {e}")))?;
+        let j = Json::parse(&text).map_err(|e| DiffError::Input(format!("parsing {path}: {e}")))?;
         if j.get("reports").is_some() || j.get("campaigns").is_some() {
-            return Err(format!(
+            return Err(DiffError::Input(format!(
                 "{path} is a fanned multi-run file; diff compares single-run \
                  reports (write one with `bimodal run --json` or pick one \
                  entry out of the `reports` array)"
-            ));
+            )));
         }
         Ok(j)
     };
-    let a = load(a_path)?;
-    let b = load(b_path)?;
+    let mut a = load(a_path)?;
+    let mut b = load(b_path)?;
+
+    if exact {
+        // Byte-exactness gate for checkpoint/resume validation: every
+        // field must match except wall-clock and the span profile.
+        strip_volatile(&mut a);
+        strip_volatile(&mut b);
+        if a == b {
+            println!("reports are identical (ignoring wall clock and span profile)");
+            return Ok(());
+        }
+        let mut diffs = Vec::new();
+        json_diff_paths(&a, &b, "", &mut diffs, 16);
+        for d in &diffs {
+            println!("  differs: {d}");
+        }
+        return Err(DiffError::Drift(format!(
+            "reports differ at {} path(s) between {a_path} and {b_path}",
+            diffs.len()
+        )));
+    }
 
     // Scalar metrics: relative drift in percent.
     let scalars: &[(&str, &[&str])] = &[
@@ -1371,7 +1856,11 @@ fn cmd_diff(args: &[String]) -> Result<(), String> {
             (Some(x), Some(y)) => rows.push(((*label).to_owned(), x, y, rel_drift_pct(x, y))),
             // Percentiles are absent in unobserved reports; skip quietly.
             _ if path.first() == Some(&"obs") => {}
-            _ => return Err(format!("metric {label:?} missing from one of the reports")),
+            _ => {
+                return Err(DiffError::Input(format!(
+                    "metric {label:?} missing from one of the reports"
+                )))
+            }
         }
     }
     // Per-class bandwidth shares: absolute drift in percentage points,
@@ -1404,9 +1893,9 @@ fn cmd_diff(args: &[String]) -> Result<(), String> {
         println!("{label:>24} {x:>14.4} {y:>14.4} {drift:>9.3}{mark}");
     }
     if over > 0 {
-        return Err(format!(
+        return Err(DiffError::Drift(format!(
             "{over} metric(s) drifted more than {threshold}% between {a_path} and {b_path}"
-        ));
+        )));
     }
     println!("no drift above {threshold}%");
     Ok(())
@@ -1433,6 +1922,9 @@ fn allowed_flags(command: &str) -> &'static [&'static str] {
         "profile",
         "metrics-out",
         "metrics-format",
+        "checkpoint",
+        "checkpoint-every",
+        "resume",
     ];
     const INJECT: &[&str] = &[
         "mix",
@@ -1462,6 +1954,12 @@ fn allowed_flags(command: &str) -> &'static [&'static str] {
         "exact-tails",
         "metrics-out",
         "metrics-format",
+        "manifest",
+        "retries",
+        "retry-backoff-ms",
+        "checkpoint",
+        "checkpoint-every",
+        "resume",
     ];
     const COMPARE: &[&str] = &[
         "mix",
@@ -1476,6 +1974,10 @@ fn allowed_flags(command: &str) -> &'static [&'static str] {
         "heartbeat",
         "metrics-out",
         "metrics-format",
+        "manifest",
+        "checkpoint",
+        "checkpoint-every",
+        "resume",
     ];
     const ANTT: &[&str] = &[
         "mix",
@@ -1498,6 +2000,7 @@ fn allowed_flags(command: &str) -> &'static [&'static str] {
         "jobs",
         "json",
         "heartbeat",
+        "manifest",
     ];
     const RECORD: &[&str] = &["program", "out", "n", "seed"];
     const BENCH: &[&str] = &[
@@ -1536,11 +2039,17 @@ fn main() -> ExitCode {
     // `diff` takes positional file arguments, which the --flag parser
     // would reject; hand it the raw tail instead.
     if command == "diff" {
+        // Distinct exit codes so CI can tell a real regression (1) from
+        // a broken or missing golden file (2).
         return match cmd_diff(&args[1..]) {
             Ok(()) => ExitCode::SUCCESS,
-            Err(e) => {
+            Err(DiffError::Drift(e)) => {
                 eprintln!("error: {e}");
-                ExitCode::FAILURE
+                ExitCode::from(1)
+            }
+            Err(DiffError::Input(e)) => {
+                eprintln!("error: {e}");
+                ExitCode::from(2)
             }
         };
     }

@@ -19,7 +19,10 @@
 //! * [`faults`] — seeded fault-injection campaigns, the shadow-model
 //!   invariant checker, and resilience reporting,
 //! * [`exec`] — the dependency-free bounded worker pool that fans
-//!   independent runs across threads with bit-identical results,
+//!   independent runs across threads with bit-identical results, with a
+//!   fault-tolerant retrying variant and resumable-campaign manifests,
+//! * [`ckpt`] — the versioned, checksummed snapshot container behind
+//!   engine checkpoint/resume and every atomic file write,
 //! * [`prng`] — the dependency-free xoshiro256++ PRNG the workload
 //!   generators draw from.
 //!
@@ -41,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub use bimodal_baselines as baselines;
+pub use bimodal_ckpt as ckpt;
 pub use bimodal_core as cache;
 pub use bimodal_dram as dram;
 pub use bimodal_exec as exec;

@@ -1151,3 +1151,222 @@ fn exported_traces_are_valid_in_ring_and_stream_modes() {
         assert_trace_is_valid(&doc, mode);
     }
 }
+
+#[test]
+fn kill_mid_run_then_resume_is_byte_identical() {
+    // The headline crash-safety contract, driven end to end through the
+    // binary: SIGKILL a checkpointing run mid-flight, resume from its
+    // snapshot, and the final JSON report matches an uninterrupted run
+    // byte for byte (modulo wall-clock, which `diff --exact` ignores).
+    let dir = std::env::temp_dir().join(format!("bimodal-cli-kill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let ck = dir.join("run.ckpt");
+    let interrupted = dir.join("interrupted.json");
+    let reference = dir.join("reference.json");
+    let args = |json: &std::path::Path| {
+        vec![
+            "run".to_owned(),
+            "--mix".to_owned(),
+            "Q1".to_owned(),
+            "--scheme".to_owned(),
+            "bimodal".to_owned(),
+            "--accesses".to_owned(),
+            "120000".to_owned(),
+            "--json".to_owned(),
+            json.display().to_string(),
+        ]
+    };
+    let out = bimodal()
+        .args(args(&reference))
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "reference run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let mut victim = bimodal()
+        .args(args(&interrupted))
+        .args(["--checkpoint", &ck.display().to_string()])
+        .args(["--checkpoint-every", "40000"])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("binary spawns");
+    // Wait for the first snapshot to land, then kill without warning.
+    // (If the host is so fast the run finishes first, resume still has
+    // a valid mid-run snapshot to start from — the assert holds either
+    // way, just with less drama.)
+    for _ in 0..600 {
+        if ck.exists() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert!(ck.exists(), "a snapshot was written before the kill");
+    let _ = victim.kill();
+    let _ = victim.wait();
+    let out = bimodal()
+        .args(args(&interrupted))
+        .args(["--resume", &ck.display().to_string()])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "resume failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = bimodal()
+        .args([
+            "diff",
+            &reference.display().to_string(),
+            &interrupted.display().to_string(),
+            "--exact",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "resumed report drifted from the uninterrupted run:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn inject_pool_survives_a_panicking_unit() {
+    // One wrecked unit must not sink the campaign: the pool retries it,
+    // gives up, reports it under `failed`, finishes every other unit,
+    // and exits nonzero with the partial results already written.
+    let dir = std::env::temp_dir().join(format!("bimodal-cli-panic-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let json = dir.join("campaign.json");
+    let manifest = dir.join("manifest");
+    let inject_args = |json: &std::path::Path| {
+        vec![
+            "inject".to_owned(),
+            "--mix".to_owned(),
+            "Q1".to_owned(),
+            "--scheme".to_owned(),
+            "all".to_owned(),
+            "--accesses".to_owned(),
+            "1500".to_owned(),
+            "--metadata-rate".to_owned(),
+            "0.001".to_owned(),
+            "--retries".to_owned(),
+            "2".to_owned(),
+            "--retry-backoff-ms".to_owned(),
+            "0".to_owned(),
+            "--json".to_owned(),
+            json.display().to_string(),
+            "--manifest".to_owned(),
+            manifest.display().to_string(),
+        ]
+    };
+    let out = bimodal()
+        .args(inject_args(&json))
+        .env("BIMODAL_TEST_PANIC_UNIT", "1")
+        .output()
+        .expect("binary runs");
+    assert!(
+        !out.status.success(),
+        "a campaign with a failed unit must exit nonzero"
+    );
+    let doc = bimodal::obs::Json::parse(&std::fs::read_to_string(&json).expect("JSON written"))
+        .expect("JSON parses");
+    let bimodal::obs::Json::Arr(campaigns) = doc.get("campaigns").expect("campaigns present")
+    else {
+        panic!("campaigns is an array")
+    };
+    assert_eq!(campaigns.len(), 4, "the four healthy units completed");
+    let bimodal::obs::Json::Arr(failed) = doc.get("failed").expect("failed present") else {
+        panic!("failed is an array")
+    };
+    assert_eq!(failed.len(), 1, "exactly the wrecked unit failed");
+    let f = &failed[0];
+    assert_eq!(
+        f.get("panicked").and_then(|p| p.as_f64()),
+        None,
+        "panicked serializes as a bool, not a number"
+    );
+    assert!(f.to_compact().contains("\"panicked\":true"));
+    assert_eq!(f.get("attempts").and_then(|a| a.as_f64()), Some(2.0));
+    // Re-invoking with the same manifest (panic hook off) runs only the
+    // failed unit and completes the campaign cleanly.
+    let json2 = dir.join("campaign2.json");
+    let out = bimodal()
+        .args(inject_args(&json2))
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "manifest resume failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        text.matches("(from manifest)").count(),
+        4,
+        "the four finished units replayed from the journal:\n{text}"
+    );
+    let doc = bimodal::obs::Json::parse(&std::fs::read_to_string(&json2).expect("JSON written"))
+        .expect("JSON parses");
+    let bimodal::obs::Json::Arr(campaigns) = doc.get("campaigns").expect("campaigns present")
+    else {
+        panic!("campaigns is an array")
+    };
+    assert_eq!(campaigns.len(), 5, "the campaign is now complete");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn diff_exit_codes_distinguish_drift_from_bad_input() {
+    let dir = std::env::temp_dir().join(format!("bimodal-cli-diffexit-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let a = dir.join("a.json");
+    let b = dir.join("b.json");
+    for (path, scheme) in [(&a, "bimodal"), (&b, "alloy")] {
+        let out = bimodal()
+            .args([
+                "run",
+                "--mix",
+                "Q1",
+                "--scheme",
+                scheme,
+                "--accesses",
+                "2000",
+                "--json",
+                &path.display().to_string(),
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success());
+    }
+    let code = |args: &[&str]| {
+        bimodal()
+            .args(args)
+            .output()
+            .expect("binary runs")
+            .status
+            .code()
+            .expect("exit code")
+    };
+    let (a, b) = (a.display().to_string(), b.display().to_string());
+    assert_eq!(code(&["diff", &a, &a, "--exact"]), 0, "identical reports");
+    assert_eq!(code(&["diff", &a, &b, "--threshold", "0.01"]), 1, "drift");
+    assert_eq!(code(&["diff", &a, &b, "--exact"]), 1, "exact difference");
+    let missing = dir.join("missing.json").display().to_string();
+    assert_eq!(code(&["diff", &a, &missing]), 2, "unreadable input");
+    let bad = dir.join("bad.json");
+    std::fs::write(&bad, "not json at all").expect("writable");
+    assert_eq!(
+        code(&["diff", &a, &bad.display().to_string()]),
+        2,
+        "malformed input"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -196,3 +196,48 @@ fn deterministic_across_runs() {
         assert_eq!(run(), run(), "{kind}: identical inputs give identical runs");
     }
 }
+
+#[test]
+fn every_scheme_resumes_byte_identically_from_a_mid_run_checkpoint() {
+    // The crash-safety contract: snapshot an engine run mid-flight,
+    // restore into a fresh engine, and the final machine-readable report
+    // is byte-identical to the uninterrupted run — for every scheme, so
+    // a baseline with unserialized state cannot slip through.
+    use bimodal::sim::CheckpointSpec;
+    let mix = WorkloadMix::quad("Q1").expect("Q1 exists");
+    let n = 5_000u64;
+    for (i, kind) in all_schemes().into_iter().enumerate() {
+        let reference = Simulation::new(system(), kind)
+            .run_mix(&mix, n)
+            .expect("reference run");
+        let path =
+            std::env::temp_dir().join(format!("bimodal-conf-ckpt-{i}-{}.bin", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        // 4 cores x 5000 accesses = 20000 issued; a 3000 cadence leaves
+        // the last snapshot mid-run (18000), not at the finish line.
+        let spec = CheckpointSpec::new(path.clone(), 3_000).expect("valid cadence");
+        let mut obs = Observer::disabled();
+        let checkpointed = Simulation::new(system(), kind)
+            .run_mix_checkpointed(&mix, n, &mut obs, Some(&spec), None)
+            .expect("checkpointed run");
+        assert_eq!(
+            checkpointed.to_json().to_compact(),
+            reference.to_json().to_compact(),
+            "{kind}: writing checkpoints must not perturb the run"
+        );
+        assert!(path.exists(), "{kind}: a mid-run snapshot was written");
+        let mut obs = Observer::disabled();
+        let resumed = Simulation::new(system(), kind)
+            .run_mix_checkpointed(&mix, n, &mut obs, None, Some(&path))
+            .expect("resumed run");
+        assert_eq!(
+            resumed.to_json().to_compact(),
+            reference.to_json().to_compact(),
+            "{kind}: a resumed run must report byte-identically"
+        );
+        let _ = std::fs::remove_file(&path);
+        let mut prev = path.into_os_string();
+        prev.push(".prev");
+        let _ = std::fs::remove_file(prev);
+    }
+}

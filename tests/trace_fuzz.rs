@@ -183,3 +183,123 @@ fn file_round_trip_replays_identically_on_every_scheme() {
         assert_eq!(run(&accesses), run(&back), "{kind}");
     }
 }
+
+// ---------------------------------------------------------------------
+// Corrupt-checkpoint fuzz: the `bimodal-ckpt-v1` container and the full
+// resume path must turn every malformed snapshot into a typed error —
+// truncations, bit flips, and wrong versions never panic, and a payload
+// checksum mismatch names the section it caught.
+// ---------------------------------------------------------------------
+
+/// A real mid-run snapshot to mutilate, produced by a checkpointed run.
+fn pristine_checkpoint(tag: &str) -> (std::path::PathBuf, Vec<u8>) {
+    use bimodal::obs::Observer;
+    use bimodal::sim::{CheckpointSpec, Simulation};
+    use bimodal::workloads::WorkloadMix;
+    let path = std::env::temp_dir().join(format!(
+        "bimodal-fuzz-ckpt-{tag}-{}.bin",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let mix = WorkloadMix::quad("Q1").expect("Q1 exists");
+    let spec = CheckpointSpec::new(path.clone(), 2_000).expect("valid cadence");
+    let mut obs = Observer::disabled();
+    Simulation::new(system(), SchemeKind::BiModal)
+        .run_mix_checkpointed(&mix, 3_000, &mut obs, Some(&spec), None)
+        .expect("checkpointed run");
+    let bytes = std::fs::read(&path).expect("snapshot exists");
+    (path, bytes)
+}
+
+/// Resumes a run from `bytes` written at `path`; must never panic.
+fn try_resume(path: &std::path::Path, bytes: &[u8]) -> Result<(), String> {
+    use bimodal::obs::Observer;
+    use bimodal::sim::Simulation;
+    use bimodal::workloads::WorkloadMix;
+    std::fs::write(path, bytes).expect("writable temp file");
+    let mix = WorkloadMix::quad("Q1").expect("Q1 exists");
+    let mut obs = Observer::disabled();
+    Simulation::new(system(), SchemeKind::BiModal)
+        .run_mix_checkpointed(&mix, 3_000, &mut obs, None, Some(path))
+        .map(|_| ())
+        .map_err(|e| e.to_string())
+}
+
+#[test]
+fn truncated_checkpoints_fail_typed_at_every_length() {
+    use bimodal::ckpt::CkptFile;
+    let (path, bytes) = pristine_checkpoint("trunc");
+    // Sanity: the untouched snapshot parses and resumes.
+    CkptFile::from_bytes(&bytes).expect("pristine snapshot parses");
+    try_resume(&path, &bytes).expect("pristine snapshot resumes");
+    let mut rng = SmallRng::seed_from_u64(0xC0FFEE);
+    let mut cuts: Vec<usize> = (0..64)
+        .map(|_| (rng.next_u64() as usize) % bytes.len())
+        .collect();
+    cuts.extend([0, 1, 11, 12, 15, 16, bytes.len() - 1]);
+    for cut in cuts {
+        let err = CkptFile::from_bytes(&bytes[..cut])
+            .err()
+            .unwrap_or_else(|| panic!("a snapshot cut to {cut} bytes must not parse"));
+        // Every truncation is a typed error with a readable rendering.
+        assert!(!format!("{err}").is_empty());
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn bit_flipped_checkpoints_never_panic_the_resume_path() {
+    let (path, bytes) = pristine_checkpoint("flip");
+    let mut rng = SmallRng::seed_from_u64(0xBADC0DE);
+    for _ in 0..48 {
+        let pos = (rng.next_u64() as usize) % bytes.len();
+        let bit = 1u8 << (rng.next_u64() % 8) as u8;
+        let mut mutated = bytes.clone();
+        mutated[pos] ^= bit;
+        // A flipped snapshot must be rejected with a typed error: the
+        // container checksums every section, so nothing slips through
+        // to corrupt a resumed run silently.
+        let err = try_resume(&path, &mutated)
+            .err()
+            .unwrap_or_else(|| panic!("flipping bit {bit:#x} at byte {pos} must be caught"));
+        assert!(!err.is_empty());
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn wrong_version_checkpoints_name_the_version() {
+    use bimodal::ckpt::{CkptError, CkptFile, MAGIC};
+    let (path, bytes) = pristine_checkpoint("version");
+    let mut mutated = bytes;
+    // The little-endian u32 version sits right after the magic.
+    mutated[MAGIC.len()] = 0x2A;
+    match CkptFile::from_bytes(&mutated) {
+        Err(CkptError::BadVersion { found }) => assert_eq!(found, 0x2A),
+        other => panic!("expected BadVersion, got {other:?}"),
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn checksum_mismatch_names_the_offending_section() {
+    use bimodal::ckpt::{CkptError, CkptFile};
+    let mut file = CkptFile::new();
+    file.put("alpha", vec![1, 2, 3, 4]);
+    file.put("beta", b"payload under test".to_vec());
+    let bytes = file.to_bytes();
+    // Flip one byte inside beta's payload (search from the end so the
+    // section name bytes themselves stay intact).
+    let payload_pos = bytes
+        .windows(7)
+        .rposition(|w| w == b"payload")
+        .expect("beta payload is in the serialized image");
+    let mut mutated = bytes;
+    mutated[payload_pos + 3] ^= 0x10;
+    match CkptFile::from_bytes(&mutated) {
+        Err(CkptError::Checksum { section }) => {
+            assert_eq!(section, "beta", "the error names the damaged section");
+        }
+        other => panic!("expected a Checksum error naming beta, got {other:?}"),
+    }
+}
