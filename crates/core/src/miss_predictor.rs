@@ -57,12 +57,13 @@ impl MissPredictor {
 
     /// Trains with the observed outcome and tracks accuracy.
     pub fn update(&mut self, addr: u64, hit: bool) {
-        if self.predict_hit(addr) == hit {
+        // Index once: update sits on the miss path of every access.
+        let i = self.index(addr);
+        if (self.counters[i] >= 2) == hit {
             self.correct += 1;
         } else {
             self.wrong += 1;
         }
-        let i = self.index(addr);
         if hit {
             self.counters[i] = (self.counters[i] + 1).min(3);
         } else {

@@ -52,6 +52,11 @@ impl Default for PredictorConfig {
     }
 }
 
+/// Bit 2 of a packed predictor table byte: the group has been trained.
+const TRAINED: u8 = 4;
+/// Bits 0-1 of a packed predictor table byte: the 2-bit counter.
+const COUNTER: u8 = 3;
+
 /// The block size predictor: a `2^P` table of 2-bit saturating counters
 /// plus an application-level bias.
 ///
@@ -74,8 +79,11 @@ impl Default for PredictorConfig {
 #[derive(Debug, Clone)]
 pub struct BlockSizePredictor {
     config: PredictorConfig,
-    counters: Vec<u8>,
-    trained: Vec<bool>,
+    /// One byte per group: the 2-bit counter in bits 0-1 and the trained
+    /// flag in bit 2, packed so the lookup path reads one byte instead of
+    /// two parallel tables (half the table footprint, one cache line per
+    /// probe).
+    table: Vec<u8>,
     /// Application-level spatial bias, one per 64 GB address slice (in a
     /// multiprogrammed system each program lives in its own slice, so the
     /// bias is effectively per application): positive leans big.
@@ -94,8 +102,7 @@ impl BlockSizePredictor {
     #[must_use]
     pub fn new(config: PredictorConfig) -> Self {
         BlockSizePredictor {
-            counters: vec![3u8; 1 << config.table_bits],
-            trained: vec![false; 1 << config.table_bits],
+            table: vec![3u8; 1 << config.table_bits],
             bias: [0; 64],
             config,
             predictions_big: 0,
@@ -147,9 +154,9 @@ impl BlockSizePredictor {
     /// otherwise.
     #[must_use]
     pub fn peek(&self, addr: u64) -> BlockSize {
-        let idx = self.index_of(addr);
-        let big = if self.trained[idx] {
-            self.counters[idx] >= 2
+        let t = self.table[self.index_of(addr)];
+        let big = if t & TRAINED != 0 {
+            t & COUNTER >= 2
         } else {
             self.bias[self.bias_of(addr)] >= 0
         };
@@ -171,19 +178,19 @@ impl BlockSizePredictor {
     pub fn update(&mut self, addr: u64, was_big_worthy: bool) {
         let idx = self.index_of(addr);
         let b = self.bias_of(addr);
-        if !self.trained[idx] {
+        if self.table[idx] & TRAINED == 0 {
             // First training of this group: start from the current
             // application-level lean rather than the cold "strongly big".
-            self.counters[idx] = if self.bias[b] >= 0 { 2 } else { 1 };
-            self.trained[idx] = true;
+            self.table[idx] = TRAINED | if self.bias[b] >= 0 { 2 } else { 1 };
         }
+        let c = self.table[idx] & COUNTER;
         if was_big_worthy {
             self.updates_big += 1;
-            self.counters[idx] = (self.counters[idx] + 1).min(3);
+            self.table[idx] = TRAINED | (c + 1).min(3);
             self.bias[b] = (self.bias[b] + 1).min(64);
         } else {
             self.updates_small += 1;
-            self.counters[idx] = self.counters[idx].saturating_sub(1);
+            self.table[idx] = TRAINED | c.saturating_sub(1);
             self.bias[b] = (self.bias[b] - 1).max(-64);
         }
     }
@@ -208,8 +215,7 @@ impl BlockSizePredictor {
     /// group, not a sampled observation about the application.
     pub fn promote(&mut self, addr: u64) {
         let idx = self.index_of(addr);
-        self.trained[idx] = true;
-        self.counters[idx] = 3;
+        self.table[idx] = TRAINED | 3;
         self.promotions += 1;
     }
 
@@ -218,10 +224,9 @@ impl BlockSizePredictor {
     /// flipped counter actually drives predictions (an upset in an
     /// untrained group would be shadowed by the bias and unobservable).
     pub fn upset_counter(&mut self, rng: &mut bimodal_prng::SmallRng) {
-        let idx = rng.gen_range(0..self.counters.len());
+        let idx = rng.gen_range(0..self.table.len());
         let bit = rng.gen_range(0u8..2);
-        self.counters[idx] ^= 1 << bit;
-        self.trained[idx] = true;
+        self.table[idx] = (self.table[idx] ^ (1 << bit)) | TRAINED;
     }
 
     /// Number of promotions performed.
@@ -326,8 +331,12 @@ impl BlockSizePredictor {
     /// configuration is rebuilt from the experiment setup).
     pub fn save_state(&self, w: &mut bimodal_ckpt::SnapshotWriter) {
         use bimodal_ckpt::Snapshot;
-        self.counters.save(w);
-        self.trained.save(w);
+        // The wire format predates the packed table: counters and trained
+        // flags travel as two parallel vectors.
+        let counters: Vec<u8> = self.table.iter().map(|&t| t & COUNTER).collect();
+        let trained: Vec<bool> = self.table.iter().map(|&t| t & TRAINED != 0).collect();
+        counters.save(w);
+        trained.save(w);
         self.bias.save(w);
         w.u64(self.predictions_big);
         w.u64(self.predictions_small);
@@ -345,18 +354,19 @@ impl BlockSizePredictor {
         use bimodal_ckpt::Snapshot;
         let counters: Vec<u8> = Snapshot::load(r)?;
         let trained: Vec<bool> = Snapshot::load(r)?;
-        if counters.len() != self.counters.len() || trained.len() != self.trained.len() {
+        if counters.len() != self.table.len() || trained.len() != self.table.len() {
             return Err(r.corrupt(format!(
                 "predictor table has {} counters in checkpoint, {} configured",
                 counters.len(),
-                self.counters.len()
+                self.table.len()
             )));
         }
         if counters.iter().any(|&c| c > 3) {
             return Err(r.corrupt("predictor counter out of 2-bit range"));
         }
-        self.counters = counters;
-        self.trained = trained;
+        for (t, (&c, &tr)) in self.table.iter_mut().zip(counters.iter().zip(&trained)) {
+            *t = c | if tr { TRAINED } else { 0 };
+        }
         self.bias = Snapshot::load(r)?;
         self.predictions_big = r.u64()?;
         self.predictions_small = r.u64()?;
@@ -486,15 +496,18 @@ mod tests {
         use bimodal_prng::SmallRng;
         let mut p = BlockSizePredictor::new(PredictorConfig::paper_default());
         let mut rng = SmallRng::seed_from_u64(3);
-        let before = p.counters.clone();
+        let before = p.table.clone();
         p.upset_counter(&mut rng);
         let changed: Vec<usize> = (0..before.len())
-            .filter(|&i| p.counters[i] != before[i])
+            .filter(|&i| p.table[i] != before[i])
             .collect();
         assert_eq!(changed.len(), 1, "exactly one counter changes");
         let i = changed[0];
-        assert_eq!((p.counters[i] ^ before[i]).count_ones(), 1);
-        assert!(p.trained[i], "the upset group becomes observable");
+        assert_eq!(((p.table[i] ^ before[i]) & COUNTER).count_ones(), 1);
+        assert!(
+            p.table[i] & TRAINED != 0,
+            "the upset group becomes observable"
+        );
     }
 
     #[test]

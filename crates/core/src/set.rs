@@ -19,25 +19,6 @@ pub struct WayRef {
     pub index: u8,
 }
 
-/// A resident big block.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct BigWay {
-    tag: u64,
-    /// Bit per 64 B sub-block the CPU touched.
-    referenced: u16,
-    /// Bit per dirty 64 B sub-block.
-    dirty: u16,
-}
-
-/// A resident small block.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct SmallWay {
-    tag: u64,
-    /// Which sub-block of the big-block-aligned region this is.
-    sub_block: u8,
-    dirty: bool,
-}
-
 /// An evicted block, reported so the controller can write back dirty data,
 /// invalidate the way locator, train the predictor and account waste.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,13 +72,31 @@ pub struct InsertOutcome {
 }
 
 /// One bi-modal set.
+///
+/// Way metadata is stored structure-of-arrays: the tag probe — the
+/// hottest loop in the whole simulator — scans a dense `u64` array with
+/// occupancy tested against a bitmask, instead of striding over
+/// `Option<struct>` slots whose discriminants and cold fields (masks,
+/// sub-block ids) share the cache lines the tags live in.
 #[derive(Debug, Clone)]
 pub struct BiModalSet {
     state: SetState,
     base_assoc: u8,
     ratio: u8,
-    big: Vec<Option<BigWay>>,
-    small: Vec<Option<SmallWay>>,
+    /// Occupancy bitmask over big ways (bit `i` = big way `i` holds data).
+    big_valid: u64,
+    big_tag: Vec<u64>,
+    /// Bit per 64 B sub-block the CPU touched, per big way.
+    big_ref: Vec<u16>,
+    /// Bit per dirty 64 B sub-block, per big way.
+    big_dirty: Vec<u16>,
+    /// Occupancy bitmask over small ways.
+    small_valid: u64,
+    /// Dirty bitmask over small ways.
+    small_dirty: u64,
+    small_tag: Vec<u64>,
+    /// Which sub-block of the big-block-aligned region each small way is.
+    small_sub: Vec<u8>,
 }
 
 impl BiModalSet {
@@ -108,12 +107,22 @@ impl BiModalSet {
         let ratio = u8::try_from(geometry.sub_blocks()).expect("ratio fits u8");
         // The most-small allowed state is (B/2, (B - B/2) * ratio).
         let max_small = usize::from(b - b / 2) * usize::from(ratio);
+        assert!(
+            usize::from(b) <= 64 && max_small <= 64,
+            "way occupancy masks hold at most 64 ways per kind"
+        );
         BiModalSet {
             state: SetState { big: b, small: 0 },
             base_assoc: b,
             ratio,
-            big: vec![None; usize::from(b)],
-            small: vec![None; max_small],
+            big_valid: 0,
+            big_tag: vec![0; usize::from(b)],
+            big_ref: vec![0; usize::from(b)],
+            big_dirty: vec![0; usize::from(b)],
+            small_valid: 0,
+            small_dirty: 0,
+            small_tag: vec![0; max_small],
+            small_sub: vec![0; max_small],
         }
     }
 
@@ -123,30 +132,29 @@ impl BiModalSet {
         self.state
     }
 
+    #[inline]
+    fn big_occupied(&self, i: usize) -> bool {
+        self.big_valid & (1 << i) != 0
+    }
+
+    #[inline]
+    fn small_occupied(&self, i: usize) -> bool {
+        self.small_valid & (1 << i) != 0
+    }
+
     /// Finds the resident block servicing `(tag, sub_block)`, if any.
     #[must_use]
     pub fn lookup(&self, tag: u64, sub_block: u8) -> Option<WayRef> {
-        for (i, w) in self
-            .big
-            .iter()
-            .take(usize::from(self.state.big))
-            .enumerate()
-        {
-            if w.as_ref().is_some_and(|b| b.tag == tag) {
+        for i in 0..usize::from(self.state.big) {
+            if self.big_occupied(i) && self.big_tag[i] == tag {
                 return Some(WayRef {
                     size: BlockSize::Big,
                     index: i as u8,
                 });
             }
         }
-        for (i, w) in self
-            .small
-            .iter()
-            .take(usize::from(self.state.small))
-            .enumerate()
-        {
-            if w.as_ref()
-                .is_some_and(|s| s.tag == tag && s.sub_block == sub_block)
+        for i in 0..usize::from(self.state.small) {
+            if self.small_occupied(i) && self.small_tag[i] == tag && self.small_sub[i] == sub_block
             {
                 return Some(WayRef {
                     size: BlockSize::Small,
@@ -165,22 +173,19 @@ impl BiModalSet {
     /// Panics if `way` does not refer to an occupied way (a locator hit
     /// that bypassed `lookup` must still reference a real block).
     pub fn touch(&mut self, way: WayRef, sub_block: u8, write: bool) {
+        let i = usize::from(way.index);
         match way.size {
             BlockSize::Big => {
-                let b = self.big[usize::from(way.index)]
-                    .as_mut()
-                    .expect("touch of an empty big way");
-                b.referenced |= 1u16 << sub_block;
+                assert!(self.big_occupied(i), "touch of an empty big way");
+                self.big_ref[i] |= 1u16 << sub_block;
                 if write {
-                    b.dirty |= 1u16 << sub_block;
+                    self.big_dirty[i] |= 1u16 << sub_block;
                 }
             }
             BlockSize::Small => {
-                let s = self.small[usize::from(way.index)]
-                    .as_mut()
-                    .expect("touch of an empty small way");
+                assert!(self.small_occupied(i), "touch of an empty small way");
                 if write {
-                    s.dirty = true;
+                    self.small_dirty |= 1 << i;
                 }
             }
         }
@@ -189,9 +194,12 @@ impl BiModalSet {
     /// Tag stored in `way`, with its sub-block for small ways.
     #[must_use]
     pub fn way_tag(&self, way: WayRef) -> Option<(u64, u8)> {
+        let i = usize::from(way.index);
         match way.size {
-            BlockSize::Big => self.big[usize::from(way.index)].map(|b| (b.tag, 0)),
-            BlockSize::Small => self.small[usize::from(way.index)].map(|s| (s.tag, s.sub_block)),
+            BlockSize::Big => self.big_occupied(i).then(|| (self.big_tag[i], 0)),
+            BlockSize::Small => self
+                .small_occupied(i)
+                .then(|| (self.small_tag[i], self.small_sub[i])),
         }
     }
 
@@ -214,6 +222,34 @@ impl BiModalSet {
         }
     }
 
+    /// Removes the small block in slot `i`, returning it as a victim.
+    /// Caller must have checked occupancy.
+    fn take_small(&mut self, i: usize) -> Victim {
+        let dirty = self.small_dirty & (1 << i) != 0;
+        self.small_valid &= !(1 << i);
+        self.small_dirty &= !(1 << i);
+        Victim {
+            size: BlockSize::Small,
+            tag: self.small_tag[i],
+            sub_block: self.small_sub[i],
+            dirty_mask: u16::from(dirty),
+            referenced_mask: 1,
+        }
+    }
+
+    /// Removes the big block in slot `i`, returning it as a victim.
+    /// Caller must have checked occupancy.
+    fn take_big(&mut self, i: usize) -> Victim {
+        self.big_valid &= !(1 << i);
+        Victim {
+            size: BlockSize::Big,
+            tag: self.big_tag[i],
+            sub_block: 0,
+            dirty_mask: self.big_dirty[i],
+            referenced_mask: self.big_ref[i],
+        }
+    }
+
     fn insert_big(
         &mut self,
         tag: u64,
@@ -226,15 +262,14 @@ impl BiModalSet {
         // Absorb any resident small blocks of the same region: their data
         // is newer than memory, so merge their dirty state instead of
         // refetching it.
-        for slot in self.small.iter_mut().take(usize::from(self.state.small)) {
-            if let Some(s) = *slot {
-                if s.tag == tag {
-                    referenced |= 1u16 << s.sub_block;
-                    if s.dirty {
-                        absorbed_dirty |= 1u16 << s.sub_block;
-                    }
-                    *slot = None;
+        for i in 0..usize::from(self.state.small) {
+            if self.small_occupied(i) && self.small_tag[i] == tag {
+                referenced |= 1u16 << self.small_sub[i];
+                if self.small_dirty & (1 << i) != 0 {
+                    absorbed_dirty |= 1u16 << self.small_sub[i];
                 }
+                self.small_valid &= !(1 << i);
+                self.small_dirty &= !(1 << i);
             }
         }
 
@@ -244,14 +279,9 @@ impl BiModalSet {
             // highest-numbered small ways and grow the big quota.
             let new_small = self.state.small - self.ratio;
             for j in (usize::from(new_small)..usize::from(self.state.small)).rev() {
-                if let Some(s) = self.small[j].take() {
-                    evicted.push(Victim {
-                        size: BlockSize::Small,
-                        tag: s.tag,
-                        sub_block: s.sub_block,
-                        dirty_mask: u16::from(s.dirty),
-                        referenced_mask: 1,
-                    });
+                if self.small_occupied(j) {
+                    let v = self.take_small(j);
+                    evicted.push(v);
                 }
             }
             let idx = self.state.big;
@@ -263,31 +293,23 @@ impl BiModalSet {
             idx
         } else {
             // Replace (or fill) a big way.
-            let limit = usize::from(self.state.big);
-            match self.big.iter().take(limit).position(Option::is_none) {
-                Some(empty) => empty as u8,
+            let limit = self.state.big;
+            match (0..limit).find(|&i| !self.big_occupied(usize::from(i))) {
+                Some(empty) => empty,
                 None => {
                     let victim_idx = pick(self.state.big);
                     assert!(victim_idx < self.state.big, "picked big way out of range");
-                    let old = self.big[usize::from(victim_idx)]
-                        .take()
-                        .expect("occupied big way");
-                    evicted.push(Victim {
-                        size: BlockSize::Big,
-                        tag: old.tag,
-                        sub_block: 0,
-                        dirty_mask: old.dirty,
-                        referenced_mask: old.referenced,
-                    });
+                    let v = self.take_big(usize::from(victim_idx));
+                    evicted.push(v);
                     victim_idx
                 }
             }
         };
-        self.big[usize::from(way_index)] = Some(BigWay {
-            tag,
-            referenced,
-            dirty: absorbed_dirty,
-        });
+        let i = usize::from(way_index);
+        self.big_valid |= 1 << i;
+        self.big_tag[i] = tag;
+        self.big_ref[i] = referenced;
+        self.big_dirty[i] = absorbed_dirty;
         InsertOutcome {
             way: WayRef {
                 size: BlockSize::Big,
@@ -308,11 +330,8 @@ impl BiModalSet {
         pick: &mut dyn FnMut(u8) -> u8,
     ) -> InsertOutcome {
         debug_assert!(
-            !self
-                .big
-                .iter()
-                .take(usize::from(self.state.big))
-                .any(|w| w.as_ref().is_some_and(|b| b.tag == tag)),
+            !(0..usize::from(self.state.big))
+                .any(|i| self.big_occupied(i) && self.big_tag[i] == tag),
             "inserting a small block shadowed by a resident big block"
         );
         let mut evicted = Vec::new();
@@ -322,14 +341,9 @@ impl BiModalSet {
             // Table II, row "X_s > X_glob / predicted small": evict the
             // highest-numbered big way, converting its space to small ways.
             let big_idx = usize::from(self.state.big) - 1;
-            if let Some(old) = self.big[big_idx].take() {
-                evicted.push(Victim {
-                    size: BlockSize::Big,
-                    tag: old.tag,
-                    sub_block: 0,
-                    dirty_mask: old.dirty,
-                    referenced_mask: old.referenced,
-                });
+            if self.big_occupied(big_idx) {
+                let v = self.take_big(big_idx);
+                evicted.push(v);
             }
             self.state = SetState {
                 big: self.state.big - 1,
@@ -349,33 +363,25 @@ impl BiModalSet {
             return out;
         }
 
-        let limit = usize::from(self.state.small);
-        let way_index = match self.small.iter().take(limit).position(Option::is_none) {
-            Some(empty) => empty as u8,
+        let limit = self.state.small;
+        let way_index = match (0..limit).find(|&i| !self.small_occupied(usize::from(i))) {
+            Some(empty) => empty,
             None => {
                 let victim_idx = pick(self.state.small);
                 assert!(
                     victim_idx < self.state.small,
                     "picked small way out of range"
                 );
-                let old = self.small[usize::from(victim_idx)]
-                    .take()
-                    .expect("occupied small way");
-                evicted.push(Victim {
-                    size: BlockSize::Small,
-                    tag: old.tag,
-                    sub_block: old.sub_block,
-                    dirty_mask: u16::from(old.dirty),
-                    referenced_mask: 1,
-                });
+                let v = self.take_small(usize::from(victim_idx));
+                evicted.push(v);
                 victim_idx
             }
         };
-        self.small[usize::from(way_index)] = Some(SmallWay {
-            tag,
-            sub_block,
-            dirty: false,
-        });
+        let i = usize::from(way_index);
+        self.small_valid |= 1 << i;
+        self.small_dirty &= !(1 << i);
+        self.small_tag[i] = tag;
+        self.small_sub[i] = sub_block;
         InsertOutcome {
             way: WayRef {
                 size: BlockSize::Small,
@@ -393,28 +399,27 @@ impl BiModalSet {
     #[must_use]
     pub fn residents(&self) -> Vec<Victim> {
         let mut v = Vec::new();
-        for w in self.big.iter().take(usize::from(self.state.big)).flatten() {
-            v.push(Victim {
-                size: BlockSize::Big,
-                tag: w.tag,
-                sub_block: 0,
-                dirty_mask: w.dirty,
-                referenced_mask: w.referenced,
-            });
+        for i in 0..usize::from(self.state.big) {
+            if self.big_occupied(i) {
+                v.push(Victim {
+                    size: BlockSize::Big,
+                    tag: self.big_tag[i],
+                    sub_block: 0,
+                    dirty_mask: self.big_dirty[i],
+                    referenced_mask: self.big_ref[i],
+                });
+            }
         }
-        for s in self
-            .small
-            .iter()
-            .take(usize::from(self.state.small))
-            .flatten()
-        {
-            v.push(Victim {
-                size: BlockSize::Small,
-                tag: s.tag,
-                sub_block: s.sub_block,
-                dirty_mask: u16::from(s.dirty),
-                referenced_mask: 1,
-            });
+        for i in 0..usize::from(self.state.small) {
+            if self.small_occupied(i) {
+                v.push(Victim {
+                    size: BlockSize::Small,
+                    tag: self.small_tag[i],
+                    sub_block: self.small_sub[i],
+                    dirty_mask: u16::from(self.small_dirty & (1 << i) != 0),
+                    referenced_mask: 1,
+                });
+            }
         }
         v
     }
@@ -422,46 +427,29 @@ impl BiModalSet {
     /// Number of occupied ways (big + small).
     #[must_use]
     pub fn occupancy(&self) -> usize {
-        self.big
-            .iter()
-            .take(usize::from(self.state.big))
-            .flatten()
-            .count()
-            + self
-                .small
-                .iter()
-                .take(usize::from(self.state.small))
-                .flatten()
-                .count()
+        let big_mask = mask_below(self.state.big);
+        let small_mask = mask_below(self.state.small);
+        ((self.big_valid & big_mask).count_ones() + (self.small_valid & small_mask).count_ones())
+            as usize
     }
 
     /// Every occupied way in the current state, big ways first.
     #[must_use]
     pub fn occupied_ways(&self) -> Vec<WayRef> {
         let mut ways = Vec::new();
-        for (i, w) in self
-            .big
-            .iter()
-            .take(usize::from(self.state.big))
-            .enumerate()
-        {
-            if w.is_some() {
+        for i in 0..self.state.big {
+            if self.big_occupied(usize::from(i)) {
                 ways.push(WayRef {
                     size: BlockSize::Big,
-                    index: i as u8,
+                    index: i,
                 });
             }
         }
-        for (i, w) in self
-            .small
-            .iter()
-            .take(usize::from(self.state.small))
-            .enumerate()
-        {
-            if w.is_some() {
+        for i in 0..self.state.small {
+            if self.small_occupied(usize::from(i)) {
                 ways.push(WayRef {
                     size: BlockSize::Small,
-                    index: i as u8,
+                    index: i,
                 });
             }
         }
@@ -472,16 +460,17 @@ impl BiModalSet {
     /// bit flip. Returns the `(original, corrupted)` tag pair, or `None`
     /// when the way is empty.
     pub fn corrupt_tag(&mut self, way: WayRef, xor: u64) -> Option<(u64, u64)> {
+        let i = usize::from(way.index);
         match way.size {
-            BlockSize::Big => self.big[usize::from(way.index)].as_mut().map(|b| {
-                let orig = b.tag;
-                b.tag ^= xor;
-                (orig, b.tag)
+            BlockSize::Big => self.big_occupied(i).then(|| {
+                let orig = self.big_tag[i];
+                self.big_tag[i] ^= xor;
+                (orig, self.big_tag[i])
             }),
-            BlockSize::Small => self.small[usize::from(way.index)].as_mut().map(|s| {
-                let orig = s.tag;
-                s.tag ^= xor;
-                (orig, s.tag)
+            BlockSize::Small => self.small_occupied(i).then(|| {
+                let orig = self.small_tag[i];
+                self.small_tag[i] ^= xor;
+                (orig, self.small_tag[i])
             }),
         }
     }
@@ -489,21 +478,10 @@ impl BiModalSet {
     /// Removes the block in `way`, returning it as a victim (used when ECC
     /// detects an uncorrectable metadata error). `None` when already empty.
     pub fn invalidate_way(&mut self, way: WayRef) -> Option<Victim> {
+        let i = usize::from(way.index);
         match way.size {
-            BlockSize::Big => self.big[usize::from(way.index)].take().map(|b| Victim {
-                size: BlockSize::Big,
-                tag: b.tag,
-                sub_block: 0,
-                dirty_mask: b.dirty,
-                referenced_mask: b.referenced,
-            }),
-            BlockSize::Small => self.small[usize::from(way.index)].take().map(|s| Victim {
-                size: BlockSize::Small,
-                tag: s.tag,
-                sub_block: s.sub_block,
-                dirty_mask: u16::from(s.dirty),
-                referenced_mask: 1,
-            }),
+            BlockSize::Big => self.big_occupied(i).then(|| self.take_big(i)),
+            BlockSize::Small => self.small_occupied(i).then(|| self.take_small(i)),
         }
     }
 
@@ -511,55 +489,27 @@ impl BiModalSet {
     /// (used to detect sparse-filled regions that turn out spatial).
     #[must_use]
     pub fn small_sibling_count(&self, tag: u64) -> u32 {
-        self.small
-            .iter()
-            .take(usize::from(self.state.small))
-            .flatten()
-            .filter(|s| s.tag == tag)
+        (0..usize::from(self.state.small))
+            .filter(|&i| self.small_occupied(i) && self.small_tag[i] == tag)
             .count() as u32
     }
 
     /// Referenced-mask of the big way holding `tag`, if resident.
     #[must_use]
     pub fn big_utilization(&self, tag: u64) -> Option<u16> {
-        self.big
-            .iter()
-            .take(usize::from(self.state.big))
-            .flatten()
-            .find(|b| b.tag == tag)
-            .map(|b| b.referenced)
+        (0..usize::from(self.state.big))
+            .find(|&i| self.big_occupied(i) && self.big_tag[i] == tag)
+            .map(|i| self.big_ref[i])
     }
 }
 
-impl bimodal_ckpt::Snapshot for BigWay {
-    fn save(&self, w: &mut bimodal_ckpt::SnapshotWriter) {
-        w.u64(self.tag);
-        w.u16(self.referenced);
-        w.u16(self.dirty);
-    }
-
-    fn load(r: &mut bimodal_ckpt::SnapshotReader<'_>) -> Result<Self, bimodal_ckpt::CkptError> {
-        Ok(BigWay {
-            tag: r.u64()?,
-            referenced: r.u16()?,
-            dirty: r.u16()?,
-        })
-    }
-}
-
-impl bimodal_ckpt::Snapshot for SmallWay {
-    fn save(&self, w: &mut bimodal_ckpt::SnapshotWriter) {
-        w.u64(self.tag);
-        w.u8(self.sub_block);
-        w.bool(self.dirty);
-    }
-
-    fn load(r: &mut bimodal_ckpt::SnapshotReader<'_>) -> Result<Self, bimodal_ckpt::CkptError> {
-        Ok(SmallWay {
-            tag: r.u64()?,
-            sub_block: r.u8()?,
-            dirty: r.bool()?,
-        })
+/// Bitmask selecting way slots `0..n` (`n <= 64`).
+#[inline]
+fn mask_below(n: u8) -> u64 {
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
     }
 }
 
@@ -568,28 +518,44 @@ impl bimodal_ckpt::Snapshot for BiModalSet {
         self.state.save(w);
         w.u8(self.base_assoc);
         w.u8(self.ratio);
-        self.big.save(w);
-        self.small.save(w);
+        w.u64(self.big_valid);
+        self.big_tag.save(w);
+        self.big_ref.save(w);
+        self.big_dirty.save(w);
+        w.u64(self.small_valid);
+        w.u64(self.small_dirty);
+        self.small_tag.save(w);
+        self.small_sub.save(w);
     }
 
     fn load(r: &mut bimodal_ckpt::SnapshotReader<'_>) -> Result<Self, bimodal_ckpt::CkptError> {
         let state: SetState = bimodal_ckpt::Snapshot::load(r)?;
         let base_assoc = r.u8()?;
         let ratio = r.u8()?;
-        let big: Vec<Option<BigWay>> = bimodal_ckpt::Snapshot::load(r)?;
-        let small: Vec<Option<SmallWay>> = bimodal_ckpt::Snapshot::load(r)?;
+        let big_valid = r.u64()?;
+        let big_tag: Vec<u64> = bimodal_ckpt::Snapshot::load(r)?;
+        let big_ref: Vec<u16> = bimodal_ckpt::Snapshot::load(r)?;
+        let big_dirty: Vec<u16> = bimodal_ckpt::Snapshot::load(r)?;
+        let small_valid = r.u64()?;
+        let small_dirty = r.u64()?;
+        let small_tag: Vec<u64> = bimodal_ckpt::Snapshot::load(r)?;
+        let small_sub: Vec<u8> = bimodal_ckpt::Snapshot::load(r)?;
         let max_small = usize::from(base_assoc - base_assoc / 2) * usize::from(ratio);
         if state.big > base_assoc
-            || big.len() != usize::from(base_assoc)
-            || small.len() != max_small
+            || big_tag.len() != usize::from(base_assoc)
+            || big_ref.len() != big_tag.len()
+            || big_dirty.len() != big_tag.len()
+            || small_tag.len() != max_small
+            || small_sub.len() != max_small
+            || max_small > 64
         {
             return Err(r.corrupt(format!(
                 "inconsistent set shape: state ({}, {}), {} big / {} small slots for \
                  associativity {}",
                 state.big,
                 state.small,
-                big.len(),
-                small.len(),
+                big_tag.len(),
+                small_tag.len(),
                 base_assoc
             )));
         }
@@ -597,8 +563,14 @@ impl bimodal_ckpt::Snapshot for BiModalSet {
             state,
             base_assoc,
             ratio,
-            big,
-            small,
+            big_valid,
+            big_tag,
+            big_ref,
+            big_dirty,
+            small_valid,
+            small_dirty,
+            small_tag,
+            small_sub,
         })
     }
 }

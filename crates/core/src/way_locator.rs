@@ -80,12 +80,10 @@ pub struct WayLocatorEntry {
     pub way: u8,
 }
 
-#[derive(Debug, Clone, Copy, Default)]
-struct Slot {
-    entry: Option<WayLocatorEntry>,
-    /// Higher = more recently used (within the 2-entry index).
-    lru: u8,
-}
+/// Entry slot `e` holds a resident entry.
+const F_VALID: u8 = 1;
+/// Entry slot `e` locates a big block.
+const F_BIG: u8 = 2;
 
 /// The way locator table with hit/miss statistics.
 ///
@@ -101,10 +99,24 @@ struct Slot {
 /// assert_eq!(wl.lookup(0x4000 + 448).map(|e| e.way), Some(2));
 /// assert!(wl.lookup(0x9000).is_none());
 /// ```
+/// Stored structure-of-arrays: the probe compares dense `u64` keys and a
+/// one-byte flag; the way/sub-block payload bytes are only touched on a
+/// match. Entries of index `i` live at positions `2*i` and `2*i + 1`.
 #[derive(Debug, Clone)]
 pub struct WayLocator {
     config: WayLocatorConfig,
-    slots: Vec<[Slot; 2]>,
+    /// Remaining set-index/tag bits, one per entry (2 per index).
+    keys: Vec<u64>,
+    /// `F_VALID` / `F_BIG` flag bits, one per entry.
+    flags: Vec<u8>,
+    /// Way id, one per entry.
+    ways: Vec<u8>,
+    /// Sub-block, one per entry.
+    subs: Vec<u8>,
+    /// Which of the two entries at each index is MRU (the other is the
+    /// replacement victim). `1` on a fresh index: the legacy AoS layout
+    /// victimized slot 0 when neither entry had ever been touched.
+    mru: Vec<u8>,
     hits: u64,
     misses: u64,
 }
@@ -116,10 +128,46 @@ impl WayLocator {
         let n = 1usize << config.index_bits;
         WayLocator {
             config,
-            slots: vec![[Slot::default(); 2]; n],
+            keys: vec![0; 2 * n],
+            flags: vec![0; 2 * n],
+            ways: vec![0; 2 * n],
+            subs: vec![0; 2 * n],
+            mru: vec![1; n],
             hits: 0,
             misses: 0,
         }
+    }
+
+    fn entry_at(&self, e: usize) -> WayLocatorEntry {
+        WayLocatorEntry {
+            key: self.keys[e],
+            size: if self.flags[e] & F_BIG != 0 {
+                BlockSize::Big
+            } else {
+                BlockSize::Small
+            },
+            sub_block: self.subs[e],
+            way: self.ways[e],
+        }
+    }
+
+    fn set_entry(&mut self, e: usize, entry: WayLocatorEntry) {
+        self.keys[e] = entry.key;
+        self.flags[e] = F_VALID
+            | if entry.size == BlockSize::Big {
+                F_BIG
+            } else {
+                0
+            };
+        self.ways[e] = entry.way;
+        self.subs[e] = entry.sub_block;
+    }
+
+    #[inline]
+    fn entry_matches(&self, e: usize, key: u64, sub: u8) -> bool {
+        self.flags[e] & F_VALID != 0
+            && self.keys[e] == key
+            && (self.flags[e] & F_BIG != 0 || self.subs[e] == sub)
     }
 
     /// The configuration in use.
@@ -146,23 +194,17 @@ impl WayLocator {
         u8::try_from((addr >> 6) & ((1 << sub_bits) - 1)).expect("sub-block bits fit u8")
     }
 
-    fn matches(&self, e: &WayLocatorEntry, key: u64, sub: u8) -> bool {
-        e.key == key && (e.size == BlockSize::Big || e.sub_block == sub)
-    }
-
     /// Looks up `addr`, recording a hit or miss and refreshing recency.
     pub fn lookup(&mut self, addr: u64) -> Option<WayLocatorEntry> {
         let idx = self.index_of(addr);
         let key = self.key_of(addr);
         let sub = self.sub_block_of(addr);
         for w in 0..2 {
-            if let Some(e) = self.slots[idx][w].entry {
-                if self.matches(&e, key, sub) {
-                    self.hits += 1;
-                    self.slots[idx][w].lru = 1;
-                    self.slots[idx][1 - w].lru = 0;
-                    return Some(e);
-                }
+            let e = 2 * idx + w;
+            if self.entry_matches(e, key, sub) {
+                self.hits += 1;
+                self.mru[idx] = w as u8;
+                return Some(self.entry_at(e));
             }
         }
         self.misses += 1;
@@ -176,10 +218,10 @@ impl WayLocator {
         let idx = self.index_of(addr);
         let key = self.key_of(addr);
         let sub = self.sub_block_of(addr);
-        self.slots[idx]
-            .iter()
-            .filter_map(|s| s.entry)
-            .find(|e| self.matches(e, key, sub))
+        (0..2)
+            .map(|w| 2 * idx + w)
+            .find(|&e| self.entry_matches(e, key, sub))
+            .map(|e| self.entry_at(e))
     }
 
     /// Records the location of the block containing `addr`, replacing the
@@ -196,28 +238,18 @@ impl WayLocator {
         };
         // Update in place if already present.
         for w in 0..2 {
-            if let Some(e) = self.slots[idx][w].entry {
-                if self.matches(&e, key, sub) {
-                    self.slots[idx][w].entry = Some(entry);
-                    self.slots[idx][w].lru = 1;
-                    self.slots[idx][1 - w].lru = 0;
-                    return;
-                }
+            if self.entry_matches(2 * idx + w, key, sub) {
+                self.set_entry(2 * idx + w, entry);
+                self.mru[idx] = w as u8;
+                return;
             }
         }
         // Otherwise fill an empty slot or evict the LRU one.
         let victim = (0..2)
-            .find(|&w| self.slots[idx][w].entry.is_none())
-            .unwrap_or_else(|| {
-                if self.slots[idx][0].lru <= self.slots[idx][1].lru {
-                    0
-                } else {
-                    1
-                }
-            });
-        self.slots[idx][victim].entry = Some(entry);
-        self.slots[idx][victim].lru = 1;
-        self.slots[idx][1 - victim].lru = 0;
+            .find(|&w| self.flags[2 * idx + w] & F_VALID == 0)
+            .unwrap_or_else(|| usize::from(1 - self.mru[idx]));
+        self.set_entry(2 * idx + victim, entry);
+        self.mru[idx] = victim as u8;
     }
 
     /// Removes the entry for the block containing `addr` (called when the
@@ -226,14 +258,15 @@ impl WayLocator {
         let idx = self.index_of(addr);
         let key = self.key_of(addr);
         let sub = self.sub_block_of(addr);
+        let size_flag = if size == BlockSize::Big { F_BIG } else { 0 };
         for w in 0..2 {
-            if let Some(e) = self.slots[idx][w].entry {
-                let matches = e.key == key
-                    && e.size == size
-                    && (size == BlockSize::Big || e.sub_block == sub);
-                if matches {
-                    self.slots[idx][w].entry = None;
-                }
+            let e = 2 * idx + w;
+            let matches = self.flags[e] & F_VALID != 0
+                && self.keys[e] == key
+                && self.flags[e] & F_BIG == size_flag
+                && (size == BlockSize::Big || self.subs[e] == sub);
+            if matches {
+                self.flags[e] = 0;
             }
         }
     }
@@ -246,24 +279,15 @@ impl WayLocator {
     /// would make the entry miss (a pure perf event), whereas a wrong way
     /// id is the dangerous case the self-healing verify step must catch.
     pub fn corrupt_random_way(&mut self, rng: &mut bimodal_prng::SmallRng) -> bool {
-        let occupied: Vec<(usize, usize)> = self
-            .slots
-            .iter()
-            .enumerate()
-            .flat_map(|(i, pair)| {
-                (0..2)
-                    .filter(move |&w| pair[w].entry.is_some())
-                    .map(move |w| (i, w))
-            })
+        let occupied: Vec<usize> = (0..self.flags.len())
+            .filter(|&e| self.flags[e] & F_VALID != 0)
             .collect();
         if occupied.is_empty() {
             return false;
         }
-        let (idx, w) = occupied[rng.gen_range(0..occupied.len())];
+        let e = occupied[rng.gen_range(0..occupied.len())];
         let xor = rng.gen_range(1u8..32);
-        if let Some(e) = self.slots[idx][w].entry.as_mut() {
-            e.way = (e.way ^ xor) & 0x1F;
-        }
+        self.ways[e] = (self.ways[e] ^ xor) & 0x1F;
         true
     }
 
@@ -323,30 +347,17 @@ impl bimodal_ckpt::Snapshot for WayLocatorEntry {
     }
 }
 
-impl bimodal_ckpt::Snapshot for Slot {
-    fn save(&self, w: &mut bimodal_ckpt::SnapshotWriter) {
-        self.entry.save(w);
-        w.u8(self.lru);
-    }
-
-    fn load(r: &mut bimodal_ckpt::SnapshotReader<'_>) -> Result<Self, bimodal_ckpt::CkptError> {
-        Ok(Slot {
-            entry: bimodal_ckpt::Snapshot::load(r)?,
-            lru: r.u8()?,
-        })
-    }
-}
-
 impl WayLocator {
     /// Serializes the table contents and hit/miss counters (the
     /// configuration is rebuilt from the experiment setup).
     pub fn save_state(&self, w: &mut bimodal_ckpt::SnapshotWriter) {
         use bimodal_ckpt::Snapshot;
-        w.usize(self.slots.len());
-        for pair in &self.slots {
-            pair[0].save(w);
-            pair[1].save(w);
-        }
+        w.usize(self.mru.len());
+        self.keys.save(w);
+        self.flags.save(w);
+        self.ways.save(w);
+        self.subs.save(w);
+        self.mru.save(w);
         w.u64(self.hits);
         w.u64(self.misses);
     }
@@ -359,19 +370,30 @@ impl WayLocator {
     ) -> Result<(), bimodal_ckpt::CkptError> {
         use bimodal_ckpt::Snapshot;
         let n = r.bounded_len()?;
-        if n != self.slots.len() {
+        if n != self.mru.len() {
             return Err(r.corrupt(format!(
                 "way locator has {n} indices in checkpoint, {} configured",
-                self.slots.len()
+                self.mru.len()
             )));
         }
-        let mut slots = Vec::with_capacity(n.min(1 << 20));
-        for _ in 0..n {
-            let a: Slot = Snapshot::load(r)?;
-            let b: Slot = Snapshot::load(r)?;
-            slots.push([a, b]);
+        let keys: Vec<u64> = Snapshot::load(r)?;
+        let flags: Vec<u8> = Snapshot::load(r)?;
+        let ways: Vec<u8> = Snapshot::load(r)?;
+        let subs: Vec<u8> = Snapshot::load(r)?;
+        let mru: Vec<u8> = Snapshot::load(r)?;
+        if keys.len() != 2 * n
+            || flags.len() != 2 * n
+            || ways.len() != 2 * n
+            || subs.len() != 2 * n
+            || mru.len() != n
+        {
+            return Err(r.corrupt("way locator arrays disagree on entry count"));
         }
-        self.slots = slots;
+        self.keys = keys;
+        self.flags = flags;
+        self.ways = ways;
+        self.subs = subs;
+        self.mru = mru;
         self.hits = r.u64()?;
         self.misses = r.u64()?;
         Ok(())

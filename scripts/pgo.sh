@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Profile-guided-optimization release pipeline for the bimodal binary.
+#
+#   scripts/pgo.sh [--quick]
+#
+# Stages:
+#   1. build an instrumented release binary (-Cprofile-generate)
+#   2. run representative workloads (every scheme on the standard Q-mix
+#      compare, a single bimodal run, and the block-size sweep) to
+#      collect profiles
+#   3. merge the raw profiles with llvm-profdata
+#   4. rebuild with -Cprofile-use
+#   5. assert the PGO binary's run report is byte-identical to the plain
+#      release binary's (PGO must change codegen, never results)
+#
+# The final binary lands at target/pgo/release/bimodal. The plain
+# release build in target/release is left untouched so the two can be
+# benchmarked side by side.
+#
+# If no llvm-profdata is available (neither the rustup llvm-tools
+# component nor a system LLVM), the script explains how to get one and
+# exits 0 so callers can treat PGO as best-effort.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+QUICK=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK=1 ;;
+    *) echo "usage: scripts/pgo.sh [--quick]" >&2; exit 2 ;;
+  esac
+done
+
+HOST=$(rustc -vV | sed -n 's/^host: //p')
+SYSROOT_TOOL="$(rustc --print sysroot)/lib/rustlib/${HOST}/bin/llvm-profdata"
+if [ -x "$SYSROOT_TOOL" ]; then
+  PROFDATA="$SYSROOT_TOOL"
+elif command -v llvm-profdata >/dev/null 2>&1; then
+  # A system llvm-profdata usually reads rustc's raw profiles fine; a
+  # major-version mismatch fails loudly at the merge step below.
+  PROFDATA=$(command -v llvm-profdata)
+else
+  echo "pgo: no llvm-profdata found (try: rustup component add llvm-tools)" >&2
+  echo "pgo: skipping — the plain release build is unaffected" >&2
+  exit 0
+fi
+echo "pgo: using $PROFDATA"
+
+PROF_DIR="target/pgo/profiles"
+rm -rf "$PROF_DIR" target/pgo/merged.profdata
+mkdir -p "$PROF_DIR"
+
+echo "pgo: [1/5] building instrumented binary..."
+RUSTFLAGS="-Cprofile-generate=$(pwd)/$PROF_DIR" \
+  cargo build --release --target-dir target/pgo-gen -q
+INST=target/pgo-gen/release/bimodal
+
+if [ "$QUICK" = 1 ]; then
+  CMP_ACCESSES=4000; RUN_ACCESSES=20000; SWEEP_ACCESSES=40000
+else
+  CMP_ACCESSES=20000; RUN_ACCESSES=200000; SWEEP_ACCESSES=300000
+fi
+
+echo "pgo: [2/5] collecting profiles (compare/run/sweep)..."
+"$INST" compare --mix Q3 --accesses "$CMP_ACCESSES" --cache-mb 8 \
+  --json target/pgo/train-compare.json >/dev/null
+"$INST" run --mix Q1 --scheme bimodal --accesses "$RUN_ACCESSES" \
+  --cache-mb 8 --json target/pgo/train-run.json >/dev/null
+"$INST" sweep --mix Q2 --accesses "$SWEEP_ACCESSES" \
+  --json target/pgo/train-sweep.json >/dev/null
+
+echo "pgo: [3/5] merging raw profiles..."
+if ! "$PROFDATA" merge -o target/pgo/merged.profdata "$PROF_DIR"; then
+  echo "pgo: llvm-profdata could not read the raw profiles — its LLVM" >&2
+  echo "pgo: version likely differs from rustc's (try: rustup component" >&2
+  echo "pgo: add llvm-tools, which installs a matching tool)" >&2
+  echo "pgo: skipping — the plain release build is unaffected" >&2
+  exit 0
+fi
+
+echo "pgo: [4/5] building PGO-optimized binary..."
+RUSTFLAGS="-Cprofile-use=$(pwd)/target/pgo/merged.profdata" \
+  cargo build --release --target-dir target/pgo -q
+PGO=target/pgo/release/bimodal
+
+echo "pgo: [5/5] asserting PGO output is byte-identical to plain release..."
+cargo build --release -q
+PLAIN=target/release/bimodal
+"$PLAIN" run --mix Q1 --scheme bimodal --accesses 20000 --cache-mb 4 \
+  --seed 7 --json target/pgo/check-plain.json >/dev/null
+"$PGO" run --mix Q1 --scheme bimodal --accesses 20000 --cache-mb 4 \
+  --seed 7 --json target/pgo/check-pgo.json >/dev/null
+"$PLAIN" diff target/pgo/check-plain.json target/pgo/check-pgo.json --exact
+"$PLAIN" compare --mix Q3 --accesses 4000 --json target/pgo/cmp-plain.json >/dev/null
+"$PGO" compare --mix Q3 --accesses 4000 --json target/pgo/cmp-pgo.json >/dev/null
+cmp target/pgo/cmp-plain.json target/pgo/cmp-pgo.json
+
+echo "pgo: done — optimized binary at $PGO"

@@ -334,6 +334,134 @@ fn sweep_is_byte_identical_across_jobs() {
     assert_jobs_byte_identical("sweep", &["sweep", "--mix", "Q2", "--accesses", "20000"]);
 }
 
+/// Runs `command` at `--shards 1`, `2`, and `4`, writing JSON to a temp
+/// file each time, and asserts all three documents are byte-identical:
+/// intra-run decode sharding must never change what a run reports.
+fn assert_shards_byte_identical(tag: &str, args: &[&str]) {
+    let dir = std::env::temp_dir();
+    let mut docs = Vec::new();
+    for shards in ["1", "2", "4"] {
+        let path = dir.join(format!(
+            "bimodal-{tag}-s{shards}-{}.json",
+            std::process::id()
+        ));
+        let out = bimodal()
+            .args(args)
+            .args(["--shards", shards, "--json", path.to_str().expect("utf8")])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "--shards {shards} stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        docs.push(std::fs::read(&path).expect("json written"));
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+    assert_eq!(
+        docs[0], docs[1],
+        "{tag}: --shards 2 JSON differs from serial"
+    );
+    assert_eq!(
+        docs[0], docs[2],
+        "{tag}: --shards 4 JSON differs from serial"
+    );
+}
+
+#[test]
+fn run_is_report_identical_across_shards() {
+    // `run` JSON embeds host wall-clock timings (obs.wall), which differ
+    // between any two invocations; the repo's identity gate for single
+    // runs is `diff --exact`, which strips exactly those sections.
+    let dir = std::env::temp_dir();
+    let mut paths = Vec::new();
+    for shards in ["1", "2", "4"] {
+        let path = dir.join(format!(
+            "bimodal-runsh-s{shards}-{}.json",
+            std::process::id()
+        ));
+        let out = bimodal()
+            .args([
+                "run",
+                "--mix",
+                "Q2",
+                "--scheme",
+                "bimodal",
+                "--accesses",
+                "1200",
+                "--cache-mb",
+                "4",
+                "--shards",
+                shards,
+                "--json",
+            ])
+            .arg(&path)
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "--shards {shards} stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        paths.push(path);
+    }
+    for sharded in &paths[1..] {
+        let out = bimodal()
+            .args(["diff", paths[0].to_str().expect("utf8")])
+            .arg(sharded)
+            .arg("--exact")
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "sharded run report drifted from serial: {}{}",
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    for p in paths {
+        std::fs::remove_file(p).expect("cleanup");
+    }
+}
+
+#[test]
+fn compare_is_byte_identical_across_shards() {
+    assert_shards_byte_identical(
+        "cmp-shards",
+        &[
+            "compare",
+            "--mix",
+            "Q2",
+            "--accesses",
+            "400",
+            "--cache-mb",
+            "4",
+        ],
+    );
+}
+
+#[test]
+fn shards_rejects_garbage() {
+    for bad in ["0", "-1", "many"] {
+        let out = bimodal()
+            .args([
+                "run",
+                "--mix",
+                "Q2",
+                "--scheme",
+                "bimodal",
+                "--accesses",
+                "100",
+                "--shards",
+                bad,
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(!out.status.success(), "--shards {bad} should be rejected");
+        assert!(String::from_utf8_lossy(&out.stderr).contains("--shards"));
+    }
+}
+
 #[test]
 fn inject_is_byte_identical_across_jobs() {
     assert_jobs_byte_identical(
