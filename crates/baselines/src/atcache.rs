@@ -343,6 +343,10 @@ impl DramCacheScheme for AtCache {
             span::add_cycles(SpanId::LocatorProbe, self.tag_cache_cycles);
             self.tag_cache_lookup(set_idx)
         };
+        // A fused tag+data substrate (TDRAM-style) only helps the DRAM
+        // tag-read path: the widened burst carries the candidate block, so
+        // a read hit after a tag-cache miss needs no second column access.
+        let fused = mem.fused_tag_data() && !tc_hit;
         let tags_checked = if tc_hit {
             self.stats.locator_hits += 1;
             self.stats.breakdown.sram += self.tag_cache_cycles;
@@ -354,7 +358,7 @@ impl DramCacheScheme for AtCache {
             mem.cache_dram.set_class(TrafficClass::MetadataRead);
             let t = mem.cache_dram.access(Request {
                 loc,
-                bytes: self.dram_tag_bytes(),
+                bytes: self.dram_tag_bytes() + if fused { self.config.block_bytes } else { 0 },
                 op: Op::Read,
                 arrival: access.now + self.tag_cache_cycles,
             });
@@ -393,17 +397,22 @@ impl DramCacheScheme for AtCache {
                     ..line
                 },
             );
-            mem.cache_dram.set_class(TrafficClass::DataHit);
-            let data = mem
-                .cache_dram
-                .column_access(loc, self.config.block_bytes, op, tags_checked);
-            self.stats.data_accesses += 1;
-            if data.row_event == RowEvent::Hit {
-                self.stats.data_row_hits += 1;
-            }
+            complete = if fused && op == Op::Read {
+                // Data rode the fused tag burst.
+                tags_checked
+            } else {
+                mem.cache_dram.set_class(TrafficClass::DataHit);
+                let data =
+                    mem.cache_dram
+                        .column_access(loc, self.config.block_bytes, op, tags_checked);
+                self.stats.data_accesses += 1;
+                if data.row_event == RowEvent::Hit {
+                    self.stats.data_row_hits += 1;
+                }
+                data.done
+            };
             self.stats.hits += 1;
             self.stats.big_hits += 1;
-            complete = data.done;
             self.stats.breakdown.dram_data += complete.saturating_sub(tags_checked);
         } else {
             let _span_fill = span::enter(SpanId::Fill);

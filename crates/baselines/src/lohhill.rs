@@ -275,12 +275,16 @@ impl DramCacheScheme for LohHillCache {
             .get_or_insert_with(|| RowMapper::new(mem.cache_dram.config()));
         let loc = mapper.location(set_idx);
 
-        // Compound access: activate the row, read the tag blocks.
+        // Compound access: activate the row, read the tag blocks. On a
+        // fused tag+data substrate (TDRAM-style) the burst also carries
+        // the candidate block, so a read hit needs no second access.
+        let fused = mem.fused_tag_data();
+        let tag_bytes = self.tag_read_bytes() + if fused { self.config.block_bytes } else { 0 };
         let span_tag = span::enter(SpanId::TagRead);
         mem.cache_dram.set_class(TrafficClass::MetadataRead);
         let tags = mem.cache_dram.access(Request {
             loc,
-            bytes: self.tag_read_bytes(),
+            bytes: tag_bytes,
             op: Op::Read,
             arrival: access.now,
         });
@@ -312,17 +316,22 @@ impl DramCacheScheme for LohHillCache {
                     ..line
                 },
             );
-            mem.cache_dram.set_class(TrafficClass::DataHit);
-            let data = mem
-                .cache_dram
-                .column_access(loc, self.config.block_bytes, op, tags_checked);
-            self.stats.data_accesses += 1;
-            if data.row_event == RowEvent::Hit {
-                self.stats.data_row_hits += 1;
-            }
+            complete = if fused && op == Op::Read {
+                // Data rode the fused tag burst.
+                tags_checked
+            } else {
+                mem.cache_dram.set_class(TrafficClass::DataHit);
+                let data =
+                    mem.cache_dram
+                        .column_access(loc, self.config.block_bytes, op, tags_checked);
+                self.stats.data_accesses += 1;
+                if data.row_event == RowEvent::Hit {
+                    self.stats.data_row_hits += 1;
+                }
+                data.done
+            };
             self.stats.hits += 1;
             self.stats.big_hits += 1;
-            complete = data.done;
             self.stats.breakdown.dram_tag += tags_checked.saturating_sub(access.now);
             self.stats.breakdown.dram_data += complete.saturating_sub(tags_checked);
         } else {

@@ -1087,10 +1087,16 @@ impl DramCacheScheme for BiModalCache {
         let set_ways = self.sets[usize::try_from(set_idx).expect("set fits usize")]
             .state()
             .ways();
+        // TDRAM-style substrates return tag+data in one burst: widen the
+        // tag read by the candidate block so a read hit needs no second
+        // column access (a miss pays the wasted wider burst).
+        let fused = mem.fused_tag_data();
+        let md_bytes = self.metadata.tag_read_bytes_for(set_ways)
+            + if fused { self.geometry.small_block } else { 0 };
         mem.cache_dram.set_class(TrafficClass::MetadataRead);
         let md_comp = mem.cache_dram.access(Request {
             loc: md_loc,
-            bytes: self.metadata.tag_read_bytes_for(set_ways),
+            bytes: md_bytes,
             op: Op::Read,
             arrival: tag_start,
         });
@@ -1120,15 +1126,22 @@ impl DramCacheScheme for BiModalCache {
 
         if let Some(way) = hit_way {
             // --------------------------- cache hit after DRAM tag check
-            let start = tags_checked.max(row_open);
-            mem.cache_dram.set_class(TrafficClass::DataHit);
-            let comp = mem
-                .cache_dram
-                .column_access(data_loc, self.geometry.small_block, op, start);
-            self.stats.data_accesses += 1;
-            if comp.row_event == RowEvent::Hit {
-                self.stats.data_row_hits += 1;
-            }
+            let done = if fused && op == Op::Read {
+                // The data block arrived in the fused tag burst; the hit
+                // completes as soon as the tags are compared.
+                tags_checked
+            } else {
+                let start = tags_checked.max(row_open);
+                mem.cache_dram.set_class(TrafficClass::DataHit);
+                let comp =
+                    mem.cache_dram
+                        .column_access(data_loc, self.geometry.small_block, op, start);
+                self.stats.data_accesses += 1;
+                if comp.row_event == RowEvent::Hit {
+                    self.stats.data_row_hits += 1;
+                }
+                comp.done
+            };
             let set = &mut self.sets[usize::try_from(set_idx).expect("set fits usize")];
             set.touch(way, sub, access.is_write());
             if let Some(wl) = self.way_locator.as_mut() {
@@ -1156,10 +1169,10 @@ impl DramCacheScheme for BiModalCache {
             }
             self.stats.breakdown.sram += self.wl_cycles;
             self.stats.breakdown.dram_tag += tags_checked.saturating_sub(tag_start);
-            self.stats.breakdown.dram_data += comp.done.saturating_sub(tags_checked);
-            self.stats.total_latency += comp.done.saturating_sub(access.now);
+            self.stats.breakdown.dram_data += done.saturating_sub(tags_checked);
+            self.stats.total_latency += done.saturating_sub(access.now);
             return AccessOutcome {
-                complete: comp.done,
+                complete: done,
                 hit: true,
                 offchip_bytes,
                 small_block: small,

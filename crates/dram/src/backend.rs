@@ -1,0 +1,242 @@
+//! Pluggable memory-substrate backends.
+//!
+//! The paper evaluates one substrate — a stacked-DRAM cache in front of
+//! DDR3 — but the follow-on literature re-asks its hit-rate/latency/
+//! bandwidth questions on other parts. A [`MemBackend`] describes how to
+//! build the stacked (cache) and off-chip (far-tier) modules for a given
+//! geometry, plus substrate-specific access behaviour; [`BackendKind`] is
+//! the closed registry the CLI, checkpoints, and reports name backends by.
+
+use crate::config::DramConfig;
+
+/// A memory substrate: how to build the two DRAM modules a
+/// [`crate::MemorySystem`] is made of, preserving the paper's per-core
+/// channel/bank geometry.
+pub trait MemBackend {
+    /// Stable name recorded in reports, checkpoint fingerprints, and
+    /// bench history keys.
+    fn name(&self) -> &'static str;
+
+    /// The stacked (cache) module for the given geometry.
+    fn stacked(&self, channels: u32, banks_per_channel: u32) -> DramConfig;
+
+    /// The off-chip (far-tier) module for the given geometry.
+    fn offchip(&self, channels: u32, ranks_per_channel: u32) -> DramConfig;
+
+    /// Whether the stacked part returns tag+data in a single burst
+    /// (TDRAM-style). Tag-in-DRAM schemes then widen the tag read by one
+    /// data block and skip the separate data column access on a read hit.
+    fn fused_tag_data(&self) -> bool {
+        false
+    }
+}
+
+/// The paper's substrate: Table IV stacked DRAM over DDR3-1600H.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Paper2014;
+
+impl MemBackend for Paper2014 {
+    fn name(&self) -> &'static str {
+        "paper2014"
+    }
+    fn stacked(&self, channels: u32, banks_per_channel: u32) -> DramConfig {
+        DramConfig::stacked(channels, banks_per_channel)
+    }
+    fn offchip(&self, channels: u32, ranks_per_channel: u32) -> DramConfig {
+        DramConfig::ddr3(channels, ranks_per_channel)
+    }
+}
+
+/// HBM2-class stack (twice the banks, tighter column timing) over the
+/// paper's DDR3 far tier.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Hbm2;
+
+impl MemBackend for Hbm2 {
+    fn name(&self) -> &'static str {
+        "hbm2"
+    }
+    fn stacked(&self, channels: u32, banks_per_channel: u32) -> DramConfig {
+        DramConfig::hbm2_stacked(channels, banks_per_channel)
+    }
+    fn offchip(&self, channels: u32, ranks_per_channel: u32) -> DramConfig {
+        DramConfig::ddr3(channels, ranks_per_channel)
+    }
+}
+
+/// The paper's stack over a DDR5-4800 far tier (double bus bandwidth,
+/// higher first-word latency).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ddr5;
+
+impl MemBackend for Ddr5 {
+    fn name(&self) -> &'static str {
+        "ddr5"
+    }
+    fn stacked(&self, channels: u32, banks_per_channel: u32) -> DramConfig {
+        DramConfig::stacked(channels, banks_per_channel)
+    }
+    fn offchip(&self, channels: u32, ranks_per_channel: u32) -> DramConfig {
+        DramConfig::ddr5(channels, ranks_per_channel)
+    }
+}
+
+/// The paper's stack over a slow 3DXPoint-like far tier with asymmetric
+/// read/write media latencies.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PcmFar;
+
+impl MemBackend for PcmFar {
+    fn name(&self) -> &'static str {
+        "pcm-far"
+    }
+    fn stacked(&self, channels: u32, banks_per_channel: u32) -> DramConfig {
+        DramConfig::stacked(channels, banks_per_channel)
+    }
+    fn offchip(&self, channels: u32, ranks_per_channel: u32) -> DramConfig {
+        DramConfig::pcm_far(channels, ranks_per_channel)
+    }
+}
+
+/// Tag-enhanced stack: the paper's parts, but the stacked module returns
+/// tag+data in one burst, collapsing the serialized hit probe.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Tdram;
+
+impl MemBackend for Tdram {
+    fn name(&self) -> &'static str {
+        "tdram"
+    }
+    fn stacked(&self, channels: u32, banks_per_channel: u32) -> DramConfig {
+        DramConfig::stacked(channels, banks_per_channel)
+    }
+    fn offchip(&self, channels: u32, ranks_per_channel: u32) -> DramConfig {
+        DramConfig::ddr3(channels, ranks_per_channel)
+    }
+    fn fused_tag_data(&self) -> bool {
+        true
+    }
+}
+
+/// The closed set of registered backends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BackendKind {
+    /// The paper's stacked-DRAM + DDR3 pair (the default).
+    #[default]
+    Paper2014,
+    /// HBM2-class stack over DDR3.
+    Hbm2,
+    /// Paper stack over DDR5-4800.
+    Ddr5,
+    /// Paper stack over a slow 3DXPoint-like far tier.
+    PcmFar,
+    /// Tag-enhanced stack returning tag+data in one burst.
+    Tdram,
+}
+
+impl BackendKind {
+    /// Every registered backend, default first.
+    pub const ALL: [BackendKind; 5] = [
+        BackendKind::Paper2014,
+        BackendKind::Hbm2,
+        BackendKind::Ddr5,
+        BackendKind::PcmFar,
+        BackendKind::Tdram,
+    ];
+
+    /// The stable name the CLI, reports, and fingerprints use.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        self.backend().name()
+    }
+
+    /// The backend implementation behind this kind.
+    #[must_use]
+    pub fn backend(self) -> &'static dyn MemBackend {
+        match self {
+            BackendKind::Paper2014 => &Paper2014,
+            BackendKind::Hbm2 => &Hbm2,
+            BackendKind::Ddr5 => &Ddr5,
+            BackendKind::PcmFar => &PcmFar,
+            BackendKind::Tdram => &Tdram,
+        }
+    }
+
+    /// Whether this backend's stack returns tag+data in one burst.
+    #[must_use]
+    pub fn fused_tag_data(self) -> bool {
+        self.backend().fused_tag_data()
+    }
+
+    /// Parses a backend name as given on the command line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the valid names when `s` is unknown.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        BackendKind::ALL
+            .into_iter()
+            .find(|k| k.name() == s)
+            .ok_or_else(|| {
+                let names: Vec<&str> = BackendKind::ALL.iter().map(|k| k.name()).collect();
+                format!("unknown backend \"{s}\" (valid: {})", names.join(", "))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_through_parse() {
+        for kind in BackendKind::ALL {
+            assert_eq!(BackendKind::parse(kind.name()), Ok(kind));
+        }
+    }
+
+    #[test]
+    fn parse_rejects_unknown_names_listing_valid_ones() {
+        let err = BackendKind::parse("bogus").unwrap_err();
+        assert!(err.contains("unknown backend \"bogus\""), "{err}");
+        for kind in BackendKind::ALL {
+            assert!(err.contains(kind.name()), "{err} missing {}", kind.name());
+        }
+    }
+
+    #[test]
+    fn default_backend_matches_paper_configs() {
+        let b = BackendKind::default();
+        assert_eq!(b.name(), "paper2014");
+        assert_eq!(b.backend().stacked(2, 8), DramConfig::stacked(2, 8));
+        assert_eq!(b.backend().offchip(1, 2), DramConfig::ddr3(1, 2));
+        assert!(!b.fused_tag_data());
+    }
+
+    #[test]
+    fn only_tdram_fuses_tag_and_data() {
+        for kind in BackendKind::ALL {
+            assert_eq!(kind.fused_tag_data(), kind == BackendKind::Tdram);
+        }
+    }
+
+    #[test]
+    fn every_backend_builds_valid_configs() {
+        for kind in BackendKind::ALL {
+            let b = kind.backend();
+            b.stacked(2, 8).validate().expect("stacked config");
+            b.offchip(1, 2).validate().expect("offchip config");
+        }
+    }
+
+    #[test]
+    fn pcm_far_tier_has_asymmetric_media_latency() {
+        let far = BackendKind::PcmFar.backend().offchip(1, 2);
+        assert!(far.extra_read_lat > 0);
+        assert!(far.extra_write_lat > far.extra_read_lat);
+        // The near stack stays plain DRAM.
+        let near = BackendKind::PcmFar.backend().stacked(2, 8);
+        assert_eq!(near.extra_read_lat, 0);
+        assert_eq!(near.extra_write_lat, 0);
+    }
+}

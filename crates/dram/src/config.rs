@@ -33,6 +33,14 @@ pub struct DramConfig {
     pub timing: TimingParams,
     /// Row-buffer management policy.
     pub page_policy: PagePolicy,
+    /// Extra media latency added to every read's column access, in CPU
+    /// cycles. Zero for DRAM; non-zero models slow storage-class media
+    /// (3DXPoint-like) behind the same protocol.
+    pub extra_read_lat: Cycle,
+    /// Extra media latency a write holds its bank for after the burst, in
+    /// CPU cycles. Zero for DRAM; storage-class media writes are far
+    /// slower than reads, and the occupancy surfaces as queue pressure.
+    pub extra_write_lat: Cycle,
 }
 
 impl DramConfig {
@@ -52,6 +60,8 @@ impl DramConfig {
             cpu_per_dram_clk: 2,
             timing: TimingParams::stacked(2),
             page_policy: PagePolicy::Open,
+            extra_read_lat: 0,
+            extra_write_lat: 0,
         }
     }
 
@@ -71,6 +81,47 @@ impl DramConfig {
             cpu_per_dram_clk: 2,
             timing: TimingParams::ddr3_1600h(2),
             page_policy: PagePolicy::Open,
+            extra_read_lat: 0,
+            extra_write_lat: 0,
+        }
+    }
+
+    /// HBM2-class stacked configuration: same 128-bit channel and 2 KB
+    /// rows as the paper's stack, but twice the banks per channel and the
+    /// tighter [`TimingParams::hbm2`] core timings.
+    #[must_use]
+    pub fn hbm2_stacked(channels: u32, banks_per_channel: u32) -> Self {
+        DramConfig {
+            banks_per_rank: banks_per_channel * 2,
+            timing: TimingParams::hbm2(2),
+            ..DramConfig::stacked(channels, banks_per_channel)
+        }
+    }
+
+    /// DDR5-4800-class off-chip configuration: same 64-bit channel and
+    /// geometry as [`DramConfig::ddr3`], but a 1:1 CPU:DRAM clock ratio
+    /// (double the bus bandwidth) and [`TimingParams::ddr5_4800`] core
+    /// timings (higher first-word latency in cycles).
+    #[must_use]
+    pub fn ddr5(channels: u32, ranks_per_channel: u32) -> Self {
+        DramConfig {
+            cpu_per_dram_clk: 1,
+            timing: TimingParams::ddr5_4800(1),
+            ..DramConfig::ddr3(channels, ranks_per_channel)
+        }
+    }
+
+    /// A slow 3DXPoint-like far tier behind the DRAM cache: DDR3 protocol
+    /// and geometry, but asymmetric media latencies — every read pays
+    /// ~110 ns extra before data, and every write holds its bank ~500 ns
+    /// after the burst, so write bursts back up the deferred queues.
+    #[must_use]
+    pub fn pcm_far(channels: u32, ranks_per_channel: u32) -> Self {
+        DramConfig {
+            // ~110 ns extra read and ~500 ns write occupancy at 3.2 GHz.
+            extra_read_lat: 352,
+            extra_write_lat: 1600,
+            ..DramConfig::ddr3(channels, ranks_per_channel)
         }
     }
 

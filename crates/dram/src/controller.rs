@@ -256,7 +256,13 @@ impl DramModule {
         arrival: Cycle,
     ) -> Completion {
         let t = &self.config.timing;
-        let data_ready = cas_ready + t.cl;
+        // Slow-media extension (zero on DRAM): reads wait on the media
+        // before data, writes hold the bank after the burst.
+        let media_read = match op {
+            Op::Read => self.config.extra_read_lat,
+            Op::Write => 0,
+        };
+        let data_ready = cas_ready + t.cl + media_read;
         let ch = loc.channel as usize;
         let xfer_start = data_ready.max(self.bus_free_at[ch]);
         let burst = self.config.burst_cycles(bytes);
@@ -266,8 +272,8 @@ impl DramModule {
         // its bank for the column + burst + recovery window, not for time
         // spent queued behind other channels' transfers.
         let occupy = match op {
-            Op::Read => cas_ready + t.ccd,
-            Op::Write => data_ready + burst + t.wr,
+            Op::Read => cas_ready + media_read + t.ccd,
+            Op::Write => data_ready + burst + t.wr + self.config.extra_write_lat,
         };
         self.banks[idx].occupy_until(occupy);
         // Attribution: pure counter adds off values the timing model just

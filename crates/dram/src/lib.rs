@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 mod address;
+mod backend;
 mod bank;
 mod config;
 mod controller;
@@ -44,6 +45,7 @@ mod system;
 mod timing;
 
 pub use address::{AddressMapping, DecodedAddress};
+pub use backend::{BackendKind, Ddr5, Hbm2, MemBackend, Paper2014, PcmFar, Tdram};
 pub use bank::{Bank, RowEvent};
 pub use config::{DramConfig, PagePolicy};
 pub use controller::{DramModule, OpenRowOutcome};

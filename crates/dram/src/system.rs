@@ -2,6 +2,7 @@
 
 use bimodal_obs::QueueDepthStats;
 
+use crate::backend::BackendKind;
 use crate::config::DramConfig;
 use crate::controller::DramModule;
 use crate::deferred::{DeferredOp, DeferredQueue};
@@ -24,6 +25,7 @@ pub struct MemorySystem {
     pub main: MainMemory,
     deferred: DeferredQueue,
     queue_depth: QueueDepthStats,
+    backend: BackendKind,
 }
 
 impl MemorySystem {
@@ -39,7 +41,31 @@ impl MemorySystem {
             main: MainMemory::new(offchip),
             deferred: DeferredQueue::new(),
             queue_depth: QueueDepthStats::default(),
+            backend: BackendKind::default(),
         }
+    }
+
+    /// Tags this system with the substrate backend its configurations came
+    /// from. Purely descriptive for the default-built pair; schemes consult
+    /// [`MemorySystem::fused_tag_data`] for TDRAM-style behaviour.
+    #[must_use]
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The substrate backend this system was built for.
+    #[must_use]
+    pub fn backend(&self) -> BackendKind {
+        self.backend
+    }
+
+    /// Whether the stacked module returns tag+data in one burst, letting
+    /// tag-in-DRAM schemes skip the separate data column access on a read
+    /// hit.
+    #[must_use]
+    pub fn fused_tag_data(&self) -> bool {
+        self.backend.fused_tag_data()
     }
 
     /// Schedules a background operation (fill, metadata update, dirty

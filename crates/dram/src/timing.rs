@@ -70,6 +70,48 @@ impl TimingParams {
         TimingParams::ddr3_1600h(cpu_per_dram_clk)
     }
 
+    /// HBM2-class timing scaled by `cpu_per_dram_clk`. Core latencies in
+    /// nanoseconds are close to DDR's, but the tighter column-to-column
+    /// spacing (`tCCD` = 2), shorter `tFAW`, and smaller per-bank arrays
+    /// (lower `tRAS`/`tRFC`) reflect the stacked part's banked parallelism.
+    #[must_use]
+    pub fn hbm2(cpu_per_dram_clk: Cycle) -> Self {
+        let k = cpu_per_dram_clk;
+        TimingParams {
+            cl: 11 * k,
+            rcd: 11 * k,
+            rp: 11 * k,
+            ras: 27 * k,
+            wr: 13 * k,
+            ccd: 2 * k,
+            // 3.9 us refresh interval at 1.6 GHz.
+            refi: 6_240 * k,
+            rfc: 208 * k,
+            faw: 12 * k,
+        }
+    }
+
+    /// DDR5-4800-class timing scaled by `cpu_per_dram_clk`. Per-clock
+    /// latencies are much larger than DDR3's (CL 40 vs 9) because the
+    /// device clock is 3x faster; paired with a faster bus clock the
+    /// result is higher bandwidth at higher first-word latency.
+    #[must_use]
+    pub fn ddr5_4800(cpu_per_dram_clk: Cycle) -> Self {
+        let k = cpu_per_dram_clk;
+        TimingParams {
+            cl: 40 * k,
+            rcd: 39 * k,
+            rp: 39 * k,
+            ras: 76 * k,
+            wr: 58 * k,
+            ccd: 8 * k,
+            // 3.9 us at 2.4 GHz = 9360 DRAM clocks.
+            refi: 9_360 * k,
+            rfc: 984 * k,
+            faw: 32 * k,
+        }
+    }
+
     /// Latency of a row-buffer hit up to first data (column access only).
     #[must_use]
     pub fn row_hit_latency(&self) -> Cycle {

@@ -1,6 +1,6 @@
 //! System-level configuration (the paper's Table IV).
 
-use bimodal_dram::{DramConfig, MemorySystem};
+use bimodal_dram::{BackendKind, DramConfig, MemorySystem};
 
 /// Describes a full CMP memory system: core count, DRAM cache capacity,
 /// stacked and off-chip DRAM geometry, and workload scaling.
@@ -31,6 +31,8 @@ pub struct SystemConfig {
     pub mlp: u32,
     /// Seed for workload generation and replacement randomness.
     pub seed: u64,
+    /// Memory-substrate backend the DRAM configurations were built from.
+    pub backend: BackendKind,
 }
 
 /// Reference cache size the full-scale workload footprints were tuned
@@ -51,6 +53,7 @@ impl SystemConfig {
             warmup_per_core: 2_000,
             mlp: 1,
             seed: 0xB1_0DA1,
+            backend: BackendKind::default(),
         }
     }
 
@@ -120,10 +123,22 @@ impl SystemConfig {
         self
     }
 
+    /// Rebuilds both DRAM configurations from the named substrate backend,
+    /// preserving the current channel/rank/bank geometry. Apply before any
+    /// geometry override (row bytes) that should survive the swap.
+    #[must_use]
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        let b = backend.backend();
+        self.stacked = b.stacked(self.stacked.channels, self.stacked.banks_per_rank);
+        self.offchip = b.offchip(self.offchip.channels, self.offchip.ranks_per_channel);
+        self.backend = backend;
+        self
+    }
+
     /// Builds the memory system for a run.
     #[must_use]
     pub fn build_memory(&self) -> MemorySystem {
-        MemorySystem::new(self.stacked.clone(), self.offchip.clone())
+        MemorySystem::new(self.stacked.clone(), self.offchip.clone()).with_backend(self.backend)
     }
 
     /// Cache capacity in bytes.

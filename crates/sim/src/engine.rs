@@ -526,13 +526,16 @@ impl Engine {
 
         // The fingerprint ties a snapshot to the exact experiment whose
         // state it froze: same knobs, same scheme, same core count, same
-        // observability (a heatmap-enabled module serializes differently).
+        // observability (a heatmap-enabled module serializes differently),
+        // same memory-substrate backend (a resumed run must replay on the
+        // timing model that produced the frozen bank/bus state).
         let fingerprint = format!(
-            "{:?}|{}|{}|{}",
+            "{:?}|{}|{}|{}|{}",
             self.options,
             scheme.name(),
             cores.len(),
-            obs.is_enabled()
+            obs.is_enabled(),
+            mem.backend().name()
         );
         if let Some(file) = resume {
             let v = restore_run(
@@ -847,6 +850,7 @@ impl Engine {
         const HOT_SET_TOP_K: usize = 8;
         Ok(RunReport {
             scheme_name: scheme.name().to_owned(),
+            backend: mem.backend().name(),
             scheme: scheme.stats().clone(),
             cache_dram: mem.cache_dram.stats(),
             offchip: mem.main.stats(),

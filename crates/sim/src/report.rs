@@ -4,11 +4,17 @@ use bimodal_core::SchemeStats;
 use bimodal_dram::{Cycle, DramStats};
 use bimodal_obs::{Json, MemoryBandwidth, MetricsRegistry, ObsSummary, SpanProfile};
 
+/// Name of the default substrate, whose reports keep the pre-backend JSON
+/// shape (no `backend` key) so golden reports stay byte-identical.
+const DEFAULT_BACKEND_NAME: &str = "paper2014";
+
 /// Everything measured during one run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Scheme name.
     pub scheme_name: String,
+    /// Memory-substrate backend the run executed on.
+    pub backend: &'static str,
     /// Statistics reported by the cache organization.
     pub scheme: SchemeStats,
     /// Stacked-DRAM (cache) module statistics.
@@ -77,8 +83,14 @@ impl RunReport {
     #[must_use]
     pub fn to_json(&self) -> Json {
         let mut o = Json::object();
-        o.set("scheme", self.scheme_name.as_str())
-            .set("accesses_per_core", self.accesses_per_core)
+        o.set("scheme", self.scheme_name.as_str());
+        if self.backend != DEFAULT_BACKEND_NAME {
+            // Reports under the default substrate keep their pre-backend
+            // shape byte-for-byte (golden-enforced); non-default runs
+            // declare the substrate right after the scheme.
+            o.set("backend", self.backend);
+        }
+        o.set("accesses_per_core", self.accesses_per_core)
             .set(
                 "core_cycles",
                 Json::Arr(self.core_cycles.iter().map(|&c| Json::from(c)).collect()),
@@ -244,6 +256,7 @@ mod tests {
     fn empty_core_cycles_mean_is_zero() {
         let r = RunReport {
             scheme_name: "X".into(),
+            backend: "paper2014",
             scheme: SchemeStats::default(),
             cache_dram: DramStats::default(),
             offchip: DramStats::default(),
@@ -263,6 +276,7 @@ mod tests {
     fn report_helpers() {
         let r = RunReport {
             scheme_name: "X".into(),
+            backend: "paper2014",
             scheme: SchemeStats {
                 accesses: 10,
                 total_latency: 1000,
@@ -292,6 +306,7 @@ mod tests {
     fn to_json_exposes_counters_rates_and_obs() {
         let r = RunReport {
             scheme_name: "bimodal".into(),
+            backend: "paper2014",
             scheme: SchemeStats {
                 accesses: 4,
                 hits: 3,
@@ -335,6 +350,7 @@ mod tests {
     fn to_json_appends_bandwidth_last_keeping_existing_keys() {
         let r = RunReport {
             scheme_name: "X".into(),
+            backend: "paper2014",
             scheme: SchemeStats::default(),
             cache_dram: DramStats::default(),
             offchip: DramStats::default(),
@@ -375,5 +391,42 @@ mod tests {
         for key in ["elapsed_cycles", "cache", "offchip", "deferred_queue"] {
             assert!(bw.get(key).is_some(), "missing bandwidth key {key}");
         }
+    }
+
+    #[test]
+    fn default_backend_sentinel_matches_registry() {
+        assert_eq!(
+            bimodal_dram::BackendKind::default().name(),
+            DEFAULT_BACKEND_NAME
+        );
+    }
+
+    /// Non-default substrates declare themselves right after `scheme`;
+    /// the default keeps the pre-backend shape (no `backend` key at all).
+    #[test]
+    fn backend_key_appears_only_for_non_default_substrates() {
+        let mut r = RunReport {
+            scheme_name: "X".into(),
+            backend: "paper2014",
+            scheme: SchemeStats::default(),
+            cache_dram: DramStats::default(),
+            offchip: DramStats::default(),
+            core_cycles: vec![],
+            accesses_per_core: 0,
+            metadata_bank_rbh: None,
+            data_bank_rbh: None,
+            obs: ObsSummary::default(),
+            bandwidth: MemoryBandwidth::default(),
+            profile: SpanProfile::default(),
+        };
+        assert_eq!(r.to_json().get("backend"), None);
+
+        r.backend = "hbm2";
+        let Json::Obj(pairs) = r.to_json() else {
+            panic!("report serializes to an object");
+        };
+        assert_eq!(pairs[0].0, "scheme");
+        assert_eq!(pairs[1].0, "backend");
+        assert_eq!(pairs[1].1.as_str(), Some("hbm2"));
     }
 }

@@ -33,35 +33,45 @@ fn usage() -> &'static str {
      commands:\n\
      \x20 list                         mixes, schemes and programs\n\
      \x20 run     --mix <M> --scheme <S> [--accesses N] [--cache-mb C] [--seed K]\n\
+     \x20         [--backend B]\n\
      \x20         [--warmup N] [--mlp N] [--prefetch N[:bypass]] [--profile]\n\
      \x20         [--shards N] [--json FILE] [--trace-out FILE] [--epoch CYCLES]\n\
      \x20         [--heartbeat SECS] [--metrics-out FILE] [--metrics-format json|prom]\n\
      \x20         [--checkpoint FILE [--checkpoint-every N]] [--resume FILE]\n\
      \x20 compare --mix <M> [--accesses N] [--cache-mb C] [--seed K] [--jobs N]\n\
+     \x20         [--backend B]\n\
      \x20         [--warmup N] [--mlp N] [--prefetch N[:bypass]] [--shards N]\n\
      \x20         [--json FILE]\n\
      \x20         [--heartbeat SECS] [--metrics-out FILE] [--metrics-format json|prom]\n\
      \x20         [--manifest DIR] [--checkpoint FILE [--checkpoint-every N]]\n\
      \x20         [--resume FILE]\n\
      \x20 antt    --mix <M> --scheme <S> [--accesses N] [--cache-mb C] [--seed K]\n\
+     \x20         [--backend B]\n\
      \x20         [--warmup N] [--mlp N] [--prefetch N[:bypass]] [--jobs N] [--json FILE]\n\
      \x20         [--heartbeat SECS]\n\
-     \x20 sweep   --mix <M> [--accesses N] [--cache-mb C] [--seed K] [--jobs N]\n\
+     \x20 sweep   --mix <M> [--backend B] [--accesses N] [--cache-mb C] [--seed K] [--jobs N]\n\
      \x20         [--json FILE] [--heartbeat SECS] [--manifest DIR]\n\
      \x20 record  --program <P> --out <FILE> [--n N] [--seed K]\n\
-     \x20 inject  --mix <M> [--scheme <S|all>] [--accesses N] [--seed K] [--seeds N]\n\
+     \x20 inject  --mix <M> [--backend B] [--scheme <S|all>] [--accesses N] [--seed K] [--seeds N]\n\
      \x20         [--metadata-rate P] [--multi-bit P] [--locator-rate P]\n\
      \x20         [--predictor-rate P] [--dram-rate P] [--ecc] [--antt]\n\
      \x20         [--shadow-every N] [--watchdog CYCLES | --no-watchdog]\n\
      \x20         [--jobs N] [--json FILE] [--trace-out FILE]\n\
      \x20         [--metrics-out FILE] [--metrics-format json|prom]\n\
      \x20         [--manifest DIR] [--retries N] [--retry-backoff-ms MS]\n\
-     \x20 bench   [--quick] [--jobs N] [--shards N] [--min-speedup X] [--out FILE]\n\
+     \x20 bench   [--quick] [--backend B] [--jobs N] [--shards N] [--min-speedup X] [--out FILE]\n\
      \x20         [--history FILE] [--check-history] [--window N] [--max-regress PCT]\n\
-     \x20 bandwidth --mix <M> [--scheme <S|all>] [--accesses N] [--cache-mb C]\n\
+     \x20 bandwidth --mix <M> [--backend B] [--scheme <S|all>] [--accesses N] [--cache-mb C]\n\
      \x20         [--seed K] [--jobs N] [--json FILE]\n\
      \x20 diff    <a.json> <b.json> [--threshold PCT] [--exact]\n\
      \x20         exits 1 on drift/difference, 2 on unreadable or malformed input\n\
+     \n\
+     memory substrates:\n\
+     \x20 --backend B       memory-substrate backend: paper2014 (default;\n\
+     \x20                   the paper's stacked DRAM over DDR3), hbm2, ddr5,\n\
+     \x20                   pcm-far (slow 3DXPoint-like far tier), tdram\n\
+     \x20                   (tag+data in one burst); recorded in reports,\n\
+     \x20                   checkpoint fingerprints, and bench history keys\n\
      \n\
      parallelism:\n\
      \x20 --jobs N          worker threads for fanned runs (default: all cores;\n\
@@ -231,6 +241,11 @@ fn configured_system(
     flags: &HashMap<String, String>,
 ) -> Result<SystemConfig, String> {
     let mut system = base;
+    if let Some(backend) = flags.get("backend") {
+        // Applied first: the backend rebuilds both DRAM configurations,
+        // so later overrides (row bytes via presets, seed, ...) survive.
+        system = system.with_backend(BackendKind::parse(backend)?);
+    }
     if let Some(mb) = flags.get("cache-mb") {
         let mb: u64 = mb
             .parse()
@@ -497,6 +512,17 @@ fn write_json(path: &str, json: &Json) -> Result<(), String> {
     .map_err(|e| format!("writing {path}: {e}"))
 }
 
+/// Scopes a manifest unit label by substrate, so a journal written under
+/// one backend is never replayed to satisfy a different one. The default
+/// backend keeps the pre-backend labels, leaving existing journals valid.
+fn backend_scoped(label: &str, backend: BackendKind) -> String {
+    if backend == BackendKind::default() {
+        label.to_owned()
+    } else {
+        format!("{label}@{}", backend.name())
+    }
+}
+
 /// FNV-1a digest of a report's compact JSON, used as the manifest's
 /// result fingerprint.
 fn report_digest(j: &Json) -> String {
@@ -707,8 +733,9 @@ fn cmd_compare(flags: &HashMap<String, String>) -> Result<(), String> {
     let mut cached: HashMap<String, Json> = HashMap::new();
     if let Some((dir, manifest)) = &journal {
         for kind in SchemeKind::all() {
-            if let Some(digest) = manifest.digest(kind.name()) {
-                let file = format!("{}.json", metric_slug(kind.name()));
+            let unit = backend_scoped(kind.name(), system.backend);
+            if let Some(digest) = manifest.digest(&unit) {
+                let file = format!("{}.json", metric_slug(&unit));
                 if let Some(j) = load_cached_unit(dir, &file, digest) {
                     cached.insert(kind.name().to_owned(), j);
                 }
@@ -771,10 +798,12 @@ fn cmd_compare(flags: &HashMap<String, String>) -> Result<(), String> {
         if let (Ok(r), Some((dir, m))) = (&run, &manifest) {
             let journalled = (|| -> Result<(), String> {
                 let j = r.to_json();
-                write_json(&dir.join(format!("{slug}.json")).display().to_string(), &j)?;
+                let unit = backend_scoped(kind.name(), system.backend);
+                let file = format!("{}.json", metric_slug(&unit));
+                write_json(&dir.join(file).display().to_string(), &j)?;
                 m.lock()
                     .expect("manifest lock")
-                    .record(kind.name(), &report_digest(&j))
+                    .record(&unit, &report_digest(&j))
                     .map_err(|e| e.to_string())
             })();
             if let Err(e) = journalled {
@@ -910,7 +939,7 @@ fn cmd_sweep(flags: &HashMap<String, String>) -> Result<(), String> {
     if let Some(m) = &manifest {
         for &bs in &sizes {
             if let Some(bits) = m
-                .digest(&format!("bs{bs}"))
+                .digest(&backend_scoped(&format!("bs{bs}"), system.backend))
                 .and_then(|d| u64::from_str_radix(d, 16).ok())
             {
                 done.insert(bs, f64::from_bits(bits));
@@ -944,8 +973,11 @@ fn cmd_sweep(flags: &HashMap<String, String>) -> Result<(), String> {
     }
     if let Some(m) = &mut manifest {
         for &(bs, rate) in &fresh {
-            m.record(&format!("bs{bs}"), &format!("{:016x}", rate.to_bits()))
-                .map_err(|e| format!("recording manifest: {e}"))?;
+            m.record(
+                &backend_scoped(&format!("bs{bs}"), system.backend),
+                &format!("{:016x}", rate.to_bits()),
+            )
+            .map_err(|e| format!("recording manifest: {e}"))?;
         }
     }
     // Merge journalled and fresh points back into canonical size order.
@@ -1208,8 +1240,12 @@ fn cmd_inject(flags: &HashMap<String, String>) -> Result<(), String> {
         for k in 0..seeds {
             let seed = base_seed + k;
             let hit = journal.as_ref().and_then(|(dir, m)| {
-                let file = format!("{}_seed{seed}.json", metric_slug(kind.name()));
-                m.digest(&format!("{}/seed{seed}", kind.name()))
+                let unit = backend_scoped(&format!("{}/seed{seed}", kind.name()), system.backend);
+                let file = format!(
+                    "{}_seed{seed}.json",
+                    metric_slug(&backend_scoped(kind.name(), system.backend))
+                );
+                m.digest(&unit)
                     .and_then(|d| load_cached_unit(dir, &file, d))
             });
             match hit {
@@ -1247,11 +1283,17 @@ fn cmd_inject(flags: &HashMap<String, String>) -> Result<(), String> {
         if let Some((dir, m)) = &manifest {
             let journalled = (|| -> Result<(), String> {
                 let j = r.to_json();
-                let file = format!("{}_seed{seed}.json", metric_slug(kind.name()));
+                let file = format!(
+                    "{}_seed{seed}.json",
+                    metric_slug(&backend_scoped(kind.name(), system.backend))
+                );
                 write_json(&dir.join(file).display().to_string(), &j)?;
                 m.lock()
                     .expect("manifest lock")
-                    .record(&format!("{}/seed{seed}", kind.name()), &report_digest(&j))
+                    .record(
+                        &backend_scoped(&format!("{}/seed{seed}", kind.name()), system.backend),
+                        &report_digest(&j),
+                    )
                     .map_err(|e| e.to_string())
             })();
             if let Err(e) = journalled {
@@ -1443,6 +1485,10 @@ fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), String> {
         quick: flag_bool(flags, "quick")?,
         jobs: parse_jobs(flags)?,
         shards: parse_shards(flags)?,
+        backend: match flags.get("backend") {
+            Some(b) => BackendKind::parse(b)?,
+            None => BackendKind::default(),
+        },
     };
     // Parse the threshold before the (long) measurement, so a typo
     // fails fast instead of after the whole benchmark has run.
@@ -1937,6 +1983,7 @@ fn cmd_diff(args: &[String]) -> Result<(), DiffError> {
 fn allowed_flags(command: &str) -> &'static [&'static str] {
     const RUN: &[&str] = &[
         "mix",
+        "backend",
         "scheme",
         "accesses",
         "cache-mb",
@@ -1961,6 +2008,7 @@ fn allowed_flags(command: &str) -> &'static [&'static str] {
     ];
     const INJECT: &[&str] = &[
         "mix",
+        "backend",
         "scheme",
         "accesses",
         "cache-mb",
@@ -1996,6 +2044,7 @@ fn allowed_flags(command: &str) -> &'static [&'static str] {
     ];
     const COMPARE: &[&str] = &[
         "mix",
+        "backend",
         "accesses",
         "cache-mb",
         "seed",
@@ -2015,6 +2064,7 @@ fn allowed_flags(command: &str) -> &'static [&'static str] {
     ];
     const ANTT: &[&str] = &[
         "mix",
+        "backend",
         "scheme",
         "accesses",
         "cache-mb",
@@ -2028,6 +2078,7 @@ fn allowed_flags(command: &str) -> &'static [&'static str] {
     ];
     const SWEEP: &[&str] = &[
         "mix",
+        "backend",
         "accesses",
         "cache-mb",
         "seed",
@@ -2039,6 +2090,7 @@ fn allowed_flags(command: &str) -> &'static [&'static str] {
     const RECORD: &[&str] = &["program", "out", "n", "seed"];
     const BENCH: &[&str] = &[
         "quick",
+        "backend",
         "jobs",
         "shards",
         "min-speedup",
@@ -2049,8 +2101,8 @@ fn allowed_flags(command: &str) -> &'static [&'static str] {
         "max-regress",
     ];
     const BANDWIDTH: &[&str] = &[
-        "mix", "scheme", "accesses", "cache-mb", "seed", "warmup", "mlp", "prefetch", "jobs",
-        "json",
+        "mix", "backend", "scheme", "accesses", "cache-mb", "seed", "warmup", "mlp", "prefetch",
+        "jobs", "json",
     ];
     match command {
         "run" => RUN,

@@ -59,7 +59,7 @@ pub mod selfbench;
 /// Convenient glob-import surface for examples and quick experiments.
 pub mod prelude {
     pub use bimodal_core::{BiModalCache, BiModalConfig, BlockSize, CacheGeometry};
-    pub use bimodal_dram::{DramConfig, DramModule, MemorySystem};
+    pub use bimodal_dram::{BackendKind, DramConfig, DramModule, MemBackend, MemorySystem};
     pub use bimodal_obs::{Json, Observer, ObserverConfig};
     pub use bimodal_sim::{SchemeKind, Simulation, SystemConfig};
     pub use bimodal_workloads::{WorkloadMix, WorkloadSpec};

@@ -13,6 +13,7 @@
 
 use std::time::Instant;
 
+use bimodal_dram::BackendKind;
 use bimodal_obs::Json;
 use bimodal_sim::{sweep, SchemeKind, Simulation, SystemConfig};
 use bimodal_workloads::WorkloadMix;
@@ -28,6 +29,10 @@ pub struct BenchOptions {
     /// pass runs with the sharded decode pipeline so the sharded path has
     /// its own trendline alongside serial.
     pub shards: u32,
+    /// Memory-substrate backend the timed runs execute on. Non-default
+    /// backends get their own history keys (`<scheme>@<backend>`), so
+    /// substrate trendlines never mix with the paper-default ones.
+    pub backend: BackendKind,
 }
 
 /// One serial-vs-parallel timing of a fanned command.
@@ -88,6 +93,8 @@ pub struct BenchReport {
     /// Per-scheme throughput with `--shards` decode; empty when the
     /// sharded pass was skipped.
     pub sharded_schemes: Vec<SchemeRate>,
+    /// Memory-substrate backend the measurement ran on.
+    pub backend: BackendKind,
 }
 
 impl BenchReport {
@@ -133,6 +140,7 @@ impl BenchReport {
         let mut j = Json::object();
         j.set("schema", "bimodal-bench-v1")
             .set("date", self.date.as_str())
+            .set("backend", self.backend.name())
             .set("host_parallelism", self.host_parallelism as u64)
             .set("jobs", self.jobs as u64)
             .set("quick", self.quick)
@@ -216,15 +224,22 @@ impl BenchReport {
     /// ```
     #[must_use]
     pub fn history_line(&self) -> String {
+        // Non-default substrates get their own keys so their trendlines
+        // never mix with the paper-default ones.
+        let tag = if self.backend == BackendKind::default() {
+            String::new()
+        } else {
+            format!("@{}", self.backend.name())
+        };
         let mut schemes = Json::object();
         for s in &self.schemes {
-            schemes.set(s.scheme.as_str(), s.accesses_per_sec);
+            schemes.set(format!("{}{tag}", s.scheme).as_str(), s.accesses_per_sec);
         }
         // Sharded rates ride along under distinct keys so the trendline
         // gate tracks the sharded decode path independently of serial.
         for s in &self.sharded_schemes {
             schemes.set(
-                format!("{}@shards{}", s.scheme, self.shards).as_str(),
+                format!("{}{tag}@shards{}", s.scheme, self.shards).as_str(),
                 s.accesses_per_sec,
             );
         }
@@ -358,9 +373,12 @@ pub fn check_history(
 
 /// The standard Q-mix compare setup: every scheme on Q3, the same system
 /// the `compare` command defaults to.
-fn compare_setup() -> (WorkloadMix, SystemConfig) {
+fn compare_setup(backend: BackendKind) -> (WorkloadMix, SystemConfig) {
     let mix = WorkloadMix::quad("Q3").expect("Q3 is a known mix");
-    (mix, SystemConfig::quad_core().with_cache_mb(8))
+    let system = SystemConfig::quad_core()
+        .with_backend(backend)
+        .with_cache_mb(8);
+    (mix, system)
 }
 
 /// Runs the benchmark.
@@ -376,7 +394,7 @@ pub fn run(opts: &BenchOptions) -> BenchReport {
 
     // -------- compare: every scheme on the standard Q-mix, timed run.
     let accesses = if opts.quick { 3_000 } else { 20_000 };
-    let (mix, system) = compare_setup();
+    let (mix, system) = compare_setup(opts.backend);
     let run_compare = |jobs: usize, shards: u32| -> Vec<(String, u64, f64)> {
         bimodal_exec::map(jobs, SchemeKind::all(), |kind| {
             let t = Instant::now();
@@ -480,6 +498,7 @@ pub fn run(opts: &BenchOptions) -> BenchReport {
         schemes,
         shards,
         sharded_schemes,
+        backend: opts.backend,
     }
 }
 
@@ -539,6 +558,7 @@ mod tests {
             }],
             shards: 1,
             sharded_schemes: Vec::new(),
+            backend: BackendKind::default(),
         }
     }
 
@@ -628,6 +648,7 @@ mod tests {
             quick: true,
             jobs: 2,
             shards: 2,
+            backend: BackendKind::default(),
         });
         assert_eq!(r.workloads.len(), 3);
         assert_eq!(r.schemes.len(), SchemeKind::all().len());
@@ -667,6 +688,28 @@ mod tests {
         // At or above 1.0x no annotation appears at all.
         let r = report_with(1, 1.0, 1.0);
         assert!(!r.to_json().to_pretty().contains("host_limited"));
+    }
+
+    #[test]
+    fn non_default_backend_rates_ride_history_under_scoped_keys() {
+        let mut r = report_with(2, 1.0, 0.5);
+        r.backend = BackendKind::Hbm2;
+        r.shards = 4;
+        r.sharded_schemes = vec![SchemeRate {
+            scheme: "BiModal".into(),
+            accesses: 1000,
+            secs: 0.25,
+            accesses_per_sec: 4000.0,
+        }];
+        let line = r.history_line();
+        assert!(line.contains("\"BiModal@hbm2\""), "{line}");
+        assert!(line.contains("\"BiModal@hbm2@shards4\""), "{line}");
+        // The default-backend key must NOT appear: substrate trendlines
+        // stay separate.
+        assert!(!line.contains("\"BiModal\":"), "{line}");
+        let text = format!("{line}\n{line}\n");
+        let v = check_history(&text, 5, 25.0).expect("parses");
+        assert!(v.passed());
     }
 
     #[test]

@@ -140,6 +140,123 @@ fn unknown_flags_are_rejected() {
 }
 
 #[test]
+fn unknown_backend_fails_listing_the_valid_names() {
+    let out = bimodal()
+        .args([
+            "run",
+            "--mix",
+            "Q2",
+            "--scheme",
+            "bimodal",
+            "--accesses",
+            "100",
+            "--backend",
+            "bogus",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "--backend bogus must be rejected");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown backend \"bogus\""), "stderr: {err}");
+    for name in ["paper2014", "hbm2", "ddr5", "pcm-far", "tdram"] {
+        assert!(err.contains(name), "error must list {name}: {err}");
+    }
+}
+
+#[test]
+fn backend_rides_through_run_and_marks_the_report() {
+    use bimodal::obs::Json;
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    for (backend, expect_key) in [("paper2014", false), ("hbm2", true)] {
+        let path = dir.join(format!("bimodal-bkend-{backend}-{pid}.json"));
+        let out = bimodal()
+            .args([
+                "run",
+                "--mix",
+                "Q2",
+                "--scheme",
+                "bimodal",
+                "--accesses",
+                "1000",
+                "--cache-mb",
+                "4",
+                "--backend",
+                backend,
+                "--json",
+                path.to_str().expect("utf8"),
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "--backend {backend} stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let j = Json::parse(&std::fs::read_to_string(&path).expect("written")).expect("valid");
+        std::fs::remove_file(&path).expect("cleanup");
+        // The default backend keeps the pre-refactor report shape (no
+        // `backend` key — golden byte-identity depends on it); any other
+        // substrate stamps its name into the report.
+        assert_eq!(
+            j.get("backend").and_then(Json::as_str),
+            expect_key.then_some(backend),
+            "--backend {backend}"
+        );
+    }
+}
+
+#[test]
+fn resume_under_a_different_backend_is_rejected() {
+    let dir = std::env::temp_dir().join(format!("bimodal-cli-xbkend-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let ck = dir.join("run.ckpt");
+    let base = |json: &str| {
+        vec![
+            "run".to_owned(),
+            "--mix".to_owned(),
+            "Q1".to_owned(),
+            "--scheme".to_owned(),
+            "bimodal".to_owned(),
+            "--accesses".to_owned(),
+            "20000".to_owned(),
+            "--json".to_owned(),
+            dir.join(json).display().to_string(),
+        ]
+    };
+    let out = bimodal()
+        .args(base("a.json"))
+        .args(["--checkpoint", &ck.display().to_string()])
+        .args(["--checkpoint-every", "8000"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "checkpointed run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(ck.exists(), "a snapshot was written");
+    let out = bimodal()
+        .args(base("b.json"))
+        .args(["--resume", &ck.display().to_string()])
+        .args(["--backend", "hbm2"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        !out.status.success(),
+        "resuming a paper2014 snapshot under hbm2 must fail"
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("checkpoint does not match this run"),
+        "stderr: {err}"
+    );
+    assert!(err.contains("paper2014") && err.contains("hbm2"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn engine_knob_flags_are_accepted() {
     let out = bimodal()
         .args([

@@ -13,13 +13,13 @@ use bimodal::cache::{
     SetState, WayLocator, WayLocatorConfig,
 };
 use bimodal::dram::{
-    AddressMapping, DeferredOp, DeferredQueue, DramConfig, DramModule, Location, MemorySystem,
-    Request, TrafficClass,
+    AddressMapping, BackendKind, DeferredOp, DeferredQueue, DramConfig, DramModule, Location,
+    MemorySystem, Request, TrafficClass,
 };
 use bimodal::faults::{CampaignConfig, FaultRates};
 use bimodal::obs::Observer;
 use bimodal::prng::SmallRng;
-use bimodal::sim::{LlscCache, LlscConfig, SchemeKind, SystemConfig};
+use bimodal::sim::{LlscCache, LlscConfig, SchemeKind, Simulation, SystemConfig};
 use bimodal::workloads::WorkloadMix;
 
 const SEEDS: [u64; 6] = [1, 7, 42, 1234, 0xDEAD_BEEF, u64::MAX / 3];
@@ -413,6 +413,133 @@ fn llsc_against_shadow_model() {
                 );
             }
         }
+    }
+}
+
+/// Bandwidth attribution closes on every substrate: after servicing an
+/// arbitrary access sequence on any (scheme x backend) pair, each
+/// channel's per-class busy cycles sum exactly to its total busy count,
+/// and the busy total never exceeds the end of the channel's busy span
+/// (non-overlapping bus transfers cannot pack more cycles than that).
+#[test]
+fn channel_class_cycles_sum_to_busy_on_every_backend() {
+    for backend in BackendKind::ALL {
+        for kind in SchemeKind::comparison_set() {
+            let system = SystemConfig::quad_core()
+                .with_cache_mb(4)
+                .with_backend(backend);
+            let mut scheme = kind.build(&system);
+            let mut mem: MemorySystem = system.build_memory();
+            assert_eq!(mem.backend(), backend);
+            let mut rng = SmallRng::seed_from_u64(0xBACC_0000 ^ backend.name().len() as u64);
+            let mut now = 0u64;
+            for _ in 0..150 {
+                let addr = rng.gen_range(0u64..1 << 23);
+                let access = if rng.gen_bool(0.3) {
+                    CacheAccess::write(addr, now)
+                } else {
+                    CacheAccess::read(addr, now)
+                };
+                let out = scheme.access(access, &mut mem);
+                now = out.complete + rng.gen_range(1u64..300);
+            }
+            mem.drain_deferred(now + 1_000_000);
+            for (module, tracker) in [
+                ("cache", mem.cache_dram.bandwidth()),
+                ("offchip", mem.main.bandwidth()),
+            ] {
+                for (i, ch) in tracker.channels().iter().enumerate() {
+                    assert_eq!(
+                        ch.busy.total_cycles(),
+                        ch.busy_cycles,
+                        "{kind} @ {} {module} ch{i}: class cycles must sum to busy",
+                        backend.name()
+                    );
+                    assert!(
+                        ch.busy_cycles <= ch.busy_until,
+                        "{kind} @ {} {module} ch{i}: {} busy cycles packed into a \
+                         span ending at {}",
+                        backend.name(),
+                        ch.busy_cycles,
+                        ch.busy_until
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Bank occupancy never overlaps per bank, on any backend's timing
+/// pack: a bank's accumulated busy cycles cannot exceed the end of the
+/// last completion plus the tail one write may hold the bank past its
+/// reported `done` (write recovery plus any media write penalty).
+#[test]
+fn bank_busy_never_overlaps_on_any_backend() {
+    for backend in BackendKind::ALL {
+        let b = backend.backend();
+        for (tag, mut config) in [("stacked", b.stacked(2, 8)), ("offchip", b.offchip(2, 2))] {
+            // Refresh windows are block-accounted; strip them so the
+            // invariant bounds pure access occupancy.
+            config.timing = config.timing.without_refresh();
+            let slack = config.timing.wr + config.extra_write_lat;
+            let banks = config.ranks_per_channel * config.banks_per_rank;
+            let mut m = DramModule::new(config.clone());
+            let mut rng = SmallRng::seed_from_u64(0xBA1C ^ banks as u64);
+            let mut now = 0u64;
+            let mut last_done = 0u64;
+            for _ in 0..250 {
+                now += rng.gen_range(1u64..150);
+                let loc = Location::new(
+                    rng.gen_range(0u32..config.channels),
+                    rng.gen_range(0u32..config.ranks_per_channel),
+                    rng.gen_range(0u32..config.banks_per_rank),
+                    rng.gen_range(0u64..32),
+                );
+                let c = if rng.gen_bool(0.4) {
+                    m.access(Request::write(loc, 64, now))
+                } else {
+                    m.access(Request::read(loc, 64, now))
+                };
+                assert!(c.done > c.start, "{} {tag}", backend.name());
+                last_done = last_done.max(c.done);
+            }
+            for (i, bank) in m.bandwidth().banks().iter().enumerate() {
+                let busy: u64 = bank.iter().sum();
+                assert!(
+                    busy <= last_done + slack,
+                    "{} {tag} bank{i}: {busy} busy cycles cannot fit in \
+                     [0, {last_done}] without overlap",
+                    backend.name()
+                );
+            }
+        }
+    }
+}
+
+/// A far-memory substrate is slower than the paper's DDR3: on the same
+/// seeded mix, every scheme's average access latency under `pcm-far`
+/// strictly dominates the `paper2014` default — the media read/write
+/// penalties must actually reach the timing model.
+#[test]
+fn pcm_far_latency_strictly_dominates_paper2014() {
+    let mix = || WorkloadMix::quad("Q1").expect("known mix");
+    for kind in SchemeKind::comparison_set() {
+        let run = |backend: BackendKind| {
+            let system = SystemConfig::quad_core()
+                .with_cache_mb(4)
+                .with_backend(backend);
+            Simulation::new(system, kind)
+                .run_mix(&mix(), 2_000)
+                .expect("simulation runs")
+        };
+        let paper = run(BackendKind::Paper2014);
+        let pcm = run(BackendKind::PcmFar);
+        assert!(
+            pcm.avg_latency() > paper.avg_latency(),
+            "{kind}: pcm-far avg latency {:.1} must exceed paper2014 {:.1}",
+            pcm.avg_latency(),
+            paper.avg_latency()
+        );
     }
 }
 

@@ -270,6 +270,159 @@ fn every_scheme_is_byte_identical_under_sharded_decode() {
     }
 }
 
+/// The memory-substrate refactor's hard contract: under the default
+/// `paper2014` backend, every scheme's `--json` report is byte-identical
+/// to the pre-refactor goldens in `tests/golden/`. The comparison runs
+/// through `bimodal diff --exact`, which strips exactly the volatile
+/// wall-clock and profile sections. Regenerate a golden deliberately
+/// (same commit as the model change) with:
+/// `bimodal run --mix Q1 --scheme <s> --accesses 5000 --cache-mb 4
+/// --seed 7 --json tests/golden/run_q1_<s>_5000.json`.
+#[test]
+fn default_backend_reports_match_pre_refactor_goldens() {
+    let golden_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden");
+    for (scheme, slug) in [
+        ("bimodal", "bimodal"),
+        ("alloy", "alloy"),
+        ("lohhill", "lohhill"),
+        ("atcache", "atcache"),
+        ("footprint", "footprint"),
+    ] {
+        let golden = golden_dir.join(format!("run_q1_{slug}_5000.json"));
+        assert!(golden.exists(), "{scheme}: golden report is checked in");
+        let fresh =
+            std::env::temp_dir().join(format!("bimodal-golden-{slug}-{}.json", std::process::id()));
+        let out = std::process::Command::new(env!("CARGO_BIN_EXE_bimodal"))
+            .args([
+                "run",
+                "--mix",
+                "Q1",
+                "--scheme",
+                scheme,
+                "--accesses",
+                "5000",
+                "--cache-mb",
+                "4",
+                "--seed",
+                "7",
+                "--json",
+                fresh.to_str().expect("utf8"),
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{scheme}: stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let diff = std::process::Command::new(env!("CARGO_BIN_EXE_bimodal"))
+            .args(["diff", golden.to_str().expect("utf8")])
+            .arg(&fresh)
+            .arg("--exact")
+            .output()
+            .expect("binary runs");
+        assert!(
+            diff.status.success(),
+            "{scheme}: default-backend report drifted from its golden:\n{}{}",
+            String::from_utf8_lossy(&diff.stdout),
+            String::from_utf8_lossy(&diff.stderr)
+        );
+        std::fs::remove_file(&fresh).expect("cleanup");
+    }
+}
+
+#[test]
+fn checkpoint_resume_is_byte_identical_on_non_default_backends() {
+    // Checkpoint/resume and the substrate registry compose: a snapshot
+    // taken mid-run on a non-default backend restores into a report
+    // byte-identical to the uninterrupted run on that same backend.
+    use bimodal::dram::BackendKind;
+    use bimodal::sim::CheckpointSpec;
+    let mix = WorkloadMix::quad("Q1").expect("Q1 exists");
+    let n = 5_000u64;
+    for backend in [BackendKind::Hbm2, BackendKind::PcmFar] {
+        let sys = || system().with_backend(backend);
+        let reference = Simulation::new(sys(), SchemeKind::BiModal)
+            .run_mix(&mix, n)
+            .expect("reference run");
+        let path = std::env::temp_dir().join(format!(
+            "bimodal-conf-bkend-ckpt-{}-{}.bin",
+            backend.name(),
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        // 4 cores x 5000 accesses = 20000 issued; a 3000 cadence leaves
+        // the last snapshot mid-run (18000), not at the finish line.
+        let spec = CheckpointSpec::new(path.clone(), 3_000).expect("valid cadence");
+        let mut obs = Observer::disabled();
+        let checkpointed = Simulation::new(sys(), SchemeKind::BiModal)
+            .run_mix_checkpointed(&mix, n, &mut obs, Some(&spec), None)
+            .expect("checkpointed run");
+        assert_eq!(
+            checkpointed.to_json().to_compact(),
+            reference.to_json().to_compact(),
+            "{}: writing checkpoints must not perturb the run",
+            backend.name()
+        );
+        assert!(path.exists(), "{}: a snapshot was written", backend.name());
+        let mut obs = Observer::disabled();
+        let resumed = Simulation::new(sys(), SchemeKind::BiModal)
+            .run_mix_checkpointed(&mix, n, &mut obs, None, Some(&path))
+            .expect("resumed run");
+        assert_eq!(
+            resumed.to_json().to_compact(),
+            reference.to_json().to_compact(),
+            "{}: a resumed run must report byte-identically",
+            backend.name()
+        );
+        let _ = std::fs::remove_file(&path);
+        let mut prev = path.into_os_string();
+        prev.push(".prev");
+        let _ = std::fs::remove_file(prev);
+    }
+}
+
+#[test]
+fn resuming_under_a_different_backend_is_a_typed_mismatch() {
+    // The backend is part of the checkpoint fingerprint: a snapshot
+    // taken on paper2014 must refuse to resume under hbm2 with a typed
+    // `Mismatch`, never silently diverge.
+    use bimodal::ckpt::CkptError;
+    use bimodal::dram::BackendKind;
+    use bimodal::sim::{CheckpointSpec, SimError};
+    let mix = WorkloadMix::quad("Q1").expect("Q1 exists");
+    let path = std::env::temp_dir().join(format!(
+        "bimodal-conf-xbkend-ckpt-{}.bin",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let spec = CheckpointSpec::new(path.clone(), 3_000).expect("valid cadence");
+    let mut obs = Observer::disabled();
+    Simulation::new(system(), SchemeKind::BiModal)
+        .run_mix_checkpointed(&mix, 5_000, &mut obs, Some(&spec), None)
+        .expect("checkpointed default-backend run");
+    let mut obs = Observer::disabled();
+    let err = Simulation::new(
+        system().with_backend(BackendKind::Hbm2),
+        SchemeKind::BiModal,
+    )
+    .run_mix_checkpointed(&mix, 5_000, &mut obs, None, Some(&path))
+    .expect_err("a cross-backend resume must fail");
+    match err {
+        SimError::Checkpoint(CkptError::Mismatch { detail }) => {
+            assert!(detail.contains("paper2014"), "names the stored backend");
+            assert!(detail.contains("hbm2"), "names the requested backend");
+        }
+        other => panic!("expected a fingerprint Mismatch, got {other:?}"),
+    }
+    let _ = std::fs::remove_file(&path);
+    let mut prev = path.into_os_string();
+    prev.push(".prev");
+    let _ = std::fs::remove_file(prev);
+}
+
 #[test]
 fn every_scheme_resumes_byte_identically_under_sharding() {
     // Checkpoint/resume and sharded decode compose: a snapshot taken
