@@ -20,6 +20,7 @@ use bimodal_core::{
     EccLedger, FaultTarget, MetadataFault, SchemeStats,
 };
 use bimodal_dram::{Cycle, DeferredOp, MemorySystem, Op, Request, TrafficClass};
+use bimodal_obs::anatomy::{self, Component};
 use bimodal_obs::span::{self, SpanId};
 use bimodal_prng::SmallRng;
 
@@ -415,6 +416,13 @@ impl DramCacheScheme for AlloyCache {
         let tag_known = tad.done + self.config.tag_compare_cycles;
         span::add_cycles(SpanId::TagRead, tag_known.saturating_sub(access.now));
         drop(span_tag);
+        if anatomy::active() {
+            // The TAD probe is tag check and data in one burst; every
+            // path completes no earlier than tag_known, so it is always
+            // on the critical path.
+            anatomy::charge_dram(Component::TagProbe);
+            anatomy::add(Component::TagProbe, self.config.tag_compare_cycles);
+        }
         if !self.ledger.is_empty() {
             // The probe just decoded the protected TAD: SECDED scrub.
             self.scrub_index(index, tad.done, mem);
@@ -431,6 +439,10 @@ impl DramCacheScheme for AlloyCache {
                 let bytes = self.config.block_bytes;
                 mem.main
                     .read(access.addr & !u64::from(bytes - 1), bytes, access.now);
+                if anatomy::active() {
+                    // The wasted fetch is off the critical path.
+                    let _ = anatomy::take_dram();
+                }
                 self.stats.offchip_fetched_bytes += u64::from(bytes);
                 self.stats.offchip_wasted_bytes += u64::from(bytes);
                 offchip_bytes += u64::from(bytes);
@@ -503,6 +515,10 @@ impl DramCacheScheme for AlloyCache {
             );
             let _ = op;
             complete = fetch.done.max(tag_known);
+            if anatomy::active() {
+                let _ = anatomy::take_dram();
+                anatomy::add(Component::OffChip, complete.saturating_sub(tag_known));
+            }
             span::add_cycles(SpanId::Fill, complete.saturating_sub(tag_known));
             self.stats.breakdown.dram_data += tag_known.saturating_sub(access.now);
             self.stats.breakdown.offchip += complete.saturating_sub(tag_known);

@@ -19,6 +19,7 @@ use bimodal_core::{
     EccLedger, FaultTarget, MetadataFault, SchemeStats, SramModel,
 };
 use bimodal_dram::{Cycle, DeferredOp, MemorySystem, Op, Request, RowEvent, TrafficClass};
+use bimodal_obs::anatomy::{self, Component};
 use bimodal_obs::span::{self, SpanId};
 use bimodal_prng::SmallRng;
 
@@ -380,8 +381,17 @@ impl DramCacheScheme for AtCache {
                     .saturating_sub(access.now + self.tag_cache_cycles),
             );
             drop(span_tag);
+            if anatomy::active() {
+                anatomy::charge_dram(Component::TagProbe);
+                anatomy::add(Component::TagProbe, self.config.tag_compare_cycles);
+            }
             t.done + self.config.tag_compare_cycles
         };
+        if anatomy::active() {
+            // The SRAM tag cache is ATCache's locator analogue; both the
+            // tc-hit and tc-miss paths serialize behind it.
+            anatomy::add(Component::Locator, self.tag_cache_cycles);
+        }
 
         let set = &mut self.sets[usize::try_from(set_idx).expect("set fits usize")];
         let hit_pos = set.iter().position(|l| l.tag == tag);
@@ -399,6 +409,9 @@ impl DramCacheScheme for AtCache {
             );
             complete = if fused && op == Op::Read {
                 // Data rode the fused tag burst.
+                if anatomy::active() {
+                    anatomy::fused_saved(mem.cache_dram.column_cost(self.config.block_bytes));
+                }
                 tags_checked
             } else {
                 mem.cache_dram.set_class(TrafficClass::DataHit);
@@ -408,6 +421,9 @@ impl DramCacheScheme for AtCache {
                 self.stats.data_accesses += 1;
                 if data.row_event == RowEvent::Hit {
                     self.stats.data_row_hits += 1;
+                }
+                if anatomy::active() {
+                    anatomy::charge_dram(Component::DataBurst);
                 }
                 data.done
             };
@@ -467,6 +483,10 @@ impl DramCacheScheme for AtCache {
                 },
             );
             complete = fetch.done;
+            if anatomy::active() {
+                let _ = anatomy::take_dram();
+                anatomy::add(Component::OffChip, complete.saturating_sub(tags_checked));
+            }
             span::add_cycles(SpanId::Fill, complete.saturating_sub(tags_checked));
             self.stats.breakdown.offchip += complete.saturating_sub(tags_checked);
         }

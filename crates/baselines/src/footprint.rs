@@ -18,6 +18,7 @@ use bimodal_core::{
     EccLedger, FaultTarget, MetadataFault, SchemeStats, SramModel,
 };
 use bimodal_dram::{Cycle, DeferredOp, MemorySystem, Op, RowEvent, TrafficClass};
+use bimodal_obs::anatomy::{self, Component};
 use bimodal_obs::span::{self, SpanId};
 use bimodal_prng::SmallRng;
 
@@ -464,6 +465,10 @@ impl DramCacheScheme for FootprintCache {
         let set = &mut self.sets[usize::try_from(set_idx).expect("set fits usize")];
         let pos = set.iter().position(|p| p.tag == tag);
         drop(span_tag);
+        if anatomy::active() {
+            // SRAM tag check: every downstream path starts at tags_checked.
+            anatomy::add(Component::TagProbe, self.tag_sram_cycles);
+        }
 
         let mut offchip_bytes = 0u64;
         if let Some(pos) = pos {
@@ -489,6 +494,9 @@ impl DramCacheScheme for FootprintCache {
                 }
                 self.stats.hits += 1;
                 self.stats.big_hits += 1;
+                if anatomy::active() {
+                    anatomy::charge_dram(Component::DataBurst);
+                }
                 self.stats.breakdown.dram_data += data.done.saturating_sub(tags_checked);
                 self.stats.total_latency += data.done.saturating_sub(access.now);
                 return AccessOutcome {
@@ -522,6 +530,10 @@ impl DramCacheScheme for FootprintCache {
                 },
             );
             span::add_cycles(SpanId::Fill, fetch.done.saturating_sub(tags_checked));
+            if anatomy::active() {
+                let _ = anatomy::take_dram();
+                anatomy::add(Component::OffChip, fetch.done.saturating_sub(tags_checked));
+            }
             self.stats.breakdown.offchip += fetch.done.saturating_sub(tags_checked);
             self.stats.total_latency += fetch.done.saturating_sub(access.now);
             return AccessOutcome {
@@ -553,6 +565,10 @@ impl DramCacheScheme for FootprintCache {
             self.stats.offchip_fetched_bytes += u64::from(bytes);
             offchip_bytes += u64::from(bytes);
             self.stats.prefetch_bypasses += 1; // reused counter: bypasses
+            if anatomy::active() {
+                let _ = anatomy::take_dram();
+                anatomy::add(Component::OffChip, fetch.done.saturating_sub(tags_checked));
+            }
             self.stats.breakdown.offchip += fetch.done.saturating_sub(tags_checked);
             self.stats.total_latency += fetch.done.saturating_sub(access.now);
             return AccessOutcome {
@@ -609,6 +625,12 @@ impl DramCacheScheme for FootprintCache {
 
         span::add_cycles(SpanId::Fill, fill_done.saturating_sub(tags_checked));
         drop(span_fill);
+        if anatomy::active() {
+            // The "rest" stream rides behind the demand fetch, off the
+            // critical path; the access completes at demand.done.
+            let _ = anatomy::take_dram();
+            anatomy::add(Component::OffChip, demand.done.saturating_sub(tags_checked));
+        }
         self.stats.breakdown.offchip += demand.done.saturating_sub(tags_checked);
         self.stats.total_latency += demand.done.saturating_sub(access.now);
         AccessOutcome {

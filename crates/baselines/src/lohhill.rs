@@ -11,6 +11,7 @@ use bimodal_core::{
     EccLedger, FaultTarget, MetadataFault, SchemeStats,
 };
 use bimodal_dram::{Cycle, DeferredOp, MemorySystem, Op, Request, RowEvent, TrafficClass};
+use bimodal_obs::anatomy::{self, Component};
 use bimodal_obs::span::{self, SpanId};
 use bimodal_prng::SmallRng;
 
@@ -295,6 +296,12 @@ impl DramCacheScheme for LohHillCache {
         let tags_checked = tags.done + self.config.tag_compare_cycles;
         span::add_cycles(SpanId::TagRead, tags_checked.saturating_sub(access.now));
         drop(span_tag);
+        if anatomy::active() {
+            // Every downstream path starts at tags_checked, so the probe
+            // is unconditionally on the critical path.
+            anatomy::charge_dram(Component::TagProbe);
+            anatomy::add(Component::TagProbe, self.config.tag_compare_cycles);
+        }
         if !self.ledger.is_empty() {
             // The tag read just decoded the protected blocks: SECDED scrub.
             self.scrub_set(set_idx, loc, tags.done, mem);
@@ -318,6 +325,9 @@ impl DramCacheScheme for LohHillCache {
             );
             complete = if fused && op == Op::Read {
                 // Data rode the fused tag burst.
+                if anatomy::active() {
+                    anatomy::fused_saved(mem.cache_dram.column_cost(self.config.block_bytes));
+                }
                 tags_checked
             } else {
                 mem.cache_dram.set_class(TrafficClass::DataHit);
@@ -327,6 +337,9 @@ impl DramCacheScheme for LohHillCache {
                 self.stats.data_accesses += 1;
                 if data.row_event == RowEvent::Hit {
                     self.stats.data_row_hits += 1;
+                }
+                if anatomy::active() {
+                    anatomy::charge_dram(Component::DataBurst);
                 }
                 data.done
             };
@@ -388,6 +401,10 @@ impl DramCacheScheme for LohHillCache {
                 },
             );
             complete = fetch.done;
+            if anatomy::active() {
+                let _ = anatomy::take_dram();
+                anatomy::add(Component::OffChip, complete.saturating_sub(tags_checked));
+            }
             span::add_cycles(SpanId::Fill, complete.saturating_sub(tags_checked));
             self.stats.breakdown.dram_tag += tags_checked.saturating_sub(access.now);
             self.stats.breakdown.offchip += complete.saturating_sub(tags_checked);

@@ -18,6 +18,7 @@ use bimodal_prng::SmallRng;
 use bimodal_dram::{
     Cycle, DeferredOp, DramConfig, MemorySystem, Op, Request, RowEvent, TrafficClass,
 };
+use bimodal_obs::anatomy::{self, Component};
 use bimodal_obs::span::{self, SpanId};
 
 use crate::adaptive::GlobalMixController;
@@ -1017,6 +1018,10 @@ impl DramCacheScheme for BiModalCache {
                 if comp.row_event == RowEvent::Hit {
                     self.stats.data_row_hits += 1;
                 }
+                if anatomy::active() {
+                    anatomy::add(Component::Locator, self.wl_cycles);
+                    anatomy::charge_dram(Component::DataBurst);
+                }
                 let set = &mut self.sets[usize::try_from(set_idx).expect("set fits usize")];
                 set.touch(way, sub, access.is_write());
                 if access.is_write() {
@@ -1104,6 +1109,10 @@ impl DramCacheScheme for BiModalCache {
         if md_comp.row_event == RowEvent::Hit {
             self.stats.md_row_hits += 1;
         }
+        // Hold the tag read's timing partition; how it is charged depends
+        // on the outcome (a speculative miss overlaps it with the fetch
+        // and is sliced coarsely at the return site instead).
+        let md_segs = anatomy::take_dram();
         let row_open = if self.metadata.placement() == MetadataPlacement::DedicatedBank {
             // Concurrent activation of the data row (different channel).
             mem.cache_dram.open_row_hint(data_loc, tag_start).row_open
@@ -1129,6 +1138,9 @@ impl DramCacheScheme for BiModalCache {
             let done = if fused && op == Op::Read {
                 // The data block arrived in the fused tag burst; the hit
                 // completes as soon as the tags are compared.
+                if anatomy::active() {
+                    anatomy::fused_saved(mem.cache_dram.column_cost(self.geometry.small_block));
+                }
                 tags_checked
             } else {
                 let start = tags_checked.max(row_open);
@@ -1140,8 +1152,20 @@ impl DramCacheScheme for BiModalCache {
                 if comp.row_event == RowEvent::Hit {
                     self.stats.data_row_hits += 1;
                 }
+                if anatomy::active() {
+                    // Waiting for the parallel row activation to finish.
+                    anatomy::add(Component::BankConflict, start.saturating_sub(tags_checked));
+                    anatomy::charge_dram(Component::DataBurst);
+                }
                 comp.done
             };
+            if anatomy::active() {
+                anatomy::add(Component::Locator, self.wl_cycles);
+                if let Some(s) = md_segs {
+                    anatomy::charge_segments(s, Component::TagProbe);
+                }
+                anatomy::add(Component::TagProbe, self.tag_compare_cycles);
+            }
             let set = &mut self.sets[usize::try_from(set_idx).expect("set fits usize")];
             set.touch(way, sub, access.is_write());
             if let Some(wl) = self.way_locator.as_mut() {
@@ -1197,6 +1221,15 @@ impl DramCacheScheme for BiModalCache {
             );
             self.stats.prefetch_bypasses += 1;
             self.stats.offchip_fetched_bytes += u64::from(self.geometry.small_block);
+            if anatomy::active() {
+                let _ = anatomy::take_dram();
+                anatomy::add(Component::Locator, self.wl_cycles);
+                if let Some(s) = md_segs {
+                    anatomy::charge_segments(s, Component::TagProbe);
+                }
+                anatomy::add(Component::TagProbe, self.tag_compare_cycles);
+                anatomy::add(Component::OffChip, comp.done.saturating_sub(tags_checked));
+            }
             self.stats.breakdown.sram += self.wl_cycles;
             self.stats.breakdown.dram_tag += tags_checked.saturating_sub(tag_start);
             self.stats.breakdown.offchip += comp.done.saturating_sub(tags_checked);
@@ -1210,9 +1243,29 @@ impl DramCacheScheme for BiModalCache {
         }
 
         let offchip_before = self.stats.offchip_bytes();
+        let spec_used = speculative.is_some();
         let (done, filled_size) =
             self.service_miss(access, set_idx, tag, sub, tags_checked, speculative, mem);
         let offchip_bytes = self.stats.offchip_bytes() - offchip_before;
+        if anatomy::active() {
+            // The fill's off-chip fetch left a note; the miss is charged
+            // by explicit windows instead.
+            let _ = anatomy::take_dram();
+            anatomy::add(Component::Locator, self.wl_cycles);
+            if spec_used {
+                // The tag probe overlapped the speculative fetch; only
+                // the probe time on the critical path counts.
+                let boundary = done.min(tags_checked).max(tag_start);
+                anatomy::add(Component::TagProbe, boundary - tag_start);
+                anatomy::add(Component::OffChip, done.saturating_sub(boundary));
+            } else {
+                if let Some(s) = md_segs {
+                    anatomy::charge_segments(s, Component::TagProbe);
+                }
+                anatomy::add(Component::TagProbe, self.tag_compare_cycles);
+                anatomy::add(Component::OffChip, done.saturating_sub(tags_checked));
+            }
+        }
         let small = filled_size == BlockSize::Small;
         if small {
             self.stats.small_block_accesses += 1;

@@ -23,6 +23,11 @@ pub struct Bank {
     open_row: Option<u64>,
     ready_at: Cycle,
     last_activate: Cycle,
+    /// Latest cycle up to which the bank was occupied by drained
+    /// background (deferred-queue) work; lets the latency anatomy split
+    /// a later access's queue wait into demand-induced and
+    /// deferred-induced portions.
+    deferred_until: Cycle,
 }
 
 /// Outcome of preparing a row for access in a bank.
@@ -95,6 +100,18 @@ impl Bank {
         self.ready_at = self.ready_at.max(until);
     }
 
+    /// Marks the occupancy ending at `until` as background (deferred)
+    /// work.
+    pub fn note_deferred(&mut self, until: Cycle) {
+        self.deferred_until = self.deferred_until.max(until);
+    }
+
+    /// Latest cycle up to which the bank was held by background work.
+    #[must_use]
+    pub fn deferred_until(&self) -> Cycle {
+        self.deferred_until
+    }
+
     /// Drops the row buffer contents without timing cost (used when a
     /// refresh has already performed the precharge-all).
     pub fn discard_row(&mut self) {
@@ -135,6 +152,7 @@ impl bimodal_ckpt::Snapshot for Bank {
         self.open_row.save(w);
         w.u64(self.ready_at);
         w.u64(self.last_activate);
+        w.u64(self.deferred_until);
     }
 
     fn load(r: &mut bimodal_ckpt::SnapshotReader<'_>) -> Result<Self, bimodal_ckpt::CkptError> {
@@ -142,6 +160,7 @@ impl bimodal_ckpt::Snapshot for Bank {
             open_row: bimodal_ckpt::Snapshot::load(r)?,
             ready_at: r.u64()?,
             last_activate: r.u64()?,
+            deferred_until: r.u64()?,
         })
     }
 }

@@ -2,7 +2,7 @@
 
 use std::collections::VecDeque;
 
-use bimodal_obs::{BandwidthTracker, TrafficClass};
+use bimodal_obs::{anatomy, BandwidthTracker, TrafficClass};
 
 use crate::bank::{Bank, RowEvent};
 use crate::config::{DramConfig, PagePolicy};
@@ -64,6 +64,12 @@ pub struct DramModule {
     /// Traffic class the next command is attributed to; set by the
     /// issuing scheme via [`DramModule::set_class`] before each access.
     class: TrafficClass,
+    /// Whether the commands being issued are drained background
+    /// (deferred-queue) work; their bank occupancy is marked so the
+    /// latency anatomy can attribute later accesses' waits to it.
+    /// Transient — toggled around each drain, never true at checkpoint
+    /// boundaries.
+    deferred_mode: bool,
     bandwidth: BandwidthTracker,
 }
 
@@ -95,6 +101,7 @@ impl DramModule {
             done: Vec::new(),
             next_id: 0,
             class: TrafficClass::Other,
+            deferred_mode: false,
             bandwidth: BandwidthTracker::new(config.channels as usize, n_banks),
             config,
         }
@@ -106,6 +113,21 @@ impl DramModule {
     #[inline]
     pub fn set_class(&mut self, class: TrafficClass) {
         self.class = class;
+    }
+
+    /// Marks subsequent commands as drained background (deferred-queue)
+    /// work. The drain loop brackets itself with `true`/`false`.
+    #[inline]
+    pub fn set_deferred_mode(&mut self, on: bool) {
+        self.deferred_mode = on;
+    }
+
+    /// Cycles a column access's CAS + data burst of `bytes` takes,
+    /// ignoring queueing and row state. Used to estimate the latency a
+    /// fused tag+data burst avoided.
+    #[must_use]
+    pub fn column_cost(&self, bytes: u32) -> Cycle {
+        self.config.timing.cl + self.config.burst_cycles(bytes)
     }
 
     /// Per-class bandwidth and occupancy counters.
@@ -225,6 +247,11 @@ impl DramModule {
     /// event recorded.
     pub fn column_access(&mut self, loc: Location, bytes: u32, op: Op, at: Cycle) -> Completion {
         let idx = self.bank_index(loc);
+        // The unadjusted arrival: refresh/tFAW pushes below shadow `at`,
+        // and the pushed value deliberately feeds the queue-wait counter
+        // (`record_transfer`), but the anatomy measures from the cycle
+        // the issuer asked for.
+        let orig_arrival = at;
         let probe = at.max(self.banks[idx].ready_at());
         let at = self.refresh_adjust(idx, probe);
         let at = self.faw_adjust(loc, at, !self.banks[idx].would_hit(loc.row));
@@ -237,7 +264,8 @@ impl DramModule {
             self.note_row_event(idx, prep.event);
             (prep.row_open, Some(prep.event), prep.start)
         };
-        let completion = self.finish_column(idx, loc, bytes, op, cas_ready, start, at);
+        let completion =
+            self.finish_column(idx, loc, bytes, op, cas_ready, start, at, orig_arrival);
         Completion {
             row_event: row_event.unwrap_or(RowEvent::Hit),
             ..completion
@@ -254,6 +282,7 @@ impl DramModule {
         cas_ready: Cycle,
         start: Cycle,
         arrival: Cycle,
+        orig_arrival: Cycle,
     ) -> Completion {
         let t = &self.config.timing;
         // Slow-media extension (zero on DRAM): reads wait on the media
@@ -275,7 +304,29 @@ impl DramModule {
             Op::Read => cas_ready + media_read + t.ccd,
             Op::Write => data_ready + burst + t.wr + self.config.extra_write_lat,
         };
+        // Anatomy note: the exact timing partition of this column access,
+        // telescoping to `done - orig_arrival`. Read the bank's deferred
+        // watermark before this op extends it.
+        if anatomy::active() {
+            let wait = start.saturating_sub(orig_arrival);
+            let deferred = self.banks[idx]
+                .deferred_until()
+                .min(start)
+                .saturating_sub(orig_arrival)
+                .min(wait);
+            anatomy::note_dram(anatomy::DramSegments {
+                wait,
+                deferred,
+                prep: cas_ready.saturating_sub(start),
+                cas: data_ready.saturating_sub(cas_ready),
+                bus: xfer_start.saturating_sub(data_ready),
+                burst,
+            });
+        }
         self.banks[idx].occupy_until(occupy);
+        if self.deferred_mode {
+            self.banks[idx].note_deferred(occupy);
+        }
         // Attribution: pure counter adds off values the timing model just
         // computed; nothing here feeds back into timing.
         self.bandwidth.record_transfer(
@@ -322,6 +373,7 @@ impl DramModule {
             req.op,
             prep.row_open,
             prep.start,
+            req.arrival,
             req.arrival,
         );
         Completion {

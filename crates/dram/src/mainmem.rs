@@ -100,6 +100,13 @@ impl MainMemory {
         self.module.set_class(class);
     }
 
+    /// Marks subsequent transfers as drained background work (see
+    /// [`DramModule::set_deferred_mode`]).
+    #[inline]
+    pub fn set_deferred_mode(&mut self, on: bool) {
+        self.module.set_deferred_mode(on);
+    }
+
     /// Per-class bandwidth and occupancy counters.
     #[must_use]
     pub fn bandwidth(&self) -> &bimodal_obs::BandwidthTracker {

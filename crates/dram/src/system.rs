@@ -1,6 +1,6 @@
 //! The two-level memory system handed to DRAM cache organizations.
 
-use bimodal_obs::QueueDepthStats;
+use bimodal_obs::{anatomy, QueueDepthStats};
 
 use crate::backend::BackendKind;
 use crate::config::DramConfig;
@@ -89,17 +89,48 @@ impl MemorySystem {
         // check would otherwise drown the span in no-op calls.
         let _span = (!self.deferred.is_empty())
             .then(|| bimodal_obs::span::enter(bimodal_obs::SpanId::DeferredDrain));
+        let anatomy_on = anatomy::active();
+        if anatomy_on {
+            self.cache_dram.set_deferred_mode(true);
+            self.main.set_deferred_mode(true);
+        }
+        let mut drained_busy = 0u64;
         while let Some((at, op)) = self.deferred.pop_due(now) {
             match op {
                 DeferredOp::CacheWrite { loc, bytes, class } => {
                     self.cache_dram.set_class(class);
-                    self.cache_dram.column_access(loc, bytes, Op::Write, at);
+                    let done = self
+                        .cache_dram
+                        .column_access(loc, bytes, Op::Write, at)
+                        .done;
+                    if anatomy_on {
+                        // Credit the drained write's cycles to the class of
+                        // the access that originated it, not to whichever
+                        // demand access happens to trigger this drain.
+                        if let Some(segs) = anatomy::take_dram() {
+                            anatomy::record_background(class, segs);
+                        }
+                        drained_busy += done.saturating_sub(at);
+                    }
                 }
                 DeferredOp::MainWrite { addr, bytes, class } => {
                     self.main.set_class(class);
-                    self.main.write(addr, bytes, at);
+                    let done = self.main.write(addr, bytes, at).done;
+                    if anatomy_on {
+                        // Row-crossing writes leave only the last
+                        // sub-transfer's note; discard it and record the
+                        // whole off-chip window instead.
+                        let _ = anatomy::take_dram();
+                        anatomy::record_background_offchip(class, done.saturating_sub(at));
+                        drained_busy += done.saturating_sub(at);
+                    }
                 }
             }
+        }
+        if anatomy_on {
+            self.cache_dram.set_deferred_mode(false);
+            self.main.set_deferred_mode(false);
+            bimodal_obs::span::add_cycles(bimodal_obs::SpanId::DeferredDrain, drained_busy);
         }
         self.queue_depth.observe(now, self.deferred.len() as u64);
     }
@@ -313,5 +344,74 @@ mod tests {
         s.reset_stats();
         assert_eq!(s.cache_dram.stats().totals.accesses(), 0);
         assert_eq!(s.main.stats().totals.accesses(), 0);
+    }
+
+    /// The corrected drain attribution: a drained operation's cycles are
+    /// credited to the traffic class of the access that originated it
+    /// (the deferred op's own class), and the per-class tally's cycle
+    /// total covers every drained op — nothing is silently re-credited
+    /// to the demand access that happened to trigger the drain.
+    #[test]
+    fn drained_ops_credit_cycles_to_their_originating_class() {
+        use crate::request::Location;
+        use bimodal_obs::TrafficClass;
+
+        anatomy::begin_thread();
+        anatomy::start_access();
+        let mut s = MemorySystem::quad_core();
+        s.defer(
+            10,
+            DeferredOp::CacheWrite {
+                loc: Location::new(0, 0, 0, 3),
+                bytes: 64,
+                class: TrafficClass::DataFill,
+            },
+        );
+        s.defer(
+            20,
+            DeferredOp::CacheWrite {
+                loc: Location::new(1, 0, 2, 5),
+                bytes: 64,
+                class: TrafficClass::MetadataWrite,
+            },
+        );
+        s.defer(
+            30,
+            DeferredOp::MainWrite {
+                addr: 0x4000,
+                bytes: 64,
+                class: TrafficClass::Writeback,
+            },
+        );
+        s.drain_deferred(1_000);
+        let tally = anatomy::take_background().expect("drained ops were recorded");
+        // The demand-access builder stays untouched: background cycles
+        // must not leak into the in-flight access's components.
+        let rec = anatomy::finish_access(0);
+        anatomy::end_thread();
+        assert_eq!(
+            rec.comps.iter().sum::<u64>(),
+            0,
+            "drained cycles must not be charged to the triggering access"
+        );
+
+        for class in [
+            TrafficClass::DataFill,
+            TrafficClass::MetadataWrite,
+            TrafficClass::Writeback,
+        ] {
+            assert!(
+                tally.class_cycles(class) > 0,
+                "{}: drained cycles must land on the originating class",
+                class.name()
+            );
+        }
+        assert_eq!(
+            tally.total_cycles(),
+            tally.class_cycles(TrafficClass::DataFill)
+                + tally.class_cycles(TrafficClass::MetadataWrite)
+                + tally.class_cycles(TrafficClass::Writeback),
+            "every drained cycle is accounted to exactly one class"
+        );
     }
 }

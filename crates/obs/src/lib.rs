@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod anatomy;
 mod bandwidth;
 mod hist;
 pub mod json;
@@ -45,6 +46,11 @@ pub mod span;
 mod timer;
 mod trace;
 
+pub use anatomy::{
+    AccessAnatomy, AnatomyStats, AnatomySummary, BackgroundTally, ClassBgSummary, CompSummary,
+    Component, DramSegments, FlightEntry, FlightRecorder, Journey, JourneyLog, PopSummary,
+    COMPONENT_COUNT,
+};
 pub use bandwidth::{
     BandwidthSample, BandwidthSeries, BandwidthSummary, BandwidthTracker, ChannelBandwidth,
     ChannelBandwidthSummary, ClassCounters, HotSet, MemoryBandwidth, QueueDepthStats, TrafficClass,
@@ -230,6 +236,14 @@ pub struct ObserverConfig {
     pub exact_tails: Option<usize>,
     /// Collect hot-path span profiles (see [`span`]).
     pub spans: bool,
+    /// Collect per-access latency anatomy (see [`anatomy`]).
+    pub anatomy: bool,
+    /// Record every k-th access's full journey (`None` disables journey
+    /// sampling). Implies anatomy collection.
+    pub journeys_every: Option<u64>,
+    /// Restrict journey recording to accesses touching this exact
+    /// address. Implies anatomy collection.
+    pub journey_addr: Option<u64>,
 }
 
 impl Default for ObserverConfig {
@@ -241,6 +255,9 @@ impl Default for ObserverConfig {
             heartbeat: None,
             exact_tails: None,
             spans: false,
+            anatomy: false,
+            journeys_every: None,
+            journey_addr: None,
         }
     }
 }
@@ -281,6 +298,32 @@ impl ObserverConfig {
     #[must_use]
     pub fn with_spans(mut self) -> Self {
         self.spans = true;
+        self
+    }
+
+    /// Enables per-access latency anatomy (see [`anatomy`]).
+    #[must_use]
+    pub fn with_anatomy(mut self) -> Self {
+        self.anatomy = true;
+        self
+    }
+
+    /// Enables journey sampling: every `every`-th access's full anatomy
+    /// is recorded (implies [`ObserverConfig::with_anatomy`]).
+    #[must_use]
+    pub fn with_journeys(mut self, every: u64) -> Self {
+        self.journeys_every = Some(every.max(1));
+        self
+    }
+
+    /// Restricts journey recording to accesses touching `addr` exactly
+    /// (implies journey sampling at every access).
+    #[must_use]
+    pub fn with_journey_addr(mut self, addr: u64) -> Self {
+        self.journey_addr = Some(addr);
+        if self.journeys_every.is_none() {
+            self.journeys_every = Some(1);
+        }
         self
     }
 }
@@ -356,6 +399,12 @@ pub struct Observer {
     pub timers: PhaseTimers,
     /// Whether the engine should collect hot-path span profiles.
     pub spans: bool,
+    /// Per-access latency anatomy accumulators, when enabled (boxed —
+    /// the component histograms are large and cold relative to the
+    /// per-access hot path).
+    pub anatomy: Option<Box<AnatomyStats>>,
+    /// Sampled request-journey log, when journey mode is on.
+    pub journeys: Option<JourneyLog>,
 }
 
 impl Observer {
@@ -373,6 +422,8 @@ impl Observer {
             heartbeat: None,
             timers: PhaseTimers::start(),
             spans: false,
+            anatomy: None,
+            journeys: None,
         }
     }
 
@@ -389,6 +440,17 @@ impl Observer {
             bandwidth: BandwidthSeries::default(),
             heartbeat: config.heartbeat.map(Heartbeat::new),
             timers: PhaseTimers::start(),
+            anatomy: (config.anatomy
+                || config.journeys_every.is_some()
+                || config.journey_addr.is_some())
+            .then(|| Box::new(AnatomyStats::new())),
+            journeys: config.journeys_every.map(|every| {
+                let log = JourneyLog::new(every);
+                match config.journey_addr {
+                    Some(addr) => log.with_addr(addr),
+                    None => log,
+                }
+            }),
             spans: config.spans,
         }
     }
@@ -418,6 +480,12 @@ impl Observer {
         self.latency.reset();
         if let Some(t) = &mut self.tails {
             t.reset();
+        }
+        // Journeys deliberately survive the warm-up reset — they are a
+        // debugging aid, and warm-up journeys are often the interesting
+        // ones.
+        if let Some(a) = &mut self.anatomy {
+            a.reset();
         }
     }
 
@@ -501,6 +569,10 @@ impl Observer {
         self.tails.save(w);
         self.epochs.save(w);
         self.bandwidth.save(w);
+        w.bool(self.anatomy.is_some());
+        if let Some(a) = &self.anatomy {
+            a.save(w);
+        }
     }
 
     /// Restores accumulators saved by [`Observer::save_accumulators`]
@@ -529,6 +601,19 @@ impl Observer {
         self.tails = bimodal_ckpt::Snapshot::load(r)?;
         self.epochs = bimodal_ckpt::Snapshot::load(r)?;
         self.bandwidth = bimodal_ckpt::Snapshot::load(r)?;
+        let has_anatomy = r.bool()?;
+        if has_anatomy != self.anatomy.is_some() {
+            return Err(bimodal_ckpt::CkptError::Mismatch {
+                detail: format!(
+                    "checkpoint taken with anatomy {}, resuming with it {}",
+                    if has_anatomy { "on" } else { "off" },
+                    if self.anatomy.is_some() { "on" } else { "off" },
+                ),
+            });
+        }
+        if has_anatomy {
+            self.anatomy = Some(Box::new(bimodal_ckpt::Snapshot::load(r)?));
+        }
         Ok(())
     }
 }

@@ -14,6 +14,7 @@
 use bimodal_ckpt::{CkptError, CkptFile, SnapshotWriter};
 use bimodal_core::{AccessKind, AccessOutcome, CacheAccess, DramCacheScheme, SchemeStats};
 use bimodal_dram::{Cycle, DramStats, MemorySystem};
+use bimodal_obs::anatomy::{self, FlightEntry, FlightRecorder, Journey};
 use bimodal_obs::span::{self, SpanId};
 use bimodal_obs::{
     Counters, EventKind, MemoryBandwidth, Observer, RequestClass, SpanProfile, TraceEvent,
@@ -177,6 +178,9 @@ pub struct StallDiagnostic {
     pub deferred_pending: usize,
     /// The last access issued before the abort: `(core, addr, is_write)`.
     pub last_access: Option<(u32, u64, bool)>,
+    /// Flight-recorder contents: the last accesses issued before the
+    /// abort, oldest first.
+    pub recent: Vec<FlightEntry>,
 }
 
 impl std::fmt::Display for StallDiagnostic {
@@ -206,6 +210,22 @@ impl std::fmt::Display for StallDiagnostic {
                 if is_write { "write" } else { "read" },
                 addr
             )?;
+        }
+        if !self.recent.is_empty() {
+            writeln!(f, "\nlast {} accesses before the stall:", self.recent.len())?;
+            for e in &self.recent {
+                writeln!(
+                    f,
+                    "  seq {:>8} core {} {} {:#014x} issue {:>10} complete {:>10} {}",
+                    e.seq,
+                    e.core,
+                    if e.is_write { "write" } else { "read " },
+                    e.addr,
+                    e.at,
+                    e.complete,
+                    if e.hit { "hit" } else { "miss" },
+                )?;
+            }
         }
         Ok(())
     }
@@ -454,12 +474,13 @@ impl Engine {
         );
         if (ckpt.is_some() || resume.is_some())
             && obs.is_enabled()
-            && (obs.spans || obs.trace.is_some())
+            && (obs.spans || obs.trace.is_some() || obs.journeys.is_some())
         {
             return Err(CkptError::Mismatch {
-                detail: "checkpointing is incompatible with span profiling and event \
-                         tracing: their buffers are not serialized, so a resumed run \
-                         could not reproduce them"
+                detail: "checkpointing is incompatible with span profiling, event \
+                         tracing and journey sampling: their buffers are not \
+                         serialized, so a resumed run could not reproduce them \
+                         (anatomy accumulators alone checkpoint fine)"
                     .into(),
             }
             .into());
@@ -474,6 +495,35 @@ impl Engine {
         if profiling {
             span::begin_run();
         }
+
+        // Anatomy attribution is likewise per-thread state: the engine
+        // brackets the run so component charges recorded deep inside the
+        // schemes land in this run's accumulators. The guard re-disables
+        // the thread-local gate on every exit path, including panics.
+        struct AnatomyGuard;
+        impl Drop for AnatomyGuard {
+            fn drop(&mut self) {
+                anatomy::end_thread();
+            }
+        }
+        let anatomy_on = obs.is_enabled() && obs.anatomy.is_some();
+        let _anatomy_guard = anatomy_on.then(|| {
+            anatomy::begin_thread();
+            AnatomyGuard
+        });
+
+        // Always-on bounded flight recorder: a constant-memory ring of
+        // the last accesses, dumped to stderr if the run panics and
+        // attached to the watchdog's stall diagnostic.
+        struct FlightGuard(FlightRecorder);
+        impl Drop for FlightGuard {
+            fn drop(&mut self) {
+                if std::thread::panicking() && self.0.seen() > 0 {
+                    eprintln!("{}", self.0.dump());
+                }
+            }
+        }
+        let mut flight = FlightGuard(FlightRecorder::new(FlightRecorder::DEFAULT_CAPACITY));
 
         if obs.is_enabled() {
             // The per-set heatmap allocates per touched row, so it is
@@ -608,6 +658,9 @@ impl Engine {
             };
             // With an LLSC front-end, hits are absorbed in SRAM and dirty
             // victims become writes into the DRAM cache.
+            if anatomy_on {
+                anatomy::start_access();
+            }
             let span_access = span::enter(SpanId::SchemeAccess);
             let outcome = if let Some(l) = llsc.as_mut() {
                 let r = l.access(access.addr, access.is_write);
@@ -621,6 +674,12 @@ impl Engine {
                 } else {
                     if let Some(victim) = r.writeback {
                         let _ = scheme.access(CacheAccess::write(victim, now), mem);
+                        if anatomy_on {
+                            // The victim writeback is not part of the
+                            // demand access's latency: restart attribution
+                            // so its components are not charged here.
+                            anatomy::start_access();
+                        }
                     }
                     // The demand miss reaches the DRAM cache as a read
                     // (the LLSC allocates and owns the dirty state).
@@ -646,6 +705,15 @@ impl Engine {
             span::add_cycles(SpanId::SchemeAccess, outcome.complete.saturating_sub(now));
             drop(span_access);
             hook.on_outcome(ctx, &outcome, obs);
+            flight.0.record(FlightEntry {
+                seq: ctx.seq,
+                core: ctx.core,
+                addr: access.addr,
+                is_write: access.is_write,
+                at: now,
+                complete: outcome.complete,
+                hit: outcome.hit,
+            });
 
             if obs.is_enabled() {
                 let latency = outcome.complete.saturating_sub(now);
@@ -655,6 +723,27 @@ impl Engine {
                     RequestClass::Read
                 };
                 obs.record_latency(class, outcome.hit, latency);
+                if anatomy_on {
+                    let rec = anatomy::finish_access(latency);
+                    if let Some(a) = obs.anatomy.as_mut() {
+                        a.record(class, outcome.hit, latency, &rec);
+                        if let Some(bg) = anatomy::take_background() {
+                            a.merge_background(&bg);
+                        }
+                    }
+                    if let Some(j) = obs.journeys.as_mut() {
+                        j.maybe_record(Journey {
+                            seq: ctx.seq,
+                            core: ctx.core,
+                            addr: access.addr,
+                            is_write: access.is_write,
+                            at: now,
+                            latency,
+                            hit: outcome.hit,
+                            comps: rec.comps,
+                        });
+                    }
+                }
                 if let Some((pre_scheme, pre_dram)) = pre {
                     derive_trace_events(
                         obs,
@@ -681,13 +770,22 @@ impl Engine {
                 pf.observe(access.addr);
                 pf.candidates_into(access.addr, &mut pf_lines);
                 for &line in &pf_lines {
+                    if anatomy_on {
+                        anatomy::start_access();
+                    }
                     let po = scheme.access(CacheAccess::prefetch(line, now), mem);
                     if obs.is_enabled() {
-                        obs.record_latency(
-                            RequestClass::Prefetch,
-                            po.hit,
-                            po.complete.saturating_sub(now),
-                        );
+                        let lat = po.complete.saturating_sub(now);
+                        obs.record_latency(RequestClass::Prefetch, po.hit, lat);
+                        if anatomy_on {
+                            let rec = anatomy::finish_access(lat);
+                            if let Some(a) = obs.anatomy.as_mut() {
+                                a.record(RequestClass::Prefetch, po.hit, lat, &rec);
+                                if let Some(bg) = anatomy::take_background() {
+                                    a.merge_background(&bg);
+                                }
+                            }
+                        }
                     }
                     pf.mark_present(line);
                 }
@@ -782,6 +880,7 @@ impl Engine {
                                 .collect(),
                             deferred_pending: mem.deferred_pending(),
                             last_access: Some((ctx.core, ctx.addr, ctx.is_write)),
+                            recent: flight.0.entries(),
                         })));
                     }
                 }
@@ -866,6 +965,7 @@ impl Engine {
                 deferred_queue: mem.queue_depth(),
             },
             profile,
+            anatomy: obs.anatomy.as_ref().map(|a| a.summarize()),
         })
     }
 }

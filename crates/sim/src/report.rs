@@ -2,6 +2,7 @@
 
 use bimodal_core::SchemeStats;
 use bimodal_dram::{Cycle, DramStats};
+use bimodal_obs::anatomy::AnatomySummary;
 use bimodal_obs::{Json, MemoryBandwidth, MetricsRegistry, ObsSummary, SpanProfile};
 
 /// Name of the default substrate, whose reports keep the pre-backend JSON
@@ -41,6 +42,11 @@ pub struct RunReport {
     /// and simulated-cycle attribution. Disabled (all zero) unless the
     /// run was observed with spans on.
     pub profile: SpanProfile,
+    /// Per-access latency anatomy: per-component cycle accounting split
+    /// by hit/miss and traffic class, plus background attribution.
+    /// `None` unless the run collected anatomy — absent from the JSON
+    /// report too, so default reports stay byte-identical.
+    pub anatomy: Option<AnatomySummary>,
 }
 
 impl RunReport {
@@ -107,6 +113,11 @@ impl RunReport {
             .set("obs", self.obs.to_json())
             .set("bandwidth", self.bandwidth.to_json())
             .set("profile", self.profile.to_json());
+        if let Some(a) = &self.anatomy {
+            // Appended after every pre-existing key and only when the
+            // run collected anatomy: default reports stay byte-identical.
+            o.set("anatomy", a.to_json());
+        }
         o
     }
 
@@ -176,6 +187,9 @@ impl RunReport {
                 .gauge("wall.cycles_per_second", w.cycles_per_second);
         }
         self.profile.fill_metrics(reg);
+        if let Some(a) = &self.anatomy {
+            a.fill_metrics(reg);
+        }
     }
 }
 
@@ -267,6 +281,7 @@ mod tests {
             obs: ObsSummary::default(),
             bandwidth: MemoryBandwidth::default(),
             profile: SpanProfile::default(),
+            anatomy: None,
         };
         assert_eq!(r.mean_core_cycles(), 0.0);
         assert_eq!(r.avg_latency(), 0.0);
@@ -294,6 +309,7 @@ mod tests {
             obs: ObsSummary::default(),
             bandwidth: MemoryBandwidth::default(),
             profile: SpanProfile::default(),
+            anatomy: None,
         };
         assert_eq!(r.dram_cache_accesses(), 10);
         assert!((r.avg_latency() - 100.0).abs() < 1e-12);
@@ -323,6 +339,7 @@ mod tests {
             obs: ObsSummary::default(),
             bandwidth: MemoryBandwidth::default(),
             profile: SpanProfile::default(),
+            anatomy: None,
         };
         let j = r.to_json();
         assert_eq!(j.get("scheme").and_then(Json::as_str), Some("bimodal"));
@@ -361,6 +378,7 @@ mod tests {
             obs: ObsSummary::default(),
             bandwidth: MemoryBandwidth::default(),
             profile: SpanProfile::default(),
+            anatomy: None,
         };
         let Json::Obj(pairs) = r.to_json() else {
             panic!("report serializes to an object");
@@ -391,6 +409,16 @@ mod tests {
         for key in ["elapsed_cycles", "cache", "offchip", "deferred_queue"] {
             assert!(bw.get(key).is_some(), "missing bandwidth key {key}");
         }
+
+        // Anatomy, when collected, appends strictly after every
+        // pre-existing key; unobserved reports carry no `anatomy` key.
+        let mut r = r;
+        r.anatomy = Some(bimodal_obs::anatomy::AnatomyStats::new().summarize());
+        let Json::Obj(pairs) = r.to_json() else {
+            panic!("report serializes to an object");
+        };
+        assert_eq!(pairs.last().map(|(k, _)| k.as_str()), Some("anatomy"));
+        assert_eq!(pairs.len(), keys.len() + 1);
     }
 
     #[test]
@@ -418,6 +446,7 @@ mod tests {
             obs: ObsSummary::default(),
             bandwidth: MemoryBandwidth::default(),
             profile: SpanProfile::default(),
+            anatomy: None,
         };
         assert_eq!(r.to_json().get("backend"), None);
 

@@ -35,6 +35,7 @@ fn usage() -> &'static str {
      \x20 run     --mix <M> --scheme <S> [--accesses N] [--cache-mb C] [--seed K]\n\
      \x20         [--backend B]\n\
      \x20         [--warmup N] [--mlp N] [--prefetch N[:bypass]] [--profile]\n\
+     \x20         [--anatomy] [--journeys N]\n\
      \x20         [--shards N] [--json FILE] [--trace-out FILE] [--epoch CYCLES]\n\
      \x20         [--heartbeat SECS] [--metrics-out FILE] [--metrics-format json|prom]\n\
      \x20         [--checkpoint FILE [--checkpoint-every N]] [--resume FILE]\n\
@@ -63,7 +64,13 @@ fn usage() -> &'static str {
      \x20         [--history FILE] [--check-history] [--window N] [--max-regress PCT]\n\
      \x20 bandwidth --mix <M> [--backend B] [--scheme <S|all>] [--accesses N] [--cache-mb C]\n\
      \x20         [--seed K] [--jobs N] [--json FILE]\n\
-     \x20 diff    <a.json> <b.json> [--threshold PCT] [--exact]\n\
+     \x20 latency --mix <M> [--backend B] [--scheme <S|all>] [--accesses N] [--cache-mb C]\n\
+     \x20         [--seed K] [--jobs N] [--json FILE]\n\
+     \x20         per-component cycle anatomy table (where do the cycles go)\n\
+     \x20 explain --mix <M> --scheme <S> --addr X [--backend B] [--accesses N]\n\
+     \x20         [--cache-mb C] [--seed K]\n\
+     \x20         replay and print every journey touching address X\n\
+     \x20 diff    <a.json> <b.json> [--threshold PCT] [--anatomy-threshold CY] [--exact]\n\
      \x20         exits 1 on drift/difference, 2 on unreadable or malformed input\n\
      \n\
      memory substrates:\n\
@@ -114,6 +121,14 @@ fn usage() -> &'static str {
      \x20                   on fanned commands, one aggregated fleet line\n\
      \x20 --profile         run: collect the hot-path span profile\n\
      \x20                   (per-phase call counts, host ns, sim cycles)\n\
+     \x20 --anatomy         run: per-access latency anatomy (cycle accounting\n\
+     \x20                   by component, split by hit/miss and class; adds\n\
+     \x20                   an `anatomy` section to --json reports)\n\
+     \x20 --journeys N      run: record every N-th access's full journey\n\
+     \x20                   (implies --anatomy; with --trace-out the journeys\n\
+     \x20                   ride along as Chrome flow events)\n\
+     \x20 --anatomy-threshold CY  diff: gate per-component mean cycles with an\n\
+     \x20                   absolute threshold of CY cycles\n\
      \x20 --metrics-out F   write the unified metrics snapshot to F\n\
      \x20                   (`-` writes to stderr)\n\
      \x20 --metrics-format  json (default) or prom (Prometheus text)\n\
@@ -143,6 +158,7 @@ const BARE_FLAGS: &[&str] = &[
     "quick",
     "stream",
     "profile",
+    "anatomy",
     "check-history",
     "exact",
 ];
@@ -342,6 +358,8 @@ fn build_observer(flags: &HashMap<String, String>) -> Result<Observer, String> {
         "sample-every",
         "profile",
         "metrics-out",
+        "anatomy",
+        "journeys",
     ]
     .iter()
     .any(|k| flags.contains_key(*k));
@@ -373,6 +391,18 @@ fn build_observer(flags: &HashMap<String, String>) -> Result<Observer, String> {
     if flag_bool(flags, "profile")? {
         cfg = cfg.with_spans();
     }
+    if flag_bool(flags, "anatomy")? {
+        cfg = cfg.with_anatomy();
+    }
+    if let Some(every) = flags.get("journeys") {
+        let every: u64 = every
+            .parse()
+            .map_err(|_| "--journeys takes a sampling interval".to_owned())?;
+        if every == 0 {
+            return Err("--journeys must be at least 1".to_owned());
+        }
+        cfg = cfg.with_journeys(every);
+    }
     Ok(Observer::enabled(cfg))
 }
 
@@ -400,11 +430,12 @@ fn parse_crash_safety(
 /// so checkpoint/resume fails with a CLI-level message instead of a
 /// mid-run engine error.
 fn reject_unsnapshottable(flags: &HashMap<String, String>) -> Result<(), String> {
-    for incompatible in ["trace-out", "profile", "stream"] {
+    for incompatible in ["trace-out", "profile", "stream", "journeys"] {
         if flags.contains_key(incompatible) {
             return Err(format!(
                 "--{incompatible} cannot be combined with --checkpoint/--resume \
-                 (event-trace and span buffers are not snapshotted)"
+                 (event-trace, span and journey buffers are not snapshotted; \
+                 --anatomy alone checkpoints fine)"
             ));
         }
     }
@@ -664,10 +695,25 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
     print_report(&format!("{} on {}", scheme.name(), mix.name()), &report);
     print_obs(&report.obs);
     print_profile(&report.profile);
+    if let Some(a) = &report.anatomy {
+        print_anatomy(a);
+    }
+    if let Some(jl) = &obs.journeys {
+        println!(
+            "recorded {} journey(s) (every {}-th access, {} dropped at capacity)",
+            jl.entries().len(),
+            jl.every(),
+            jl.dropped()
+        );
+    }
     if let Some(path) = flags.get("trace-out") {
         // The per-channel bandwidth counter samples ride along as
-        // Chrome "C" events so Perfetto draws stacked utilization lanes.
-        let counters = obs.bandwidth.counter_events();
+        // Chrome "C" events so Perfetto draws stacked utilization lanes;
+        // sampled journeys join them as flow events.
+        let mut counters = obs.bandwidth.counter_events();
+        if let Some(jl) = &obs.journeys {
+            counters.extend(jl.chrome_trace_events());
+        }
         let ring = obs.trace.as_mut().expect("tracing was enabled");
         if stream {
             let written = ring
@@ -1730,6 +1776,236 @@ fn cmd_bandwidth(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Short column labels for the anatomy components, in
+/// [`bimodal::obs::Component::ALL`] order.
+const COMP_LABELS: [&str; bimodal::obs::COMPONENT_COUNT] = [
+    "queue", "bankc", "tagpr", "locat", "burst", "offch", "defer", "other",
+];
+
+/// Header of an anatomy table: one column per component plus the mean.
+fn anatomy_header(first: &str) -> String {
+    use std::fmt::Write as _;
+    let mut h = format!("{first:>16} {:>9}", "count");
+    for label in COMP_LABELS {
+        let _ = write!(h, " {label:>7}");
+    }
+    let _ = write!(h, " {:>8}", "avg");
+    h
+}
+
+/// One anatomy table row: mean cycles per access in each component.
+fn anatomy_row(name: &str, p: &bimodal::obs::PopSummary) -> String {
+    use std::fmt::Write as _;
+    let mut row = format!("{name:>16} {:>9}", p.count);
+    for i in 0..bimodal::obs::COMPONENT_COUNT {
+        let _ = write!(row, " {:>7.1}", p.mean_component(i));
+    }
+    let _ = write!(row, " {:>8.1}", p.mean_latency());
+    row
+}
+
+/// Prints a run report's anatomy section as per-population tables.
+fn print_anatomy(a: &bimodal::obs::AnatomySummary) {
+    println!("-- latency anatomy: mean cycles per access by component --");
+    println!("{}", anatomy_header("population"));
+    for p in &a.populations {
+        if p.count > 0 {
+            println!("{}", anatomy_row(p.name, p));
+        }
+    }
+    if a.fused_saved_cycles > 0 {
+        println!(
+            "fused tag+data bursts saved an estimated {} cycles",
+            a.fused_saved_cycles
+        );
+    }
+    for b in &a.background {
+        println!(
+            "background {:>14}: {} ops, {} cycles",
+            b.name,
+            b.ops,
+            b.cycles.iter().sum::<u64>()
+        );
+    }
+}
+
+/// Checks the structural invariant on a report's anatomy section:
+/// every population's component cycles sum exactly to its total
+/// measured latency.
+fn check_anatomy_sums(scheme: &str, a: &bimodal::obs::AnatomySummary) -> Result<(), String> {
+    for p in &a.populations {
+        let sum: u64 = p.components.iter().map(|c| c.cycles).sum();
+        if sum != p.total_latency {
+            return Err(format!(
+                "{scheme}: anatomy components of {} sum to {} cycles but \
+                 total latency is {}",
+                p.name, sum, p.total_latency
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_latency(flags: &HashMap<String, String>) -> Result<(), String> {
+    let mix_name = flags.get("mix").ok_or("latency needs --mix")?;
+    let scheme_flag = flags.get("scheme").map_or("all", String::as_str);
+    let kinds = if scheme_flag.eq_ignore_ascii_case("all") {
+        SchemeKind::comparison_set()
+    } else {
+        vec![parse_scheme(scheme_flag)?]
+    };
+    let (mix, base) = parse_mix(mix_name)?;
+    let system = configured_system(base, flags)?;
+    let n = num(flags, "accesses", 30_000)?;
+    let jobs = parse_jobs(flags)?;
+    let sims = kinds
+        .iter()
+        .map(|&kind| build_simulation(system.clone(), kind, flags).map(|s| (kind, s)))
+        .collect::<Result<Vec<_>, _>>()?;
+    let runs = bimodal::exec::map(jobs, sims, |(kind, sim)| {
+        let mut obs = Observer::enabled(ObserverConfig::default().with_anatomy());
+        (
+            kind,
+            sim.run_mix_observed(&mix, n, &mut obs)
+                .map_err(|e| e.to_string()),
+        )
+    });
+    let mut reports = Vec::new();
+    for (kind, run) in runs {
+        let r = run?;
+        let a = r
+            .anatomy
+            .as_ref()
+            .ok_or_else(|| format!("{}: run produced no anatomy section", kind.name()))?;
+        check_anatomy_sums(kind.name(), a)?;
+        reports.push((kind, r));
+    }
+    println!(
+        "== latency anatomy on {} ({} accesses/core) ==",
+        mix.name(),
+        n
+    );
+    // One table per demand population that any scheme saw: a row per
+    // scheme of mean cycles spent in each component.
+    let pop_count = reports.first().map_or(0, |(_, r)| {
+        r.anatomy.as_ref().map_or(0, |a| a.populations.len())
+    });
+    for pi in 0..pop_count {
+        if !reports.iter().any(|(_, r)| {
+            r.anatomy
+                .as_ref()
+                .is_some_and(|a| a.populations[pi].count > 0)
+        }) {
+            continue;
+        }
+        let name = reports[0].1.anatomy.as_ref().expect("checked").populations[pi].name;
+        println!("-- {name}: mean cycles per access by component --");
+        println!("{}", anatomy_header("scheme"));
+        for (kind, r) in &reports {
+            let p = &r.anatomy.as_ref().expect("checked").populations[pi];
+            println!("{}", anatomy_row(kind.name(), p));
+        }
+    }
+    for (kind, r) in &reports {
+        let a = r.anatomy.as_ref().expect("checked");
+        if a.fused_saved_cycles > 0 {
+            println!(
+                "{:>16}: fused tag+data bursts saved an estimated {} cycles",
+                kind.name(),
+                a.fused_saved_cycles
+            );
+        }
+    }
+    println!(
+        "component sums verified: anatomy components add up to measured \
+         latency on {} scheme(s)",
+        reports.len()
+    );
+    if let Some(path) = flags.get("json") {
+        let mut j = Json::object();
+        j.set("command", "latency")
+            .set("mix", mix.name())
+            .set("accesses_per_core", n)
+            .set(
+                "schemes",
+                Json::Arr(reports.iter().map(|(k, _)| Json::from(k.name())).collect()),
+            )
+            .set(
+                "reports",
+                Json::Arr(reports.iter().map(|(_, r)| r.to_json()).collect()),
+            );
+        write_json(path, &j)?;
+        println!("wrote latency anatomy JSON to {path}");
+    }
+    Ok(())
+}
+
+/// Parses `--addr X` (hex with `0x` prefix, or decimal).
+fn parse_addr(flags: &HashMap<String, String>) -> Result<u64, String> {
+    let raw = flags.get("addr").ok_or("explain needs --addr")?;
+    let parsed = if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    parsed.map_err(|_| format!("--addr must be a decimal or 0x-hex address, got {raw:?}"))
+}
+
+fn cmd_explain(flags: &HashMap<String, String>) -> Result<(), String> {
+    let mix_name = flags.get("mix").ok_or("explain needs --mix")?;
+    let scheme = parse_scheme(flags.get("scheme").ok_or("explain needs --scheme")?)?;
+    let addr = parse_addr(flags)?;
+    let (mix, base) = parse_mix(mix_name)?;
+    let system = configured_system(base, flags)?;
+    let n = num(flags, "accesses", 30_000)?;
+    let mut obs = Observer::enabled(ObserverConfig::default().with_journey_addr(addr));
+    let report = build_simulation(system, scheme, flags)?
+        .run_mix_observed(&mix, n, &mut obs)
+        .map_err(|e| e.to_string())?;
+    let jl = obs.journeys.as_ref().expect("journey filter was enabled");
+    println!(
+        "== journeys for {addr:#x}: {} on {} ({} accesses/core) ==",
+        scheme.name(),
+        mix.name(),
+        n
+    );
+    if jl.entries().is_empty() {
+        println!("address {addr:#x} was never accessed during the run");
+    }
+    for j in jl.entries() {
+        println!(
+            "seq {:>8} core {} {} issue {:>10} complete {:>10} latency {:>6} {}",
+            j.seq,
+            j.core,
+            if j.is_write { "write" } else { "read " },
+            j.at,
+            j.at + j.latency,
+            j.latency,
+            if j.hit { "hit" } else { "miss" },
+        );
+        let parts: Vec<String> = bimodal::obs::Component::ALL
+            .iter()
+            .zip(&j.comps)
+            .filter(|(_, &c)| c > 0)
+            .map(|(comp, &c)| format!("{} {c}", comp.name()))
+            .collect();
+        println!(
+            "         {}",
+            if parts.is_empty() {
+                "(zero-latency)".to_owned()
+            } else {
+                parts.join(", ")
+            }
+        );
+    }
+    if jl.dropped() > 0 {
+        println!("({} further journey(s) dropped at capacity)", jl.dropped());
+    }
+    let a = report.anatomy.as_ref().expect("journeys imply anatomy");
+    check_anatomy_sums(scheme.name(), a)?;
+    Ok(())
+}
+
 /// Reads one number at `path` inside `j`.
 fn json_num(j: &Json, path: &[&str]) -> Option<f64> {
     let mut cur = j;
@@ -1864,7 +2140,8 @@ fn cmd_diff(args: &[String]) -> Result<(), DiffError> {
         }
         i += 1;
     }
-    let flags = parse_flags(&flag_args, &["threshold", "exact"]).map_err(DiffError::Input)?;
+    let flags = parse_flags(&flag_args, &["threshold", "anatomy-threshold", "exact"])
+        .map_err(DiffError::Input)?;
     let [a_path, b_path] = paths.as_slice() else {
         return Err(DiffError::Input(format!(
             "diff needs exactly two report files, got {}",
@@ -1872,11 +2149,25 @@ fn cmd_diff(args: &[String]) -> Result<(), DiffError> {
         )));
     };
     let exact = flag_bool(&flags, "exact").map_err(DiffError::Input)?;
-    if exact && flags.contains_key("threshold") {
+    if exact && (flags.contains_key("threshold") || flags.contains_key("anatomy-threshold")) {
         return Err(DiffError::Input(
-            "--exact and --threshold are mutually exclusive".to_owned(),
+            "--exact and --threshold/--anatomy-threshold are mutually exclusive".to_owned(),
         ));
     }
+    let anatomy_threshold: Option<f64> = match flags.get("anatomy-threshold") {
+        Some(v) => {
+            let cy: f64 = v
+                .parse()
+                .map_err(|_| DiffError::Input("--anatomy-threshold must be cycles".to_owned()))?;
+            if cy < 0.0 {
+                return Err(DiffError::Input(
+                    "--anatomy-threshold must be non-negative".to_owned(),
+                ));
+            }
+            Some(cy)
+        }
+        None => None,
+    };
     let threshold: f64 = num(&flags, "threshold", 2.0).map_err(DiffError::Input)?;
     if threshold < 0.0 {
         return Err(DiffError::Input(
@@ -1970,13 +2261,74 @@ fn cmd_diff(args: &[String]) -> Result<(), DiffError> {
         }
         println!("{label:>24} {x:>14.4} {y:>14.4} {drift:>9.3}{mark}");
     }
-    if over > 0 {
+
+    // Anatomy drift: per-population per-component mean cycles, gated by
+    // an absolute cycle threshold (relative drift would over-trigger on
+    // tiny components).
+    let mut anat_over = 0usize;
+    if let Some(cy_threshold) = anatomy_threshold {
+        let (ma, mb) = (anatomy_means(&a), anatomy_means(&b));
+        let (Some(ma), Some(mb)) = (ma, mb) else {
+            return Err(DiffError::Input(
+                "--anatomy-threshold needs an `anatomy` section in both reports \
+                 (write them with `bimodal run --anatomy --json`)"
+                    .to_owned(),
+            ));
+        };
+        let mut labels: Vec<&String> = ma.iter().chain(mb.iter()).map(|(l, _)| l).collect();
+        labels.sort();
+        labels.dedup();
+        let get =
+            |m: &[(String, f64)], l: &str| m.iter().find(|(n, _)| n == l).map_or(0.0, |(_, v)| *v);
+        println!(
+            "{:>32} {:>14} {:>14} {:>9}",
+            "anatomy mean cycles", a_path, b_path, "|dcy|"
+        );
+        for label in labels {
+            let (x, y) = (get(&ma, label), get(&mb, label));
+            let d = (x - y).abs();
+            let mark = if d > cy_threshold { " <-- drift" } else { "" };
+            if d > cy_threshold {
+                anat_over += 1;
+            }
+            println!("{label:>32} {x:>14.2} {y:>14.2} {d:>9.2}{mark}");
+        }
+        if anat_over == 0 {
+            println!("no anatomy drift above {cy_threshold} cycles");
+        }
+    }
+
+    if over + anat_over > 0 {
         return Err(DiffError::Drift(format!(
-            "{over} metric(s) drifted more than {threshold}% between {a_path} and {b_path}"
+            "{over} metric(s) over {threshold}% and {anat_over} anatomy \
+             component(s) over the absolute cycle threshold between \
+             {a_path} and {b_path}"
         )));
     }
     println!("no drift above {threshold}%");
     Ok(())
+}
+
+/// Per-population per-component mean cycles from a report's `anatomy`
+/// section, labelled `population.component`. `None` when the report has
+/// no anatomy section; populations with zero accesses are skipped.
+fn anatomy_means(j: &Json) -> Option<Vec<(String, f64)>> {
+    let pops = j.get("anatomy")?.get("populations")?;
+    let Json::Obj(pairs) = pops else { return None };
+    let mut out = Vec::new();
+    for (pop, body) in pairs {
+        let count = body.get("count").and_then(Json::as_f64).unwrap_or(0.0);
+        if count == 0.0 {
+            continue;
+        }
+        if let Some(Json::Obj(comps)) = body.get("components") {
+            for (comp, c) in comps {
+                let cycles = c.get("cycles").and_then(Json::as_f64).unwrap_or(0.0);
+                out.push((format!("{pop}.{comp}"), cycles / count));
+            }
+        }
+    }
+    Some(out)
 }
 
 /// Flags each command accepts; anything else is rejected up front.
@@ -2002,6 +2354,8 @@ fn allowed_flags(command: &str) -> &'static [&'static str] {
         "profile",
         "metrics-out",
         "metrics-format",
+        "anatomy",
+        "journeys",
         "checkpoint",
         "checkpoint-every",
         "resume",
@@ -2104,6 +2458,14 @@ fn allowed_flags(command: &str) -> &'static [&'static str] {
         "mix", "backend", "scheme", "accesses", "cache-mb", "seed", "warmup", "mlp", "prefetch",
         "jobs", "json",
     ];
+    const LATENCY: &[&str] = &[
+        "mix", "backend", "scheme", "accesses", "cache-mb", "seed", "warmup", "mlp", "prefetch",
+        "jobs", "json",
+    ];
+    const EXPLAIN: &[&str] = &[
+        "mix", "backend", "scheme", "addr", "accesses", "cache-mb", "seed", "warmup", "mlp",
+        "prefetch",
+    ];
     match command {
         "run" => RUN,
         "compare" => COMPARE,
@@ -2113,6 +2475,8 @@ fn allowed_flags(command: &str) -> &'static [&'static str] {
         "inject" => INJECT,
         "bench" => BENCH,
         "bandwidth" => BANDWIDTH,
+        "latency" => LATENCY,
+        "explain" => EXPLAIN,
         _ => &[],
     }
 }
@@ -2160,6 +2524,8 @@ fn main() -> ExitCode {
         "inject" => cmd_inject(&flags),
         "bench" => cmd_bench(&flags),
         "bandwidth" => cmd_bandwidth(&flags),
+        "latency" => cmd_latency(&flags),
+        "explain" => cmd_explain(&flags),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())

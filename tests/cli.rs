@@ -1150,7 +1150,8 @@ fn run_metrics_export_json_and_prometheus() {
 /// `tests/golden/metrics_keys.txt`. Renaming or dropping a metric is a
 /// contract change: regenerate the golden file deliberately with
 /// `bimodal run --mix Q1 --scheme bimodal --accesses 5000 --cache-mb 4
-/// --seed 7 --profile --metrics-out -` and update it in the same commit.
+/// --seed 7 --profile --anatomy --metrics-out -` and update it in the
+/// same commit.
 #[test]
 fn metrics_keys_match_golden_snapshot() {
     use bimodal::obs::Json;
@@ -1169,6 +1170,7 @@ fn metrics_keys_match_golden_snapshot() {
             "--seed",
             "7",
             "--profile",
+            "--anatomy",
             "--metrics-out",
             path.to_str().expect("utf8"),
         ])
@@ -1612,6 +1614,161 @@ fn diff_exit_codes_distinguish_drift_from_bad_input() {
         code(&["diff", &a, &bad.display().to_string()]),
         2,
         "malformed input"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The `latency` command prints the anatomy table and verifies the
+/// component-sum invariant on every scheme it runs.
+#[test]
+fn latency_command_prints_anatomy_table() {
+    let out = bimodal()
+        .args([
+            "latency",
+            "--mix",
+            "Q1",
+            "--scheme",
+            "bimodal",
+            "--accesses",
+            "2000",
+            "--seed",
+            "7",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("latency anatomy on Q1"));
+    assert!(text.contains("read_hit"), "population tables: {text}");
+    for label in [
+        "queue", "bankc", "tagpr", "locat", "burst", "offch", "defer",
+    ] {
+        assert!(text.contains(label), "missing column {label}");
+    }
+    assert!(
+        text.contains("component sums verified"),
+        "sum invariant line: {text}"
+    );
+}
+
+/// `explain --addr` replays the run and prints the journeys touching
+/// the address (or says it was never touched).
+#[test]
+fn explain_command_replays_journeys() {
+    let out = bimodal()
+        .args([
+            "explain",
+            "--mix",
+            "Q1",
+            "--scheme",
+            "bimodal",
+            "--addr",
+            "0x1000",
+            "--accesses",
+            "1000",
+            "--seed",
+            "7",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("journeys for 0x1000"));
+}
+
+/// `diff --anatomy-threshold` gates per-component mean cycles with an
+/// absolute threshold, reusing the typed exit codes: 1 on drift, 2 when
+/// a report has no anatomy section.
+#[test]
+fn diff_gates_on_anatomy_drift() {
+    let dir = std::env::temp_dir().join(format!("bimodal-cli-anatdiff-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let run = |scheme: &str, anatomy: bool, path: &std::path::Path| {
+        let mut args = vec![
+            "run".to_owned(),
+            "--mix".to_owned(),
+            "Q1".to_owned(),
+            "--scheme".to_owned(),
+            scheme.to_owned(),
+            "--accesses".to_owned(),
+            "2000".to_owned(),
+            "--seed".to_owned(),
+            "7".to_owned(),
+        ];
+        if anatomy {
+            args.push("--anatomy".to_owned());
+        }
+        args.push("--json".to_owned());
+        args.push(path.display().to_string());
+        let out = bimodal().args(&args).output().expect("binary runs");
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    };
+    let a = dir.join("a.json");
+    let b = dir.join("b.json");
+    let plain = dir.join("plain.json");
+    run("bimodal", true, &a);
+    run("alloy", true, &b);
+    run("bimodal", false, &plain);
+    let code = |args: &[&str]| {
+        bimodal()
+            .args(args)
+            .output()
+            .expect("binary runs")
+            .status
+            .code()
+            .expect("exit code")
+    };
+    let (a, b, plain) = (
+        a.display().to_string(),
+        b.display().to_string(),
+        plain.display().to_string(),
+    );
+    // Identical reports: no anatomy drift at any threshold.
+    assert_eq!(
+        code(&["diff", &a, &a, "--anatomy-threshold", "0"]),
+        0,
+        "identical anatomy"
+    );
+    // Different schemes have wildly different component means: a tight
+    // absolute threshold trips the gate even when the scalar threshold
+    // is wide open (the synthetic regression).
+    assert_eq!(
+        code(&[
+            "diff",
+            &a,
+            &b,
+            "--threshold",
+            "1000",
+            "--anatomy-threshold",
+            "0.5"
+        ]),
+        1,
+        "anatomy drift"
+    );
+    // A report without an anatomy section is a typed input error.
+    assert_eq!(
+        code(&["diff", &a, &plain, "--anatomy-threshold", "5"]),
+        2,
+        "missing anatomy section"
+    );
+    // Without the flag the same pair passes (no anatomy gate).
+    assert_eq!(
+        code(&["diff", &a, &plain, "--threshold", "1000"]),
+        0,
+        "anatomy gate is opt-in"
     );
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -573,3 +573,49 @@ fn dram_stats_balance() {
         );
     }
 }
+
+/// The latency-anatomy structural invariant: on every (scheme x
+/// backend) pair, each demand population's per-component cycles sum
+/// exactly to its total measured latency — no cycles invented, none
+/// lost. (Per-access exactness is additionally enforced by a
+/// debug assertion inside `anatomy::finish_access`, which this
+/// debug-mode run exercises on every access.)
+#[test]
+fn anatomy_components_sum_to_latency_on_every_backend() {
+    use bimodal::obs::ObserverConfig;
+    let mix = WorkloadMix::quad("Q1").expect("Q1 exists");
+    for backend in BackendKind::ALL {
+        for kind in SchemeKind::comparison_set() {
+            let system = SystemConfig::quad_core()
+                .with_cache_mb(4)
+                .with_backend(backend);
+            let mut obs = Observer::enabled(ObserverConfig::default().with_anatomy());
+            let report = Simulation::new(system, kind)
+                .run_mix_observed(&mix, 1_500, &mut obs)
+                .expect("observed run");
+            obs.anatomy
+                .as_ref()
+                .expect("anatomy was enabled")
+                .check_sums()
+                .unwrap_or_else(|e| panic!("{kind} @ {}: {e}", backend.name()));
+            let a = report.anatomy.expect("anatomy was enabled");
+            let mut demand = 0u64;
+            for p in &a.populations {
+                let sum: u64 = p.components.iter().map(|c| c.cycles).sum();
+                assert_eq!(
+                    sum,
+                    p.total_latency,
+                    "{kind} @ {} {}: components must sum to measured latency",
+                    backend.name(),
+                    p.name
+                );
+                demand += p.count;
+            }
+            assert!(
+                demand > 0,
+                "{kind} @ {}: anatomy saw no demand accesses",
+                backend.name()
+            );
+        }
+    }
+}

@@ -470,3 +470,138 @@ fn every_scheme_resumes_byte_identically_under_sharding() {
         let _ = std::fs::remove_file(prev);
     }
 }
+
+/// Collecting anatomy must be a pure observer: every pre-existing
+/// report field stays byte-identical, and the new `anatomy` section is
+/// strictly appended as the last key. (Host wall-clock timing is the
+/// one legitimately volatile section; it is stripped on both sides.)
+#[test]
+fn anatomy_reports_keep_existing_fields_byte_identical() {
+    use bimodal::obs::{Json, ObserverConfig};
+    fn stripped(j: Json, drop_anatomy: bool) -> String {
+        let Json::Obj(mut pairs) = j else {
+            panic!("report serializes to an object");
+        };
+        if drop_anatomy {
+            pairs.retain(|(k, _)| k != "anatomy");
+        }
+        for (k, v) in &mut pairs {
+            if k == "obs" {
+                if let Json::Obj(op) = v {
+                    op.retain(|(k, _)| k != "wall");
+                }
+            }
+        }
+        Json::Obj(pairs).to_compact()
+    }
+    let mix = WorkloadMix::quad("Q1").expect("Q1 exists");
+    for kind in all_schemes() {
+        let mut plain_obs = Observer::enabled(ObserverConfig::default());
+        let base = Simulation::new(system(), kind)
+            .run_mix_observed(&mix, 2_000, &mut plain_obs)
+            .expect("plain observed run");
+        let mut obs = Observer::enabled(ObserverConfig::default().with_anatomy());
+        let observed = Simulation::new(system(), kind)
+            .run_mix_observed(&mix, 2_000, &mut obs)
+            .expect("anatomy observed run");
+        let j = observed.to_json();
+        let Json::Obj(pairs) = &j else {
+            panic!("report serializes to an object");
+        };
+        assert_eq!(
+            pairs.last().map(|(k, _)| k.as_str()),
+            Some("anatomy"),
+            "{kind}: anatomy must be appended last"
+        );
+        assert_eq!(
+            stripped(observed.to_json(), true),
+            stripped(base.to_json(), false),
+            "{kind}: anatomy collection must not perturb any existing field"
+        );
+    }
+}
+
+/// Anatomy accumulators are part of the crash-safety contract: a run
+/// that checkpoints mid-flight and resumes must reproduce the exact
+/// anatomy section (counts, per-component cycles, histograms) of an
+/// uninterrupted run.
+#[test]
+fn anatomy_checkpoint_resume_round_trips_byte_identically() {
+    use bimodal::obs::{Json, ObserverConfig};
+    use bimodal::sim::CheckpointSpec;
+    fn nonvolatile(j: Json) -> String {
+        let Json::Obj(mut pairs) = j else {
+            panic!("report serializes to an object");
+        };
+        for (k, v) in &mut pairs {
+            if k == "obs" {
+                if let Json::Obj(op) = v {
+                    op.retain(|(k, _)| k != "wall");
+                }
+            }
+        }
+        Json::Obj(pairs).to_compact()
+    }
+    let mix = WorkloadMix::quad("Q1").expect("Q1 exists");
+    let n = 5_000u64;
+    for (i, kind) in all_schemes().into_iter().enumerate() {
+        let mut obs = Observer::enabled(ObserverConfig::default().with_anatomy());
+        let reference = Simulation::new(system(), kind)
+            .run_mix_observed(&mix, n, &mut obs)
+            .expect("reference run");
+        assert!(
+            reference.anatomy.is_some(),
+            "{kind}: reference run collected anatomy"
+        );
+        let path =
+            std::env::temp_dir().join(format!("bimodal-anat-ckpt-{i}-{}.bin", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let spec = CheckpointSpec::new(path.clone(), 3_000).expect("valid cadence");
+        let mut obs = Observer::enabled(ObserverConfig::default().with_anatomy());
+        let checkpointed = Simulation::new(system(), kind)
+            .run_mix_checkpointed(&mix, n, &mut obs, Some(&spec), None)
+            .expect("checkpointed run");
+        assert_eq!(
+            nonvolatile(checkpointed.to_json()),
+            nonvolatile(reference.to_json()),
+            "{kind}: writing checkpoints must not perturb anatomy"
+        );
+        assert!(path.exists(), "{kind}: a mid-run snapshot was written");
+        let mut obs = Observer::enabled(ObserverConfig::default().with_anatomy());
+        let resumed = Simulation::new(system(), kind)
+            .run_mix_checkpointed(&mix, n, &mut obs, None, Some(&path))
+            .expect("resumed run");
+        assert_eq!(
+            nonvolatile(resumed.to_json()),
+            nonvolatile(reference.to_json()),
+            "{kind}: a resumed run must reproduce the anatomy section exactly"
+        );
+        let _ = std::fs::remove_file(&path);
+        let mut prev = path.into_os_string();
+        prev.push(".prev");
+        let _ = std::fs::remove_file(prev);
+    }
+}
+
+/// Journey buffers are not serialized, so checkpointing a journey-
+/// sampling run is a typed mismatch error up front — while anatomy
+/// alone checkpoints fine (covered above).
+#[test]
+fn journeys_under_checkpointing_is_a_typed_mismatch() {
+    use bimodal::obs::ObserverConfig;
+    use bimodal::sim::CheckpointSpec;
+    let mix = WorkloadMix::quad("Q1").expect("Q1 exists");
+    let path =
+        std::env::temp_dir().join(format!("bimodal-journey-ckpt-{}.bin", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let spec = CheckpointSpec::new(path.clone(), 1_000).expect("valid cadence");
+    let mut obs = Observer::enabled(ObserverConfig::default().with_journeys(10));
+    let err = Simulation::new(system(), SchemeKind::BiModal)
+        .run_mix_checkpointed(&mix, 2_000, &mut obs, Some(&spec), None)
+        .expect_err("journey sampling cannot checkpoint");
+    assert!(
+        err.to_string().contains("journey"),
+        "unexpected error: {err}"
+    );
+    let _ = std::fs::remove_file(&path);
+}
